@@ -1,0 +1,39 @@
+// Command ips-registry runs the standalone service-discovery daemon (the
+// Consul stand-in, §III) that multi-process deployments share: ipsd
+// instances register and heartbeat against it; clients watch it for the
+// live instance list.
+//
+//	ips-registry -addr :8500
+//	ipsd         -addr :9500 -registry 127.0.0.1:8500 -region east
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ips/internal/discovery"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8500", "listen address")
+	ttl := flag.Duration("ttl", 5*time.Second, "registration TTL; instances must heartbeat within it")
+	flag.Parse()
+
+	reg := discovery.NewRegistry(*ttl)
+	srv := discovery.NewServer(reg)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("ips-registry serving on %s (ttl %v)", bound, *ttl)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	srv.Close()
+}

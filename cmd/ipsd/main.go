@@ -1,0 +1,125 @@
+// Command ipsd runs one IPS server instance: it creates the configured
+// tables, binds the RPC service, and (optionally) registers with an
+// in-process discovery registry served for local experimentation. In the
+// multi-process layout each ipsd serves a fraction of the key space behind
+// consistent-hash routing in the clients.
+//
+//	ipsd -addr :9500 -tables user_profile:like,comment,share -data /var/lib/ips/kv.log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ips/internal/config"
+	"ips/internal/discovery"
+	"ips/internal/kv"
+	"ips/internal/model"
+	"ips/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9500", "listen address for the RPC service")
+	name := flag.String("name", "ips-0", "instance name")
+	region := flag.String("region", "local", "data-center region")
+	dataPath := flag.String("data", "", "path to the disk-backed KV log (empty = in-memory)")
+	tables := flag.String("tables", "user_profile:like,comment,share",
+		"semicolon-separated table specs, each name:action1,action2,...")
+	quota := flag.Float64("default-quota", 0, "default per-caller QPS quota (0 = unlimited)")
+	isolation := flag.Bool("write-isolation", true, "enable read-write isolation (§III-F)")
+	registry := flag.String("registry", "", "address of an ips-registry daemon to register with (empty = standalone)")
+	advertise := flag.String("advertise", "", "address to advertise in the registry (default: the bound listen address)")
+	heartbeat := flag.Duration("heartbeat", time.Second, "registry heartbeat interval")
+	flag.Parse()
+
+	var store kv.Store
+	var err error
+	if *dataPath != "" {
+		store, err = kv.OpenDisk(*dataPath)
+		if err != nil {
+			log.Fatalf("open data file: %v", err)
+		}
+	} else {
+		store = kv.NewMemory()
+	}
+
+	cfg := config.Default()
+	cfg.WriteIsolation = *isolation
+	cfgStore, err := config.NewStore(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	inst, err := server.New(server.Options{
+		Name:            *name,
+		Region:          *region,
+		Store:           store,
+		Config:          cfgStore,
+		DefaultQuotaQPS: *quota,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, spec := range strings.Split(*tables, ";") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		parts := strings.SplitN(spec, ":", 2)
+		if len(parts) != 2 {
+			log.Fatalf("bad table spec %q (want name:action1,action2)", spec)
+		}
+		actions := strings.Split(parts[1], ",")
+		if err := inst.CreateTable(parts[0], model.NewSchema(actions...)); err != nil {
+			log.Fatalf("create table %s: %v", parts[0], err)
+		}
+		log.Printf("table %q ready with actions %v", parts[0], actions)
+	}
+
+	svc := server.NewService(inst)
+	bound, err := svc.Listen(*addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("%s (%s) serving IPS on %s", *name, *region, bound)
+
+	// Register with the shared discovery daemon so clients find this
+	// instance (the paper's Consul integration, §III).
+	var hb *discovery.Heartbeater
+	if *registry != "" {
+		announce := *advertise
+		if announce == "" {
+			announce = bound
+		}
+		rr := discovery.Dial(*registry)
+		defer rr.Close()
+		hb = discovery.StartHeartbeat(rr, discovery.Instance{
+			Service: "ips", Addr: announce, Region: *region,
+		}, *heartbeat)
+		log.Printf("registered %s with registry %s", announce, *registry)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println()
+	log.Print("shutting down: merging writes and flushing dirty profiles")
+	if hb != nil {
+		hb.Stop()
+	}
+	svc.Close()
+	if err := inst.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+	if err := store.Close(); err != nil {
+		log.Printf("store close: %v", err)
+	}
+	log.Print("bye")
+}

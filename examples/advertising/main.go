@@ -1,0 +1,116 @@
+// Command advertising shows the ads use case of §I-d: IPS captures
+// impressions and conversions responsively so pacing (flow control) can
+// smooth ad delivery over the day, and volatile auction bid prices are
+// kept fresh with LAST-reduce semantics.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ips"
+	"ips/internal/model"
+)
+
+const (
+	slotAds     = 1
+	typeDisplay = 1
+)
+
+func main() {
+	db, err := ips.Open(ips.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// The bid price must not accumulate: it reduces with LAST so the most
+	// recent auction price wins; impressions/conversions SUM as usual.
+	schema := model.NewSchema("impression", "conversion", "bid_milli_cents").
+		WithReducer("bid_milli_cents", model.ReduceLast)
+	table, err := db.CreateTableSchema("ads", schema)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	now := time.Now()
+	campaign := uint64(501) // profiles can hold any entity: here, a campaign
+	adA, adB := uint64(1), uint64(2)
+
+	// Morning: ad A delivers heavily with few conversions; ad B delivers
+	// lightly but converts well. Bids reprice continuously.
+	for minute := 0; minute < 240; minute++ {
+		ts := now.Add(-4*time.Hour + time.Duration(minute)*time.Minute).UnixMilli()
+		_ = table.Add(campaign, ips.Entry{
+			Timestamp: ts, Slot: slotAds, Type: typeDisplay, FID: adA,
+			Counts: []int64{3, boolCount(minute%40 == 0), 120_000 - int64(minute)*100},
+		})
+		if minute%3 == 0 {
+			_ = table.Add(campaign, ips.Entry{
+				Timestamp: ts, Slot: slotAds, Type: typeDisplay, FID: adB,
+				Counts: []int64{1, boolCount(minute%12 == 0), 95_000 + int64(minute)*50},
+			})
+		}
+	}
+	db.MergeWrites()
+
+	// Flow control: compare delivered impressions per ad over the last
+	// hour against the pacing budget; throttle the over-delivering ad.
+	lastHour, err := table.TopK(campaign, ips.Query{
+		Slot: slotAds, Type: typeDisplay,
+		Window: ips.Last(time.Hour), SortByAction: "impression",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const hourlyBudget = 150
+	fmt.Println("Pacing check (1-hour window):")
+	for _, f := range lastHour {
+		imp := f.Counts[0]
+		verdict := "ok"
+		if imp > hourlyBudget {
+			verdict = "THROTTLE (over hourly budget)"
+		}
+		fmt.Printf("  ad=%d impressions=%d budget=%d -> %s\n", f.FID, imp, hourlyBudget, verdict)
+	}
+
+	// Conversion-rate feature over the full flight for value estimation.
+	flight, err := table.TopK(campaign, ips.Query{
+		Slot: slotAds, Type: typeDisplay,
+		Window: ips.Last(6 * time.Hour), SortByAction: "conversion",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Conversion performance (6-hour flight):")
+	for _, f := range flight {
+		imp, conv := f.Counts[0], f.Counts[1]
+		cvr := 0.0
+		if imp > 0 {
+			cvr = float64(conv) / float64(imp)
+		}
+		fmt.Printf("  ad=%d conversions=%d cvr=%.3f\n", f.FID, conv, cvr)
+	}
+
+	// Bid freshness: the model reads the *current* price, not a sum of
+	// history — LAST semantics keep it timely as auctions reprice.
+	bids, err := table.TopK(campaign, ips.Query{
+		Slot: slotAds, Type: typeDisplay,
+		Window: ips.Last(6 * time.Hour), SortByFID: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Current bid prices (LAST-reduced, milli-cents):")
+	for _, f := range bids {
+		fmt.Printf("  ad=%d bid=%d\n", f.FID, f.Counts[2])
+	}
+}
+
+func boolCount(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

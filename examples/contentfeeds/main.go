@@ -1,0 +1,168 @@
+// Command contentfeeds shows how a news/video feed ranker uses IPS as its
+// feature hub (§I-c): quickly-updated short-term counters promote trending
+// content, long-term windows capture latent interests, and decayed
+// aggregates blend both. The example computes the click-through-rate
+// features a wide-and-deep model would consume.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"ips"
+)
+
+const (
+	slotNews  = 1
+	slotVideo = 2
+
+	typeBreaking = 1
+	typeCooking  = 2
+	typeHiking   = 3
+)
+
+func main() {
+	db, err := ips.Open(ips.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Schema: impressions and clicks to form CTR, plus dwell as an
+	// engagement signal.
+	table, err := db.CreateTable("feeds", "impression", "click", "dwell_sec")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	now := time.Now()
+	user := uint64(7)
+	rng := rand.New(rand.NewSource(1))
+
+	// Long-term history: weeks of cooking content consumption.
+	for day := 30; day >= 7; day-- {
+		ts := now.Add(-time.Duration(day) * 24 * time.Hour).UnixMilli()
+		for i := 0; i < 5; i++ {
+			item := uint64(5000 + rng.Intn(50)) // cooking items
+			_ = table.Add(user, ips.Entry{
+				Timestamp: ts, Slot: slotVideo, Type: typeCooking, FID: item,
+				Counts: []int64{1, boolToCount(rng.Float64() < 0.4), int64(rng.Intn(120))},
+			})
+		}
+	}
+	// Recent shift: the user started clicking hiking videos this week.
+	for day := 6; day >= 0; day-- {
+		ts := now.Add(-time.Duration(day) * 24 * time.Hour).UnixMilli()
+		for i := 0; i < 8; i++ {
+			item := uint64(7000 + rng.Intn(30)) // hiking items
+			_ = table.Add(user, ips.Entry{
+				Timestamp: ts, Slot: slotVideo, Type: typeHiking, FID: item,
+				Counts: []int64{1, boolToCount(rng.Float64() < 0.7), int64(rng.Intn(300))},
+			})
+		}
+	}
+	// Breaking news item going viral in the last ten minutes.
+	viral := uint64(9999)
+	for i := 0; i < 20; i++ {
+		_ = table.Add(user, ips.Entry{
+			Timestamp: now.Add(-time.Duration(rng.Intn(600)) * time.Second).UnixMilli(),
+			Slot:      slotNews, Type: typeBreaking, FID: viral,
+			Counts: []int64{1, 1, 15},
+		})
+	}
+	db.MergeWrites()
+
+	// Short-term feature: clicks on breaking news in the last 10 minutes.
+	// Real-time freshness is what lets the feed promote it immediately.
+	hot, err := table.TopK(user, ips.Query{
+		Slot: slotNews, Type: typeBreaking,
+		Window: ips.Last(10 * time.Minute), SortByAction: "click", K: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Trending breaking-news items (10-minute window):")
+	printCTR(hot)
+
+	// Long-term feature: 30-day CTR per hiking item — the model input
+	// "CTR of <category> contents in the last 30 days".
+	hiking, err := table.TopK(user, ips.Query{
+		Slot: slotVideo, Type: typeHiking,
+		Window: ips.LastDays(30), SortByAction: "click", K: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Top hiking items by 30-day clicks:")
+	printCTR(hiking)
+
+	// Blended interest: a decayed whole-slot aggregation ranks hiking
+	// above cooking because recent behaviour is up-weighted, yet cooking
+	// still appears — the "trail cooking recipes" blend of §I-c.
+	blended, err := table.DecayQuery(user, ips.Query{
+		Slot: slotVideo, AllTypes: true,
+		Window: ips.LastDays(30), SortByAction: "click", K: 8,
+		Decay: ips.ExpDecay, DecayFactor: 0.85,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Blended (decayed) cross-category interests:")
+	printCTR(blended)
+
+	// User-defined aggregate function: rank by CTR directly (the built-in
+	// "ctr" UDAF divides counts[1] by counts[0]) with a minimum-score
+	// floor — the inline feature computation the paper's contribution
+	// list highlights.
+	byCTR, err := table.TopK(user, ips.Query{
+		Slot: slotVideo, AllTypes: true,
+		Window: ips.LastDays(30),
+		UDAF:   "ctr", SortByUDAF: true, MinScore: 0.5, K: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Top items by CTR (UDAF-ranked, CTR >= 0.5):")
+	for _, f := range byCTR {
+		fmt.Printf("  fid=%d ctr=%.2f (imp=%d clk=%d)\n", f.FID, f.Score, f.Counts[0], f.Counts[1])
+	}
+
+	// Custom UDAF: engagement blends clicks with dwell time.
+	if err := db.RegisterUDAF("engagement", func(counts []int64) float64 {
+		return float64(counts[1]) + float64(counts[2])/60.0 // clicks + dwell-minutes
+	}); err != nil {
+		log.Fatal(err)
+	}
+	engaged, err := table.TopK(user, ips.Query{
+		Slot: slotVideo, AllTypes: true,
+		Window: ips.LastDays(30),
+		UDAF:   "engagement", SortByUDAF: true, K: 3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Top items by custom engagement score:")
+	for _, f := range engaged {
+		fmt.Printf("  fid=%d score=%.2f\n", f.FID, f.Score)
+	}
+}
+
+func printCTR(feats []ips.Feature) {
+	for _, f := range feats {
+		imp, clk := f.Counts[0], f.Counts[1]
+		ctr := 0.0
+		if imp > 0 {
+			ctr = float64(clk) / float64(imp)
+		}
+		fmt.Printf("  fid=%d impressions=%d clicks=%d ctr=%.2f\n", f.FID, imp, clk, ctr)
+	}
+}
+
+func boolToCount(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

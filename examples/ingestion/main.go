@@ -1,0 +1,97 @@
+// Command ingestion runs the end-to-end data-ingestion dataflow of §III-A:
+// impression, action and feature events are produced onto partitioned log
+// topics (the Kafka stand-in), a windowed streaming joiner (the Flink
+// stand-in) joins them into instance data, and the joined instances are
+// ingested into IPS where they immediately become queryable features.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"ips"
+	"ips/internal/ingest"
+	"ips/internal/model"
+	"ips/internal/wire"
+)
+
+func main() {
+	db, err := ips.Open(ips.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	table, err := db.CreateTable("user_profile", "impression", "like", "share")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	logStore := ingest.NewLog()
+	logStore.CreateTopic(ingest.TopicImpression, 4)
+	logStore.CreateTopic(ingest.TopicAction, 4)
+	logStore.CreateTopic(ingest.TopicFeature, 4)
+
+	// Sink: joined instances become IPS writes through the same Add API
+	// the unified client uses.
+	sink := ingest.SinkFunc(func(caller, tbl string, id model.ProfileID, entries []wire.AddEntry) error {
+		return table.Add(id, entries...)
+	})
+	pipe := ingest.NewPipeline(logStore, sink, "user_profile",
+		"ingestion-job", model.NewSchema("impression", "like", "share"))
+
+	// Produce a burst of traffic: 200 users see items; some engage.
+	rng := rand.New(rand.NewSource(3))
+	now := time.Now().UnixMilli()
+	var produced int
+	for u := uint64(1); u <= 200; u++ {
+		for imp := 0; imp < 5; imp++ {
+			item := uint64(100 + rng.Intn(40))
+			ts := now - int64(rng.Intn(50_000))
+			logStore.Append(ingest.TopicImpression, ingest.Message{Key: u, Value: ingest.EncodeEvent(&ingest.Event{
+				ProfileID: u, ItemID: item, Timestamp: ts, Slot: 1, Type: 1,
+			})})
+			produced++
+			if rng.Float64() < 0.5 {
+				logStore.Append(ingest.TopicAction, ingest.Message{Key: u, Value: ingest.EncodeEvent(&ingest.Event{
+					ProfileID: u, ItemID: item, Timestamp: ts + int64(rng.Intn(5000)), Action: "like",
+				})})
+				produced++
+			}
+			if rng.Float64() < 0.1 {
+				logStore.Append(ingest.TopicAction, ingest.Message{Key: u, Value: ingest.EncodeEvent(&ingest.Event{
+					ProfileID: u, ItemID: item, Timestamp: ts + int64(rng.Intn(8000)), Action: "share",
+				})})
+				produced++
+			}
+		}
+	}
+	fmt.Printf("produced %d raw events across 3 streams\n", produced)
+	fmt.Printf("topic depths: impression=%d action=%d\n",
+		logStore.Depth(ingest.TopicImpression), logStore.Depth(ingest.TopicAction))
+
+	// One deterministic drain of the join job.
+	start := time.Now()
+	n := pipe.RunOnce()
+	fmt.Printf("joined and ingested %d instances in %v (errors=%d)\n",
+		n, time.Since(start).Round(time.Millisecond), pipe.Errors)
+	fmt.Printf("instance topic depth (training data): %d\n", logStore.Depth(ingest.TopicInstance))
+	db.MergeWrites()
+
+	// The end-to-end latency between action and queryability is bounded by
+	// the pipeline poll plus IPS's merge interval — "within a minute" in
+	// production (§III-A); here it is immediate.
+	feats, err := table.TopK(1, ips.Query{
+		Slot: 1, Type: 1, Window: ips.Last(2 * time.Minute),
+		SortByAction: "like", K: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("user 1's freshly ingested features:")
+	for _, f := range feats {
+		fmt.Printf("  item=%d impressions=%d likes=%d shares=%d\n",
+			f.FID, f.Counts[0], f.Counts[1], f.Counts[2])
+	}
+}

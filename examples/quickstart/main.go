@@ -1,0 +1,101 @@
+// Command quickstart demonstrates the embedded IPS API on the paper's
+// motivating example (§II-A): Alice engages with basketball videos over
+// ten days; the recommender asks for her most-liked team over various
+// windows.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"ips"
+)
+
+const (
+	slotSports = 1
+	typeHoops  = 2
+
+	lakers   = 1001 // feature IDs: in production these are hashed literals
+	warriors = 1002
+)
+
+func main() {
+	db, err := ips.Open(ips.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	table, err := db.CreateTable("user_profile", "like", "comment", "share")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	now := time.Now()
+	alice := uint64(42)
+
+	// Ten days ago Alice liked, commented on and re-shared a Lakers video.
+	err = table.Add(alice, ips.Entry{
+		Timestamp: now.Add(-10 * 24 * time.Hour).UnixMilli(),
+		Slot:      slotSports, Type: typeHoops, FID: lakers,
+		Counts: []int64{1, 1, 1},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Two days ago she liked two Warriors videos.
+	err = table.Add(alice, ips.Entry{
+		Timestamp: now.Add(-2 * 24 * time.Hour).UnixMilli(),
+		Slot:      slotSports, Type: typeHoops, FID: warriors,
+		Counts: []int64{2, 0, 0},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.MergeWrites() // make buffered writes queryable immediately
+
+	// "Alice's topmost liked feature in Sports/Basketball over the last
+	// 10 days" — the SQL query of the paper's Listing 1, answered inline.
+	top, err := table.TopK(alice, ips.Query{
+		Slot: slotSports, Type: typeHoops,
+		Window:       ips.LastDays(11),
+		SortByAction: "like",
+		K:            1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Top liked basketball team over the last 10 days:")
+	for _, f := range top {
+		fmt.Printf("  fid=%d likes=%d comments=%d shares=%d\n",
+			f.FID, f.Counts[0], f.Counts[1], f.Counts[2])
+	}
+	if len(top) == 1 && top[0].FID == warriors {
+		fmt.Println("  -> Golden State Warriors, matching the paper's example")
+	}
+
+	// A 5-day window excludes the older Lakers row entirely.
+	recent, err := table.TopK(alice, ips.Query{
+		Slot: slotSports, Type: typeHoops,
+		Window: ips.LastDays(5), SortByAction: "like",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Features in the last 5 days: %d (Lakers aged out)\n", len(recent))
+
+	// A decayed whole-history view balances short- and long-term interest.
+	decayed, err := table.DecayQuery(alice, ips.Query{
+		Slot: slotSports, Type: typeHoops,
+		Window: ips.LastDays(30), SortByAction: "like",
+		Decay: ips.ExpDecay, DecayFactor: 0.9,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Exponentially decayed 30-day view:")
+	for _, f := range decayed {
+		fmt.Printf("  fid=%d decayed_likes=%d\n", f.FID, f.Counts[0])
+	}
+}

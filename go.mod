@@ -1,0 +1,3 @@
+module ips
+
+go 1.22

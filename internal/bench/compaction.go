@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"io"
+	"math/rand"
+
+	"ips/internal/compact"
+	"ips/internal/config"
+	"ips/internal/kv"
+	"ips/internal/model"
+	"ips/internal/persist"
+)
+
+// CompactionOptions scales the §III-D reproduction: the paper reports an
+// average slice-list length of 62, ~730B per slice, ~45KB per profile held
+// stable by compact/truncate/shrink — versus a projected 76MB per profile
+// per year with neither.
+type CompactionOptions struct {
+	// Weeks of simulated activity; default 52 (one year, as the paper's
+	// projection).
+	Weeks int
+	// EventsPerDay of user activity on active days; default one event per
+	// 5 minutes (the paper's slice granularity assumption).
+	EventsPerDay int
+	// ActiveDaysPerWeek; default 5.
+	ActiveDaysPerWeek int
+	// ShrinkRetain per (slice, slot, type); default 8, which at the
+	// default category space approximates the paper's ~730B slices.
+	ShrinkRetain int
+	// Slots and Types bound the category space; defaults 2 and 1.
+	Slots, Types int
+}
+
+func (o *CompactionOptions) fill() {
+	if o.Weeks <= 0 {
+		o.Weeks = 52
+	}
+	if o.EventsPerDay <= 0 {
+		o.EventsPerDay = 24 * 60 / 5
+	}
+	if o.ActiveDaysPerWeek <= 0 {
+		o.ActiveDaysPerWeek = 5
+	}
+	if o.ShrinkRetain <= 0 {
+		o.ShrinkRetain = 8
+	}
+	if o.Slots <= 0 {
+		o.Slots = 2
+	}
+	if o.Types <= 0 {
+		o.Types = 1
+	}
+}
+
+// CompactionReport is the regenerated comparison.
+type CompactionReport struct {
+	// Maintained profile, after a year under Listing 3 + shrink.
+	MaintainedSlices    int
+	MaintainedMemBytes  int64
+	MaintainedDiskBytes int
+	AvgSliceBytes       int64
+	// Raw profile: no compaction/truncation/shrink.
+	RawSlices   int
+	RawMemBytes int64
+	// ReductionFactor is raw/maintained in memory.
+	ReductionFactor float64
+}
+
+// RunCompaction regenerates the §III-D numbers: one user's year of
+// activity is ingested twice — once with weekly maintenance under the
+// production time-dimension config (paper Listing 3) plus shrink, once
+// raw — and the footprints are compared.
+func RunCompaction(opts CompactionOptions, w io.Writer) (*CompactionReport, error) {
+	opts.fill()
+	schema := model.NewSchema("like", "comment", "share")
+	cfg := config.Default()
+	cfg.Shrink.DefaultRetain = opts.ShrinkRetain
+
+	const day = model.Millis(24 * 3600 * 1000)
+	build := func(maintain bool) (*model.Profile, model.Millis) {
+		rng := rand.New(rand.NewSource(33))
+		p := model.NewProfile(1)
+		p.Lock()
+		defer p.Unlock()
+		now := model.Millis(1_000_000_000)
+		for week := 0; week < opts.Weeks; week++ {
+			for d := 0; d < opts.ActiveDaysPerWeek; d++ {
+				base := now + model.Millis(d)*day
+				for e := 0; e < opts.EventsPerDay; e++ {
+					ts := base + model.Millis(e)*day/model.Millis(opts.EventsPerDay)
+					_ = p.Add(schema, ts, 1000,
+						model.SlotID(rng.Intn(opts.Slots)), model.TypeID(rng.Intn(opts.Types)),
+						model.FeatureID(rng.Intn(100_000)), []int64{1, 0, 0})
+				}
+			}
+			now += 7 * day
+			if maintain {
+				compact.Maintain(p, schema, cfg, now)
+			}
+		}
+		if maintain {
+			compact.Maintain(p, schema, cfg, now)
+		}
+		return p, now
+	}
+
+	maintained, _ := build(true)
+	raw, _ := build(false)
+
+	// Persisted footprint of the maintained profile.
+	ps := persist.New(kv.NewMemory(), "t")
+	maintained.RLock()
+	diskBytes, err := ps.Save(maintained)
+	maintained.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &CompactionReport{
+		MaintainedSlices:    maintained.NumSlices(),
+		MaintainedMemBytes:  maintained.MemSize(),
+		MaintainedDiskBytes: diskBytes,
+		RawSlices:           raw.NumSlices(),
+		RawMemBytes:         raw.MemSize(),
+	}
+	if rep.MaintainedSlices > 0 {
+		rep.AvgSliceBytes = rep.MaintainedMemBytes / int64(rep.MaintainedSlices)
+	}
+	if rep.MaintainedMemBytes > 0 {
+		rep.ReductionFactor = float64(rep.RawMemBytes) / float64(rep.MaintainedMemBytes)
+	}
+
+	fprintf(w, "Compaction / truncation / shrink footprint (§III-D)\n")
+	fprintf(w, "%-22s %-12s %-14s\n", "profile", "slices", "memory")
+	fprintf(w, "%-22s %-12d %-14d\n", "maintained (1 year)", rep.MaintainedSlices, rep.MaintainedMemBytes)
+	fprintf(w, "%-22s %-12d %-14d\n", "raw (no maintenance)", rep.RawSlices, rep.RawMemBytes)
+	fprintf(w, "\nmaintained: avg slice = %dB (paper: ~730B), slice-list length = %d (paper avg: 62), persisted = %dB (paper: <40KB)\n",
+		rep.AvgSliceBytes, rep.MaintainedSlices, rep.MaintainedDiskBytes)
+	fprintf(w, "shape: maintenance keeps the profile %.0fx smaller than unbounded growth (paper projects 45KB vs 76MB ≈ 1700x at production density)\n",
+		rep.ReductionFactor)
+	return rep, nil
+}

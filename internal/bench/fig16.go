@@ -1,0 +1,132 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ips/internal/metrics"
+	"ips/internal/model"
+	"ips/internal/workload"
+)
+
+// Fig16Options scales the Fig. 16 experiment (query throughput and
+// latency percentiles under fluctuating Spring-Festival-style traffic).
+type Fig16Options struct {
+	// Hours of simulated wall time; default 24.
+	Hours int
+	// PeakQueriesPerHour is the request budget of the busiest hour;
+	// default 4000.
+	PeakQueriesPerHour int
+	// Profiles in the corpus; default 2000.
+	Profiles int
+	// WritesPerProfile of prefill history; default 60.
+	WritesPerProfile int
+}
+
+func (o *Fig16Options) fill() {
+	if o.Hours <= 0 {
+		o.Hours = 24
+	}
+	if o.PeakQueriesPerHour <= 0 {
+		o.PeakQueriesPerHour = 4000
+	}
+	if o.Profiles <= 0 {
+		o.Profiles = 2000
+	}
+	if o.WritesPerProfile <= 0 {
+		o.WritesPerProfile = 60
+	}
+}
+
+// Fig16Point is one hour of the series.
+type Fig16Point struct {
+	Hour       int
+	Throughput float64 // queries per wall second during the hour's burst
+	P50, P99   time.Duration
+}
+
+// Fig16Report is the regenerated figure.
+type Fig16Report struct {
+	Points []Fig16Point
+	// P50Spread and P99Spread are max/min ratios across hours — the
+	// paper's shape is a flat p50 (~1ms throughout) with a p99 that
+	// follows load (9→10ms).
+	P50Spread, P99Spread float64
+}
+
+// RunFig16 regenerates Fig. 16: queries flow over loopback RPC (network +
+// compute, like the production measurement), paced by the diurnal curve
+// with a festival boost, against a Zipf corpus with a 10:1 background
+// write mix.
+func RunFig16(opts Fig16Options, w io.Writer) (*Fig16Report, error) {
+	opts.fill()
+	env, err := NewEnv(EnvOptions{
+		Workload: workload.Options{Seed: 16, Profiles: uint64(opts.Profiles)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	if err := env.Prefill(opts.Profiles, opts.WritesPerProfile, 30*24*3_600_000); err != nil {
+		return nil, err
+	}
+
+	curve := workload.Diurnal{Base: 0.35, FestivalBoost: 1.2}
+	rep := &Fig16Report{}
+	fprintf(w, "Fig. 16 — query throughput and latency under diurnal traffic\n")
+	fprintf(w, "%-5s %-12s %-10s %-10s\n", "hour", "qps", "p50", "p99")
+
+	for h := 0; h < opts.Hours; h++ {
+		msOfDay := model.Millis(h) * 3_600_000
+		intensity := curve.Intensity(msOfDay)
+		n := int(float64(opts.PeakQueriesPerHour) * intensity)
+		var hist metrics.Histogram
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			req := env.Gen.Query(TableName)
+			t0 := time.Now()
+			if _, err := env.Client.TopK(req); err != nil {
+				return nil, fmt.Errorf("hour %d query: %w", h, err)
+			}
+			hist.Observe(time.Since(t0))
+			// Background writes at the paper's ~10:1 read:write mix.
+			if i%10 == 0 {
+				id := env.Gen.ProfileID()
+				if err := env.Client.Add(TableName, id, env.Gen.WriteEntry(env.Clock.Now())); err != nil {
+					return nil, err
+				}
+			}
+		}
+		elapsed := time.Since(start).Seconds()
+		qps := float64(n) / elapsed
+		pt := Fig16Point{Hour: h, Throughput: qps, P50: hist.P50(), P99: hist.P99()}
+		rep.Points = append(rep.Points, pt)
+		fprintf(w, "%-5d %-12.0f %-10s %-10s\n", h, qps, ms(pt.P50), ms(pt.P99))
+		env.Clock.Advance(3_600_000)
+		env.Instance.MergeAll()
+	}
+
+	rep.P50Spread = spread(rep.Points, func(p Fig16Point) time.Duration { return p.P50 })
+	rep.P99Spread = spread(rep.Points, func(p Fig16Point) time.Duration { return p.P99 })
+	fprintf(w, "\nshape: p50 max/min spread = %.2fx (paper: flat ~1ms), p99 spread = %.2fx (paper: 9-10ms, follows load)\n",
+		rep.P50Spread, rep.P99Spread)
+	return rep, nil
+}
+
+func spread[T any](pts []T, get func(T) time.Duration) float64 {
+	var lo, hi time.Duration
+	for i, p := range pts {
+		v := get(p)
+		if i == 0 || v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if lo <= 0 {
+		return 0
+	}
+	return float64(hi) / float64(lo)
+}

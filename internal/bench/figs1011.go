@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"io"
+
+	"ips/internal/compact"
+	"ips/internal/config"
+	"ips/internal/model"
+)
+
+// Fig10Report is the deterministic compaction demo of Fig. 10: six
+// five-minute slices merged into three ten-minute slices under the
+// Listing-2 config, with no count lost.
+type Fig10Report struct {
+	Before, After []string // rendered slice intervals
+	CountBefore   int64
+	CountAfter    int64
+}
+
+// RunFig10 regenerates Fig. 10.
+func RunFig10(w io.Writer) (*Fig10Report, error) {
+	schema := model.NewSchema("n")
+	dim, err := config.ParseTimeDimension(map[string][2]string{
+		"5m":  {"0s", "10m"},
+		"10m": {"10m", "1h"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	const min = model.Millis(60_000)
+	now := 100 * min
+	p := model.NewProfile(1)
+	p.Lock()
+	defer p.Unlock()
+	for i := 0; i < 6; i++ {
+		ts := now - 50*min + model.Millis(i)*5*min + 1
+		if err := p.Add(schema, ts, 5*min, 1, 1, 7, []int64{1}); err != nil {
+			return nil, err
+		}
+	}
+	rep := &Fig10Report{Before: renderSlices(p, now), CountBefore: countAll(p)}
+	compact.CompactProfile(p, schema, dim, now)
+	rep.After = renderSlices(p, now)
+	rep.CountAfter = countAll(p)
+
+	fprintf(w, "Fig. 10 — compaction merges consecutive slices (Listing 2 config: 5m slices in the 10m-1h age band merge to 10m)\n")
+	fprintf(w, "before (%d slices): %v\n", len(rep.Before), rep.Before)
+	fprintf(w, "after  (%d slices): %v\n", len(rep.After), rep.After)
+	fprintf(w, "total count %d -> %d (compaction drops no data)\n", rep.CountBefore, rep.CountAfter)
+	return rep, nil
+}
+
+// Fig11Report is the truncate-by-count demo of Fig. 11: only the newest
+// five slices survive.
+type Fig11Report struct {
+	Before, After []string
+}
+
+// RunFig11 regenerates Fig. 11.
+func RunFig11(w io.Writer) (*Fig11Report, error) {
+	schema := model.NewSchema("n")
+	p := model.NewProfile(1)
+	p.Lock()
+	defer p.Unlock()
+	for i := 0; i < 8; i++ {
+		ts := model.Millis(1000 + i*1000)
+		if err := p.Add(schema, ts, 1000, 1, 1, model.FeatureID(i), []int64{1}); err != nil {
+			return nil, err
+		}
+	}
+	now := model.Millis(10_000)
+	rep := &Fig11Report{Before: renderSlices(p, now)}
+	compact.TruncateByCount(p, 5)
+	rep.After = renderSlices(p, now)
+
+	fprintf(w, "Fig. 11 — truncate by count keeps the newest five slices\n")
+	fprintf(w, "before (%d slices): %v\n", len(rep.Before), rep.Before)
+	fprintf(w, "after  (%d slices): %v\n", len(rep.After), rep.After)
+	return rep, nil
+}
+
+func renderSlices(p *model.Profile, now model.Millis) []string {
+	out := make([]string, 0, p.NumSlices())
+	for _, s := range p.Slices() {
+		out = append(out, sliceLabel(now, s))
+	}
+	return out
+}
+
+func sliceLabel(now model.Millis, s *model.Slice) string {
+	ageMin := (now - s.End) / 60_000
+	widthMin := s.Width() / 60_000
+	if widthMin > 0 {
+		return itoa(widthMin) + "m@-" + itoa(ageMin) + "m"
+	}
+	return itoa(s.Width()/1000) + "s@-" + itoa((now-s.End)/1000) + "s"
+}
+
+func itoa(v model.Millis) string {
+	if v < 0 {
+		return "-" + itoa(-v)
+	}
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	n := len(b)
+	for v > 0 {
+		n--
+		b[n] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[n:])
+}
+
+func countAll(p *model.Profile) int64 {
+	var total int64
+	for _, s := range p.Slices() {
+		if set := s.Slot(1); set != nil {
+			if fs := set.Get(1); fs != nil {
+				fs.Each(func(st model.FeatureStat) { total += st.Counts[0] })
+			}
+		}
+	}
+	return total
+}

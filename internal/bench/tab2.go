@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"ips/internal/gcache"
+	"ips/internal/metrics"
+	"ips/internal/model"
+	"ips/internal/workload"
+)
+
+// Tab2Options scales the Table II experiment (client vs server query
+// latency split by cache hit / miss).
+type Tab2Options struct {
+	// Queries per cell; default 800.
+	Queries int
+	// Profiles in the corpus; default 2000.
+	Profiles int
+	// StoreDelay models the KV (HBase) round trip behind a miss; the
+	// paper's hit/miss gap is 2-4ms, so default 2ms.
+	StoreDelay time.Duration
+}
+
+func (o *Tab2Options) fill() {
+	if o.Queries <= 0 {
+		o.Queries = 800
+	}
+	if o.Profiles <= 0 {
+		o.Profiles = 2000
+	}
+	if o.StoreDelay <= 0 {
+		o.StoreDelay = 2 * time.Millisecond
+	}
+}
+
+// Tab2Cell is one row of the regenerated table.
+type Tab2Cell struct {
+	Side string // "client" or "server"
+	Kind string // "hit" or "miss"
+	Avg  time.Duration
+	P99  time.Duration
+}
+
+// Tab2Report is the regenerated Table II.
+type Tab2Report struct {
+	Cells []Tab2Cell
+	// HitSavingsAvg is (miss - hit) on the client side; the paper reports
+	// cache hits saving approximately 2-4ms per query.
+	HitSavingsAvg time.Duration
+	// NetworkOverheadAvg is (client - server) for hits; the paper's
+	// package-transmission overhead is ~3ms on their network.
+	NetworkOverheadAvg time.Duration
+}
+
+// RunTab2 regenerates Table II. Hits query resident profiles; misses are
+// forced by evicting the target profile before each query so the server
+// reloads it from the (latency-injected) KV store.
+func RunTab2(opts Tab2Options, w io.Writer) (*Tab2Report, error) {
+	opts.fill()
+	env, err := NewEnv(EnvOptions{
+		Workload:   workload.Options{Seed: 2, Profiles: uint64(opts.Profiles)},
+		StoreDelay: opts.StoreDelay,
+		Cache:      gcache.Options{},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	if err := env.Prefill(opts.Profiles, 60, 30*24*3_600_000); err != nil {
+		return nil, err
+	}
+	if err := env.Instance.FlushAll(); err != nil {
+		return nil, err
+	}
+
+	var clientHit, clientMiss, serverHit, serverMiss metrics.Histogram
+
+	runOne := func(id model.ProfileID) error {
+		req := env.Gen.Query(TableName)
+		req.ProfileID = id
+		t0 := time.Now()
+		resp, err := env.Client.TopK(req)
+		if err != nil {
+			return err
+		}
+		total := time.Since(t0)
+		srv := time.Duration(resp.ServerNanos)
+		if resp.CacheHit {
+			clientHit.Observe(total)
+			serverHit.Observe(srv)
+		} else {
+			clientMiss.Observe(total)
+			serverMiss.Observe(srv)
+		}
+		return nil
+	}
+
+	// Hit pass: warm each profile first, then measure.
+	for i := 0; i < opts.Queries; i++ {
+		id := model.ProfileID(i%opts.Profiles) + 1
+		if err := env.Instance.WarmProfile(TableName, id); err != nil {
+			return nil, err
+		}
+		if err := runOne(id); err != nil {
+			return nil, err
+		}
+	}
+	// Miss pass: evict the target before each query.
+	for i := 0; i < opts.Queries; i++ {
+		id := model.ProfileID(i%opts.Profiles) + 1
+		if _, err := env.Instance.EvictProfile(TableName, id); err != nil {
+			return nil, err
+		}
+		if err := runOne(id); err != nil {
+			return nil, err
+		}
+	}
+
+	rep := &Tab2Report{
+		Cells: []Tab2Cell{
+			{"client", "hit", clientHit.Mean(), clientHit.P99()},
+			{"client", "miss", clientMiss.Mean(), clientMiss.P99()},
+			{"server", "hit", serverHit.Mean(), serverHit.P99()},
+			{"server", "miss", serverMiss.Mean(), serverMiss.P99()},
+		},
+		HitSavingsAvg:      clientMiss.Mean() - clientHit.Mean(),
+		NetworkOverheadAvg: clientHit.Mean() - serverHit.Mean(),
+	}
+	fprintf(w, "Table II — query latency by side and cache outcome\n")
+	fprintf(w, "%-8s %-6s %-12s %-12s %-8s\n", "side", "kind", "avg", "p99", "n")
+	counts := []int64{clientHit.Count(), clientMiss.Count(), serverHit.Count(), serverMiss.Count()}
+	for i, c := range rep.Cells {
+		fprintf(w, "%-8s %-6s %-12s %-12s %-8d\n", c.Side, c.Kind, ms(c.Avg), ms(c.P99), counts[i])
+	}
+	fprintf(w, "\nshape: hits save %.3fms on average (paper: ~2-4ms);\n", f64ms(rep.HitSavingsAvg))
+	fprintf(w, "client-server gap on hits %.3fms = network overhead (paper: ~3ms on their fabric)\n", f64ms(rep.NetworkOverheadAvg))
+	return rep, nil
+}
+
+func f64ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -1,0 +1,329 @@
+// Package client implements the unified IPS client (§III): the single
+// library every upstream application uses to reach the compute-cache
+// layer. It discovers instances through the registry, routes each profile
+// ID with consistent hashing, and applies the multi-region discipline of
+// §III-G (Fig. 15): writes go to every region, queries go to the local
+// region, and a failed local query fails over to another region.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ips/internal/discovery"
+	"ips/internal/hashring"
+	"ips/internal/metrics"
+	"ips/internal/model"
+	"ips/internal/rpc"
+	"ips/internal/wire"
+)
+
+// ErrNoInstances reports an empty (or fully failed) target set.
+var ErrNoInstances = errors.New("client: no live IPS instances")
+
+// Options configures a Client.
+type Options struct {
+	// Caller identifies the upstream application for quota accounting.
+	Caller string
+	// Service is the discovery service name, e.g. "ips".
+	Service string
+	// Region is the client's local region; queries prefer it.
+	Region string
+	// Registry is the discovery catalog — the in-process Registry or a
+	// RemoteRegistry connection to a registry daemon; required.
+	Registry discovery.Catalog
+	// RefreshInterval is the discovery poll cadence; default 500ms.
+	RefreshInterval time.Duration
+	// CallTimeout bounds each RPC; default 1s.
+	CallTimeout time.Duration
+	// Retries is how many alternate instances a failed query tries
+	// (regional failover, §III-G); default 2.
+	Retries int
+}
+
+// Client is the unified IPS client.
+type Client struct {
+	opts Options
+
+	mu      sync.RWMutex
+	regions map[string]*regionState // region -> ring + conns
+	watcher *discovery.Watcher
+	closed  bool
+
+	// Metrics observed from the caller's side — Fig. 17's client-side
+	// error rate comes from here.
+	Requests  metrics.Counter
+	Errors    metrics.Counter
+	Failovers metrics.Counter
+	QueryLat  metrics.Histogram
+	WriteLat  metrics.Histogram
+}
+
+type regionState struct {
+	ring  *hashring.Ring
+	conns map[string]*rpc.Client // addr -> pooled client
+}
+
+// New creates a client and starts its discovery refresh.
+func New(opts Options) (*Client, error) {
+	if opts.Registry == nil {
+		return nil, errors.New("client: Registry is required")
+	}
+	if opts.Service == "" {
+		opts.Service = "ips"
+	}
+	if opts.RefreshInterval <= 0 {
+		opts.RefreshInterval = 500 * time.Millisecond
+	}
+	if opts.CallTimeout <= 0 {
+		opts.CallTimeout = time.Second
+	}
+	if opts.Retries <= 0 {
+		opts.Retries = 2
+	}
+	c := &Client{opts: opts, regions: make(map[string]*regionState)}
+	c.watcher = discovery.NewWatcher(opts.Registry, opts.Service, opts.RefreshInterval, c.onInstances)
+	return c, nil
+}
+
+// onInstances rebuilds the per-region rings from a fresh instance list.
+func (c *Client) onInstances(instances []discovery.Instance) {
+	byRegion := make(map[string][]string)
+	for _, in := range instances {
+		byRegion[in.Region] = append(byRegion[in.Region], in.Addr)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	// Update or create region states.
+	for region, addrs := range byRegion {
+		rs := c.regions[region]
+		if rs == nil {
+			rs = &regionState{ring: hashring.New(0), conns: make(map[string]*rpc.Client)}
+			c.regions[region] = rs
+		}
+		rs.ring.SetMembers(addrs)
+		// Drop connections to departed instances.
+		live := make(map[string]bool, len(addrs))
+		for _, a := range addrs {
+			live[a] = true
+		}
+		for addr, conn := range rs.conns {
+			if !live[addr] {
+				conn.Close()
+				delete(rs.conns, addr)
+			}
+		}
+	}
+	// Drop empty regions.
+	for region, rs := range c.regions {
+		if _, ok := byRegion[region]; !ok {
+			for _, conn := range rs.conns {
+				conn.Close()
+			}
+			delete(c.regions, region)
+		}
+	}
+}
+
+// conn returns a pooled client for addr in region.
+func (c *Client) conn(region, addr string) *rpc.Client {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rs := c.regions[region]
+	if rs == nil {
+		rs = &regionState{ring: hashring.New(0), conns: make(map[string]*rpc.Client)}
+		c.regions[region] = rs
+	}
+	cl := rs.conns[addr]
+	if cl == nil {
+		cl = rpc.NewClient(addr)
+		cl.CallTimeout = c.opts.CallTimeout
+		rs.conns[addr] = cl
+	}
+	return cl
+}
+
+// regionsSnapshot returns region names with the local region first.
+func (c *Client) regionsSnapshot() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.regions))
+	for r := range c.regions {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	// Move local region to the front.
+	for i, r := range out {
+		if r == c.opts.Region {
+			out[0], out[i] = out[i], out[0]
+			break
+		}
+	}
+	return out
+}
+
+// route returns the owning instance address for id in region.
+func (c *Client) route(region string, id model.ProfileID) string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rs := c.regions[region]
+	if rs == nil {
+		return ""
+	}
+	return rs.ring.Get(id)
+}
+
+// routeN returns up to n distinct candidate addresses for id in region.
+func (c *Client) routeN(region string, id model.ProfileID, n int) []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rs := c.regions[region]
+	if rs == nil {
+		return nil
+	}
+	return rs.ring.GetN(id, n)
+}
+
+// Add writes entries for one profile. Per §III-G the write is applied in
+// every region; the call succeeds if at least one region accepts it (the
+// paper tolerates transient regional write loss).
+func (c *Client) Add(table string, id model.ProfileID, entries ...wire.AddEntry) error {
+	start := time.Now()
+	defer func() { c.WriteLat.Observe(time.Since(start)) }()
+	c.Requests.Inc()
+
+	payload := wire.EncodeAdd(&wire.AddRequest{
+		Caller: c.opts.Caller, Table: table, ProfileID: id, Entries: entries,
+	})
+	method := wire.MethodAdd
+	if len(entries) > 1 {
+		method = wire.MethodAddBatch
+	}
+
+	var lastErr error
+	ok := 0
+	for _, region := range c.regionsSnapshot() {
+		addr := c.route(region, id)
+		if addr == "" {
+			continue
+		}
+		if _, err := c.conn(region, addr).Call(method, payload); err != nil {
+			lastErr = err
+			continue
+		}
+		ok++
+	}
+	if ok == 0 {
+		c.Errors.Inc()
+		if lastErr == nil {
+			lastErr = ErrNoInstances
+		}
+		return fmt.Errorf("client: add failed in all regions: %w", lastErr)
+	}
+	return nil
+}
+
+// queryMethod issues a read with local-region preference and failover.
+func (c *Client) queryMethod(method string, req *wire.QueryRequest) (*wire.QueryResponse, error) {
+	start := time.Now()
+	defer func() { c.QueryLat.Observe(time.Since(start)) }()
+	c.Requests.Inc()
+	req.Caller = c.opts.Caller
+	payload := wire.EncodeQuery(req)
+
+	var lastErr error
+	attempts := 0
+	for _, region := range c.regionsSnapshot() {
+		// Within a region, try the owner then its ring successors.
+		for _, addr := range c.routeN(region, req.ProfileID, c.opts.Retries) {
+			if attempts > 0 {
+				c.Failovers.Inc()
+			}
+			attempts++
+			raw, err := c.conn(region, addr).Call(method, payload)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			return wire.DecodeQueryResponse(raw)
+		}
+	}
+	c.Errors.Inc()
+	if lastErr == nil {
+		lastErr = ErrNoInstances
+	}
+	return nil, fmt.Errorf("client: query failed: %w", lastErr)
+}
+
+// TopK implements get_profile_topK (§II-B2).
+func (c *Client) TopK(req *wire.QueryRequest) (*wire.QueryResponse, error) {
+	return c.queryMethod(wire.MethodTopK, req)
+}
+
+// Filter implements get_profile_filter.
+func (c *Client) Filter(req *wire.QueryRequest) (*wire.QueryResponse, error) {
+	return c.queryMethod(wire.MethodFilter, req)
+}
+
+// Decay implements get_profile_decay.
+func (c *Client) Decay(req *wire.QueryRequest) (*wire.QueryResponse, error) {
+	return c.queryMethod(wire.MethodDecay, req)
+}
+
+// Stats fetches instance statistics from every live instance.
+func (c *Client) Stats() ([]*wire.StatsResponse, error) {
+	var out []*wire.StatsResponse
+	for _, inst := range c.watcher.Current() {
+		raw, err := c.conn(inst.Region, inst.Addr).Call(wire.MethodStats, nil)
+		if err != nil {
+			continue
+		}
+		st, err := wire.DecodeStats(raw)
+		if err != nil {
+			continue
+		}
+		out = append(out, st)
+	}
+	if len(out) == 0 {
+		return nil, ErrNoInstances
+	}
+	return out, nil
+}
+
+// ErrorRate returns the client-observed error fraction (Fig. 17).
+func (c *Client) ErrorRate() float64 {
+	total := c.Requests.Value()
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Errors.Value()) / float64(total)
+}
+
+// RefreshNow forces a discovery poll immediately, for tests.
+func (c *Client) RefreshNow() {
+	c.onInstances(c.opts.Registry.Lookup(c.opts.Service))
+}
+
+// Close stops discovery and closes all connections.
+func (c *Client) Close() error {
+	c.watcher.Stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	for _, rs := range c.regions {
+		for _, conn := range rs.conns {
+			conn.Close()
+		}
+	}
+	c.regions = nil
+	return nil
+}

@@ -1,0 +1,332 @@
+package client
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ips/internal/cluster"
+	"ips/internal/model"
+	"ips/internal/query"
+	"ips/internal/wire"
+)
+
+// testClock is a shared simulated clock.
+type testClock struct {
+	mu  sync.Mutex
+	now model.Millis
+}
+
+func (c *testClock) Now() model.Millis {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func newCluster(t testing.TB, regions []string, perRegion int) (*cluster.Cluster, *testClock) {
+	t.Helper()
+	clock := &testClock{now: 1_000_000_000}
+	cl, err := cluster.New(cluster.Options{
+		Regions:            regions,
+		InstancesPerRegion: perRegion,
+		Clock:              clock.Now,
+		Tables:             map[string]*model.Schema{"up": model.NewSchema("like", "share")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl, clock
+}
+
+func newClient(t testing.TB, cl *cluster.Cluster, region string) *Client {
+	t.Helper()
+	c, err := New(Options{
+		Caller:          "test",
+		Service:         "ips",
+		Region:          region,
+		Registry:        cl.Registry,
+		RefreshInterval: 20 * time.Millisecond,
+		CallTimeout:     2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func queryReq(id model.ProfileID) *wire.QueryRequest {
+	return &wire.QueryRequest{
+		Table: "up", ProfileID: id, Slot: 1, Type: 1,
+		RangeKind: query.Current, Span: 3_600_000,
+		SortBy: query.ByAction, Action: "like", K: 10,
+	}
+}
+
+func forceVisible(cl *cluster.Cluster) {
+	for _, n := range cl.Nodes() {
+		n.Instance().MergeAll()
+	}
+}
+
+func TestSingleRegionWriteRead(t *testing.T) {
+	cl, clock := newCluster(t, []string{"east"}, 2)
+	c := newClient(t, cl, "east")
+	now := clock.Now()
+
+	for id := model.ProfileID(1); id <= 20; id++ {
+		err := c.Add("up", id, wire.AddEntry{
+			Timestamp: now - 1000, Slot: 1, Type: 1, FID: 7, Counts: []int64{int64(id), 0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	forceVisible(cl)
+	for id := model.ProfileID(1); id <= 20; id++ {
+		resp, err := c.TopK(queryReq(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Features) != 1 || resp.Features[0].Counts[0] != int64(id) {
+			t.Fatalf("id %d: %+v", id, resp.Features)
+		}
+	}
+	if c.ErrorRate() != 0 {
+		t.Fatalf("error rate = %v", c.ErrorRate())
+	}
+}
+
+func TestRoutingIsConsistent(t *testing.T) {
+	cl, clock := newCluster(t, []string{"east"}, 3)
+	c := newClient(t, cl, "east")
+	now := clock.Now()
+
+	// Writes and reads for the same ID must land on the same instance:
+	// write then read, ensuring data is found (routing agreement).
+	for id := model.ProfileID(1); id <= 50; id++ {
+		if err := c.Add("up", id, wire.AddEntry{Timestamp: now - 10, Slot: 1, Type: 1, FID: 1, Counts: []int64{1, 0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	forceVisible(cl)
+	missing := 0
+	for id := model.ProfileID(1); id <= 50; id++ {
+		resp, err := c.TopK(queryReq(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Features) == 0 {
+			missing++
+		}
+	}
+	if missing != 0 {
+		t.Fatalf("%d profiles unroutable", missing)
+	}
+	// Load is spread: every instance holds some profiles.
+	for _, n := range cl.Nodes() {
+		if n.Instance().Stats().Profiles == 0 {
+			t.Fatalf("instance %s owns no profiles; routing is degenerate", n.Name)
+		}
+	}
+}
+
+func TestMultiRegionWriteAllReadLocal(t *testing.T) {
+	cl, clock := newCluster(t, []string{"east", "west"}, 1)
+	east := newClient(t, cl, "east")
+	west := newClient(t, cl, "west")
+	now := clock.Now()
+
+	if err := east.Add("up", 9, wire.AddEntry{Timestamp: now - 10, Slot: 1, Type: 1, FID: 5, Counts: []int64{4, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	forceVisible(cl)
+	// Both regions serve the write because writes fan out to all regions
+	// (Fig. 15).
+	for name, c := range map[string]*Client{"east": east, "west": west} {
+		resp, err := c.TopK(queryReq(9))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(resp.Features) != 1 || resp.Features[0].Counts[0] != 4 {
+			t.Fatalf("%s sees %+v", name, resp.Features)
+		}
+	}
+}
+
+func TestRegionalFailover(t *testing.T) {
+	cl, clock := newCluster(t, []string{"east", "west"}, 1)
+	east := newClient(t, cl, "east")
+	now := clock.Now()
+
+	if err := east.Add("up", 3, wire.AddEntry{Timestamp: now - 10, Slot: 1, Type: 1, FID: 2, Counts: []int64{7, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	forceVisible(cl)
+
+	// Take down the entire east region.
+	cl.CrashRegion("east")
+	// Wait for discovery to notice (TTL 1s) and the client to refresh.
+	time.Sleep(1200 * time.Millisecond)
+	east.RefreshNow()
+
+	// Queries still succeed via the west region (§III-G: "the other
+	// regions are able to take over all the traffic").
+	resp, err := east.TopK(queryReq(3))
+	if err != nil {
+		t.Fatalf("failover query: %v", err)
+	}
+	if len(resp.Features) != 1 || resp.Features[0].Counts[0] != 7 {
+		t.Fatalf("failover result = %+v", resp.Features)
+	}
+}
+
+func TestInstanceCrashAndRestart(t *testing.T) {
+	cl, clock := newCluster(t, []string{"east"}, 2)
+	c := newClient(t, cl, "east")
+	now := clock.Now()
+
+	for id := model.ProfileID(1); id <= 30; id++ {
+		if err := c.Add("up", id, wire.AddEntry{Timestamp: now - 10, Slot: 1, Type: 1, FID: 1, Counts: []int64{1, 0}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	forceVisible(cl)
+	// Flush so the data survives the crash.
+	for _, n := range cl.Nodes() {
+		if err := n.Instance().FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := cl.Nodes()[0].Name
+	if err := cl.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Restart(victim); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	c.RefreshNow()
+
+	// All data is queryable again (restarted node loads from storage).
+	for id := model.ProfileID(1); id <= 30; id++ {
+		resp, err := c.TopK(queryReq(id))
+		if err != nil {
+			t.Fatalf("id %d after restart: %v", id, err)
+		}
+		if len(resp.Features) != 1 {
+			t.Fatalf("id %d lost after restart: %+v", id, resp.Features)
+		}
+	}
+}
+
+func TestStatsAcrossCluster(t *testing.T) {
+	cl, clock := newCluster(t, []string{"east", "west"}, 2)
+	c := newClient(t, cl, "east")
+	now := clock.Now()
+	_ = c.Add("up", 1, wire.AddEntry{Timestamp: now, Slot: 1, Type: 1, FID: 1, Counts: []int64{1, 0}})
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 4 {
+		t.Fatalf("stats from %d instances, want 4", len(stats))
+	}
+}
+
+func TestNoInstances(t *testing.T) {
+	cl, _ := newCluster(t, []string{"east"}, 1)
+	c := newClient(t, cl, "east")
+	cl.CrashRegion("east")
+	time.Sleep(1200 * time.Millisecond)
+	c.RefreshNow()
+	if err := c.Add("up", 1, wire.AddEntry{Timestamp: 1, Slot: 1, Type: 1, FID: 1, Counts: []int64{1, 0}}); err == nil {
+		t.Fatal("add with no instances should fail")
+	}
+	if _, err := c.TopK(queryReq(1)); err == nil {
+		t.Fatal("query with no instances should fail")
+	}
+	if c.ErrorRate() == 0 {
+		t.Fatal("error rate should be nonzero")
+	}
+}
+
+func TestConcurrentClientLoad(t *testing.T) {
+	cl, clock := newCluster(t, []string{"east"}, 2)
+	c := newClient(t, cl, "east")
+	now := clock.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := model.ProfileID(i%10 + 1)
+				if i%2 == 0 {
+					if err := c.Add("up", id, wire.AddEntry{
+						Timestamp: now - model.Millis(i), Slot: 1, Type: 1, FID: 1, Counts: []int64{1, 0},
+					}); err != nil {
+						errs <- err
+						return
+					}
+				} else {
+					if _, err := c.TopK(queryReq(id)); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+}
+
+func TestFilterAndDecayPaths(t *testing.T) {
+	cl, clock := newCluster(t, []string{"east"}, 1)
+	c := newClient(t, cl, "east")
+	now := clock.Now()
+	for i := 0; i < 5; i++ {
+		err := c.Add("up", 2, wire.AddEntry{
+			Timestamp: now - model.Millis(i*1000), Slot: 1, Type: 1,
+			FID: model.FeatureID(i), Counts: []int64{int64(i + 1), 0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	forceVisible(cl)
+
+	req := queryReq(2)
+	req.MinCount = 3
+	resp, err := c.Filter(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Features) != 3 { // counts 3,4,5 pass
+		t.Fatalf("filter = %d features", len(resp.Features))
+	}
+
+	dreq := queryReq(2)
+	dreq.Decay = query.DecayExp
+	dreq.DecayFactor = 0.5
+	resp, err = c.Decay(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Features) == 0 {
+		t.Fatal("decay query empty")
+	}
+}
+
+func TestNewClientValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("missing registry should fail")
+	}
+}

@@ -1,0 +1,315 @@
+// Package cluster assembles a full multi-region IPS deployment (§III-G,
+// Fig. 15) in one process, over real TCP: per region, a set of IPS
+// instances registered in service discovery; one region's instances
+// persist to the master KV cluster while the other regions read their
+// local replica clusters; upstream clients write to all regions and read
+// locally. The harness exposes crash/restart controls so the availability
+// experiments (Fig. 17) can inject the failures the paper reports
+// surviving.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ips/internal/config"
+	"ips/internal/discovery"
+	"ips/internal/kv"
+	"ips/internal/model"
+	"ips/internal/server"
+)
+
+// Options configures a Cluster.
+type Options struct {
+	// Regions lists the region names; the first is the master region
+	// whose instances persist to the master KV cluster.
+	Regions []string
+	// InstancesPerRegion is the IPS node count per region.
+	InstancesPerRegion int
+	// Service is the discovery service name; default "ips".
+	Service string
+	// Config seeds every instance's config store; nil uses defaults.
+	Config *config.Config
+	// Clock injects simulated time into every instance.
+	Clock func() model.Millis
+	// Tables to create on every instance: name -> schema.
+	Tables map[string]*model.Schema
+	// DefaultQuotaQPS for unknown callers on each instance.
+	DefaultQuotaQPS float64
+	// HeartbeatInterval for discovery registration; default 50ms.
+	HeartbeatInterval time.Duration
+	// RegistryTTL for discovery registrations; default 1s (a crashed
+	// node leaves the catalog quickly in tests).
+	RegistryTTL time.Duration
+}
+
+// Cluster is a running multi-region deployment.
+type Cluster struct {
+	opts     Options
+	Registry *discovery.Registry
+	// KV is the replicated persistence substrate: master plus one replica
+	// per non-master region.
+	KV *kv.Replicated
+
+	mu    sync.Mutex
+	nodes map[string]*Node // name -> node
+}
+
+// Node is one IPS instance plus its service endpoint.
+type Node struct {
+	Name    string
+	Region  string
+	Addr    string
+	inst    *server.Instance
+	svc     *server.Service
+	hb      *discovery.Heartbeater
+	cluster *Cluster
+	down    bool
+}
+
+// Instance exposes the node's server instance (for harness introspection).
+func (n *Node) Instance() *server.Instance { return n.inst }
+
+// Service exposes the node's RPC service (for fault injection hooks).
+func (n *Node) Service() *server.Service { return n.svc }
+
+// New builds and starts the cluster.
+func New(opts Options) (*Cluster, error) {
+	if len(opts.Regions) == 0 {
+		return nil, errors.New("cluster: need at least one region")
+	}
+	if opts.InstancesPerRegion <= 0 {
+		opts.InstancesPerRegion = 1
+	}
+	if opts.Service == "" {
+		opts.Service = "ips"
+	}
+	if opts.HeartbeatInterval <= 0 {
+		opts.HeartbeatInterval = 50 * time.Millisecond
+	}
+	if opts.RegistryTTL <= 0 {
+		opts.RegistryTTL = time.Second
+	}
+	if opts.Clock == nil {
+		opts.Clock = func() model.Millis { return time.Now().UnixMilli() }
+	}
+
+	c := &Cluster{
+		opts:     opts,
+		Registry: discovery.NewRegistry(opts.RegistryTTL),
+		nodes:    make(map[string]*Node),
+	}
+	// Master KV in the first region; replicas for the rest (Fig. 15).
+	c.KV = kv.NewReplicated(kv.NewMemory())
+	for _, region := range opts.Regions[1:] {
+		c.KV.AddReplica(region, kv.NewMemory())
+	}
+
+	for _, region := range opts.Regions {
+		for i := 0; i < opts.InstancesPerRegion; i++ {
+			name := fmt.Sprintf("ips-%s-%d", region, i)
+			if _, err := c.startNode(name, region); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+	}
+	return c, nil
+}
+
+// storeFor returns the KV store a node in region should use: the master
+// region writes to the master cluster, other regions read their replica
+// but must still write somewhere durable — per Fig. 15 only one region's
+// instances persist; others treat their replica as read-mostly. We model
+// that by giving the master region the replicated store (writes fan out)
+// and other regions a read-through union of replica-then-master.
+func (c *Cluster) storeFor(region string) kv.Store {
+	if region == c.opts.Regions[0] {
+		return c.KV
+	}
+	replica := c.KV.Replica(region)
+	if replica == nil {
+		return c.KV
+	}
+	return &readLocalStore{local: replica, master: c.KV}
+}
+
+// readLocalStore reads from the local replica first (fast, possibly
+// stale), falling back to the master on miss; writes are suppressed into
+// no-ops because only the master region persists (Fig. 15). This
+// reproduces the paper's weak-consistency anomaly: a failed node reloading
+// from its replica may see stale data.
+type readLocalStore struct {
+	local  kv.Store
+	master kv.Store
+}
+
+func (s *readLocalStore) Get(key string) ([]byte, error) {
+	v, err := s.local.Get(key)
+	if err == nil {
+		return v, nil
+	}
+	return s.master.Get(key)
+}
+
+func (s *readLocalStore) XGet(key string) ([]byte, kv.Version, error) {
+	v, ver, err := s.local.XGet(key)
+	if err == nil {
+		return v, ver, nil
+	}
+	return s.master.XGet(key)
+}
+
+// Set is a no-op: non-master regions do not persist (§III-G).
+func (s *readLocalStore) Set(key string, value []byte) error { return nil }
+
+// XSet is a no-op for the same reason; it reports success with version 1.
+func (s *readLocalStore) XSet(key string, value []byte, expected kv.Version) (kv.Version, error) {
+	return expected + 1, nil
+}
+
+// Delete is a no-op.
+func (s *readLocalStore) Delete(key string) error { return nil }
+
+// Len reports the local replica's size.
+func (s *readLocalStore) Len() int { return s.local.Len() }
+
+// Close closes nothing; underlying stores are owned by the cluster.
+func (s *readLocalStore) Close() error { return nil }
+
+var _ kv.Store = (*readLocalStore)(nil)
+
+// startNode boots one instance and registers it.
+func (c *Cluster) startNode(name, region string) (*Node, error) {
+	var cfgStore *config.Store
+	var err error
+	if c.opts.Config != nil {
+		cfgStore, err = config.NewStore(*c.opts.Config)
+	} else {
+		cfgStore, err = config.NewStore(config.Default())
+	}
+	if err != nil {
+		return nil, err
+	}
+	inst, err := server.New(server.Options{
+		Name:            name,
+		Region:          region,
+		Store:           c.storeFor(region),
+		Config:          cfgStore,
+		Clock:           c.opts.Clock,
+		DefaultQuotaQPS: c.opts.DefaultQuotaQPS,
+	})
+	if err != nil {
+		return nil, err
+	}
+	for tname, schema := range c.opts.Tables {
+		if err := inst.CreateTable(tname, schema.Clone()); err != nil {
+			inst.Close()
+			return nil, err
+		}
+	}
+	svc := server.NewService(inst)
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		inst.Close()
+		return nil, err
+	}
+	hb := discovery.StartHeartbeat(c.Registry, discovery.Instance{
+		Service: c.opts.Service, Addr: addr, Region: region,
+	}, c.opts.HeartbeatInterval)
+
+	n := &Node{Name: name, Region: region, Addr: addr, inst: inst, svc: svc, hb: hb, cluster: c}
+	c.mu.Lock()
+	c.nodes[name] = n
+	c.mu.Unlock()
+	return n, nil
+}
+
+// Nodes returns the live node list.
+func (c *Cluster) Nodes() []*Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		if !n.down {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Node returns the named node (down or not), or nil.
+func (c *Cluster) Node(name string) *Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[name]
+}
+
+// Crash simulates an instance failure: the RPC listener dies and the
+// heartbeat stops, so discovery drops the node after its TTL.
+func (c *Cluster) Crash(name string) error {
+	c.mu.Lock()
+	n := c.nodes[name]
+	c.mu.Unlock()
+	if n == nil {
+		return fmt.Errorf("cluster: unknown node %q", name)
+	}
+	n.hb.Stop()
+	n.svc.Close()
+	_ = n.inst.Close()
+	c.mu.Lock()
+	n.down = true
+	c.mu.Unlock()
+	return nil
+}
+
+// Restart replaces a crashed node with a fresh instance in the same
+// region. Its cache starts cold and fills from the (possibly stale, per
+// §III-G) regional store.
+func (c *Cluster) Restart(name string) (*Node, error) {
+	c.mu.Lock()
+	old := c.nodes[name]
+	c.mu.Unlock()
+	if old == nil {
+		return nil, fmt.Errorf("cluster: unknown node %q", name)
+	}
+	if !old.down {
+		return nil, fmt.Errorf("cluster: node %q is not down", name)
+	}
+	c.mu.Lock()
+	delete(c.nodes, name)
+	c.mu.Unlock()
+	return c.startNode(name, old.Region)
+}
+
+// CrashRegion fails every node in region (data-center outage).
+func (c *Cluster) CrashRegion(region string) {
+	for _, n := range c.Nodes() {
+		if n.Region == region {
+			_ = c.Crash(n.Name)
+		}
+	}
+}
+
+// Regions returns the configured region names, master first.
+func (c *Cluster) Regions() []string { return c.opts.Regions }
+
+// Close stops every node and the KV substrate.
+func (c *Cluster) Close() error {
+	c.mu.Lock()
+	nodes := make([]*Node, 0, len(c.nodes))
+	for _, n := range c.nodes {
+		nodes = append(nodes, n)
+	}
+	c.mu.Unlock()
+	for _, n := range nodes {
+		if !n.down {
+			n.hb.Stop()
+			n.svc.Close()
+			_ = n.inst.Close()
+		}
+	}
+	return c.KV.Close()
+}

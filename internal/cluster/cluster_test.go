@@ -1,0 +1,211 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"ips/internal/kv"
+	"ips/internal/model"
+)
+
+func newTestCluster(t *testing.T, regions []string, perRegion int) *Cluster {
+	t.Helper()
+	c, err := New(Options{
+		Regions:            regions,
+		InstancesPerRegion: perRegion,
+		Tables:             map[string]*model.Schema{"up": model.NewSchema("n")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestClusterBoots(t *testing.T) {
+	c := newTestCluster(t, []string{"east", "west"}, 2)
+	if got := len(c.Nodes()); got != 4 {
+		t.Fatalf("nodes = %d, want 4", got)
+	}
+	// All nodes registered in discovery.
+	insts := c.Registry.Lookup("ips")
+	if len(insts) != 4 {
+		t.Fatalf("registered = %d, want 4", len(insts))
+	}
+	if got := len(c.Registry.LookupRegion("ips", "east")); got != 2 {
+		t.Fatalf("east instances = %d, want 2", got)
+	}
+	if r := c.Regions(); len(r) != 2 || r[0] != "east" {
+		t.Fatalf("regions = %v", r)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := New(Options{}); err == nil {
+		t.Fatal("no regions should fail")
+	}
+}
+
+func TestCrashRemovesFromDiscovery(t *testing.T) {
+	c := newTestCluster(t, []string{"east"}, 2)
+	victim := c.Nodes()[0].Name
+	if err := c.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(c.Nodes()); got != 1 {
+		t.Fatalf("live nodes = %d, want 1", got)
+	}
+	// Heartbeat stop deregisters immediately.
+	if got := len(c.Registry.Lookup("ips")); got != 1 {
+		t.Fatalf("registered = %d, want 1", got)
+	}
+	if err := c.Crash("nope"); err == nil {
+		t.Fatal("crashing unknown node should fail")
+	}
+}
+
+func TestRestartRequiresDown(t *testing.T) {
+	c := newTestCluster(t, []string{"east"}, 1)
+	name := c.Nodes()[0].Name
+	if _, err := c.Restart(name); err == nil {
+		t.Fatal("restarting a live node should fail")
+	}
+	if err := c.Crash(name); err != nil {
+		t.Fatal(err)
+	}
+	n, err := c.Restart(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Region != "east" || n.Addr == "" {
+		t.Fatalf("restarted node = %+v", n)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := len(c.Registry.Lookup("ips")); got != 1 {
+		t.Fatalf("registered after restart = %d, want 1", got)
+	}
+	if _, err := c.Restart("ghost"); err == nil {
+		t.Fatal("restarting unknown node should fail")
+	}
+}
+
+func TestReadLocalStoreSemantics(t *testing.T) {
+	master := kv.NewMemory()
+	local := kv.NewMemory()
+	s := &readLocalStore{local: local, master: master}
+
+	// Reads prefer the local replica.
+	_ = master.Set("k", []byte("master"))
+	_ = local.Set("k", []byte("local"))
+	v, err := s.Get("k")
+	if err != nil || string(v) != "local" {
+		t.Fatalf("Get = %q, %v", v, err)
+	}
+	// Miss falls through to master.
+	_ = master.Set("only-master", []byte("m"))
+	v, err = s.Get("only-master")
+	if err != nil || string(v) != "m" {
+		t.Fatalf("fallthrough Get = %q, %v", v, err)
+	}
+	// Writes are suppressed (only the master region persists, Fig. 15).
+	if err := s.Set("new", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := master.Get("new"); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatal("replica-side Set must not reach the master")
+	}
+	if _, err := local.Get("new"); !errors.Is(err, kv.ErrNotFound) {
+		t.Fatal("replica-side Set must not write locally either")
+	}
+	if v, err := s.XSet("k", nil, 5); err != nil || v != 6 {
+		t.Fatalf("XSet = %d, %v", v, err)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := local.Get("k"); err != nil {
+		t.Fatal("replica-side Delete must be a no-op")
+	}
+}
+
+func TestStaleReplicaAnomaly(t *testing.T) {
+	// The §III-G weak-consistency anomaly end-to-end: a non-master node
+	// reloading from its lagging replica sees stale data.
+	c := newTestCluster(t, []string{"east", "west"}, 1)
+	c.KV.Lag = 100 * time.Millisecond
+
+	// Persist v1 via the master path and let it replicate.
+	if err := c.KV.Set("up/p/1", []byte{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	c.KV.Drain()
+	// Persist v2; do not wait.
+	if err := c.KV.Set("up/p/1", []byte{0, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	west := c.storeFor("west")
+	v, err := west.Get("up/p/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[1] != 1 {
+		t.Fatalf("west read %v, expected stale v1", v)
+	}
+	c.KV.Drain()
+	v, _ = west.Get("up/p/1")
+	if v[1] != 9 {
+		t.Fatalf("west read %v after drain, expected v2", v)
+	}
+}
+
+func TestNodeAccessorsAndRegionCrash(t *testing.T) {
+	c := newTestCluster(t, []string{"east", "west"}, 1)
+	n := c.Node("ips-east-0")
+	if n == nil {
+		t.Fatal("Node lookup failed")
+	}
+	if n.Instance() == nil || n.Instance().Region() != "east" {
+		t.Fatal("Instance accessor broken")
+	}
+	if n.Service() == nil || n.Service().RPC() == nil {
+		t.Fatal("Service accessor broken")
+	}
+	if c.Node("ghost") != nil {
+		t.Fatal("unknown node should be nil")
+	}
+	c.CrashRegion("east")
+	if got := len(c.Nodes()); got != 1 {
+		t.Fatalf("live after region crash = %d, want 1", got)
+	}
+	if live := c.Nodes(); live[0].Region != "west" {
+		t.Fatalf("survivor region = %s", live[0].Region)
+	}
+}
+
+func TestReadLocalStoreXGetAndLen(t *testing.T) {
+	master := kv.NewMemory()
+	local := kv.NewMemory()
+	s := &readLocalStore{local: local, master: master}
+	// XGet prefers local, falls through to master.
+	if _, err := master.XSet("k", []byte("m"), 0); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := s.XGet("k")
+	if err != nil || string(v) != "m" {
+		t.Fatalf("XGet fallthrough = %q, %v", v, err)
+	}
+	if _, err := local.XSet("k", []byte("l"), 0); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err = s.XGet("k")
+	if err != nil || string(v) != "l" {
+		t.Fatalf("XGet local = %q, %v", v, err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

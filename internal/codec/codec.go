@@ -1,0 +1,358 @@
+// Package codec implements the binary wire format IPS uses to serialize the
+// profile hierarchy for persistence (§III-E). It plays the role Protocol
+// Buffers plays in the paper: a compact tag/varint encoding of nested
+// records, implemented from scratch on the standard library.
+//
+// The format is a stream of fields. Each field starts with a tag byte
+// combining a field number and a wire type:
+//
+//	tag     = fieldNumber<<3 | wireType (as uvarint)
+//	VARINT  = unsigned LEB128 integer
+//	BYTES   = uvarint length followed by raw bytes (also used for nested
+//	          messages, which are themselves encoded field streams)
+//	FIXED64 = 8 little-endian bytes
+//
+// Signed integers use zigzag encoding so small negative counts stay small
+// on the wire.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// WireType identifies how a field's payload is encoded.
+type WireType byte
+
+// Wire types.
+const (
+	Varint  WireType = 0
+	Fixed64 WireType = 1
+	Bytes   WireType = 2
+)
+
+// Errors returned by the decoder.
+var (
+	ErrTruncated = errors.New("codec: truncated input")
+	ErrOverflow  = errors.New("codec: varint overflows 64 bits")
+	ErrBadWire   = errors.New("codec: unknown wire type")
+)
+
+// Buffer accumulates an encoded message. The zero value is ready to use.
+type Buffer struct {
+	b []byte
+	// free points to a scratch pool shared across the whole message tree:
+	// nested buffers at any depth return their storage here, so encoding
+	// a deep hierarchy allocates one scratch buffer per level, total.
+	free *[][]byte
+}
+
+// Bytes returns the encoded contents. The slice aliases the buffer.
+func (e *Buffer) Bytes() []byte { return e.b }
+
+// Len returns the number of encoded bytes.
+func (e *Buffer) Len() int { return len(e.b) }
+
+// Reset clears the buffer for reuse, retaining capacity.
+func (e *Buffer) Reset() { e.b = e.b[:0] }
+
+// Grow ensures capacity for at least n more bytes.
+func (e *Buffer) Grow(n int) {
+	if cap(e.b)-len(e.b) < n {
+		nb := make([]byte, len(e.b), len(e.b)+n)
+		copy(nb, e.b)
+		e.b = nb
+	}
+}
+
+func (e *Buffer) tag(field uint32, wt WireType) {
+	e.uvarint(uint64(field)<<3 | uint64(wt))
+}
+
+func (e *Buffer) uvarint(v uint64) {
+	e.b = binary.AppendUvarint(e.b, v)
+}
+
+// Uint64 encodes an unsigned varint field.
+func (e *Buffer) Uint64(field uint32, v uint64) {
+	e.tag(field, Varint)
+	e.uvarint(v)
+}
+
+// Int64 encodes a signed varint field using zigzag encoding.
+func (e *Buffer) Int64(field uint32, v int64) {
+	e.Uint64(field, zigzag(v))
+}
+
+// Uint32 encodes a 32-bit unsigned varint field.
+func (e *Buffer) Uint32(field uint32, v uint32) { e.Uint64(field, uint64(v)) }
+
+// Bool encodes a boolean as a 0/1 varint field.
+func (e *Buffer) Bool(field uint32, v bool) {
+	var x uint64
+	if v {
+		x = 1
+	}
+	e.Uint64(field, x)
+}
+
+// Float64 encodes a float as a fixed64 field.
+func (e *Buffer) Float64(field uint32, v float64) {
+	e.tag(field, Fixed64)
+	e.b = binary.LittleEndian.AppendUint64(e.b, math.Float64bits(v))
+}
+
+// Raw encodes a length-delimited byte field.
+func (e *Buffer) Raw(field uint32, v []byte) {
+	e.tag(field, Bytes)
+	e.uvarint(uint64(len(v)))
+	e.b = append(e.b, v...)
+}
+
+// String encodes a length-delimited string field.
+func (e *Buffer) String(field uint32, v string) {
+	e.tag(field, Bytes)
+	e.uvarint(uint64(len(v)))
+	e.b = append(e.b, v...)
+}
+
+// Message encodes a nested message field by invoking fn on a scratch buffer.
+// Scratch buffers are reused per parent Buffer (one per nesting level), so
+// sequential siblings in a deep profile hierarchy encode without per-message
+// allocations.
+func (e *Buffer) Message(field uint32, fn func(*Buffer)) {
+	if e.free == nil {
+		e.free = new([][]byte)
+	}
+	nested := Buffer{b: e.scratch(), free: e.free}
+	fn(&nested)
+	e.Raw(field, nested.b)
+	e.releaseScratch(nested.b)
+}
+
+func (e *Buffer) scratch() []byte {
+	if n := len(*e.free); n > 0 {
+		s := (*e.free)[n-1]
+		*e.free = (*e.free)[:n-1]
+		return s[:0]
+	}
+	return make([]byte, 0, 256)
+}
+
+func (e *Buffer) releaseScratch(s []byte) {
+	if cap(s) <= 1<<20 {
+		*e.free = append(*e.free, s)
+	}
+}
+
+// Packed64 encodes a packed repeated uint64 field.
+func (e *Buffer) Packed64(field uint32, vs []uint64) {
+	e.tag(field, Bytes)
+	// Encode the payload into a temp region to learn its length.
+	start := len(e.b)
+	e.uvarint(0) // placeholder length byte (may need to widen below)
+	payloadStart := len(e.b)
+	for _, v := range vs {
+		e.uvarint(v)
+	}
+	payload := len(e.b) - payloadStart
+	// Rewrite the length; if it needs more than 1 byte, shift the payload.
+	var lenBuf [binary.MaxVarintLen64]byte
+	ln := binary.PutUvarint(lenBuf[:], uint64(payload))
+	if ln == 1 {
+		e.b[start] = lenBuf[0]
+		return
+	}
+	e.b = append(e.b, make([]byte, ln-1)...)
+	copy(e.b[payloadStart+ln-1:], e.b[payloadStart:payloadStart+payload])
+	copy(e.b[start:], lenBuf[:ln])
+}
+
+// PackedI64 encodes a packed repeated int64 field with zigzag encoding.
+// It encodes in place (no temporary slice): the payload is written after a
+// one-byte length placeholder that is widened only when the payload
+// exceeds 127 bytes.
+func (e *Buffer) PackedI64(field uint32, vs []int64) {
+	e.tag(field, Bytes)
+	start := len(e.b)
+	e.b = append(e.b, 0) // length placeholder
+	payloadStart := len(e.b)
+	for _, v := range vs {
+		e.uvarint(zigzag(v))
+	}
+	payload := len(e.b) - payloadStart
+	var lenBuf [binary.MaxVarintLen64]byte
+	ln := binary.PutUvarint(lenBuf[:], uint64(payload))
+	if ln == 1 {
+		e.b[start] = lenBuf[0]
+		return
+	}
+	e.b = append(e.b, make([]byte, ln-1)...)
+	copy(e.b[payloadStart+ln-1:], e.b[payloadStart:payloadStart+payload])
+	copy(e.b[start:], lenBuf[:ln])
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// Reader decodes an encoded message field by field.
+type Reader struct {
+	b   []byte
+	pos int
+}
+
+// NewReader creates a Reader over b. The Reader does not copy b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Done reports whether the entire input has been consumed.
+func (r *Reader) Done() bool { return r.pos >= len(r.b) }
+
+// Next reads the next field tag, returning the field number and wire type.
+func (r *Reader) Next() (field uint32, wt WireType, err error) {
+	v, err := r.uvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	wt = WireType(v & 0x7)
+	if wt > Bytes {
+		return 0, 0, fmt.Errorf("%w: %d", ErrBadWire, wt)
+	}
+	f := v >> 3
+	if f > math.MaxUint32 {
+		return 0, 0, fmt.Errorf("codec: field number %d too large", f)
+	}
+	return uint32(f), wt, nil
+}
+
+func (r *Reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.pos:])
+	if n == 0 {
+		return 0, ErrTruncated
+	}
+	if n < 0 {
+		return 0, ErrOverflow
+	}
+	r.pos += n
+	return v, nil
+}
+
+// Uint64 reads a varint payload.
+func (r *Reader) Uint64() (uint64, error) { return r.uvarint() }
+
+// Int64 reads a zigzag varint payload.
+func (r *Reader) Int64() (int64, error) {
+	u, err := r.uvarint()
+	return unzigzag(u), err
+}
+
+// Uint32 reads a varint payload, failing if it exceeds 32 bits.
+func (r *Reader) Uint32() (uint32, error) {
+	u, err := r.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	if u > math.MaxUint32 {
+		return 0, fmt.Errorf("codec: value %d overflows uint32", u)
+	}
+	return uint32(u), nil
+}
+
+// Bool reads a boolean payload.
+func (r *Reader) Bool() (bool, error) {
+	u, err := r.uvarint()
+	return u != 0, err
+}
+
+// Float64 reads a fixed64 payload as a float.
+func (r *Reader) Float64() (float64, error) {
+	if r.pos+8 > len(r.b) {
+		return 0, ErrTruncated
+	}
+	u := binary.LittleEndian.Uint64(r.b[r.pos:])
+	r.pos += 8
+	return math.Float64frombits(u), nil
+}
+
+// Bytes reads a length-delimited payload. The returned slice aliases the
+// Reader's input.
+func (r *Reader) Bytes() ([]byte, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)-r.pos) {
+		return nil, ErrTruncated
+	}
+	out := r.b[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return out, nil
+}
+
+// String reads a length-delimited payload as a string (copied).
+func (r *Reader) String() (string, error) {
+	b, err := r.Bytes()
+	return string(b), err
+}
+
+// Message reads a nested message payload and returns a sub-Reader over it.
+func (r *Reader) Message() (*Reader, error) {
+	b, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	return NewReader(b), nil
+}
+
+// Packed64 reads a packed repeated uint64 payload.
+func (r *Reader) Packed64() ([]uint64, error) {
+	b, err := r.Bytes()
+	if err != nil {
+		return nil, err
+	}
+	sub := NewReader(b)
+	var out []uint64
+	for !sub.Done() {
+		v, err := sub.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// PackedI64 reads a packed repeated zigzag int64 payload.
+func (r *Reader) PackedI64() ([]int64, error) {
+	us, err := r.Packed64()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(us))
+	for i, u := range us {
+		out[i] = unzigzag(u)
+	}
+	return out, nil
+}
+
+// Skip discards the payload of a field with the given wire type; decoders
+// use it for forward compatibility with unknown field numbers.
+func (r *Reader) Skip(wt WireType) error {
+	switch wt {
+	case Varint:
+		_, err := r.uvarint()
+		return err
+	case Fixed64:
+		if r.pos+8 > len(r.b) {
+			return ErrTruncated
+		}
+		r.pos += 8
+		return nil
+	case Bytes:
+		_, err := r.Bytes()
+		return err
+	default:
+		return ErrBadWire
+	}
+}

@@ -1,0 +1,291 @@
+// Package compact implements the profile-maintenance mechanisms of §III-D:
+//
+//   - Compact merges runs of consecutive slices into coarser slices
+//     according to the table's time-dimension config, trading time
+//     precision for memory (Fig. 10, Listings 2–3).
+//   - Truncate drops history past a slice-count or age bound (Fig. 11).
+//   - Shrink eliminates low-value long-tail features while honouring data
+//     freshness, multi-dimensional sorting and long-term/short-term balance
+//     (Listing 4).
+//
+// A Compactor runs these asynchronously in a dedicated pool with capped
+// parallelism so maintenance never runs on the serving path, and chooses
+// between full and partial compaction based on profile size.
+package compact
+
+import (
+	"sort"
+
+	"ips/internal/config"
+	"ips/internal/model"
+)
+
+// Stats summarises what one maintenance pass changed.
+type Stats struct {
+	SlicesBefore, SlicesAfter     int
+	FeaturesBefore, FeaturesAfter int
+	BytesBefore, BytesAfter       int64
+	// Partial reports that only the recent bands were compacted.
+	Partial bool
+}
+
+// CompactProfile merges the profile's slices to the widths prescribed by
+// the time-dimension config, evaluated at the given "now". The head band
+// (finest width) is left slice-aligned as written; older slices merge into
+// aligned buckets of their band's width. Caller must hold the profile's
+// Lock.
+//
+// Compaction drops no data: every feature count lands in exactly one output
+// slice, aggregated under the schema's reduce functions.
+func CompactProfile(p *model.Profile, schema *model.Schema, td config.TimeDimension, now model.Millis) Stats {
+	return compactProfile(p, schema, td, now, false)
+}
+
+// PartialCompactProfile compacts only slices younger than the coarsest
+// band, leaving deep history untouched. The paper uses partial compaction
+// to bound CPU time per request under load (§III-D); the trade-off is that
+// old bands may temporarily hold more slices than the config prescribes.
+func PartialCompactProfile(p *model.Profile, schema *model.Schema, td config.TimeDimension, now model.Millis) Stats {
+	return compactProfile(p, schema, td, now, true)
+}
+
+func compactProfile(p *model.Profile, schema *model.Schema, td config.TimeDimension, now model.Millis, partial bool) Stats {
+	st := Stats{
+		SlicesBefore:   p.NumSlices(),
+		FeaturesBefore: p.NumFeatures(),
+		BytesBefore:    p.MemSize(),
+		Partial:        partial,
+	}
+	slices := p.Slices()
+	if len(slices) == 0 {
+		st.SlicesAfter, st.FeaturesAfter, st.BytesAfter = 0, 0, st.BytesBefore
+		return st
+	}
+
+	// partialCutoff: in partial mode, slices older than this age are kept
+	// verbatim (skip the coarsest band, which is the most expensive to
+	// rebuild and changes least often).
+	partialCutoff := int64(1) << 62
+	if partial && len(td) > 1 {
+		partialCutoff = td[len(td)-1].From.Millis()
+	}
+
+	var out []*model.Slice
+	var cur *model.Slice // current accumulation bucket
+	var curBucketEnd, curBucketStart model.Millis
+
+	flush := func() {
+		if cur != nil {
+			out = append(out, cur)
+			cur = nil
+		}
+	}
+
+	// Slices are newest first. Walk them, assigning each to an aligned
+	// bucket of its band's width; consecutive slices in the same bucket
+	// merge (Fig. 10).
+	for _, s := range slices {
+		age := now - s.End
+		if age < 0 {
+			age = 0
+		}
+		if age >= partialCutoff {
+			flush()
+			out = append(out, s)
+			continue
+		}
+		w := td.WidthForAge(age)
+		if w <= 0 {
+			w = 1000
+		}
+		bStart := s.Start - s.Start%w
+		bEnd := bStart + w
+		if s.End > bEnd {
+			// Slice wider than its target bucket (already coarser, e.g.
+			// after a config change): keep it whole.
+			flush()
+			out = append(out, s)
+			continue
+		}
+		if cur != nil && bStart == curBucketStart && bEnd == curBucketEnd {
+			cur.MergeFrom(schema, s)
+			continue
+		}
+		flush()
+		if s.Width() == w && s.Start == bStart {
+			// Already exactly the target bucket: adopt without copying.
+			cur = s
+		} else {
+			cur = model.NewSlice(s.Start, s.End)
+			cur.MergeFrom(schema, s)
+		}
+		curBucketStart, curBucketEnd = bStart, bEnd
+	}
+	flush()
+
+	p.ReplaceSlices(out)
+	st.SlicesAfter = p.NumSlices()
+	st.FeaturesAfter = p.NumFeatures()
+	st.BytesAfter = p.MemSize()
+	return st
+}
+
+// TruncateByCount keeps only the newest n slices (Fig. 11). Caller must
+// hold the profile's Lock.
+func TruncateByCount(p *model.Profile, n int) Stats {
+	st := Stats{SlicesBefore: p.NumSlices(), FeaturesBefore: p.NumFeatures(), BytesBefore: p.MemSize()}
+	if n >= 0 && p.NumSlices() > n {
+		p.ReplaceSlices(append([]*model.Slice(nil), p.Slices()[:n]...))
+	}
+	st.SlicesAfter = p.NumSlices()
+	st.FeaturesAfter = p.NumFeatures()
+	st.BytesAfter = p.MemSize()
+	return st
+}
+
+// TruncateByAge drops slices that ended more than maxAge milliseconds
+// before now. Caller must hold the profile's Lock.
+func TruncateByAge(p *model.Profile, maxAge model.Millis, now model.Millis) Stats {
+	st := Stats{SlicesBefore: p.NumSlices(), FeaturesBefore: p.NumFeatures(), BytesBefore: p.MemSize()}
+	cutoff := now - maxAge
+	slices := p.Slices()
+	keep := len(slices)
+	for keep > 0 && slices[keep-1].End <= cutoff {
+		keep--
+	}
+	if keep < len(slices) {
+		p.ReplaceSlices(append([]*model.Slice(nil), slices[:keep]...))
+	}
+	st.SlicesAfter = p.NumSlices()
+	st.FeaturesAfter = p.NumFeatures()
+	st.BytesAfter = p.MemSize()
+	return st
+}
+
+// ShrinkProfile eliminates long-tail features per the policy: within each
+// (slice, slot, type) it scores features by the weighted sum of their
+// counts plus a freshness boost for recent slices, then keeps the top
+// RetainFor(slot). Caller must hold the profile's Lock.
+//
+// Freshness (§III-D): a feature observed recently keeps a boosted score
+// even with low counts, so shrink preferentially drops old cold features —
+// while features in old slices with high counts (long-term interests)
+// still survive, balancing short and long term.
+func ShrinkProfile(p *model.Profile, policy config.ShrinkPolicy, now model.Millis) Stats {
+	st := Stats{SlicesBefore: p.NumSlices(), FeaturesBefore: p.NumFeatures(), BytesBefore: p.MemSize()}
+	horizon := now - oldestStart(p)
+	if horizon <= 0 {
+		horizon = 1
+	}
+	for _, s := range p.Slices() {
+		// Freshness in [0,1]: 1 for the newest slice, →0 for the oldest.
+		age := float64(now - s.End)
+		if age < 0 {
+			age = 0
+		}
+		fresh := 1 - age/float64(horizon)
+		if fresh < 0 {
+			fresh = 0
+		}
+		s.EachSlot(func(slot model.SlotID, set *model.InstanceSet) {
+			retain := policy.RetainFor(slot)
+			if retain <= 0 {
+				return // shrinking disabled for this slot
+			}
+			set.Each(func(_ model.TypeID, fs *model.FeatureStats) {
+				shrinkStats(fs, retain, policy, fresh)
+			})
+		})
+	}
+	// Recompute cached sizes after in-place feature removal.
+	p.ReplaceSlices(p.Slices())
+	st.SlicesAfter = p.NumSlices()
+	st.FeaturesAfter = p.NumFeatures()
+	st.BytesAfter = p.MemSize()
+	return st
+}
+
+func oldestStart(p *model.Profile) model.Millis {
+	slices := p.Slices()
+	if len(slices) == 0 {
+		return 0
+	}
+	return slices[len(slices)-1].Start
+}
+
+func shrinkStats(fs *model.FeatureStats, retain int, policy config.ShrinkPolicy, fresh float64) {
+	if fs.Len() <= retain {
+		return
+	}
+	type scored struct {
+		fid   model.FeatureID
+		score float64
+	}
+	scoredList := make([]scored, 0, fs.Len())
+	fs.Each(func(st model.FeatureStat) {
+		scoredList = append(scoredList, scored{st.FID, score(st.Counts, policy, fresh)})
+	})
+	sort.Slice(scoredList, func(i, j int) bool {
+		if scoredList[i].score != scoredList[j].score {
+			return scoredList[i].score > scoredList[j].score
+		}
+		return scoredList[i].fid < scoredList[j].fid
+	})
+	keep := make(map[model.FeatureID]bool, retain)
+	for _, sc := range scoredList[:retain] {
+		keep[sc.fid] = true
+	}
+	fs.Retain(func(st model.FeatureStat) bool { return keep[st.FID] })
+}
+
+// score implements multi-dimensional sorting: a weighted sum across action
+// counts, boosted by slice freshness.
+func score(counts []int64, policy config.ShrinkPolicy, fresh float64) float64 {
+	var s float64
+	for i, c := range counts {
+		w := 1.0
+		if policy.ActionWeights != nil && i < len(policy.ActionWeights) {
+			w = policy.ActionWeights[i]
+		}
+		s += w * float64(c)
+	}
+	return s * (1 + policy.FreshnessBoost*fresh)
+}
+
+// Maintain runs the full maintenance pass — compact (full or partial by
+// slice count), truncate, shrink — in the order production uses. Caller
+// must hold the profile's Lock.
+func Maintain(p *model.Profile, schema *model.Schema, cfg config.Config, now model.Millis) Stats {
+	before := Stats{SlicesBefore: p.NumSlices(), FeaturesBefore: p.NumFeatures(), BytesBefore: p.MemSize()}
+
+	partial := cfg.PartialCompactThreshold > 0 && p.NumSlices() <= cfg.PartialCompactThreshold
+	var st Stats
+	if partial {
+		st = PartialCompactProfile(p, schema, cfg.TimeDimension, now)
+	} else {
+		st = CompactProfile(p, schema, cfg.TimeDimension, now)
+	}
+	if cfg.Truncate.MaxSlices > 0 {
+		TruncateByCount(p, cfg.Truncate.MaxSlices)
+	}
+	if cfg.Truncate.MaxAge > 0 {
+		TruncateByAge(p, cfg.Truncate.MaxAge.Millis(), now)
+	} else if h := cfg.TimeDimension.Horizon(); h > 0 {
+		// Data past the time-dimension horizon has no configured band and
+		// is dropped, matching production behaviour.
+		TruncateByAge(p, h, now)
+	}
+	if cfg.Shrink.DefaultRetain > 0 || len(cfg.Shrink.PerSlot) > 0 {
+		ShrinkProfile(p, cfg.Shrink, now)
+	}
+
+	return Stats{
+		SlicesBefore:   before.SlicesBefore,
+		SlicesAfter:    p.NumSlices(),
+		FeaturesBefore: before.FeaturesBefore,
+		FeaturesAfter:  p.NumFeatures(),
+		BytesBefore:    before.BytesBefore,
+		BytesAfter:     p.MemSize(),
+		Partial:        st.Partial,
+	}
+}

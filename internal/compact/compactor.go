@@ -1,0 +1,142 @@
+package compact
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ips/internal/config"
+	"ips/internal/metrics"
+	"ips/internal/model"
+)
+
+// Compactor runs profile maintenance asynchronously in a dedicated worker
+// pool with capped parallelism, keeping compaction off the serving path
+// (§III-D: "migrate the compaction out of the main serving path and
+// delegate them to run asynchronously in a dedicated thread pool with
+// capped parallelism").
+type Compactor struct {
+	schema *model.Schema
+	cfgs   *config.Store
+	now    func() model.Millis
+
+	// OnMaintain, when set, is called after each maintenance pass with
+	// the profile's memory delta (after - before). The cache layer uses
+	// it to keep its usage accounting truthful and to re-queue the
+	// compacted profile for flushing. Must be set before Start.
+	OnMaintain func(id model.ProfileID, delta int64)
+
+	queue   chan *model.Profile
+	queued  sync.Map // ProfileID -> struct{}, dedupes pending work
+	wg      sync.WaitGroup
+	stop    chan struct{}
+	stopped atomic.Bool
+
+	// Metrics.
+	Runs     metrics.Counter
+	Partial  metrics.Counter
+	Dropped  metrics.Counter // enqueue attempts rejected because the queue was full
+	BytesCut metrics.Counter
+}
+
+// NewCompactor creates a compactor reading live config from cfgs; now
+// supplies query time (injectable for simulation). Call Start to launch the
+// pool and Close to drain it.
+func NewCompactor(schema *model.Schema, cfgs *config.Store, now func() model.Millis) *Compactor {
+	return &Compactor{
+		schema: schema,
+		cfgs:   cfgs,
+		now:    now,
+		queue:  make(chan *model.Profile, 4096),
+		stop:   make(chan struct{}),
+	}
+}
+
+// Start launches the worker pool sized by the current config's
+// CompactParallelism.
+func (c *Compactor) Start() {
+	n := c.cfgs.Get().CompactParallelism
+	if n < 1 {
+		n = 1
+	}
+	for i := 0; i < n; i++ {
+		c.wg.Add(1)
+		go c.worker()
+	}
+}
+
+// Enqueue schedules maintenance for p. Duplicate requests for a profile
+// already queued are coalesced; a full queue drops the request (the next
+// write will retry), which bounds memory under overload.
+func (c *Compactor) Enqueue(p *model.Profile) {
+	if c.stopped.Load() {
+		return
+	}
+	if _, loaded := c.queued.LoadOrStore(p.ID, struct{}{}); loaded {
+		return
+	}
+	select {
+	case c.queue <- p:
+	default:
+		c.queued.Delete(p.ID)
+		c.Dropped.Inc()
+	}
+}
+
+// Close stops the pool after draining queued work.
+func (c *Compactor) Close() {
+	if c.stopped.Swap(true) {
+		return
+	}
+	close(c.stop)
+	c.wg.Wait()
+}
+
+func (c *Compactor) worker() {
+	defer c.wg.Done()
+	for {
+		select {
+		case p := <-c.queue:
+			c.queued.Delete(p.ID)
+			c.runOne(p)
+		case <-c.stop:
+			// Drain remaining work before exiting.
+			for {
+				select {
+				case p := <-c.queue:
+					c.queued.Delete(p.ID)
+					c.runOne(p)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// runOne performs one maintenance pass under the profile lock.
+func (c *Compactor) runOne(p *model.Profile) {
+	cfg := c.cfgs.Get()
+	p.Lock()
+	st := Maintain(p, c.schema, cfg, c.now())
+	p.Dirty = true // the compacted shape must reach storage eventually
+	p.Unlock()
+	c.Runs.Inc()
+	if st.Partial {
+		c.Partial.Inc()
+	}
+	if cut := st.BytesBefore - st.BytesAfter; cut > 0 {
+		c.BytesCut.Add(cut)
+	}
+	if c.OnMaintain != nil {
+		c.OnMaintain(p.ID, st.BytesAfter-st.BytesBefore)
+	}
+}
+
+// RunSync performs one synchronous maintenance pass, for tests and the
+// harness.
+func (c *Compactor) RunSync(p *model.Profile) Stats {
+	cfg := c.cfgs.Get()
+	p.Lock()
+	defer p.Unlock()
+	return Maintain(p, c.schema, cfg, c.now())
+}

@@ -1,0 +1,346 @@
+// Package config holds the feature-dependent configuration IPS exposes to
+// operators: the time-dimension compaction schedule (Listings 2–3 in the
+// paper), the shrink retention policy (Listing 4), truncation limits, and
+// the read-write-isolation switch. Configurations support hot reload
+// (§V-b): a Store hands out immutable snapshots and notifies watchers when
+// a new version is installed, so most changes go live without a restart.
+package config
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Duration wraps time.Duration with the paper's config spelling ("1s",
+// "10m", "24h", "30d", "365d") including the day unit JSON durations lack.
+type Duration time.Duration
+
+// ParseDuration parses the config spelling, supporting the "d" (day)
+// suffix used throughout the paper's examples.
+func ParseDuration(s string) (Duration, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, errors.New("config: empty duration")
+	}
+	if strings.HasSuffix(s, "d") && !strings.HasSuffix(s, "nd") {
+		n, err := strconv.ParseFloat(strings.TrimSuffix(s, "d"), 64)
+		if err != nil {
+			return 0, fmt.Errorf("config: bad day duration %q: %v", s, err)
+		}
+		return Duration(time.Duration(n * 24 * float64(time.Hour))), nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("config: bad duration %q: %v", s, err)
+	}
+	return Duration(d), nil
+}
+
+// Millis returns the duration in milliseconds.
+func (d Duration) Millis() int64 { return int64(time.Duration(d) / time.Millisecond) }
+
+// String renders the duration, preferring the day unit for whole days.
+func (d Duration) String() string {
+	td := time.Duration(d)
+	if td >= 24*time.Hour && td%(24*time.Hour) == 0 {
+		return fmt.Sprintf("%dd", td/(24*time.Hour))
+	}
+	return td.String()
+}
+
+// UnmarshalJSON accepts the paper's string spelling.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := ParseDuration(s)
+	if err != nil {
+		return err
+	}
+	*d = v
+	return nil
+}
+
+// MarshalJSON renders the string spelling.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(d.String())
+}
+
+// TimeBand is one row of the time-dimension config: slices whose age falls
+// within [From, To) are compacted to width Width.
+type TimeBand struct {
+	// Width is the target slice width for this band.
+	Width Duration
+	// From and To bound the age range (distance back from "now") the band
+	// applies to; From inclusive, To exclusive.
+	From, To Duration
+}
+
+// TimeDimension is the ordered compaction schedule (paper Listing 3). Bands
+// are sorted by From ascending; the first band's width is also the table's
+// head-slice granularity.
+type TimeDimension []TimeBand
+
+// ParseTimeDimension parses the paper's JSON shape:
+//
+//	{"1s": ["0s","1m"], "1m": ["1m","1h"], ...}
+func ParseTimeDimension(raw map[string][2]string) (TimeDimension, error) {
+	var td TimeDimension
+	for w, bounds := range raw {
+		width, err := ParseDuration(w)
+		if err != nil {
+			return nil, err
+		}
+		from, err := ParseDuration(bounds[0])
+		if err != nil {
+			return nil, err
+		}
+		to, err := ParseDuration(bounds[1])
+		if err != nil {
+			return nil, err
+		}
+		td = append(td, TimeBand{Width: width, From: from, To: to})
+	}
+	sort.Slice(td, func(i, j int) bool { return td[i].From < td[j].From })
+	if err := td.Validate(); err != nil {
+		return nil, err
+	}
+	return td, nil
+}
+
+// DefaultTimeDimension is the production config from the paper's Listing 3.
+func DefaultTimeDimension() TimeDimension {
+	td, err := ParseTimeDimension(map[string][2]string{
+		"1s":  {"0s", "1m"},
+		"1m":  {"1m", "1h"},
+		"1h":  {"1h", "24h"},
+		"1d":  {"24h", "30d"},
+		"30d": {"30d", "365d"},
+	})
+	if err != nil {
+		panic(err) // static config cannot fail
+	}
+	return td
+}
+
+// Validate checks that bands are contiguous, widths positive and
+// non-decreasing with age.
+func (td TimeDimension) Validate() error {
+	if len(td) == 0 {
+		return errors.New("config: time dimension needs at least one band")
+	}
+	if td[0].From != 0 {
+		return errors.New("config: first time band must start at age 0")
+	}
+	for i, b := range td {
+		if b.Width <= 0 {
+			return fmt.Errorf("config: band %d has non-positive width", i)
+		}
+		if b.To <= b.From {
+			return fmt.Errorf("config: band %d has empty age range", i)
+		}
+		if i > 0 {
+			if b.From != td[i-1].To {
+				return fmt.Errorf("config: band %d not contiguous with previous", i)
+			}
+			if b.Width < td[i-1].Width {
+				return fmt.Errorf("config: band %d width decreases with age", i)
+			}
+		}
+	}
+	return nil
+}
+
+// WidthForAge returns the target slice width in milliseconds for a slice of
+// the given age (milliseconds back from now). Ages beyond the last band use
+// the last band's width.
+func (td TimeDimension) WidthForAge(age int64) int64 {
+	for _, b := range td {
+		if age >= b.From.Millis() && age < b.To.Millis() {
+			return b.Width.Millis()
+		}
+	}
+	if len(td) == 0 {
+		return 1000
+	}
+	return td[len(td)-1].Width.Millis()
+}
+
+// HeadWidth returns the finest (first band) width in milliseconds, used as
+// the head-slice granularity for new writes.
+func (td TimeDimension) HeadWidth() int64 {
+	if len(td) == 0 {
+		return 1000
+	}
+	return td[0].Width.Millis()
+}
+
+// Horizon returns the oldest age covered in milliseconds; slices older than
+// the horizon are eligible for truncation by age.
+func (td TimeDimension) Horizon() int64 {
+	if len(td) == 0 {
+		return 0
+	}
+	return td[len(td)-1].To.Millis()
+}
+
+// ShrinkPolicy is the long-tail feature elimination config (paper Listing
+// 4): how many features to retain per slot, and the weights that implement
+// multi-dimensional sorting across actions.
+type ShrinkPolicy struct {
+	// PerSlot maps a slot ID to the number of features retained in each
+	// (slice, slot, type). Slots not listed use DefaultRetain.
+	PerSlot map[uint32]int
+	// DefaultRetain applies to unlisted slots; 0 disables shrinking for
+	// them.
+	DefaultRetain int
+	// ActionWeights scores a feature as the weighted sum of its counts,
+	// implementing the paper's multi-dimensional sorting. A nil slice
+	// weights all actions equally.
+	ActionWeights []float64
+	// FreshnessBoost adds to the score of features seen in the newest
+	// portion of the profile, implementing the data-freshness principle:
+	// recent low-count features survive over stale ones.
+	FreshnessBoost float64
+}
+
+// RetainFor returns how many features to keep for slot.
+func (sp ShrinkPolicy) RetainFor(slot uint32) int {
+	if n, ok := sp.PerSlot[slot]; ok {
+		return n
+	}
+	return sp.DefaultRetain
+}
+
+// TruncatePolicy bounds profile history (§III-D Truncate).
+type TruncatePolicy struct {
+	// MaxSlices keeps at most this many newest slices; 0 disables.
+	MaxSlices int
+	// MaxAge drops slices entirely older than this; 0 disables.
+	MaxAge Duration
+}
+
+// Config is one immutable configuration snapshot for a table.
+type Config struct {
+	TimeDimension TimeDimension
+	Shrink        ShrinkPolicy
+	Truncate      TruncatePolicy
+	// WriteIsolation enables the separate write table (§III-F).
+	WriteIsolation bool
+	// WriteTableMaxBytes caps the write table's memory (§III-F).
+	WriteTableMaxBytes int64
+	// MergeInterval is how often the write table merges into the main
+	// table ("every a few seconds").
+	MergeInterval Duration
+	// CompactEvery is the cadence of background compaction sweeps.
+	CompactEvery Duration
+	// CompactParallelism caps the dedicated compaction pool (§III-D).
+	CompactParallelism int
+	// PartialCompactThreshold: profiles with at most this many slices get
+	// a partial (head-bands-only) compaction instead of a full one.
+	PartialCompactThreshold int
+}
+
+// Default returns the production-flavoured default configuration.
+func Default() Config {
+	return Config{
+		TimeDimension:           DefaultTimeDimension(),
+		Shrink:                  ShrinkPolicy{DefaultRetain: 0, FreshnessBoost: 0.5},
+		Truncate:                TruncatePolicy{},
+		WriteIsolation:          true,
+		WriteTableMaxBytes:      64 << 20,
+		MergeInterval:           Duration(2 * time.Second),
+		CompactEvery:            Duration(10 * time.Second),
+		CompactParallelism:      2,
+		PartialCompactThreshold: 16,
+	}
+}
+
+// Validate checks the whole snapshot.
+func (c Config) Validate() error {
+	if err := c.TimeDimension.Validate(); err != nil {
+		return err
+	}
+	if c.MergeInterval <= 0 {
+		return errors.New("config: merge interval must be positive")
+	}
+	if c.CompactParallelism < 1 {
+		return errors.New("config: compact parallelism must be >= 1")
+	}
+	return nil
+}
+
+// Store hands out immutable snapshots and supports hot reload. Watchers
+// receive a notification after each successful Update.
+type Store struct {
+	cur      atomic.Pointer[Config]
+	mu       sync.Mutex
+	watchers []chan Config
+	version  atomic.Int64
+}
+
+// NewStore creates a store seeded with cfg.
+func NewStore(cfg Config) (*Store, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Store{}
+	s.cur.Store(&cfg)
+	s.version.Store(1)
+	return s, nil
+}
+
+// Get returns the current snapshot.
+func (s *Store) Get() Config { return *s.cur.Load() }
+
+// Version returns the monotonically increasing config version.
+func (s *Store) Version() int64 { return s.version.Load() }
+
+// Update validates and installs a new snapshot, notifying watchers. This is
+// the hot-reload entry point: callers pick up the change on their next Get
+// or via Watch.
+func (s *Store) Update(cfg Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cur.Store(&cfg)
+	s.version.Add(1)
+	for _, w := range s.watchers {
+		select {
+		case w <- cfg:
+		default: // watcher is slow; it will Get() the latest anyway
+		}
+	}
+	return nil
+}
+
+// Watch returns a channel that receives each newly installed snapshot. The
+// channel is buffered; slow consumers miss intermediate versions but never
+// block Update.
+func (s *Store) Watch() <-chan Config {
+	ch := make(chan Config, 4)
+	s.mu.Lock()
+	s.watchers = append(s.watchers, ch)
+	s.mu.Unlock()
+	return ch
+}
+
+// Mutate applies fn to a copy of the current snapshot and installs the
+// result, serialized against concurrent Mutate calls.
+func (s *Store) Mutate(fn func(*Config)) error {
+	s.mu.Lock()
+	cfg := *s.cur.Load()
+	s.mu.Unlock()
+	fn(&cfg)
+	return s.Update(cfg)
+}

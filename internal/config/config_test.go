@@ -1,0 +1,245 @@
+package config
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestParseDuration(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"1s", time.Second},
+		{"1m", time.Minute},
+		{"24h", 24 * time.Hour},
+		{"1d", 24 * time.Hour},
+		{"30d", 30 * 24 * time.Hour},
+		{"365d", 365 * 24 * time.Hour},
+		{"0s", 0},
+		{"1.5d", 36 * time.Hour},
+	}
+	for _, c := range cases {
+		got, err := ParseDuration(c.in)
+		if err != nil {
+			t.Fatalf("ParseDuration(%q): %v", c.in, err)
+		}
+		if time.Duration(got) != c.want {
+			t.Fatalf("ParseDuration(%q) = %v, want %v", c.in, time.Duration(got), c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "5x", "d"} {
+		if _, err := ParseDuration(bad); err == nil {
+			t.Fatalf("ParseDuration(%q) should fail", bad)
+		}
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	if got := Duration(30 * 24 * time.Hour).String(); got != "30d" {
+		t.Fatalf("String = %q, want 30d", got)
+	}
+	if got := Duration(90 * time.Minute).String(); got != "1h30m0s" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestDurationJSON(t *testing.T) {
+	var d Duration
+	if err := json.Unmarshal([]byte(`"1d"`), &d); err != nil {
+		t.Fatal(err)
+	}
+	if time.Duration(d) != 24*time.Hour {
+		t.Fatalf("unmarshal = %v", time.Duration(d))
+	}
+	b, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `"1d"` {
+		t.Fatalf("marshal = %s", b)
+	}
+	if err := json.Unmarshal([]byte(`"zzz"`), &d); err == nil {
+		t.Fatal("bad duration should fail unmarshal")
+	}
+	if err := json.Unmarshal([]byte(`42`), &d); err == nil {
+		t.Fatal("number should fail unmarshal")
+	}
+}
+
+func TestDefaultTimeDimension(t *testing.T) {
+	// Listing 3 from the paper: 1s/1m/1h/1d/30d bands.
+	td := DefaultTimeDimension()
+	if err := td.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(td) != 5 {
+		t.Fatalf("bands = %d, want 5", len(td))
+	}
+	if td.HeadWidth() != 1000 {
+		t.Fatalf("head width = %d, want 1000", td.HeadWidth())
+	}
+	if td.Horizon() != 365*24*3600*1000 {
+		t.Fatalf("horizon = %d", td.Horizon())
+	}
+	// Age 30 minutes falls into the 1m band.
+	if w := td.WidthForAge(30 * 60 * 1000); w != 60_000 {
+		t.Fatalf("width at 30m = %d, want 60000", w)
+	}
+	// Age 2 days falls into the 1d band.
+	if w := td.WidthForAge(2 * 24 * 3600 * 1000); w != 24*3600*1000 {
+		t.Fatalf("width at 2d = %d", w)
+	}
+	// Past the horizon uses the coarsest band.
+	if w := td.WidthForAge(500 * 24 * 3600 * 1000); w != 30*24*3600*1000 {
+		t.Fatalf("width past horizon = %d", w)
+	}
+}
+
+func TestTimeDimensionValidate(t *testing.T) {
+	mk := func(rows ...[3]string) TimeDimension {
+		var td TimeDimension
+		for _, r := range rows {
+			w, _ := ParseDuration(r[0])
+			f, _ := ParseDuration(r[1])
+			to, _ := ParseDuration(r[2])
+			td = append(td, TimeBand{Width: w, From: f, To: to})
+		}
+		return td
+	}
+	if err := (TimeDimension{}).Validate(); err == nil {
+		t.Fatal("empty dimension should fail")
+	}
+	// First band must start at age 0.
+	if err := mk([3]string{"1s", "1m", "1h"}).Validate(); err == nil {
+		t.Fatal("nonzero first From should fail")
+	}
+	// Gap between bands.
+	if err := mk([3]string{"1s", "0s", "1m"}, [3]string{"1h", "2m", "1h"}).Validate(); err == nil {
+		t.Fatal("gap should fail")
+	}
+	// Width decreasing with age.
+	if err := mk([3]string{"1m", "0s", "1h"}, [3]string{"1s", "1h", "2h"}).Validate(); err == nil {
+		t.Fatal("decreasing width should fail")
+	}
+	// Empty age range.
+	if err := mk([3]string{"1s", "0s", "0s"}).Validate(); err == nil {
+		t.Fatal("empty range should fail")
+	}
+}
+
+func TestParseTimeDimensionBadInputs(t *testing.T) {
+	if _, err := ParseTimeDimension(map[string][2]string{"zz": {"0s", "1m"}}); err == nil {
+		t.Fatal("bad width should fail")
+	}
+	if _, err := ParseTimeDimension(map[string][2]string{"1s": {"x", "1m"}}); err == nil {
+		t.Fatal("bad from should fail")
+	}
+	if _, err := ParseTimeDimension(map[string][2]string{"1s": {"0s", "y"}}); err == nil {
+		t.Fatal("bad to should fail")
+	}
+}
+
+func TestShrinkPolicyRetainFor(t *testing.T) {
+	sp := ShrinkPolicy{PerSlot: map[uint32]int{1: 100, 2: 50}, DefaultRetain: 10}
+	if sp.RetainFor(1) != 100 || sp.RetainFor(2) != 50 || sp.RetainFor(9) != 10 {
+		t.Fatal("RetainFor lookup wrong")
+	}
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	c := Default()
+	c.MergeInterval = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero merge interval should fail")
+	}
+	c = Default()
+	c.CompactParallelism = 0
+	if err := c.Validate(); err == nil {
+		t.Fatal("zero parallelism should fail")
+	}
+	c = Default()
+	c.TimeDimension = nil
+	if err := c.Validate(); err == nil {
+		t.Fatal("nil time dimension should fail")
+	}
+}
+
+func TestStoreHotReload(t *testing.T) {
+	s, err := NewStore(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 1 {
+		t.Fatalf("initial version = %d", s.Version())
+	}
+	w := s.Watch()
+
+	cfg := s.Get()
+	cfg.WriteIsolation = false
+	if err := s.Update(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if s.Version() != 2 {
+		t.Fatalf("version = %d, want 2", s.Version())
+	}
+	if s.Get().WriteIsolation {
+		t.Fatal("update not visible")
+	}
+	select {
+	case got := <-w:
+		if got.WriteIsolation {
+			t.Fatal("watcher got stale config")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("watcher not notified")
+	}
+}
+
+func TestStoreRejectsInvalid(t *testing.T) {
+	s, err := NewStore(Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := s.Get()
+	bad.CompactParallelism = -1
+	if err := s.Update(bad); err == nil {
+		t.Fatal("invalid update should be rejected")
+	}
+	if s.Version() != 1 {
+		t.Fatal("rejected update must not bump version")
+	}
+	if _, err := NewStore(Config{}); err == nil {
+		t.Fatal("NewStore with invalid config should fail")
+	}
+}
+
+func TestStoreMutate(t *testing.T) {
+	s, _ := NewStore(Default())
+	if err := s.Mutate(func(c *Config) { c.CompactParallelism = 7 }); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Get().CompactParallelism; got != 7 {
+		t.Fatalf("parallelism = %d, want 7", got)
+	}
+}
+
+func TestWatcherNonBlocking(t *testing.T) {
+	s, _ := NewStore(Default())
+	_ = s.Watch() // never drained
+	for i := 0; i < 20; i++ {
+		if err := s.Mutate(func(c *Config) { c.CompactParallelism = i + 1 }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Get().CompactParallelism; got != 20 {
+		t.Fatalf("parallelism = %d, want 20 (updates must not block on slow watcher)", got)
+	}
+}

@@ -1,0 +1,247 @@
+// Package discovery is the service-discovery substrate standing in for
+// Consul (§III): IPS instances register their address when ready; clients
+// refresh the instance list periodically. Registrations carry a TTL and
+// must be renewed by heartbeat, so a crashed instance drops out of the
+// catalog automatically.
+package discovery
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Instance is one registered service endpoint.
+type Instance struct {
+	// Service is the logical service name, e.g. "ips/main".
+	Service string
+	// Addr is the host:port the instance serves on.
+	Addr string
+	// Region is the data-center the instance runs in (§III-G).
+	Region string
+}
+
+// Registry is the service catalog. It is safe for concurrent use.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]map[string]regEntry // service -> addr -> entry
+	ttl     time.Duration
+	now     func() time.Time
+}
+
+type regEntry struct {
+	inst     Instance
+	deadline time.Time
+}
+
+// DefaultTTL is how long a registration survives without a heartbeat.
+const DefaultTTL = 5 * time.Second
+
+// NewRegistry creates a registry with the given TTL (DefaultTTL if <= 0).
+func NewRegistry(ttl time.Duration) *Registry {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Registry{
+		entries: make(map[string]map[string]regEntry),
+		ttl:     ttl,
+		now:     time.Now,
+	}
+}
+
+// SetClock overrides the time source, for tests.
+func (r *Registry) SetClock(now func() time.Time) { r.now = now }
+
+// Register adds or renews inst. Instances call this when ready and then
+// heartbeat it before the TTL lapses.
+func (r *Registry) Register(inst Instance) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	svc := r.entries[inst.Service]
+	if svc == nil {
+		svc = make(map[string]regEntry)
+		r.entries[inst.Service] = svc
+	}
+	svc[inst.Addr] = regEntry{inst: inst, deadline: r.now().Add(r.ttl)}
+}
+
+// Deregister removes inst immediately (graceful shutdown).
+func (r *Registry) Deregister(service, addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if svc := r.entries[service]; svc != nil {
+		delete(svc, addr)
+	}
+}
+
+// Lookup returns the live instances of service, sorted by address.
+// Expired registrations are filtered (and lazily removed).
+func (r *Registry) Lookup(service string) []Instance {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	svc := r.entries[service]
+	out := make([]Instance, 0, len(svc))
+	for addr, e := range svc {
+		if e.deadline.Before(now) {
+			delete(svc, addr)
+			continue
+		}
+		out = append(out, e.inst)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Addr < out[j].Addr })
+	return out
+}
+
+// LookupRegion returns the live instances of service in region.
+func (r *Registry) LookupRegion(service, region string) []Instance {
+	all := r.Lookup(service)
+	out := all[:0]
+	for _, in := range all {
+		if in.Region == region {
+			out = append(out, in)
+		}
+	}
+	return out
+}
+
+// Services returns all service names with at least one live instance.
+func (r *Registry) Services() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	now := r.now()
+	var out []string
+	for name, svc := range r.entries {
+		for _, e := range svc {
+			if !e.deadline.Before(now) {
+				out = append(out, name)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Heartbeater renews a registration on a fixed cadence until stopped —
+// what a live IPS instance runs in the background.
+type Heartbeater struct {
+	stop chan struct{}
+	done chan struct{}
+}
+
+// StartHeartbeat registers inst now and renews it every interval. It
+// accepts any Registrar: the in-process Registry or a RemoteRegistry
+// connection to a registry daemon.
+func StartHeartbeat(r Registrar, inst Instance, interval time.Duration) *Heartbeater {
+	h := &Heartbeater{stop: make(chan struct{}), done: make(chan struct{})}
+	r.Register(inst)
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				r.Register(inst)
+			case <-h.stop:
+				r.Deregister(inst.Service, inst.Addr)
+				return
+			}
+		}
+	}()
+	return h
+}
+
+// Stop halts heartbeating and deregisters.
+func (h *Heartbeater) Stop() {
+	select {
+	case <-h.stop:
+	default:
+		close(h.stop)
+	}
+	<-h.done
+}
+
+// Watcher polls the registry for a service and pushes updated instance
+// lists to subscribers — the client-side periodic refresh the paper
+// describes.
+type Watcher struct {
+	reg      Catalog
+	service  string
+	interval time.Duration
+	mu       sync.Mutex
+	current  []Instance
+	onChange func([]Instance)
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewWatcher starts watching service with the given refresh interval;
+// onChange fires whenever the membership differs from the last poll (and
+// once immediately with the initial list).
+func NewWatcher(reg Catalog, service string, interval time.Duration, onChange func([]Instance)) *Watcher {
+	w := &Watcher{
+		reg: reg, service: service, interval: interval,
+		onChange: onChange,
+		stop:     make(chan struct{}), done: make(chan struct{}),
+	}
+	w.current = reg.Lookup(service)
+	if onChange != nil {
+		onChange(w.current)
+	}
+	go w.loop()
+	return w
+}
+
+func (w *Watcher) loop() {
+	defer close(w.done)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			next := w.reg.Lookup(w.service)
+			w.mu.Lock()
+			changed := !sameInstances(w.current, next)
+			if changed {
+				w.current = next
+			}
+			w.mu.Unlock()
+			if changed && w.onChange != nil {
+				w.onChange(next)
+			}
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// Current returns the last observed instance list.
+func (w *Watcher) Current() []Instance {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]Instance(nil), w.current...)
+}
+
+// Stop halts the watcher.
+func (w *Watcher) Stop() {
+	select {
+	case <-w.stop:
+	default:
+		close(w.stop)
+	}
+	<-w.done
+}
+
+func sameInstances(a, b []Instance) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

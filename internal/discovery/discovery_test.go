@@ -1,0 +1,166 @@
+package discovery
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegisterLookup(t *testing.T) {
+	r := NewRegistry(time.Minute)
+	r.Register(Instance{Service: "ips", Addr: "10.0.0.1:9000", Region: "east"})
+	r.Register(Instance{Service: "ips", Addr: "10.0.0.2:9000", Region: "west"})
+	r.Register(Instance{Service: "other", Addr: "10.0.0.3:9000", Region: "east"})
+
+	got := r.Lookup("ips")
+	if len(got) != 2 {
+		t.Fatalf("lookup = %d instances, want 2", len(got))
+	}
+	if got[0].Addr != "10.0.0.1:9000" || got[1].Addr != "10.0.0.2:9000" {
+		t.Fatalf("lookup order = %v", got)
+	}
+	if len(r.Lookup("missing")) != 0 {
+		t.Fatal("unknown service should return empty")
+	}
+	svcs := r.Services()
+	if len(svcs) != 2 || svcs[0] != "ips" || svcs[1] != "other" {
+		t.Fatalf("services = %v", svcs)
+	}
+}
+
+func TestLookupRegion(t *testing.T) {
+	r := NewRegistry(time.Minute)
+	r.Register(Instance{Service: "ips", Addr: "a:1", Region: "east"})
+	r.Register(Instance{Service: "ips", Addr: "b:1", Region: "west"})
+	east := r.LookupRegion("ips", "east")
+	if len(east) != 1 || east[0].Addr != "a:1" {
+		t.Fatalf("east = %v", east)
+	}
+}
+
+func TestRegistrationExpires(t *testing.T) {
+	r := NewRegistry(time.Second)
+	now := time.Unix(1000, 0)
+	r.SetClock(func() time.Time { return now })
+	r.Register(Instance{Service: "ips", Addr: "a:1"})
+	if len(r.Lookup("ips")) != 1 {
+		t.Fatal("fresh registration missing")
+	}
+	now = now.Add(2 * time.Second)
+	if len(r.Lookup("ips")) != 0 {
+		t.Fatal("expired registration should be filtered")
+	}
+	// Renewal extends the deadline.
+	r.Register(Instance{Service: "ips", Addr: "a:1"})
+	now = now.Add(500 * time.Millisecond)
+	r.Register(Instance{Service: "ips", Addr: "a:1"})
+	now = now.Add(700 * time.Millisecond)
+	if len(r.Lookup("ips")) != 1 {
+		t.Fatal("renewed registration should survive")
+	}
+}
+
+func TestDeregister(t *testing.T) {
+	r := NewRegistry(time.Minute)
+	r.Register(Instance{Service: "ips", Addr: "a:1"})
+	r.Deregister("ips", "a:1")
+	if len(r.Lookup("ips")) != 0 {
+		t.Fatal("deregistered instance still listed")
+	}
+	r.Deregister("ips", "never-there") // no panic
+	r.Deregister("no-service", "x")
+}
+
+func TestHeartbeaterKeepsAlive(t *testing.T) {
+	r := NewRegistry(100 * time.Millisecond)
+	h := StartHeartbeat(r, Instance{Service: "ips", Addr: "a:1"}, 20*time.Millisecond)
+	time.Sleep(300 * time.Millisecond)
+	if len(r.Lookup("ips")) != 1 {
+		t.Fatal("heartbeated instance should stay registered past the TTL")
+	}
+	h.Stop()
+	if len(r.Lookup("ips")) != 0 {
+		t.Fatal("stopped heartbeater should deregister")
+	}
+	h.Stop() // idempotent
+}
+
+func TestWatcherSeesChanges(t *testing.T) {
+	r := NewRegistry(time.Minute)
+	r.Register(Instance{Service: "ips", Addr: "a:1"})
+
+	var mu sync.Mutex
+	var updates [][]Instance
+	w := NewWatcher(r, "ips", 10*time.Millisecond, func(in []Instance) {
+		mu.Lock()
+		updates = append(updates, in)
+		mu.Unlock()
+	})
+	defer w.Stop()
+
+	// Initial callback fires immediately.
+	mu.Lock()
+	n := len(updates)
+	mu.Unlock()
+	if n != 1 {
+		t.Fatalf("initial updates = %d, want 1", n)
+	}
+
+	r.Register(Instance{Service: "ips", Addr: "b:1"})
+	deadline := time.After(2 * time.Second)
+	for {
+		mu.Lock()
+		n = len(updates)
+		mu.Unlock()
+		if n >= 2 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("watcher never saw the new instance")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	cur := w.Current()
+	if len(cur) != 2 {
+		t.Fatalf("current = %v", cur)
+	}
+	// No spurious callbacks when nothing changes.
+	mu.Lock()
+	before := len(updates)
+	mu.Unlock()
+	time.Sleep(50 * time.Millisecond)
+	mu.Lock()
+	after := len(updates)
+	mu.Unlock()
+	if after != before {
+		t.Fatalf("watcher fired %d spurious updates", after-before)
+	}
+}
+
+func TestWatcherStopIdempotent(t *testing.T) {
+	r := NewRegistry(time.Minute)
+	w := NewWatcher(r, "ips", 10*time.Millisecond, nil)
+	w.Stop()
+	w.Stop()
+}
+
+func TestConcurrentRegistryAccess(t *testing.T) {
+	r := NewRegistry(time.Minute)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			addr := string(rune('a'+i)) + ":1"
+			for j := 0; j < 200; j++ {
+				r.Register(Instance{Service: "ips", Addr: addr})
+				r.Lookup("ips")
+				if j%10 == 0 {
+					r.Deregister("ips", addr)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,102 @@
+package discovery
+
+import (
+	"testing"
+	"time"
+)
+
+// startDaemon boots a registry server and returns a dialed client.
+func startDaemon(t *testing.T, ttl time.Duration) (*Registry, *RemoteRegistry) {
+	t.Helper()
+	reg := NewRegistry(ttl)
+	srv := NewServer(reg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	rr := Dial(addr)
+	t.Cleanup(func() { rr.Close() })
+	return reg, rr
+}
+
+func TestRemoteRegisterLookup(t *testing.T) {
+	_, rr := startDaemon(t, time.Minute)
+	rr.Register(Instance{Service: "ips", Addr: "10.0.0.1:9500", Region: "east"})
+	rr.Register(Instance{Service: "ips", Addr: "10.0.0.2:9500", Region: "west"})
+
+	got := rr.Lookup("ips")
+	if len(got) != 2 {
+		t.Fatalf("lookup = %d instances, want 2", len(got))
+	}
+	if got[0].Addr != "10.0.0.1:9500" || got[0].Region != "east" {
+		t.Fatalf("instances = %+v", got)
+	}
+	if len(rr.Lookup("ghost")) != 0 {
+		t.Fatal("unknown service should be empty")
+	}
+}
+
+func TestRemoteDeregister(t *testing.T) {
+	_, rr := startDaemon(t, time.Minute)
+	rr.Register(Instance{Service: "ips", Addr: "a:1"})
+	rr.Deregister("ips", "a:1")
+	if len(rr.Lookup("ips")) != 0 {
+		t.Fatal("deregistered instance still listed")
+	}
+}
+
+func TestRemoteTTLExpiry(t *testing.T) {
+	_, rr := startDaemon(t, 100*time.Millisecond)
+	rr.Register(Instance{Service: "ips", Addr: "a:1"})
+	if len(rr.Lookup("ips")) != 1 {
+		t.Fatal("fresh registration missing")
+	}
+	time.Sleep(200 * time.Millisecond)
+	if len(rr.Lookup("ips")) != 0 {
+		t.Fatal("expired registration should be dropped by the daemon")
+	}
+}
+
+func TestRemoteHeartbeatAndWatcher(t *testing.T) {
+	// The full cross-process lifecycle: an "instance" heartbeats against
+	// the daemon through a RemoteRegistry; a "client" watches through a
+	// second connection.
+	_, instanceConn := startDaemon(t, 200*time.Millisecond)
+	hb := StartHeartbeat(instanceConn, Instance{Service: "ips", Addr: "a:1", Region: "east"}, 50*time.Millisecond)
+
+	clientConn := instanceConn // same daemon; separate Dial also works
+	w := NewWatcher(clientConn, "ips", 30*time.Millisecond, nil)
+	defer w.Stop()
+
+	// Survives several TTL windows thanks to heartbeats.
+	time.Sleep(600 * time.Millisecond)
+	if got := len(w.Current()); got != 1 {
+		t.Fatalf("watched instances = %d, want 1", got)
+	}
+	// Stop heartbeating: the daemon deregisters, the watcher notices.
+	hb.Stop()
+	deadline := time.After(2 * time.Second)
+	for len(w.Current()) != 0 {
+		select {
+		case <-deadline:
+			t.Fatal("watcher never saw the departure")
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+func TestRemoteLookupUnreachableDaemon(t *testing.T) {
+	rr := Dial("127.0.0.1:1") // nothing there
+	defer rr.Close()
+	if got := rr.Lookup("ips"); got != nil {
+		t.Fatalf("unreachable daemon lookup = %v, want nil", got)
+	}
+	// Registration against a dead daemon is a silent no-op (heartbeats
+	// retry); must not panic.
+	rr.Register(Instance{Service: "ips", Addr: "a:1"})
+	rr.Deregister("ips", "a:1")
+	if rr.String() == "" {
+		t.Fatal("String should identify the endpoint")
+	}
+}

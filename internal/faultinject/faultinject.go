@@ -1,0 +1,225 @@
+// Package faultinject drives failures into a running cluster the way two
+// production-years drive them into IPS (§III-G, Fig. 17): instance
+// crashes followed by restarts, transient network response loss, and
+// full-region outages with later recovery. The injector is deterministic
+// given a seed, so availability experiments are reproducible.
+package faultinject
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"ips/internal/cluster"
+)
+
+// Plan configures the failure mix.
+type Plan struct {
+	Seed int64
+	// CrashProb is the per-tick probability of crashing one random
+	// instance (restarted after RestartAfter ticks).
+	CrashProb float64
+	// RestartAfter is how many ticks a crashed instance stays down.
+	RestartAfter int
+	// DropProb is the per-tick probability of starting a transient
+	// response-drop episode on one instance.
+	DropProb float64
+	// DropRate is the response-drop fraction during an episode.
+	DropRate float64
+	// DropTicks is the episode length in ticks.
+	DropTicks int
+	// RegionOutageProb is the per-tick probability of a full-region
+	// outage (the most severe event the paper reports surviving).
+	RegionOutageProb float64
+	// RegionOutageTicks is how long a region stays dark.
+	RegionOutageTicks int
+}
+
+// DefaultPlan approximates a production-like failure rate when ticked once
+// per simulated "hour".
+func DefaultPlan(seed int64) Plan {
+	return Plan{
+		Seed:              seed,
+		CrashProb:         0.02,
+		RestartAfter:      2,
+		DropProb:          0.05,
+		DropRate:          0.005,
+		DropTicks:         1,
+		RegionOutageProb:  0.002,
+		RegionOutageTicks: 3,
+	}
+}
+
+// Injector applies a Plan to a cluster tick by tick.
+type Injector struct {
+	plan Plan
+	c    *cluster.Cluster
+	rng  *rand.Rand
+
+	mu          sync.Mutex
+	downNodes   map[string]int // name -> ticks remaining
+	dropNodes   map[string]int
+	downRegions map[string]int
+
+	// Event counters for the experiment report.
+	Crashes       int
+	Restarts      int
+	DropEpisodes  int
+	RegionOutages int
+}
+
+// New creates an injector over c.
+func New(c *cluster.Cluster, plan Plan) *Injector {
+	return &Injector{
+		plan:        plan,
+		c:           c,
+		rng:         rand.New(rand.NewSource(plan.Seed)),
+		downNodes:   make(map[string]int),
+		dropNodes:   make(map[string]int),
+		downRegions: make(map[string]int),
+	}
+}
+
+// Tick advances the failure schedule one step: recovers expired failures,
+// then rolls the dice for new ones.
+func (in *Injector) Tick() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+
+	// Recover nodes whose downtime elapsed.
+	for name, left := range in.downNodes {
+		if left <= 1 {
+			if _, err := in.c.Restart(name); err == nil {
+				in.Restarts++
+			}
+			delete(in.downNodes, name)
+		} else {
+			in.downNodes[name] = left - 1
+		}
+	}
+	// End drop episodes.
+	for name, left := range in.dropNodes {
+		if left <= 1 {
+			if n := in.c.Node(name); n != nil {
+				n.Service().RPC().SetDropRate(nil)
+			}
+			delete(in.dropNodes, name)
+		} else {
+			in.dropNodes[name] = left - 1
+		}
+	}
+	// Recover regions.
+	for region, left := range in.downRegions {
+		if left <= 1 {
+			for _, n := range in.allNodesInRegion(region) {
+				if _, err := in.c.Restart(n); err == nil {
+					in.Restarts++
+				}
+			}
+			delete(in.downRegions, region)
+		} else {
+			in.downRegions[region] = left - 1
+		}
+	}
+
+	live := in.c.Nodes()
+	if len(live) == 0 {
+		return
+	}
+
+	// New single-node crash.
+	if in.rng.Float64() < in.plan.CrashProb {
+		victim := live[in.rng.Intn(len(live))]
+		if _, already := in.downNodes[victim.Name]; !already {
+			if err := in.c.Crash(victim.Name); err == nil {
+				in.Crashes++
+				in.downNodes[victim.Name] = in.plan.RestartAfter
+			}
+		}
+	}
+	// New drop episode.
+	if in.rng.Float64() < in.plan.DropProb {
+		live = in.c.Nodes()
+		if len(live) > 0 {
+			victim := live[in.rng.Intn(len(live))]
+			if _, already := in.dropNodes[victim.Name]; !already {
+				rate := in.plan.DropRate
+				victim.Service().RPC().SetDropRate(func() float64 { return rate })
+				in.DropEpisodes++
+				in.dropNodes[victim.Name] = in.plan.DropTicks
+			}
+		}
+	}
+	// New region outage (never the last live region).
+	if in.rng.Float64() < in.plan.RegionOutageProb {
+		regions := in.c.Regions()
+		if len(regions) > 1 && len(in.downRegions) < len(regions)-1 {
+			region := regions[in.rng.Intn(len(regions))]
+			if _, already := in.downRegions[region]; !already {
+				in.c.CrashRegion(region)
+				in.RegionOutages++
+				in.downRegions[region] = in.plan.RegionOutageTicks
+			}
+		}
+	}
+}
+
+// allNodesInRegion lists node names (live or down) in region.
+func (in *Injector) allNodesInRegion(region string) []string {
+	var out []string
+	// Names are deterministic: ips-<region>-<i>.
+	for i := 0; ; i++ {
+		name := nodeName(region, i)
+		if in.c.Node(name) == nil {
+			break
+		}
+		out = append(out, name)
+	}
+	return out
+}
+
+func nodeName(region string, i int) string {
+	return "ips-" + region + "-" + itoa(i)
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [8]byte
+	n := len(b)
+	for i > 0 {
+		n--
+		b[n] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[n:])
+}
+
+// Quiesce recovers every outstanding failure, for clean shutdown.
+func (in *Injector) Quiesce() {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	for name := range in.downNodes {
+		if _, err := in.c.Restart(name); err == nil {
+			in.Restarts++
+		}
+		delete(in.downNodes, name)
+	}
+	for name := range in.dropNodes {
+		if n := in.c.Node(name); n != nil {
+			n.Service().RPC().SetDropRate(nil)
+		}
+		delete(in.dropNodes, name)
+	}
+	for region := range in.downRegions {
+		for _, n := range in.allNodesInRegion(region) {
+			if _, err := in.c.Restart(n); err == nil {
+				in.Restarts++
+			}
+		}
+		delete(in.downRegions, region)
+	}
+	// Give discovery a beat to re-register.
+	time.Sleep(50 * time.Millisecond)
+}

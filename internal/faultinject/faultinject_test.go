@@ -1,0 +1,102 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+
+	"ips/internal/cluster"
+	"ips/internal/model"
+)
+
+func newTestCluster(t *testing.T) *cluster.Cluster {
+	t.Helper()
+	c, err := cluster.New(cluster.Options{
+		Regions:            []string{"east", "west"},
+		InstancesPerRegion: 2,
+		Tables:             map[string]*model.Schema{"up": model.NewSchema("n")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestCrashAndRecover(t *testing.T) {
+	c := newTestCluster(t)
+	in := New(c, Plan{Seed: 1, CrashProb: 1.0, RestartAfter: 2})
+
+	in.Tick() // must crash exactly one node
+	if in.Crashes != 1 {
+		t.Fatalf("crashes = %d, want 1", in.Crashes)
+	}
+	if got := len(c.Nodes()); got != 3 {
+		t.Fatalf("live nodes = %d, want 3", got)
+	}
+	in.Tick() // countdown 2 -> 1 (another node may crash; allow it)
+	in.Tick() // first victim restarts
+	if in.Restarts == 0 {
+		t.Fatal("victim never restarted")
+	}
+	in.Quiesce()
+	if got := len(c.Nodes()); got != 4 {
+		t.Fatalf("after quiesce live nodes = %d, want 4", got)
+	}
+}
+
+func TestDropEpisode(t *testing.T) {
+	c := newTestCluster(t)
+	in := New(c, Plan{Seed: 2, DropProb: 1.0, DropRate: 1.0, DropTicks: 1})
+	in.Tick()
+	if in.DropEpisodes != 1 {
+		t.Fatalf("episodes = %d, want 1", in.DropEpisodes)
+	}
+	in.Tick() // episode ends
+	in.Quiesce()
+}
+
+func TestRegionOutageNeverKillsAll(t *testing.T) {
+	c := newTestCluster(t)
+	in := New(c, Plan{Seed: 3, RegionOutageProb: 1.0, RegionOutageTicks: 1})
+	for i := 0; i < 5; i++ {
+		in.Tick()
+		if len(c.Nodes()) == 0 {
+			t.Fatal("injector killed every region")
+		}
+	}
+	if in.RegionOutages == 0 {
+		t.Fatal("no region outage occurred at probability 1")
+	}
+	in.Quiesce()
+	time.Sleep(100 * time.Millisecond)
+	if got := len(c.Nodes()); got != 4 {
+		t.Fatalf("after quiesce live nodes = %d, want 4", got)
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() (int, int) {
+		c := newTestCluster(t)
+		in := New(c, Plan{Seed: 42, CrashProb: 0.5, RestartAfter: 1, DropProb: 0.3, DropRate: 0.1, DropTicks: 1})
+		for i := 0; i < 10; i++ {
+			in.Tick()
+		}
+		in.Quiesce()
+		return in.Crashes, in.DropEpisodes
+	}
+	c1, d1 := run()
+	c2, d2 := run()
+	if c1 != c2 || d1 != d2 {
+		t.Fatalf("schedule not deterministic: (%d,%d) vs (%d,%d)", c1, d1, c2, d2)
+	}
+}
+
+func TestDefaultPlanSane(t *testing.T) {
+	p := DefaultPlan(7)
+	if p.CrashProb <= 0 || p.CrashProb > 0.5 {
+		t.Fatalf("crash prob = %v", p.CrashProb)
+	}
+	if p.DropRate <= 0 || p.DropRate > 0.1 {
+		t.Fatalf("drop rate = %v", p.DropRate)
+	}
+}

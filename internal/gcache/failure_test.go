@@ -1,0 +1,120 @@
+package gcache
+
+import (
+	"errors"
+	"testing"
+
+	"ips/internal/kv"
+	"ips/internal/model"
+	"ips/internal/persist"
+)
+
+// newFlakyCache builds a cache over a failure-injectable store.
+func newFlakyCache(t *testing.T, opts Options) (*GCache, *kv.Flaky, *model.Table) {
+	t.Helper()
+	flaky := kv.NewFlaky(kv.NewMemory())
+	tbl := model.NewTable("t", model.NewSchema("n"), 1000)
+	ps := persist.New(flaky, "t")
+	g, err := New(tbl, ps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, flaky, tbl
+}
+
+func TestFlushErrorRetriesLater(t *testing.T) {
+	g, flaky, tbl := newFlakyCache(t, Options{})
+	if err := g.Add(1, 5000, 1, 1, 7, []int64{1}); err != nil {
+		t.Fatal(err)
+	}
+	// First flush fails; the profile stays dirty and is requeued.
+	flaky.FailWrites(true)
+	g.flushShard(int(1 % uint64(len(g.dirty))))
+	if g.FlushErrors.Value() == 0 {
+		t.Fatal("flush error not recorded")
+	}
+	p := tbl.Get(1)
+	p.RLock()
+	dirty := p.Dirty
+	p.RUnlock()
+	if !dirty {
+		t.Fatal("profile must stay dirty after failed flush")
+	}
+	// Storage recovers: the retry succeeds.
+	flaky.FailWrites(false)
+	g.flushShard(int(1 % uint64(len(g.dirty))))
+	p.RLock()
+	dirty = p.Dirty
+	p.RUnlock()
+	if dirty {
+		t.Fatal("profile should be clean after recovery")
+	}
+	if flaky.Inner.Len() == 0 {
+		t.Fatal("value never reached storage")
+	}
+}
+
+func TestEvictionRefusesToDropUnflushedData(t *testing.T) {
+	g, flaky, tbl := newFlakyCache(t, Options{MemLimit: 1, MemLowWater: 1, LRUShards: 1})
+	if err := g.Add(1, 5000, 1, 1, 7, []int64{9}); err != nil {
+		t.Fatal(err)
+	}
+	flaky.FailWrites(true)
+	g.EvictToWatermark()
+	// The dirty profile must survive in memory: dropping it would lose
+	// the unpersisted write.
+	if tbl.Get(1) == nil {
+		t.Fatal("eviction dropped dirty data during a storage outage")
+	}
+	// After recovery, eviction succeeds and the data is durable.
+	flaky.FailWrites(false)
+	g.EvictToWatermark()
+	if tbl.Get(1) != nil {
+		t.Fatal("eviction should proceed after recovery")
+	}
+	p, _, err := g.Get(1)
+	if err != nil || p == nil {
+		t.Fatalf("reload after eviction: %v", err)
+	}
+}
+
+func TestLoadErrorSurfacesToCaller(t *testing.T) {
+	g, flaky, tbl := newFlakyCache(t, Options{})
+	_ = g.Add(1, 5000, 1, 1, 7, []int64{1})
+	_ = g.FlushAll()
+	p := tbl.Get(1)
+	p.Lock()
+	size := p.MemSize()
+	tbl.Delete(1)
+	p.Unlock()
+	g.forget(1, size)
+
+	flaky.FailReads(true)
+	if _, _, err := g.Get(1); !errors.Is(err, kv.ErrInjected) {
+		t.Fatalf("err = %v, want injected failure", err)
+	}
+	if g.LoadErrors.Value() != 1 {
+		t.Fatalf("load errors = %d", g.LoadErrors.Value())
+	}
+	// Recovery: the next read fills normally.
+	flaky.FailReads(false)
+	p2, hit, err := g.Get(1)
+	if err != nil || p2 == nil || hit {
+		t.Fatalf("post-recovery get = %v %v %v", p2, hit, err)
+	}
+}
+
+func TestFailNextWindowRecovers(t *testing.T) {
+	g, flaky, _ := newFlakyCache(t, Options{})
+	_ = g.Add(1, 5000, 1, 1, 7, []int64{1})
+	flaky.FailNext(2)
+	g.flushOne(1) // fails (1 op)
+	if g.FlushErrors.Value() != 1 {
+		t.Fatalf("flush errors = %d", g.FlushErrors.Value())
+	}
+	g.flushOne(1) // fails (2nd op)
+	g.flushOne(1) // recovers
+	if got := g.Flushes.Value(); got != 1 {
+		t.Fatalf("successful flushes = %d, want 1", got)
+	}
+}

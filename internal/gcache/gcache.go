@@ -1,0 +1,587 @@
+// Package gcache implements GCache, the write-back cache at the core of
+// IPS's compute-cache layer (§III-C, Figs 7–9):
+//
+//   - an LRU list sharded by profile ID; swap threads evict cold profiles
+//     when memory exceeds a threshold, starting from the largest shard and
+//     skipping lock-contended entries with TryLock (Fig. 8);
+//   - a dirty list, also sharded, drained by flush threads that persist
+//     updated profiles to the key-value store; the flush-thread count is a
+//     multiple of the dirty-shard count so every shard always has at least
+//     one dedicated thread (Fig. 9);
+//   - cache-miss fills from persistent storage.
+package gcache
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ips/internal/kv"
+	"ips/internal/metrics"
+	"ips/internal/model"
+	"ips/internal/persist"
+)
+
+// Options configures a GCache.
+type Options struct {
+	// MemLimit is the eviction threshold in bytes; swap threads evict
+	// until usage falls below it. <= 0 disables eviction.
+	MemLimit int64
+	// MemLowWater, when set, is the target usage eviction drives down to
+	// (defaults to 90% of MemLimit), providing hysteresis.
+	MemLowWater int64
+	// LRUShards is the number of LRU shards (Fig. 7); default 16.
+	LRUShards int
+	// DirtyShards is the number of dirty-list shards (Fig. 9); default 4.
+	DirtyShards int
+	// FlushThreads must be a positive multiple of DirtyShards; default
+	// DirtyShards.
+	FlushThreads int
+	// SwapThreads is the number of eviction workers; default 1.
+	SwapThreads int
+	// FlushInterval is the dirty-list scan cadence; default 100ms.
+	FlushInterval time.Duration
+	// SwapInterval is the memory-check cadence; default 100ms.
+	SwapInterval time.Duration
+}
+
+func (o *Options) fill() error {
+	if o.LRUShards <= 0 {
+		o.LRUShards = 16
+	}
+	if o.DirtyShards <= 0 {
+		o.DirtyShards = 4
+	}
+	if o.FlushThreads <= 0 {
+		o.FlushThreads = o.DirtyShards
+	}
+	if o.FlushThreads%o.DirtyShards != 0 {
+		return errors.New("gcache: FlushThreads must be a multiple of DirtyShards")
+	}
+	if o.SwapThreads <= 0 {
+		o.SwapThreads = 1
+	}
+	if o.FlushInterval <= 0 {
+		o.FlushInterval = 100 * time.Millisecond
+	}
+	if o.SwapInterval <= 0 {
+		o.SwapInterval = 100 * time.Millisecond
+	}
+	if o.MemLimit > 0 && o.MemLowWater <= 0 {
+		o.MemLowWater = o.MemLimit * 9 / 10
+	}
+	return nil
+}
+
+// GCache is the write-back cache.
+type GCache struct {
+	table *model.Table
+	ps    *persist.Persister
+	opts  Options
+
+	lru   []*lruShard
+	dirty []*dirtyShard
+
+	usage atomic.Int64 // approximate resident bytes
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	started atomic.Bool
+	closed  atomic.Bool
+
+	// loadMu serializes cache fills per profile so a thundering herd of
+	// misses issues one storage read.
+	loadMu sync.Mutex
+	loads  map[model.ProfileID]*loadCall
+
+	// Metrics.
+	HitRatio    metrics.Ratio
+	Evictions   metrics.Counter
+	EvictBytes  metrics.Counter
+	Flushes     metrics.Counter
+	FlushErrors metrics.Counter
+	SwapSkips   metrics.Counter // try_lock misses skipped (Fig. 8)
+	Loads       metrics.Counter
+	LoadErrors  metrics.Counter
+}
+
+type loadCall struct {
+	done chan struct{}
+	p    *model.Profile
+	err  error
+}
+
+type lruShard struct {
+	mu    sync.Mutex
+	ll    *list.List // front = most recent
+	items map[model.ProfileID]*list.Element
+	bytes atomic.Int64
+}
+
+type dirtyShard struct {
+	mu  sync.Mutex
+	ids map[model.ProfileID]struct{}
+}
+
+// New creates a GCache over table and persister.
+func New(table *model.Table, ps *persist.Persister, opts Options) (*GCache, error) {
+	if err := opts.fill(); err != nil {
+		return nil, err
+	}
+	g := &GCache{
+		table: table,
+		ps:    ps,
+		opts:  opts,
+		stop:  make(chan struct{}),
+		loads: make(map[model.ProfileID]*loadCall),
+	}
+	g.lru = make([]*lruShard, opts.LRUShards)
+	for i := range g.lru {
+		g.lru[i] = &lruShard{ll: list.New(), items: make(map[model.ProfileID]*list.Element)}
+	}
+	g.dirty = make([]*dirtyShard, opts.DirtyShards)
+	for i := range g.dirty {
+		g.dirty[i] = &dirtyShard{ids: make(map[model.ProfileID]struct{})}
+	}
+	return g, nil
+}
+
+// Start launches the swap and flush threads.
+func (g *GCache) Start() {
+	if g.started.Swap(true) {
+		return
+	}
+	for i := 0; i < g.opts.SwapThreads; i++ {
+		g.wg.Add(1)
+		go g.swapLoop()
+	}
+	for t := 0; t < g.opts.FlushThreads; t++ {
+		g.wg.Add(1)
+		go g.flushLoop(t % g.opts.DirtyShards)
+	}
+}
+
+// Close stops background threads and flushes all dirty profiles.
+func (g *GCache) Close() error {
+	if g.closed.Swap(true) {
+		return nil
+	}
+	if g.started.Load() {
+		close(g.stop)
+		g.wg.Wait()
+	}
+	return g.FlushAll()
+}
+
+func (g *GCache) lruShardFor(id model.ProfileID) *lruShard {
+	return g.lru[int((id*0x9e3779b97f4a7c15)>>59)%len(g.lru)]
+}
+
+func (g *GCache) dirtyShardFor(id model.ProfileID) *dirtyShard {
+	return g.dirty[int(id%uint64(len(g.dirty)))]
+}
+
+// Usage returns the approximate resident bytes.
+func (g *GCache) Usage() int64 { return g.usage.Load() }
+
+// Resident returns the number of cached profiles.
+func (g *GCache) Resident() int { return g.table.Len() }
+
+// touch moves id to the front of its LRU shard, inserting if new.
+// newBytes is the profile's current size, used to keep shard byte counts
+// fresh; delta is applied to the global usage.
+func (g *GCache) touch(id model.ProfileID, delta int64) {
+	sh := g.lruShardFor(id)
+	sh.mu.Lock()
+	if el, ok := sh.items[id]; ok {
+		sh.ll.MoveToFront(el)
+	} else {
+		sh.items[id] = sh.ll.PushFront(id)
+	}
+	sh.mu.Unlock()
+	if delta != 0 {
+		sh.bytes.Add(delta)
+		g.usage.Add(delta)
+	}
+}
+
+// forget removes id from its LRU shard, returning whether it was present.
+func (g *GCache) forget(id model.ProfileID, bytes int64) bool {
+	sh := g.lruShardFor(id)
+	sh.mu.Lock()
+	el, ok := sh.items[id]
+	if ok {
+		sh.ll.Remove(el)
+		delete(sh.items, id)
+	}
+	sh.mu.Unlock()
+	if ok && bytes != 0 {
+		sh.bytes.Add(-bytes)
+		g.usage.Add(-bytes)
+	}
+	return ok
+}
+
+// markDirty queues id for flushing.
+func (g *GCache) markDirty(id model.ProfileID) {
+	sh := g.dirtyShardFor(id)
+	sh.mu.Lock()
+	sh.ids[id] = struct{}{}
+	sh.mu.Unlock()
+}
+
+// Add performs a cached write: the profile is created or loaded, mutated
+// under its lock, LRU-touched and queued on the dirty list.
+func (g *GCache) Add(id model.ProfileID, ts model.Millis, slot model.SlotID, typ model.TypeID, fid model.FeatureID, counts []int64) error {
+	p, _, err := g.getOrLoad(id, true)
+	if err != nil {
+		return err
+	}
+	p.Lock()
+	before := p.MemSize()
+	err = p.Add(g.table.Schema, ts, g.table.HeadWidth(), slot, typ, fid, counts)
+	delta := p.MemSize() - before
+	p.Unlock()
+	if err != nil {
+		return err
+	}
+	g.touch(id, delta)
+	g.markDirty(id)
+	return nil
+}
+
+// Get returns the cached profile for id, loading it from persistent
+// storage on a miss. hit reports whether the profile was already resident
+// (Table II's hit/miss split). A profile that exists nowhere returns
+// (nil, false, nil): queries against unknown profiles are empty, not
+// errors.
+func (g *GCache) Get(id model.ProfileID) (p *model.Profile, hit bool, err error) {
+	return g.getOrLoad(id, false)
+}
+
+// GetOrLoadForWrite returns the profile for id, loading it from storage on
+// a miss and creating it empty when it exists nowhere — the write path's
+// entry point.
+func (g *GCache) GetOrLoadForWrite(id model.ProfileID) (p *model.Profile, hit bool, err error) {
+	return g.getOrLoad(id, true)
+}
+
+// getOrLoad returns the resident profile or fills from storage; when
+// createOnMiss is set, an absent profile is created empty (the write path).
+func (g *GCache) getOrLoad(id model.ProfileID, createOnMiss bool) (*model.Profile, bool, error) {
+	if p := g.table.Get(id); p != nil {
+		g.HitRatio.Observe(true)
+		g.touch(id, 0)
+		return p, true, nil
+	}
+	g.HitRatio.Observe(false)
+
+	// Single-flight the storage load.
+	g.loadMu.Lock()
+	if call, ok := g.loads[id]; ok {
+		g.loadMu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return nil, false, call.err
+		}
+		if call.p == nil && createOnMiss {
+			return g.createEmpty(id), false, nil
+		}
+		return call.p, false, call.err
+	}
+	call := &loadCall{done: make(chan struct{})}
+	g.loads[id] = call
+	g.loadMu.Unlock()
+
+	p, err := g.load(id)
+	call.p, call.err = p, err
+	close(call.done)
+	g.loadMu.Lock()
+	delete(g.loads, id)
+	g.loadMu.Unlock()
+
+	if err != nil {
+		return nil, false, err
+	}
+	if p == nil && createOnMiss {
+		return g.createEmpty(id), false, nil
+	}
+	return p, false, nil
+}
+
+// load fetches id from storage and installs it; a missing profile returns
+// (nil, nil).
+func (g *GCache) load(id model.ProfileID) (*model.Profile, error) {
+	g.Loads.Inc()
+	p, err := g.ps.Load(id)
+	if errors.Is(err, kv.ErrNotFound) {
+		return nil, nil
+	}
+	if err != nil {
+		g.LoadErrors.Inc()
+		return nil, err
+	}
+	// Another writer may have created the profile concurrently; prefer the
+	// resident one to avoid losing its writes.
+	if cur := g.table.Get(id); cur != nil {
+		return cur, nil
+	}
+	g.table.Put(p)
+	p.RLock()
+	size := p.MemSize()
+	p.RUnlock()
+	g.touch(id, size)
+	return p, nil
+}
+
+func (g *GCache) createEmpty(id model.ProfileID) *model.Profile {
+	p, created := g.table.GetOrCreate(id)
+	if created {
+		p.RLock()
+		size := p.MemSize()
+		p.RUnlock()
+		g.touch(id, size)
+	}
+	return p
+}
+
+// flushLoop drains one dirty shard forever.
+func (g *GCache) flushLoop(shard int) {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.opts.FlushInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			g.flushShard(shard)
+		case <-g.stop:
+			return
+		}
+	}
+}
+
+// flushShard persists every profile queued on the shard.
+func (g *GCache) flushShard(shard int) {
+	sh := g.dirty[shard]
+	sh.mu.Lock()
+	if len(sh.ids) == 0 {
+		sh.mu.Unlock()
+		return
+	}
+	batch := make([]model.ProfileID, 0, len(sh.ids))
+	for id := range sh.ids {
+		batch = append(batch, id)
+		delete(sh.ids, id)
+	}
+	sh.mu.Unlock()
+
+	for _, id := range batch {
+		g.flushOne(id)
+	}
+}
+
+func (g *GCache) flushOne(id model.ProfileID) {
+	p := g.table.Get(id)
+	if p == nil {
+		return // already evicted (eviction flushes)
+	}
+	p.RLock()
+	if !p.Dirty {
+		p.RUnlock()
+		return
+	}
+	gen := p.Generation
+	_, err := g.ps.Save(p)
+	p.RUnlock()
+	if err != nil {
+		g.FlushErrors.Inc()
+		g.markDirty(id) // retry later
+		return
+	}
+	g.Flushes.Inc()
+	// Clear the dirty bit only if no write landed during the flush.
+	p.Lock()
+	if p.Generation == gen {
+		p.Dirty = false
+	} else {
+		g.markDirty(id)
+	}
+	p.Unlock()
+}
+
+// FlushAll synchronously persists every dirty resident profile.
+func (g *GCache) FlushAll() error {
+	var firstErr error
+	g.table.Each(func(p *model.Profile) bool {
+		p.RLock()
+		dirty := p.Dirty
+		p.RUnlock()
+		if dirty {
+			g.flushOne(p.ID)
+		}
+		return true
+	})
+	return firstErr
+}
+
+// swapLoop evicts cold profiles whenever usage exceeds the limit (§III-C).
+func (g *GCache) swapLoop() {
+	defer g.wg.Done()
+	ticker := time.NewTicker(g.opts.SwapInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			g.EvictToWatermark()
+		case <-g.stop:
+			return
+		}
+	}
+}
+
+// EvictToWatermark runs one eviction pass: while usage exceeds MemLimit,
+// evict from the tail of the largest LRU shard until usage falls below the
+// low-water mark. Exported for deterministic tests and the harness.
+func (g *GCache) EvictToWatermark() {
+	if g.opts.MemLimit <= 0 {
+		return
+	}
+	for g.usage.Load() > g.opts.MemLimit {
+		sh := g.largestShard()
+		if sh == nil || !g.evictFromShard(sh) {
+			return // nothing evictable right now
+		}
+		if g.usage.Load() <= g.opts.MemLowWater {
+			return
+		}
+	}
+}
+
+func (g *GCache) largestShard() *lruShard {
+	var best *lruShard
+	var bestBytes int64 = -1
+	for _, sh := range g.lru {
+		if b := sh.bytes.Load(); b > bestBytes {
+			sh.mu.Lock()
+			empty := sh.ll.Len() == 0
+			sh.mu.Unlock()
+			if !empty {
+				best, bestBytes = sh, b
+			}
+		}
+	}
+	return best
+}
+
+// evictFromShard walks the shard from the LRU tail, trying each entry with
+// TryLock; a contended entry is skipped rather than waited on (Fig. 8).
+// Returns true if one profile was evicted.
+func (g *GCache) evictFromShard(sh *lruShard) bool {
+	// Collect candidates from the tail under the shard lock, then release
+	// it before taking profile locks (lock ordering: shard < profile is
+	// never held together).
+	const probe = 8
+	sh.mu.Lock()
+	cands := make([]model.ProfileID, 0, probe)
+	for el := sh.ll.Back(); el != nil && len(cands) < probe; el = el.Prev() {
+		cands = append(cands, el.Value.(model.ProfileID))
+	}
+	sh.mu.Unlock()
+
+	for _, id := range cands {
+		p := g.table.Get(id)
+		if p == nil {
+			g.forget(id, 0)
+			continue
+		}
+		if !p.TryLock() {
+			// Processed by another thread; move on (Fig. 8).
+			g.SwapSkips.Inc()
+			continue
+		}
+		size := p.MemSize()
+		if p.Dirty {
+			if _, err := g.ps.Save(p); err != nil {
+				p.Unlock()
+				g.FlushErrors.Inc()
+				continue // cannot safely drop unpersisted data
+			}
+			p.Dirty = false
+			g.Flushes.Inc()
+		}
+		g.table.Delete(id)
+		p.Unlock()
+		g.forget(id, size)
+		g.Evictions.Inc()
+		g.EvictBytes.Add(size)
+		return true
+	}
+	return false
+}
+
+// Stats is a point-in-time summary for dashboards and the harness.
+type Stats struct {
+	Usage     int64
+	Resident  int
+	HitRatio  float64
+	Hits      int64
+	Total     int64
+	Evictions int64
+	Flushes   int64
+	SwapSkips int64
+}
+
+// Stats captures current cache statistics.
+func (g *GCache) Stats() Stats {
+	return Stats{
+		Usage:     g.Usage(),
+		Resident:  g.Resident(),
+		HitRatio:  g.HitRatio.Value(),
+		Hits:      g.HitRatio.Hits(),
+		Total:     g.HitRatio.Total(),
+		Evictions: g.Evictions.Value(),
+		Flushes:   g.Flushes.Value(),
+		SwapSkips: g.SwapSkips.Value(),
+	}
+}
+
+// Drop flushes (if dirty) and removes one profile from the cache,
+// reporting whether it was resident. The next Get for the ID becomes a
+// storage miss — used by tests and the benchmark harness to control the
+// hit/miss split of Table II.
+func (g *GCache) Drop(id model.ProfileID) bool {
+	p := g.table.Get(id)
+	if p == nil {
+		return false
+	}
+	p.Lock()
+	size := p.MemSize()
+	if p.Dirty {
+		if _, err := g.ps.Save(p); err != nil {
+			p.Unlock()
+			g.FlushErrors.Inc()
+			return false
+		}
+		p.Dirty = false
+		g.Flushes.Inc()
+	}
+	g.table.Delete(id)
+	p.Unlock()
+	g.forget(id, size)
+	return true
+}
+
+// NoteSizeChange adjusts accounting after an external mutation (e.g.
+// compaction) changed a profile's footprint by delta bytes.
+func (g *GCache) NoteSizeChange(id model.ProfileID, delta int64) {
+	if delta != 0 {
+		sh := g.lruShardFor(id)
+		sh.bytes.Add(delta)
+		g.usage.Add(delta)
+	}
+}
+
+// MarkDirty queues an externally mutated profile for flushing.
+func (g *GCache) MarkDirty(id model.ProfileID) { g.markDirty(id) }

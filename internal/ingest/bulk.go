@@ -1,0 +1,129 @@
+package ingest
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"ips/internal/model"
+	"ips/internal/wire"
+)
+
+// BulkRecord is one row of a historical snapshot: a profile plus a batch
+// of observations, the unit a Spark/MapReduce back-fill job emits
+// (§III-A's bulk import path).
+type BulkRecord struct {
+	ProfileID model.ProfileID
+	Entries   []wire.AddEntry
+}
+
+// BulkSource iterates snapshot records. Next returns (record, true) until
+// the source is exhausted.
+type BulkSource interface {
+	Next() (BulkRecord, bool)
+}
+
+// SliceSource adapts an in-memory record slice to BulkSource.
+type SliceSource struct {
+	Records []BulkRecord
+	pos     int
+}
+
+// Next implements BulkSource.
+func (s *SliceSource) Next() (BulkRecord, bool) {
+	if s.pos >= len(s.Records) {
+		return BulkRecord{}, false
+	}
+	r := s.Records[s.pos]
+	s.pos++
+	return r, true
+}
+
+// BulkLoader drives a back-fill of historical profile data into IPS with
+// bounded parallelism. §III-F recommends enabling write isolation during
+// bulk imports so the batch traffic cannot disturb online serving — the
+// loader exposes hooks so the caller can flip the hot switch around the
+// run.
+type BulkLoader struct {
+	Sink   Sink
+	Table  string
+	Caller string
+	// Parallelism is the worker count; default 2.
+	Parallelism int
+	// BatchEntries splits oversized records into add_profiles batches of
+	// at most this many entries; default 128.
+	BatchEntries int
+	// BeforeRun and AfterRun bracket the import, e.g. to enable isolation
+	// and force a merge afterwards.
+	BeforeRun func()
+	AfterRun  func()
+
+	// Progress counters.
+	Records atomic.Int64
+	Entries atomic.Int64
+	Errors  atomic.Int64
+}
+
+// Run drains the source. It returns the first sink error encountered
+// (after all workers stop pulling), while counting every failure.
+func (l *BulkLoader) Run(src BulkSource) error {
+	if l.Sink == nil {
+		return errors.New("ingest: BulkLoader needs a Sink")
+	}
+	parallelism := l.Parallelism
+	if parallelism <= 0 {
+		parallelism = 2
+	}
+	batch := l.BatchEntries
+	if batch <= 0 {
+		batch = 128
+	}
+	if l.BeforeRun != nil {
+		l.BeforeRun()
+	}
+	defer func() {
+		if l.AfterRun != nil {
+			l.AfterRun()
+		}
+	}()
+
+	recs := make(chan BulkRecord, parallelism*2)
+	var wg sync.WaitGroup
+	var firstErr atomic.Pointer[error]
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rec := range recs {
+				l.Records.Add(1)
+				for off := 0; off < len(rec.Entries); off += batch {
+					end := off + batch
+					if end > len(rec.Entries) {
+						end = len(rec.Entries)
+					}
+					part := rec.Entries[off:end]
+					if err := l.Sink.Add(l.Caller, l.Table, rec.ProfileID, part); err != nil {
+						l.Errors.Add(1)
+						e := err
+						firstErr.CompareAndSwap(nil, &e)
+						continue
+					}
+					l.Entries.Add(int64(len(part)))
+				}
+			}
+		}()
+	}
+	for {
+		rec, ok := src.Next()
+		if !ok {
+			break
+		}
+		recs <- rec
+	}
+	close(recs)
+	wg.Wait()
+	if p := firstErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}

@@ -1,0 +1,115 @@
+package ingest
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"ips/internal/model"
+	"ips/internal/wire"
+)
+
+// tallySink counts entries per profile, optionally failing some profiles.
+type tallySink struct {
+	mu      sync.Mutex
+	perID   map[model.ProfileID]int
+	failIDs map[model.ProfileID]bool
+}
+
+func (s *tallySink) Add(caller, table string, id model.ProfileID, entries []wire.AddEntry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.failIDs[id] {
+		return errors.New("sink refused")
+	}
+	if s.perID == nil {
+		s.perID = make(map[model.ProfileID]int)
+	}
+	s.perID[id] += len(entries)
+	return nil
+}
+
+func records(n, entriesPer int) []BulkRecord {
+	out := make([]BulkRecord, n)
+	for i := range out {
+		entries := make([]wire.AddEntry, entriesPer)
+		for j := range entries {
+			entries[j] = wire.AddEntry{Timestamp: int64(1000 + j), Slot: 1, Type: 1, FID: uint64(j), Counts: []int64{1}}
+		}
+		out[i] = BulkRecord{ProfileID: model.ProfileID(i + 1), Entries: entries}
+	}
+	return out
+}
+
+func TestBulkLoadAllRecords(t *testing.T) {
+	sink := &tallySink{}
+	l := &BulkLoader{Sink: sink, Table: "t", Caller: "backfill", Parallelism: 4}
+	if err := l.Run(&SliceSource{Records: records(100, 7)}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Records.Load() != 100 || l.Entries.Load() != 700 {
+		t.Fatalf("records=%d entries=%d", l.Records.Load(), l.Entries.Load())
+	}
+	for id := model.ProfileID(1); id <= 100; id++ {
+		if sink.perID[id] != 7 {
+			t.Fatalf("profile %d got %d entries", id, sink.perID[id])
+		}
+	}
+}
+
+func TestBulkLoadSplitsBatches(t *testing.T) {
+	sink := &tallySink{}
+	l := &BulkLoader{Sink: sink, Table: "t", Caller: "backfill", BatchEntries: 10}
+	recs := records(1, 35)
+	if err := l.Run(&SliceSource{Records: recs}); err != nil {
+		t.Fatal(err)
+	}
+	if sink.perID[1] != 35 {
+		t.Fatalf("entries = %d, want 35", sink.perID[1])
+	}
+}
+
+func TestBulkLoadErrorsSurfaceButDoNotAbort(t *testing.T) {
+	sink := &tallySink{failIDs: map[model.ProfileID]bool{5: true}}
+	l := &BulkLoader{Sink: sink, Table: "t", Caller: "backfill"}
+	err := l.Run(&SliceSource{Records: records(10, 3)})
+	if err == nil {
+		t.Fatal("expected first error to surface")
+	}
+	if l.Errors.Load() != 1 {
+		t.Fatalf("errors = %d", l.Errors.Load())
+	}
+	// The other nine profiles still loaded.
+	loaded := 0
+	for id := model.ProfileID(1); id <= 10; id++ {
+		if sink.perID[id] == 3 {
+			loaded++
+		}
+	}
+	if loaded != 9 {
+		t.Fatalf("loaded = %d, want 9", loaded)
+	}
+}
+
+func TestBulkLoadHooks(t *testing.T) {
+	var order []string
+	sink := &tallySink{}
+	l := &BulkLoader{
+		Sink: sink, Table: "t", Caller: "backfill",
+		BeforeRun: func() { order = append(order, "before") },
+		AfterRun:  func() { order = append(order, "after") },
+	}
+	if err := l.Run(&SliceSource{Records: records(1, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != "before" || order[1] != "after" {
+		t.Fatalf("hook order = %v", order)
+	}
+}
+
+func TestBulkLoadNeedsSink(t *testing.T) {
+	l := &BulkLoader{}
+	if err := l.Run(&SliceSource{}); err == nil {
+		t.Fatal("missing sink should fail")
+	}
+}

@@ -1,0 +1,357 @@
+package ingest
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"ips/internal/model"
+	"ips/internal/wire"
+)
+
+func TestLogAppendPoll(t *testing.T) {
+	l := NewLog()
+	l.CreateTopic("t", 2)
+	p0, o0 := l.Append("t", Message{Key: 0, Value: []byte("a")})
+	p1, o1 := l.Append("t", Message{Key: 1, Value: []byte("b")})
+	p2, o2 := l.Append("t", Message{Key: 2, Value: []byte("c")})
+	if p0 != 0 || p1 != 1 || p2 != 0 {
+		t.Fatalf("partitions = %d %d %d", p0, p1, p2)
+	}
+	if o0 != 0 || o1 != 0 || o2 != 1 {
+		t.Fatalf("offsets = %d %d %d", o0, o1, o2)
+	}
+	msgs, err := l.Poll("t", 0, 0, 10)
+	if err != nil || len(msgs) != 2 {
+		t.Fatalf("poll = %d msgs, %v", len(msgs), err)
+	}
+	if string(msgs[0].Value) != "a" || string(msgs[1].Value) != "c" {
+		t.Fatalf("poll values = %q %q", msgs[0].Value, msgs[1].Value)
+	}
+	// Caught-up consumer gets nothing.
+	msgs, err = l.Poll("t", 0, 2, 10)
+	if err != nil || len(msgs) != 0 {
+		t.Fatalf("caught-up poll = %d, %v", len(msgs), err)
+	}
+	if l.Depth("t") != 3 {
+		t.Fatalf("depth = %d", l.Depth("t"))
+	}
+}
+
+func TestLogErrors(t *testing.T) {
+	l := NewLog()
+	if _, err := l.Poll("missing", 0, 0, 1); err != ErrNoTopic {
+		t.Fatalf("err = %v", err)
+	}
+	l.CreateTopic("t", 1)
+	if _, err := l.Poll("t", 5, 0, 1); err == nil {
+		t.Fatal("out-of-range partition should fail")
+	}
+	if l.Partitions("nope") != 0 {
+		t.Fatal("missing topic should report 0 partitions")
+	}
+}
+
+func TestLogAutoCreate(t *testing.T) {
+	l := NewLog()
+	l.PartitionsPerTopic = 3
+	l.Append("auto", Message{Key: 7, Value: []byte("x")})
+	if l.Partitions("auto") != 3 {
+		t.Fatalf("auto partitions = %d", l.Partitions("auto"))
+	}
+}
+
+func TestLogConcurrentAppend(t *testing.T) {
+	l := NewLog()
+	l.CreateTopic("t", 4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				l.Append("t", Message{Key: uint64(i), Value: []byte{byte(w)}})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if l.Depth("t") != 800 {
+		t.Fatalf("depth = %d, want 800", l.Depth("t"))
+	}
+	// Offsets are dense per partition.
+	for p := 0; p < 4; p++ {
+		msgs, err := l.Poll("t", p, 0, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range msgs {
+			if m.Offset != int64(i) {
+				t.Fatalf("partition %d offset %d at index %d", p, m.Offset, i)
+			}
+		}
+	}
+}
+
+func TestEventRoundTrip(t *testing.T) {
+	in := &Event{ProfileID: 7, ItemID: 9, Timestamp: 1234, Action: "like", Slot: 2, Type: 3, Signal: 0.5}
+	out, err := DecodeEvent(EncodeEvent(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *out != *in {
+		t.Fatalf("round trip: %+v != %+v", out, in)
+	}
+}
+
+func TestEventDecodeNeverPanicsProperty(t *testing.T) {
+	f := func(junk []byte) bool {
+		_, _ = DecodeEvent(junk)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinerBasicJoin(t *testing.T) {
+	var got []*Instance
+	j := NewJoiner(1000, func(i *Instance) { got = append(got, i) })
+
+	j.OnImpression(&Event{ProfileID: 1, ItemID: 10, Timestamp: 100, Slot: 2, Type: 3})
+	j.OnAction(&Event{ProfileID: 1, ItemID: 10, Timestamp: 200, Action: "like"})
+	j.OnAction(&Event{ProfileID: 1, ItemID: 10, Timestamp: 300, Action: "like"})
+	j.OnAction(&Event{ProfileID: 1, ItemID: 10, Timestamp: 350, Action: "share"})
+	j.OnFeature(&Event{ProfileID: 1, ItemID: 10, Timestamp: 400, Signal: 0.7})
+	if len(got) != 0 {
+		t.Fatal("window should still be open")
+	}
+	// Advance event time past the window: the instance closes.
+	j.OnImpression(&Event{ProfileID: 2, ItemID: 20, Timestamp: 2000})
+	if len(got) != 1 {
+		t.Fatalf("joined = %d, want 1", len(got))
+	}
+	inst := got[0]
+	if inst.ProfileID != 1 || inst.ItemID != 10 || inst.Slot != 2 || inst.Type != 3 {
+		t.Fatalf("instance = %+v", inst)
+	}
+	if inst.Actions["like"] != 2 || inst.Actions["share"] != 1 {
+		t.Fatalf("actions = %v", inst.Actions)
+	}
+	if len(inst.Signals) != 1 || inst.Signals[0] != 0.7 {
+		t.Fatalf("signals = %v", inst.Signals)
+	}
+}
+
+func TestJoinerOutOfOrderAction(t *testing.T) {
+	var got []*Instance
+	j := NewJoiner(1000, func(i *Instance) { got = append(got, i) })
+	// Action arrives before its impression (out-of-order streams).
+	j.OnAction(&Event{ProfileID: 1, ItemID: 10, Timestamp: 150, Action: "like"})
+	j.OnImpression(&Event{ProfileID: 1, ItemID: 10, Timestamp: 100})
+	j.Flush()
+	if len(got) != 1 || got[0].Actions["like"] != 1 {
+		t.Fatalf("out-of-order join = %+v", got)
+	}
+}
+
+func TestJoinerDropsOrphanedLateEvents(t *testing.T) {
+	j := NewJoiner(1000, nil)
+	j.OnAction(&Event{ProfileID: 1, ItemID: 10, Timestamp: 100, Action: "like"})
+	// Advance watermark far: the orphan ages out.
+	j.OnImpression(&Event{ProfileID: 2, ItemID: 20, Timestamp: 10_000})
+	if j.DroppedLate != 1 {
+		t.Fatalf("dropped = %d, want 1", j.DroppedLate)
+	}
+	if j.OpenWindows() != 1 {
+		t.Fatalf("open windows = %d", j.OpenWindows())
+	}
+}
+
+func TestJoinerFlushCountsPending(t *testing.T) {
+	j := NewJoiner(1000, nil)
+	j.OnAction(&Event{ProfileID: 1, ItemID: 10, Timestamp: 100, Action: "like"})
+	j.Flush()
+	if j.DroppedLate != 1 || j.Joined != 0 {
+		t.Fatalf("flush: dropped=%d joined=%d", j.DroppedLate, j.Joined)
+	}
+}
+
+// memorySink collects writes for assertions.
+type memorySink struct {
+	mu      sync.Mutex
+	entries map[model.ProfileID][]wire.AddEntry
+	fail    bool
+}
+
+func (s *memorySink) Add(caller, table string, id model.ProfileID, entries []wire.AddEntry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fail {
+		return errSinkDown
+	}
+	if s.entries == nil {
+		s.entries = make(map[model.ProfileID][]wire.AddEntry)
+	}
+	s.entries[id] = append(s.entries[id], entries...)
+	return nil
+}
+
+var errSinkDown = &sinkErr{}
+
+type sinkErr struct{}
+
+func (*sinkErr) Error() string { return "sink down" }
+
+func TestPipelineEndToEnd(t *testing.T) {
+	log := NewLog()
+	sink := &memorySink{}
+	schema := model.NewSchema("like", "share")
+	p := NewPipeline(log, sink, "up", "ingest", schema)
+
+	// Produce the three streams: user 1 saw item 10 and liked it twice;
+	// user 2 saw item 20 and did nothing.
+	log.Append(TopicImpression, Message{Key: 1, Value: EncodeEvent(&Event{ProfileID: 1, ItemID: 10, Timestamp: 100, Slot: 3, Type: 4})})
+	log.Append(TopicAction, Message{Key: 1, Value: EncodeEvent(&Event{ProfileID: 1, ItemID: 10, Timestamp: 120, Action: "like"})})
+	log.Append(TopicAction, Message{Key: 1, Value: EncodeEvent(&Event{ProfileID: 1, ItemID: 10, Timestamp: 140, Action: "like"})})
+	log.Append(TopicAction, Message{Key: 1, Value: EncodeEvent(&Event{ProfileID: 1, ItemID: 10, Timestamp: 150, Action: "share"})})
+	log.Append(TopicImpression, Message{Key: 2, Value: EncodeEvent(&Event{ProfileID: 2, ItemID: 20, Timestamp: 130, Slot: 3, Type: 4})})
+
+	n := p.RunOnce()
+	if n != 1 {
+		// User 2's impression-only instance has no mappable action and no
+		// "impression" action in the schema, so only user 1 ingests.
+		t.Fatalf("ingested = %d, want 1", n)
+	}
+	got := sink.entries[1]
+	if len(got) != 1 {
+		t.Fatalf("entries = %+v", got)
+	}
+	e := got[0]
+	if e.FID != 10 || e.Slot != 3 || e.Type != 4 {
+		t.Fatalf("entry = %+v", e)
+	}
+	if e.Counts[0] != 2 || e.Counts[1] != 1 {
+		t.Fatalf("counts = %v", e.Counts)
+	}
+	// The instance topic received the joined records (both users).
+	if log.Depth(TopicInstance) != 2 {
+		t.Fatalf("instance topic depth = %d, want 2", log.Depth(TopicInstance))
+	}
+}
+
+func TestPipelineImpressionCounting(t *testing.T) {
+	// With an "impression" action in the schema, exposure-only instances
+	// are recorded too (the advertising flow-control use case, §I-d).
+	log := NewLog()
+	sink := &memorySink{}
+	schema := model.NewSchema("impression", "click")
+	p := NewPipeline(log, sink, "ads", "ingest", schema)
+	log.Append(TopicImpression, Message{Key: 5, Value: EncodeEvent(&Event{ProfileID: 5, ItemID: 50, Timestamp: 100})})
+	p.RunOnce()
+	got := sink.entries[5]
+	if len(got) != 1 || got[0].Counts[0] != 1 {
+		t.Fatalf("impression not counted: %+v", got)
+	}
+}
+
+func TestPipelineCustomExtract(t *testing.T) {
+	log := NewLog()
+	sink := &memorySink{}
+	schema := model.NewSchema("n")
+	p := NewPipeline(log, sink, "up", "ingest", schema)
+	p.Extract = func(inst *Instance) []wire.AddEntry {
+		// User-defined extraction logic (§III-A): one entry per signal.
+		var out []wire.AddEntry
+		for range inst.Signals {
+			out = append(out, wire.AddEntry{Timestamp: inst.Timestamp, Slot: 9, Type: 9, FID: inst.ItemID, Counts: []int64{1}})
+		}
+		return out
+	}
+	log.Append(TopicImpression, Message{Key: 1, Value: EncodeEvent(&Event{ProfileID: 1, ItemID: 10, Timestamp: 100})})
+	log.Append(TopicFeature, Message{Key: 1, Value: EncodeEvent(&Event{ProfileID: 1, ItemID: 10, Timestamp: 110, Signal: 1.5})})
+	log.Append(TopicFeature, Message{Key: 1, Value: EncodeEvent(&Event{ProfileID: 1, ItemID: 10, Timestamp: 120, Signal: 2.5})})
+	p.RunOnce()
+	if len(sink.entries[1]) != 2 {
+		t.Fatalf("custom extract entries = %+v", sink.entries[1])
+	}
+}
+
+func TestPipelineSinkErrorsCounted(t *testing.T) {
+	log := NewLog()
+	sink := &memorySink{fail: true}
+	schema := model.NewSchema("like")
+	p := NewPipeline(log, sink, "up", "ingest", schema)
+	log.Append(TopicImpression, Message{Key: 1, Value: EncodeEvent(&Event{ProfileID: 1, ItemID: 10, Timestamp: 100})})
+	log.Append(TopicAction, Message{Key: 1, Value: EncodeEvent(&Event{ProfileID: 1, ItemID: 10, Timestamp: 110, Action: "like"})})
+	p.RunOnce()
+	if p.Errors != 1 || p.Ingested != 0 {
+		t.Fatalf("errors=%d ingested=%d", p.Errors, p.Ingested)
+	}
+}
+
+func TestPipelineIncrementalOffsets(t *testing.T) {
+	// Consuming twice must not double-ingest.
+	log := NewLog()
+	sink := &memorySink{}
+	schema := model.NewSchema("like")
+	p := NewPipeline(log, sink, "up", "ingest", schema)
+	log.Append(TopicImpression, Message{Key: 1, Value: EncodeEvent(&Event{ProfileID: 1, ItemID: 10, Timestamp: 100})})
+	log.Append(TopicAction, Message{Key: 1, Value: EncodeEvent(&Event{ProfileID: 1, ItemID: 10, Timestamp: 110, Action: "like"})})
+	p.RunOnce()
+	p.RunOnce()
+	if len(sink.entries[1]) != 1 {
+		t.Fatalf("double ingestion: %+v", sink.entries[1])
+	}
+}
+
+func TestJoinerLatenessAbsorbsOutOfOrder(t *testing.T) {
+	// Without lateness, an event 2 windows behind the watermark is lost;
+	// with lateness, it still joins.
+	var strictGot, laxGot []*Instance
+	strict := NewJoiner(1000, func(i *Instance) { strictGot = append(strictGot, i) })
+	lax := NewJoiner(1000, func(i *Instance) { laxGot = append(laxGot, i) })
+	lax.Lateness = 10_000
+
+	feed := func(j *Joiner) {
+		j.OnImpression(&Event{ProfileID: 1, ItemID: 10, Timestamp: 5000}) // watermark 5000
+		j.OnImpression(&Event{ProfileID: 1, ItemID: 20, Timestamp: 3000}) // 2s behind
+		j.OnAction(&Event{ProfileID: 1, ItemID: 20, Timestamp: 3100, Action: "like"})
+		j.OnImpression(&Event{ProfileID: 2, ItemID: 30, Timestamp: 8000}) // advances watermark
+		j.Flush()
+	}
+	feed(strict)
+	feed(lax)
+
+	find := func(got []*Instance, item uint64) *Instance {
+		for _, i := range got {
+			if i.ItemID == item {
+				return i
+			}
+		}
+		return nil
+	}
+	// Strict joiner closed item 20's window at watermark 8000 > 3000+1000
+	// — but the action was applied before that. The genuinely lost case is
+	// an action arriving after the close; emulate by checking pending
+	// drops instead: feed an orphan action behind the watermark.
+	strict2 := NewJoiner(1000, nil)
+	strict2.OnImpression(&Event{ProfileID: 9, ItemID: 1, Timestamp: 50_000})
+	strict2.OnAction(&Event{ProfileID: 9, ItemID: 2, Timestamp: 10_000, Action: "like"}) // orphan, far behind
+	strict2.OnImpression(&Event{ProfileID: 9, ItemID: 3, Timestamp: 60_000})
+	if strict2.DroppedLate != 1 {
+		t.Fatalf("strict joiner dropped = %d, want 1", strict2.DroppedLate)
+	}
+	lax2 := NewJoiner(1000, nil)
+	lax2.Lateness = 100_000
+	lax2.OnImpression(&Event{ProfileID: 9, ItemID: 1, Timestamp: 50_000})
+	lax2.OnAction(&Event{ProfileID: 9, ItemID: 2, Timestamp: 10_000, Action: "like"})
+	lax2.OnImpression(&Event{ProfileID: 9, ItemID: 3, Timestamp: 60_000})
+	if lax2.DroppedLate != 0 {
+		t.Fatalf("lax joiner dropped = %d, want 0", lax2.DroppedLate)
+	}
+	// And the lax path joined item 20's like.
+	if inst := find(laxGot, 20); inst == nil || inst.Actions["like"] != 1 {
+		t.Fatalf("lax join lost the out-of-order like: %+v", inst)
+	}
+	_ = strictGot
+}

@@ -1,0 +1,249 @@
+package ingest
+
+import (
+	"sync"
+
+	"ips/internal/codec"
+	"ips/internal/model"
+)
+
+// Event is one record on the impression, action or feature streams
+// (§III-A): impressions mark content shown to a user, actions are user
+// behaviours ('like', 'comment', ...), features carry ranking signals from
+// back-end servers.
+type Event struct {
+	ProfileID model.ProfileID
+	ItemID    uint64 // the article/video the event refers to
+	Timestamp model.Millis
+	// Kind-specific payloads.
+	Action string // actions: the action name
+	Slot   model.SlotID
+	Type   model.TypeID
+	Signal float64 // features: a back-end ranking signal
+}
+
+// Event wire encoding for transport through the Log.
+const (
+	fEvProfile = 1
+	fEvItem    = 2
+	fEvTS      = 3
+	fEvAction  = 4
+	fEvSlot    = 5
+	fEvType    = 6
+	fEvSignal  = 7
+)
+
+// EncodeEvent serializes an Event.
+func EncodeEvent(e *Event) []byte {
+	var b codec.Buffer
+	b.Uint64(fEvProfile, e.ProfileID)
+	b.Uint64(fEvItem, e.ItemID)
+	b.Int64(fEvTS, e.Timestamp)
+	b.String(fEvAction, e.Action)
+	b.Uint32(fEvSlot, e.Slot)
+	b.Uint32(fEvType, e.Type)
+	b.Float64(fEvSignal, e.Signal)
+	return append([]byte(nil), b.Bytes()...)
+}
+
+// DecodeEvent parses an Event.
+func DecodeEvent(data []byte) (*Event, error) {
+	e := &Event{}
+	r := codec.NewReader(data)
+	for !r.Done() {
+		f, wt, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		switch f {
+		case fEvProfile:
+			e.ProfileID, err = r.Uint64()
+		case fEvItem:
+			e.ItemID, err = r.Uint64()
+		case fEvTS:
+			e.Timestamp, err = r.Int64()
+		case fEvAction:
+			e.Action, err = r.String()
+		case fEvSlot:
+			e.Slot, err = r.Uint32()
+		case fEvType:
+			e.Type, err = r.Uint32()
+		case fEvSignal:
+			e.Signal, err = r.Float64()
+		default:
+			err = r.Skip(wt)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// Instance is one joined training/profile record: an impression enriched
+// with the actions it received and the back-end features, keyed by
+// (profile, item) — the "instance data" of §III-A.
+type Instance struct {
+	ProfileID model.ProfileID
+	ItemID    uint64
+	Timestamp model.Millis
+	Slot      model.SlotID
+	Type      model.TypeID
+	// Impressions counts how many times the item was shown within the
+	// window (server + client impressions in the paper's terms).
+	Impressions int64
+	// Actions maps action name to occurrence count within the window.
+	Actions map[string]int64
+	// Signals are the back-end feature values seen for the pair.
+	Signals []float64
+}
+
+// Joiner is the windowed stream joiner standing in for the Flink join job:
+// impressions open a join window per (profile, item); actions and features
+// arriving within the window enrich it; when the window closes (event time
+// advances past Timestamp+Window) the joined Instance is emitted.
+//
+// Late actions for an unseen impression are buffered briefly (out-of-order
+// tolerance) and dropped after the window, matching at-most-once join
+// semantics — IPS's tolerance for small data loss makes this acceptable.
+type Joiner struct {
+	// Window is the join window length in milliseconds.
+	Window model.Millis
+	// Lateness is the extra out-of-order allowance: a window stays open
+	// until the watermark passes Timestamp+Window+Lateness, so events
+	// arriving up to Lateness behind the watermark still join.
+	Lateness model.Millis
+	// Emit receives each completed instance.
+	Emit func(*Instance)
+
+	mu        sync.Mutex
+	open      map[joinKey]*Instance
+	pending   map[joinKey][]*Event // events that arrived before their impression
+	watermark model.Millis
+
+	// Joined / DroppedLate count emitted instances and discarded orphan
+	// events.
+	Joined      int64
+	DroppedLate int64
+}
+
+type joinKey struct {
+	profile model.ProfileID
+	item    uint64
+}
+
+// NewJoiner creates a joiner with the given window.
+func NewJoiner(window model.Millis, emit func(*Instance)) *Joiner {
+	return &Joiner{
+		Window:  window,
+		Emit:    emit,
+		open:    make(map[joinKey]*Instance),
+		pending: make(map[joinKey][]*Event),
+	}
+}
+
+// OnImpression opens a join window.
+func (j *Joiner) OnImpression(e *Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	k := joinKey{e.ProfileID, e.ItemID}
+	inst, ok := j.open[k]
+	if !ok {
+		inst = &Instance{
+			ProfileID: e.ProfileID, ItemID: e.ItemID, Timestamp: e.Timestamp,
+			Slot: e.Slot, Type: e.Type,
+			Actions: make(map[string]int64),
+		}
+		j.open[k] = inst
+	}
+	inst.Impressions++
+	// Apply any buffered early arrivals.
+	for _, buf := range j.pending[k] {
+		j.applyLocked(inst, buf)
+	}
+	delete(j.pending, k)
+	j.advanceLocked(e.Timestamp)
+}
+
+// OnAction enriches an open window or buffers an early action.
+func (j *Joiner) OnAction(e *Event) { j.onEnrich(e) }
+
+// OnFeature enriches an open window or buffers an early feature.
+func (j *Joiner) OnFeature(e *Event) { j.onEnrich(e) }
+
+func (j *Joiner) onEnrich(e *Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	k := joinKey{e.ProfileID, e.ItemID}
+	if inst, ok := j.open[k]; ok {
+		j.applyLocked(inst, e)
+	} else {
+		j.pending[k] = append(j.pending[k], e)
+	}
+	j.advanceLocked(e.Timestamp)
+}
+
+func (j *Joiner) applyLocked(inst *Instance, e *Event) {
+	if e.Action != "" {
+		inst.Actions[e.Action]++
+	} else {
+		inst.Signals = append(inst.Signals, e.Signal)
+	}
+}
+
+// advanceLocked moves the event-time watermark and closes expired windows.
+func (j *Joiner) advanceLocked(ts model.Millis) {
+	if ts <= j.watermark {
+		return
+	}
+	j.watermark = ts
+	for k, inst := range j.open {
+		if inst.Timestamp+j.Window+j.Lateness <= ts {
+			delete(j.open, k)
+			j.Joined++
+			if j.Emit != nil {
+				j.Emit(inst)
+			}
+		}
+	}
+	for k, evs := range j.pending {
+		keep := evs[:0]
+		for _, e := range evs {
+			if e.Timestamp+j.Window+j.Lateness > ts {
+				keep = append(keep, e)
+			} else {
+				j.DroppedLate++
+			}
+		}
+		if len(keep) == 0 {
+			delete(j.pending, k)
+		} else {
+			j.pending[k] = keep
+		}
+	}
+}
+
+// Flush force-closes every open window, emitting all joined instances —
+// end-of-stream behaviour.
+func (j *Joiner) Flush() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for k, inst := range j.open {
+		delete(j.open, k)
+		j.Joined++
+		if j.Emit != nil {
+			j.Emit(inst)
+		}
+	}
+	for k, evs := range j.pending {
+		j.DroppedLate += int64(len(evs))
+		delete(j.pending, k)
+	}
+}
+
+// OpenWindows reports the number of in-flight join windows.
+func (j *Joiner) OpenWindows() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.open)
+}

@@ -1,0 +1,138 @@
+// Package ingest implements the data-ingestion substrate of §III-A: the
+// partitioned, offset-addressed message log standing in for Kafka, and the
+// windowed stream joiner standing in for the Flink jobs that join
+// impression, action and feature streams into instance data before it is
+// written into IPS.
+package ingest
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrNoTopic reports an operation on an unknown topic.
+var ErrNoTopic = errors.New("ingest: unknown topic")
+
+// Message is one log entry.
+type Message struct {
+	// Key selects the partition (e.g. the profile ID rendered as bytes).
+	Key uint64
+	// Value is the payload, opaque to the log.
+	Value []byte
+	// Offset is assigned by the log at append time.
+	Offset int64
+}
+
+// Log is an in-memory partitioned message log: the Kafka stand-in. Topics
+// are created on demand; each partition is an append-only sequence with
+// dense offsets. Consumers poll by (topic, partition, offset), so
+// independent consumer groups replay independently — the property IPS's
+// ingestion (and training-data) pipelines rely on.
+type Log struct {
+	mu     sync.RWMutex
+	topics map[string]*topic
+	// PartitionsPerTopic is used when auto-creating topics; default 4.
+	PartitionsPerTopic int
+}
+
+type topic struct {
+	mu         sync.RWMutex
+	partitions [][]Message
+}
+
+// NewLog creates an empty log.
+func NewLog() *Log {
+	return &Log{topics: make(map[string]*topic), PartitionsPerTopic: 4}
+}
+
+// CreateTopic creates a topic with the given partition count; creating an
+// existing topic is a no-op.
+func (l *Log) CreateTopic(name string, partitions int) {
+	if partitions <= 0 {
+		partitions = l.PartitionsPerTopic
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.topics[name]; !ok {
+		l.topics[name] = &topic{partitions: make([][]Message, partitions)}
+	}
+}
+
+func (l *Log) topic(name string, create bool) *topic {
+	l.mu.RLock()
+	t := l.topics[name]
+	l.mu.RUnlock()
+	if t != nil || !create {
+		return t
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if t = l.topics[name]; t == nil {
+		t = &topic{partitions: make([][]Message, l.PartitionsPerTopic)}
+		l.topics[name] = t
+	}
+	return t
+}
+
+// Append adds a message to the partition selected by its key and returns
+// the (partition, offset) it landed at. The topic is auto-created.
+func (l *Log) Append(topicName string, msg Message) (partition int, offset int64) {
+	t := l.topic(topicName, true)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := int(msg.Key % uint64(len(t.partitions)))
+	msg.Offset = int64(len(t.partitions[p]))
+	t.partitions[p] = append(t.partitions[p], msg)
+	return p, msg.Offset
+}
+
+// Poll returns up to max messages from (topic, partition) starting at
+// offset. An empty result means the consumer is caught up.
+func (l *Log) Poll(topicName string, partition int, offset int64, max int) ([]Message, error) {
+	t := l.topic(topicName, false)
+	if t == nil {
+		return nil, ErrNoTopic
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if partition < 0 || partition >= len(t.partitions) {
+		return nil, errors.New("ingest: partition out of range")
+	}
+	part := t.partitions[partition]
+	if offset >= int64(len(part)) {
+		return nil, nil
+	}
+	end := offset + int64(max)
+	if end > int64(len(part)) {
+		end = int64(len(part))
+	}
+	out := make([]Message, end-offset)
+	copy(out, part[offset:end])
+	return out, nil
+}
+
+// Partitions returns the partition count of a topic (0 when absent).
+func (l *Log) Partitions(topicName string) int {
+	t := l.topic(topicName, false)
+	if t == nil {
+		return 0
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.partitions)
+}
+
+// Depth returns the total message count of a topic.
+func (l *Log) Depth(topicName string) int64 {
+	t := l.topic(topicName, false)
+	if t == nil {
+		return 0
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var n int64
+	for _, p := range t.partitions {
+		n += int64(len(p))
+	}
+	return n
+}

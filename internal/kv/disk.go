@@ -1,0 +1,298 @@
+package kv
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Disk is a durable Store backed by an append-only log with an in-memory
+// index. It provides the durability role HBase plays under IPS: if the
+// process dies, Reopen replays the log and recovers every acknowledged
+// write.
+//
+// Record format (little endian):
+//
+//	u32 crc (of everything after this field)
+//	u8  op (1=set, 2=delete)
+//	u64 version
+//	u32 keyLen,  key bytes
+//	u32 valLen,  value bytes (op=set only)
+type Disk struct {
+	mu     sync.RWMutex
+	data   map[string]entry
+	f      *os.File
+	w      *bufio.Writer
+	path   string
+	closed bool
+	// SyncEvery forces an fsync every N appended records; 0 disables
+	// fsync (fastest, loses the tail on power failure — acceptable for
+	// IPS, which tolerates small data loss by design).
+	SyncEvery int
+	sinceSync int
+}
+
+const (
+	opSet    = 1
+	opDelete = 2
+)
+
+// OpenDisk opens (or creates) a disk-backed store at path, replaying any
+// existing log.
+func OpenDisk(path string) (*Disk, error) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("kv: mkdir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kv: open: %w", err)
+	}
+	d := &Disk{data: make(map[string]entry), f: f, path: path}
+	if err := d.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	d.w = bufio.NewWriter(f)
+	return d, nil
+}
+
+// replay rebuilds the index from the log, stopping at the first corrupt or
+// truncated record (the tail of a crashed write) and truncating it away.
+func (d *Disk) replay() error {
+	r := bufio.NewReader(d.f)
+	var off int64
+	for {
+		rec, n, err := readRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			// Corrupt tail: truncate to the last good record.
+			if terr := d.f.Truncate(off); terr != nil {
+				return fmt.Errorf("kv: truncate corrupt tail: %w", terr)
+			}
+			break
+		}
+		off += int64(n)
+		switch rec.op {
+		case opSet:
+			d.data[rec.key] = entry{value: rec.value, version: Version(rec.version)}
+		case opDelete:
+			delete(d.data, rec.key)
+		}
+	}
+	return nil
+}
+
+type record struct {
+	op      byte
+	version uint64
+	key     string
+	value   []byte
+}
+
+func readRecord(r *bufio.Reader) (record, int, error) {
+	var hdr [4 + 1 + 8 + 4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return record{}, 0, errors.New("kv: truncated record header")
+		}
+		return record{}, 0, err
+	}
+	crc := binary.LittleEndian.Uint32(hdr[0:])
+	op := hdr[4]
+	version := binary.LittleEndian.Uint64(hdr[5:])
+	keyLen := binary.LittleEndian.Uint32(hdr[13:])
+	const maxLen = 1 << 30
+	if keyLen > maxLen {
+		return record{}, 0, errors.New("kv: absurd key length")
+	}
+	key := make([]byte, keyLen)
+	if _, err := io.ReadFull(r, key); err != nil {
+		return record{}, 0, errors.New("kv: truncated key")
+	}
+	var value []byte
+	n := len(hdr) + int(keyLen)
+	if op == opSet {
+		var vl [4]byte
+		if _, err := io.ReadFull(r, vl[:]); err != nil {
+			return record{}, 0, errors.New("kv: truncated value length")
+		}
+		valLen := binary.LittleEndian.Uint32(vl[:])
+		if valLen > maxLen {
+			return record{}, 0, errors.New("kv: absurd value length")
+		}
+		value = make([]byte, valLen)
+		if _, err := io.ReadFull(r, value); err != nil {
+			return record{}, 0, errors.New("kv: truncated value")
+		}
+		n += 4 + int(valLen)
+	}
+	// Verify CRC over op|version|keyLen|key|valLen|value.
+	h := crc32.NewIEEE()
+	h.Write(hdr[4:])
+	h.Write(key)
+	if op == opSet {
+		var vl [4]byte
+		binary.LittleEndian.PutUint32(vl[:], uint32(len(value)))
+		h.Write(vl[:])
+		h.Write(value)
+	}
+	if h.Sum32() != crc {
+		return record{}, 0, errors.New("kv: crc mismatch")
+	}
+	return record{op: op, version: version, key: string(key), value: value}, n, nil
+}
+
+func (d *Disk) append(op byte, version uint64, key string, value []byte) error {
+	var hdr [4 + 1 + 8 + 4]byte
+	hdr[4] = op
+	binary.LittleEndian.PutUint64(hdr[5:], version)
+	binary.LittleEndian.PutUint32(hdr[13:], uint32(len(key)))
+	h := crc32.NewIEEE()
+	h.Write(hdr[4:])
+	h.Write([]byte(key))
+	var vl [4]byte
+	if op == opSet {
+		binary.LittleEndian.PutUint32(vl[:], uint32(len(value)))
+		h.Write(vl[:])
+		h.Write(value)
+	}
+	binary.LittleEndian.PutUint32(hdr[0:], h.Sum32())
+	if _, err := d.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := d.w.WriteString(key); err != nil {
+		return err
+	}
+	if op == opSet {
+		if _, err := d.w.Write(vl[:]); err != nil {
+			return err
+		}
+		if _, err := d.w.Write(value); err != nil {
+			return err
+		}
+	}
+	if err := d.w.Flush(); err != nil {
+		return err
+	}
+	if d.SyncEvery > 0 {
+		d.sinceSync++
+		if d.sinceSync >= d.SyncEvery {
+			d.sinceSync = 0
+			return d.f.Sync()
+		}
+	}
+	return nil
+}
+
+// Set implements Store.
+func (d *Disk) Set(key string, value []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	nv := d.data[key].version + 1
+	if err := d.append(opSet, uint64(nv), key, value); err != nil {
+		return err
+	}
+	d.data[key] = entry{value: clone(value), version: nv}
+	return nil
+}
+
+// Get implements Store.
+func (d *Disk) Get(key string) ([]byte, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, ErrClosed
+	}
+	e, ok := d.data[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return clone(e.value), nil
+}
+
+// Delete implements Store.
+func (d *Disk) Delete(key string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return ErrClosed
+	}
+	if _, ok := d.data[key]; !ok {
+		return nil
+	}
+	if err := d.append(opDelete, 0, key, nil); err != nil {
+		return err
+	}
+	delete(d.data, key)
+	return nil
+}
+
+// XSet implements Store.
+func (d *Disk) XSet(key string, value []byte, expected Version) (Version, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return 0, ErrClosed
+	}
+	e, ok := d.data[key]
+	if expected != 0 && (!ok || e.version != expected) {
+		return e.version, ErrStaleVersion
+	}
+	nv := e.version + 1
+	if err := d.append(opSet, uint64(nv), key, value); err != nil {
+		return 0, err
+	}
+	d.data[key] = entry{value: clone(value), version: nv}
+	return nv, nil
+}
+
+// XGet implements Store.
+func (d *Disk) XGet(key string) ([]byte, Version, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.closed {
+		return nil, 0, ErrClosed
+	}
+	e, ok := d.data[key]
+	if !ok {
+		return nil, 0, ErrNotFound
+	}
+	return clone(e.value), e.version, nil
+}
+
+// Len implements Store.
+func (d *Disk) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.data)
+}
+
+// Close implements Store.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	if err := d.w.Flush(); err != nil {
+		d.f.Close()
+		return err
+	}
+	return d.f.Close()
+}

@@ -1,0 +1,120 @@
+package kv
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the failure a Flaky store returns when tripped.
+var ErrInjected = errors.New("kv: injected failure")
+
+// Flaky wraps a Store and fails operations on demand — the storage-outage
+// injector behind the cache layer's failure tests. It is deterministic:
+// failures are toggled, not random.
+type Flaky struct {
+	Inner Store
+
+	mu         sync.Mutex
+	failReads  bool
+	failWrites bool
+	// failNextN fails the next N operations of any kind, then recovers.
+	failNextN int
+	// ops counts operations that reached the wrapper.
+	ops int64
+}
+
+// NewFlaky wraps inner.
+func NewFlaky(inner Store) *Flaky { return &Flaky{Inner: inner} }
+
+// FailReads toggles read failures.
+func (f *Flaky) FailReads(on bool) {
+	f.mu.Lock()
+	f.failReads = on
+	f.mu.Unlock()
+}
+
+// FailWrites toggles write failures.
+func (f *Flaky) FailWrites(on bool) {
+	f.mu.Lock()
+	f.failWrites = on
+	f.mu.Unlock()
+}
+
+// FailNext makes the next n operations fail, then auto-recovers.
+func (f *Flaky) FailNext(n int) {
+	f.mu.Lock()
+	f.failNextN = n
+	f.mu.Unlock()
+}
+
+// Ops reports how many operations reached the store.
+func (f *Flaky) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+func (f *Flaky) gate(write bool) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ops++
+	if f.failNextN > 0 {
+		f.failNextN--
+		return ErrInjected
+	}
+	if write && f.failWrites {
+		return ErrInjected
+	}
+	if !write && f.failReads {
+		return ErrInjected
+	}
+	return nil
+}
+
+// Set implements Store.
+func (f *Flaky) Set(key string, value []byte) error {
+	if err := f.gate(true); err != nil {
+		return err
+	}
+	return f.Inner.Set(key, value)
+}
+
+// Get implements Store.
+func (f *Flaky) Get(key string) ([]byte, error) {
+	if err := f.gate(false); err != nil {
+		return nil, err
+	}
+	return f.Inner.Get(key)
+}
+
+// Delete implements Store.
+func (f *Flaky) Delete(key string) error {
+	if err := f.gate(true); err != nil {
+		return err
+	}
+	return f.Inner.Delete(key)
+}
+
+// XSet implements Store.
+func (f *Flaky) XSet(key string, value []byte, expected Version) (Version, error) {
+	if err := f.gate(true); err != nil {
+		return 0, err
+	}
+	return f.Inner.XSet(key, value, expected)
+}
+
+// XGet implements Store.
+func (f *Flaky) XGet(key string) ([]byte, Version, error) {
+	if err := f.gate(false); err != nil {
+		return nil, 0, err
+	}
+	return f.Inner.XGet(key)
+}
+
+// Len implements Store.
+func (f *Flaky) Len() int { return f.Inner.Len() }
+
+// Close implements Store.
+func (f *Flaky) Close() error { return f.Inner.Close() }
+
+var _ Store = (*Flaky)(nil)

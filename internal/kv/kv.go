@@ -1,0 +1,192 @@
+// Package kv implements the persistent key-value substrate IPS flushes
+// profile data into (§III-E). In production this is an HBase-like
+// distributed store; here it is a from-scratch versioned KV store with the
+// same API surface the paper relies on:
+//
+//   - plain Set/Get for the bulk (whole-profile) persistence mode, and
+//   - XSet/XGet carrying generation versions for the fine-grained
+//     (slice-split) mode, whose consistency protocol (Fig. 14) requires
+//     writes to be rejected when the caller holds a stale version.
+//
+// Two implementations are provided: a purely in-memory store and a
+// disk-backed store (append-only log + in-memory index) for durability
+// testing. A Replicated wrapper adds master/replica asynchronous
+// replication with observable lag, reproducing the weak-consistency
+// behaviour §III-G describes.
+package kv
+
+import (
+	"errors"
+	"sync"
+)
+
+// Version is the generation number attached to a value by XSet.
+type Version uint64
+
+// Errors returned by stores.
+var (
+	// ErrNotFound reports a missing key.
+	ErrNotFound = errors.New("kv: key not found")
+	// ErrStaleVersion reports an XSet or XGet carrying a version older
+	// than the stored one; the caller must reload before retrying
+	// (Fig. 14).
+	ErrStaleVersion = errors.New("kv: stale version")
+	// ErrClosed reports an operation on a closed store.
+	ErrClosed = errors.New("kv: store closed")
+)
+
+// Store is the interface the persistence layer programs against. All
+// implementations are safe for concurrent use.
+type Store interface {
+	// Set stores value under key unconditionally.
+	Set(key string, value []byte) error
+	// Get returns the value for key, or ErrNotFound.
+	Get(key string) ([]byte, error)
+	// Delete removes key; deleting an absent key is not an error.
+	Delete(key string) error
+
+	// XSet stores value only if expected matches the stored version
+	// (0 means "key must be absent or any version on first write").
+	// It returns the new version, or ErrStaleVersion.
+	XSet(key string, value []byte, expected Version) (Version, error)
+	// XGet returns the value and its current version.
+	XGet(key string) ([]byte, Version, error)
+
+	// Len returns the number of stored keys.
+	Len() int
+	// Close releases resources.
+	Close() error
+}
+
+type entry struct {
+	value   []byte
+	version Version
+}
+
+// Memory is an in-memory Store.
+type Memory struct {
+	mu     sync.RWMutex
+	data   map[string]entry
+	closed bool
+
+	// Latency hooks let the benchmark harness model the 2–4ms penalty of
+	// a KV round trip on cache miss (Table II); nil means no delay.
+	BeforeOp func(op string, key string)
+}
+
+// NewMemory creates an empty in-memory store.
+func NewMemory() *Memory {
+	return &Memory{data: make(map[string]entry)}
+}
+
+func (m *Memory) hook(op, key string) {
+	if m.BeforeOp != nil {
+		m.BeforeOp(op, key)
+	}
+}
+
+// Set implements Store.
+func (m *Memory) Set(key string, value []byte) error {
+	m.hook("set", key)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	e := m.data[key]
+	m.data[key] = entry{value: clone(value), version: e.version + 1}
+	return nil
+}
+
+// Get implements Store.
+func (m *Memory) Get(key string) ([]byte, error) {
+	m.hook("get", key)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, ErrClosed
+	}
+	e, ok := m.data[key]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return clone(e.value), nil
+}
+
+// Delete implements Store.
+func (m *Memory) Delete(key string) error {
+	m.hook("delete", key)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	delete(m.data, key)
+	return nil
+}
+
+// XSet implements Store.
+func (m *Memory) XSet(key string, value []byte, expected Version) (Version, error) {
+	m.hook("xset", key)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, ErrClosed
+	}
+	e, ok := m.data[key]
+	if expected != 0 && (!ok || e.version != expected) {
+		return e.version, ErrStaleVersion
+	}
+	nv := e.version + 1
+	m.data[key] = entry{value: clone(value), version: nv}
+	return nv, nil
+}
+
+// XGet implements Store.
+func (m *Memory) XGet(key string) ([]byte, Version, error) {
+	m.hook("xget", key)
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, 0, ErrClosed
+	}
+	e, ok := m.data[key]
+	if !ok {
+		return nil, 0, ErrNotFound
+	}
+	return clone(e.value), e.version, nil
+}
+
+// Len implements Store.
+func (m *Memory) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.data)
+}
+
+// Close implements Store.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	m.data = nil
+	return nil
+}
+
+// Keys returns a snapshot of all keys, for tests and replication bootstrap.
+func (m *Memory) Keys() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]string, 0, len(m.data))
+	for k := range m.data {
+		out = append(out, k)
+	}
+	return out
+}
+
+func clone(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	return append([]byte(nil), b...)
+}

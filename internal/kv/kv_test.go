@@ -1,0 +1,415 @@
+package kv
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// storeSuite runs the contract tests against any Store implementation.
+func storeSuite(t *testing.T, open func(t *testing.T) Store) {
+	t.Run("SetGet", func(t *testing.T) {
+		s := open(t)
+		defer s.Close()
+		if err := s.Set("a", []byte("1")); err != nil {
+			t.Fatal(err)
+		}
+		v, err := s.Get("a")
+		if err != nil || string(v) != "1" {
+			t.Fatalf("Get = %q, %v", v, err)
+		}
+		if _, err := s.Get("missing"); err != ErrNotFound {
+			t.Fatalf("missing key err = %v, want ErrNotFound", err)
+		}
+		if s.Len() != 1 {
+			t.Fatalf("Len = %d, want 1", s.Len())
+		}
+	})
+
+	t.Run("Overwrite", func(t *testing.T) {
+		s := open(t)
+		defer s.Close()
+		_ = s.Set("k", []byte("v1"))
+		_ = s.Set("k", []byte("v2"))
+		v, _ := s.Get("k")
+		if string(v) != "v2" {
+			t.Fatalf("Get = %q, want v2", v)
+		}
+		if s.Len() != 1 {
+			t.Fatalf("Len = %d", s.Len())
+		}
+	})
+
+	t.Run("Delete", func(t *testing.T) {
+		s := open(t)
+		defer s.Close()
+		_ = s.Set("k", []byte("v"))
+		if err := s.Delete("k"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Get("k"); err != ErrNotFound {
+			t.Fatalf("deleted key err = %v", err)
+		}
+		if err := s.Delete("never-existed"); err != nil {
+			t.Fatalf("deleting absent key: %v", err)
+		}
+	})
+
+	t.Run("ValueIsolation", func(t *testing.T) {
+		s := open(t)
+		defer s.Close()
+		buf := []byte("mutable")
+		_ = s.Set("k", buf)
+		buf[0] = 'X'
+		v, _ := s.Get("k")
+		if string(v) != "mutable" {
+			t.Fatal("store must copy values on Set")
+		}
+		v[0] = 'Y'
+		v2, _ := s.Get("k")
+		if string(v2) != "mutable" {
+			t.Fatal("store must copy values on Get")
+		}
+	})
+
+	t.Run("XSetXGet", func(t *testing.T) {
+		s := open(t)
+		defer s.Close()
+		v1, err := s.XSet("k", []byte("a"), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		val, ver, err := s.XGet("k")
+		if err != nil || string(val) != "a" || ver != v1 {
+			t.Fatalf("XGet = %q, %d, %v", val, ver, err)
+		}
+		// Write with the right version succeeds and bumps it.
+		v2, err := s.XSet("k", []byte("b"), v1)
+		if err != nil || v2 <= v1 {
+			t.Fatalf("XSet = %d, %v", v2, err)
+		}
+		// Write with a stale version is rejected (Fig. 14).
+		if _, err := s.XSet("k", []byte("c"), v1); err != ErrStaleVersion {
+			t.Fatalf("stale XSet err = %v, want ErrStaleVersion", err)
+		}
+		val, _, _ = s.XGet("k")
+		if string(val) != "b" {
+			t.Fatalf("value after rejected write = %q, want b", val)
+		}
+		if _, _, err := s.XGet("absent"); err != ErrNotFound {
+			t.Fatalf("XGet absent err = %v", err)
+		}
+	})
+
+	t.Run("XSetZeroExpectedAlwaysWrites", func(t *testing.T) {
+		s := open(t)
+		defer s.Close()
+		_, _ = s.XSet("k", []byte("a"), 0)
+		if _, err := s.XSet("k", []byte("b"), 0); err != nil {
+			t.Fatalf("unconditional XSet: %v", err)
+		}
+	})
+
+	t.Run("Concurrent", func(t *testing.T) {
+		s := open(t)
+		defer s.Close()
+		var wg sync.WaitGroup
+		for w := 0; w < 8; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					key := fmt.Sprintf("k%d", i%10)
+					_ = s.Set(key, []byte{byte(w), byte(i)})
+					_, _ = s.Get(key)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if s.Len() != 10 {
+			t.Fatalf("Len = %d, want 10", s.Len())
+		}
+	})
+
+	t.Run("ClosedErrors", func(t *testing.T) {
+		s := open(t)
+		s.Close()
+		if err := s.Set("k", nil); err != ErrClosed {
+			t.Fatalf("Set after close = %v", err)
+		}
+		if _, err := s.Get("k"); err != ErrClosed {
+			t.Fatalf("Get after close = %v", err)
+		}
+	})
+}
+
+func TestMemoryStore(t *testing.T) {
+	storeSuite(t, func(t *testing.T) Store { return NewMemory() })
+}
+
+func TestDiskStore(t *testing.T) {
+	storeSuite(t, func(t *testing.T) Store {
+		d, err := OpenDisk(filepath.Join(t.TempDir(), "kv.log"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	})
+}
+
+func TestDiskRecovery(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "kv.log")
+	d, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := d.Set(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = d.Delete("k50")
+	v, err := d.XSet("k0", []byte("versioned"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Len() != 99 {
+		t.Fatalf("recovered %d keys, want 99", d2.Len())
+	}
+	if _, err := d2.Get("k50"); err != ErrNotFound {
+		t.Fatal("deleted key resurrected")
+	}
+	got, ver, err := d2.XGet("k0")
+	if err != nil || string(got) != "versioned" {
+		t.Fatalf("XGet after recovery = %q, %v", got, err)
+	}
+	if ver != v {
+		t.Fatalf("version after recovery = %d, want %d", ver, v)
+	}
+	// And the recovered store accepts new versioned writes consistently.
+	if _, err := d2.XSet("k0", []byte("next"), ver); err != nil {
+		t.Fatalf("versioned write after recovery: %v", err)
+	}
+}
+
+func TestDiskCorruptTailTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "kv.log")
+	d, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = d.Set("good", []byte("data"))
+	_ = d.Close()
+
+	// Append garbage simulating a torn write.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = f.Write([]byte{0xde, 0xad, 0xbe})
+	_ = f.Close()
+
+	d2, err := OpenDisk(path)
+	if err != nil {
+		t.Fatalf("reopen with corrupt tail: %v", err)
+	}
+	defer d2.Close()
+	v, err := d2.Get("good")
+	if err != nil || string(v) != "data" {
+		t.Fatalf("good record lost: %q, %v", v, err)
+	}
+	// New writes after recovery must survive another reopen.
+	_ = d2.Set("after", []byte("x"))
+	_ = d2.Close()
+	d3, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	if _, err := d3.Get("after"); err != nil {
+		t.Fatalf("post-recovery write lost: %v", err)
+	}
+}
+
+func TestDiskRecoveryProperty(t *testing.T) {
+	// Property: any sequence of sets/deletes is fully recovered by reopen.
+	f := func(ops []struct {
+		Key byte
+		Val []byte
+		Del bool
+	}) bool {
+		dir, err := os.MkdirTemp("", "kvprop")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, "kv.log")
+		d, err := OpenDisk(path)
+		if err != nil {
+			return false
+		}
+		want := map[string][]byte{}
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op.Key%16)
+			if op.Del {
+				_ = d.Delete(key)
+				delete(want, key)
+			} else {
+				_ = d.Set(key, op.Val)
+				want[key] = append([]byte(nil), op.Val...)
+			}
+		}
+		d.Close()
+		d2, err := OpenDisk(path)
+		if err != nil {
+			return false
+		}
+		defer d2.Close()
+		if d2.Len() != len(want) {
+			return false
+		}
+		for k, v := range want {
+			got, err := d2.Get(k)
+			if err != nil || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicatedBasic(t *testing.T) {
+	master := NewMemory()
+	r := NewReplicated(master)
+	defer r.Close()
+	east, west := NewMemory(), NewMemory()
+	r.AddReplica("east", east)
+	r.AddReplica("west", west)
+
+	if err := r.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// Master sees it immediately.
+	if v, err := r.Get("k"); err != nil || string(v) != "v" {
+		t.Fatalf("master get = %q, %v", v, err)
+	}
+	r.Drain()
+	for _, rep := range []*Memory{east, west} {
+		v, err := rep.Get("k")
+		if err != nil || string(v) != "v" {
+			t.Fatalf("replica get = %q, %v", v, err)
+		}
+	}
+	if r.Applied("east") == 0 {
+		t.Fatal("applied counter not advancing")
+	}
+}
+
+func TestReplicatedStaleRead(t *testing.T) {
+	// The §III-G anomaly: with replication lag, a replica read after a
+	// master write returns stale data.
+	master := NewMemory()
+	r := NewReplicated(master)
+	r.Lag = 50 * time.Millisecond
+	defer r.Close()
+	east := NewMemory()
+	r.AddReplica("east", east)
+
+	_ = r.Set("k", []byte("v1"))
+	r.Drain()
+	_ = r.Set("k", []byte("v2"))
+
+	// Immediately read the replica: must still see v1 (stale).
+	v, err := east.Get("k")
+	if err != nil || string(v) != "v1" {
+		t.Fatalf("replica read = %q, %v; want stale v1", v, err)
+	}
+	r.Drain()
+	v, _ = east.Get("k")
+	if string(v) != "v2" {
+		t.Fatalf("replica read after drain = %q, want v2", v)
+	}
+}
+
+func TestReplicatedDelete(t *testing.T) {
+	r := NewReplicated(NewMemory())
+	defer r.Close()
+	east := NewMemory()
+	r.AddReplica("east", east)
+	_ = r.Set("k", []byte("v"))
+	_ = r.Delete("k")
+	r.Drain()
+	if _, err := east.Get("k"); err != ErrNotFound {
+		t.Fatalf("replica should see delete, got %v", err)
+	}
+}
+
+func TestReplicatedXSetReplicates(t *testing.T) {
+	r := NewReplicated(NewMemory())
+	defer r.Close()
+	east := NewMemory()
+	r.AddReplica("east", east)
+	if _, err := r.XSet("k", []byte("v"), 0); err != nil {
+		t.Fatal(err)
+	}
+	r.Drain()
+	if v, err := east.Get("k"); err != nil || string(v) != "v" {
+		t.Fatalf("replica = %q, %v", v, err)
+	}
+}
+
+func TestReplicatedCloseIdempotent(t *testing.T) {
+	r := NewReplicated(NewMemory())
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Writes after close fail on the closed master.
+	if err := r.Set("k", nil); err == nil {
+		t.Fatal("Set after close should fail")
+	}
+}
+
+func BenchmarkMemorySet(b *testing.B) {
+	s := NewMemory()
+	defer s.Close()
+	val := bytes.Repeat([]byte("x"), 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = s.Set(fmt.Sprintf("k%d", i%4096), val)
+	}
+}
+
+func BenchmarkDiskSet(b *testing.B) {
+	d, err := OpenDisk(filepath.Join(b.TempDir(), "kv.log"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	val := bytes.Repeat([]byte("x"), 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = d.Set(fmt.Sprintf("k%d", i%4096), val)
+	}
+}

@@ -1,0 +1,189 @@
+package kv
+
+import (
+	"sync"
+	"time"
+)
+
+// Replicated wires a master store to one replica per region with
+// asynchronous replication, reproducing the multi-region persistence layout
+// of §III-G (Fig. 15): one region's IPS instance persists to the master
+// cluster, every other region reads its local replica (slave) cluster.
+// Replication is asynchronous, so a replica may serve stale data — the
+// weak-consistency anomaly the paper explicitly accepts.
+type Replicated struct {
+	master   Store
+	mu       sync.Mutex
+	replicas map[string]Store
+	queue    chan repOp
+	wg       sync.WaitGroup
+	closed   bool
+	// Lag artificially delays replication per op, letting tests and the
+	// harness provoke stale reads deterministically.
+	Lag time.Duration
+	// enqueued / completed track replication progress: completed counts
+	// ops fully applied to every replica, so Drain can wait for in-flight
+	// work, not just an empty queue.
+	enqueued  int64
+	completed int64
+	progress  sync.Mutex
+	appliedMu sync.Mutex
+	appliedN  map[string]int64
+}
+
+type repOp struct {
+	op      byte // opSet / opDelete
+	key     string
+	value   []byte
+	version Version
+}
+
+// NewReplicated wraps master; replicas attach via AddReplica.
+func NewReplicated(master Store) *Replicated {
+	r := &Replicated{
+		master:   master,
+		replicas: make(map[string]Store),
+		queue:    make(chan repOp, 8192),
+		appliedN: make(map[string]int64),
+	}
+	r.wg.Add(1)
+	go r.replicator()
+	return r
+}
+
+// AddReplica registers the replica store serving region.
+func (r *Replicated) AddReplica(region string, s Store) {
+	r.mu.Lock()
+	r.replicas[region] = s
+	r.mu.Unlock()
+}
+
+// Replica returns the store serving region, or nil.
+func (r *Replicated) Replica(region string) Store {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.replicas[region]
+}
+
+// Master returns the master store.
+func (r *Replicated) Master() Store { return r.master }
+
+func (r *Replicated) replicator() {
+	defer r.wg.Done()
+	for op := range r.queue {
+		if r.Lag > 0 {
+			time.Sleep(r.Lag)
+		}
+		r.mu.Lock()
+		reps := make(map[string]Store, len(r.replicas))
+		for name, s := range r.replicas {
+			reps[name] = s
+		}
+		r.mu.Unlock()
+		for region, s := range reps {
+			switch op.op {
+			case opSet:
+				_ = s.Set(op.key, op.value)
+			case opDelete:
+				_ = s.Delete(op.key)
+			}
+			r.appliedMu.Lock()
+			r.appliedN[region]++
+			r.appliedMu.Unlock()
+		}
+		r.progress.Lock()
+		r.completed++
+		r.progress.Unlock()
+	}
+}
+
+// Applied reports how many ops have been applied to region's replica.
+func (r *Replicated) Applied(region string) int64 {
+	r.appliedMu.Lock()
+	defer r.appliedMu.Unlock()
+	return r.appliedN[region]
+}
+
+func (r *Replicated) enqueue(op repOp) {
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return
+	}
+	r.progress.Lock()
+	r.enqueued++
+	r.progress.Unlock()
+	// Block rather than drop: replication order must be preserved.
+	r.queue <- op
+}
+
+// Set writes to the master and replicates asynchronously.
+func (r *Replicated) Set(key string, value []byte) error {
+	if err := r.master.Set(key, value); err != nil {
+		return err
+	}
+	r.enqueue(repOp{op: opSet, key: key, value: clone(value)})
+	return nil
+}
+
+// Get reads from the master (strongly consistent path).
+func (r *Replicated) Get(key string) ([]byte, error) { return r.master.Get(key) }
+
+// Delete removes from the master and replicates asynchronously.
+func (r *Replicated) Delete(key string) error {
+	if err := r.master.Delete(key); err != nil {
+		return err
+	}
+	r.enqueue(repOp{op: opDelete, key: key})
+	return nil
+}
+
+// XSet performs a versioned write on the master and replicates it.
+func (r *Replicated) XSet(key string, value []byte, expected Version) (Version, error) {
+	v, err := r.master.XSet(key, value, expected)
+	if err != nil {
+		return v, err
+	}
+	r.enqueue(repOp{op: opSet, key: key, value: clone(value), version: v})
+	return v, nil
+}
+
+// XGet reads the versioned value from the master.
+func (r *Replicated) XGet(key string) ([]byte, Version, error) { return r.master.XGet(key) }
+
+// Len reports the master's key count.
+func (r *Replicated) Len() int { return r.master.Len() }
+
+// Close stops replication (draining the queue) and closes the master. It
+// does not close replicas, which may be shared.
+func (r *Replicated) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.queue)
+	r.wg.Wait()
+	return r.master.Close()
+}
+
+// Drain blocks until every replication op enqueued so far has been applied
+// to all replicas, for tests.
+func (r *Replicated) Drain() {
+	for {
+		r.progress.Lock()
+		done := r.completed >= r.enqueued
+		r.progress.Unlock()
+		if done {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+var _ Store = (*Replicated)(nil)
+var _ Store = (*Memory)(nil)
+var _ Store = (*Disk)(nil)

@@ -1,0 +1,318 @@
+// Package legacy implements the baseline IPS replaced: the Lambda-style
+// pair of profile services described in §I / Fig. 2 of the paper.
+//
+//   - LongTermProfile keeps, per user, a precomputed summary of top
+//     features over the entire history, rebuilt by a daily offline batch
+//     job — so it is stale by up to a day and supports only the windows
+//     the batch job precomputed.
+//   - ShortTermProfile keeps only the content IDs of the user's most
+//     recent actions; at query time the upstream must fetch each item's
+//     categorical detail from a content store and aggregate client-side
+//     (a key→ID-list mapping plus N content lookups of read
+//     amplification).
+//
+// The comparison experiment (cmd/ips-bench -exp lambda) measures the two
+// §I complaints this design motivates: feature freshness bounded by the
+// batch cadence, and inflexible time windows (anything between "recent
+// clicks" and "all history" is unanswerable without re-engineering).
+package legacy
+
+import (
+	"sort"
+	"sync"
+
+	"ips/internal/model"
+)
+
+// ContentInfo is an item's categorical detail held by the content store.
+type ContentInfo struct {
+	Slot model.SlotID
+	Type model.TypeID
+}
+
+// ContentStore maps content IDs to their categories — the external store
+// the short-term path joins against at query time.
+type ContentStore struct {
+	mu    sync.RWMutex
+	items map[uint64]ContentInfo
+	// Lookups counts point reads, the read-amplification metric.
+	Lookups int64
+}
+
+// NewContentStore creates an empty store.
+func NewContentStore() *ContentStore {
+	return &ContentStore{items: make(map[uint64]ContentInfo)}
+}
+
+// Put registers an item.
+func (cs *ContentStore) Put(id uint64, info ContentInfo) {
+	cs.mu.Lock()
+	cs.items[id] = info
+	cs.mu.Unlock()
+}
+
+// Get fetches an item's info, counting the lookup.
+func (cs *ContentStore) Get(id uint64) (ContentInfo, bool) {
+	cs.mu.Lock()
+	cs.Lookups++
+	info, ok := cs.items[id]
+	cs.mu.Unlock()
+	return info, ok
+}
+
+// Click is one recorded short-term event: just the content ID and time,
+// exactly the "key to ID list mapping" the paper describes.
+type Click struct {
+	ItemID    uint64
+	Timestamp model.Millis
+}
+
+// ShortTermProfile keeps each user's most recent clicks.
+type ShortTermProfile struct {
+	mu     sync.RWMutex
+	recent map[model.ProfileID][]Click
+	// Capacity bounds the per-user list (e.g. last 100 clicks).
+	Capacity int
+}
+
+// NewShortTermProfile creates a store keeping up to capacity clicks per
+// user.
+func NewShortTermProfile(capacity int) *ShortTermProfile {
+	if capacity <= 0 {
+		capacity = 100
+	}
+	return &ShortTermProfile{recent: make(map[model.ProfileID][]Click), Capacity: capacity}
+}
+
+// Record appends a click, evicting the oldest past capacity.
+func (sp *ShortTermProfile) Record(user model.ProfileID, c Click) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	list := append(sp.recent[user], c)
+	if len(list) > sp.Capacity {
+		list = list[len(list)-sp.Capacity:]
+	}
+	sp.recent[user] = list
+}
+
+// Recent returns the user's recent clicks, newest last.
+func (sp *ShortTermProfile) Recent(user model.ProfileID) []Click {
+	sp.mu.RLock()
+	defer sp.mu.RUnlock()
+	return append([]Click(nil), sp.recent[user]...)
+}
+
+// LongTermSummary is the precomputed output of the batch job for one
+// user: top features by click count over the whole processed history.
+type LongTermSummary struct {
+	// AsOf is the batch cut-off: events after it are not reflected.
+	AsOf model.Millis
+	// Top is sorted by count descending.
+	Top []FeatureCount
+}
+
+// FeatureCount pairs a feature with its aggregate count.
+type FeatureCount struct {
+	FID   model.FeatureID
+	Slot  model.SlotID
+	Type  model.TypeID
+	Count int64
+}
+
+// LongTermProfile is the KV of batch-computed summaries.
+type LongTermProfile struct {
+	mu        sync.RWMutex
+	summaries map[model.ProfileID]LongTermSummary
+}
+
+// NewLongTermProfile creates an empty store.
+func NewLongTermProfile() *LongTermProfile {
+	return &LongTermProfile{summaries: make(map[model.ProfileID]LongTermSummary)}
+}
+
+// Get returns the user's summary (zero value when the batch has not
+// covered them yet).
+func (lp *LongTermProfile) Get(user model.ProfileID) LongTermSummary {
+	lp.mu.RLock()
+	defer lp.mu.RUnlock()
+	return lp.summaries[user]
+}
+
+func (lp *LongTermProfile) put(user model.ProfileID, s LongTermSummary) {
+	lp.mu.Lock()
+	lp.summaries[user] = s
+	lp.mu.Unlock()
+}
+
+// Event is one row of the raw action log the batch job processes.
+type Event struct {
+	User      model.ProfileID
+	ItemID    uint64
+	FID       model.FeatureID
+	Slot      model.SlotID
+	Type      model.TypeID
+	Timestamp model.Millis
+}
+
+// BatchJob is the daily offline job (the paper's "daily offline batch job
+// processes the previous day's logs then updates the long term profile").
+// It scans the full accumulated event log and rewrites every summary.
+type BatchJob struct {
+	mu  sync.Mutex
+	log []Event
+	// TopK bounds the summary size.
+	TopK int
+	// Runs counts executions; EventsScanned counts total rows processed
+	// across runs (the batch job's cost, which grows with history).
+	Runs          int64
+	EventsScanned int64
+}
+
+// NewBatchJob creates a job retaining topK features per user.
+func NewBatchJob(topK int) *BatchJob {
+	if topK <= 0 {
+		topK = 50
+	}
+	return &BatchJob{TopK: topK}
+}
+
+// Append adds raw events to the log (the write path of the legacy
+// system's long-term side).
+func (b *BatchJob) Append(evs ...Event) {
+	b.mu.Lock()
+	b.log = append(b.log, evs...)
+	b.mu.Unlock()
+}
+
+// Run executes one batch pass as of the given cut-off time, rewriting lp.
+// Events newer than asOf are ignored (they belong to the next day's run).
+func (b *BatchJob) Run(lp *LongTermProfile, asOf model.Millis) {
+	b.mu.Lock()
+	log := append([]Event(nil), b.log...)
+	b.mu.Unlock()
+
+	type key struct {
+		user model.ProfileID
+		fid  model.FeatureID
+	}
+	counts := make(map[key]*FeatureCount)
+	users := make(map[model.ProfileID]struct{})
+	for _, ev := range log {
+		b.EventsScanned++
+		if ev.Timestamp > asOf {
+			continue
+		}
+		users[ev.User] = struct{}{}
+		k := key{ev.User, ev.FID}
+		fc := counts[k]
+		if fc == nil {
+			fc = &FeatureCount{FID: ev.FID, Slot: ev.Slot, Type: ev.Type}
+			counts[k] = fc
+		}
+		fc.Count++
+	}
+	for user := range users {
+		var top []FeatureCount
+		for k, fc := range counts {
+			if k.user == user {
+				top = append(top, *fc)
+			}
+		}
+		sort.Slice(top, func(i, j int) bool {
+			if top[i].Count != top[j].Count {
+				return top[i].Count > top[j].Count
+			}
+			return top[i].FID < top[j].FID
+		})
+		if len(top) > b.TopK {
+			top = top[:b.TopK]
+		}
+		lp.put(user, LongTermSummary{AsOf: asOf, Top: top})
+	}
+	b.Runs++
+}
+
+// Service is the legacy feature service an upstream ranker programs
+// against: two stores, two code paths, client-side joins — the §I
+// operational burden IPS removed.
+type Service struct {
+	Short    *ShortTermProfile
+	Long     *LongTermProfile
+	Contents *ContentStore
+	Batch    *BatchJob
+}
+
+// NewService assembles the legacy stack.
+func NewService(shortCapacity, batchTopK int) *Service {
+	return &Service{
+		Short:    NewShortTermProfile(shortCapacity),
+		Long:     NewLongTermProfile(),
+		Contents: NewContentStore(),
+		Batch:    NewBatchJob(batchTopK),
+	}
+}
+
+// RecordClick is the legacy write path: the click lands in the short-term
+// list immediately and in the batch log for the next daily run.
+func (s *Service) RecordClick(user model.ProfileID, item uint64, fid model.FeatureID, ts model.Millis) {
+	info, _ := s.Contents.Get(item)
+	s.Short.Record(user, Click{ItemID: item, Timestamp: ts})
+	s.Batch.Append(Event{User: user, ItemID: item, FID: fid, Slot: info.Slot, Type: info.Type, Timestamp: ts})
+}
+
+// RunDailyBatch executes the offline job as of now.
+func (s *Service) RunDailyBatch(now model.Millis) { s.Batch.Run(s.Long, now) }
+
+// TopKShort answers a top-K query from the short-term path: fetch the
+// recent ID list, join each ID against the content store, filter by
+// category, count clicks per item. Only "the last N clicks" is
+// expressible; arbitrary windows beyond the list's horizon are not.
+func (s *Service) TopKShort(user model.ProfileID, slot model.SlotID, typ model.TypeID, from model.Millis, k int) []FeatureCount {
+	clicks := s.Short.Recent(user)
+	counts := make(map[uint64]*FeatureCount)
+	for _, c := range clicks {
+		if c.Timestamp < from {
+			continue
+		}
+		info, ok := s.Contents.Get(c.ItemID) // read amplification: one lookup per click
+		if !ok || info.Slot != slot || info.Type != typ {
+			continue
+		}
+		fc := counts[c.ItemID]
+		if fc == nil {
+			fc = &FeatureCount{FID: c.ItemID, Slot: info.Slot, Type: info.Type}
+			counts[c.ItemID] = fc
+		}
+		fc.Count++
+	}
+	out := make([]FeatureCount, 0, len(counts))
+	for _, fc := range counts {
+		out = append(out, *fc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].FID < out[j].FID
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// TopKLong answers from the precomputed long-term summary: whole-history
+// only, stale up to the batch cadence.
+func (s *Service) TopKLong(user model.ProfileID, slot model.SlotID, typ model.TypeID, k int) []FeatureCount {
+	sum := s.Long.Get(user)
+	var out []FeatureCount
+	for _, fc := range sum.Top {
+		if fc.Slot == slot && fc.Type == typ {
+			out = append(out, fc)
+		}
+	}
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}

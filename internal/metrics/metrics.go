@@ -1,0 +1,401 @@
+// Package metrics provides the low-overhead instrumentation primitives IPS
+// uses to report the production-style numbers in the paper's evaluation:
+// p50/p99 latencies, throughput, error rates, cache hit ratios and memory
+// usage. Everything is safe for concurrent use and allocation-free on the
+// hot path.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta to the counter.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Reset sets the counter back to zero and returns the previous value.
+func (c *Counter) Reset() int64 { return c.n.Swap(0) }
+
+// Gauge is a settable instantaneous value, e.g. current memory usage.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta and returns the new value.
+func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Ratio tracks hits out of a total, e.g. cache hit ratio.
+type Ratio struct {
+	hit, total Counter
+}
+
+// Observe records one observation; hit says whether it counts toward the
+// numerator.
+func (r *Ratio) Observe(hit bool) {
+	r.total.Inc()
+	if hit {
+		r.hit.Inc()
+	}
+}
+
+// Value returns the hit ratio in [0,1], or 0 when nothing was observed.
+func (r *Ratio) Value() float64 {
+	t := r.total.Value()
+	if t == 0 {
+		return 0
+	}
+	return float64(r.hit.Value()) / float64(t)
+}
+
+// Hits returns the numerator.
+func (r *Ratio) Hits() int64 { return r.hit.Value() }
+
+// Total returns the denominator.
+func (r *Ratio) Total() int64 { return r.total.Value() }
+
+// Reset clears both sides of the ratio.
+func (r *Ratio) Reset() {
+	r.hit.Reset()
+	r.total.Reset()
+}
+
+// bucketCount is the number of log-scaled histogram buckets. Bucket i covers
+// durations in [lowerBound(i), lowerBound(i+1)). With a growth factor of
+// about 1.15 per bucket starting at 1us, 160 buckets reach past 1000s, which
+// comfortably covers every latency IPS can produce.
+const bucketCount = 160
+
+// growth is the per-bucket multiplicative width.
+const growth = 1.15
+
+// bucketBounds[i] is the inclusive lower bound of bucket i in nanoseconds.
+var bucketBounds = func() [bucketCount]int64 {
+	var b [bucketCount]int64
+	lo := 1000.0 // 1us in ns
+	for i := 0; i < bucketCount; i++ {
+		b[i] = int64(lo)
+		lo *= growth
+	}
+	return b
+}()
+
+// bucketFor returns the histogram bucket index for d.
+func bucketFor(d time.Duration) int {
+	ns := d.Nanoseconds()
+	if ns < bucketBounds[0] {
+		return 0
+	}
+	// log(ns/1000)/log(growth), clamped.
+	i := int(math.Log(float64(ns)/1000.0) / math.Log(growth))
+	if i < 0 {
+		i = 0
+	}
+	if i >= bucketCount {
+		i = bucketCount - 1
+	}
+	for i+1 < bucketCount && bucketBounds[i+1] <= ns {
+		i++
+	}
+	for i > 0 && bucketBounds[i] > ns {
+		i--
+	}
+	return i
+}
+
+// Histogram is a fixed-bucket, log-scaled latency histogram. Recording is a
+// single atomic add; quantile reads scan the buckets. Relative quantile
+// error is bounded by the bucket growth factor (~15%), which is plenty for
+// reproducing the p50/p99 shapes the paper reports.
+type Histogram struct {
+	buckets [bucketCount]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64 // total nanoseconds
+	max     atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	h.buckets[bucketFor(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(d.Nanoseconds())
+	for {
+		cur := h.max.Load()
+		if d.Nanoseconds() <= cur || h.max.CompareAndSwap(cur, d.Nanoseconds()) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Mean returns the mean observed duration.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Max returns the maximum observed duration.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Quantile returns the approximate q-quantile (q in [0,1]) of the recorded
+// durations. It returns 0 when the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i := 0; i < bucketCount; i++ {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			// Midpoint of the bucket is a better point estimate than
+			// either bound.
+			hi := int64(float64(bucketBounds[i]) * growth)
+			return time.Duration((bucketBounds[i] + hi) / 2)
+		}
+	}
+	return time.Duration(h.max.Load())
+}
+
+// P50 is shorthand for Quantile(0.50).
+func (h *Histogram) P50() time.Duration { return h.Quantile(0.50) }
+
+// P99 is shorthand for Quantile(0.99).
+func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
+
+// Reset clears all recorded observations.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
+}
+
+// Snapshot is an immutable copy of a histogram's summary statistics.
+type Snapshot struct {
+	Count int64
+	Mean  time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Snapshot captures the current summary statistics.
+func (h *Histogram) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.Count(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+		Max:   h.Max(),
+	}
+}
+
+// String renders the snapshot in a compact human-readable form.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
+}
+
+// Meter measures event rates over a sliding window, used for QPS-style
+// series (Figs 16 and 19).
+type Meter struct {
+	mu     sync.Mutex
+	window time.Duration
+	events []meterPoint
+	now    func() time.Time
+}
+
+type meterPoint struct {
+	t time.Time
+	n int64
+}
+
+// NewMeter creates a meter with the given sliding window.
+func NewMeter(window time.Duration) *Meter {
+	return &Meter{window: window, now: time.Now}
+}
+
+// Mark records n events at the current time.
+func (m *Meter) Mark(n int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	m.events = append(m.events, meterPoint{now, n})
+	m.trimLocked(now)
+}
+
+// Rate returns events per second over the window.
+func (m *Meter) Rate() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := m.now()
+	m.trimLocked(now)
+	var total int64
+	for _, e := range m.events {
+		total += e.n
+	}
+	return float64(total) / m.window.Seconds()
+}
+
+func (m *Meter) trimLocked(now time.Time) {
+	cutoff := now.Add(-m.window)
+	i := sort.Search(len(m.events), func(i int) bool { return m.events[i].t.After(cutoff) })
+	if i > 0 {
+		m.events = append(m.events[:0], m.events[i:]...)
+	}
+}
+
+// Registry is a named collection of metrics, one per IPS instance, so the
+// harness and the server's stats endpoint can enumerate them.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	ratios     map[string]*Ratio
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+		ratios:     make(map[string]*Ratio),
+	}
+}
+
+// Counter returns the counter registered under name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// needed.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; ok {
+		return h
+	}
+	h = &Histogram{}
+	r.histograms[name] = h
+	return h
+}
+
+// Ratio returns the ratio registered under name, creating it if needed.
+func (r *Registry) Ratio(name string) *Ratio {
+	r.mu.RLock()
+	x, ok := r.ratios[name]
+	r.mu.RUnlock()
+	if ok {
+		return x
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if x, ok = r.ratios[name]; ok {
+		return x
+	}
+	x = &Ratio{}
+	r.ratios[name] = x
+	return x
+}
+
+// Names returns the sorted names of all registered metrics, prefixed with
+// their kind.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []string
+	for n := range r.counters {
+		out = append(out, "counter/"+n)
+	}
+	for n := range r.gauges {
+		out = append(out, "gauge/"+n)
+	}
+	for n := range r.histograms {
+		out = append(out, "histogram/"+n)
+	}
+	for n := range r.ratios {
+		out = append(out, "ratio/"+n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,26 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMarshalDeterministic: identical content must always marshal to
+// identical bytes (the incremental persistence fingerprint depends on it).
+func TestMarshalDeterministic(t *testing.T) {
+	sch := NewSchema("a", "b")
+	p := NewProfile(1)
+	p.Lock()
+	for slot := SlotID(0); slot < 6; slot++ {
+		for typ := TypeID(0); typ < 4; typ++ {
+			_ = p.Add(sch, 1500, 1000, slot, typ, FeatureID(slot*10+slot), []int64{1, 2})
+		}
+	}
+	first := MarshalProfile(p)
+	for i := 0; i < 20; i++ {
+		if !bytes.Equal(MarshalProfile(p), first) {
+			t.Fatalf("marshal output differs on attempt %d: map-order leak", i)
+		}
+	}
+	p.Unlock()
+}

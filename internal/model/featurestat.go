@@ -1,0 +1,142 @@
+package model
+
+// FeatureStat is one feature's statistics inside a slice: the feature ID and
+// its vector of action counts. This is the leaf of the profile hierarchy —
+// the paper's "Indexed Feature Stat" entry, stored either as an int64 pair
+// (one action) or a list (several actions).
+type FeatureStat struct {
+	FID    FeatureID
+	Counts []int64
+}
+
+// Clone returns a deep copy.
+func (f FeatureStat) Clone() FeatureStat {
+	return FeatureStat{FID: f.FID, Counts: append([]int64(nil), f.Counts...)}
+}
+
+// FeatureStats holds every feature stat for one (slot, type) inside a slice.
+// It keeps the stats in a flat slice plus the paper's fid_index: a map from
+// FID to position, which makes write-time aggregation and multi-way merge
+// O(1) per feature.
+type FeatureStats struct {
+	stats    []FeatureStat
+	fidIndex map[FeatureID]int
+}
+
+// NewFeatureStats returns an empty FeatureStats.
+func NewFeatureStats() *FeatureStats {
+	return &FeatureStats{fidIndex: make(map[FeatureID]int)}
+}
+
+// Len returns the number of distinct features.
+func (fs *FeatureStats) Len() int { return len(fs.stats) }
+
+// Get returns the counts for fid, or nil when absent. The returned slice is
+// live; callers must not mutate it.
+func (fs *FeatureStats) Get(fid FeatureID) []int64 {
+	if i, ok := fs.fidIndex[fid]; ok {
+		return fs.stats[i].Counts
+	}
+	return nil
+}
+
+// Merge folds counts for fid into the set under the schema's per-action
+// reduce functions. The incoming counts are treated as the newer value.
+func (fs *FeatureStats) Merge(schema *Schema, fid FeatureID, counts []int64) {
+	if i, ok := fs.fidIndex[fid]; ok {
+		dst := fs.stats[i].Counts
+		for j := range dst {
+			if j < len(counts) {
+				dst[j] = schema.reducer(j).apply(dst[j], counts[j])
+			}
+		}
+		return
+	}
+	fs.fidIndex[fid] = len(fs.stats)
+	fs.stats = append(fs.stats, FeatureStat{FID: fid, Counts: append([]int64(nil), counts...)})
+}
+
+// MergeAll folds every stat from other into the set.
+func (fs *FeatureStats) MergeAll(schema *Schema, other *FeatureStats) {
+	for _, st := range other.stats {
+		fs.Merge(schema, st.FID, st.Counts)
+	}
+}
+
+// Each calls fn for every feature stat. The FeatureStat passed to fn aliases
+// internal storage; fn must not retain or mutate it.
+func (fs *FeatureStats) Each(fn func(FeatureStat)) {
+	for _, st := range fs.stats {
+		fn(st)
+	}
+}
+
+// Stats returns a deep copy of all stats, for callers that need a snapshot.
+func (fs *FeatureStats) Stats() []FeatureStat {
+	out := make([]FeatureStat, len(fs.stats))
+	for i, st := range fs.stats {
+		out[i] = st.Clone()
+	}
+	return out
+}
+
+// Delete removes fid from the set, reporting whether it was present.
+func (fs *FeatureStats) Delete(fid FeatureID) bool {
+	i, ok := fs.fidIndex[fid]
+	if !ok {
+		return false
+	}
+	last := len(fs.stats) - 1
+	if i != last {
+		fs.stats[i] = fs.stats[last]
+		fs.fidIndex[fs.stats[i].FID] = i
+	}
+	fs.stats = fs.stats[:last]
+	delete(fs.fidIndex, fid)
+	return true
+}
+
+// Retain keeps only the stats for which keep returns true, used by the
+// Shrink process to drop long-tail features.
+func (fs *FeatureStats) Retain(keep func(FeatureStat) bool) {
+	out := fs.stats[:0]
+	for _, st := range fs.stats {
+		if keep(st) {
+			out = append(out, st)
+		}
+	}
+	fs.stats = out
+	// Rebuild the fid index.
+	for k := range fs.fidIndex {
+		delete(fs.fidIndex, k)
+	}
+	for i, st := range fs.stats {
+		fs.fidIndex[st.FID] = i
+	}
+}
+
+// Clone returns a deep copy.
+func (fs *FeatureStats) Clone() *FeatureStats {
+	c := &FeatureStats{
+		stats:    make([]FeatureStat, len(fs.stats)),
+		fidIndex: make(map[FeatureID]int, len(fs.fidIndex)),
+	}
+	for i, st := range fs.stats {
+		c.stats[i] = st.Clone()
+		c.fidIndex[st.FID] = i
+	}
+	return c
+}
+
+// MemSize returns a deterministic estimate of the in-memory footprint in
+// bytes, used by GCache for eviction accounting.
+func (fs *FeatureStats) MemSize() int64 {
+	var n int64
+	for _, st := range fs.stats {
+		// FID + slice header + counts payload.
+		n += 8 + 24 + int64(8*len(st.Counts))
+	}
+	// fid_index map entries: key + value + bucket overhead estimate.
+	n += int64(len(fs.fidIndex)) * 32
+	return n + 48 // struct + map header
+}

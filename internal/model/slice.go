@@ -1,0 +1,163 @@
+package model
+
+// InstanceSet maps a Type to its feature stats inside one slice — the
+// middle level of the paper's multi-layer hash map (§III-B).
+type InstanceSet struct {
+	types map[TypeID]*FeatureStats
+}
+
+// NewInstanceSet returns an empty InstanceSet.
+func NewInstanceSet() *InstanceSet {
+	return &InstanceSet{types: make(map[TypeID]*FeatureStats)}
+}
+
+// Get returns the FeatureStats for typ, or nil when absent.
+func (is *InstanceSet) Get(typ TypeID) *FeatureStats { return is.types[typ] }
+
+// GetOrCreate returns the FeatureStats for typ, creating it when absent.
+func (is *InstanceSet) GetOrCreate(typ TypeID) *FeatureStats {
+	fs, ok := is.types[typ]
+	if !ok {
+		fs = NewFeatureStats()
+		is.types[typ] = fs
+	}
+	return fs
+}
+
+// Len returns the number of types present.
+func (is *InstanceSet) Len() int { return len(is.types) }
+
+// Each calls fn for every (type, stats) pair.
+func (is *InstanceSet) Each(fn func(TypeID, *FeatureStats)) {
+	for t, fs := range is.types {
+		fn(t, fs)
+	}
+}
+
+// Delete removes typ.
+func (is *InstanceSet) Delete(typ TypeID) { delete(is.types, typ) }
+
+// Clone returns a deep copy.
+func (is *InstanceSet) Clone() *InstanceSet {
+	c := NewInstanceSet()
+	for t, fs := range is.types {
+		c.types[t] = fs.Clone()
+	}
+	return c
+}
+
+// MemSize estimates the in-memory footprint in bytes.
+func (is *InstanceSet) MemSize() int64 {
+	var n int64 = 48
+	for _, fs := range is.types {
+		n += 16 + fs.MemSize()
+	}
+	return n
+}
+
+// Slice is a snapshot of a profile's behaviour over one time interval
+// [Start, End). A profile is a time-serial list of slices, newest first.
+// Write traffic lands in the head slice; background compaction merges
+// consecutive sealed slices into coarser ones (§III-D).
+type Slice struct {
+	// Start and End bound the interval covered by this slice, in Unix
+	// milliseconds; Start is inclusive, End exclusive.
+	Start, End Millis
+	// Latest is the newest event timestamp actually recorded in the slice,
+	// used by RELATIVE time-range queries.
+	Latest Millis
+
+	slots map[SlotID]*InstanceSet
+}
+
+// NewSlice creates an empty slice covering [start, end).
+func NewSlice(start, end Millis) *Slice {
+	return &Slice{Start: start, End: end, slots: make(map[SlotID]*InstanceSet)}
+}
+
+// Contains reports whether ts falls inside the slice interval.
+func (s *Slice) Contains(ts Millis) bool { return ts >= s.Start && ts < s.End }
+
+// Overlaps reports whether the slice interval intersects [from, to).
+func (s *Slice) Overlaps(from, to Millis) bool { return s.Start < to && s.End > from }
+
+// Width returns the interval length in milliseconds.
+func (s *Slice) Width() Millis { return s.End - s.Start }
+
+// Slot returns the InstanceSet for slot, or nil when absent.
+func (s *Slice) Slot(slot SlotID) *InstanceSet { return s.slots[slot] }
+
+// NumSlots returns the number of slots present.
+func (s *Slice) NumSlots() int { return len(s.slots) }
+
+// EachSlot calls fn for every (slot, set) pair.
+func (s *Slice) EachSlot(fn func(SlotID, *InstanceSet)) {
+	for id, set := range s.slots {
+		fn(id, set)
+	}
+}
+
+// Add merges one feature observation into the slice.
+func (s *Slice) Add(schema *Schema, ts Millis, slot SlotID, typ TypeID, fid FeatureID, counts []int64) {
+	set, ok := s.slots[slot]
+	if !ok {
+		set = NewInstanceSet()
+		s.slots[slot] = set
+	}
+	set.GetOrCreate(typ).Merge(schema, fid, counts)
+	if ts > s.Latest {
+		s.Latest = ts
+	}
+}
+
+// MergeFrom folds every slot of other into s and widens s's interval to
+// cover other's. Used by compaction.
+func (s *Slice) MergeFrom(schema *Schema, other *Slice) {
+	other.EachSlot(func(slot SlotID, set *InstanceSet) {
+		dst, ok := s.slots[slot]
+		if !ok {
+			dst = NewInstanceSet()
+			s.slots[slot] = dst
+		}
+		set.Each(func(typ TypeID, fs *FeatureStats) {
+			dst.GetOrCreate(typ).MergeAll(schema, fs)
+		})
+	})
+	if other.Start < s.Start {
+		s.Start = other.Start
+	}
+	if other.End > s.End {
+		s.End = other.End
+	}
+	if other.Latest > s.Latest {
+		s.Latest = other.Latest
+	}
+}
+
+// NumFeatures returns the total feature count across all slots and types.
+func (s *Slice) NumFeatures() int {
+	var n int
+	for _, set := range s.slots {
+		set.Each(func(_ TypeID, fs *FeatureStats) { n += fs.Len() })
+	}
+	return n
+}
+
+// Clone returns a deep copy.
+func (s *Slice) Clone() *Slice {
+	c := NewSlice(s.Start, s.End)
+	c.Latest = s.Latest
+	for id, set := range s.slots {
+		c.slots[id] = set.Clone()
+	}
+	return c
+}
+
+// MemSize estimates the in-memory footprint in bytes.
+func (s *Slice) MemSize() int64 {
+	var n int64 = 72 // struct + map header + interval fields
+	for _, set := range s.slots {
+		n += 16 + set.MemSize()
+	}
+	return n
+}

@@ -1,0 +1,170 @@
+package model
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// tableShards is the number of lock-striped shards in a Table's profile
+// map. Sharding by profile ID keeps write contention low the same way the
+// paper shards GCache's LRU list.
+const tableShards = 64
+
+// Table is the in-memory Profile Table (§III-B): an unordered map from
+// profile ID to profile data, lock-striped into shards. It owns the table's
+// schema and default slice granularity.
+type Table struct {
+	// Name identifies the table within an IPS instance.
+	Name string
+	// Schema is the table's action-count schema.
+	Schema *Schema
+
+	// headWidth is the width of newly created head slices, i.e. the
+	// finest granularity of the table's time-dimension config. It is
+	// atomic because configuration hot-reloads may change it while
+	// writers run (§V-b).
+	headWidth atomic.Int64
+
+	shards [tableShards]tableShard
+}
+
+// HeadWidth returns the current head-slice width in milliseconds.
+func (t *Table) HeadWidth() Millis { return t.headWidth.Load() }
+
+// SetHeadWidth installs a new head-slice width; subsequent writes use it.
+// Existing slices are reshaped by the next compaction pass.
+func (t *Table) SetHeadWidth(w Millis) {
+	if w > 0 {
+		t.headWidth.Store(w)
+	}
+}
+
+type tableShard struct {
+	mu       sync.RWMutex
+	profiles map[ProfileID]*Profile
+}
+
+// NewTable creates an empty table. headWidth <= 0 defaults to one second.
+func NewTable(name string, schema *Schema, headWidth Millis) *Table {
+	if headWidth <= 0 {
+		headWidth = 1000
+	}
+	t := &Table{Name: name, Schema: schema}
+	t.headWidth.Store(headWidth)
+	for i := range t.shards {
+		t.shards[i].profiles = make(map[ProfileID]*Profile)
+	}
+	return t
+}
+
+func (t *Table) shard(id ProfileID) *tableShard {
+	// Multiply-shift hash spreads sequential profile IDs across shards.
+	return &t.shards[(id*0x9e3779b97f4a7c15)>>58%tableShards]
+}
+
+// Get returns the profile for id, or nil when absent.
+func (t *Table) Get(id ProfileID) *Profile {
+	sh := t.shard(id)
+	sh.mu.RLock()
+	p := sh.profiles[id]
+	sh.mu.RUnlock()
+	return p
+}
+
+// GetOrCreate returns the profile for id, creating it when absent. created
+// reports whether a new profile was made.
+func (t *Table) GetOrCreate(id ProfileID) (p *Profile, created bool) {
+	sh := t.shard(id)
+	sh.mu.RLock()
+	p = sh.profiles[id]
+	sh.mu.RUnlock()
+	if p != nil {
+		return p, false
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if p = sh.profiles[id]; p != nil {
+		return p, false
+	}
+	p = NewProfile(id)
+	sh.profiles[id] = p
+	return p, true
+}
+
+// Put installs a profile wholesale (cache fill from persistent storage).
+// An existing profile for the same ID is replaced.
+func (t *Table) Put(p *Profile) {
+	sh := t.shard(p.ID)
+	sh.mu.Lock()
+	sh.profiles[p.ID] = p
+	sh.mu.Unlock()
+}
+
+// Delete removes the profile for id, reporting whether it was present.
+// Used by cache eviction.
+func (t *Table) Delete(id ProfileID) bool {
+	sh := t.shard(id)
+	sh.mu.Lock()
+	_, ok := sh.profiles[id]
+	delete(sh.profiles, id)
+	sh.mu.Unlock()
+	return ok
+}
+
+// Len returns the number of resident profiles.
+func (t *Table) Len() int {
+	var n int
+	for i := range t.shards {
+		t.shards[i].mu.RLock()
+		n += len(t.shards[i].profiles)
+		t.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// Each calls fn for every resident profile until fn returns false. The
+// iteration holds one shard read lock at a time; fn must not call back into
+// the same table's mutating methods.
+func (t *Table) Each(fn func(*Profile) bool) {
+	for i := range t.shards {
+		sh := &t.shards[i]
+		sh.mu.RLock()
+		for _, p := range sh.profiles {
+			if !fn(p) {
+				sh.mu.RUnlock()
+				return
+			}
+		}
+		sh.mu.RUnlock()
+	}
+}
+
+// IDs returns the IDs of all resident profiles, in no particular order.
+func (t *Table) IDs() []ProfileID {
+	out := make([]ProfileID, 0, t.Len())
+	t.Each(func(p *Profile) bool {
+		out = append(out, p.ID)
+		return true
+	})
+	return out
+}
+
+// Add merges one feature observation into the table, creating the profile
+// if needed. It is the table-level write entry point used by the server's
+// add_profile API.
+func (t *Table) Add(id ProfileID, ts Millis, slot SlotID, typ TypeID, fid FeatureID, counts []int64) error {
+	p, _ := t.GetOrCreate(id)
+	p.Lock()
+	defer p.Unlock()
+	return p.Add(t.Schema, ts, t.HeadWidth(), slot, typ, fid, counts)
+}
+
+// MemSize returns the summed footprint estimate of all resident profiles.
+func (t *Table) MemSize() int64 {
+	var n int64
+	t.Each(func(p *Profile) bool {
+		n += p.MemSize()
+		return true
+	})
+	return n
+}

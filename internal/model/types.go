@@ -1,0 +1,211 @@
+// Package model implements the IPS core data model (§II-A, §III-B of the
+// paper): a per-profile time-serial list of Slices, each embedding
+// multi-level hash maps from Slot → Type → feature ID → a vector of action
+// counts (the Indexed Feature Stat). The time-serial list gives flexible
+// time-window queries; the embedded maps give fast feature lookup and
+// multi-way merging.
+//
+// All timestamps in the model are Unix milliseconds. The model itself never
+// consults the wall clock: "now" always flows in from callers, which lets
+// the benchmark harness simulate days of traffic in seconds.
+package model
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Identifier types, matching the paper: profiles are keyed by a 64-bit
+// unsigned integer, features carry 64-bit feature IDs (FIDs) and are
+// categorized by Slot and Type.
+type (
+	// ProfileID uniquely identifies a profile within a table.
+	ProfileID = uint64
+	// FeatureID (FID) uniquely identifies a feature, e.g. one video or one
+	// hashed category literal.
+	FeatureID = uint64
+	// SlotID is the coarse feature category (e.g. "Sports").
+	SlotID = uint32
+	// TypeID is the fine feature category within a slot (e.g. "Basketball").
+	TypeID = uint32
+)
+
+// Millis is a timestamp in Unix milliseconds.
+type Millis = int64
+
+// Validation errors shared by the write path.
+var (
+	ErrBadCounts     = errors.New("model: count vector length does not match table schema")
+	ErrBadTimestamp  = errors.New("model: timestamp must be positive")
+	ErrUnknownAction = errors.New("model: unknown action name")
+)
+
+// Reduce identifies how two count values for the same FID combine when
+// profile data is aggregated (on write into an existing slice, during
+// compaction, and during query-time window merges). The paper calls this
+// the pre-configured reduce function (§III-D).
+type Reduce uint8
+
+// Supported reduce functions.
+const (
+	// ReduceSum adds counts; the default for behavioural counters.
+	ReduceSum Reduce = iota
+	// ReduceMax keeps the maximum; useful for high-watermark style stats.
+	ReduceMax
+	// ReduceMin keeps the minimum.
+	ReduceMin
+	// ReduceLast keeps the most recent value; useful for volatile signals
+	// like advertising bid prices (§I-d).
+	ReduceLast
+)
+
+// String returns the config-file spelling of the reduce function.
+func (r Reduce) String() string {
+	switch r {
+	case ReduceSum:
+		return "SUM"
+	case ReduceMax:
+		return "MAX"
+	case ReduceMin:
+		return "MIN"
+	case ReduceLast:
+		return "LAST"
+	default:
+		return fmt.Sprintf("Reduce(%d)", uint8(r))
+	}
+}
+
+// ParseReduce converts a config-file spelling into a Reduce.
+func ParseReduce(s string) (Reduce, error) {
+	switch s {
+	case "SUM", "sum", "":
+		return ReduceSum, nil
+	case "MAX", "max":
+		return ReduceMax, nil
+	case "MIN", "min":
+		return ReduceMin, nil
+	case "LAST", "last":
+		return ReduceLast, nil
+	default:
+		return 0, fmt.Errorf("model: unknown reduce function %q", s)
+	}
+}
+
+// apply combines two counts under the reduce function. newer is the more
+// recent value, which matters for ReduceLast.
+func (r Reduce) apply(older, newer int64) int64 {
+	switch r {
+	case ReduceSum:
+		return older + newer
+	case ReduceMax:
+		if newer > older {
+			return newer
+		}
+		return older
+	case ReduceMin:
+		if newer < older {
+			return newer
+		}
+		return older
+	case ReduceLast:
+		return newer
+	default:
+		return older + newer
+	}
+}
+
+// Schema describes one IPS table: the named action-count dimensions every
+// feature stat carries (e.g. like, comment, share) and how each dimension
+// reduces when rows for the same FID merge.
+type Schema struct {
+	// Actions names each position of the count vector, in order.
+	Actions []string
+	// Reducers gives the reduce function per action; len must equal
+	// len(Actions). A nil Reducers means ReduceSum everywhere.
+	Reducers []Reduce
+
+	index map[string]int
+}
+
+// NewSchema builds a schema with the given action names, all reducing by
+// SUM.
+func NewSchema(actions ...string) *Schema {
+	s := &Schema{Actions: actions, Reducers: make([]Reduce, len(actions))}
+	s.buildIndex()
+	return s
+}
+
+// WithReducer returns the schema with the reduce function for the named
+// action replaced. It panics on an unknown action name: schemas are built
+// at table-creation time, where a typo is a programming error.
+func (s *Schema) WithReducer(action string, r Reduce) *Schema {
+	i, ok := s.index[action]
+	if !ok {
+		panic(fmt.Sprintf("model: unknown action %q", action))
+	}
+	s.Reducers[i] = r
+	return s
+}
+
+func (s *Schema) buildIndex() {
+	s.index = make(map[string]int, len(s.Actions))
+	for i, a := range s.Actions {
+		s.index[a] = i
+	}
+}
+
+// NumActions returns the width of the count vector.
+func (s *Schema) NumActions() int { return len(s.Actions) }
+
+// ActionIndex resolves an action name to its count-vector position.
+func (s *Schema) ActionIndex(name string) (int, error) {
+	if s.index == nil {
+		s.buildIndex()
+	}
+	i, ok := s.index[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownAction, name)
+	}
+	return i, nil
+}
+
+// reducer returns the reduce function for count-vector position i.
+func (s *Schema) reducer(i int) Reduce {
+	if s.Reducers == nil || i >= len(s.Reducers) {
+		return ReduceSum
+	}
+	return s.Reducers[i]
+}
+
+// Validate checks internal consistency.
+func (s *Schema) Validate() error {
+	if len(s.Actions) == 0 {
+		return errors.New("model: schema needs at least one action")
+	}
+	if s.Reducers != nil && len(s.Reducers) != len(s.Actions) {
+		return errors.New("model: schema reducers length mismatch")
+	}
+	seen := make(map[string]bool, len(s.Actions))
+	for _, a := range s.Actions {
+		if a == "" {
+			return errors.New("model: empty action name")
+		}
+		if seen[a] {
+			return fmt.Errorf("model: duplicate action name %q", a)
+		}
+		seen[a] = true
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	c := &Schema{Actions: append([]string(nil), s.Actions...)}
+	if s.Reducers != nil {
+		c.Reducers = append([]Reduce(nil), s.Reducers...)
+	} else {
+		c.Reducers = make([]Reduce, len(s.Actions))
+	}
+	c.buildIndex()
+	return c
+}

@@ -1,0 +1,119 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// UDAF is a user-defined aggregate function (one of the paper's headline
+// capabilities: "complex feature computations such as multi-dimensional
+// top K query and user defined aggregate functions over arbitrary time
+// windows"). It maps a feature's aggregated count vector to a score;
+// queries can sort and filter by that score, giving feature engineers
+// derived metrics — CTR, engagement blends, weighted multi-dimensional
+// ranks — computed inline at serving time.
+type UDAF func(counts []int64) float64
+
+// Registry holds named UDAFs. IPS instances own one registry; names travel
+// on the wire so the unified client can request any registered function.
+type Registry struct {
+	mu  sync.RWMutex
+	fns map[string]UDAF
+}
+
+// NewRegistry creates a registry preloaded with the built-in functions:
+//
+//	sum          — total of all counts
+//	max          — maximum count
+//	ctr          — counts[1]/counts[0] (click-through rate when the
+//	               schema is impression,click,...)
+//	weighted:... — registered by applications via Register
+func NewRegistry() *Registry {
+	r := &Registry{fns: make(map[string]UDAF)}
+	r.MustRegister("sum", func(counts []int64) float64 {
+		var t int64
+		for _, c := range counts {
+			t += c
+		}
+		return float64(t)
+	})
+	r.MustRegister("max", func(counts []int64) float64 {
+		var m int64
+		for i, c := range counts {
+			if i == 0 || c > m {
+				m = c
+			}
+		}
+		return float64(m)
+	})
+	r.MustRegister("ctr", func(counts []int64) float64 {
+		if len(counts) < 2 || counts[0] <= 0 {
+			return 0
+		}
+		return float64(counts[1]) / float64(counts[0])
+	})
+	return r
+}
+
+// ErrUnknownUDAF reports a lookup of an unregistered function.
+var ErrUnknownUDAF = errors.New("query: unknown UDAF")
+
+// Register adds fn under name; re-registering a name replaces the
+// function (hot reload of feature logic, §V-b).
+func (r *Registry) Register(name string, fn UDAF) error {
+	if name == "" || fn == nil {
+		return errors.New("query: UDAF needs a name and a function")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fns[name] = fn
+	return nil
+}
+
+// MustRegister panics on error; for static built-ins.
+func (r *Registry) MustRegister(name string, fn UDAF) {
+	if err := r.Register(name, fn); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup resolves a UDAF by name.
+func (r *Registry) Lookup(name string) (UDAF, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	fn, ok := r.fns[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownUDAF, name)
+	}
+	return fn, nil
+}
+
+// Names lists the registered function names.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.fns))
+	for n := range r.fns {
+		out = append(out, n)
+	}
+	return out
+}
+
+// WeightedSum builds a UDAF scoring counts by fixed per-action weights —
+// the workhorse for multi-dimensional top-K (e.g. like=1, comment=3,
+// share=5).
+func WeightedSum(weights ...float64) UDAF {
+	ws := append([]float64(nil), weights...)
+	return func(counts []int64) float64 {
+		var s float64
+		for i, c := range counts {
+			w := 1.0
+			if i < len(ws) {
+				w = ws[i]
+			}
+			s += w * float64(c)
+		}
+		return s
+	}
+}

@@ -1,0 +1,124 @@
+// Package quota implements the per-caller QPS quota IPS enforces for
+// multi-tenant clusters (§IV, §V-b): every upstream caller is identified
+// and admitted through a token bucket; a caller exceeding its quota has
+// requests rejected until its usage falls back under the limit.
+package quota
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrOverQuota reports a rejected request.
+var ErrOverQuota = errors.New("quota: caller over QPS quota")
+
+// bucket is a token bucket refilled continuously at rate tokens/second up
+// to burst.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func (b *bucket) allow(now time.Time, n float64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.last.IsZero() {
+		b.last = now
+		b.tokens = b.burst
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens >= n {
+		b.tokens -= n
+		return true
+	}
+	return false
+}
+
+// Limiter enforces per-caller QPS quotas. Callers without an explicit
+// quota use the default; a default of 0 admits unknown callers without
+// limit.
+type Limiter struct {
+	mu       sync.RWMutex
+	buckets  map[string]*bucket
+	quotas   map[string]float64
+	defaultQ float64
+	now      func() time.Time
+}
+
+// NewLimiter creates a limiter; defaultQPS applies to callers with no
+// explicit quota (0 = unlimited).
+func NewLimiter(defaultQPS float64) *Limiter {
+	return &Limiter{
+		buckets:  make(map[string]*bucket),
+		quotas:   make(map[string]float64),
+		defaultQ: defaultQPS,
+		now:      time.Now,
+	}
+}
+
+// SetQuota installs or updates a caller's QPS quota at runtime (quotas are
+// hot-reloadable, §V-b). qps <= 0 removes the caller-specific quota.
+func (l *Limiter) SetQuota(caller string, qps float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if qps <= 0 {
+		delete(l.quotas, caller)
+		delete(l.buckets, caller)
+		return
+	}
+	l.quotas[caller] = qps
+	l.buckets[caller] = &bucket{rate: qps, burst: qps} // 1s burst window
+}
+
+// Quota returns the caller's effective QPS quota (0 = unlimited).
+func (l *Limiter) Quota(caller string) float64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if q, ok := l.quotas[caller]; ok {
+		return q
+	}
+	return l.defaultQ
+}
+
+// Allow admits or rejects one request from caller.
+func (l *Limiter) Allow(caller string) error {
+	return l.AllowN(caller, 1)
+}
+
+// AllowN admits or rejects a batch counting as n requests.
+func (l *Limiter) AllowN(caller string, n int) error {
+	l.mu.RLock()
+	b := l.buckets[caller]
+	def := l.defaultQ
+	l.mu.RUnlock()
+	if b == nil {
+		if def <= 0 {
+			return nil // unlimited
+		}
+		// Lazily create a bucket at the default quota.
+		l.mu.Lock()
+		if b = l.buckets[caller]; b == nil {
+			b = &bucket{rate: def, burst: def}
+			l.buckets[caller] = b
+		}
+		l.mu.Unlock()
+	}
+	if !b.allow(l.now(), float64(n)) {
+		return ErrOverQuota
+	}
+	return nil
+}
+
+// SetClock overrides the limiter's time source, for tests.
+func (l *Limiter) SetClock(now func() time.Time) { l.now = now }

@@ -1,0 +1,156 @@
+package quota
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fixedClock returns a controllable time source.
+func fixedClock(start time.Time) (*time.Time, func() time.Time) {
+	t := start
+	return &t, func() time.Time { return t }
+}
+
+func TestUnlimitedDefault(t *testing.T) {
+	l := NewLimiter(0)
+	for i := 0; i < 10_000; i++ {
+		if err := l.Allow("anyone"); err != nil {
+			t.Fatalf("unlimited limiter rejected: %v", err)
+		}
+	}
+}
+
+func TestQuotaEnforced(t *testing.T) {
+	l := NewLimiter(0)
+	now, clock := fixedClock(time.Unix(100, 0))
+	l.SetClock(clock)
+	l.SetQuota("feeds", 10)
+
+	// Burst of 10 is admitted, the 11th rejected.
+	for i := 0; i < 10; i++ {
+		if err := l.Allow("feeds"); err != nil {
+			t.Fatalf("request %d rejected: %v", i, err)
+		}
+	}
+	if err := l.Allow("feeds"); !errors.Is(err, ErrOverQuota) {
+		t.Fatalf("over-quota err = %v", err)
+	}
+	// Other callers are unaffected.
+	if err := l.Allow("ads"); err != nil {
+		t.Fatalf("other caller rejected: %v", err)
+	}
+	// After usage falls below the limit (time passes), requests resume —
+	// the §IV behaviour.
+	*now = now.Add(500 * time.Millisecond) // refills 5 tokens
+	for i := 0; i < 5; i++ {
+		if err := l.Allow("feeds"); err != nil {
+			t.Fatalf("post-refill request %d rejected: %v", i, err)
+		}
+	}
+	if err := l.Allow("feeds"); !errors.Is(err, ErrOverQuota) {
+		t.Fatal("6th post-refill request should be rejected")
+	}
+}
+
+func TestDefaultQuotaApplied(t *testing.T) {
+	l := NewLimiter(5)
+	_, clock := fixedClock(time.Unix(100, 0))
+	l.SetClock(clock)
+	for i := 0; i < 5; i++ {
+		if err := l.Allow("newcomer"); err != nil {
+			t.Fatalf("request %d rejected: %v", i, err)
+		}
+	}
+	if err := l.Allow("newcomer"); !errors.Is(err, ErrOverQuota) {
+		t.Fatal("default quota not enforced")
+	}
+}
+
+func TestAllowNBatch(t *testing.T) {
+	l := NewLimiter(0)
+	_, clock := fixedClock(time.Unix(100, 0))
+	l.SetClock(clock)
+	l.SetQuota("batch", 100)
+	if err := l.AllowN("batch", 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AllowN("batch", 60); !errors.Is(err, ErrOverQuota) {
+		t.Fatal("batch beyond quota should be rejected")
+	}
+	if err := l.AllowN("batch", 40); err != nil {
+		t.Fatalf("remaining budget rejected: %v", err)
+	}
+}
+
+func TestSetQuotaHotReload(t *testing.T) {
+	l := NewLimiter(0)
+	now, clock := fixedClock(time.Unix(100, 0))
+	l.SetClock(clock)
+	l.SetQuota("svc", 1)
+	if err := l.Allow("svc"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Allow("svc"); !errors.Is(err, ErrOverQuota) {
+		t.Fatal("quota 1 should reject the second request")
+	}
+	// Raise the quota live.
+	l.SetQuota("svc", 1000)
+	*now = now.Add(time.Millisecond)
+	for i := 0; i < 500; i++ {
+		if err := l.Allow("svc"); err != nil {
+			t.Fatalf("raised quota rejected request %d: %v", i, err)
+		}
+	}
+	if got := l.Quota("svc"); got != 1000 {
+		t.Fatalf("Quota = %v", got)
+	}
+	// Remove the quota: unlimited again (default 0).
+	l.SetQuota("svc", 0)
+	if got := l.Quota("svc"); got != 0 {
+		t.Fatalf("Quota after removal = %v", got)
+	}
+	for i := 0; i < 10_000; i++ {
+		if err := l.Allow("svc"); err != nil {
+			t.Fatal("removed quota should admit everything")
+		}
+	}
+}
+
+func TestRefillCapsAtBurst(t *testing.T) {
+	l := NewLimiter(0)
+	now, clock := fixedClock(time.Unix(100, 0))
+	l.SetClock(clock)
+	l.SetQuota("svc", 10)
+	_ = l.Allow("svc")
+	// A long idle period must not accumulate more than one burst.
+	*now = now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 100; i++ {
+		if l.Allow("svc") == nil {
+			admitted++
+		}
+	}
+	if admitted != 10 {
+		t.Fatalf("admitted %d after idle, want 10 (burst cap)", admitted)
+	}
+}
+
+func TestSustainedRateMatchesQuota(t *testing.T) {
+	l := NewLimiter(0)
+	now, clock := fixedClock(time.Unix(100, 0))
+	l.SetClock(clock)
+	l.SetQuota("svc", 100)
+	admitted := 0
+	// Offer 300 requests over 1 second of simulated time.
+	for i := 0; i < 300; i++ {
+		*now = now.Add(time.Second / 300)
+		if l.Allow("svc") == nil {
+			admitted++
+		}
+	}
+	// Expect ~100 admissions plus the initial burst allowance.
+	if admitted < 100 || admitted > 210 {
+		t.Fatalf("admitted %d over 1s at quota 100", admitted)
+	}
+}

@@ -1,0 +1,186 @@
+package rpc
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client issues RPC calls to one address over a small pool of multiplexed
+// connections.
+type Client struct {
+	addr string
+	// PoolSize is the connection count; default 2.
+	PoolSize int
+	// DialTimeout bounds connection establishment; default 1s.
+	DialTimeout time.Duration
+	// CallTimeout is the default per-call deadline; default 1s.
+	CallTimeout time.Duration
+
+	mu     sync.Mutex
+	conns  []*clientConn
+	next   atomic.Uint64
+	closed bool
+}
+
+// clientConn is one multiplexed connection with a reader goroutine
+// dispatching responses to waiting calls by sequence ID.
+type clientConn struct {
+	conn    net.Conn
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	pending map[uint64]chan result
+	seq     atomic.Uint64
+	dead    atomic.Bool
+}
+
+type result struct {
+	payload []byte
+	err     error
+}
+
+// NewClient creates a client for addr; connections are dialed lazily.
+func NewClient(addr string) *Client {
+	return &Client{addr: addr, PoolSize: 2, DialTimeout: time.Second, CallTimeout: time.Second}
+}
+
+// Addr returns the remote address this client talks to.
+func (c *Client) Addr() string { return c.addr }
+
+// Call issues method with payload and waits for the response, applying the
+// default call timeout.
+func (c *Client) Call(method string, payload []byte) ([]byte, error) {
+	return c.CallTimeoutT(method, payload, c.CallTimeout)
+}
+
+// CallTimeoutT issues a call with an explicit timeout.
+func (c *Client) CallTimeoutT(method string, payload []byte, timeout time.Duration) ([]byte, error) {
+	cc, err := c.pick()
+	if err != nil {
+		return nil, err
+	}
+	seq := cc.seq.Add(1)
+	ch := make(chan result, 1)
+	cc.mu.Lock()
+	cc.pending[seq] = ch
+	cc.mu.Unlock()
+
+	cc.writeMu.Lock()
+	err = writeFrame(cc.conn, seq, kindRequest, method, payload)
+	cc.writeMu.Unlock()
+	if err != nil {
+		cc.fail(err)
+		c.drop(cc)
+		return nil, err
+	}
+
+	var timer *time.Timer
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	select {
+	case res := <-ch:
+		return res.payload, res.err
+	case <-timeoutCh:
+		cc.mu.Lock()
+		delete(cc.pending, seq)
+		cc.mu.Unlock()
+		return nil, ErrTimeout
+	}
+}
+
+// pick returns a live pooled connection, dialing if needed.
+func (c *Client) pick() (*clientConn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	// Drop dead connections.
+	live := c.conns[:0]
+	for _, cc := range c.conns {
+		if !cc.dead.Load() {
+			live = append(live, cc)
+		}
+	}
+	c.conns = live
+	if len(c.conns) < c.PoolSize {
+		conn, err := net.DialTimeout("tcp", c.addr, c.DialTimeout)
+		if err != nil {
+			if len(c.conns) > 0 {
+				// Fall back to an existing connection.
+				return c.conns[int(c.next.Add(1))%len(c.conns)], nil
+			}
+			return nil, err
+		}
+		cc := &clientConn{conn: conn, pending: make(map[uint64]chan result)}
+		go cc.readLoop()
+		c.conns = append(c.conns, cc)
+	}
+	return c.conns[int(c.next.Add(1))%len(c.conns)], nil
+}
+
+func (c *Client) drop(dead *clientConn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := c.conns[:0]
+	for _, cc := range c.conns {
+		if cc != dead {
+			out = append(out, cc)
+		}
+	}
+	c.conns = out
+}
+
+// Close closes all pooled connections; outstanding calls fail.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, cc := range c.conns {
+		cc.fail(ErrClosed)
+	}
+	c.conns = nil
+	return nil
+}
+
+func (cc *clientConn) readLoop() {
+	for {
+		seq, kind, _, payload, err := readFrame(cc.conn)
+		if err != nil {
+			cc.fail(err)
+			return
+		}
+		cc.mu.Lock()
+		ch, ok := cc.pending[seq]
+		delete(cc.pending, seq)
+		cc.mu.Unlock()
+		if !ok {
+			continue // timed-out call's late response
+		}
+		switch kind {
+		case kindResponse:
+			ch <- result{payload: payload}
+		case kindError:
+			ch <- result{err: &RemoteError{Msg: string(payload)}}
+		}
+	}
+}
+
+// fail marks the connection dead and fails all pending calls.
+func (cc *clientConn) fail(err error) {
+	if cc.dead.Swap(true) {
+		return
+	}
+	cc.conn.Close()
+	cc.mu.Lock()
+	for seq, ch := range cc.pending {
+		ch <- result{err: err}
+		delete(cc.pending, seq)
+	}
+	cc.mu.Unlock()
+}

@@ -1,0 +1,293 @@
+// Package rpc is the from-scratch framed binary RPC framework that plays
+// the role of the paper's internal C++ Thrift stack (§III): the transport
+// between the unified IPS client and the compute-cache layer.
+//
+// Wire protocol (little endian):
+//
+//	u32 frameLen      (bytes after this field; capped)
+//	u64 sequenceID    (request/response correlation)
+//	u8  kind          (0 = request, 1 = response, 2 = error response)
+//	u16 methodLen, method bytes  (requests only)
+//	payload bytes     (method-specific, opaque to the framework)
+//
+// A single connection multiplexes any number of in-flight requests:
+// responses match requests by sequence ID, so a slow call does not block
+// the calls behind it (the server handles each frame on its own
+// goroutine). Clients pool connections per address.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// MaxFrameSize bounds a single frame; larger frames poison the connection
+// and are rejected.
+const MaxFrameSize = 16 << 20
+
+// Frame kinds.
+const (
+	kindRequest  = 0
+	kindResponse = 1
+	kindError    = 2
+)
+
+// Errors returned by the framework.
+var (
+	ErrClosed        = errors.New("rpc: connection closed")
+	ErrTimeout       = errors.New("rpc: request timed out")
+	ErrFrameTooLarge = errors.New("rpc: frame exceeds MaxFrameSize")
+	ErrNoMethod      = errors.New("rpc: unknown method")
+)
+
+// RemoteError is a server-side failure transported back to the caller.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote %s: %s", e.Method, e.Msg)
+}
+
+// Handler processes one request payload and returns the response payload.
+type Handler func(payload []byte) ([]byte, error)
+
+// Server serves RPC over a TCP listener.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	wg       sync.WaitGroup
+	closed   atomic.Bool
+
+	// delay and dropRate inject faults; set via SetDelay / SetDropRate,
+	// which are safe to call while serving.
+	delay    atomic.Pointer[func(method string) time.Duration]
+	dropRate atomic.Pointer[func() float64]
+}
+
+// SetDelay installs an artificial per-request service latency (fault and
+// latency modelling in the harness); nil removes it. Safe while serving.
+func (s *Server) SetDelay(f func(method string) time.Duration) {
+	if f == nil {
+		s.delay.Store(nil)
+		return
+	}
+	s.delay.Store(&f)
+}
+
+// SetDropRate installs a response-drop probability source in [0,1] for
+// fault injection — the client sees a timeout; nil removes it. Safe while
+// serving.
+func (s *Server) SetDropRate(f func() float64) {
+	if f == nil {
+		s.dropRate.Store(nil)
+		return
+	}
+	s.dropRate.Store(&f)
+}
+
+// NewServer creates a server with no handlers registered.
+func NewServer() *Server {
+	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]struct{})}
+}
+
+// Handle registers a handler for method, replacing any previous one.
+func (s *Server) Handle(method string, h Handler) {
+	s.mu.Lock()
+	s.handlers[method] = h
+	s.mu.Unlock()
+}
+
+// Serve starts accepting on ln and returns immediately; use Close to stop.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			s.mu.Lock()
+			if s.closed.Load() {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go s.serveConn(conn)
+		}
+	}()
+}
+
+// Listen is a convenience wrapper: listen on addr and serve. It returns
+// the bound address (useful with ":0").
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the server and closes all connections.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.mu.Lock()
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	var writeMu sync.Mutex // serialize response frames
+	for {
+		seq, kind, method, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		if kind != kindRequest {
+			continue // ignore stray frames
+		}
+		s.mu.RLock()
+		h := s.handlers[method]
+		s.mu.RUnlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.dispatch(conn, &writeMu, seq, method, h, payload)
+		}()
+	}
+}
+
+func (s *Server) dispatch(conn net.Conn, writeMu *sync.Mutex, seq uint64, method string, h Handler, payload []byte) {
+	if d := s.delay.Load(); d != nil {
+		if dur := (*d)(method); dur > 0 {
+			time.Sleep(dur)
+		}
+	}
+	var resp []byte
+	var herr error
+	if h == nil {
+		herr = fmt.Errorf("%w: %s", ErrNoMethod, method)
+	} else {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					herr = fmt.Errorf("rpc: handler panic: %v", r)
+				}
+			}()
+			resp, herr = h(payload)
+		}()
+	}
+	if dr := s.dropRate.Load(); dr != nil {
+		if rate := (*dr)(); rate > 0 && pseudoRand(seq) < rate {
+			return // drop the response: client times out
+		}
+	}
+	writeMu.Lock()
+	defer writeMu.Unlock()
+	if herr != nil {
+		_ = writeFrame(conn, seq, kindError, "", []byte(herr.Error()))
+		return
+	}
+	_ = writeFrame(conn, seq, kindResponse, "", resp)
+}
+
+// pseudoRand maps a sequence number to [0,1) deterministically, so drop
+// behaviour in tests is reproducible.
+func pseudoRand(seq uint64) float64 {
+	seq ^= seq >> 33
+	seq *= 0xff51afd7ed558ccd
+	seq ^= seq >> 33
+	return float64(seq%10_000) / 10_000
+}
+
+func writeFrame(w io.Writer, seq uint64, kind byte, method string, payload []byte) error {
+	frameLen := 8 + 1 + len(payload)
+	if kind == kindRequest {
+		frameLen += 2 + len(method)
+	}
+	if frameLen > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, 4+frameLen)
+	binary.LittleEndian.PutUint32(buf, uint32(frameLen))
+	binary.LittleEndian.PutUint64(buf[4:], seq)
+	buf[12] = kind
+	off := 13
+	if kind == kindRequest {
+		binary.LittleEndian.PutUint16(buf[off:], uint16(len(method)))
+		off += 2
+		copy(buf[off:], method)
+		off += len(method)
+	}
+	copy(buf[off:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFrame(r io.Reader) (seq uint64, kind byte, method string, payload []byte, err error) {
+	var lenBuf [4]byte
+	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
+		return
+	}
+	frameLen := binary.LittleEndian.Uint32(lenBuf[:])
+	if frameLen > MaxFrameSize || frameLen < 9 {
+		err = ErrFrameTooLarge
+		return
+	}
+	frame := make([]byte, frameLen)
+	if _, err = io.ReadFull(r, frame); err != nil {
+		return
+	}
+	seq = binary.LittleEndian.Uint64(frame)
+	kind = frame[8]
+	off := 9
+	if kind == kindRequest {
+		if len(frame) < off+2 {
+			err = errors.New("rpc: truncated method length")
+			return
+		}
+		ml := int(binary.LittleEndian.Uint16(frame[off:]))
+		off += 2
+		if len(frame) < off+ml {
+			err = errors.New("rpc: truncated method")
+			return
+		}
+		method = string(frame[off : off+ml])
+		off += ml
+	}
+	payload = frame[off:]
+	return
+}

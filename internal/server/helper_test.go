@@ -1,0 +1,18 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"ips/internal/rpc"
+)
+
+// newTestRPCClient dials addr with a generous timeout and closes on
+// cleanup.
+func newTestRPCClient(t testing.TB, addr string) *rpc.Client {
+	t.Helper()
+	c := rpc.NewClient(addr)
+	c.CallTimeout = 5 * time.Second
+	t.Cleanup(func() { c.Close() })
+	return c
+}

@@ -1,0 +1,57 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"ips/internal/config"
+)
+
+// TestTimeDimensionHotReloadChangesHeadWidth verifies the §V-b behaviour:
+// changing the time-dimension config live changes the granularity new
+// writes land at, without restarting the instance.
+func TestTimeDimensionHotReloadChangesHeadWidth(t *testing.T) {
+	in, clock := newInstance(t, nil) // default head width: 1s
+	now := clock.Now()
+
+	// Two writes 10s apart under the default 1s head width: two slices.
+	addOne(t, in, 1, now-20_000, 1, []int64{1, 0})
+	addOne(t, in, 1, now-10_000, 2, []int64{1, 0})
+	resp := topK(t, in, 1, 60_000, 10)
+	if resp.SlicesScanned != 2 {
+		t.Fatalf("default width: scanned %d slices, want 2", resp.SlicesScanned)
+	}
+
+	// Hot-reload a coarser time dimension: 1-minute head slices.
+	td, err := config.ParseTimeDimension(map[string][2]string{
+		"1m": {"0s", "1h"},
+		"1h": {"1h", "365d"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Config().Mutate(func(c *config.Config) { c.TimeDimension = td }); err != nil {
+		t.Fatal(err)
+	}
+	// The config loop applies asynchronously; wait for pickup, probing
+	// with a fresh profile each attempt: two writes 10s apart must land
+	// in one 1-minute slice once the new width is live.
+	deadline := time.After(2 * time.Second)
+	for probe := uint64(7000); ; probe++ {
+		select {
+		case <-deadline:
+			t.Fatal("head width never hot-reloaded")
+		default:
+		}
+		// Offsets chosen inside one minute bucket of the simulated epoch
+		// (now is minute-aligned), 5s apart: one slice at 1m width, two
+		// at 1s width.
+		addOne(t, in, probe, now-50_000, 1, []int64{1, 0})
+		addOne(t, in, probe, now-45_000, 2, []int64{1, 0})
+		r := topK(t, in, probe, 60_000, 10)
+		if r.SlicesScanned == 1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

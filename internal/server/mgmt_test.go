@@ -1,0 +1,171 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"ips/internal/config"
+	"ips/internal/query"
+	"ips/internal/wire"
+)
+
+func TestDeleteProfileRemovesEverywhere(t *testing.T) {
+	in, clock := newInstance(t, nil)
+	now := clock.Now()
+	addOne(t, in, 9, now-100, 5, []int64{3, 0})
+	if err := in.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.DeleteProfile("up", 9); err != nil {
+		t.Fatal(err)
+	}
+	// No data from cache...
+	resp := topK(t, in, 9, 60_000, 10)
+	if len(resp.Features) != 0 {
+		t.Fatalf("deleted profile still serves %+v", resp.Features)
+	}
+	// ...and a cold read from storage finds nothing either.
+	if _, err := in.EvictProfile("up", 9); err != nil {
+		t.Fatal(err)
+	}
+	resp = topK(t, in, 9, 60_000, 10)
+	if len(resp.Features) != 0 {
+		t.Fatal("deleted profile reloaded from storage")
+	}
+	// Deleting again (absent) is fine; unknown table errors.
+	if err := in.DeleteProfile("up", 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.DeleteProfile("nope", 9); err == nil {
+		t.Fatal("unknown table should error")
+	}
+}
+
+func TestDeleteProfileClearsWriteBuffer(t *testing.T) {
+	in, clock := newInstance(t, func(c *config.Config) {
+		c.WriteIsolation = true
+		c.MergeInterval = config.Duration(time.Hour)
+	})
+	now := clock.Now()
+	addOne(t, in, 3, now-100, 5, []int64{1, 0})
+	if err := in.DeleteProfile("up", 3); err != nil {
+		t.Fatal(err)
+	}
+	in.MergeAll()
+	resp := topK(t, in, 3, 60_000, 10)
+	if len(resp.Features) != 0 {
+		t.Fatal("buffered write survived deletion")
+	}
+}
+
+func TestUDAFQueryInProcess(t *testing.T) {
+	in, clock := newInstance(t, nil)
+	now := clock.Now()
+	addOne(t, in, 1, now-100, 10, []int64{10, 0}) // weighted 10
+	addOne(t, in, 1, now-100, 20, []int64{2, 3})  // weighted 2+3*5=17
+	if err := in.UDAFs().Register("engagement", query.WeightedSum(1, 5)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := in.Query(&wire.QueryRequest{
+		Caller: "t", Table: "up", ProfileID: 1, Slot: 1, Type: 1,
+		RangeKind: query.Current, Span: 60_000,
+		SortBy: query.ByUDAF, UDAFName: "engagement",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Features[0].FID != 20 || resp.Features[0].Score != 17 {
+		t.Fatalf("udaf result = %+v", resp.Features)
+	}
+	// Unknown UDAF errors.
+	if _, err := in.Query(&wire.QueryRequest{
+		Caller: "t", Table: "up", ProfileID: 1, Slot: 1, Type: 1,
+		RangeKind: query.Current, Span: 60_000,
+		SortBy: query.ByUDAF, UDAFName: "ghost",
+	}); err == nil {
+		t.Fatal("unknown UDAF should error")
+	}
+}
+
+func TestManagementOverRPC(t *testing.T) {
+	in, clock := newInstance(t, nil)
+	svc := NewService(in)
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	cl := newTestRPCClient(t, addr)
+	now := clock.Now()
+
+	// Register a weighted UDAF remotely, then query by it.
+	_, err = cl.Call(wire.MethodRegisterUDAF, wire.EncodeRegisterUDAF(&wire.RegisterUDAFRequest{
+		Name: "w", Weights: []float64{1, 5},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	addOne(t, in, 1, now-100, 10, []int64{2, 3})
+	raw, err := cl.Call(wire.MethodTopK, wire.EncodeQuery(&wire.QueryRequest{
+		Caller: "t", Table: "up", ProfileID: 1, Slot: 1, Type: 1,
+		RangeKind: query.Current, Span: 60_000,
+		SortBy: query.ByUDAF, UDAFName: "w",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := wire.DecodeQueryResponse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Features) != 1 || resp.Features[0].Score != 17 {
+		t.Fatalf("remote udaf = %+v", resp.Features)
+	}
+
+	// Set a quota remotely; the caller gets throttled.
+	_, err = cl.Call(wire.MethodSetQuota, wire.EncodeSetQuota(&wire.SetQuotaRequest{Caller: "greedy", QPS: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Limiter().Quota("greedy"); got != 1 {
+		t.Fatalf("quota = %v", got)
+	}
+
+	// Toggle isolation remotely.
+	_, err = cl.Call(wire.MethodSetIsolation, wire.EncodeSetIsolation(&wire.SetIsolationRequest{Enabled: false}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Config().Get().WriteIsolation {
+		t.Fatal("isolation not toggled")
+	}
+
+	// List tables and UDAFs remotely.
+	raw, err = cl.Call(wire.MethodListTables, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := wire.DecodeStringList(raw)
+	if err != nil || len(tables.Names) != 1 || tables.Names[0] != "up" {
+		t.Fatalf("tables = %+v, %v", tables, err)
+	}
+	raw, err = cl.Call(wire.MethodListUDAFs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	udafs, err := wire.DecodeStringList(raw)
+	if err != nil || len(udafs.Names) < 4 {
+		t.Fatalf("udafs = %+v, %v", udafs, err)
+	}
+
+	// Delete a profile remotely.
+	_, err = cl.Call(wire.MethodDeleteProfile, wire.EncodeDeleteProfile(&wire.DeleteProfileRequest{
+		Table: "up", ProfileID: 1,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := topK(t, in, 1, 60_000, 10); len(got.Features) != 0 {
+		t.Fatal("remote delete ineffective")
+	}
+}

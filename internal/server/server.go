@@ -1,0 +1,594 @@
+// Package server implements one IPS instance: the compute-cache layer node
+// that owns a fraction of the cluster's profiles (§III). An Instance ties
+// together the profile tables, GCache, the query engine, background
+// compaction, per-caller quotas and hot-reloadable configuration, and
+// exposes the write/read APIs both in-process and over the RPC framework.
+//
+// Read-write isolation (§III-F): when enabled, add traffic lands in a
+// separate write-only table that a merge worker folds into the main table
+// every few seconds, keeping write contention off the query path at the
+// cost of slightly delayed visibility.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ips/internal/compact"
+	"ips/internal/config"
+	"ips/internal/gcache"
+	"ips/internal/kv"
+	"ips/internal/metrics"
+	"ips/internal/model"
+	"ips/internal/persist"
+	"ips/internal/query"
+	"ips/internal/quota"
+	"ips/internal/wire"
+)
+
+// Errors returned by the instance.
+var (
+	ErrNoTable = errors.New("server: unknown table")
+	ErrClosed  = errors.New("server: instance closed")
+)
+
+// Options configures an Instance.
+type Options struct {
+	// Name identifies the instance (e.g. "ips-east-0").
+	Name string
+	// Region is the data-center the instance serves (§III-G).
+	Region string
+	// Store is the persistent KV backing; required.
+	Store kv.Store
+	// Config is the hot-reloadable configuration store; nil uses defaults.
+	Config *config.Store
+	// Cache tunes GCache; zero values use gcache defaults.
+	Cache gcache.Options
+	// DefaultQuotaQPS applies to unknown callers (0 = unlimited).
+	DefaultQuotaQPS float64
+	// Clock supplies "now" in Unix millis; nil uses wall time. The
+	// benchmark harness injects accelerated clocks here.
+	Clock func() model.Millis
+}
+
+// Instance is one IPS server node.
+type Instance struct {
+	name   string
+	region string
+	cfgs   *config.Store
+	store  kv.Store
+	clock  func() model.Millis
+
+	mu     sync.RWMutex
+	tables map[string]*tableState
+	closed atomic.Bool
+
+	limiter *quota.Limiter
+	udafs   *query.Registry
+
+	cacheOpts gcache.Options
+
+	// Metrics (shared across tables).
+	Queries     metrics.Counter
+	Writes      metrics.Counter
+	Rejected    metrics.Counter
+	QueryLat    metrics.Histogram
+	WriteLat    metrics.Histogram
+	MergeRuns   metrics.Counter
+	MergedSlabs metrics.Counter // profiles merged from write tables
+
+	wg   sync.WaitGroup
+	stop chan struct{}
+}
+
+// tableState holds one table's main and write-isolation structures.
+type tableState struct {
+	schema *model.Schema
+	main   *model.Table
+	cache  *gcache.GCache
+	comp   *compact.Compactor
+	ps     *persist.Persister
+
+	// Write isolation (§III-F): writeTbl buffers adds; writeBytes tracks
+	// its memory so it can be capped.
+	writeMu    sync.Mutex
+	writeTbl   *model.Table
+	writeBytes int64
+}
+
+// New creates and starts an instance.
+func New(opts Options) (*Instance, error) {
+	if opts.Store == nil {
+		return nil, errors.New("server: Store is required")
+	}
+	cfgs := opts.Config
+	if cfgs == nil {
+		var err error
+		cfgs, err = config.NewStore(config.Default())
+		if err != nil {
+			return nil, err
+		}
+	}
+	clock := opts.Clock
+	if clock == nil {
+		clock = func() model.Millis { return time.Now().UnixMilli() }
+	}
+	in := &Instance{
+		name:      opts.Name,
+		region:    opts.Region,
+		cfgs:      cfgs,
+		store:     opts.Store,
+		clock:     clock,
+		tables:    make(map[string]*tableState),
+		limiter:   quota.NewLimiter(opts.DefaultQuotaQPS),
+		udafs:     query.NewRegistry(),
+		cacheOpts: opts.Cache,
+		stop:      make(chan struct{}),
+	}
+	in.wg.Add(1)
+	go in.mergeLoop()
+	// Register the config watch before returning so no update can slip
+	// between construction and the loop starting.
+	watch := cfgs.Watch()
+	in.wg.Add(1)
+	go in.configLoop(watch)
+	return in, nil
+}
+
+// configLoop applies hot-reloaded configuration that cannot be read lazily
+// on each operation: today, the time-dimension head width every table
+// writes at (§V-b: feature time precision is tunable live). The watcher
+// channel may drop intermediate versions under bursts, so each wake-up
+// applies the *latest* snapshot rather than the delivered one.
+func (in *Instance) configLoop(watch <-chan config.Config) {
+	defer in.wg.Done()
+	for {
+		select {
+		case <-watch:
+			in.applyConfig(in.cfgs.Get())
+		case <-in.stop:
+			return
+		}
+	}
+}
+
+func (in *Instance) applyConfig(cfg config.Config) {
+	head := cfg.TimeDimension.HeadWidth()
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	for _, ts := range in.tables {
+		ts.main.SetHeadWidth(head)
+		ts.writeMu.Lock()
+		ts.writeTbl.SetHeadWidth(head)
+		ts.writeMu.Unlock()
+	}
+}
+
+// Name returns the instance name.
+func (in *Instance) Name() string { return in.name }
+
+// Region returns the instance's region.
+func (in *Instance) Region() string { return in.region }
+
+// Config returns the instance's configuration store for hot reloads.
+func (in *Instance) Config() *config.Store { return in.cfgs }
+
+// Limiter returns the per-caller quota limiter for runtime quota changes.
+func (in *Instance) Limiter() *quota.Limiter { return in.limiter }
+
+// UDAFs returns the instance's user-defined aggregate function registry;
+// applications register scoring functions here and reference them by name
+// in queries.
+func (in *Instance) UDAFs() *query.Registry { return in.udafs }
+
+// CreateTable registers a table with the given schema. The head-slice
+// width comes from the current time-dimension config.
+func (in *Instance) CreateTable(name string, schema *model.Schema) error {
+	if err := schema.Validate(); err != nil {
+		return err
+	}
+	cfg := in.cfgs.Get()
+	head := cfg.TimeDimension.HeadWidth()
+
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if _, ok := in.tables[name]; ok {
+		return fmt.Errorf("server: table %q already exists", name)
+	}
+	main := model.NewTable(name, schema, head)
+	ps := persist.New(in.store, name)
+	cache, err := gcache.New(main, ps, in.cacheOpts)
+	if err != nil {
+		return err
+	}
+	cache.Start()
+	comp := compact.NewCompactor(schema, in.cfgs, in.clock)
+	// Background maintenance must keep cache accounting truthful and
+	// queue the compacted profile for re-flush.
+	comp.OnMaintain = func(id model.ProfileID, delta int64) {
+		cache.NoteSizeChange(id, delta)
+		cache.MarkDirty(id)
+	}
+	comp.Start()
+	in.tables[name] = &tableState{
+		schema:   schema,
+		main:     main,
+		cache:    cache,
+		comp:     comp,
+		ps:       ps,
+		writeTbl: model.NewTable(name+"#write", schema, head),
+	}
+	return nil
+}
+
+// Tables returns the registered table names.
+func (in *Instance) Tables() []string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	out := make([]string, 0, len(in.tables))
+	for n := range in.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+func (in *Instance) table(name string) (*tableState, error) {
+	in.mu.RLock()
+	ts := in.tables[name]
+	in.mu.RUnlock()
+	if ts == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
+	}
+	return ts, nil
+}
+
+// Add implements add_profile / add_profiles (§II-B1) for one profile.
+func (in *Instance) Add(caller, table string, id model.ProfileID, entries []wire.AddEntry) error {
+	if in.closed.Load() {
+		return ErrClosed
+	}
+	if err := in.limiter.AllowN(caller, len(entries)); err != nil {
+		in.Rejected.Inc()
+		return err
+	}
+	start := time.Now()
+	defer func() {
+		in.WriteLat.Observe(time.Since(start))
+		in.Writes.Add(int64(len(entries)))
+	}()
+
+	ts, err := in.table(table)
+	if err != nil {
+		return err
+	}
+	cfg := in.cfgs.Get()
+	if cfg.WriteIsolation {
+		return in.addIsolated(ts, cfg, id, entries)
+	}
+	for _, en := range entries {
+		if err := ts.cache.Add(id, en.Timestamp, en.Slot, en.Type, en.FID, en.Counts); err != nil {
+			return err
+		}
+	}
+	in.maybeCompact(ts, id)
+	return nil
+}
+
+// addIsolated buffers the write in the write table (§III-F). All write
+// table operations are lightweight: no persistence, no compaction.
+func (in *Instance) addIsolated(ts *tableState, cfg config.Config, id model.ProfileID, entries []wire.AddEntry) error {
+	ts.writeMu.Lock()
+	defer ts.writeMu.Unlock()
+	p, _ := ts.writeTbl.GetOrCreate(id)
+	p.Lock()
+	before := p.MemSize()
+	var err error
+	for _, en := range entries {
+		if e := p.Add(ts.schema, en.Timestamp, ts.writeTbl.HeadWidth(), en.Slot, en.Type, en.FID, en.Counts); e != nil {
+			err = e
+			break
+		}
+	}
+	ts.writeBytes += p.MemSize() - before
+	p.Unlock()
+	if err != nil {
+		return err
+	}
+	// Cap the write table's memory (§III-F): over the limit, merge now.
+	if cfg.WriteTableMaxBytes > 0 && ts.writeBytes > cfg.WriteTableMaxBytes {
+		in.mergeWriteTableLocked(ts)
+	}
+	return nil
+}
+
+// mergeLoop periodically folds write tables into main tables.
+func (in *Instance) mergeLoop() {
+	defer in.wg.Done()
+	for {
+		interval := time.Duration(in.cfgs.Get().MergeInterval)
+		if interval <= 0 {
+			interval = time.Second
+		}
+		select {
+		case <-time.After(interval):
+			in.MergeAll()
+		case <-in.stop:
+			return
+		}
+	}
+}
+
+// MergeAll folds every table's write buffer into its main table. Exposed
+// so tests and the harness can force visibility deterministically.
+func (in *Instance) MergeAll() {
+	in.mu.RLock()
+	tables := make([]*tableState, 0, len(in.tables))
+	for _, ts := range in.tables {
+		tables = append(tables, ts)
+	}
+	in.mu.RUnlock()
+	for _, ts := range tables {
+		ts.writeMu.Lock()
+		in.mergeWriteTableLocked(ts)
+		ts.writeMu.Unlock()
+	}
+	in.MergeRuns.Inc()
+}
+
+// mergeWriteTableLocked drains ts.writeTbl into the main table; caller
+// holds ts.writeMu.
+func (in *Instance) mergeWriteTableLocked(ts *tableState) {
+	if ts.writeTbl.Len() == 0 {
+		return
+	}
+	old := ts.writeTbl
+	ts.writeTbl = model.NewTable(old.Name, ts.schema, old.HeadWidth())
+	ts.writeBytes = 0
+
+	old.Each(func(wp *model.Profile) bool {
+		mp, _, err := ts.cache.GetOrLoadForWrite(wp.ID)
+		if err != nil || mp == nil {
+			return true // drop on storage error: next write retries
+		}
+		mp.Lock()
+		before := mp.MemSize()
+		for _, s := range wp.Slices() {
+			s.EachSlot(func(slot model.SlotID, set *model.InstanceSet) {
+				set.Each(func(typ model.TypeID, fs *model.FeatureStats) {
+					fs.Each(func(st model.FeatureStat) {
+						// Reconstruct a representative timestamp inside
+						// the slice for placement.
+						tsMid := s.Latest
+						if tsMid == 0 {
+							tsMid = s.Start
+						}
+						_ = mp.Add(ts.schema, tsMid, ts.main.HeadWidth(), slot, typ, st.FID, st.Counts)
+					})
+				})
+			})
+		}
+		delta := mp.MemSize() - before
+		mp.Unlock()
+		ts.cache.NoteSizeChange(wp.ID, delta)
+		ts.cache.MarkDirty(wp.ID)
+		in.MergedSlabs.Inc()
+		in.maybeCompact(ts, wp.ID)
+		return true
+	})
+}
+
+// maybeCompact enqueues background maintenance when a profile's slice list
+// has grown past the partial-compaction threshold.
+func (in *Instance) maybeCompact(ts *tableState, id model.ProfileID) {
+	p := ts.main.Get(id)
+	if p == nil {
+		return
+	}
+	cfg := in.cfgs.Get()
+	threshold := cfg.PartialCompactThreshold
+	if threshold <= 0 {
+		threshold = 16
+	}
+	p.RLock()
+	n := p.NumSlices()
+	p.RUnlock()
+	if n > threshold {
+		ts.comp.Enqueue(p)
+	}
+}
+
+// Query executes a read (§II-B2). The method semantics (topK / filter /
+// decay) are fully described by the request itself.
+func (in *Instance) Query(req *wire.QueryRequest) (*wire.QueryResponse, error) {
+	if in.closed.Load() {
+		return nil, ErrClosed
+	}
+	if err := in.limiter.Allow(req.Caller); err != nil {
+		in.Rejected.Inc()
+		return nil, err
+	}
+	start := time.Now()
+	ts, err := in.table(req.Table)
+	if err != nil {
+		return nil, err
+	}
+	p, hit, err := ts.cache.Get(req.ProfileID)
+	if err != nil {
+		return nil, err
+	}
+	resp := &wire.QueryResponse{CacheHit: hit}
+	if p != nil {
+		q := req.ToQuery()
+		if req.UDAFName != "" {
+			fn, err := in.udafs.Lookup(req.UDAFName)
+			if err != nil {
+				return nil, err
+			}
+			q.UDAF = fn
+		}
+		res, err := query.Run(p, ts.schema, q, in.clock())
+		if err != nil {
+			return nil, err
+		}
+		resp.Features = res.Features
+		resp.SlicesScanned = res.SlicesScanned
+	}
+	elapsed := time.Since(start)
+	resp.ServerNanos = elapsed.Nanoseconds()
+	in.QueryLat.Observe(elapsed)
+	in.Queries.Inc()
+	return resp, nil
+}
+
+// Stats summarises the instance.
+func (in *Instance) Stats() *wire.StatsResponse {
+	var profiles int64
+	var mem int64
+	var hit float64
+	var flushErr int64
+	in.mu.RLock()
+	nt := 0
+	for _, ts := range in.tables {
+		profiles += int64(ts.main.Len())
+		mem += ts.cache.Usage()
+		hit += ts.cache.HitRatio.Value()
+		flushErr += ts.cache.FlushErrors.Value()
+		nt++
+	}
+	in.mu.RUnlock()
+	if nt > 0 {
+		hit /= float64(nt)
+	}
+	return &wire.StatsResponse{
+		Name:        in.name,
+		Region:      in.region,
+		Profiles:    profiles,
+		MemUsage:    mem,
+		HitRatioPct: hit * 100,
+		Queries:     in.Queries.Value(),
+		Writes:      in.Writes.Value(),
+		Rejected:    in.Rejected.Value(),
+		FlushErrors: flushErr,
+	}
+}
+
+// CacheStats returns the GCache statistics for table.
+func (in *Instance) CacheStats(table string) (gcache.Stats, error) {
+	ts, err := in.table(table)
+	if err != nil {
+		return gcache.Stats{}, err
+	}
+	return ts.cache.Stats(), nil
+}
+
+// CompactNow synchronously maintains one profile, for tests/harness.
+func (in *Instance) CompactNow(table string, id model.ProfileID) (compact.Stats, error) {
+	ts, err := in.table(table)
+	if err != nil {
+		return compact.Stats{}, err
+	}
+	p := ts.main.Get(id)
+	if p == nil {
+		return compact.Stats{}, nil
+	}
+	st := ts.comp.RunSync(p)
+	ts.cache.NoteSizeChange(id, st.BytesAfter-st.BytesBefore)
+	return st, nil
+}
+
+// DeleteProfile removes one profile from the cache, the write buffer and
+// persistent storage — the privacy-compliance management operation.
+func (in *Instance) DeleteProfile(table string, id model.ProfileID) error {
+	ts, err := in.table(table)
+	if err != nil {
+		return err
+	}
+	ts.writeMu.Lock()
+	if wp := ts.writeTbl.Get(id); wp != nil {
+		wp.Lock()
+		size := wp.MemSize()
+		ts.writeTbl.Delete(id)
+		ts.writeBytes -= size
+		wp.Unlock()
+	}
+	ts.writeMu.Unlock()
+	// Drop from cache without flushing the dirty state we are deleting.
+	if p := ts.main.Get(id); p != nil {
+		p.Lock()
+		p.Dirty = false
+		size := p.MemSize()
+		ts.main.Delete(id)
+		p.Unlock()
+		ts.cache.NoteSizeChange(id, -size)
+	}
+	return ts.ps.Delete(id)
+}
+
+// EvictProfile flushes and drops one profile from table's cache so the
+// next read misses; used by tests and the benchmark harness (Table II).
+func (in *Instance) EvictProfile(table string, id model.ProfileID) (bool, error) {
+	ts, err := in.table(table)
+	if err != nil {
+		return false, err
+	}
+	return ts.cache.Drop(id), nil
+}
+
+// EvictToWatermark runs one synchronous eviction pass on table's cache.
+// The background swap threads do this continuously in real time; harnesses
+// that compress simulated time call it explicitly so maintenance cadence
+// matches the accelerated clock.
+func (in *Instance) EvictToWatermark(table string) error {
+	ts, err := in.table(table)
+	if err != nil {
+		return err
+	}
+	ts.cache.EvictToWatermark()
+	return nil
+}
+
+// WarmProfile loads one profile into table's cache (a deliberate miss),
+// so subsequent reads hit.
+func (in *Instance) WarmProfile(table string, id model.ProfileID) error {
+	ts, err := in.table(table)
+	if err != nil {
+		return err
+	}
+	_, _, err = ts.cache.Get(id)
+	return err
+}
+
+// FlushAll persists all dirty profiles in every table.
+func (in *Instance) FlushAll() error {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	for _, ts := range in.tables {
+		if err := ts.cache.FlushAll(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close merges pending writes, stops background work and flushes.
+func (in *Instance) Close() error {
+	if in.closed.Swap(true) {
+		return nil
+	}
+	close(in.stop)
+	in.wg.Wait()
+	in.MergeAll()
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	var firstErr error
+	for _, ts := range in.tables {
+		ts.comp.Close()
+		if err := ts.cache.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,108 @@
+package server
+
+import (
+	"ips/internal/config"
+	"ips/internal/query"
+	"ips/internal/rpc"
+	"ips/internal/wire"
+)
+
+// Service exposes an Instance over the RPC framework, registering one
+// handler per API method (§II-B).
+type Service struct {
+	in  *Instance
+	srv *rpc.Server
+}
+
+// NewService wraps in and registers its handlers on a fresh RPC server.
+func NewService(in *Instance) *Service {
+	s := &Service{in: in, srv: rpc.NewServer()}
+	s.register()
+	return s
+}
+
+// RPC returns the underlying RPC server, e.g. for fault injection hooks.
+func (s *Service) RPC() *rpc.Server { return s.srv }
+
+// Listen binds the service to addr (":0" for ephemeral) and returns the
+// bound address.
+func (s *Service) Listen(addr string) (string, error) { return s.srv.Listen(addr) }
+
+// Close stops the RPC server (the Instance is closed separately).
+func (s *Service) Close() error { return s.srv.Close() }
+
+func (s *Service) register() {
+	s.srv.Handle(wire.MethodPing, func(p []byte) ([]byte, error) {
+		return []byte("pong"), nil
+	})
+	addHandler := func(payload []byte) ([]byte, error) {
+		req, err := wire.DecodeAdd(payload)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.in.Add(req.Caller, req.Table, req.ProfileID, req.Entries); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	s.srv.Handle(wire.MethodAdd, addHandler)
+	s.srv.Handle(wire.MethodAddBatch, addHandler)
+
+	queryHandler := func(payload []byte) ([]byte, error) {
+		req, err := wire.DecodeQuery(payload)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := s.in.Query(req)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeQueryResponse(resp), nil
+	}
+	s.srv.Handle(wire.MethodTopK, queryHandler)
+	s.srv.Handle(wire.MethodFilter, queryHandler)
+	s.srv.Handle(wire.MethodDecay, queryHandler)
+
+	s.srv.Handle(wire.MethodStats, func(p []byte) ([]byte, error) {
+		return wire.EncodeStats(s.in.Stats()), nil
+	})
+
+	// Management operations.
+	s.srv.Handle(wire.MethodDeleteProfile, func(p []byte) ([]byte, error) {
+		req, err := wire.DecodeDeleteProfile(p)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.in.DeleteProfile(req.Table, req.ProfileID)
+	})
+	s.srv.Handle(wire.MethodSetQuota, func(p []byte) ([]byte, error) {
+		req, err := wire.DecodeSetQuota(p)
+		if err != nil {
+			return nil, err
+		}
+		s.in.Limiter().SetQuota(req.Caller, req.QPS)
+		return nil, nil
+	})
+	s.srv.Handle(wire.MethodSetIsolation, func(p []byte) ([]byte, error) {
+		req, err := wire.DecodeSetIsolation(p)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.in.Config().Mutate(func(c *config.Config) {
+			c.WriteIsolation = req.Enabled
+		})
+	})
+	s.srv.Handle(wire.MethodRegisterUDAF, func(p []byte) ([]byte, error) {
+		req, err := wire.DecodeRegisterUDAF(p)
+		if err != nil {
+			return nil, err
+		}
+		return nil, s.in.UDAFs().Register(req.Name, query.WeightedSum(req.Weights...))
+	})
+	s.srv.Handle(wire.MethodListTables, func(p []byte) ([]byte, error) {
+		return wire.EncodeStringList(&wire.StringList{Names: s.in.Tables()}), nil
+	})
+	s.srv.Handle(wire.MethodListUDAFs, func(p []byte) ([]byte, error) {
+		return wire.EncodeStringList(&wire.StringList{Names: s.in.UDAFs().Names()}), nil
+	})
+}

@@ -1,0 +1,176 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ips/internal/config"
+	"ips/internal/model"
+	"ips/internal/query"
+	"ips/internal/wire"
+)
+
+// TestStressAllPathsConcurrently drives every mutating path at once —
+// writes (isolated and direct), queries of all kinds, merges, synchronous
+// compaction, eviction, profile deletion, quota changes and config hot
+// reloads — to flush out lock-ordering and accounting races. Run with
+// -race; the assertions at the end check only invariants that must hold
+// under any interleaving.
+func TestStressAllPathsConcurrently(t *testing.T) {
+	in, clock := newInstance(t, func(c *config.Config) {
+		c.WriteIsolation = true
+		c.MergeInterval = config.Duration(10 * time.Millisecond)
+		c.PartialCompactThreshold = 4
+	})
+	now := clock.Now()
+	const profiles = 30
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 64)
+	report := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+
+	// Writers.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				i++
+				id := model.ProfileID(i%profiles + 1)
+				err := in.Add("stress", "up", id, []wire.AddEntry{{
+					Timestamp: now - model.Millis(i%100_000),
+					Slot:      1, Type: 1, FID: model.FeatureID(i % 50), Counts: []int64{1, 0},
+				}})
+				if err != nil {
+					report(err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Readers: topK / filter / decay / relative windows.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			req := &wire.QueryRequest{
+				Caller: "stress", Table: "up", ProfileID: model.ProfileID(i%profiles + 1),
+				Slot: 1, Type: 1,
+				RangeKind: query.Current, Span: 3_600_000,
+				SortBy: query.ByAction, Action: "like", K: 10,
+			}
+			switch i % 4 {
+			case 1:
+				req.Decay, req.DecayFactor = query.DecayExp, 0.8
+			case 2:
+				req.MinCount = 1
+			case 3:
+				req.RangeKind, req.Span = query.Relative, 60_000
+			}
+			if _, err := in.Query(req); err != nil {
+				report(err)
+				return
+			}
+		}
+	}()
+	// Maintenance: merges, compaction, eviction, deletes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			switch i % 4 {
+			case 0:
+				in.MergeAll()
+			case 1:
+				if _, err := in.CompactNow("up", model.ProfileID(i%profiles+1)); err != nil {
+					report(err)
+					return
+				}
+			case 2:
+				if _, err := in.EvictProfile("up", model.ProfileID(i%profiles+1)); err != nil {
+					report(err)
+					return
+				}
+			case 3:
+				if err := in.DeleteProfile("up", model.ProfileID(profiles+1)); err != nil {
+					report(err)
+					return
+				}
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// Config churn: isolation flaps, quota changes, clock advances.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			i++
+			on := i%2 == 0
+			if err := in.Config().Mutate(func(c *config.Config) { c.WriteIsolation = on }); err != nil {
+				report(err)
+				return
+			}
+			in.Limiter().SetQuota("other", float64(i%1000+1))
+			clock.Advance(1000)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	time.Sleep(500 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+
+	// Invariants after the dust settles: every resident profile is
+	// structurally sound and the instance still serves.
+	in.MergeAll()
+	for id := model.ProfileID(1); id <= profiles; id++ {
+		resp := topK(t, in, id, 365*24*3_600_000, 100)
+		for _, f := range resp.Features {
+			if f.Counts[0] < 0 {
+				t.Fatalf("profile %d fid %d has negative count", id, f.FID)
+			}
+		}
+	}
+	if err := in.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+}

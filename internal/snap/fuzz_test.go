@@ -1,0 +1,45 @@
+package snap
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRoundTrip checks Encode/Decode inversion on arbitrary inputs.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("hello world"))
+	f.Add(bytes.Repeat([]byte("ab"), 500))
+	f.Add(bytes.Repeat([]byte{0}, 70_000))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		enc := Encode(nil, src)
+		dec, err := Decode(nil, enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if !bytes.Equal(dec, src) {
+			t.Fatalf("round trip mismatch: %d bytes in, %d out", len(src), len(dec))
+		}
+		if len(enc) > MaxEncodedLen(len(src)) {
+			t.Fatalf("encoded %d > MaxEncodedLen %d", len(enc), MaxEncodedLen(len(src)))
+		}
+	})
+}
+
+// FuzzDecode checks the decoder never panics or over-allocates on hostile
+// input.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{5, 0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x07, 1, 2, 3})
+	f.Add(Encode(nil, []byte("seed")))
+	f.Fuzz(func(t *testing.T, junk []byte) {
+		out, err := Decode(nil, junk)
+		if err == nil {
+			// Valid decodings must satisfy the declared length.
+			n, lerr := DecodedLen(junk)
+			if lerr != nil || n != len(out) {
+				t.Fatalf("declared %d (err %v) but decoded %d", n, lerr, len(out))
+			}
+		}
+	})
+}

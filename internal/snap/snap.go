@@ -1,0 +1,264 @@
+// Package snap implements a from-scratch LZ77 block compressor that stands
+// in for the Snappy library the paper uses to compress serialized profile
+// values before persisting them (§III-E). It targets the same design point:
+// very fast, byte-oriented, moderate ratio, no entropy coding.
+//
+// Format (not wire-compatible with Snappy, but the same style):
+//
+//	header : uvarint decoded length
+//	stream : a sequence of ops
+//	  literal: tag byte 0b_LLLLLL00 for short lengths (1..60 encoded as
+//	           L+1), or 61/62 in the length field followed by 1 or 2
+//	           little-endian extra length bytes; then the literal bytes.
+//	  copy:    tag byte 0b_OOOLLL01: length 4..11 (LLL+4), offset high 3
+//	           bits in OOO plus one extra offset byte (offset 1..2047), or
+//	           tag 0b_LLLLLL10: 2-byte little-endian offset with length
+//	           1..64 (L+1) for longer matches and offsets up to 65535.
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is returned when a compressed block cannot be decoded.
+var ErrCorrupt = errors.New("snap: corrupt input")
+
+const (
+	tagLiteral = 0x00
+	tagCopy1   = 0x01
+	tagCopy2   = 0x02
+
+	maxOffset1 = 1 << 11 // copy1 offset limit (3 high bits + 1 byte)
+	maxOffset2 = 1<<16 - 1
+
+	minMatch = 4
+	// hashTableBits sizes the match-finder table; 14 bits = 16K entries,
+	// the same ballpark real Snappy uses per 64K block.
+	hashTableBits = 14
+	hashTableSize = 1 << hashTableBits
+)
+
+// MaxEncodedLen returns an upper bound on the size of Encode's output for an
+// input of length n.
+func MaxEncodedLen(n int) int {
+	// Worst case: one long literal; 5 bytes varint header + 3 bytes literal
+	// header per 64K, rounded up generously.
+	return n + n/6 + 16
+}
+
+func hash4(u uint32) uint32 {
+	return (u * 0x1e35a7bd) >> (32 - hashTableBits)
+}
+
+func load32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+// Encode compresses src, appending to dst (which may be nil) and returning
+// the resulting slice.
+func Encode(dst, src []byte) []byte {
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(src)))
+	dst = append(dst, hdr[:n]...)
+	if len(src) == 0 {
+		return dst
+	}
+	if len(src) < minMatch+3 {
+		return emitLiteral(dst, src)
+	}
+
+	var table [hashTableSize]int32 // candidate positions + 1 (0 = empty)
+	s := 0                         // next byte to process
+	lit := 0                       // start of pending literal run
+
+	// Stop looking for matches near the end; tail is emitted as literal.
+	sLimit := len(src) - minMatch
+	for s < sLimit {
+		h := hash4(load32(src, s))
+		cand := int(table[h]) - 1
+		table[h] = int32(s + 1)
+		if cand >= 0 && s-cand <= maxOffset2 && load32(src, cand) == load32(src, s) {
+			// Extend the match forward.
+			length := minMatch
+			for s+length < len(src) && src[cand+length] == src[s+length] {
+				length++
+			}
+			if lit < s {
+				dst = emitLiteral(dst, src[lit:s])
+			}
+			dst = emitCopy(dst, s-cand, length)
+			s += length
+			lit = s
+			// Seed the table inside the match so later data can refer
+			// back into it (one probe, keeps encoding O(n)).
+			if s < sLimit {
+				table[hash4(load32(src, s-1))] = int32(s)
+			}
+			continue
+		}
+		s++
+	}
+	if lit < len(src) {
+		dst = emitLiteral(dst, src[lit:])
+	}
+	return dst
+}
+
+func emitLiteral(dst, lit []byte) []byte {
+	for len(lit) > 0 {
+		n := len(lit)
+		const max = 1 << 16 // per-op literal cap
+		if n > max {
+			n = max
+		}
+		switch {
+		case n <= 60:
+			dst = append(dst, byte(n-1)<<2|tagLiteral)
+		case n <= 1<<8:
+			dst = append(dst, 61<<2|tagLiteral, byte(n-1))
+		default:
+			dst = append(dst, 62<<2|tagLiteral, byte(n-1), byte((n-1)>>8))
+		}
+		dst = append(dst, lit[:n]...)
+		lit = lit[n:]
+	}
+	return dst
+}
+
+func emitCopy(dst []byte, offset, length int) []byte {
+	// Long matches are split into 64-byte copy2 ops; a final short piece
+	// can use the compact copy1 form when the offset allows.
+	for length >= 64 {
+		dst = append(dst, 63<<2|tagCopy2, byte(offset), byte(offset>>8))
+		length -= 64
+	}
+	if length == 0 {
+		return dst
+	}
+	if length >= minMatch && length <= 11 && offset < maxOffset1 {
+		dst = append(dst,
+			byte(offset>>8)<<5|byte(length-4)<<2|tagCopy1,
+			byte(offset))
+		return dst
+	}
+	if length < minMatch {
+		// Too short for a copy op on its own after splitting: fold into a
+		// copy2 anyway (lengths 1..64 are representable there).
+		dst = append(dst, byte(length-1)<<2|tagCopy2, byte(offset), byte(offset>>8))
+		return dst
+	}
+	dst = append(dst, byte(length-1)<<2|tagCopy2, byte(offset), byte(offset>>8))
+	return dst
+}
+
+// DecodedLen returns the declared decoded length of the block.
+func DecodedLen(src []byte) (int, error) {
+	v, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, ErrCorrupt
+	}
+	const maxBlock = 1 << 31
+	if v > maxBlock {
+		return 0, fmt.Errorf("snap: declared length %d too large: %w", v, ErrCorrupt)
+	}
+	return int(v), nil
+}
+
+// Decode decompresses src, appending to dst (which may be nil) and returning
+// the resulting slice.
+func Decode(dst, src []byte) ([]byte, error) {
+	declared, err := DecodedLen(src)
+	if err != nil {
+		return nil, err
+	}
+	_, hn := binary.Uvarint(src)
+	src = src[hn:]
+
+	// Cap the initial allocation: a hostile header may declare a huge
+	// length, but a genuine block can only expand as the ops are decoded.
+	capHint := declared
+	if capHint > len(src)*64 {
+		capHint = len(src) * 64
+	}
+	out := make([]byte, 0, capHint)
+	for len(src) > 0 {
+		tag := src[0]
+		switch tag & 0x03 {
+		case tagLiteral:
+			l := int(tag >> 2)
+			var n int
+			switch {
+			case l <= 60:
+				n = l + 1
+				src = src[1:]
+			case l == 61:
+				if len(src) < 2 {
+					return nil, ErrCorrupt
+				}
+				n = int(src[1]) + 1
+				src = src[2:]
+			case l == 62:
+				if len(src) < 3 {
+					return nil, ErrCorrupt
+				}
+				n = int(src[1]) | int(src[2])<<8
+				n++
+				src = src[3:]
+			default:
+				return nil, ErrCorrupt
+			}
+			if n > len(src) {
+				return nil, ErrCorrupt
+			}
+			out = append(out, src[:n]...)
+			src = src[n:]
+		case tagCopy1:
+			if len(src) < 2 {
+				return nil, ErrCorrupt
+			}
+			length := int(tag>>2&0x07) + 4
+			offset := int(tag>>5)<<8 | int(src[1])
+			src = src[2:]
+			if err := copyBack(&out, offset, length); err != nil {
+				return nil, err
+			}
+		case tagCopy2:
+			if len(src) < 3 {
+				return nil, ErrCorrupt
+			}
+			length := int(tag>>2) + 1
+			offset := int(src[1]) | int(src[2])<<8
+			src = src[3:]
+			if err := copyBack(&out, offset, length); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, ErrCorrupt
+		}
+		if len(out) > declared {
+			return nil, ErrCorrupt
+		}
+	}
+	if len(out) != declared {
+		return nil, ErrCorrupt
+	}
+	return append(dst, out...), nil
+}
+
+// copyBack appends length bytes starting offset bytes back from the end of
+// *out. Overlapping copies (offset < length) replicate, matching LZ77
+// semantics.
+func copyBack(out *[]byte, offset, length int) error {
+	if offset <= 0 || offset > len(*out) {
+		return ErrCorrupt
+	}
+	b := *out
+	pos := len(b) - offset
+	for i := 0; i < length; i++ {
+		b = append(b, b[pos+i])
+	}
+	*out = b
+	return nil
+}

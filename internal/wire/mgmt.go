@@ -1,0 +1,227 @@
+package wire
+
+import (
+	"ips/internal/codec"
+	"ips/internal/model"
+)
+
+// Management methods (the paper's §II-B notes IPS also exposes internal
+// management operations; these are the ones a production operator needs:
+// profile deletion for privacy compliance, live quota changes, the
+// isolation hot switch (§III-F), and remote registration of weighted-sum
+// UDAFs).
+const (
+	MethodDeleteProfile = "ips.mgmt.delete_profile"
+	MethodSetQuota      = "ips.mgmt.set_quota"
+	MethodSetIsolation  = "ips.mgmt.set_isolation"
+	MethodRegisterUDAF  = "ips.mgmt.register_udaf"
+	MethodListTables    = "ips.mgmt.tables"
+	MethodListUDAFs     = "ips.mgmt.udafs"
+)
+
+// DeleteProfileRequest removes one profile from cache and storage.
+type DeleteProfileRequest struct {
+	Table     string
+	ProfileID model.ProfileID
+}
+
+// SetQuotaRequest installs a per-caller QPS quota (QPS <= 0 removes it).
+type SetQuotaRequest struct {
+	Caller string
+	QPS    float64
+}
+
+// SetIsolationRequest toggles read-write isolation live.
+type SetIsolationRequest struct {
+	Enabled bool
+}
+
+// RegisterUDAFRequest registers a weighted-sum UDAF under a name.
+type RegisterUDAFRequest struct {
+	Name    string
+	Weights []float64
+}
+
+// StringList is a generic names response.
+type StringList struct {
+	Names []string
+}
+
+const (
+	fDelTable   = 1
+	fDelProfile = 2
+
+	fQuotaCaller = 1
+	fQuotaQPS    = 2
+
+	fIsoEnabled = 1
+
+	fUDAFName2   = 1
+	fUDAFWeights = 2
+
+	fListName = 1
+)
+
+// EncodeDeleteProfile serializes the request.
+func EncodeDeleteProfile(r *DeleteProfileRequest) []byte {
+	var e codec.Buffer
+	e.String(fDelTable, r.Table)
+	e.Uint64(fDelProfile, r.ProfileID)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// DecodeDeleteProfile parses the request.
+func DecodeDeleteProfile(data []byte) (*DeleteProfileRequest, error) {
+	r := &DeleteProfileRequest{}
+	rd := codec.NewReader(data)
+	for !rd.Done() {
+		f, wt, err := rd.Next()
+		if err != nil {
+			return nil, decodeErr("delete", err)
+		}
+		switch f {
+		case fDelTable:
+			r.Table, err = rd.String()
+		case fDelProfile:
+			r.ProfileID, err = rd.Uint64()
+		default:
+			err = rd.Skip(wt)
+		}
+		if err != nil {
+			return nil, decodeErr("delete field", err)
+		}
+	}
+	return r, nil
+}
+
+// EncodeSetQuota serializes the request.
+func EncodeSetQuota(r *SetQuotaRequest) []byte {
+	var e codec.Buffer
+	e.String(fQuotaCaller, r.Caller)
+	e.Float64(fQuotaQPS, r.QPS)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// DecodeSetQuota parses the request.
+func DecodeSetQuota(data []byte) (*SetQuotaRequest, error) {
+	r := &SetQuotaRequest{}
+	rd := codec.NewReader(data)
+	for !rd.Done() {
+		f, wt, err := rd.Next()
+		if err != nil {
+			return nil, decodeErr("quota", err)
+		}
+		switch f {
+		case fQuotaCaller:
+			r.Caller, err = rd.String()
+		case fQuotaQPS:
+			r.QPS, err = rd.Float64()
+		default:
+			err = rd.Skip(wt)
+		}
+		if err != nil {
+			return nil, decodeErr("quota field", err)
+		}
+	}
+	return r, nil
+}
+
+// EncodeSetIsolation serializes the request.
+func EncodeSetIsolation(r *SetIsolationRequest) []byte {
+	var e codec.Buffer
+	e.Bool(fIsoEnabled, r.Enabled)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// DecodeSetIsolation parses the request.
+func DecodeSetIsolation(data []byte) (*SetIsolationRequest, error) {
+	r := &SetIsolationRequest{}
+	rd := codec.NewReader(data)
+	for !rd.Done() {
+		f, wt, err := rd.Next()
+		if err != nil {
+			return nil, decodeErr("isolation", err)
+		}
+		switch f {
+		case fIsoEnabled:
+			r.Enabled, err = rd.Bool()
+		default:
+			err = rd.Skip(wt)
+		}
+		if err != nil {
+			return nil, decodeErr("isolation field", err)
+		}
+	}
+	return r, nil
+}
+
+// EncodeRegisterUDAF serializes the request.
+func EncodeRegisterUDAF(r *RegisterUDAFRequest) []byte {
+	var e codec.Buffer
+	e.String(fUDAFName2, r.Name)
+	for _, w := range r.Weights {
+		e.Float64(fUDAFWeights, w)
+	}
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// DecodeRegisterUDAF parses the request.
+func DecodeRegisterUDAF(data []byte) (*RegisterUDAFRequest, error) {
+	r := &RegisterUDAFRequest{}
+	rd := codec.NewReader(data)
+	for !rd.Done() {
+		f, wt, err := rd.Next()
+		if err != nil {
+			return nil, decodeErr("udaf", err)
+		}
+		switch f {
+		case fUDAFName2:
+			r.Name, err = rd.String()
+		case fUDAFWeights:
+			var w float64
+			if w, err = rd.Float64(); err == nil {
+				r.Weights = append(r.Weights, w)
+			}
+		default:
+			err = rd.Skip(wt)
+		}
+		if err != nil {
+			return nil, decodeErr("udaf field", err)
+		}
+	}
+	return r, nil
+}
+
+// EncodeStringList serializes a names response.
+func EncodeStringList(r *StringList) []byte {
+	var e codec.Buffer
+	for _, n := range r.Names {
+		e.String(fListName, n)
+	}
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// DecodeStringList parses a names response.
+func DecodeStringList(data []byte) (*StringList, error) {
+	r := &StringList{}
+	rd := codec.NewReader(data)
+	for !rd.Done() {
+		f, wt, err := rd.Next()
+		if err != nil {
+			return nil, decodeErr("list", err)
+		}
+		switch f {
+		case fListName:
+			var n string
+			if n, err = rd.String(); err == nil {
+				r.Names = append(r.Names, n)
+			}
+		default:
+			err = rd.Skip(wt)
+		}
+		if err != nil {
+			return nil, decodeErr("list field", err)
+		}
+	}
+	return r, nil
+}

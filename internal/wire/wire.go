@@ -1,0 +1,519 @@
+// Package wire defines the request/response messages of the IPS RPC API
+// (§II-B) and their binary encoding, shared by the server and the unified
+// client. Method names:
+//
+//	ips.add        — add_profile
+//	ips.add_batch  — add_profiles
+//	ips.topk       — get_profile_topK
+//	ips.filter     — get_profile_filter
+//	ips.decay      — get_profile_decay
+//	ips.stats      — instance statistics (management)
+//	ips.ping       — liveness probe
+package wire
+
+import (
+	"errors"
+	"fmt"
+
+	"ips/internal/codec"
+	"ips/internal/model"
+	"ips/internal/query"
+)
+
+// Method names served by an IPS instance.
+const (
+	MethodAdd      = "ips.add"
+	MethodAddBatch = "ips.add_batch"
+	MethodTopK     = "ips.topk"
+	MethodFilter   = "ips.filter"
+	MethodDecay    = "ips.decay"
+	MethodStats    = "ips.stats"
+	MethodPing     = "ips.ping"
+)
+
+// AddRequest is one add_profile write (§II-B1). A batched request carries
+// multiple entries for one profile.
+type AddRequest struct {
+	Caller    string
+	Table     string
+	ProfileID model.ProfileID
+	Entries   []AddEntry
+}
+
+// AddEntry is one (timestamp, slot, type, fid, counts) observation.
+type AddEntry struct {
+	Timestamp model.Millis
+	Slot      model.SlotID
+	Type      model.TypeID
+	FID       model.FeatureID
+	Counts    []int64
+}
+
+// QueryRequest covers topK, filter and decay reads (§II-B2); the method
+// name selects which semantics the server applies.
+type QueryRequest struct {
+	Caller    string
+	Table     string
+	ProfileID model.ProfileID
+	Slot      model.SlotID
+	Type      model.TypeID
+	AllTypes  bool
+
+	RangeKind query.RangeKind
+	Span      model.Millis
+	From, To  model.Millis
+
+	SortBy query.SortBy
+	Action string
+	K      int
+
+	Decay       query.DecayFunc
+	DecayFactor float64
+
+	MinCount int64
+	FIDs     []model.FeatureID
+
+	// UDAFName selects a server-registered user-defined aggregate
+	// function; with SortBy == ByUDAF results order by its score.
+	UDAFName string
+	// MinScore drops features scoring below the bound (requires
+	// UDAFName).
+	MinScore float64
+}
+
+// ToQuery converts the wire request into the engine's Request.
+func (q *QueryRequest) ToQuery() query.Request {
+	req := query.Request{
+		Slot:        q.Slot,
+		Type:        q.Type,
+		AllTypes:    q.AllTypes,
+		Range:       query.TimeRange{Kind: q.RangeKind, Span: q.Span, From: q.From, To: q.To},
+		SortBy:      q.SortBy,
+		Action:      q.Action,
+		K:           q.K,
+		Decay:       q.Decay,
+		DecayFactor: q.DecayFactor,
+	}
+	if q.MinCount > 0 || len(q.FIDs) > 0 {
+		f := &query.Filter{MinCount: q.MinCount}
+		if len(q.FIDs) > 0 {
+			f.FIDs = make(map[model.FeatureID]bool, len(q.FIDs))
+			for _, fid := range q.FIDs {
+				f.FIDs[fid] = true
+			}
+		}
+		req.Filter = f
+	}
+	req.MinScore = q.MinScore
+	// The UDAF itself is resolved by the server from UDAFName.
+	return req
+}
+
+// QueryResponse carries the aggregated features back to the caller.
+type QueryResponse struct {
+	Features      []query.Feature
+	SlicesScanned int
+	// CacheHit reports whether the profile was resident (Table II).
+	CacheHit bool
+	// ServerNanos is the server-side processing time, letting clients
+	// split network from compute cost as Table II does.
+	ServerNanos int64
+}
+
+// StatsResponse summarises one instance's health for dashboards.
+type StatsResponse struct {
+	Name        string
+	Region      string
+	Profiles    int64
+	MemUsage    int64
+	HitRatioPct float64 // 0..100
+	Queries     int64
+	Writes      int64
+	Rejected    int64
+	FlushErrors int64
+}
+
+// --- encoding ---
+
+// Field numbers per message.
+const (
+	fAddCaller  = 1
+	fAddTable   = 2
+	fAddProfile = 3
+	fAddEntry   = 4
+
+	fEntryTS     = 1
+	fEntrySlot   = 2
+	fEntryType   = 3
+	fEntryFID    = 4
+	fEntryCounts = 5
+
+	fQCaller    = 1
+	fQTable     = 2
+	fQProfile   = 3
+	fQSlot      = 4
+	fQType      = 5
+	fQAllTypes  = 6
+	fQRangeKind = 7
+	fQSpan      = 8
+	fQFrom      = 9
+	fQTo        = 10
+	fQSortBy    = 11
+	fQAction    = 12
+	fQK         = 13
+	fQDecay     = 14
+	fQDecayF    = 15
+	fQMinCount  = 16
+	fQFIDs      = 17
+	fQUDAFName  = 18
+	fQMinScore  = 19
+
+	fRFeature = 1
+	fRScanned = 2
+	fRHit     = 3
+	fRNanos   = 4
+
+	fFeatFID      = 1
+	fFeatCounts   = 2
+	fFeatLastSeen = 3
+	fFeatScore    = 4
+
+	fStName     = 1
+	fStRegion   = 2
+	fStProfiles = 3
+	fStMem      = 4
+	fStHit      = 5
+	fStQueries  = 6
+	fStWrites   = 7
+	fStRejected = 8
+	fStFlushErr = 9
+)
+
+// ErrDecode wraps malformed message errors.
+var ErrDecode = errors.New("wire: malformed message")
+
+func decodeErr(what string, err error) error {
+	return fmt.Errorf("%w: %s: %v", ErrDecode, what, err)
+}
+
+// EncodeAdd serializes an AddRequest.
+func EncodeAdd(r *AddRequest) []byte {
+	var e codec.Buffer
+	e.String(fAddCaller, r.Caller)
+	e.String(fAddTable, r.Table)
+	e.Uint64(fAddProfile, r.ProfileID)
+	for _, en := range r.Entries {
+		e.Message(fAddEntry, func(b *codec.Buffer) {
+			b.Int64(fEntryTS, en.Timestamp)
+			b.Uint32(fEntrySlot, en.Slot)
+			b.Uint32(fEntryType, en.Type)
+			b.Uint64(fEntryFID, en.FID)
+			b.PackedI64(fEntryCounts, en.Counts)
+		})
+	}
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// DecodeAdd parses an AddRequest.
+func DecodeAdd(data []byte) (*AddRequest, error) {
+	r := &AddRequest{}
+	rd := codec.NewReader(data)
+	for !rd.Done() {
+		f, wt, err := rd.Next()
+		if err != nil {
+			return nil, decodeErr("add", err)
+		}
+		switch f {
+		case fAddCaller:
+			if r.Caller, err = rd.String(); err != nil {
+				return nil, decodeErr("caller", err)
+			}
+		case fAddTable:
+			if r.Table, err = rd.String(); err != nil {
+				return nil, decodeErr("table", err)
+			}
+		case fAddProfile:
+			if r.ProfileID, err = rd.Uint64(); err != nil {
+				return nil, decodeErr("profile", err)
+			}
+		case fAddEntry:
+			sub, err := rd.Message()
+			if err != nil {
+				return nil, decodeErr("entry", err)
+			}
+			en, err := decodeEntry(sub)
+			if err != nil {
+				return nil, err
+			}
+			r.Entries = append(r.Entries, en)
+		default:
+			if err := rd.Skip(wt); err != nil {
+				return nil, decodeErr("skip", err)
+			}
+		}
+	}
+	return r, nil
+}
+
+func decodeEntry(rd *codec.Reader) (AddEntry, error) {
+	var en AddEntry
+	for !rd.Done() {
+		f, wt, err := rd.Next()
+		if err != nil {
+			return en, decodeErr("entry field", err)
+		}
+		switch f {
+		case fEntryTS:
+			if en.Timestamp, err = rd.Int64(); err != nil {
+				return en, decodeErr("ts", err)
+			}
+		case fEntrySlot:
+			if en.Slot, err = rd.Uint32(); err != nil {
+				return en, decodeErr("slot", err)
+			}
+		case fEntryType:
+			if en.Type, err = rd.Uint32(); err != nil {
+				return en, decodeErr("type", err)
+			}
+		case fEntryFID:
+			if en.FID, err = rd.Uint64(); err != nil {
+				return en, decodeErr("fid", err)
+			}
+		case fEntryCounts:
+			if en.Counts, err = rd.PackedI64(); err != nil {
+				return en, decodeErr("counts", err)
+			}
+		default:
+			if err := rd.Skip(wt); err != nil {
+				return en, decodeErr("skip", err)
+			}
+		}
+	}
+	return en, nil
+}
+
+// EncodeQuery serializes a QueryRequest.
+func EncodeQuery(q *QueryRequest) []byte {
+	var e codec.Buffer
+	e.String(fQCaller, q.Caller)
+	e.String(fQTable, q.Table)
+	e.Uint64(fQProfile, q.ProfileID)
+	e.Uint32(fQSlot, q.Slot)
+	e.Uint32(fQType, q.Type)
+	e.Bool(fQAllTypes, q.AllTypes)
+	e.Uint32(fQRangeKind, uint32(q.RangeKind))
+	e.Int64(fQSpan, q.Span)
+	e.Int64(fQFrom, q.From)
+	e.Int64(fQTo, q.To)
+	e.Uint32(fQSortBy, uint32(q.SortBy))
+	e.String(fQAction, q.Action)
+	e.Int64(fQK, int64(q.K))
+	e.Uint32(fQDecay, uint32(q.Decay))
+	e.Float64(fQDecayF, q.DecayFactor)
+	e.Int64(fQMinCount, q.MinCount)
+	if len(q.FIDs) > 0 {
+		e.Packed64(fQFIDs, q.FIDs)
+	}
+	e.String(fQUDAFName, q.UDAFName)
+	e.Float64(fQMinScore, q.MinScore)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// DecodeQuery parses a QueryRequest.
+func DecodeQuery(data []byte) (*QueryRequest, error) {
+	q := &QueryRequest{}
+	rd := codec.NewReader(data)
+	for !rd.Done() {
+		f, wt, err := rd.Next()
+		if err != nil {
+			return nil, decodeErr("query", err)
+		}
+		switch f {
+		case fQCaller:
+			q.Caller, err = rd.String()
+		case fQTable:
+			q.Table, err = rd.String()
+		case fQProfile:
+			q.ProfileID, err = rd.Uint64()
+		case fQSlot:
+			q.Slot, err = rd.Uint32()
+		case fQType:
+			q.Type, err = rd.Uint32()
+		case fQAllTypes:
+			q.AllTypes, err = rd.Bool()
+		case fQRangeKind:
+			var v uint32
+			v, err = rd.Uint32()
+			q.RangeKind = query.RangeKind(v)
+		case fQSpan:
+			q.Span, err = rd.Int64()
+		case fQFrom:
+			q.From, err = rd.Int64()
+		case fQTo:
+			q.To, err = rd.Int64()
+		case fQSortBy:
+			var v uint32
+			v, err = rd.Uint32()
+			q.SortBy = query.SortBy(v)
+		case fQAction:
+			q.Action, err = rd.String()
+		case fQK:
+			var v int64
+			v, err = rd.Int64()
+			q.K = int(v)
+		case fQDecay:
+			var v uint32
+			v, err = rd.Uint32()
+			q.Decay = query.DecayFunc(v)
+		case fQDecayF:
+			q.DecayFactor, err = rd.Float64()
+		case fQMinCount:
+			q.MinCount, err = rd.Int64()
+		case fQFIDs:
+			q.FIDs, err = rd.Packed64()
+		case fQUDAFName:
+			q.UDAFName, err = rd.String()
+		case fQMinScore:
+			q.MinScore, err = rd.Float64()
+		default:
+			err = rd.Skip(wt)
+		}
+		if err != nil {
+			return nil, decodeErr("query field", err)
+		}
+	}
+	return q, nil
+}
+
+// EncodeQueryResponse serializes a QueryResponse.
+func EncodeQueryResponse(r *QueryResponse) []byte {
+	var e codec.Buffer
+	for _, feat := range r.Features {
+		e.Message(fRFeature, func(b *codec.Buffer) {
+			b.Uint64(fFeatFID, feat.FID)
+			b.PackedI64(fFeatCounts, feat.Counts)
+			b.Int64(fFeatLastSeen, feat.LastSeen)
+			b.Float64(fFeatScore, feat.Score)
+		})
+	}
+	e.Int64(fRScanned, int64(r.SlicesScanned))
+	e.Bool(fRHit, r.CacheHit)
+	e.Int64(fRNanos, r.ServerNanos)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// DecodeQueryResponse parses a QueryResponse.
+func DecodeQueryResponse(data []byte) (*QueryResponse, error) {
+	r := &QueryResponse{}
+	rd := codec.NewReader(data)
+	for !rd.Done() {
+		f, wt, err := rd.Next()
+		if err != nil {
+			return nil, decodeErr("resp", err)
+		}
+		switch f {
+		case fRFeature:
+			sub, err := rd.Message()
+			if err != nil {
+				return nil, decodeErr("feature", err)
+			}
+			var feat query.Feature
+			for !sub.Done() {
+				f2, wt2, err := sub.Next()
+				if err != nil {
+					return nil, decodeErr("feature field", err)
+				}
+				switch f2 {
+				case fFeatFID:
+					feat.FID, err = sub.Uint64()
+				case fFeatCounts:
+					feat.Counts, err = sub.PackedI64()
+				case fFeatLastSeen:
+					feat.LastSeen, err = sub.Int64()
+				case fFeatScore:
+					feat.Score, err = sub.Float64()
+				default:
+					err = sub.Skip(wt2)
+				}
+				if err != nil {
+					return nil, decodeErr("feature field", err)
+				}
+			}
+			r.Features = append(r.Features, feat)
+		case fRScanned:
+			v, err := rd.Int64()
+			if err != nil {
+				return nil, decodeErr("scanned", err)
+			}
+			r.SlicesScanned = int(v)
+		case fRHit:
+			var err error
+			if r.CacheHit, err = rd.Bool(); err != nil {
+				return nil, decodeErr("hit", err)
+			}
+		case fRNanos:
+			var err error
+			if r.ServerNanos, err = rd.Int64(); err != nil {
+				return nil, decodeErr("nanos", err)
+			}
+		default:
+			if err := rd.Skip(wt); err != nil {
+				return nil, decodeErr("skip", err)
+			}
+		}
+	}
+	return r, nil
+}
+
+// EncodeStats serializes a StatsResponse.
+func EncodeStats(s *StatsResponse) []byte {
+	var e codec.Buffer
+	e.String(fStName, s.Name)
+	e.String(fStRegion, s.Region)
+	e.Int64(fStProfiles, s.Profiles)
+	e.Int64(fStMem, s.MemUsage)
+	e.Float64(fStHit, s.HitRatioPct)
+	e.Int64(fStQueries, s.Queries)
+	e.Int64(fStWrites, s.Writes)
+	e.Int64(fStRejected, s.Rejected)
+	e.Int64(fStFlushErr, s.FlushErrors)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// DecodeStats parses a StatsResponse.
+func DecodeStats(data []byte) (*StatsResponse, error) {
+	s := &StatsResponse{}
+	rd := codec.NewReader(data)
+	for !rd.Done() {
+		f, wt, err := rd.Next()
+		if err != nil {
+			return nil, decodeErr("stats", err)
+		}
+		switch f {
+		case fStName:
+			s.Name, err = rd.String()
+		case fStRegion:
+			s.Region, err = rd.String()
+		case fStProfiles:
+			s.Profiles, err = rd.Int64()
+		case fStMem:
+			s.MemUsage, err = rd.Int64()
+		case fStHit:
+			s.HitRatioPct, err = rd.Float64()
+		case fStQueries:
+			s.Queries, err = rd.Int64()
+		case fStWrites:
+			s.Writes, err = rd.Int64()
+		case fStRejected:
+			s.Rejected, err = rd.Int64()
+		case fStFlushErr:
+			s.FlushErrors, err = rd.Int64()
+		default:
+			err = rd.Skip(wt)
+		}
+		if err != nil {
+			return nil, decodeErr("stats field", err)
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,165 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"ips/internal/query"
+)
+
+func TestAddRoundTrip(t *testing.T) {
+	in := &AddRequest{
+		Caller:    "feeds",
+		Table:     "user_profile",
+		ProfileID: 0xdeadbeef,
+		Entries: []AddEntry{
+			{Timestamp: 123456, Slot: 1, Type: 2, FID: 99, Counts: []int64{1, -2, 3}},
+			{Timestamp: 123457, Slot: 4, Type: 5, FID: 100, Counts: []int64{7}},
+		},
+	}
+	out, err := DecodeAdd(EncodeAdd(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestAddEmptyEntries(t *testing.T) {
+	in := &AddRequest{Caller: "c", Table: "t", ProfileID: 1}
+	out, err := DecodeAdd(EncodeAdd(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Entries) != 0 {
+		t.Fatalf("entries = %v", out.Entries)
+	}
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	in := &QueryRequest{
+		Caller: "ads", Table: "t", ProfileID: 7,
+		Slot: 3, Type: 4, AllTypes: true,
+		RangeKind: query.Absolute, Span: 1000, From: 50, To: 900,
+		SortBy: query.ByTimestamp, Action: "like", K: 10,
+		Decay: query.DecayExp, DecayFactor: 0.75,
+		MinCount: 5, FIDs: []uint64{1, 2, 3},
+	}
+	out, err := DecodeQuery(EncodeQuery(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestQueryRoundTripProperty(t *testing.T) {
+	f := func(profile uint64, slot, typ uint32, span int64, k uint8, action string) bool {
+		in := &QueryRequest{
+			Caller: "c", Table: "t", ProfileID: profile,
+			Slot: slot, Type: typ,
+			RangeKind: query.Current, Span: span,
+			SortBy: query.ByAction, Action: action, K: int(k),
+		}
+		out, err := DecodeQuery(EncodeQuery(in))
+		return err == nil && reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestToQueryFilterMapping(t *testing.T) {
+	q := &QueryRequest{MinCount: 3, FIDs: []uint64{9, 10}, RangeKind: query.Current, Span: 100}
+	req := q.ToQuery()
+	if req.Filter == nil {
+		t.Fatal("filter not built")
+	}
+	if req.Filter.MinCount != 3 {
+		t.Fatalf("min count = %d", req.Filter.MinCount)
+	}
+	if !req.Filter.FIDs[9] || !req.Filter.FIDs[10] || req.Filter.FIDs[11] {
+		t.Fatalf("fids = %v", req.Filter.FIDs)
+	}
+	// No filter fields: nil filter.
+	q2 := &QueryRequest{RangeKind: query.Current, Span: 100}
+	if q2.ToQuery().Filter != nil {
+		t.Fatal("empty filter should map to nil")
+	}
+}
+
+func TestQueryResponseRoundTrip(t *testing.T) {
+	in := &QueryResponse{
+		Features: []query.Feature{
+			{FID: 1, Counts: []int64{5, 6}, LastSeen: 1000},
+			{FID: 2, Counts: []int64{-1}, LastSeen: 2000},
+		},
+		SlicesScanned: 17,
+		CacheHit:      true,
+		ServerNanos:   123456789,
+	}
+	out, err := DecodeQueryResponse(EncodeQueryResponse(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestEmptyQueryResponse(t *testing.T) {
+	out, err := DecodeQueryResponse(EncodeQueryResponse(&QueryResponse{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Features) != 0 || out.CacheHit {
+		t.Fatalf("out = %+v", out)
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	in := &StatsResponse{
+		Name: "ips-0", Region: "east",
+		Profiles: 100, MemUsage: 1 << 30, HitRatioPct: 93.5,
+		Queries: 1e6, Writes: 1e5, Rejected: 42, FlushErrors: 1,
+	}
+	out, err := DecodeStats(EncodeStats(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	junk := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := DecodeAdd(junk); err == nil {
+		t.Fatal("DecodeAdd should fail on garbage")
+	}
+	if _, err := DecodeQuery(junk); err == nil {
+		t.Fatal("DecodeQuery should fail on garbage")
+	}
+	if _, err := DecodeQueryResponse(junk); err == nil {
+		t.Fatal("DecodeQueryResponse should fail on garbage")
+	}
+	if _, err := DecodeStats(junk); err == nil {
+		t.Fatal("DecodeStats should fail on garbage")
+	}
+}
+
+func TestDecodeNeverPanicsProperty(t *testing.T) {
+	f := func(junk []byte) bool {
+		_, _ = DecodeAdd(junk)
+		_, _ = DecodeQuery(junk)
+		_, _ = DecodeQueryResponse(junk)
+		_, _ = DecodeStats(junk)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"ips/internal/model"
+)
+
+func TestGeneratorDeterministic(t *testing.T) {
+	a := New(Options{Seed: 7})
+	b := New(Options{Seed: 7})
+	for i := 0; i < 100; i++ {
+		if a.ProfileID() != b.ProfileID() {
+			t.Fatal("same seed should reproduce profile IDs")
+		}
+		qa, qb := a.Query("t"), b.Query("t")
+		if qa.ProfileID != qb.ProfileID || qa.Span != qb.Span {
+			t.Fatal("same seed should reproduce queries")
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := New(Options{Seed: 1, Profiles: 10_000})
+	counts := map[model.ProfileID]int{}
+	const draws = 50_000
+	for i := 0; i < draws; i++ {
+		counts[g.ProfileID()]++
+	}
+	// The hottest profile should absorb a large share; the distinct count
+	// should be far below the corpus.
+	var max int
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < draws/20 {
+		t.Fatalf("hottest profile got %d of %d draws; not skewed", max, draws)
+	}
+	if len(counts) > draws/2 {
+		t.Fatalf("%d distinct profiles; not Zipf-like", len(counts))
+	}
+}
+
+func TestReadWriteMixDefault(t *testing.T) {
+	g := New(Options{Seed: 3})
+	reads := 0
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		if g.IsRead() {
+			reads++
+		}
+	}
+	ratio := float64(reads) / float64(n-reads)
+	// The paper's §IV-C mix: reads ≈ 10x writes.
+	if ratio < 8 || ratio > 12 {
+		t.Fatalf("read:write = %.1f:1, want ~10:1", ratio)
+	}
+}
+
+func TestWriteEntryShape(t *testing.T) {
+	g := New(Options{Seed: 5, Actions: 3, Slots: 4, Types: 2})
+	now := model.Millis(1_000_000_000)
+	for i := 0; i < 1000; i++ {
+		e := g.WriteEntry(now)
+		if e.Timestamp > now || e.Timestamp < now-30_000 {
+			t.Fatalf("timestamp %d outside ingestion-lag window", e.Timestamp)
+		}
+		if e.Slot >= 4 || e.Type >= 2 {
+			t.Fatalf("slot/type out of range: %d/%d", e.Slot, e.Type)
+		}
+		if len(e.Counts) != 3 {
+			t.Fatalf("counts width = %d", len(e.Counts))
+		}
+		var total int64
+		for _, c := range e.Counts {
+			if c < 0 {
+				t.Fatal("negative count")
+			}
+			total += c
+		}
+		if total < 1 || total > 2 {
+			t.Fatalf("total counts = %d", total)
+		}
+	}
+}
+
+func TestQueryShape(t *testing.T) {
+	g := New(Options{Seed: 9})
+	var decays, filters, allTypes int
+	for i := 0; i < 10_000; i++ {
+		q := g.Query("up")
+		if q.Table != "up" || q.K == 0 || q.Span == 0 {
+			t.Fatalf("query = %+v", q)
+		}
+		if q.Decay != 0 {
+			decays++
+		}
+		if q.MinCount > 0 {
+			filters++
+		}
+		if q.AllTypes {
+			allTypes++
+		}
+	}
+	if decays == 0 || filters == 0 || allTypes == 0 {
+		t.Fatalf("query variety missing: decay=%d filter=%d allTypes=%d", decays, filters, allTypes)
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	d := Diurnal{Base: 0.3}
+	const hour = 3_600_000
+	trough := d.Intensity(4*hour + 30*60_000) // ~4:30am
+	lunch := d.Intensity(12*hour + 30*60_000)
+	evening := d.Intensity(21 * hour)
+	if !(trough < lunch && lunch < evening) {
+		t.Fatalf("shape wrong: trough=%.2f lunch=%.2f evening=%.2f", trough, lunch, evening)
+	}
+	if evening < 0.8 {
+		t.Fatalf("evening peak = %.2f, want near 1", evening)
+	}
+	if trough > 0.5 {
+		t.Fatalf("trough = %.2f, want deep", trough)
+	}
+	// The curve is periodic across days.
+	if math.Abs(d.Intensity(hour)-d.Intensity(25*hour)) > 1e-9 {
+		t.Fatal("curve not periodic")
+	}
+}
+
+func TestDiurnalFestivalBoost(t *testing.T) {
+	plain := Diurnal{Base: 0.3}
+	fest := Diurnal{Base: 0.3, FestivalBoost: 1.4}
+	const t21 = 21 * 3_600_000
+	if fest.Intensity(t21) <= plain.Intensity(t21) {
+		t.Fatal("festival boost has no effect")
+	}
+}
+
+func TestDiurnalBounds(t *testing.T) {
+	d := Diurnal{Base: 0.3}
+	for ms := model.Millis(0); ms < 86_400_000; ms += 600_000 {
+		v := d.Intensity(ms)
+		if v <= 0 || v > 1 {
+			t.Fatalf("intensity(%d) = %f out of (0,1]", ms, v)
+		}
+	}
+}

@@ -1,0 +1,315 @@
+// Package ips is a Go implementation of Instance Profile Service (IPS),
+// the unified profile-management system for online recommendations
+// described in "IPS: Unified Profile Management for Ubiquitous Online
+// Recommendations" (ICDE 2021). It stores unstructured profile data as a
+// time-serial list of slices embedding multi-level hash maps and computes
+// features inline: multi-dimensional top-K, filtering and time-decayed
+// aggregation over arbitrary time windows.
+//
+// The package offers two entry points:
+//
+//   - DB: an embedded single-node instance, the quickest way to use IPS
+//     in-process (quickstart example).
+//   - the Remote type (remote.go): the unified client to a distributed,
+//     multi-region IPS cluster over RPC.
+//
+// Basic usage:
+//
+//	db, _ := ips.Open(ips.Options{})
+//	t, _ := db.CreateTable("user_profile", "like", "comment", "share")
+//	_ = t.Add(userID, ips.Entry{Timestamp: now, Slot: 1, Type: 2, FID: videoID, Counts: []int64{1, 0, 0}})
+//	top, _ := t.TopK(userID, ips.Query{Window: ips.LastDays(10), SortByAction: "like", K: 5})
+package ips
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"ips/internal/config"
+	"ips/internal/gcache"
+	"ips/internal/kv"
+	"ips/internal/model"
+	"ips/internal/query"
+	"ips/internal/server"
+	"ips/internal/wire"
+)
+
+// Entry is one profile observation: at Timestamp, the feature FID in
+// category (Slot, Type) received the action counts in Counts, whose width
+// and meaning are fixed by the table's schema.
+type Entry = wire.AddEntry
+
+// Feature is one aggregated feature in a query result.
+type Feature = query.Feature
+
+// Window specifies the queried time range (§II-B of the paper): CURRENT
+// windows end now, RELATIVE windows end at the profile's most recent
+// action, ABSOLUTE windows are explicit.
+type Window struct {
+	kind     query.RangeKind
+	span     model.Millis
+	from, to model.Millis
+}
+
+// Last returns a CURRENT window covering the last d.
+func Last(d time.Duration) Window {
+	return Window{kind: query.Current, span: d.Milliseconds()}
+}
+
+// LastDays returns a CURRENT window covering the last n days.
+func LastDays(n int) Window { return Last(time.Duration(n) * 24 * time.Hour) }
+
+// SinceLastAction returns a RELATIVE window covering d back from the
+// profile's most recent action.
+func SinceLastAction(d time.Duration) Window {
+	return Window{kind: query.Relative, span: d.Milliseconds()}
+}
+
+// Between returns an ABSOLUTE window [from, to).
+func Between(from, to time.Time) Window {
+	return Window{kind: query.Absolute, from: from.UnixMilli(), to: to.UnixMilli()}
+}
+
+// Decay selects the time-decay applied to older data in decay queries.
+type Decay = query.DecayFunc
+
+// Decay functions.
+const (
+	NoDecay     = query.DecayNone
+	ExpDecay    = query.DecayExp
+	LinearDecay = query.DecayLinear
+	StepDecay   = query.DecayStep
+)
+
+// Query describes one feature read.
+type Query struct {
+	// Slot and Type select the feature category; AllTypes aggregates the
+	// whole slot.
+	Slot     model.SlotID
+	Type     model.TypeID
+	AllTypes bool
+	// Window is required.
+	Window Window
+	// SortByAction orders by that action's count (descending); empty
+	// sorts by the first action. SortByTime / SortByFID override.
+	SortByAction string
+	SortByTime   bool
+	SortByFID    bool
+	// K caps the result; 0 returns everything.
+	K int
+	// Decay and DecayFactor configure time decay.
+	Decay       Decay
+	DecayFactor float64
+	// MinCount filters features below the bound on the sort attribute.
+	MinCount int64
+	// FIDs, when set, restricts results to these feature IDs.
+	FIDs []model.FeatureID
+	// UDAF names a registered user-defined aggregate function; results
+	// carry its score and, when SortByUDAF is set, order by it.
+	UDAF       string
+	SortByUDAF bool
+	// MinScore drops features scoring below the bound (requires UDAF).
+	MinScore float64
+}
+
+func (q Query) toWire(table string, id model.ProfileID) *wire.QueryRequest {
+	req := &wire.QueryRequest{
+		Table: table, ProfileID: id,
+		Slot: q.Slot, Type: q.Type, AllTypes: q.AllTypes,
+		RangeKind: q.Window.kind, Span: q.Window.span,
+		From: q.Window.from, To: q.Window.to,
+		SortBy: query.ByAction, Action: q.SortByAction, K: q.K,
+		Decay: q.Decay, DecayFactor: q.DecayFactor,
+		MinCount: q.MinCount, FIDs: q.FIDs,
+		UDAFName: q.UDAF, MinScore: q.MinScore,
+	}
+	if q.SortByTime {
+		req.SortBy = query.ByTimestamp
+	} else if q.SortByFID {
+		req.SortBy = query.ByFeatureID
+	} else if q.SortByUDAF {
+		req.SortBy = query.ByUDAF
+	}
+	return req
+}
+
+// Options configures an embedded DB.
+type Options struct {
+	// Path, when set, persists profiles to a disk-backed store at this
+	// file; empty keeps everything in an in-memory store.
+	Path string
+	// MemLimit bounds the in-memory cache in bytes (0 = unbounded).
+	MemLimit int64
+	// Config overrides the default table maintenance configuration
+	// (time-dimension compaction, truncation, shrink, write isolation).
+	Config *config.Config
+	// Clock overrides the time source (Unix millis), for simulations.
+	Clock func() int64
+	// Caller identifies this embedder for quota accounting.
+	Caller string
+}
+
+// DB is an embedded single-node IPS instance.
+type DB struct {
+	inst   *server.Instance
+	store  kv.Store
+	caller string
+	clock  func() int64
+}
+
+// Open creates an embedded instance.
+func Open(opts Options) (*DB, error) {
+	var store kv.Store
+	var err error
+	if opts.Path != "" {
+		store, err = kv.OpenDisk(opts.Path)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		store = kv.NewMemory()
+	}
+	cfg := config.Default()
+	if opts.Config != nil {
+		cfg = *opts.Config
+	}
+	cfgStore, err := config.NewStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	caller := opts.Caller
+	if caller == "" {
+		caller = "embedded"
+	}
+	clock := opts.Clock
+	inst, err := server.New(server.Options{
+		Name:   "ips-embedded",
+		Region: "local",
+		Store:  store,
+		Config: cfgStore,
+		Clock:  clock,
+		Cache:  gcache.Options{MemLimit: opts.MemLimit},
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	if clock == nil {
+		clock = func() int64 { return time.Now().UnixMilli() }
+	}
+	return &DB{inst: inst, store: store, caller: caller, clock: clock}, nil
+}
+
+// CreateTable registers a table whose count vector has the named actions
+// (all reducing by SUM) and returns its handle.
+func (db *DB) CreateTable(name string, actions ...string) (*Table, error) {
+	return db.CreateTableSchema(name, model.NewSchema(actions...))
+}
+
+// CreateTableSchema registers a table with a custom schema (per-action
+// reduce functions, e.g. LAST for bid prices).
+func (db *DB) CreateTableSchema(name string, schema *model.Schema) (*Table, error) {
+	if err := db.inst.CreateTable(name, schema); err != nil {
+		return nil, err
+	}
+	return &Table{db: db, name: name}, nil
+}
+
+// Table returns the handle for an existing table.
+func (db *DB) Table(name string) (*Table, error) {
+	for _, n := range db.inst.Tables() {
+		if n == name {
+			return &Table{db: db, name: name}, nil
+		}
+	}
+	return nil, fmt.Errorf("ips: table %q does not exist", name)
+}
+
+// Instance exposes the underlying server instance for advanced use
+// (quotas, config hot reload, stats).
+func (db *DB) Instance() *server.Instance { return db.inst }
+
+// RegisterUDAF installs a user-defined aggregate function under name;
+// queries reference it via Query.UDAF. Built-ins "sum", "max" and "ctr"
+// are pre-registered.
+func (db *DB) RegisterUDAF(name string, fn func(counts []int64) float64) error {
+	return db.inst.UDAFs().Register(name, fn)
+}
+
+// RegisterWeightedUDAF installs a weighted-sum scoring function — the
+// common multi-dimensional top-K shape (e.g. like=1, comment=3, share=5).
+func (db *DB) RegisterWeightedUDAF(name string, weights ...float64) error {
+	return db.inst.UDAFs().Register(name, query.WeightedSum(weights...))
+}
+
+// DeleteProfile removes a profile from cache and storage across the table.
+func (db *DB) DeleteProfile(table string, id model.ProfileID) error {
+	return db.inst.DeleteProfile(table, id)
+}
+
+// MergeWrites forces the write-isolation buffer into the main table,
+// making recent writes immediately visible (they become visible within
+// the configured merge interval otherwise).
+func (db *DB) MergeWrites() { db.inst.MergeAll() }
+
+// Flush persists all dirty profiles.
+func (db *DB) Flush() error { return db.inst.FlushAll() }
+
+// Close flushes and shuts down.
+func (db *DB) Close() error {
+	err := db.inst.Close()
+	if cerr := db.store.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Table is a handle to one IPS table.
+type Table struct {
+	db   *DB
+	name string
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Add appends one or more observations to a profile (add_profile /
+// add_profiles).
+func (t *Table) Add(id model.ProfileID, entries ...Entry) error {
+	if len(entries) == 0 {
+		return errors.New("ips: Add needs at least one entry")
+	}
+	return t.db.inst.Add(t.db.caller, t.name, id, entries)
+}
+
+// TopK returns the top-K features for the query (get_profile_topK).
+func (t *Table) TopK(id model.ProfileID, q Query) ([]Feature, error) {
+	resp, err := t.db.inst.Query(q.toWire(t.name, id))
+	if err != nil {
+		return nil, err
+	}
+	return resp.Features, nil
+}
+
+// Filter returns the features passing the query's filters
+// (get_profile_filter).
+func (t *Table) Filter(id model.ProfileID, q Query) ([]Feature, error) {
+	return t.TopK(id, q)
+}
+
+// DecayQuery returns features with the query's decay function applied
+// (get_profile_decay). The query must set Decay.
+func (t *Table) DecayQuery(id model.ProfileID, q Query) ([]Feature, error) {
+	if q.Decay == NoDecay {
+		return nil, errors.New("ips: DecayQuery requires a decay function")
+	}
+	return t.TopK(id, q)
+}
+
+// Compact synchronously runs maintenance (compact/truncate/shrink) on one
+// profile; background maintenance runs automatically as profiles grow.
+func (t *Table) Compact(id model.ProfileID) error {
+	_, err := t.db.inst.CompactNow(t.name, id)
+	return err
+}

@@ -1,0 +1,92 @@
+package ips
+
+import (
+	"time"
+
+	"ips/internal/client"
+	"ips/internal/discovery"
+	"ips/internal/model"
+	"ips/internal/wire"
+)
+
+// Remote is the unified IPS client to a distributed deployment: it
+// discovers instances, routes profile IDs with consistent hashing, writes
+// to every region and reads from the local region with failover (§III-G).
+type Remote struct {
+	c *client.Client
+}
+
+// RemoteOptions configures a Remote.
+type RemoteOptions struct {
+	// Caller identifies the upstream application for quota accounting.
+	Caller string
+	// Region is the caller's local region; reads prefer it.
+	Region string
+	// Registry is the discovery catalog: the in-process Registry shared
+	// with an embedded cluster, or discovery.Dial(addr) for a registry
+	// daemon.
+	Registry discovery.Catalog
+	// Service is the discovery service name; default "ips".
+	Service string
+	// CallTimeout bounds each RPC; default 1s.
+	CallTimeout time.Duration
+}
+
+// Connect builds a Remote client.
+func Connect(opts RemoteOptions) (*Remote, error) {
+	c, err := client.New(client.Options{
+		Caller:      opts.Caller,
+		Service:     opts.Service,
+		Region:      opts.Region,
+		Registry:    opts.Registry,
+		CallTimeout: opts.CallTimeout,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Remote{c: c}, nil
+}
+
+// Add appends observations to a profile in every region.
+func (r *Remote) Add(table string, id model.ProfileID, entries ...Entry) error {
+	return r.c.Add(table, id, entries...)
+}
+
+// TopK queries the top-K features.
+func (r *Remote) TopK(table string, id model.ProfileID, q Query) ([]Feature, error) {
+	resp, err := r.c.TopK(q.toWire(table, id))
+	if err != nil {
+		return nil, err
+	}
+	return resp.Features, nil
+}
+
+// Filter queries with filtering semantics.
+func (r *Remote) Filter(table string, id model.ProfileID, q Query) ([]Feature, error) {
+	resp, err := r.c.Filter(q.toWire(table, id))
+	if err != nil {
+		return nil, err
+	}
+	return resp.Features, nil
+}
+
+// DecayQuery queries with the configured decay applied.
+func (r *Remote) DecayQuery(table string, id model.ProfileID, q Query) ([]Feature, error) {
+	resp, err := r.c.Decay(q.toWire(table, id))
+	if err != nil {
+		return nil, err
+	}
+	return resp.Features, nil
+}
+
+// Stats fetches statistics from every live instance.
+func (r *Remote) Stats() ([]*wire.StatsResponse, error) { return r.c.Stats() }
+
+// ErrorRate reports the client-observed error fraction.
+func (r *Remote) ErrorRate() float64 { return r.c.ErrorRate() }
+
+// Client exposes the underlying client for advanced use.
+func (r *Remote) Client() *client.Client { return r.c }
+
+// Close shuts the client down.
+func (r *Remote) Close() error { return r.c.Close() }

@@ -23,7 +23,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig16, fig17, tab2, fig18, fig19, iso80, compaction, lambda, fig10, fig11, all)")
+	exp := flag.String("exp", "", "experiment id (fig16, fig17, tab2, fig18, fig19, iso80, compaction, lambda, batch, fig10, fig11, all)")
 	full := flag.Bool("full", false, "run the larger, slower parameterization")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
@@ -91,6 +91,14 @@ func main() {
 				o = bench.LambdaOptions{Users: 80, Days: 10, ClicksPerUserPerDay: 20}
 			}
 			_, err := bench.RunLambda(o, os.Stdout)
+			return err
+		}},
+		{"batch", "batched multi-profile query vs sequential singles", func(full bool) error {
+			o := bench.BatchOptions{}
+			if full {
+				o = bench.BatchOptions{BatchSize: 64, Rounds: 200, Profiles: 2000, Instances: 4}
+			}
+			_, err := bench.RunBatchVsSingle(o, os.Stdout)
 			return err
 		}},
 		{"fig10", "compaction mechanism demo (6 slices -> 3)", func(bool) error {

@@ -241,23 +241,87 @@ func runViaRegistry(registryAddr, region, caller, cmd string, args []string) {
 		for _, f := range resp.Features {
 			fmt.Printf("  fid=%-12d counts=%v\n", f.FID, f.Counts)
 		}
+	case "batch":
+		fs := flag.NewFlagSet("batch", flag.ExitOnError)
+		table := fs.String("table", "user_profile", "table name")
+		profiles := fs.String("profiles", "", "comma-separated profile IDs, one sub-query each")
+		op := fs.String("op", "topk", "sub-query op: topk, filter or decay")
+		slot := fs.Uint("slot", 0, "slot ID")
+		typ := fs.Uint("type", 0, "type ID")
+		window := fs.Duration("window", time.Hour, "CURRENT window length")
+		action := fs.String("action", "", "action name to sort by")
+		k := fs.Int("k", 10, "top K")
+		minCount := fs.Int64("min-count", 0, "filter: minimum count")
+		decayFactor := fs.Float64("decay-factor", 0.8, "decay factor")
+		_ = fs.Parse(args)
+		var subs []wire.SubQuery
+		for _, s := range strings.Split(*profiles, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			id, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				log.Fatalf("bad profile ID %q: %v", s, err)
+			}
+			sub := wire.SubQuery{Query: wire.QueryRequest{
+				Table: *table, ProfileID: id,
+				Slot: uint32(*slot), Type: uint32(*typ),
+				RangeKind: query.Current, Span: window.Milliseconds(),
+				SortBy: query.ByAction, Action: *action, K: *k,
+			}}
+			switch *op {
+			case "filter":
+				sub.Op = wire.OpFilter
+				sub.Query.MinCount = *minCount
+			case "decay":
+				sub.Op = wire.OpDecay
+				sub.Query.Decay, sub.Query.DecayFactor = query.DecayExp, *decayFactor
+			}
+			subs = append(subs, sub)
+		}
+		if len(subs) == 0 {
+			log.Fatal("batch needs -profiles")
+		}
+		resps, err := c.QueryBatch(subs)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "warning: %v\n", err)
+		}
+		fmt.Printf("%d sub-queries, fan-out %d shard RPCs\n", len(subs), c.BatchFanOut.Value())
+		served := 0
+		for i, resp := range resps {
+			if resp == nil {
+				fmt.Printf("  profile=%-12d FAILED\n", subs[i].Query.ProfileID)
+				continue
+			}
+			served++
+			fmt.Printf("  profile=%-12d %d features (%d slices scanned)\n",
+				subs[i].Query.ProfileID, len(resp.Features), resp.SlicesScanned)
+		}
+		if served == 0 {
+			os.Exit(1)
+		}
 	case "stats":
 		stats, err := c.Stats()
 		if err != nil {
-			log.Fatal(err)
+			if len(stats) == 0 {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "warning: partial stats: %v\n", err)
 		}
 		for _, st := range stats {
 			fmt.Printf("%s (%s): profiles=%d queries=%d writes=%d hit=%.1f%%\n",
 				st.Name, st.Region, st.Profiles, st.Queries, st.Writes, st.HitRatioPct)
 		}
 	default:
-		log.Fatalf("registry mode supports add/topk/filter/decay/stats, not %q", cmd)
+		log.Fatalf("registry mode supports add/topk/filter/decay/batch/stats, not %q", cmd)
 	}
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: ips-cli [-addr host:port] <command> [flags]")
-	fmt.Fprintln(os.Stderr, "commands: ping add topk filter decay stats delete set-quota set-isolation register-udaf tables udafs")
+	fmt.Fprintln(os.Stderr, "commands: ping add topk filter decay batch stats delete set-quota set-isolation register-udaf tables udafs")
+	fmt.Fprintln(os.Stderr, "batch (registry mode only) coalesces one sub-query per -profiles ID into per-shard RPCs")
 	os.Exit(2)
 }
 

@@ -95,7 +95,12 @@ func main() {
 
 	stats, err := app.Stats()
 	if err != nil {
-		log.Fatal(err)
+		// Partial results are fine right after a restart: some instances
+		// may still be coming up.
+		if len(stats) == 0 {
+			log.Fatal(err)
+		}
+		fmt.Printf("(partial stats: %v)\n", err)
 	}
 	fmt.Println("\ninstance stats:")
 	for _, s := range stats {

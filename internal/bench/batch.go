@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"io"
+	"time"
+
+	"ips/internal/client"
+	"ips/internal/cluster"
+	"ips/internal/metrics"
+	"ips/internal/model"
+	"ips/internal/wire"
+	"ips/internal/workload"
+)
+
+// BatchOptions scales the batch-vs-single comparison: one ranking request
+// needing features for BatchSize candidate profiles, served either as
+// BatchSize sequential single-profile RPCs or as one QueryBatch coalesced
+// into one RPC per owning shard.
+type BatchOptions struct {
+	// BatchSize is the sub-queries per ranking request; default 32.
+	BatchSize int
+	// Rounds is how many ranking requests each mode serves; default 60.
+	Rounds int
+	// Profiles in the corpus; default 400.
+	Profiles int
+	// Instances (shards) in the single region; default 2.
+	Instances int
+	// WritesPerProfile seeds history; default 20.
+	WritesPerProfile int
+}
+
+func (o *BatchOptions) fill() {
+	if o.BatchSize <= 0 {
+		o.BatchSize = 32
+	}
+	if o.Rounds <= 0 {
+		o.Rounds = 60
+	}
+	if o.Profiles <= 0 {
+		o.Profiles = 400
+	}
+	if o.Instances <= 0 {
+		o.Instances = 2
+	}
+	if o.WritesPerProfile <= 0 {
+		o.WritesPerProfile = 20
+	}
+}
+
+// BatchReport is the measured comparison.
+type BatchReport struct {
+	BatchSize, Instances   int
+	SinglesAvg, SinglesP99 time.Duration // per ranking request (N RPCs)
+	BatchAvg, BatchP99     time.Duration // per ranking request (1 batch)
+	// Speedup is SinglesAvg / BatchAvg; > 1 means batching wins.
+	Speedup float64
+	// AvgFanOut is the mean shard RPCs one batch cost; the coalescing
+	// claim is AvgFanOut ≈ Instances while BatchSize RPCs were saved.
+	AvgFanOut float64
+}
+
+// RunBatchVsSingle measures a candidate-ranking read pattern (§II, §IV:
+// features for many profiles per user request) over loopback TCP in both
+// shapes. The shape being reproduced: batching N sub-queries into S shard
+// RPCs beats N sequential round trips roughly by the round-trip factor
+// N/S, with the win growing with batch size.
+func RunBatchVsSingle(opts BatchOptions, w io.Writer) (*BatchReport, error) {
+	opts.fill()
+	clock := NewClock()
+	cl, err := cluster.New(cluster.Options{
+		Regions:            []string{"local"},
+		InstancesPerRegion: opts.Instances,
+		Clock:              clock.Now,
+		Tables:             map[string]*model.Schema{TableName: model.NewSchema("like", "comment", "share")},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	c, err := client.New(client.Options{
+		Caller: "bench", Service: "ips", Region: "local",
+		Registry: cl.Registry, CallTimeout: 5 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	c.RefreshNow()
+
+	gen := workload.New(workload.Options{Seed: 11, Profiles: uint64(opts.Profiles), Actions: 3})
+	now := clock.Now()
+	for id := model.ProfileID(1); id <= model.ProfileID(opts.Profiles); id++ {
+		entries := make([]wire.AddEntry, opts.WritesPerProfile)
+		for j := range entries {
+			en := gen.WriteEntry(now)
+			en.Timestamp = now - model.Millis(int64(j)*3_600_000/int64(opts.WritesPerProfile)) - 1
+			entries[j] = en
+		}
+		if err := c.Add(TableName, id, entries...); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range cl.Nodes() {
+		n.Instance().MergeAll()
+	}
+
+	// Pre-draw the request stream once so both modes serve identical work.
+	reqs := make([][]wire.SubQuery, opts.Rounds)
+	for r := range reqs {
+		subs := make([]wire.SubQuery, opts.BatchSize)
+		for i := range subs {
+			q := gen.Query(TableName)
+			q.ProfileID = gen.UniformProfileID()
+			subs[i] = wire.SubQuery{Op: wire.OpTopK, Query: *q}
+		}
+		reqs[r] = subs
+	}
+
+	// Warm connections and the server-side caches for both modes so the
+	// measured distributions compare steady-state behaviour, not dial cost.
+	for i := range reqs[0] {
+		req := reqs[0][i].Query
+		if _, err := c.TopK(&req); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := c.QueryBatch(reqs[0]); err != nil {
+		return nil, err
+	}
+
+	var singles, batch metrics.Histogram
+	for _, subs := range reqs {
+		t0 := time.Now()
+		for i := range subs {
+			req := subs[i].Query
+			if _, err := c.TopK(&req); err != nil {
+				return nil, err
+			}
+		}
+		singles.Observe(time.Since(t0))
+	}
+	rpcs0 := c.BatchRPCs.Value()
+	for _, subs := range reqs {
+		t0 := time.Now()
+		if _, err := c.QueryBatch(subs); err != nil {
+			return nil, err
+		}
+		batch.Observe(time.Since(t0))
+	}
+	fanOut := float64(c.BatchRPCs.Value()-rpcs0) / float64(opts.Rounds)
+
+	rep := &BatchReport{
+		BatchSize: opts.BatchSize, Instances: opts.Instances,
+		SinglesAvg: singles.Mean(), SinglesP99: singles.P99(),
+		BatchAvg: batch.Mean(), BatchP99: batch.P99(),
+		Speedup:   float64(singles.Mean()) / float64(batch.Mean()),
+		AvgFanOut: fanOut,
+	}
+	fprintf(w, "Batch vs single — %d-profile ranking request, %d shard(s)\n", opts.BatchSize, opts.Instances)
+	fprintf(w, "%-22s %-12s %-12s %-8s\n", "mode", "avg", "p99", "rpcs/req")
+	fprintf(w, "%-22s %-12s %-12s %-8d\n", "sequential singles", ms(rep.SinglesAvg), ms(rep.SinglesP99), opts.BatchSize)
+	fprintf(w, "%-22s %-12s %-12s %-8.1f\n", "coalesced batch", ms(rep.BatchAvg), ms(rep.BatchP99), rep.AvgFanOut)
+	fprintf(w, "\nshape: one batch costs ~%.1f RPCs instead of %d; batch is %.1fx faster per request\n",
+		rep.AvgFanOut, opts.BatchSize, rep.Speedup)
+	if rep.Speedup <= 1 {
+		fprintf(w, "WARNING: batching did not win at this scale\n")
+	}
+	return rep, nil
+}

@@ -1,0 +1,212 @@
+package client
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ips/internal/model"
+	"ips/internal/rpc"
+	"ips/internal/wire"
+)
+
+// ErrPartial marks an operation that produced some results but not all;
+// test with errors.Is. The concrete error is a *PartialError carrying
+// which units failed.
+var ErrPartial = errors.New("client: partial failure")
+
+// PartialError reports which units of a fan-out operation failed: for
+// QueryBatch the indices are sub-query positions, for Stats they index the
+// discovered instance list. Successful units' results are still returned
+// by the operation alongside this error.
+type PartialError struct {
+	Failed []int         // failed unit indices, ascending
+	Errs   map[int]error // last error observed per failed index
+}
+
+// Error summarises the failure set.
+func (e *PartialError) Error() string {
+	if len(e.Failed) == 0 {
+		return ErrPartial.Error()
+	}
+	return fmt.Sprintf("%v: %d failed (first: index %d: %v)",
+		ErrPartial, len(e.Failed), e.Failed[0], e.Errs[e.Failed[0]])
+}
+
+// Unwrap makes errors.Is(err, ErrPartial) hold.
+func (e *PartialError) Unwrap() error { return ErrPartial }
+
+// batchTarget is one coalesced RPC destination.
+type batchTarget struct {
+	region, addr string
+}
+
+// QueryBatch executes N sub-queries (any mix of topK / filter / decay) and
+// returns their responses in input order. Sub-queries are grouped by
+// owning shard via the hash ring and each (region, shard) group travels in
+// ONE ips.query_batch RPC, issued in parallel — a ranking request for
+// hundreds of candidates costs S RPCs for S shards touched instead of N.
+//
+// Failover is per shard group with partial-result semantics: when a group
+// RPC fails (or individual slots fail server-side), only those sub-queries
+// are re-grouped against each one's next untried candidate — ring
+// successors in the local region first, then other regions, exactly the
+// ladder the single-query path climbs. Sub-queries that exhaust their
+// candidates come back as nil slots, and the returned error is a
+// *PartialError (errors.Is(err, ErrPartial)) listing them; err is nil only
+// when every slot succeeded.
+func (c *Client) QueryBatch(subs []wire.SubQuery) ([]*wire.QueryResponse, error) {
+	if len(subs) == 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	defer func() { c.QueryLat.Observe(time.Since(start)) }()
+	c.Requests.Add(int64(len(subs)))
+	c.BatchSize.Observe(int64(len(subs)))
+
+	results := make([]*wire.QueryResponse, len(subs))
+	subErrs := make([]error, len(subs))
+	pending := make([]int, len(subs))
+	for i := range pending {
+		pending[i] = i
+	}
+	// tried records addresses each sub-query has already been sent to, so
+	// failover under ring churn never loops on a dead shard.
+	tried := make([]map[string]bool, len(subs))
+	for i := range tried {
+		tried[i] = make(map[string]bool, 2)
+	}
+
+	for round := 0; len(pending) > 0; round++ {
+		regions := c.regionsSnapshot()
+		// Coalesce: assign each pending sub-query its next untried
+		// candidate and group by (region, shard) in first-seen order.
+		groups := make(map[batchTarget][]int)
+		var order []batchTarget
+		var next []int
+		for _, i := range pending {
+			tgt, ok := c.nextCandidate(regions, subs[i].Query.ProfileID, tried[i])
+			if !ok {
+				if subErrs[i] == nil {
+					subErrs[i] = ErrNoInstances
+				}
+				continue // exhausted: stays a nil slot
+			}
+			tried[i][tgt.addr] = true
+			if _, seen := groups[tgt]; !seen {
+				order = append(order, tgt)
+			}
+			groups[tgt] = append(groups[tgt], i)
+		}
+		if len(order) == 0 {
+			break
+		}
+		if round == 0 {
+			c.BatchFanOut.Set(int64(len(order)))
+		} else {
+			// Every re-dispatched sub-query is one failover, mirroring
+			// the single path's per-attempt accounting.
+			for _, t := range order {
+				c.Failovers.Add(int64(len(groups[t])))
+			}
+		}
+
+		type rpcOut struct {
+			resp *wire.BatchQueryResponse
+			err  error
+		}
+		outs := make([]rpcOut, len(order))
+		var wg sync.WaitGroup
+		for gi, tgt := range order {
+			idxs := groups[tgt]
+			wg.Add(1)
+			go func(gi int, tgt batchTarget, idxs []int) {
+				defer wg.Done()
+				if hook := c.OnBatchCall; hook != nil {
+					hook(tgt.region, tgt.addr, len(idxs))
+				}
+				c.BatchRPCs.Inc()
+				req := &wire.BatchQueryRequest{Caller: c.opts.Caller, Subs: make([]wire.SubQuery, len(idxs))}
+				for j, i := range idxs {
+					req.Subs[j] = subs[i]
+				}
+				raw, err := c.conn(tgt.region, tgt.addr).Call(wire.MethodQueryBatch, wire.EncodeQueryBatch(req))
+				if err != nil {
+					outs[gi] = rpcOut{err: err}
+					return
+				}
+				resp, err := wire.DecodeQueryBatchResponse(raw)
+				outs[gi] = rpcOut{resp: resp, err: err}
+			}(gi, tgt, idxs)
+		}
+		wg.Wait()
+
+		// Merge: fill successful slots, queue failed ones for the next
+		// failover round.
+		for gi, tgt := range order {
+			idxs := groups[tgt]
+			o := outs[gi]
+			if o.err == nil && len(o.resp.Results) != len(idxs) {
+				o.err = fmt.Errorf("client: batch response carried %d results for %d sub-queries", len(o.resp.Results), len(idxs))
+			}
+			if o.err != nil {
+				for _, i := range idxs {
+					subErrs[i] = o.err
+					next = append(next, i)
+				}
+				continue
+			}
+			for j, i := range idxs {
+				br := o.resp.Results[j]
+				if br.Err != "" {
+					subErrs[i] = &rpc.RemoteError{Method: wire.MethodQueryBatch, Msg: br.Err}
+					next = append(next, i)
+					continue
+				}
+				resp := br.Resp
+				if resp == nil {
+					resp = &wire.QueryResponse{}
+				}
+				results[i] = resp
+				subErrs[i] = nil
+			}
+		}
+		pending = next
+	}
+
+	var failed []int
+	for i := range subs {
+		if results[i] == nil {
+			failed = append(failed, i)
+		}
+	}
+	if len(failed) == 0 {
+		return results, nil
+	}
+	c.Errors.Add(int64(len(failed)))
+	c.PartialBatches.Inc()
+	perr := &PartialError{Failed: failed, Errs: make(map[int]error, len(failed))}
+	for _, i := range failed {
+		err := subErrs[i]
+		if err == nil {
+			err = ErrNoInstances
+		}
+		perr.Errs[i] = err
+	}
+	return results, perr
+}
+
+// nextCandidate walks the failover ladder for id — ring owner plus
+// successors in the local region first, then the other regions — and
+// returns the first address not yet tried.
+func (c *Client) nextCandidate(regions []string, id model.ProfileID, tried map[string]bool) (batchTarget, bool) {
+	for _, region := range regions {
+		for _, addr := range c.routeN(region, id, c.opts.Retries) {
+			if !tried[addr] {
+				return batchTarget{region: region, addr: addr}, true
+			}
+		}
+	}
+	return batchTarget{}, false
+}

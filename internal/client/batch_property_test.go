@@ -1,0 +1,283 @@
+package client
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ips/internal/model"
+	"ips/internal/query"
+	"ips/internal/wire"
+)
+
+// randomSub draws one sub-query. Profile IDs beyond the prefilled range,
+// an unknown table, and invalid spans are all in-distribution so the
+// property covers error slots, not just the happy path.
+func randomSub(rnd *rand.Rand, maxProfile int) wire.SubQuery {
+	q := wire.QueryRequest{
+		Table:     "up",
+		ProfileID: model.ProfileID(1 + rnd.Intn(maxProfile+10)),
+		Slot:      1, Type: 1,
+		K: rnd.Intn(7),
+	}
+	if rnd.Intn(12) == 0 {
+		q.Table = "ghost"
+	}
+	switch rnd.Intn(4) {
+	case 0:
+		q.SortBy = query.ByAction
+		q.Action = []string{"like", "share", ""}[rnd.Intn(3)]
+	case 1:
+		q.SortBy = query.ByTimestamp
+	case 2:
+		q.SortBy = query.ByFeatureID
+	default:
+		q.SortBy = query.ByTotal
+	}
+	switch rnd.Intn(6) {
+	case 0:
+		q.RangeKind = query.Relative
+		q.Span = model.Millis(rnd.Intn(12_000))
+	case 1:
+		q.RangeKind = query.Absolute
+		q.From = 1_000_000_000 - 8000 + model.Millis(rnd.Intn(6000))
+		q.To = q.From + model.Millis(rnd.Intn(5000)) - 1000 // sometimes inverted
+	default:
+		q.RangeKind = query.Current
+		q.Span = model.Millis(rnd.Intn(12_000)) - 1000 // sometimes non-positive
+	}
+	sub := wire.SubQuery{Query: q}
+	switch rnd.Intn(3) {
+	case 0:
+		sub.Op = wire.OpTopK
+	case 1:
+		sub.Op = wire.OpFilter
+		sub.Query.MinCount = int64(rnd.Intn(5))
+	default:
+		sub.Op = wire.OpDecay
+		sub.Query.Decay = []query.DecayFunc{query.DecayExp, query.DecayLinear, query.DecayStep}[rnd.Intn(3)]
+		sub.Query.DecayFactor = 0.1 + 0.8*rnd.Float64()
+	}
+	return sub
+}
+
+// single issues the sub-query down the non-batch path.
+func (c *Client) single(sub wire.SubQuery) (*wire.QueryResponse, error) {
+	req := sub.Query // copy: queryMethod stamps Caller into the request
+	switch sub.Op {
+	case wire.OpFilter:
+		return c.Filter(&req)
+	case wire.OpDecay:
+		return c.Decay(&req)
+	default:
+		return c.TopK(&req)
+	}
+}
+
+// TestQueryBatchEquivalenceQuick is the property layer: for random batches
+// of random sub-queries, QueryBatch must be element-wise identical to
+// issuing each sub-query alone — same features, same per-slot
+// success/failure — with failed slots surfaced through ErrPartial.
+func TestQueryBatchEquivalenceQuick(t *testing.T) {
+	cl, clock := newCluster(t, []string{"east"}, 3)
+	c := newClient(t, cl, "east")
+	now := clock.Now()
+
+	const maxProfile = 30
+	seed := rand.New(rand.NewSource(42))
+	for id := model.ProfileID(1); id <= maxProfile; id++ {
+		for f := 0; f < 1+seed.Intn(5); f++ {
+			err := c.Add("up", id, wire.AddEntry{
+				Timestamp: now - model.Millis(seed.Intn(9000)),
+				Slot:      1, Type: 1,
+				FID:    model.FeatureID(1 + seed.Intn(6)),
+				Counts: []int64{int64(1 + seed.Intn(9)), int64(seed.Intn(4))},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	forceVisible(cl)
+
+	property := func(s int64) bool {
+		rnd := rand.New(rand.NewSource(s))
+		subs := make([]wire.SubQuery, 1+rnd.Intn(24))
+		for i := range subs {
+			subs[i] = randomSub(rnd, maxProfile)
+		}
+		resps, err := c.QueryBatch(subs)
+		if err != nil && !errors.Is(err, ErrPartial) {
+			t.Logf("seed %d: batch error is not ErrPartial: %v", s, err)
+			return false
+		}
+		var perr *PartialError
+		failed := make(map[int]bool)
+		if err != nil {
+			errors.As(err, &perr)
+			for _, i := range perr.Failed {
+				failed[i] = true
+			}
+		}
+		for i, sub := range subs {
+			want, werr := c.single(sub)
+			if werr != nil {
+				if !failed[i] || resps[i] != nil {
+					t.Logf("seed %d sub %d: single errored (%v) but batch slot succeeded", s, i, werr)
+					return false
+				}
+				continue
+			}
+			if failed[i] || resps[i] == nil {
+				t.Logf("seed %d sub %d: single succeeded but batch slot failed (%v)", s, i, perr.Errs[i])
+				return false
+			}
+			if !reflect.DeepEqual(want.Features, resps[i].Features) {
+				t.Logf("seed %d sub %d: features differ\nsingle: %+v\nbatch:  %+v",
+					s, i, want.Features, resps[i].Features)
+				return false
+			}
+			if want.SlicesScanned != resps[i].SlicesScanned {
+				t.Logf("seed %d sub %d: scanned %d vs %d", s, i, want.SlicesScanned, resps[i].SlicesScanned)
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(property, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQueryBatchUnderChurn hammers QueryBatch from several goroutines while
+// instances crash and restart underneath it. Every slot must either carry
+// its own profile's data (FID == profile ID, so a misrouted or misordered
+// merge is detectable) or be reported failed — and the client's Errors
+// counter must reconcile exactly with the failed slots observed.
+func TestQueryBatchUnderChurn(t *testing.T) {
+	cl, clock := newCluster(t, []string{"east"}, 3)
+	c := newClient(t, cl, "east")
+	now := clock.Now()
+
+	const nProfiles = 60
+	for id := model.ProfileID(1); id <= nProfiles; id++ {
+		err := c.Add("up", id, wire.AddEntry{
+			Timestamp: now - 1000, Slot: 1, Type: 1,
+			FID: model.FeatureID(id), Counts: []int64{1, 0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	forceVisible(cl)
+	for _, n := range cl.Nodes() {
+		if err := n.Instance().FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victims := []string{cl.Nodes()[0].Name, cl.Nodes()[1].Name}
+
+	requests0 := c.Requests.Value()
+	errors0 := c.Errors.Value()
+	var issued, failedSlots atomic.Int64
+	faults := make(chan string, 256)
+
+	var churn sync.WaitGroup
+	stop := make(chan struct{})
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for cycle := 0; cycle < 3; cycle++ {
+			name := victims[cycle%len(victims)]
+			if err := cl.Crash(name); err != nil {
+				faults <- "crash: " + err.Error()
+				return
+			}
+			time.Sleep(250 * time.Millisecond)
+			if _, err := cl.Restart(name); err != nil {
+				faults <- "restart: " + err.Error()
+				return
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+		close(stop)
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(w)))
+			for iter := 0; ; iter++ {
+				select {
+				case <-stop:
+					if iter >= 20 {
+						return
+					}
+				default:
+				}
+				// Pace the load so the run overlaps the whole churn window
+				// instead of hot-spinning (matters under -race).
+				time.Sleep(2 * time.Millisecond)
+				subs := make([]wire.SubQuery, 16)
+				for i := range subs {
+					subs[i] = batchSub(model.ProfileID(1 + rnd.Intn(nProfiles)))
+				}
+				issued.Add(int64(len(subs)))
+				resps, err := c.QueryBatch(subs)
+				failed := make(map[int]bool)
+				if err != nil {
+					var perr *PartialError
+					if !errors.As(err, &perr) {
+						faults <- "batch error is not ErrPartial: " + err.Error()
+						return
+					}
+					failedSlots.Add(int64(len(perr.Failed)))
+					for _, i := range perr.Failed {
+						failed[i] = true
+					}
+				}
+				if len(resps) != len(subs) {
+					faults <- "response count mismatch"
+					return
+				}
+				for i, resp := range resps {
+					id := subs[i].Query.ProfileID
+					if failed[i] {
+						if resp != nil {
+							faults <- "failed slot carries a response"
+							return
+						}
+						continue
+					}
+					if resp == nil || len(resp.Features) != 1 || resp.Features[0].FID != id {
+						faults <- "slot lost or misordered under churn"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	churn.Wait()
+	close(faults)
+	for f := range faults {
+		t.Error(f)
+	}
+
+	if got := c.Requests.Value() - requests0; got != issued.Load() {
+		t.Errorf("Requests advanced by %d, issued %d sub-queries", got, issued.Load())
+	}
+	if got := c.Errors.Value() - errors0; got != failedSlots.Load() {
+		t.Errorf("Errors advanced by %d, observed %d failed slots", got, failedSlots.Load())
+	}
+	t.Logf("churn run: %d sub-queries, %d failed slots, %d failovers",
+		issued.Load(), failedSlots.Load(), c.Failovers.Value())
+}

@@ -1,0 +1,241 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"ips/internal/model"
+	"ips/internal/query"
+	"ips/internal/wire"
+)
+
+func batchSub(id model.ProfileID) wire.SubQuery {
+	return wire.SubQuery{Op: wire.OpTopK, Query: wire.QueryRequest{
+		Table: "up", ProfileID: id, Slot: 1, Type: 1,
+		RangeKind: query.Current, Span: 3_600_000,
+		SortBy: query.ByAction, Action: "like", K: 10,
+	}}
+}
+
+// TestQueryBatchCoalescing is the acceptance check for the batch path: N
+// sub-queries spanning S shards must issue exactly S RPCs on the happy
+// path, and every response must land in its input slot.
+func TestQueryBatchCoalescing(t *testing.T) {
+	cl, clock := newCluster(t, []string{"east"}, 3)
+	c := newClient(t, cl, "east")
+	now := clock.Now()
+
+	const n = 32
+	for id := model.ProfileID(1); id <= n; id++ {
+		if err := c.Add("up", id, wire.AddEntry{
+			Timestamp: now - 1000, Slot: 1, Type: 1, FID: model.FeatureID(id), Counts: []int64{int64(id), 0},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	forceVisible(cl)
+
+	// The expected shard set: the ring owner of each profile.
+	shards := make(map[string]bool)
+	subs := make([]wire.SubQuery, 0, n)
+	for id := model.ProfileID(1); id <= n; id++ {
+		shards[c.route("east", id)] = true
+		subs = append(subs, batchSub(id))
+	}
+	if len(shards) < 2 {
+		t.Fatalf("degenerate routing: %d shards for %d profiles", len(shards), n)
+	}
+
+	var mu sync.Mutex
+	calls := make(map[string]int) // addr -> sub-queries carried
+	c.OnBatchCall = func(region, addr string, subQueries int) {
+		mu.Lock()
+		calls[addr] += subQueries
+		mu.Unlock()
+	}
+	resps, err := c.QueryBatch(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(calls) != len(shards) {
+		t.Fatalf("issued %d RPCs for %d shards: %v", len(calls), len(shards), calls)
+	}
+	if got := c.BatchRPCs.Value(); got != int64(len(shards)) {
+		t.Fatalf("BatchRPCs = %d, want %d", got, len(shards))
+	}
+	if got := c.BatchFanOut.Value(); got != int64(len(shards)) {
+		t.Fatalf("BatchFanOut = %d, want %d", got, len(shards))
+	}
+	total := 0
+	for addr, k := range calls {
+		if !shards[addr] {
+			t.Fatalf("RPC issued to non-owner %s", addr)
+		}
+		total += k
+	}
+	if total != n {
+		t.Fatalf("RPCs carried %d sub-queries, want %d", total, n)
+	}
+	// Responses merge back in input order: each slot holds its profile's
+	// feature.
+	for i, resp := range resps {
+		id := subs[i].Query.ProfileID
+		if resp == nil || len(resp.Features) != 1 || resp.Features[0].FID != id ||
+			resp.Features[0].Counts[0] != int64(id) {
+			t.Fatalf("slot %d (profile %d): %+v", i, id, resp)
+		}
+	}
+	if got := c.BatchSize.Max(); got != n {
+		t.Fatalf("BatchSize max = %d, want %d", got, n)
+	}
+}
+
+func TestQueryBatchPartialFailure(t *testing.T) {
+	cl, clock := newCluster(t, []string{"east"}, 2)
+	c := newClient(t, cl, "east")
+	now := clock.Now()
+	if err := c.Add("up", 1, wire.AddEntry{Timestamp: now - 10, Slot: 1, Type: 1, FID: 3, Counts: []int64{2, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	forceVisible(cl)
+
+	bad := batchSub(2)
+	bad.Query.Table = "ghost"
+	subs := []wire.SubQuery{batchSub(1), bad, batchSub(1)}
+	resps, err := c.QueryBatch(subs)
+	if !errors.Is(err, ErrPartial) {
+		t.Fatalf("err = %v, want ErrPartial", err)
+	}
+	var perr *PartialError
+	if !errors.As(err, &perr) || len(perr.Failed) != 1 || perr.Failed[0] != 1 {
+		t.Fatalf("PartialError = %+v", perr)
+	}
+	if resps[1] != nil {
+		t.Fatalf("failed slot non-nil: %+v", resps[1])
+	}
+	for _, i := range []int{0, 2} {
+		if resps[i] == nil || len(resps[i].Features) != 1 || resps[i].Features[0].FID != 3 {
+			t.Fatalf("slot %d = %+v", i, resps[i])
+		}
+	}
+	if c.PartialBatches.Value() != 1 {
+		t.Fatalf("PartialBatches = %d", c.PartialBatches.Value())
+	}
+}
+
+// TestQueryBatchShardFailover crashes one instance without letting
+// discovery notice, so the batch's group RPC to the dead shard fails in
+// transport and only that group re-routes to ring successors.
+func TestQueryBatchShardFailover(t *testing.T) {
+	cl, clock := newCluster(t, []string{"east"}, 2)
+	c := newClient(t, cl, "east")
+	now := clock.Now()
+
+	const n = 16
+	for id := model.ProfileID(1); id <= n; id++ {
+		if err := c.Add("up", id, wire.AddEntry{
+			Timestamp: now - 1000, Slot: 1, Type: 1, FID: model.FeatureID(id), Counts: []int64{1, 0},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	forceVisible(cl)
+	// Persist everything so the surviving instance can load the dead
+	// shard's profiles from the shared regional store.
+	for _, node := range cl.Nodes() {
+		if err := node.Instance().FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := cl.Nodes()[0]
+	if err := cl.Crash(victim.Name); err != nil {
+		t.Fatal(err)
+	}
+	// No RefreshNow: the client's ring still maps profiles to the dead
+	// address.
+
+	subs := make([]wire.SubQuery, 0, n)
+	for id := model.ProfileID(1); id <= n; id++ {
+		subs = append(subs, batchSub(id))
+	}
+	resps, err := c.QueryBatch(subs)
+	if err != nil {
+		t.Fatalf("batch after shard crash: %v", err)
+	}
+	for i, resp := range resps {
+		id := subs[i].Query.ProfileID
+		if resp == nil || len(resp.Features) != 1 || resp.Features[0].FID != id {
+			t.Fatalf("slot %d (profile %d) after failover: %+v", i, id, resp)
+		}
+	}
+	if c.Failovers.Value() == 0 {
+		t.Fatal("no failovers recorded despite a dead shard")
+	}
+}
+
+func TestQueryBatchEmptyAndNoInstances(t *testing.T) {
+	cl, _ := newCluster(t, []string{"east"}, 1)
+	c := newClient(t, cl, "east")
+	if resps, err := c.QueryBatch(nil); resps != nil || err != nil {
+		t.Fatalf("empty batch = %v, %v", resps, err)
+	}
+	cl.CrashRegion("east")
+	time.Sleep(1200 * time.Millisecond)
+	c.RefreshNow()
+	resps, err := c.QueryBatch([]wire.SubQuery{batchSub(1), batchSub(2)})
+	if !errors.Is(err, ErrPartial) {
+		t.Fatalf("err = %v, want ErrPartial", err)
+	}
+	var perr *PartialError
+	if !errors.As(err, &perr) || len(perr.Failed) != 2 {
+		t.Fatalf("PartialError = %+v", perr)
+	}
+	for i, r := range resps {
+		if r != nil {
+			t.Fatalf("slot %d non-nil with no instances", i)
+		}
+	}
+}
+
+// TestStatsPartialFailure fault-injects a 100% response drop on one
+// instance and asserts Stats surfaces the partial results alongside a
+// PartialError instead of silently swallowing the failure.
+func TestStatsPartialFailure(t *testing.T) {
+	cl, _ := newCluster(t, []string{"east"}, 2)
+	c, err := New(Options{
+		Caller: "test", Service: "ips", Region: "east",
+		Registry:        cl.Registry,
+		RefreshInterval: 20 * time.Millisecond,
+		CallTimeout:     300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	c.RefreshNow()
+
+	// Drop every response from one instance: the client sees timeouts.
+	nodes := cl.Nodes()
+	nodes[0].Service().RPC().SetDropRate(func() float64 { return 1 })
+
+	stats, err := c.Stats()
+	if !errors.Is(err, ErrPartial) {
+		t.Fatalf("err = %v, want ErrPartial", err)
+	}
+	var perr *PartialError
+	if !errors.As(err, &perr) || len(perr.Failed) != 1 {
+		t.Fatalf("PartialError = %+v", perr)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("got %d stats, want 1 (the healthy instance)", len(stats))
+	}
+
+	// Both instances dark: no results, error wraps ErrNoInstances.
+	nodes[1].Service().RPC().SetDropRate(func() float64 { return 1 })
+	if stats, err = c.Stats(); len(stats) != 0 || !errors.Is(err, ErrNoInstances) {
+		t.Fatalf("all-dark stats = %v, %v", stats, err)
+	}
+}

@@ -54,12 +54,27 @@ type Client struct {
 	closed  bool
 
 	// Metrics observed from the caller's side — Fig. 17's client-side
-	// error rate comes from here.
+	// error rate comes from here. Requests and Errors count sub-queries
+	// for the batch path, so ErrorRate stays comparable across paths.
 	Requests  metrics.Counter
 	Errors    metrics.Counter
 	Failovers metrics.Counter
 	QueryLat  metrics.Histogram
 	WriteLat  metrics.Histogram
+
+	// Batch-path metrics (ips.query_batch): the distribution of batch
+	// sizes, the shard fan-out of the most recent batch's first round,
+	// total batch RPCs issued, and batches that finished with failed
+	// slots.
+	BatchSize      metrics.IntHist
+	BatchFanOut    metrics.Gauge
+	BatchRPCs      metrics.Counter
+	PartialBatches metrics.Counter
+
+	// OnBatchCall observes every batch RPC issued — a test hook for
+	// asserting coalescing (one RPC per shard touched). Set it before
+	// issuing batches; it runs on the RPC fan-out goroutines.
+	OnBatchCall func(region, addr string, subQueries int)
 }
 
 type regionState struct {
@@ -276,22 +291,37 @@ func (c *Client) Decay(req *wire.QueryRequest) (*wire.QueryResponse, error) {
 	return c.queryMethod(wire.MethodDecay, req)
 }
 
-// Stats fetches instance statistics from every live instance.
+// Stats fetches instance statistics from every live instance. Instances
+// that fail to answer (or answer garbage) no longer vanish silently: the
+// gathered partial results are returned together with a *PartialError
+// (errors.Is(err, ErrPartial)) whose indices point into the discovered
+// instance list. err is nil only when every instance answered; with no
+// usable answer at all the error wraps ErrNoInstances.
 func (c *Client) Stats() ([]*wire.StatsResponse, error) {
+	insts := c.watcher.Current()
 	var out []*wire.StatsResponse
-	for _, inst := range c.watcher.Current() {
+	perr := &PartialError{Errs: make(map[int]error)}
+	for i, inst := range insts {
 		raw, err := c.conn(inst.Region, inst.Addr).Call(wire.MethodStats, nil)
-		if err != nil {
-			continue
+		var st *wire.StatsResponse
+		if err == nil {
+			st, err = wire.DecodeStats(raw)
 		}
-		st, err := wire.DecodeStats(raw)
 		if err != nil {
+			perr.Failed = append(perr.Failed, i)
+			perr.Errs[i] = fmt.Errorf("%s (%s): %w", inst.Addr, inst.Region, err)
 			continue
 		}
 		out = append(out, st)
 	}
 	if len(out) == 0 {
+		if len(perr.Failed) > 0 {
+			return nil, fmt.Errorf("%w: %v", ErrNoInstances, perr)
+		}
 		return nil, ErrNoInstances
+	}
+	if len(perr.Failed) > 0 {
+		return out, perr
 	}
 	return out, nil
 }

@@ -5,6 +5,7 @@
 package integration
 
 import (
+	"reflect"
 	"sync"
 	"testing"
 	"time"
@@ -136,6 +137,44 @@ func TestFullPipelineLifecycle(t *testing.T) {
 		}
 	}
 
+	// Stage 2b — batched ranking read: the same features fetched as one
+	// coalesced QueryBatch (a 40-candidate ranking request) must be
+	// element-wise identical to the single-query answers.
+	subs := make([]wire.SubQuery, 0, users*2)
+	for u := uint64(1); u <= users; u++ {
+		subs = append(subs,
+			wire.SubQuery{Op: wire.OpTopK, Query: wire.QueryRequest{
+				Table: "up", ProfileID: u, Slot: 1, Type: 1,
+				RangeKind: query.Current, Span: 24 * 3_600_000,
+				SortBy: query.ByAction, Action: "like", K: 3,
+			}},
+			wire.SubQuery{Op: wire.OpFilter, Query: wire.QueryRequest{
+				Table: "up", ProfileID: u, Slot: 1, Type: 1,
+				RangeKind: query.Current, Span: 24 * 3_600_000,
+				SortBy: query.ByAction, Action: "like", MinCount: 1,
+			}})
+	}
+	batched, err := app.QueryBatch(subs)
+	if err != nil {
+		t.Fatalf("query batch: %v", err)
+	}
+	for i := range subs {
+		req := subs[i].Query
+		var single *wire.QueryResponse
+		if subs[i].Op == wire.OpFilter {
+			single, err = app.Filter(&req)
+		} else {
+			single, err = app.TopK(&req)
+		}
+		if err != nil {
+			t.Fatalf("sub %d single: %v", i, err)
+		}
+		if !reflect.DeepEqual(single.Features, batched[i].Features) {
+			t.Fatalf("sub %d: batch differs from single\nsingle: %+v\nbatch:  %+v",
+				i, single.Features, batched[i].Features)
+		}
+	}
+
 	// Stage 3 — growth and maintenance: months of additional activity,
 	// then compaction, with totals preserved.
 	for m := 0; m < 50; m++ {
@@ -197,6 +236,18 @@ func TestFullPipelineLifecycle(t *testing.T) {
 	}
 	if len(reloaded.Features) == 0 || reloaded.Features[0].Counts[1] != 50 {
 		t.Fatalf("post-restart data = %+v", reloaded.Features)
+	}
+	// The batch path serves the reloaded data too.
+	postBatch, err := app.QueryBatch([]wire.SubQuery{{Op: wire.OpTopK, Query: wire.QueryRequest{
+		Table: "up", ProfileID: 1, Slot: 1, Type: 1,
+		RangeKind: query.Current, Span: 365 * 24 * 3_600_000,
+		SortBy: query.ByAction, Action: "like", K: 1,
+	}}})
+	if err != nil {
+		t.Fatalf("post-restart batch: %v", err)
+	}
+	if len(postBatch[0].Features) == 0 || postBatch[0].Features[0].Counts[1] != 50 {
+		t.Fatalf("post-restart batch data = %+v", postBatch[0].Features)
 	}
 }
 

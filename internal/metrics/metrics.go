@@ -8,6 +8,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -234,6 +235,94 @@ func (h *Histogram) Snapshot() Snapshot {
 func (s Snapshot) String() string {
 	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
 		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
+}
+
+// IntHist is a power-of-two-bucketed histogram of non-negative integer
+// sample values — batch sizes, fan-out widths and other count-shaped
+// distributions where Histogram's nanosecond buckets make no sense.
+// Bucket i holds values v with bits.Len64(v) == i, i.e. [2^(i-1), 2^i).
+// Recording is a single atomic add.
+type IntHist struct {
+	buckets [65]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+}
+
+// Observe records one sample; negative values clamp to zero.
+func (h *IntHist) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Count returns the number of samples.
+func (h *IntHist) Count() int64 { return h.count.Load() }
+
+// Sum returns the total of all samples.
+func (h *IntHist) Sum() int64 { return h.sum.Load() }
+
+// Mean returns the mean sample, or 0 when empty.
+func (h *IntHist) Mean() float64 {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Max returns the largest sample observed.
+func (h *IntHist) Max() int64 { return h.max.Load() }
+
+// Quantile returns an approximate q-quantile (q in [0,1]): the upper bound
+// of the bucket containing the ranked sample, clamped to Max. Relative
+// error is bounded by the power-of-two bucket width.
+func (h *IntHist) Quantile(q float64) int64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen int64
+	for i := range h.buckets {
+		seen += h.buckets[i].Load()
+		if seen > rank {
+			hi := int64(1)<<i - 1 // largest value with bit length i
+			if m := h.max.Load(); hi > m {
+				hi = m
+			}
+			return hi
+		}
+	}
+	return h.max.Load()
+}
+
+// Reset clears all samples.
+func (h *IntHist) Reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+	h.max.Store(0)
 }
 
 // Meter measures event rates over a sliding window, used for QPS-style

@@ -205,6 +205,25 @@ func Run(p *model.Profile, schema *model.Schema, req Request, now model.Millis) 
 	return runOnSlices(p.Slices(), schema, req, now, p.Latest())
 }
 
+// RunMany executes several requests against the same profile under a
+// single acquisition of its read lock, at the same query time. This is the
+// engine half of the batch query path: when a batch RPC carries multiple
+// sub-queries for one profile (a ranking request scoring many candidate
+// windows of the same user), the profile is locked and its slice list
+// walked once per request but fetched/pinned only once. Results and errors
+// are per-request, in input order.
+func RunMany(p *model.Profile, schema *model.Schema, reqs []Request, now model.Millis) ([]Result, []error) {
+	results := make([]Result, len(reqs))
+	errs := make([]error, len(reqs))
+	p.RLock()
+	defer p.RUnlock()
+	slices, latest := p.Slices(), p.Latest()
+	for i := range reqs {
+		results[i], errs[i] = runOnSlices(slices, schema, reqs[i], now, latest)
+	}
+	return results, errs
+}
+
 // RunOnSlices executes the request against an explicit slice list (newest
 // first). The caller must guarantee the slices are not concurrently
 // mutated (e.g. by holding the owning profile's read lock, or operating

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"ips/internal/model"
+	"ips/internal/query"
+	"ips/internal/wire"
+)
+
+// batchWorkers bounds how many per-profile groups of one batch execute
+// concurrently inside the instance. Batches are already one of many
+// concurrent RPCs; a small pool exploits multi-core without letting a
+// single fat batch monopolise the instance.
+const batchWorkers = 8
+
+// QueryBatch executes a batch of sub-queries (§II-B2 reads, any mix of
+// topK / filter / decay semantics) and returns one BatchResult per
+// sub-query, in input order. Failures are per-slot: a bad sub-query never
+// fails its siblings.
+//
+// Sub-queries are grouped by (table, profile) so each profile is fetched
+// from GCache exactly once and its lock taken once for the whole group
+// (query.RunMany); groups run on a bounded worker pool. Quota is charged
+// per sub-query, exactly as N single calls would be.
+func (in *Instance) QueryBatch(caller string, subs []wire.SubQuery) []wire.BatchResult {
+	results := make([]wire.BatchResult, len(subs))
+	if in.closed.Load() {
+		for i := range results {
+			results[i].Err = ErrClosed.Error()
+		}
+		return results
+	}
+	// Group by (table, profile), preserving first-seen order.
+	type groupKey struct {
+		table string
+		id    model.ProfileID
+	}
+	groups := make(map[groupKey][]int, len(subs))
+	order := make([]groupKey, 0, len(subs))
+	for i := range subs {
+		k := groupKey{subs[i].Query.Table, subs[i].Query.ProfileID}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+
+	workers := batchWorkers
+	if len(order) < workers {
+		workers = len(order)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for _, k := range order {
+		idxs := groups[k]
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(table string, id model.ProfileID, idxs []int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			in.queryGroup(caller, table, id, subs, idxs, results)
+		}(k.table, k.id, idxs)
+	}
+	wg.Wait()
+	return results
+}
+
+// queryGroup runs one (table, profile) group of a batch. Each goroutine
+// writes only its own disjoint result slots.
+func (in *Instance) queryGroup(caller, table string, id model.ProfileID, subs []wire.SubQuery, idxs []int, results []wire.BatchResult) {
+	start := time.Now()
+	failAll := func(err error) {
+		for _, i := range idxs {
+			results[i].Err = err.Error()
+		}
+	}
+	ts, err := in.table(table)
+	if err != nil {
+		failAll(err)
+		return
+	}
+	p, hit, err := ts.cache.Get(id)
+	if err != nil {
+		failAll(err)
+		return
+	}
+	// Resolve requests, charging quota per sub-query like the single path.
+	reqs := make([]query.Request, 0, len(idxs))
+	live := make([]int, 0, len(idxs))
+	for _, i := range idxs {
+		if err := in.limiter.Allow(caller); err != nil {
+			in.Rejected.Inc()
+			results[i].Err = err.Error()
+			continue
+		}
+		q := subs[i].Query.ToQuery()
+		if name := subs[i].Query.UDAFName; name != "" {
+			fn, err := in.udafs.Lookup(name)
+			if err != nil {
+				results[i].Err = err.Error()
+				continue
+			}
+			q.UDAF = fn
+		}
+		reqs = append(reqs, q)
+		live = append(live, i)
+	}
+	var res []query.Result
+	var errs []error
+	if p != nil {
+		res, errs = query.RunMany(p, ts.schema, reqs, in.clock())
+	}
+	elapsed := time.Since(start)
+	for j, i := range live {
+		if p != nil && errs[j] != nil {
+			results[i].Err = errs[j].Error()
+			continue
+		}
+		resp := &wire.QueryResponse{CacheHit: hit, ServerNanos: elapsed.Nanoseconds()}
+		if p != nil {
+			resp.Features = res[j].Features
+			resp.SlicesScanned = res[j].SlicesScanned
+		}
+		results[i].Resp = resp
+	}
+	// One latency observation per group (the unit of server work), one
+	// query count per executed sub-query, matching what N singles report.
+	in.QueryLat.Observe(elapsed)
+	in.Queries.Add(int64(len(live)))
+}

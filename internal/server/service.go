@@ -63,6 +63,15 @@ func (s *Service) register() {
 	s.srv.Handle(wire.MethodFilter, queryHandler)
 	s.srv.Handle(wire.MethodDecay, queryHandler)
 
+	s.srv.Handle(wire.MethodQueryBatch, func(payload []byte) ([]byte, error) {
+		req, err := wire.DecodeQueryBatch(payload)
+		if err != nil {
+			return nil, err
+		}
+		resp := &wire.BatchQueryResponse{Results: s.in.QueryBatch(req.Caller, req.Subs)}
+		return wire.EncodeQueryBatchResponse(resp), nil
+	})
+
 	s.srv.Handle(wire.MethodStats, func(p []byte) ([]byte, error) {
 		return wire.EncodeStats(s.in.Stats()), nil
 	})

@@ -1,6 +1,7 @@
 package ips
 
 import (
+	"errors"
 	"path/filepath"
 	"testing"
 	"time"
@@ -214,6 +215,75 @@ func TestRemoteFacade(t *testing.T) {
 	}
 	if _, err := r.DecayQuery("up", 11, Query{Slot: 1, Type: 1, Window: LastDays(1), Decay: ExpDecay, DecayFactor: 0.5}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRemoteQueryBatchFacade(t *testing.T) {
+	clock := func() model.Millis { return fixedNow }
+	cl, err := cluster.New(cluster.Options{
+		Regions:            []string{"east"},
+		InstancesPerRegion: 2,
+		Clock:              clock,
+		Tables:             map[string]*model.Schema{"up": model.NewSchema("like", "share")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	r, err := Connect(RemoteOptions{Caller: "app", Region: "east", Registry: cl.Registry, CallTimeout: 2 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	for id := uint64(1); id <= 8; id++ {
+		err := r.Add("up", id, Entry{
+			Timestamp: fixedNow - 500, Slot: 1, Type: 1,
+			FID: 100 + id, Counts: []int64{int64(id), 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, n := range cl.Nodes() {
+		n.Instance().MergeAll()
+	}
+
+	q := Query{Slot: 1, Type: 1, Window: LastDays(1), SortByAction: "like", K: 5}
+	items := make([]BatchItem, 0, 10)
+	for id := uint64(1); id <= 8; id++ {
+		items = append(items, BatchItem{Table: "up", ID: id, Op: OpTopK, Query: q})
+	}
+	items = append(items,
+		BatchItem{Table: "up", ID: 3, Op: OpDecay,
+			Query: Query{Slot: 1, Type: 1, Window: LastDays(1), Decay: ExpDecay, DecayFactor: 0.5}},
+		BatchItem{Table: "ghost", ID: 1, Op: OpTopK, Query: q},
+	)
+	feats, err := r.QueryBatch(items)
+	if !errors.Is(err, ErrPartial) {
+		t.Fatalf("err = %v, want ErrPartial (the ghost-table slot)", err)
+	}
+	if len(feats) != len(items) {
+		t.Fatalf("got %d result slots for %d items", len(feats), len(items))
+	}
+	for i := 0; i < 8; i++ {
+		if len(feats[i]) != 1 || feats[i][0].FID != 100+items[i].ID {
+			t.Fatalf("slot %d = %+v", i, feats[i])
+		}
+	}
+	if len(feats[8]) != 1 { // decay slot
+		t.Fatalf("decay slot = %+v", feats[8])
+	}
+	if feats[9] != nil {
+		t.Fatalf("failed slot carries features: %+v", feats[9])
+	}
+	// The 10-item batch coalesced to one first-round RPC per instance;
+	// only the failing slot cost extra failover RPCs afterwards.
+	if fan := r.Client().BatchFanOut.Value(); fan != 2 {
+		t.Fatalf("first-round fan-out %d across 2 instances", fan)
+	}
+	if rpcs := r.Client().BatchRPCs.Value(); rpcs > 4 {
+		t.Fatalf("batch cost %d RPCs for a 2-shard cluster", rpcs)
 	}
 }
 

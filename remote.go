@@ -9,6 +9,29 @@ import (
 	"ips/internal/wire"
 )
 
+// ErrPartial marks a fan-out operation that returned some results but not
+// all (test with errors.Is); the concrete error is a *client.PartialError
+// listing the failed units.
+var ErrPartial = client.ErrPartial
+
+// BatchOp selects the read semantics of one batch item.
+type BatchOp = wire.BatchOp
+
+// Batch operations, mirroring TopK / Filter / DecayQuery.
+const (
+	OpTopK   = wire.OpTopK
+	OpFilter = wire.OpFilter
+	OpDecay  = wire.OpDecay
+)
+
+// BatchItem is one element of a QueryBatch: which profile to read and how.
+type BatchItem struct {
+	Table string
+	ID    model.ProfileID
+	Op    BatchOp
+	Query Query
+}
+
 // Remote is the unified IPS client to a distributed deployment: it
 // discovers instances, routes profile IDs with consistent hashing, writes
 // to every region and reads from the local region with failover (§III-G).
@@ -77,6 +100,28 @@ func (r *Remote) DecayQuery(table string, id model.ProfileID, q Query) ([]Featur
 		return nil, err
 	}
 	return resp.Features, nil
+}
+
+// QueryBatch executes many profile reads in one coalesced pass: items are
+// grouped by owning instance via the hash ring and each group travels in a
+// single RPC — a ranking request for hundreds of candidates costs one RPC
+// per shard touched instead of one per candidate (§II, §IV). Results come
+// back in item order. On partial failure the successful slots are still
+// returned, failed slots are nil, and the error satisfies
+// errors.Is(err, ErrPartial) and lists the failed indices.
+func (r *Remote) QueryBatch(items []BatchItem) ([][]Feature, error) {
+	subs := make([]wire.SubQuery, len(items))
+	for i, it := range items {
+		subs[i] = wire.SubQuery{Op: it.Op, Query: *it.Query.toWire(it.Table, it.ID)}
+	}
+	resps, err := r.c.QueryBatch(subs)
+	out := make([][]Feature, len(items))
+	for i, resp := range resps {
+		if resp != nil {
+			out[i] = resp.Features
+		}
+	}
+	return out, err
 }
 
 // Stats fetches statistics from every live instance.

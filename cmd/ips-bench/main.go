@@ -23,7 +23,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig16, fig17, tab2, fig18, fig19, iso80, compaction, lambda, batch, fig10, fig11, all)")
+	exp := flag.String("exp", "", "experiment id (fig16, fig17, tab2, fig18, fig19, iso80, compaction, lambda, batch, tail, fig10, fig11, all)")
 	full := flag.Bool("full", false, "run the larger, slower parameterization")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
@@ -99,6 +99,14 @@ func main() {
 				o = bench.BatchOptions{BatchSize: 64, Rounds: 200, Profiles: 2000, Instances: 4}
 			}
 			_, err := bench.RunBatchVsSingle(o, os.Stdout)
+			return err
+		}},
+		{"tail", "tail latency with one stalled replica: baseline vs hedged", func(full bool) error {
+			o := bench.TailOptions{}
+			if !full {
+				o = bench.TailOptions{Requests: 600, Profiles: 120}
+			}
+			_, err := bench.RunTailLatency(o, os.Stdout)
 			return err
 		}},
 		{"fig10", "compaction mechanism demo (6 slices -> 3)", func(bool) error {

@@ -313,6 +313,16 @@ func runViaRegistry(registryAddr, region, caller, cmd string, args []string) {
 			fmt.Printf("%s (%s): profiles=%d queries=%d writes=%d hit=%.1f%%\n",
 				st.Name, st.Region, st.Profiles, st.Queries, st.Writes, st.HitRatioPct)
 		}
+		rs := c.Resilience()
+		fmt.Printf("client resilience: attempts=%d primaries=%d retries=%d (denied=%d) hedges=%d (wins=%d)\n",
+			rs.Attempts, rs.Primaries, rs.Retries, rs.RetriesDenied, rs.Hedges, rs.HedgeWins)
+		fmt.Printf("breakers: trips=%d reopens=%d probes=%d closes=%d skips=%d\n",
+			rs.BreakerTrips, rs.BreakerReOpens, rs.BreakerProbes, rs.BreakerCloses, rs.BreakerSkips)
+		for addr, st := range rs.BreakerStates {
+			if st != client.BreakerClosed {
+				fmt.Printf("  breaker %s: %s\n", addr, st)
+			}
+		}
 	default:
 		log.Fatalf("registry mode supports add/topk/filter/decay/batch/stats, not %q", cmd)
 	}

@@ -188,3 +188,34 @@ func TestRunLambdaSmall(t *testing.T) {
 		t.Fatal("batch scanned nothing")
 	}
 }
+
+func TestRunTailSmall(t *testing.T) {
+	rep, err := RunTailLatency(TailOptions{
+		Requests:   200,
+		Profiles:   60,
+		StallDelay: 120 * time.Millisecond,
+		HedgeDelay: 8 * time.Millisecond,
+		Seed:       7,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("baseline p50=%v p99=%v p999=%v; hedged p50=%v p99=%v p999=%v hedges=%d ratio=%.3f",
+		rep.Baseline.P50, rep.Baseline.P99, rep.Baseline.P999,
+		rep.Hedged.P50, rep.Hedged.P99, rep.Hedged.P999, rep.Hedged.Hedges, rep.P99Ratio)
+	if rep.Baseline.Errors != 0 || rep.Hedged.Errors != 0 {
+		t.Fatalf("errors: baseline=%d hedged=%d", rep.Baseline.Errors, rep.Hedged.Errors)
+	}
+	// ~1/3 of reads route to the stalled replica, so baseline p99 sits at
+	// the stall (less histogram bucket quantization) while the hedged arm
+	// escapes after its hedge delay.
+	if rep.Baseline.P99 < rep.StallDelay*3/4 {
+		t.Fatalf("baseline p99 %v never hit the %v stall", rep.Baseline.P99, rep.StallDelay)
+	}
+	if rep.Hedged.Hedges == 0 {
+		t.Fatal("hedged arm never hedged")
+	}
+	if rep.Hedged.P99 >= rep.Baseline.P99/2 {
+		t.Fatalf("hedged p99 %v not < half of baseline p99 %v", rep.Hedged.P99, rep.Baseline.P99)
+	}
+}

@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"io"
+	"math/rand"
+	"time"
+
+	"ips/internal/client"
+	"ips/internal/cluster"
+	"ips/internal/metrics"
+	"ips/internal/model"
+	"ips/internal/workload"
+)
+
+// TailOptions scales the tail-latency experiment: one replica of a
+// single-region cluster is stalled (it answers everything, hundreds of
+// milliseconds late) and the same pre-drawn query stream is replayed twice
+// — once with the resilience layer disabled, once with hedged reads on.
+type TailOptions struct {
+	// Instances in the single region; default 3.
+	Instances int
+	// Requests per arm; default 2000.
+	Requests int
+	// Profiles is the keyspace; default 200.
+	Profiles int
+	// StallDelay is the injected per-RPC latency on the victim replica;
+	// default 500ms.
+	StallDelay time.Duration
+	// HedgeDelay is the hedged arm's fixed hedge trigger; default 20ms.
+	HedgeDelay time.Duration
+	// Seed draws the query stream.
+	Seed int64
+}
+
+func (o *TailOptions) fill() {
+	if o.Instances <= 0 {
+		o.Instances = 3
+	}
+	if o.Requests <= 0 {
+		o.Requests = 2000
+	}
+	if o.Profiles <= 0 {
+		o.Profiles = 200
+	}
+	if o.StallDelay <= 0 {
+		o.StallDelay = 500 * time.Millisecond
+	}
+	if o.HedgeDelay <= 0 {
+		o.HedgeDelay = 20 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 23
+	}
+}
+
+// TailArm is one run over the stalled cluster.
+type TailArm struct {
+	Name                string
+	P50, P99, P999, Max time.Duration
+	Hedges, HedgeWins   int64
+	Errors              int64
+}
+
+// TailReport compares the two arms.
+type TailReport struct {
+	Baseline, Hedged TailArm
+	StallDelay       time.Duration
+	VictimAddr       string
+	// P99Ratio is hedged p99 / baseline p99 — the acceptance criterion is
+	// < 0.5 with one 500ms-stalled replica.
+	P99Ratio float64
+}
+
+// RunTailLatency measures p50/p99/p999 with one injected slow replica,
+// baseline vs hedged (§IV tail-latency SLOs). The stalled instance still
+// answers — this is exactly the failure hedged reads exist for, and the one
+// a timeout-and-retry ladder converts into a full added timeout instead.
+func RunTailLatency(opts TailOptions, w io.Writer) (*TailReport, error) {
+	opts.fill()
+	clock := NewClock()
+	cl, err := cluster.New(cluster.Options{
+		Regions:            []string{"east"},
+		InstancesPerRegion: opts.Instances,
+		Clock:              clock.Now,
+		RegistryTTL:        300 * time.Millisecond,
+		HeartbeatInterval:  50 * time.Millisecond,
+		Tables:             map[string]*model.Schema{TableName: model.NewSchema("like", "comment", "share")},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	// Seed and persist so every replica can serve every profile.
+	gen := workload.New(workload.Options{Seed: opts.Seed, Profiles: uint64(opts.Profiles)})
+	seedClient, err := client.New(client.Options{
+		Caller: "tail-seed", Service: "ips", Region: "east",
+		Registry: cl.Registry, RefreshInterval: 50 * time.Millisecond,
+		CallTimeout: 2 * time.Second,
+	})
+	if err != nil {
+		return nil, err
+	}
+	now := clock.Now()
+	for id := model.ProfileID(1); id <= model.ProfileID(opts.Profiles); id++ {
+		if err := seedClient.Add(TableName, id, gen.WriteEntry(now)); err != nil {
+			seedClient.Close()
+			return nil, err
+		}
+	}
+	seedClient.Close()
+	for _, n := range cl.Nodes() {
+		n.Instance().MergeAll()
+		if err := n.Instance().FlushAll(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Stall one replica for the whole experiment.
+	victim := cl.Nodes()[0]
+	stall := opts.StallDelay
+	victim.Service().RPC().SetDelay(func(method string) time.Duration { return stall })
+	defer victim.Service().RPC().SetDelay(nil)
+
+	// Pre-draw one query stream and replay it in both arms, so the two
+	// latency distributions disagree only in how the client copes.
+	rng := rand.New(rand.NewSource(opts.Seed))
+	ids := make([]model.ProfileID, opts.Requests)
+	for i := range ids {
+		ids[i] = model.ProfileID(rng.Intn(opts.Profiles) + 1)
+	}
+
+	callTimeout := 2*stall + time.Second
+	runArm := func(name string, copts client.Options) (TailArm, error) {
+		copts.Caller = "tail-" + name
+		copts.Service = "ips"
+		copts.Region = "east"
+		copts.Registry = cl.Registry
+		copts.RefreshInterval = 50 * time.Millisecond
+		copts.CallTimeout = callTimeout
+		c, err := client.New(copts)
+		if err != nil {
+			return TailArm{}, err
+		}
+		defer c.Close()
+		var hist metrics.Histogram
+		arm := TailArm{Name: name}
+		for _, id := range ids {
+			q := gen.Query(TableName)
+			q.ProfileID = id
+			start := time.Now()
+			if _, err := c.TopK(q); err != nil {
+				arm.Errors++
+			}
+			hist.Observe(time.Since(start))
+		}
+		arm.P50, arm.P99, arm.P999, arm.Max = hist.P50(), hist.P99(), hist.P999(), hist.Max()
+		arm.Hedges, arm.HedgeWins = c.Hedges.Value(), c.HedgeWins.Value()
+		return arm, nil
+	}
+
+	rep := &TailReport{StallDelay: stall, VictimAddr: victim.Addr}
+	fprintf(w, "tail — read latency with one %v-stalled replica (%d instances, %d requests/arm)\n",
+		stall, opts.Instances, opts.Requests)
+	// Baseline: the pre-armor client — no hedging, no breakers, no
+	// budgeted retries. A stalled primary is simply waited out.
+	rep.Baseline, err = runArm("baseline", client.Options{
+		HedgeDelay:       -1,
+		BreakerThreshold: -1,
+		RetryBudgetRatio: -1,
+		Seed:             opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Hedged: fixed hedge trigger, everything else stock.
+	rep.Hedged, err = runArm("hedged", client.Options{
+		HedgeDelay: opts.HedgeDelay,
+		Seed:       opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	if rep.Baseline.P99 > 0 {
+		rep.P99Ratio = float64(rep.Hedged.P99) / float64(rep.Baseline.P99)
+	}
+	fprintf(w, "%-10s %-10s %-10s %-10s %-10s %-8s %-8s\n", "arm", "p50", "p99", "p999", "max", "hedges", "errors")
+	for _, arm := range []TailArm{rep.Baseline, rep.Hedged} {
+		fprintf(w, "%-10s %-10v %-10v %-10v %-10v %-8d %-8d\n",
+			arm.Name, arm.P50, arm.P99, arm.P999, arm.Max, arm.Hedges, arm.Errors)
+	}
+	fprintf(w, "hedged p99 / baseline p99 = %.3f (acceptance: < 0.5)\n", rep.P99Ratio)
+	return rep, nil
+}

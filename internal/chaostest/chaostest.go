@@ -1,0 +1,288 @@
+// Package chaostest is the deterministic proof layer for the client's
+// tail-latency armor: it runs a real multi-region cluster, drives
+// faultinject episodes into it tick by tick, and keeps a mixed
+// Add/TopK/QueryBatch workload running the whole time. After the storm it
+// returns a Report whose numbers a test can reconcile EXACTLY — every
+// read-path RPC is a primary, a retry or a hedge; every write RPC the
+// client issued is accounted for server-side (writes are never hedged, so
+// chaos must not duplicate or lose effects); every breaker transition
+// balances against the counters.
+//
+// Exact write reconciliation requires a crash-free plan (stalls + drops
+// only): both fault types fire after the server has applied the effect, so
+// a delivered RPC is an applied RPC. Crashing plans sever connections with
+// frames in flight and are covered by the integration chaos smoke instead.
+package chaostest
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ips/internal/client"
+	"ips/internal/cluster"
+	"ips/internal/faultinject"
+	"ips/internal/model"
+	"ips/internal/query"
+	"ips/internal/wire"
+)
+
+// Options configures one chaos run.
+type Options struct {
+	// Regions and InstancesPerRegion shape the cluster; defaults: two
+	// regions ("east", "west") with three instances each.
+	Regions            []string
+	InstancesPerRegion int
+	// Profiles is the keyspace the workload reads and writes; default 64.
+	Profiles int
+	// Workers is the concurrent workload goroutine count; default 4.
+	Workers int
+	// Ticks and TickEvery pace the fault schedule; defaults 30 × 50ms.
+	Ticks     int
+	TickEvery time.Duration
+	// Seed drives the workload mix; the fault schedule's own seed lives in
+	// Plan.Seed.
+	Seed int64
+	// Plan is the fault schedule, applied as given.
+	Plan faultinject.Plan
+	// Client carries the resilience knobs under test. Registry, Service
+	// and Caller are filled in by Run.
+	Client client.Options
+}
+
+// Report is what a chaos run measured. All client counters are read at a
+// quiescent point: workload stopped, faults healed, in-flight calls
+// drained.
+type Report struct {
+	Calls      int64         // workload operations issued
+	Failures   int64         // operations that returned an error
+	MaxLatency time.Duration // slowest single operation, wall clock
+
+	// Server-side ground truth, summed over every instance.
+	ServerWrites   int64 // write entries applied
+	ServerRejected int64 // writes refused by quota (should stay 0 here)
+
+	// Fault episodes actually injected.
+	Crashes, Restarts           int
+	DropEpisodes, StallEpisodes int
+	RegionOutages               int
+
+	Resilience client.ResilienceStats
+	ErrorRate  float64
+
+	// Breaker states at the quiescent point, for flow conservation.
+	BreakerOpenNow, BreakerHalfOpenNow int64
+}
+
+// CheckIdentities verifies the exact counter reconciliation the resilience
+// layer promises; it returns the first broken identity, nil if all hold.
+func (r *Report) CheckIdentities() error {
+	rs := r.Resilience
+	if rs.Attempts != rs.Primaries+rs.Retries+rs.Hedges {
+		return fmt.Errorf("attempt identity: attempts=%d != primaries=%d + retries=%d + hedges=%d",
+			rs.Attempts, rs.Primaries, rs.Retries, rs.Hedges)
+	}
+	// Every entry into open is matched by an admitted probe, except a
+	// breaker still sitting open; every probe resolved to close or re-open,
+	// except one still waiting half-open.
+	if rs.BreakerTrips+rs.BreakerReOpens != rs.BreakerProbes+r.BreakerOpenNow {
+		return fmt.Errorf("breaker open-entry flow: trips=%d + reopens=%d != probes=%d + openNow=%d",
+			rs.BreakerTrips, rs.BreakerReOpens, rs.BreakerProbes, r.BreakerOpenNow)
+	}
+	if rs.BreakerProbes != rs.BreakerCloses+rs.BreakerReOpens+r.BreakerHalfOpenNow {
+		return fmt.Errorf("breaker probe flow: probes=%d != closes=%d + reopens=%d + halfOpenNow=%d",
+			rs.BreakerProbes, rs.BreakerCloses, rs.BreakerReOpens, r.BreakerHalfOpenNow)
+	}
+	if rs.HedgeWins > rs.Hedges {
+		return fmt.Errorf("hedge wins=%d exceed hedges=%d", rs.HedgeWins, rs.Hedges)
+	}
+	return nil
+}
+
+// CheckWriteConservation verifies that chaos neither lost nor duplicated
+// write effects: every write RPC the client issued was applied (or
+// quota-refused) exactly once server-side. Only meaningful for crash-free
+// plans.
+func (r *Report) CheckWriteConservation() error {
+	if got := r.ServerWrites + r.ServerRejected; got != r.Resilience.WriteRPCs {
+		return fmt.Errorf("write conservation: client issued %d write RPCs, servers applied %d (+%d rejected)",
+			r.Resilience.WriteRPCs, r.ServerWrites, r.ServerRejected)
+	}
+	return nil
+}
+
+func chaosQuery(id model.ProfileID) *wire.QueryRequest {
+	return &wire.QueryRequest{
+		Table: "up", ProfileID: id, Slot: 1, Type: 1,
+		RangeKind: query.Current, Span: 3_600_000,
+		SortBy: query.ByAction, Action: "like", K: 10,
+	}
+}
+
+// Run executes one chaos experiment and returns its report.
+func Run(o Options) (*Report, error) {
+	if len(o.Regions) == 0 {
+		o.Regions = []string{"east", "west"}
+	}
+	if o.InstancesPerRegion <= 0 {
+		o.InstancesPerRegion = 3
+	}
+	if o.Profiles <= 0 {
+		o.Profiles = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.Ticks <= 0 {
+		o.Ticks = 30
+	}
+	if o.TickEvery <= 0 {
+		o.TickEvery = 50 * time.Millisecond
+	}
+
+	cl, err := cluster.New(cluster.Options{
+		Regions:            o.Regions,
+		InstancesPerRegion: o.InstancesPerRegion,
+		Tables:             map[string]*model.Schema{"up": model.NewSchema("like", "share")},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	copts := o.Client
+	copts.Caller = "chaos"
+	copts.Service = "ips"
+	copts.Registry = cl.Registry
+	copts.Region = o.Regions[0]
+	if copts.RefreshInterval == 0 {
+		copts.RefreshInterval = 25 * time.Millisecond
+	}
+	c, err := client.New(copts)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	// Seed the keyspace so reads have something to find, then persist it
+	// so ANY replica can serve any profile — hedges and failovers must be
+	// able to answer from the shared regional store.
+	nowMs := time.Now().UnixMilli()
+	for id := 1; id <= o.Profiles; id++ {
+		if err := c.Add("up", model.ProfileID(id), wire.AddEntry{
+			Timestamp: model.Millis(nowMs - 1000), Slot: 1, Type: 1,
+			FID: model.FeatureID(id%50 + 1), Counts: []int64{1, 0},
+		}); err != nil {
+			return nil, fmt.Errorf("chaostest: seeding profile %d: %w", id, err)
+		}
+	}
+	for _, n := range cl.Nodes() {
+		n.Instance().MergeAll()
+		if err := n.Instance().FlushAll(); err != nil {
+			return nil, fmt.Errorf("chaostest: flush: %w", err)
+		}
+	}
+
+	inj := faultinject.New(cl, o.Plan)
+
+	var (
+		calls, fails atomic.Int64
+		maxLatNanos  atomic.Int64
+		stop         = make(chan struct{})
+		wg           sync.WaitGroup
+	)
+	observe := func(start time.Time, err error) {
+		calls.Add(1)
+		if err != nil {
+			fails.Add(1)
+		}
+		lat := time.Since(start).Nanoseconds()
+		for {
+			cur := maxLatNanos.Load()
+			if lat <= cur || maxLatNanos.CompareAndSwap(cur, lat) {
+				return
+			}
+		}
+	}
+	for w := 0; w < o.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(o.Seed + int64(w)*7919 + 1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := model.ProfileID(rng.Intn(o.Profiles) + 1)
+				start := time.Now()
+				switch p := rng.Float64(); {
+				case p < 0.2: // write
+					observe(start, c.Add("up", id, wire.AddEntry{
+						Timestamp: model.Millis(time.Now().UnixMilli() - 500),
+						Slot:      1, Type: 1,
+						FID: model.FeatureID(rng.Intn(50) + 1), Counts: []int64{1, 0},
+					}))
+				case p < 0.7: // single read
+					_, err := c.TopK(chaosQuery(id))
+					observe(start, err)
+				default: // batch read
+					subs := make([]wire.SubQuery, rng.Intn(6)+3)
+					for i := range subs {
+						subs[i] = wire.SubQuery{Query: *chaosQuery(model.ProfileID(rng.Intn(o.Profiles) + 1))}
+					}
+					_, err := c.QueryBatch(subs)
+					observe(start, err)
+				}
+				time.Sleep(time.Duration(rng.Intn(2)) * time.Millisecond)
+			}
+		}(w)
+	}
+
+	for t := 0; t < o.Ticks; t++ {
+		inj.Tick()
+		time.Sleep(o.TickEvery)
+	}
+	close(stop)
+	wg.Wait()
+	inj.Quiesce()
+
+	// Drain to a quiescent point: the last stalled dispatches finish, the
+	// last timed-out calls record their breaker outcomes, the last hedges
+	// settle. Counter identities are only exact once nothing is in flight.
+	settle := copts.CallTimeout
+	if settle <= 0 {
+		settle = time.Second
+	}
+	time.Sleep(settle + o.Plan.StallDelay + 200*time.Millisecond)
+
+	rep := &Report{
+		Calls:         calls.Load(),
+		Failures:      fails.Load(),
+		MaxLatency:    time.Duration(maxLatNanos.Load()),
+		Crashes:       inj.Crashes,
+		Restarts:      inj.Restarts,
+		DropEpisodes:  inj.DropEpisodes,
+		StallEpisodes: inj.StallEpisodes,
+		RegionOutages: inj.RegionOutages,
+		Resilience:    c.Resilience(),
+		ErrorRate:     c.ErrorRate(),
+	}
+	for _, n := range cl.Nodes() {
+		st := n.Instance().Stats()
+		rep.ServerWrites += st.Writes
+		rep.ServerRejected += st.Rejected
+	}
+	for _, st := range rep.Resilience.BreakerStates {
+		switch st {
+		case client.BreakerOpen:
+			rep.BreakerOpenNow++
+		case client.BreakerHalfOpen:
+			rep.BreakerHalfOpenNow++
+		}
+	}
+	return rep, nil
+}

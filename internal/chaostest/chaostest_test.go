@@ -1,0 +1,103 @@
+package chaostest
+
+import (
+	"testing"
+	"time"
+
+	"ips/internal/client"
+	"ips/internal/faultinject"
+)
+
+// TestChaosExactReconciliation is the tentpole proof: a crash-free storm
+// of stall and drop episodes over a live 2-region cluster with the full
+// resilience layer on, a mixed Add/TopK/QueryBatch workload running
+// throughout (run it with -race). Afterwards every call is bounded, every
+// hedge/retry/breaker counter reconciles exactly, and no write effect was
+// lost or duplicated.
+func TestChaosExactReconciliation(t *testing.T) {
+	const callTimeout = 250 * time.Millisecond
+	rep, err := Run(Options{
+		Regions:            []string{"east", "west"},
+		InstancesPerRegion: 3,
+		Profiles:           48,
+		Workers:            4,
+		Ticks:              30,
+		TickEvery:          40 * time.Millisecond,
+		Seed:               11,
+		Plan: faultinject.Plan{
+			// Crash-free on purpose: stalls and drops fire after the
+			// server applies the effect, so delivered == applied and the
+			// write ledger must balance to the last RPC.
+			Seed:       11,
+			DropProb:   0.4,
+			DropRate:   1.0, // total response loss: breakers must trip
+			DropTicks:  3,
+			StallProb:  0.5,
+			StallDelay: 100 * time.Millisecond,
+			StallTicks: 2,
+		},
+		Client: client.Options{
+			CallTimeout: callTimeout,
+			HedgeDelay:  25 * time.Millisecond,
+			// Cooldown > CallTimeout so a hung probe always records its
+			// outcome before a second probe can be admitted — that keeps
+			// the probe-flow identity exact under concurrency.
+			BreakerThreshold: 4,
+			BreakerCooldown:  400 * time.Millisecond,
+			RetryBudgetRatio: 0.3,
+			RetryBudgetBurst: 20,
+			BackoffBase:      2 * time.Millisecond,
+			BackoffCap:       20 * time.Millisecond,
+			Seed:             11,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("calls=%d failures=%d maxLat=%v errorRate=%.4f stalls=%d drops=%d",
+		rep.Calls, rep.Failures, rep.MaxLatency, rep.ErrorRate, rep.StallEpisodes, rep.DropEpisodes)
+	t.Logf("resilience: %+v openNow=%d halfNow=%d serverWrites=%d",
+		rep.Resilience, rep.BreakerOpenNow, rep.BreakerHalfOpenNow, rep.ServerWrites)
+
+	if rep.Calls < 100 {
+		t.Fatalf("workload barely ran: %d calls", rep.Calls)
+	}
+	if rep.StallEpisodes == 0 || rep.DropEpisodes == 0 {
+		t.Fatalf("storm too quiet: stalls=%d drops=%d", rep.StallEpisodes, rep.DropEpisodes)
+	}
+	if rep.Crashes != 0 || rep.RegionOutages != 0 {
+		t.Fatalf("crash-free plan crashed: crashes=%d outages=%d", rep.Crashes, rep.RegionOutages)
+	}
+
+	// Bounded per-call latency: the ladder is finite (candidates ×
+	// (timeout + backoff cap) plus hedge overlap), nothing may hang.
+	if bound := 8 * callTimeout; rep.MaxLatency > bound {
+		t.Fatalf("call latency unbounded: max %v > %v", rep.MaxLatency, bound)
+	}
+
+	// Availability: with stalls and mild drops only, nearly everything
+	// succeeds after hedging/retries.
+	if rep.ErrorRate > 0.05 {
+		t.Fatalf("error rate %.4f > 0.05", rep.ErrorRate)
+	}
+
+	// The storm must actually have provoked every layer of the armor:
+	// stalls the hedger, blackout episodes the breakers.
+	if rep.Resilience.Hedges == 0 {
+		t.Fatal("no hedges under repeated stall episodes")
+	}
+	if rep.Resilience.BreakerTrips == 0 {
+		t.Fatal("no breaker trips under total-response-loss episodes")
+	}
+
+	// Exact reconciliation.
+	if err := rep.CheckIdentities(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.CheckWriteConservation(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.ServerRejected != 0 {
+		t.Fatalf("unexpected quota rejections: %d", rep.ServerRejected)
+	}
+}

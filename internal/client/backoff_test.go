@@ -1,0 +1,107 @@
+package client
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffDeterministicWithSeed(t *testing.T) {
+	a := newBackoff(2*time.Millisecond, 100*time.Millisecond, 42)
+	b := newBackoff(2*time.Millisecond, 100*time.Millisecond, 42)
+	for i := 0; i < 16; i++ {
+		da, db := a.delay(i), b.delay(i)
+		if da != db {
+			t.Fatalf("attempt %d: same seed produced %v vs %v", i, da, db)
+		}
+	}
+	c := newBackoff(2*time.Millisecond, 100*time.Millisecond, 43)
+	same := true
+	for i := 0; i < 16; i++ {
+		if a.delay(i) != c.delay(i) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical delay sequences")
+	}
+}
+
+func TestBackoffBoundedByCap(t *testing.T) {
+	base, cap := 2*time.Millisecond, 50*time.Millisecond
+	b := newBackoff(base, cap, 7)
+	for i := 0; i < 64; i++ {
+		d := b.delay(i)
+		if d >= cap {
+			t.Fatalf("attempt %d: delay %v >= cap %v (jitter < 1 must keep it below)", i, d, cap)
+		}
+		if d < base/2 {
+			t.Fatalf("attempt %d: delay %v < base/2 %v", i, d, base/2)
+		}
+	}
+	// Deep attempts sit in [cap/2, cap): the exponent has saturated.
+	for i := 10; i < 20; i++ {
+		if d := b.delay(i); d < cap/2 {
+			t.Fatalf("attempt %d: delay %v < cap/2 after saturation", i, d)
+		}
+	}
+}
+
+func TestBackoffGrowsUntilCap(t *testing.T) {
+	b := newBackoff(time.Millisecond, 1024*time.Millisecond, 1)
+	// Strip the jitter by checking against the un-jittered envelope:
+	// attempt n's delay must exceed half of base·2ⁿ and stay below base·2ⁿ.
+	for n := 0; n < 10; n++ {
+		envelope := time.Millisecond << n
+		d := b.delay(n)
+		if d < envelope/2 || d >= envelope {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", n, d, envelope/2, envelope)
+		}
+	}
+}
+
+func TestRetryBudgetRefusesBeyondBalance(t *testing.T) {
+	// burst 3, so exactly 3 retries are bankrolled from the start; the 4th
+	// (N+1)th must be refused.
+	b := newRetryBudget(0.5, 3)
+	for i := 0; i < 3; i++ {
+		if !b.allow() {
+			t.Fatalf("retry %d refused with balance %v", i, b.balance())
+		}
+	}
+	if b.allow() {
+		t.Fatal("retry beyond the budget was allowed")
+	}
+	// Primaries earn the budget back at the configured ratio: two
+	// primaries deposit one whole token.
+	b.onPrimary()
+	if b.allow() {
+		t.Fatalf("half a token (balance %v) funded a retry", b.balance())
+	}
+	b.onPrimary()
+	if !b.allow() {
+		t.Fatalf("earned token not spendable (balance %v)", b.balance())
+	}
+}
+
+func TestRetryBudgetBurstCap(t *testing.T) {
+	b := newRetryBudget(1.0, 2)
+	for i := 0; i < 100; i++ {
+		b.onPrimary()
+	}
+	if got := b.balance(); got != 2 {
+		t.Fatalf("balance = %v, want capped at burst 2", got)
+	}
+}
+
+func TestRetryBudgetZero(t *testing.T) {
+	b := newRetryBudget(0, 10)
+	if b.allow() {
+		t.Fatal("zero-ratio budget allowed a retry from its starting balance")
+	}
+	for i := 0; i < 50; i++ {
+		b.onPrimary()
+	}
+	if b.allow() {
+		t.Fatal("zero-ratio budget accrued tokens from primaries")
+	}
+}

@@ -37,9 +37,81 @@ func (e *PartialError) Error() string {
 // Unwrap makes errors.Is(err, ErrPartial) hold.
 func (e *PartialError) Unwrap() error { return ErrPartial }
 
+// ErrRetryBudget marks sub-queries whose failover re-dispatch was refused
+// because the client's retry budget is exhausted: retries are bounded to a
+// fraction of primary traffic so a broad outage cannot amplify itself.
+var ErrRetryBudget = errors.New("client: retry budget exhausted")
+
 // batchTarget is one coalesced RPC destination.
 type batchTarget struct {
 	region, addr string
+}
+
+// groupOutcome is the result of one (possibly hedged) batch-group RPC.
+type groupOutcome struct {
+	raw       []byte
+	err       error
+	attempted []string // addresses actually sent to (primary, maybe hedge)
+}
+
+// groupCall issues one batch-group RPC to tgt, hedging it to alt if the
+// primary outlasts the hedge delay; the first success wins. The group's
+// breaker is consulted at issue time: a refused primary fails fast with
+// ErrBreakerOpen instead of spending a timeout on a known-broken instance.
+func (c *Client) groupCall(tgt batchTarget, alt *batchTarget, payload []byte, subQueries int, kind attemptKind) groupOutcome {
+	if c.Breaker != nil && !c.Breaker.Allow(tgt.addr) {
+		return groupOutcome{err: ErrBreakerOpen}
+	}
+	issue := func(t batchTarget, k attemptKind, ch chan<- attemptResult) {
+		if hook := c.OnBatchCall; hook != nil {
+			hook(t.region, t.addr, subQueries)
+		}
+		c.BatchRPCs.Inc()
+		c.launch(t, wire.MethodQueryBatch, payload, k, ch)
+	}
+	resCh := make(chan attemptResult, 2)
+	issue(tgt, kind, resCh)
+	attempted := []string{tgt.addr}
+
+	var hedgeTimer *time.Timer
+	var hedgeCh <-chan time.Time
+	if hd := c.hedgeDelay(); hd >= 0 && alt != nil {
+		hedgeTimer = time.NewTimer(hd)
+		hedgeCh = hedgeTimer.C
+		defer hedgeTimer.Stop()
+	}
+	inflight := 1
+	var lastErr error
+	for {
+		select {
+		case r := <-resCh:
+			inflight--
+			if r.err == nil {
+				if r.hedged {
+					c.HedgeWins.Inc()
+				}
+				return groupOutcome{raw: r.raw, attempted: attempted}
+			}
+			lastErr = r.err
+			if inflight == 0 {
+				// Primary failed before any hedge fired: don't wait for
+				// the timer, the failover rounds own retries.
+				return groupOutcome{err: lastErr, attempted: attempted}
+			}
+		case <-hedgeCh:
+			hedgeCh = nil
+			if !c.hedgeAcquire() {
+				continue
+			}
+			if c.Breaker != nil && !c.Breaker.Allow(alt.addr) {
+				c.hedgeInFlight.Add(-1)
+				continue
+			}
+			issue(*alt, attemptHedge, resCh)
+			attempted = append(attempted, alt.addr)
+			inflight++
+		}
+	}
 }
 
 // QueryBatch executes N sub-queries (any mix of topK / filter / decay) and
@@ -102,19 +174,40 @@ func (c *Client) QueryBatch(subs []wire.SubQuery) ([]*wire.QueryResponse, error)
 		if len(order) == 0 {
 			break
 		}
+		kind := attemptPrimary
 		if round == 0 {
 			c.BatchFanOut.Set(int64(len(order)))
-		} else {
-			// Every re-dispatched sub-query is one failover, mirroring
-			// the single path's per-attempt accounting.
-			for _, t := range order {
-				c.Failovers.Add(int64(len(groups[t])))
+			for range order {
+				c.budget.onPrimary()
 			}
+		} else {
+			kind = attemptRetry
+			// Retry rounds draw on the budget — one token per re-dispatched
+			// group RPC. Denied groups fail their slots immediately instead
+			// of amplifying an outage.
+			kept := order[:0]
+			for _, tgt := range order {
+				if c.budget.allow() {
+					kept = append(kept, tgt)
+					continue
+				}
+				c.RetriesDenied.Inc()
+				for _, i := range groups[tgt] {
+					subErrs[i] = ErrRetryBudget
+				}
+				delete(groups, tgt)
+			}
+			order = kept
+			if len(order) == 0 {
+				break
+			}
+			time.Sleep(c.boff.delay(round - 1))
 		}
 
 		type rpcOut struct {
-			resp *wire.BatchQueryResponse
-			err  error
+			resp      *wire.BatchQueryResponse
+			err       error
+			attempted []string
 		}
 		outs := make([]rpcOut, len(order))
 		var wg sync.WaitGroup
@@ -123,21 +216,18 @@ func (c *Client) QueryBatch(subs []wire.SubQuery) ([]*wire.QueryResponse, error)
 			wg.Add(1)
 			go func(gi int, tgt batchTarget, idxs []int) {
 				defer wg.Done()
-				if hook := c.OnBatchCall; hook != nil {
-					hook(tgt.region, tgt.addr, len(idxs))
-				}
-				c.BatchRPCs.Inc()
 				req := &wire.BatchQueryRequest{Caller: c.opts.Caller, Subs: make([]wire.SubQuery, len(idxs))}
 				for j, i := range idxs {
 					req.Subs[j] = subs[i]
 				}
-				raw, err := c.conn(tgt.region, tgt.addr).Call(wire.MethodQueryBatch, wire.EncodeQueryBatch(req))
-				if err != nil {
-					outs[gi] = rpcOut{err: err}
+				alt := c.altCandidate(regions, subs[idxs[0]].Query.ProfileID, tried[idxs[0]], tgt.addr)
+				out := c.groupCall(tgt, alt, wire.EncodeQueryBatch(req), len(idxs), kind)
+				if out.err != nil {
+					outs[gi] = rpcOut{err: out.err, attempted: out.attempted}
 					return
 				}
-				resp, err := wire.DecodeQueryBatchResponse(raw)
-				outs[gi] = rpcOut{resp: resp, err: err}
+				resp, err := wire.DecodeQueryBatchResponse(out.raw)
+				outs[gi] = rpcOut{resp: resp, err: err, attempted: out.attempted}
 			}(gi, tgt, idxs)
 		}
 		wg.Wait()
@@ -152,6 +242,11 @@ func (c *Client) QueryBatch(subs []wire.SubQuery) ([]*wire.QueryResponse, error)
 			}
 			if o.err != nil {
 				for _, i := range idxs {
+					// Burn every address the group actually reached — a
+					// failed hedge target must not be re-picked next round.
+					for _, a := range o.attempted {
+						tried[i][a] = true
+					}
 					subErrs[i] = o.err
 					next = append(next, i)
 				}
@@ -199,14 +294,43 @@ func (c *Client) QueryBatch(subs []wire.SubQuery) ([]*wire.QueryResponse, error)
 
 // nextCandidate walks the failover ladder for id — ring owner plus
 // successors in the local region first, then the other regions — and
-// returns the first address not yet tried.
+// returns the first address not yet tried. Addresses whose circuit breaker
+// is not ready are held back and returned only when every ready candidate
+// has been exhausted, so one broken shard owner costs a ring hop instead
+// of a timeout.
 func (c *Client) nextCandidate(regions []string, id model.ProfileID, tried map[string]bool) (batchTarget, bool) {
+	var blocked *batchTarget
 	for _, region := range regions {
 		for _, addr := range c.routeN(region, id, c.opts.Retries) {
-			if !tried[addr] {
-				return batchTarget{region: region, addr: addr}, true
+			if tried[addr] {
+				continue
 			}
+			if c.Breaker != nil && !c.Breaker.Ready(addr) {
+				if blocked == nil {
+					blocked = &batchTarget{region: region, addr: addr}
+				}
+				continue
+			}
+			return batchTarget{region: region, addr: addr}, true
 		}
 	}
+	if blocked != nil {
+		return *blocked, true
+	}
 	return batchTarget{}, false
+}
+
+// altCandidate picks the hedge target for a group: the next untried
+// candidate for the group's representative sub-query, excluding the
+// primary address itself.
+func (c *Client) altCandidate(regions []string, id model.ProfileID, tried map[string]bool, primary string) *batchTarget {
+	merged := make(map[string]bool, len(tried)+1)
+	for k, v := range tried {
+		merged[k] = v
+	}
+	merged[primary] = true
+	if alt, ok := c.nextCandidate(regions, id, merged); ok {
+		return &alt
+	}
+	return nil
 }

@@ -1,0 +1,202 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"ips/internal/metrics"
+)
+
+// ErrBreakerOpen reports an attempt that was refused locally because the
+// target instance's circuit breaker is open: the instance failed enough
+// consecutive calls that the client stops hammering it until a cooldown
+// probe succeeds (§III-G degradation ladder).
+var ErrBreakerOpen = errors.New("client: circuit breaker open")
+
+// BreakerState is one instance's position in the breaker state machine.
+type BreakerState int
+
+// Breaker states. The only legal transitions are closed→open (failure
+// threshold reached), open→half-open (cooldown elapsed, one probe
+// admitted), half-open→closed (probe succeeded) and half-open→open (probe
+// failed).
+const (
+	BreakerClosed BreakerState = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// String renders the state for stats output.
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// Breaker tracks one circuit breaker per instance address, fed by call
+// outcomes and consulted by routing. A closed breaker admits everything; an
+// instance that fails Threshold consecutive calls opens and is skipped for
+// Cooldown, after which a single probe call is admitted; the probe's
+// outcome decides between closing again and another full cooldown. The
+// zero-delay "skip, don't retry the dead" behaviour is what keeps one dead
+// replica from adding a timeout to every request that routes to it.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for deterministic tests
+
+	mu    sync.Mutex
+	insts map[string]*breakerInst
+
+	// Transition counters, exported so harnesses can reconcile them
+	// exactly: Trips+ReOpens (entries into open) must equal Probes plus
+	// the number of currently-open breakers, and Probes must equal
+	// Closes+ReOpens plus the currently-half-open count.
+	Trips   metrics.Counter // closed → open
+	ReOpens metrics.Counter // half-open → open (probe failed)
+	Probes  metrics.Counter // open → half-open (probe admitted)
+	Closes  metrics.Counter // half-open → closed (probe succeeded)
+	Skips   metrics.Counter // attempts refused by Allow
+}
+
+type breakerInst struct {
+	state   BreakerState
+	fails   int       // consecutive failures while closed
+	movedAt time.Time // when the breaker entered open / launched the probe
+}
+
+// NewBreaker creates a breaker set. threshold is the consecutive transport
+// failures that open an instance's breaker; cooldown is how long it stays
+// open before a probe, and also how long an unanswered probe reserves the
+// half-open slot before another probe may go out (so a lost probe can
+// never strand the breaker).
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		insts:     make(map[string]*breakerInst),
+	}
+}
+
+func (b *Breaker) inst(addr string) *breakerInst {
+	bi := b.insts[addr]
+	if bi == nil {
+		bi = &breakerInst{}
+		b.insts[addr] = bi
+	}
+	return bi
+}
+
+// Allow reports whether a call to addr may be issued now, and commits to
+// it: when an open breaker's cooldown has elapsed, Allow admits the call
+// as the half-open probe, so the caller must actually issue it and Record
+// the outcome. A refused attempt is counted in Skips.
+func (b *Breaker) Allow(addr string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bi := b.inst(addr)
+	switch bi.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(bi.movedAt) >= b.cooldown {
+			bi.state = BreakerHalfOpen
+			bi.movedAt = b.now()
+			b.Probes.Inc()
+			return true
+		}
+	case BreakerHalfOpen:
+		// One probe is already out; admit another only if it has gone
+		// unanswered for a full cooldown (it was lost, not slow).
+		if b.now().Sub(bi.movedAt) >= b.cooldown {
+			bi.movedAt = b.now()
+			b.Probes.Inc()
+			return true
+		}
+	}
+	b.Skips.Inc()
+	return false
+}
+
+// Ready is the non-committal version of Allow, used when ordering
+// candidates: it reports whether Allow would admit a call right now
+// without consuming the half-open probe slot or counting a skip.
+func (b *Breaker) Ready(addr string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bi := b.inst(addr)
+	if bi.state == BreakerClosed {
+		return true
+	}
+	return b.now().Sub(bi.movedAt) >= b.cooldown
+}
+
+// Record feeds one call outcome for addr into the state machine. success
+// means the instance answered (a server-side application error still
+// proves the instance alive); transport failures — timeouts, refused or
+// reset connections — count against it.
+func (b *Breaker) Record(addr string, success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	bi := b.inst(addr)
+	switch bi.state {
+	case BreakerClosed:
+		if success {
+			bi.fails = 0
+			return
+		}
+		bi.fails++
+		if bi.fails >= b.threshold {
+			bi.state = BreakerOpen
+			bi.movedAt = b.now()
+			b.Trips.Inc()
+		}
+	case BreakerOpen:
+		// A result from a call issued before the trip: stale, ignored.
+	case BreakerHalfOpen:
+		if success {
+			bi.state = BreakerClosed
+			bi.fails = 0
+			b.Closes.Inc()
+		} else {
+			bi.state = BreakerOpen
+			bi.movedAt = b.now()
+			b.ReOpens.Inc()
+		}
+	}
+}
+
+// State returns addr's current stored state.
+func (b *Breaker) State(addr string) BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if bi := b.insts[addr]; bi != nil {
+		return bi.state
+	}
+	return BreakerClosed
+}
+
+// Snapshot returns every tracked instance's state, for stats surfaces and
+// for reconciling the transition counters against the end states.
+func (b *Breaker) Snapshot() map[string]BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]BreakerState, len(b.insts))
+	for addr, bi := range b.insts {
+		out[addr] = bi.state
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package client
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// fakeClock is an injectable clock for deterministic breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time          { return f.t }
+func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func withClock(b *Breaker, c *fakeClock) *Breaker {
+	b.now = c.now
+	return b
+}
+
+func TestBreakerBasicCycle(t *testing.T) {
+	clk := newFakeClock()
+	b := withClock(NewBreaker(3, time.Second), clk)
+	const addr = "i0"
+
+	if !b.Allow(addr) {
+		t.Fatal("fresh breaker must be closed")
+	}
+	for i := 0; i < 3; i++ {
+		if st := b.State(addr); st != BreakerClosed {
+			t.Fatalf("state before threshold = %v", st)
+		}
+		b.Record(addr, false)
+	}
+	if st := b.State(addr); st != BreakerOpen {
+		t.Fatalf("state after %d failures = %v, want open", 3, st)
+	}
+	if b.Allow(addr) {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Allow(addr) {
+		t.Fatal("cooled-down breaker must admit the probe")
+	}
+	if st := b.State(addr); st != BreakerHalfOpen {
+		t.Fatalf("state after probe admit = %v, want half-open", st)
+	}
+	if b.Allow(addr) {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.Record(addr, true)
+	if st := b.State(addr); st != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st)
+	}
+	if got := b.Trips.Value(); got != 1 {
+		t.Fatalf("Trips = %d", got)
+	}
+	if got := b.Probes.Value(); got != 1 {
+		t.Fatalf("Probes = %d", got)
+	}
+	if got := b.Closes.Value(); got != 1 {
+		t.Fatalf("Closes = %d", got)
+	}
+}
+
+func TestBreakerReopenOnFailedProbe(t *testing.T) {
+	clk := newFakeClock()
+	b := withClock(NewBreaker(1, time.Second), clk)
+	const addr = "i0"
+	b.Record(addr, false) // trip
+	clk.advance(time.Second)
+	if !b.Allow(addr) {
+		t.Fatal("probe refused")
+	}
+	b.Record(addr, false) // probe fails
+	if st := b.State(addr); st != BreakerOpen {
+		t.Fatalf("state = %v, want open after failed probe", st)
+	}
+	if b.Allow(addr) {
+		t.Fatal("re-opened breaker admitted a call without a fresh cooldown")
+	}
+	if got := b.ReOpens.Value(); got != 1 {
+		t.Fatalf("ReOpens = %d", got)
+	}
+}
+
+func TestBreakerLostProbeDoesNotStrand(t *testing.T) {
+	clk := newFakeClock()
+	b := withClock(NewBreaker(1, time.Second), clk)
+	const addr = "i0"
+	b.Record(addr, false) // trip
+	clk.advance(time.Second)
+	if !b.Allow(addr) {
+		t.Fatal("probe refused")
+	}
+	// The probe's outcome is never recorded (caller crashed, response
+	// lost). After a full further cooldown a new probe must be admitted.
+	clk.advance(time.Second)
+	if !b.Allow(addr) {
+		t.Fatal("breaker stranded half-open by a lost probe")
+	}
+	b.Record(addr, true)
+	if st := b.State(addr); st != BreakerClosed {
+		t.Fatalf("state = %v, want closed", st)
+	}
+}
+
+// breakerOp is one step of a generated breaker exercise.
+type breakerOp uint8
+
+// TestBreakerPropertyLegalTransitions drives the state machine with
+// arbitrary generated sequences of {small clock step, full cooldown step,
+// successful call, failed call} and checks after every sub-action that only
+// legal transitions occurred, that the transition counters reconcile
+// exactly against the end state, and that the breaker never ends up
+// stranded: once failures stop, a bounded number of cooldown+probe rounds
+// always returns it to closed.
+func TestBreakerPropertyLegalTransitions(t *testing.T) {
+	const addr = "i0"
+	legal := func(from, to BreakerState, viaRecord bool, success bool) bool {
+		if from == to {
+			return true
+		}
+		switch {
+		case from == BreakerClosed && to == BreakerOpen:
+			return viaRecord && !success
+		case from == BreakerOpen && to == BreakerHalfOpen:
+			return !viaRecord // only Allow admits the probe
+		case from == BreakerHalfOpen && to == BreakerClosed:
+			return viaRecord && success
+		case from == BreakerHalfOpen && to == BreakerOpen:
+			return viaRecord && !success
+		}
+		return false
+	}
+
+	prop := func(ops []breakerOp) bool {
+		clk := newFakeClock()
+		cooldown := time.Second
+		b := withClock(NewBreaker(3, cooldown), clk)
+		for _, op := range ops {
+			switch op % 4 {
+			case 0:
+				clk.advance(cooldown / 4)
+			case 1:
+				clk.advance(cooldown)
+			case 2, 3:
+				success := op%4 == 2
+				before := b.State(addr)
+				admitted := b.Allow(addr)
+				mid := b.State(addr)
+				if !legal(before, mid, false, false) {
+					t.Logf("illegal Allow transition %v -> %v", before, mid)
+					return false
+				}
+				if !admitted {
+					// Refused: no call issued, nothing to record, and the
+					// state must not have moved to half-open.
+					if mid != before {
+						t.Logf("refusing Allow moved state %v -> %v", before, mid)
+						return false
+					}
+					continue
+				}
+				b.Record(addr, success)
+				after := b.State(addr)
+				if !legal(mid, after, true, success) {
+					t.Logf("illegal Record transition %v -> %v (success=%v)", mid, after, success)
+					return false
+				}
+			}
+		}
+		// Counter reconciliation: every entry into open is eventually
+		// matched by a probe, modulo the breaker currently sitting open,
+		// and every probe resolves to a close or re-open unless it is the
+		// one outstanding half-open probe.
+		var openNow, halfNow int64
+		switch b.State(addr) {
+		case BreakerOpen:
+			openNow = 1
+		case BreakerHalfOpen:
+			halfNow = 1
+		}
+		if b.Trips.Value()+b.ReOpens.Value() != b.Probes.Value()+openNow {
+			t.Logf("open-entry flow broken: trips=%d reopens=%d probes=%d openNow=%d",
+				b.Trips.Value(), b.ReOpens.Value(), b.Probes.Value(), openNow)
+			return false
+		}
+		if b.Probes.Value() != b.Closes.Value()+b.ReOpens.Value()+halfNow {
+			t.Logf("probe flow broken: probes=%d closes=%d reopens=%d halfNow=%d",
+				b.Probes.Value(), b.Closes.Value(), b.ReOpens.Value(), halfNow)
+			return false
+		}
+		// Liveness: with failures over, cooldown + successful probe must
+		// close the breaker within a couple of rounds — never stranded.
+		for i := 0; i < 3 && b.State(addr) != BreakerClosed; i++ {
+			clk.advance(cooldown)
+			if b.Allow(addr) {
+				b.Record(addr, true)
+			}
+		}
+		if st := b.State(addr); st != BreakerClosed {
+			t.Logf("breaker stranded %v despite eventual success", st)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

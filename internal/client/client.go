@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ips/internal/discovery"
@@ -42,6 +43,35 @@ type Options struct {
 	// Retries is how many alternate instances a failed query tries
 	// (regional failover, §III-G); default 2.
 	Retries int
+
+	// HedgeDelay is how long a read waits on its primary before issuing a
+	// duplicate to the next replica and taking the first success. 0 means
+	// adaptive: the observed p95 of QueryLat, clamped to [1ms,
+	// CallTimeout/2]. Negative disables hedging. Only idempotent reads are
+	// ever hedged; writes never are.
+	HedgeDelay time.Duration
+	// HedgeMaxInFlight caps concurrent hedges per client so hedging can't
+	// double load during a broad slowdown; default 64.
+	HedgeMaxInFlight int
+	// RetryBudgetRatio is the retry tokens earned per primary request
+	// (retries are bounded to this fraction of primary traffic); default
+	// 0.2. Zero or negative means no retries at all.
+	RetryBudgetRatio float64
+	// RetryBudgetBurst is the token-bucket cap and starting balance;
+	// default 10.
+	RetryBudgetBurst float64
+	// BackoffBase and BackoffCap bound the jittered exponential delay
+	// before each retry; defaults 2ms and 100ms.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// BreakerThreshold is the consecutive transport failures that open an
+	// instance's circuit breaker; default 5. Negative disables breakers.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker skips its instance
+	// before admitting a probe; default 1s.
+	BreakerCooldown time.Duration
+	// Seed makes backoff jitter deterministic; 0 seeds from the clock.
+	Seed int64
 }
 
 // Client is the unified IPS client.
@@ -75,6 +105,28 @@ type Client struct {
 	// asserting coalescing (one RPC per shard touched). Set it before
 	// issuing batches; it runs on the RPC fan-out goroutines.
 	OnBatchCall func(region, addr string, subQueries int)
+
+	// Resilience-layer accounting. Every read-path RPC launch increments
+	// Attempts plus exactly one of Primaries (first try of a call or of a
+	// batch shard group), Retries (budgeted failover re-issues) or Hedges
+	// (duplicate reads racing a slow primary), so
+	// Attempts == Primaries + Retries + Hedges holds exactly at any
+	// quiescent point — the chaos harness asserts it.
+	Attempts      metrics.Counter
+	Primaries     metrics.Counter
+	Retries       metrics.Counter
+	RetriesDenied metrics.Counter // retries refused by the budget
+	Hedges        metrics.Counter
+	HedgeWins     metrics.Counter // hedge finished first with a success
+	WriteRPCs     metrics.Counter // add RPCs issued (never hedged)
+
+	// Breaker holds the per-instance circuit breakers consulted by
+	// routing; nil when Options.BreakerThreshold < 0.
+	Breaker *Breaker
+
+	budget        *retryBudget
+	boff          *backoff
+	hedgeInFlight atomic.Int64
 }
 
 type regionState struct {
@@ -99,7 +151,24 @@ func New(opts Options) (*Client, error) {
 	if opts.Retries <= 0 {
 		opts.Retries = 2
 	}
+	if opts.HedgeMaxInFlight <= 0 {
+		opts.HedgeMaxInFlight = 64
+	}
+	if opts.RetryBudgetRatio == 0 {
+		opts.RetryBudgetRatio = 0.2
+	}
+	if opts.RetryBudgetRatio < 0 {
+		opts.RetryBudgetRatio = 0
+	}
+	if opts.RetryBudgetBurst == 0 {
+		opts.RetryBudgetBurst = 10
+	}
 	c := &Client{opts: opts, regions: make(map[string]*regionState)}
+	if opts.BreakerThreshold >= 0 {
+		c.Breaker = NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
+	}
+	c.budget = newRetryBudget(opts.RetryBudgetRatio, opts.RetryBudgetBurst)
+	c.boff = newBackoff(opts.BackoffBase, opts.BackoffCap, opts.Seed)
 	c.watcher = discovery.NewWatcher(opts.Registry, opts.Service, opts.RefreshInterval, c.onInstances)
 	return c, nil
 }
@@ -228,7 +297,19 @@ func (c *Client) Add(table string, id model.ProfileID, entries ...wire.AddEntry)
 		if addr == "" {
 			continue
 		}
-		if _, err := c.conn(region, addr).Call(method, payload); err != nil {
+		// Writes are not idempotent, so they are never hedged or retried
+		// within a region — but a tripped breaker still skips a broken
+		// instance instead of spending a timeout on it.
+		if c.Breaker != nil && !c.Breaker.Allow(addr) {
+			lastErr = ErrBreakerOpen
+			continue
+		}
+		c.WriteRPCs.Inc()
+		_, err := c.conn(region, addr).Call(method, payload)
+		if c.Breaker != nil {
+			c.Breaker.Record(addr, transportOK(err))
+		}
+		if err != nil {
 			lastErr = err
 			continue
 		}
@@ -244,7 +325,9 @@ func (c *Client) Add(table string, id model.ProfileID, entries ...wire.AddEntry)
 	return nil
 }
 
-// queryMethod issues a read with local-region preference and failover.
+// queryMethod issues a read with local-region preference and the full
+// degradation ladder: hedge a slow primary, budgeted backoff retries down
+// the candidate ladder, broken instances skipped by their breakers.
 func (c *Client) queryMethod(method string, req *wire.QueryRequest) (*wire.QueryResponse, error) {
 	start := time.Now()
 	defer func() { c.QueryLat.Observe(time.Since(start)) }()
@@ -252,28 +335,213 @@ func (c *Client) queryMethod(method string, req *wire.QueryRequest) (*wire.Query
 	req.Caller = c.opts.Caller
 	payload := wire.EncodeQuery(req)
 
-	var lastErr error
-	attempts := 0
-	for _, region := range c.regionsSnapshot() {
-		// Within a region, try the owner then its ring successors.
-		for _, addr := range c.routeN(region, req.ProfileID, c.opts.Retries) {
-			if attempts > 0 {
-				c.Failovers.Inc()
-			}
-			attempts++
-			raw, err := c.conn(region, addr).Call(method, payload)
-			if err != nil {
-				lastErr = err
+	raw, err := c.resilientCall(method, payload, req.ProfileID)
+	if err != nil {
+		c.Errors.Inc()
+		return nil, fmt.Errorf("client: query failed: %w", err)
+	}
+	return wire.DecodeQueryResponse(raw)
+}
+
+// hedgeDelay resolves the configured hedge trigger: fixed, adaptive
+// (observed p95, via the Histogram quantile accessor), or disabled (< 0).
+func (c *Client) hedgeDelay() time.Duration {
+	d := c.opts.HedgeDelay
+	if d != 0 {
+		return d
+	}
+	// Adaptive: before enough samples exist the p95 is noise, so start
+	// conservative at a quarter of the call timeout.
+	if c.QueryLat.Count() < 100 {
+		return c.opts.CallTimeout / 4
+	}
+	d = c.QueryLat.P95()
+	if min := time.Millisecond; d < min {
+		d = min
+	}
+	if max := c.opts.CallTimeout / 2; d > max {
+		d = max
+	}
+	return d
+}
+
+// hedgeAcquire claims one slot under the concurrent-hedge cap.
+func (c *Client) hedgeAcquire() bool {
+	if c.hedgeInFlight.Add(1) > int64(c.opts.HedgeMaxInFlight) {
+		c.hedgeInFlight.Add(-1)
+		return false
+	}
+	return true
+}
+
+// transportOK reports whether err leaves the instance's breaker unharmed:
+// a nil error or a server-side application error both prove the instance
+// answered; only transport failures (timeout, refused, reset) count.
+func transportOK(err error) bool {
+	if err == nil {
+		return true
+	}
+	var remote *rpc.RemoteError
+	return errors.As(err, &remote)
+}
+
+// candidates returns the failover ladder for id — ring owner plus
+// successors in the local region first, then the other regions — with
+// breaker-ready instances ahead of ones currently skipped, so a broken
+// primary costs a reorder instead of a timeout.
+func (c *Client) candidates(id model.ProfileID) []batchTarget {
+	regions := c.regionsSnapshot()
+	var ready, blocked []batchTarget
+	seen := make(map[string]bool, c.opts.Retries*len(regions))
+	for _, region := range regions {
+		for _, addr := range c.routeN(region, id, c.opts.Retries) {
+			if seen[addr] {
 				continue
 			}
-			return wire.DecodeQueryResponse(raw)
+			seen[addr] = true
+			t := batchTarget{region: region, addr: addr}
+			if c.Breaker != nil && !c.Breaker.Ready(addr) {
+				blocked = append(blocked, t)
+				continue
+			}
+			ready = append(ready, t)
 		}
 	}
-	c.Errors.Inc()
-	if lastErr == nil {
-		lastErr = ErrNoInstances
+	return append(ready, blocked...)
+}
+
+// attemptKind labels a read-path RPC launch for exact accounting.
+type attemptKind int
+
+const (
+	attemptPrimary attemptKind = iota
+	attemptRetry
+	attemptHedge
+)
+
+// launch issues one read RPC asynchronously, feeding the breaker and the
+// attempt counters, and delivers the outcome on resCh.
+func (c *Client) launch(tgt batchTarget, method string, payload []byte, kind attemptKind, resCh chan<- attemptResult) {
+	c.Attempts.Inc()
+	switch kind {
+	case attemptPrimary:
+		c.Primaries.Inc()
+	case attemptRetry:
+		c.Retries.Inc()
+		c.Failovers.Inc()
+	case attemptHedge:
+		c.Hedges.Inc()
 	}
-	return nil, fmt.Errorf("client: query failed: %w", lastErr)
+	conn := c.conn(tgt.region, tgt.addr)
+	go func() {
+		raw, err := conn.Call(method, payload)
+		if c.Breaker != nil {
+			c.Breaker.Record(tgt.addr, transportOK(err))
+		}
+		if kind == attemptHedge {
+			c.hedgeInFlight.Add(-1)
+		}
+		resCh <- attemptResult{raw: raw, err: err, hedged: kind == attemptHedge}
+	}()
+}
+
+type attemptResult struct {
+	raw    []byte
+	err    error
+	hedged bool
+}
+
+// resilientCall runs one idempotent read against id's candidate ladder:
+// the primary goes to the first breaker-admitted candidate; if it dawdles
+// past the hedge delay a single duplicate races it from the next
+// candidate; failures walk the remaining ladder under the retry budget
+// with jittered exponential backoff. The first success wins.
+func (c *Client) resilientCall(method string, payload []byte, id model.ProfileID) ([]byte, error) {
+	cands := c.candidates(id)
+	if len(cands) == 0 {
+		return nil, ErrNoInstances
+	}
+	c.budget.onPrimary()
+
+	// Buffered for every possible launch so loser goroutines never block.
+	resCh := make(chan attemptResult, len(cands)+1)
+	next := 0
+	inflight := 0
+	// issue launches the next admissible candidate; breaker-refused ones
+	// are skipped (they fail fast locally instead of eating a timeout).
+	issue := func(kind attemptKind) bool {
+		for next < len(cands) {
+			tgt := cands[next]
+			next++
+			if c.Breaker != nil && !c.Breaker.Allow(tgt.addr) {
+				continue
+			}
+			c.launch(tgt, method, payload, kind, resCh)
+			inflight++
+			return true
+		}
+		return false
+	}
+	if !issue(attemptPrimary) {
+		// Whole ladder breaker-refused: fail fast. The breakers admit
+		// probes once their cooldowns elapse, so this clears itself.
+		return nil, ErrBreakerOpen
+	}
+
+	var hedgeTimer, retryTimer *time.Timer
+	var hedgeCh, retryCh <-chan time.Time
+	if hd := c.hedgeDelay(); hd >= 0 && next < len(cands) {
+		hedgeTimer = time.NewTimer(hd)
+		hedgeCh = hedgeTimer.C
+		defer hedgeTimer.Stop()
+	}
+	retries := 0
+	var lastErr error
+	for {
+		if inflight == 0 && retryCh == nil {
+			if lastErr == nil {
+				lastErr = ErrNoInstances
+			}
+			return nil, lastErr
+		}
+		select {
+		case r := <-resCh:
+			inflight--
+			if r.err == nil {
+				if r.hedged {
+					c.HedgeWins.Inc()
+				}
+				return r.raw, nil
+			}
+			lastErr = r.err
+			// A failed attempt means we are in retry mode now; the hedge
+			// timer only guards against a *slow* healthy primary.
+			if hedgeCh != nil {
+				hedgeTimer.Stop()
+				hedgeCh = nil
+			}
+			if retryCh == nil && next < len(cands) {
+				if c.budget.allow() {
+					retryTimer = time.NewTimer(c.boff.delay(retries))
+					retryCh = retryTimer.C
+					retries++
+				} else {
+					c.RetriesDenied.Inc()
+				}
+			}
+		case <-retryCh:
+			retryCh = nil
+			retryTimer.Stop()
+			issue(attemptRetry)
+		case <-hedgeCh:
+			hedgeCh = nil
+			if c.hedgeAcquire() {
+				if !issue(attemptHedge) {
+					c.hedgeInFlight.Add(-1)
+				}
+			}
+		}
+	}
 }
 
 // TopK implements get_profile_topK (§II-B2).
@@ -324,6 +592,44 @@ func (c *Client) Stats() ([]*wire.StatsResponse, error) {
 		return out, perr
 	}
 	return out, nil
+}
+
+// ResilienceStats is a point-in-time snapshot of the client's tail-latency
+// armor: attempt accounting, hedge and retry counters, and every tracked
+// instance's breaker state. ips-cli prints it after the per-instance stats.
+type ResilienceStats struct {
+	Attempts, Primaries, Retries, RetriesDenied int64
+	Hedges, HedgeWins                           int64
+	WriteRPCs                                   int64
+	BreakerTrips, BreakerReOpens                int64
+	BreakerProbes, BreakerCloses, BreakerSkips  int64
+	BreakerStates                               map[string]BreakerState
+	// HedgeDelay is the currently effective hedge trigger (adaptive p95
+	// when Options.HedgeDelay == 0); negative means hedging is disabled.
+	HedgeDelay time.Duration
+}
+
+// Resilience snapshots the hedge/retry/breaker counters.
+func (c *Client) Resilience() ResilienceStats {
+	rs := ResilienceStats{
+		Attempts:      c.Attempts.Value(),
+		Primaries:     c.Primaries.Value(),
+		Retries:       c.Retries.Value(),
+		RetriesDenied: c.RetriesDenied.Value(),
+		Hedges:        c.Hedges.Value(),
+		HedgeWins:     c.HedgeWins.Value(),
+		WriteRPCs:     c.WriteRPCs.Value(),
+		HedgeDelay:    c.hedgeDelay(),
+	}
+	if c.Breaker != nil {
+		rs.BreakerTrips = c.Breaker.Trips.Value()
+		rs.BreakerReOpens = c.Breaker.ReOpens.Value()
+		rs.BreakerProbes = c.Breaker.Probes.Value()
+		rs.BreakerCloses = c.Breaker.Closes.Value()
+		rs.BreakerSkips = c.Breaker.Skips.Value()
+		rs.BreakerStates = c.Breaker.Snapshot()
+	}
+	return rs
 }
 
 // ErrorRate returns the client-observed error fraction (Fig. 17).

@@ -33,6 +33,15 @@ type Plan struct {
 	RegionOutageProb float64
 	// RegionOutageTicks is how long a region stays dark.
 	RegionOutageTicks int
+	// StallProb is the per-tick probability of starting a slow-instance
+	// episode: the victim answers everything, but only after StallDelay.
+	// This is the failure mode hedged reads exist for — the instance is
+	// alive, just in the latency tail.
+	StallProb float64
+	// StallDelay is the added per-RPC latency during a stall episode.
+	StallDelay time.Duration
+	// StallTicks is the episode length in ticks.
+	StallTicks int
 }
 
 // DefaultPlan approximates a production-like failure rate when ticked once
@@ -47,6 +56,9 @@ func DefaultPlan(seed int64) Plan {
 		DropTicks:         1,
 		RegionOutageProb:  0.002,
 		RegionOutageTicks: 3,
+		StallProb:         0.05,
+		StallDelay:        40 * time.Millisecond,
+		StallTicks:        1,
 	}
 }
 
@@ -59,12 +71,14 @@ type Injector struct {
 	mu          sync.Mutex
 	downNodes   map[string]int // name -> ticks remaining
 	dropNodes   map[string]int
+	stallNodes  map[string]int
 	downRegions map[string]int
 
 	// Event counters for the experiment report.
 	Crashes       int
 	Restarts      int
 	DropEpisodes  int
+	StallEpisodes int
 	RegionOutages int
 }
 
@@ -76,6 +90,7 @@ func New(c *cluster.Cluster, plan Plan) *Injector {
 		rng:         rand.New(rand.NewSource(plan.Seed)),
 		downNodes:   make(map[string]int),
 		dropNodes:   make(map[string]int),
+		stallNodes:  make(map[string]int),
 		downRegions: make(map[string]int),
 	}
 }
@@ -106,6 +121,17 @@ func (in *Injector) Tick() {
 			delete(in.dropNodes, name)
 		} else {
 			in.dropNodes[name] = left - 1
+		}
+	}
+	// End stall episodes.
+	for name, left := range in.stallNodes {
+		if left <= 1 {
+			if n := in.c.Node(name); n != nil {
+				n.Service().RPC().SetDelay(nil)
+			}
+			delete(in.stallNodes, name)
+		} else {
+			in.stallNodes[name] = left - 1
 		}
 	}
 	// Recover regions.
@@ -147,6 +173,19 @@ func (in *Injector) Tick() {
 				victim.Service().RPC().SetDropRate(func() float64 { return rate })
 				in.DropEpisodes++
 				in.dropNodes[victim.Name] = in.plan.DropTicks
+			}
+		}
+	}
+	// New stall episode: the victim stays alive but slips into the tail.
+	if in.rng.Float64() < in.plan.StallProb {
+		live = in.c.Nodes()
+		if len(live) > 0 {
+			victim := live[in.rng.Intn(len(live))]
+			if _, already := in.stallNodes[victim.Name]; !already {
+				delay := in.plan.StallDelay
+				victim.Service().RPC().SetDelay(func(method string) time.Duration { return delay })
+				in.StallEpisodes++
+				in.stallNodes[victim.Name] = in.plan.StallTicks
 			}
 		}
 	}
@@ -211,6 +250,12 @@ func (in *Injector) Quiesce() {
 			n.Service().RPC().SetDropRate(nil)
 		}
 		delete(in.dropNodes, name)
+	}
+	for name := range in.stallNodes {
+		if n := in.c.Node(name); n != nil {
+			n.Service().RPC().SetDelay(nil)
+		}
+		delete(in.stallNodes, name)
 	}
 	for region := range in.downRegions {
 		for _, n := range in.allNodesInRegion(region) {

@@ -100,3 +100,30 @@ func TestDefaultPlanSane(t *testing.T) {
 		t.Fatalf("drop rate = %v", p.DropRate)
 	}
 }
+
+func TestStallEpisode(t *testing.T) {
+	c := newTestCluster(t)
+	in := New(c, Plan{Seed: 4, StallProb: 1.0, StallDelay: 30 * time.Millisecond, StallTicks: 1})
+	in.Tick()
+	if in.StallEpisodes != 1 {
+		t.Fatalf("stall episodes = %d, want 1", in.StallEpisodes)
+	}
+	// Exactly one node is stalled; find it and verify the injected latency
+	// is live, then gone after the episode ends.
+	var victim string
+	for name := range in.stallNodes {
+		victim = name
+	}
+	if victim == "" {
+		t.Fatal("no stalled node recorded")
+	}
+	n := c.Node(victim)
+	if n == nil {
+		t.Fatalf("stalled node %s not found", victim)
+	}
+	in.Tick() // episode ends (a new one may start on another node)
+	in.Quiesce()
+	if len(in.stallNodes) != 0 {
+		t.Fatalf("stall episodes outstanding after quiesce: %v", in.stallNodes)
+	}
+}

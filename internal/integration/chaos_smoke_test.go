@@ -1,0 +1,139 @@
+package integration
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"ips/internal/client"
+	"ips/internal/cluster"
+	"ips/internal/faultinject"
+	"ips/internal/model"
+	"ips/internal/query"
+	"ips/internal/wire"
+)
+
+// TestChaosSmoke runs the full DefaultPlan failure mix — crashes, drops,
+// stalls, region outages — over a 2-region cluster for 30 ticks with the
+// resilience layer on, while a read/write workload hammers the client. It
+// asserts the client-observed error rate stays low (the sequential-failover
+// client without hedges/breakers blows well past it when its primary dies
+// mid-window) and that the whole exercise leaks no goroutines.
+func TestChaosSmoke(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	func() {
+		cl, err := cluster.New(cluster.Options{
+			Regions:            []string{"east", "west"},
+			InstancesPerRegion: 2,
+			Tables:             map[string]*model.Schema{"up": model.NewSchema("like", "share")},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Close()
+
+		c, err := client.New(client.Options{
+			Caller: "smoke", Service: "ips", Region: "east",
+			Registry:         cl.Registry,
+			RefreshInterval:  25 * time.Millisecond,
+			CallTimeout:      250 * time.Millisecond,
+			HedgeDelay:       20 * time.Millisecond,
+			BreakerThreshold: 3,
+			BreakerCooldown:  400 * time.Millisecond,
+			RetryBudgetRatio: 0.5,
+			RetryBudgetBurst: 20,
+			BackoffBase:      2 * time.Millisecond,
+			BackoffCap:       20 * time.Millisecond,
+			Seed:             21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+
+		now := time.Now().UnixMilli()
+		const profiles = 32
+		for id := model.ProfileID(1); id <= profiles; id++ {
+			if err := c.Add("up", id, wire.AddEntry{
+				Timestamp: model.Millis(now - 1000), Slot: 1, Type: 1,
+				FID: model.FeatureID(id), Counts: []int64{1, 0},
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, n := range cl.Nodes() {
+			n.Instance().MergeAll()
+			if err := n.Instance().FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		req := func(id model.ProfileID) *wire.QueryRequest {
+			return &wire.QueryRequest{
+				Table: "up", ProfileID: id, Slot: 1, Type: 1,
+				RangeKind: query.Current, Span: 3_600_000,
+				SortBy: query.ByAction, Action: "like", K: 10,
+			}
+		}
+
+		// Crank probabilities so 30 ticks reliably produce every failure
+		// kind the DefaultPlan models.
+		plan := faultinject.DefaultPlan(21)
+		plan.CrashProb = 0.2
+		plan.DropProb = 0.2
+		plan.StallProb = 0.3
+		inj := faultinject.New(cl, plan)
+
+		for tick := 0; tick < 30; tick++ {
+			inj.Tick()
+			for i := 0; i < 6; i++ {
+				id := model.ProfileID(tick*6+i)%profiles + 1
+				switch i % 3 {
+				case 0:
+					// Best effort: during an outage a write can fail; the
+					// client's Errors counter tracks it.
+					_ = c.Add("up", id, wire.AddEntry{
+						Timestamp: model.Millis(time.Now().UnixMilli() - 500),
+						Slot:      1, Type: 1, FID: 3, Counts: []int64{1, 0},
+					})
+				case 1:
+					_, _ = c.TopK(req(id))
+				case 2:
+					_, _ = c.QueryBatch([]wire.SubQuery{
+						{Query: *req(id)}, {Query: *req(id%profiles + 1)}, {Query: *req(id%profiles + 2)},
+					})
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		inj.Quiesce()
+
+		if rate := c.ErrorRate(); rate > 0.25 {
+			t.Fatalf("error rate %.3f > 0.25 under DefaultPlan chaos", rate)
+		}
+		rs := c.Resilience()
+		if rs.Attempts != rs.Primaries+rs.Retries+rs.Hedges {
+			t.Fatalf("attempt identity broken: %+v", rs)
+		}
+		t.Logf("errorRate=%.4f crashes=%d stalls=%d drops=%d outages=%d resilience=%+v",
+			c.ErrorRate(), inj.Crashes, inj.StallEpisodes, inj.DropEpisodes, inj.RegionOutages, rs)
+	}()
+
+	// Everything is closed; all goroutines (watchers, read loops, hedge
+	// launches, server dispatchers) must drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		after := runtime.NumGoroutine()
+		if after <= before+5 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak: %d before, %d after chaos\n%s", before, after, buf[:n])
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

@@ -196,8 +196,15 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 // P50 is shorthand for Quantile(0.50).
 func (h *Histogram) P50() time.Duration { return h.Quantile(0.50) }
 
+// P95 is shorthand for Quantile(0.95), the hedge-delay trigger quantile.
+func (h *Histogram) P95() time.Duration { return h.Quantile(0.95) }
+
 // P99 is shorthand for Quantile(0.99).
 func (h *Histogram) P99() time.Duration { return h.Quantile(0.99) }
+
+// P999 is shorthand for Quantile(0.999), the deep-tail quantile the
+// tail-latency experiment reports.
+func (h *Histogram) P999() time.Duration { return h.Quantile(0.999) }
 
 // Reset clears all recorded observations.
 func (h *Histogram) Reset() {
@@ -314,6 +321,15 @@ func (h *IntHist) Quantile(q float64) int64 {
 	}
 	return h.max.Load()
 }
+
+// P50 is shorthand for Quantile(0.50).
+func (h *IntHist) P50() int64 { return h.Quantile(0.50) }
+
+// P95 is shorthand for Quantile(0.95).
+func (h *IntHist) P95() int64 { return h.Quantile(0.95) }
+
+// P99 is shorthand for Quantile(0.99).
+func (h *IntHist) P99() int64 { return h.Quantile(0.99) }
 
 // Reset clears all samples.
 func (h *IntHist) Reset() {

@@ -17,11 +17,17 @@ type Client struct {
 	DialTimeout time.Duration
 	// CallTimeout is the default per-call deadline; default 1s.
 	CallTimeout time.Duration
+	// DialFunc overrides connection establishment, for tests (e.g. to
+	// simulate a blackholed address whose dial hangs). Nil means
+	// net.DialTimeout("tcp", addr, DialTimeout).
+	DialFunc func(addr string, timeout time.Duration) (net.Conn, error)
 
-	mu     sync.Mutex
-	conns  []*clientConn
-	next   atomic.Uint64
-	closed bool
+	mu       sync.Mutex
+	conns    []*clientConn
+	dialing  int           // in-flight dials; at most one per client
+	dialDone chan struct{} // closed when the in-flight dial finishes
+	next     atomic.Uint64
+	closed   bool
 }
 
 // clientConn is one multiplexed connection with a reader goroutine
@@ -93,35 +99,86 @@ func (c *Client) CallTimeoutT(method string, payload []byte, timeout time.Durati
 	}
 }
 
-// pick returns a live pooled connection, dialing if needed.
+// pick returns a live pooled connection, dialing if needed. Dials happen
+// OUTSIDE c.mu — holding the lock across a dial would let one unreachable
+// address head-of-line block every concurrent call on this client for up
+// to DialTimeout. At most one dial is in flight per client (singleflight):
+// when live connections exist the pool tops up in the background and the
+// call proceeds on an existing connection; only a caller with no live
+// connection at all waits for the dial's outcome.
 func (c *Client) pick() (*clientConn, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.closed {
-		return nil, ErrClosed
+	for {
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return nil, ErrClosed
+		}
+		// Drop dead connections.
+		live := c.conns[:0]
+		for _, cc := range c.conns {
+			if !cc.dead.Load() {
+				live = append(live, cc)
+			}
+		}
+		c.conns = live
+		startDial := c.dialing == 0 && len(c.conns) < c.PoolSize
+		if startDial {
+			c.dialing++
+			c.dialDone = make(chan struct{})
+		}
+		if len(c.conns) > 0 {
+			cc := c.conns[int(c.next.Add(1))%len(c.conns)]
+			c.mu.Unlock()
+			if startDial {
+				go c.dial() // top up the pool without blocking this call
+			}
+			return cc, nil
+		}
+		if startDial {
+			c.mu.Unlock()
+			if err := c.dial(); err != nil {
+				return nil, err
+			}
+			continue // re-check the pool: our dial installed a connection
+		}
+		// No live connection and another caller's dial is in flight: wait
+		// for it to settle, then re-evaluate.
+		done := c.dialDone
+		c.mu.Unlock()
+		<-done
 	}
-	// Drop dead connections.
-	live := c.conns[:0]
-	for _, cc := range c.conns {
-		if !cc.dead.Load() {
-			live = append(live, cc)
+}
+
+// dial establishes one new pooled connection and installs it; it must be
+// entered with c.dialing already claimed. Waiters blocked in pick are woken
+// whether the dial succeeded or not.
+func (c *Client) dial() error {
+	dial := c.DialFunc
+	if dial == nil {
+		dial = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
 		}
 	}
-	c.conns = live
-	if len(c.conns) < c.PoolSize {
-		conn, err := net.DialTimeout("tcp", c.addr, c.DialTimeout)
-		if err != nil {
-			if len(c.conns) > 0 {
-				// Fall back to an existing connection.
-				return c.conns[int(c.next.Add(1))%len(c.conns)], nil
+	conn, err := dial(c.addr, c.DialTimeout)
+
+	c.mu.Lock()
+	c.dialing--
+	close(c.dialDone)
+	if err == nil {
+		if closed := c.closed; closed || len(c.conns) >= c.PoolSize {
+			c.mu.Unlock()
+			conn.Close()
+			if closed {
+				return ErrClosed
 			}
-			return nil, err
+			return nil
 		}
 		cc := &clientConn{conn: conn, pending: make(map[uint64]chan result)}
 		go cc.readLoop()
 		c.conns = append(c.conns, cc)
 	}
-	return c.conns[int(c.next.Add(1))%len(c.conns)], nil
+	c.mu.Unlock()
+	return err
 }
 
 func (c *Client) drop(dead *clientConn) {

@@ -109,6 +109,14 @@ func main() {
 			_, err := bench.RunTailLatency(o, os.Stdout)
 			return err
 		}},
+		{"recovery", "journal write amplification on Add + recovery time vs dirty-set size", func(full bool) error {
+			o := bench.RecoveryOptions{}
+			if !full {
+				o = bench.RecoveryOptions{Profiles: 100, AddsPerProfile: 20, DirtySweep: []int{100, 400, 1000}}
+			}
+			_, err := bench.RunRecovery(o, os.Stdout)
+			return err
+		}},
 		{"fig10", "compaction mechanism demo (6 slices -> 3)", func(bool) error {
 			_, err := bench.RunFig10(os.Stdout)
 			return err

@@ -22,6 +22,7 @@ import (
 	"ips/internal/kv"
 	"ips/internal/model"
 	"ips/internal/server"
+	"ips/internal/wal"
 )
 
 func main() {
@@ -29,6 +30,8 @@ func main() {
 	name := flag.String("name", "ips-0", "instance name")
 	region := flag.String("region", "local", "data-center region")
 	dataPath := flag.String("data", "", "path to the disk-backed KV log (empty = in-memory)")
+	journalPath := flag.String("journal", "", "path to the write-ahead mutation journal; acknowledged writes survive a crash and replay on restart (empty = journaling off)")
+	journalSync := flag.Int("journal-sync", 0, "fsync the journal every N records (0 = flush without fsync)")
 	tables := flag.String("tables", "user_profile:like,comment,share",
 		"semicolon-separated table specs, each name:action1,action2,...")
 	quota := flag.Float64("default-quota", 0, "default per-caller QPS quota (0 = unlimited)")
@@ -56,12 +59,22 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var journal *wal.Journal
+	if *journalPath != "" {
+		journal, err = wal.Open(*journalPath, wal.Options{SyncEvery: *journalSync})
+		if err != nil {
+			log.Fatalf("open journal: %v", err)
+		}
+		log.Printf("mutation journal at %s (%d records pending replay)", *journalPath, journal.Stats().Records)
+	}
+
 	inst, err := server.New(server.Options{
 		Name:            *name,
 		Region:          *region,
 		Store:           store,
 		Config:          cfgStore,
 		DefaultQuotaQPS: *quota,
+		Journal:         journal,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -117,6 +130,11 @@ func main() {
 	svc.Close()
 	if err := inst.Close(); err != nil {
 		log.Printf("close: %v", err)
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			log.Printf("journal close: %v", err)
+		}
 	}
 	if err := store.Close(); err != nil {
 		log.Printf("store close: %v", err)

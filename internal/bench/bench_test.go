@@ -219,3 +219,27 @@ func TestRunTailSmall(t *testing.T) {
 		t.Fatalf("hedged p99 %v not < half of baseline p99 %v", rep.Hedged.P99, rep.Baseline.P99)
 	}
 }
+
+func TestRunRecoverySmall(t *testing.T) {
+	rep, err := RunRecovery(RecoveryOptions{
+		Profiles:       40,
+		AddsPerProfile: 10,
+		DirtySweep:     []int{50, 150},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("add: plain %.0fns journal %.0fns; amp %.2fx; points %+v",
+		rep.AddNoJournalNs, rep.AddJournalNs, rep.WriteAmp, rep.Points)
+	if rep.WriteAmp <= 1 {
+		t.Fatalf("write amplification %.2f should exceed 1 (framing + addressing overhead)", rep.WriteAmp)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("want 2 sweep points, got %d", len(rep.Points))
+	}
+	for _, pt := range rep.Points {
+		if pt.Records < pt.DirtyProfiles {
+			t.Fatalf("dirty=%d produced only %d journal records", pt.DirtyProfiles, pt.Records)
+		}
+	}
+}

@@ -25,6 +25,14 @@ type Compactor struct {
 	// compacted profile for flushing. Must be set before Start.
 	OnMaintain func(id model.ProfileID, delta int64)
 
+	// LogMaintain, when set, journals the maintenance pass (with the
+	// wall-clock it will run at) under the profile lock before Maintain
+	// mutates anything, so crash recovery can re-run the same truncation
+	// deterministically. The returned LSN becomes the profile's WalLSN
+	// watermark; an error skips the pass (the next write re-enqueues it).
+	// Must be set before Start.
+	LogMaintain func(id model.ProfileID, now model.Millis) (uint64, error)
+
 	queue   chan *model.Profile
 	queued  sync.Map // ProfileID -> struct{}, dedupes pending work
 	wg      sync.WaitGroup
@@ -116,8 +124,19 @@ func (c *Compactor) worker() {
 // runOne performs one maintenance pass under the profile lock.
 func (c *Compactor) runOne(p *model.Profile) {
 	cfg := c.cfgs.Get()
+	now := c.now()
 	p.Lock()
-	st := Maintain(p, c.schema, cfg, c.now())
+	if c.LogMaintain != nil {
+		lsn, err := c.LogMaintain(p.ID, now)
+		if err != nil {
+			p.Unlock()
+			return
+		}
+		if lsn > p.WalLSN {
+			p.WalLSN = lsn
+		}
+	}
+	st := Maintain(p, c.schema, cfg, now)
 	p.Dirty = true // the compacted shape must reach storage eventually
 	p.Unlock()
 	c.Runs.Inc()
@@ -136,7 +155,17 @@ func (c *Compactor) runOne(p *model.Profile) {
 // harness.
 func (c *Compactor) RunSync(p *model.Profile) Stats {
 	cfg := c.cfgs.Get()
+	now := c.now()
 	p.Lock()
 	defer p.Unlock()
-	return Maintain(p, c.schema, cfg, c.now())
+	if c.LogMaintain != nil {
+		lsn, err := c.LogMaintain(p.ID, now)
+		if err != nil {
+			return Stats{}
+		}
+		if lsn > p.WalLSN {
+			p.WalLSN = lsn
+		}
+	}
+	return Maintain(p, c.schema, cfg, now)
 }

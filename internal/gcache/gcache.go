@@ -22,6 +22,7 @@ import (
 	"ips/internal/metrics"
 	"ips/internal/model"
 	"ips/internal/persist"
+	"ips/internal/wire"
 )
 
 // Options configures a GCache.
@@ -90,6 +91,18 @@ type GCache struct {
 	wg      sync.WaitGroup
 	started atomic.Bool
 	closed  atomic.Bool
+
+	// OnApply, when set, is invoked under the profile's write lock before
+	// a batch of entries is applied (the write-ahead journal append). The
+	// returned LSN becomes the profile's WalLSN watermark; logging under
+	// the same lock that orders mutations guarantees log order equals
+	// apply order per profile. An error aborts the write unapplied.
+	OnApply func(id model.ProfileID, entries []wire.AddEntry) (uint64, error)
+	// OnFlush, when set, is invoked after a profile incarnation whose
+	// watermark was lsn has been durably persisted (flush thread,
+	// eviction, Drop); the journal uses it to advance its truncation
+	// watermark.
+	OnFlush func(id model.ProfileID, lsn uint64)
 
 	// loadMu serializes cache fills per profile so a thundering herd of
 	// misses issues one storage read.
@@ -175,8 +188,25 @@ func (g *GCache) Close() error {
 	return g.FlushAll()
 }
 
+// Abort stops the background threads WITHOUT flushing dirty profiles,
+// simulating a process crash for recovery tests. The cache must not be
+// used afterwards.
+func (g *GCache) Abort() {
+	if g.closed.Swap(true) {
+		return
+	}
+	if g.started.Load() {
+		close(g.stop)
+		g.wg.Wait()
+	}
+}
+
 func (g *GCache) lruShardFor(id model.ProfileID) *lruShard {
-	return g.lru[int((id*0x9e3779b97f4a7c15)>>59)%len(g.lru)]
+	// Fold with the full upper half of the mixed hash: shifting by 59
+	// keeps only 5 bits, so any LRUShards > 32 would leave the extra
+	// shards permanently empty.
+	h := id * 0x9e3779b97f4a7c15
+	return g.lru[int((h>>32)%uint64(len(g.lru)))]
 }
 
 func (g *GCache) dirtyShardFor(id model.ProfileID) *dirtyShard {
@@ -232,24 +262,80 @@ func (g *GCache) markDirty(id model.ProfileID) {
 	sh.mu.Unlock()
 }
 
-// Add performs a cached write: the profile is created or loaded, mutated
-// under its lock, LRU-touched and queued on the dirty list.
+// Add performs a cached write of a single entry; see AddEntries.
 func (g *GCache) Add(id model.ProfileID, ts model.Millis, slot model.SlotID, typ model.TypeID, fid model.FeatureID, counts []int64) error {
+	return g.AddEntries(id, []wire.AddEntry{{Timestamp: ts, Slot: slot, Type: typ, FID: fid, Counts: counts}})
+}
+
+// AddEntries performs a cached write of a batch of entries under one lock
+// hold: the profile is created or loaded, the OnApply hook (journal
+// append) runs, the entries are applied, and the profile is LRU-touched
+// and queued on the dirty list. Invalid entries are skipped with the
+// first error returned after the rest applied — Profile.Add rejects
+// deterministically, so a journal replay of the same batch converges on
+// the same state.
+func (g *GCache) AddEntries(id model.ProfileID, entries []wire.AddEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
 	p, _, err := g.getOrLoad(id, true)
 	if err != nil {
 		return err
 	}
 	p.Lock()
-	before := p.MemSize()
-	err = p.Add(g.table.Schema, ts, g.table.HeadWidth(), slot, typ, fid, counts)
-	delta := p.MemSize() - before
-	p.Unlock()
-	if err != nil {
-		return err
+	if g.OnApply != nil {
+		lsn, err := g.OnApply(id, entries)
+		if err != nil {
+			p.Unlock()
+			return err
+		}
+		if lsn > p.WalLSN {
+			p.WalLSN = lsn
+		}
 	}
+	delta, err := g.applyEntriesLocked(p, entries)
+	p.Unlock()
 	g.touch(id, delta)
 	g.markDirty(id)
-	return nil
+	return err
+}
+
+// applyEntriesLocked applies a batch to p, returning the footprint delta
+// and the first per-entry error. Caller must hold p's write lock. Both
+// the live write path and crash-recovery replay funnel through here so
+// their outcomes are byte-identical.
+func (g *GCache) applyEntriesLocked(p *model.Profile, entries []wire.AddEntry) (int64, error) {
+	before := p.MemSize()
+	var firstErr error
+	for _, e := range entries {
+		if err := p.Add(g.table.Schema, e.Timestamp, g.table.HeadWidth(), e.Slot, e.Type, e.FID, e.Counts); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return p.MemSize() - before, firstErr
+}
+
+// ApplyLogged re-applies a journaled mutation during crash recovery. The
+// profile is loaded (or created) and the entries applied only when lsn is
+// above the profile's persisted watermark; it reports whether the record
+// was applied (false means the flushed state already contained it). The
+// OnApply hook is not consulted — the record is already in the journal.
+func (g *GCache) ApplyLogged(id model.ProfileID, entries []wire.AddEntry, lsn uint64) (bool, error) {
+	p, _, err := g.getOrLoad(id, true)
+	if err != nil {
+		return false, err
+	}
+	p.Lock()
+	if lsn <= p.WalLSN {
+		p.Unlock()
+		return false, nil
+	}
+	delta, aerr := g.applyEntriesLocked(p, entries)
+	p.WalLSN = lsn
+	p.Unlock()
+	g.touch(id, delta)
+	g.markDirty(id)
+	return true, aerr
 }
 
 // Get returns the cached profile for id, loading it from persistent
@@ -392,7 +478,7 @@ func (g *GCache) flushOne(id model.ProfileID) {
 		p.RUnlock()
 		return
 	}
-	gen := p.Generation
+	gen, lsn := p.Generation, p.WalLSN
 	_, err := g.ps.Save(p)
 	p.RUnlock()
 	if err != nil {
@@ -401,6 +487,9 @@ func (g *GCache) flushOne(id model.ProfileID) {
 		return
 	}
 	g.Flushes.Inc()
+	if g.OnFlush != nil {
+		g.OnFlush(id, lsn)
+	}
 	// Clear the dirty bit only if no write landed during the flush.
 	p.Lock()
 	if p.Generation == gen {
@@ -510,6 +599,9 @@ func (g *GCache) evictFromShard(sh *lruShard) bool {
 			}
 			p.Dirty = false
 			g.Flushes.Inc()
+			if g.OnFlush != nil {
+				g.OnFlush(id, p.WalLSN)
+			}
 		}
 		g.table.Delete(id)
 		p.Unlock()
@@ -566,6 +658,9 @@ func (g *GCache) Drop(id model.ProfileID) bool {
 		}
 		p.Dirty = false
 		g.Flushes.Inc()
+		if g.OnFlush != nil {
+			g.OnFlush(id, p.WalLSN)
+		}
 	}
 	g.table.Delete(id)
 	p.Unlock()

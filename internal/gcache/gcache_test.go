@@ -10,6 +10,7 @@ import (
 	"ips/internal/kv"
 	"ips/internal/model"
 	"ips/internal/persist"
+	"ips/internal/wire"
 )
 
 func newCache(t testing.TB, opts Options) (*GCache, *model.Table, kv.Store) {
@@ -386,6 +387,116 @@ func TestNoteSizeChange(t *testing.T) {
 	g.NoteSizeChange(1, -100)
 	if g.Usage() != before-100 {
 		t.Fatal("NoteSizeChange not applied")
+	}
+}
+
+func TestLRUShardDistribution(t *testing.T) {
+	// Regression: the old fold kept only 5 hash bits (>>59), so with more
+	// than 32 shards the rest stayed permanently empty.
+	for _, shards := range []int{16, 33, 64} {
+		g, _, _ := newCache(t, Options{LRUShards: shards})
+		const n = 4096
+		for id := model.ProfileID(1); id <= n; id++ {
+			g.touch(id, 1)
+		}
+		min, max := n, 0
+		for _, sh := range g.lru {
+			sh.mu.Lock()
+			l := sh.ll.Len()
+			sh.mu.Unlock()
+			if l < min {
+				min = l
+			}
+			if l > max {
+				max = l
+			}
+		}
+		if min == 0 {
+			t.Fatalf("shards=%d: some LRU shards never receive profiles", shards)
+		}
+		mean := n / shards
+		if max > 4*mean {
+			t.Fatalf("shards=%d: unbalanced shard sizes min=%d max=%d mean=%d", shards, min, max, mean)
+		}
+	}
+}
+
+func TestOnApplyOrdersJournalWithMutation(t *testing.T) {
+	g, _, _ := newCache(t, Options{})
+	var lsn uint64
+	var logged [][]wire.AddEntry
+	g.OnApply = func(id model.ProfileID, entries []wire.AddEntry) (uint64, error) {
+		lsn++
+		logged = append(logged, entries)
+		return lsn, nil
+	}
+	var flushed []uint64
+	g.OnFlush = func(id model.ProfileID, l uint64) { flushed = append(flushed, l) }
+
+	entries := []wire.AddEntry{
+		{Timestamp: 5000, Slot: 1, Type: 1, FID: 7, Counts: []int64{1, 0}},
+		{Timestamp: 6000, Slot: 1, Type: 1, FID: 8, Counts: []int64{0, 2}},
+	}
+	if err := g.AddEntries(3, entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(3, 7000, 1, 1, 9, []int64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if len(logged) != 2 {
+		t.Fatalf("OnApply calls = %d, want 2", len(logged))
+	}
+	p, _, _ := g.Get(3)
+	p.RLock()
+	wal := p.WalLSN
+	p.RUnlock()
+	if wal != 2 {
+		t.Fatalf("WalLSN = %d, want 2", wal)
+	}
+	if err := g.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(flushed) != 1 || flushed[0] != 2 {
+		t.Fatalf("OnFlush lsns = %v, want [2]", flushed)
+	}
+}
+
+func TestOnApplyErrorAbortsWrite(t *testing.T) {
+	g, tbl, _ := newCache(t, Options{})
+	wantErr := fmt.Errorf("journal down")
+	g.OnApply = func(model.ProfileID, []wire.AddEntry) (uint64, error) { return 0, wantErr }
+	if err := g.Add(1, 5000, 1, 1, 7, []int64{1, 0}); err != wantErr {
+		t.Fatalf("err = %v, want journal error", err)
+	}
+	p := tbl.Get(1)
+	p.RLock()
+	defer p.RUnlock()
+	if p.NumFeatures() != 0 || p.Dirty {
+		t.Fatal("write applied despite journal failure")
+	}
+}
+
+func TestApplyLoggedSkipsBelowWatermark(t *testing.T) {
+	g, _, _ := newCache(t, Options{})
+	e := []wire.AddEntry{{Timestamp: 5000, Slot: 1, Type: 1, FID: 7, Counts: []int64{1, 0}}}
+	applied, err := g.ApplyLogged(1, e, 3)
+	if err != nil || !applied {
+		t.Fatalf("ApplyLogged(3) = %v, %v", applied, err)
+	}
+	// Replaying the same or an older LSN is a no-op.
+	applied, err = g.ApplyLogged(1, e, 3)
+	if err != nil || applied {
+		t.Fatalf("replay of lsn 3 applied twice")
+	}
+	applied, err = g.ApplyLogged(1, e, 4)
+	if err != nil || !applied {
+		t.Fatalf("ApplyLogged(4) = %v, %v", applied, err)
+	}
+	p, _, _ := g.Get(1)
+	p.RLock()
+	defer p.RUnlock()
+	if got := p.Slices()[0].Slot(1).Get(1).Get(7)[0]; got != 2 {
+		t.Fatalf("counts[0] = %d, want 2 (two applied records)", got)
 	}
 }
 

@@ -54,7 +54,9 @@ type Pipeline struct {
 	PollBatch int
 
 	joiner *Joiner
-	// offsets[topic][partition] is the consumer position.
+	// offsets[topic][partition] is the consumer position, guarded by
+	// offMu so checkpointers can snapshot it while the drain loop runs.
+	offMu   sync.Mutex
 	offsets map[string][]int64
 
 	mu      sync.Mutex
@@ -164,13 +166,18 @@ func (p *Pipeline) drainTopic(topic string, handle func(*Event)) int {
 	if parts == 0 {
 		return 0
 	}
-	if p.offsets[topic] == nil {
-		p.offsets[topic] = make([]int64, parts)
+	p.offMu.Lock()
+	for len(p.offsets[topic]) < parts {
+		p.offsets[topic] = append(p.offsets[topic], 0)
 	}
+	p.offMu.Unlock()
 	total := 0
 	for part := 0; part < parts; part++ {
 		for {
-			msgs, err := p.Log.Poll(topic, part, p.offsets[topic][part], p.PollBatch)
+			p.offMu.Lock()
+			off := p.offsets[topic][part]
+			p.offMu.Unlock()
+			msgs, err := p.Log.Poll(topic, part, off, p.PollBatch)
 			if err != nil || len(msgs) == 0 {
 				break
 			}
@@ -178,12 +185,42 @@ func (p *Pipeline) drainTopic(topic string, handle func(*Event)) int {
 				if ev, err := DecodeEvent(m.Value); err == nil {
 					handle(ev)
 				}
-				p.offsets[topic][part] = m.Offset + 1
+				off = m.Offset + 1
 			}
+			// Advance only after the batch was handed to the joiner; the
+			// lock is not held across handle so a concurrent checkpoint
+			// never observes positions ahead of delivered events.
+			p.offMu.Lock()
+			p.offsets[topic][part] = off
+			p.offMu.Unlock()
 			total += len(msgs)
 		}
 	}
 	return total
+}
+
+// Offsets returns a deep copy of the consumer positions per topic, for
+// checkpointing (e.g. into the mutation journal alongside the writes the
+// consumed events produced).
+func (p *Pipeline) Offsets() map[string][]int64 {
+	p.offMu.Lock()
+	defer p.offMu.Unlock()
+	out := make(map[string][]int64, len(p.offsets))
+	for t, offs := range p.offsets {
+		out[t] = append([]int64(nil), offs...)
+	}
+	return out
+}
+
+// SetOffsets restores checkpointed consumer positions. Call before Start
+// or the first RunOnce so a restarted pipeline resumes where the previous
+// incarnation stopped instead of re-reading every topic from offset 0.
+func (p *Pipeline) SetOffsets(offsets map[string][]int64) {
+	p.offMu.Lock()
+	defer p.offMu.Unlock()
+	for t, offs := range offsets {
+		p.offsets[t] = append([]int64(nil), offs...)
+	}
 }
 
 // Start launches continuous consumption at the given poll interval.

@@ -32,10 +32,13 @@ type Disk struct {
 	path   string
 	closed bool
 	// SyncEvery forces an fsync every N appended records; 0 disables
-	// fsync (fastest, loses the tail on power failure — acceptable for
-	// IPS, which tolerates small data loss by design).
+	// per-record fsync (fastest, loses the tail on power failure —
+	// acceptable for IPS, which tolerates small data loss by design).
+	// Close always fsyncs regardless of SyncEvery: a clean shutdown must
+	// leave nothing in the kernel page cache.
 	SyncEvery int
 	sinceSync int
+	syncs     int64
 }
 
 const (
@@ -190,10 +193,18 @@ func (d *Disk) append(op byte, version uint64, key string, value []byte) error {
 		d.sinceSync++
 		if d.sinceSync >= d.SyncEvery {
 			d.sinceSync = 0
+			d.syncs++
 			return d.f.Sync()
 		}
 	}
 	return nil
+}
+
+// Syncs returns the number of fsyncs issued, for durability tests.
+func (d *Disk) Syncs() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.syncs
 }
 
 // Set implements Store.
@@ -294,5 +305,12 @@ func (d *Disk) Close() error {
 		d.f.Close()
 		return err
 	}
+	// Flush only moved the tail into the kernel page cache; without this
+	// fsync a post-Close power loss could still drop acknowledged writes.
+	if err := d.f.Sync(); err != nil {
+		d.f.Close()
+		return err
+	}
+	d.syncs++
 	return d.f.Close()
 }

@@ -247,6 +247,104 @@ func TestDiskCorruptTailTruncated(t *testing.T) {
 	}
 }
 
+func TestDiskCloseSyncs(t *testing.T) {
+	// Regression: Close used to flush the bufio layer but never fsync, so
+	// a clean shutdown could still lose the tail to a power failure.
+	path := filepath.Join(t.TempDir(), "kv.log")
+	d, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Set("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Syncs(); got != 0 {
+		t.Fatalf("syncs before close = %d, want 0 (SyncEvery disabled)", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.syncs; got != 1 {
+		t.Fatalf("syncs after close = %d, want 1", got)
+	}
+
+	// SyncEvery still counts its periodic fsyncs on top of the final one.
+	d2, err := OpenDisk(filepath.Join(t.TempDir(), "kv2.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.SyncEvery = 2
+	for i := 0; i < 5; i++ {
+		if err := d2.Set(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d2.Syncs(); got != 2 {
+		t.Fatalf("periodic syncs = %d, want 2", got)
+	}
+	if err := d2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.syncs; got != 3 {
+		t.Fatalf("syncs after close = %d, want 3", got)
+	}
+}
+
+func TestDiskTornTailEveryByte(t *testing.T) {
+	// Truncating a valid log at every byte boundary must recover exactly
+	// the records whose frames fit the remaining prefix — the longest good
+	// prefix, never an error, never a partial record.
+	path := filepath.Join(t.TempDir(), "kv.log")
+	d, err := OpenDisk(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	for i := 0; i < n; i++ {
+		if err := d.Set(fmt.Sprintf("key%d", i), []byte(fmt.Sprintf("val%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw)%n != 0 {
+		t.Fatalf("expected %d equal-size records, file is %d bytes", n, len(raw))
+	}
+	recSize := len(raw) / n
+	for cut := 0; cut <= len(raw); cut++ {
+		p := filepath.Join(t.TempDir(), "cut.log")
+		if err := os.WriteFile(p, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dc, err := OpenDisk(p)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		want := cut / recSize
+		if got := dc.Len(); got != want {
+			t.Fatalf("cut %d: recovered %d keys, want %d", cut, got, want)
+		}
+		for i := 0; i < want; i++ {
+			if v, err := dc.Get(fmt.Sprintf("key%d", i)); err != nil || string(v) != fmt.Sprintf("val%d", i) {
+				t.Fatalf("cut %d: key%d = %q, %v", cut, i, v, err)
+			}
+		}
+		if err := dc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Reopen truncated the torn bytes away, so the file is now exactly
+		// the surviving records.
+		if fi, err := os.Stat(p); err != nil || fi.Size() != int64(want*recSize) {
+			t.Fatalf("cut %d: file size %d after recovery, want %d", cut, fi.Size(), want*recSize)
+		}
+	}
+}
+
 func TestDiskRecoveryProperty(t *testing.T) {
 	// Property: any sequence of sets/deletes is fully recovered by reopen.
 	f := func(ops []struct {

@@ -15,6 +15,7 @@ const (
 	fProfileID    = 1
 	fProfileSlice = 2
 	fProfileGen   = 3
+	fProfileWal   = 4
 
 	fSliceStart  = 1
 	fSliceEnd    = 2
@@ -37,6 +38,9 @@ func MarshalProfile(p *Profile) []byte {
 	var e codec.Buffer
 	e.Uint64(fProfileID, p.ID)
 	e.Uint64(fProfileGen, p.Generation)
+	if p.WalLSN != 0 {
+		e.Uint64(fProfileWal, p.WalLSN)
+	}
 	for _, s := range p.slices {
 		e.Message(fProfileSlice, func(se *codec.Buffer) {
 			encodeSlice(se, s)
@@ -111,6 +115,12 @@ func UnmarshalProfile(data []byte) (*Profile, error) {
 				return nil, err
 			}
 			p.Generation = g
+		case fProfileWal:
+			l, err := r.Uint64()
+			if err != nil {
+				return nil, err
+			}
+			p.WalLSN = l
 		case fProfileSlice:
 			sub, err := r.Message()
 			if err != nil {

@@ -28,6 +28,12 @@ type Profile struct {
 	// Generation counts mutations, used by the fine-grained persistence
 	// mode to version slice metadata (§III-E, Fig. 14).
 	Generation uint64
+	// WalLSN is the journal sequence number of the most recent logged
+	// mutation applied to this profile; it is persisted alongside the
+	// profile so crash recovery replays only the journal suffix with
+	// LSN > WalLSN. Maintained by callers holding mu; stays 0 when
+	// journaling is disabled.
+	WalLSN uint64
 }
 
 // NewProfile creates an empty profile.
@@ -230,6 +236,7 @@ func (p *Profile) Clone() *Profile {
 		c.slices[i] = s.Clone()
 	}
 	c.Generation = p.Generation
+	c.WalLSN = p.WalLSN
 	c.RecomputeMemSize()
 	return c
 }

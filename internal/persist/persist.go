@@ -187,12 +187,16 @@ type sliceMeta struct {
 // meta is the versioned profile metadata value.
 type meta struct {
 	Generation uint64
-	Slices     []sliceMeta
+	// WalLSN is the crash-recovery watermark the profile carried when its
+	// meta was written; recovery replays only journal records above it.
+	WalLSN uint64
+	Slices []sliceMeta
 }
 
 const (
 	fMetaGen   = 1
 	fMetaSlice = 2
+	fMetaWal   = 3
 	fSMStart   = 1
 	fSMEnd     = 2
 )
@@ -200,6 +204,9 @@ const (
 func encodeMeta(m meta) []byte {
 	var e codec.Buffer
 	e.Uint64(fMetaGen, m.Generation)
+	if m.WalLSN != 0 {
+		e.Uint64(fMetaWal, m.WalLSN)
+	}
 	for _, sm := range m.Slices {
 		e.Message(fMetaSlice, func(se *codec.Buffer) {
 			se.Int64(fSMStart, sm.Start)
@@ -220,6 +227,10 @@ func decodeMeta(data []byte) (meta, error) {
 		switch field {
 		case fMetaGen:
 			if m.Generation, err = r.Uint64(); err != nil {
+				return m, err
+			}
+		case fMetaWal:
+			if m.WalLSN, err = r.Uint64(); err != nil {
 				return m, err
 			}
 		case fMetaSlice:
@@ -265,7 +276,7 @@ func decodeMeta(data []byte) (meta, error) {
 func (ps *Persister) saveFine(p *model.Profile) (int, error) {
 	var total int
 	slices := p.Slices()
-	m := meta{Generation: p.Generation, Slices: make([]sliceMeta, len(slices))}
+	m := meta{Generation: p.Generation, WalLSN: p.WalLSN, Slices: make([]sliceMeta, len(slices))}
 
 	var prints map[string]uint64
 	if ps.Incremental {
@@ -370,6 +381,7 @@ func (ps *Persister) loadFine(id model.ProfileID) (*model.Profile, error) {
 	p.Lock()
 	p.ReplaceSlices(slices)
 	p.Generation = m.Generation
+	p.WalLSN = m.WalLSN
 	p.Dirty = false
 	p.Unlock()
 	return p, nil

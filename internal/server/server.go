@@ -26,6 +26,7 @@ import (
 	"ips/internal/persist"
 	"ips/internal/query"
 	"ips/internal/quota"
+	"ips/internal/wal"
 	"ips/internal/wire"
 )
 
@@ -52,15 +53,21 @@ type Options struct {
 	// Clock supplies "now" in Unix millis; nil uses wall time. The
 	// benchmark harness injects accelerated clocks here.
 	Clock func() model.Millis
+	// Journal, when set, is the write-ahead mutation journal: every add,
+	// delete and compaction is logged before it is applied, closing the
+	// write-back loss window, and CreateTable replays the unflushed
+	// journal suffix into the cache before serving (crash recovery).
+	Journal *wal.Journal
 }
 
 // Instance is one IPS server node.
 type Instance struct {
-	name   string
-	region string
-	cfgs   *config.Store
-	store  kv.Store
-	clock  func() model.Millis
+	name    string
+	region  string
+	cfgs    *config.Store
+	store   kv.Store
+	clock   func() model.Millis
+	journal *wal.Journal
 
 	mu     sync.RWMutex
 	tables map[string]*tableState
@@ -122,6 +129,7 @@ func New(opts Options) (*Instance, error) {
 		cfgs:      cfgs,
 		store:     opts.Store,
 		clock:     clock,
+		journal:   opts.Journal,
 		tables:    make(map[string]*tableState),
 		limiter:   quota.NewLimiter(opts.DefaultQuotaQPS),
 		udafs:     query.NewRegistry(),
@@ -204,7 +212,6 @@ func (in *Instance) CreateTable(name string, schema *model.Schema) error {
 	if err != nil {
 		return err
 	}
-	cache.Start()
 	comp := compact.NewCompactor(schema, in.cfgs, in.clock)
 	// Background maintenance must keep cache accounting truthful and
 	// queue the compacted profile for re-flush.
@@ -212,14 +219,107 @@ func (in *Instance) CreateTable(name string, schema *model.Schema) error {
 		cache.NoteSizeChange(id, delta)
 		cache.MarkDirty(id)
 	}
-	comp.Start()
-	in.tables[name] = &tableState{
+	ts := &tableState{
 		schema:   schema,
 		main:     main,
 		cache:    cache,
 		comp:     comp,
 		ps:       ps,
 		writeTbl: model.NewTable(name+"#write", schema, head),
+	}
+	if jn := in.journal; jn != nil {
+		// Replay the unflushed journal suffix BEFORE wiring the hooks (so
+		// replayed mutations are not re-journaled) and before background
+		// threads start.
+		if err := in.replayTable(ts); err != nil {
+			return fmt.Errorf("server: journal replay for table %q: %w", name, err)
+		}
+		cache.OnApply = func(id model.ProfileID, entries []wire.AddEntry) (uint64, error) {
+			return jn.AppendAdd(name, id, entries)
+		}
+		cache.OnFlush = func(id model.ProfileID, lsn uint64) {
+			jn.NoteFlushed(name, id, lsn)
+		}
+		comp.LogMaintain = func(id model.ProfileID, now model.Millis) (uint64, error) {
+			return jn.AppendCompact(name, id, now)
+		}
+	}
+	cache.Start()
+	comp.Start()
+	in.tables[name] = ts
+	return nil
+}
+
+// replayTable re-applies the journal's records for one table in LSN order
+// into a freshly built tableState. Each record is applied only when its
+// LSN exceeds the WalLSN watermark of the profile's persisted base —
+// records whose effects already reached storage are skipped and marked
+// flushed. Called from CreateTable with in.mu held; uses ts directly.
+func (in *Instance) replayTable(ts *tableState) error {
+	name := ts.main.Name
+	for _, rec := range in.journal.Records() {
+		if rec.Table != name {
+			continue
+		}
+		switch rec.Op {
+		case wal.OpAdd:
+			applied, err := ts.cache.ApplyLogged(rec.Profile, rec.Entries, rec.LSN)
+			if err != nil && !applied {
+				return err // storage load failure, not a per-entry reject
+			}
+			if !applied {
+				in.journal.NoteFlushed(name, rec.Profile, rec.LSN)
+			}
+		case wal.OpDelete:
+			p, _, err := ts.cache.Get(rec.Profile)
+			if err != nil {
+				return err
+			}
+			if p != nil {
+				p.Lock()
+				if p.WalLSN >= rec.LSN {
+					// The persisted base postdates the delete: the profile
+					// was recreated and flushed again before the crash.
+					p.Unlock()
+					in.journal.NoteFlushed(name, rec.Profile, rec.LSN)
+					continue
+				}
+				p.Dirty = false
+				size := p.MemSize()
+				ts.main.Delete(rec.Profile)
+				p.Unlock()
+				ts.cache.NoteSizeChange(rec.Profile, -size)
+			}
+			if err := ts.ps.Delete(rec.Profile); err != nil && !errors.Is(err, kv.ErrNotFound) {
+				return err
+			}
+			in.journal.NoteFlushed(name, rec.Profile, rec.LSN)
+		case wal.OpCompact:
+			p, _, err := ts.cache.Get(rec.Profile)
+			if err != nil {
+				return err
+			}
+			applied := false
+			var delta int64
+			if p != nil {
+				cfg := in.cfgs.Get()
+				p.Lock()
+				if rec.LSN > p.WalLSN {
+					st := compact.Maintain(p, ts.schema, cfg, rec.Now)
+					p.WalLSN = rec.LSN
+					p.Dirty = true
+					delta = st.BytesAfter - st.BytesBefore
+					applied = true
+				}
+				p.Unlock()
+			}
+			if applied {
+				ts.cache.NoteSizeChange(rec.Profile, delta)
+				ts.cache.MarkDirty(rec.Profile)
+			} else {
+				in.journal.NoteFlushed(name, rec.Profile, rec.LSN)
+			}
+		}
 	}
 	return nil
 }
@@ -268,10 +368,11 @@ func (in *Instance) Add(caller, table string, id model.ProfileID, entries []wire
 	if cfg.WriteIsolation {
 		return in.addIsolated(ts, cfg, id, entries)
 	}
-	for _, en := range entries {
-		if err := ts.cache.Add(id, en.Timestamp, en.Slot, en.Type, en.FID, en.Counts); err != nil {
-			return err
-		}
+	// One batched cache write: the whole request is journaled and applied
+	// under a single profile lock hold, so the journal's record order
+	// matches the apply order.
+	if err := ts.cache.AddEntries(id, entries); err != nil {
+		return err
 	}
 	in.maybeCompact(ts, id)
 	return nil
@@ -282,15 +383,31 @@ func (in *Instance) Add(caller, table string, id model.ProfileID, entries []wire
 func (in *Instance) addIsolated(ts *tableState, cfg config.Config, id model.ProfileID, entries []wire.AddEntry) error {
 	ts.writeMu.Lock()
 	defer ts.writeMu.Unlock()
+	// Journal before mutating; writeMu orders isolated appends, so log
+	// order equals apply order. The write profile carries the LSN until
+	// merge folds it into the main profile's watermark.
+	var lsn uint64
+	if in.journal != nil {
+		var jerr error
+		lsn, jerr = in.journal.AppendAdd(ts.main.Name, id, entries)
+		if jerr != nil {
+			return jerr
+		}
+	}
 	p, _ := ts.writeTbl.GetOrCreate(id)
 	p.Lock()
 	before := p.MemSize()
 	var err error
 	for _, en := range entries {
-		if e := p.Add(ts.schema, en.Timestamp, ts.writeTbl.HeadWidth(), en.Slot, en.Type, en.FID, en.Counts); e != nil {
+		// Skip invalid entries rather than stopping: replay applies the
+		// whole journaled batch the same way, so live and recovered
+		// states stay identical.
+		if e := p.Add(ts.schema, en.Timestamp, ts.writeTbl.HeadWidth(), en.Slot, en.Type, en.FID, en.Counts); e != nil && err == nil {
 			err = e
-			break
 		}
+	}
+	if lsn > p.WalLSN {
+		p.WalLSN = lsn
 	}
 	ts.writeBytes += p.MemSize() - before
 	p.Unlock()
@@ -369,6 +486,9 @@ func (in *Instance) mergeWriteTableLocked(ts *tableState) {
 					})
 				})
 			})
+		}
+		if wp.WalLSN > mp.WalLSN {
+			mp.WalLSN = wp.WalLSN
 		}
 		delta := mp.MemSize() - before
 		mp.Unlock()
@@ -506,6 +626,14 @@ func (in *Instance) DeleteProfile(table string, id model.ProfileID) error {
 	if err != nil {
 		return err
 	}
+	// Journal the delete before applying it; the storage delete below is
+	// synchronous, so on success the record is immediately marked flushed.
+	var lsn uint64
+	if in.journal != nil {
+		if lsn, err = in.journal.AppendDelete(ts.main.Name, id); err != nil {
+			return err
+		}
+	}
 	ts.writeMu.Lock()
 	if wp := ts.writeTbl.Get(id); wp != nil {
 		wp.Lock()
@@ -524,7 +652,13 @@ func (in *Instance) DeleteProfile(table string, id model.ProfileID) error {
 		p.Unlock()
 		ts.cache.NoteSizeChange(id, -size)
 	}
-	return ts.ps.Delete(id)
+	if err := ts.ps.Delete(id); err != nil && !errors.Is(err, kv.ErrNotFound) {
+		return err
+	}
+	if in.journal != nil {
+		in.journal.NoteFlushed(ts.main.Name, id, lsn)
+	}
+	return nil
 }
 
 // EvictProfile flushes and drops one profile from table's cache so the
@@ -571,6 +705,23 @@ func (in *Instance) FlushAll() error {
 		}
 	}
 	return nil
+}
+
+// Abort stops background work WITHOUT merging write buffers or flushing
+// dirty profiles, simulating a process crash for recovery tests. Only
+// journaled state survives an Abort.
+func (in *Instance) Abort() {
+	if in.closed.Swap(true) {
+		return
+	}
+	close(in.stop)
+	in.wg.Wait()
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	for _, ts := range in.tables {
+		ts.comp.Close()
+		ts.cache.Abort()
+	}
 }
 
 // Close merges pending writes, stops background work and flushes.

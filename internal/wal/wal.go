@@ -1,0 +1,698 @@
+// Package wal implements the per-instance mutation journal that closes
+// GCache's write-back loss window. The cache acknowledges a write the
+// moment it lands in dirty memory (§III-C); without a journal, a process
+// crash silently loses every acknowledged write since the last flush. The
+// journal logs each mutation — profile adds, deletes, compaction passes —
+// *before* it is applied to the cache, so a restarted instance can replay
+// the unflushed suffix and recover exactly the acknowledged state.
+//
+// The on-disk format reuses the CRC-framed append-only record layout
+// proven in kv.Disk:
+//
+//	u32 crc (of everything after this field)
+//	u8  op (1=add, 2=delete, 3=compact, 4=offsets)
+//	u64 lsn
+//	u32 payloadLen, payload bytes (codec-encoded record body)
+//
+// Replay idempotence comes from the flushed watermark embedded in every
+// persisted profile (model.Profile.WalLSN): a record is applied on
+// recovery only when its LSN exceeds the watermark the loaded profile
+// carries, so a flush that raced the crash is never double-applied.
+//
+// Truncation: flush threads report durable (table, profile, lsn)
+// watermarks via NoteFlushed; once enough flushed bytes accumulate the
+// journal rewrites itself keeping only the unflushed suffix (plus the
+// latest consumer-offset checkpoint per pipeline), bounding its size to
+// the dirty set.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ips/internal/codec"
+	"ips/internal/model"
+	"ips/internal/wire"
+)
+
+// Op identifies a journal record type.
+type Op uint8
+
+// Journal record types.
+const (
+	// OpAdd logs one acknowledged Add call (all its entries).
+	OpAdd Op = 1
+	// OpDelete logs a profile deletion.
+	OpDelete Op = 2
+	// OpCompact logs a maintenance pass with the clock it ran at, so
+	// replay truncates history identically.
+	OpCompact Op = 3
+	// OpOffsets checkpoints an ingestion pipeline's consumer offsets.
+	OpOffsets Op = 4
+)
+
+// Record is one journal entry. Mutation records (add/delete/compact)
+// carry Table and Profile; offset checkpoints carry Name and Offsets.
+type Record struct {
+	LSN     uint64
+	Op      Op
+	Table   string
+	Profile model.ProfileID
+	Entries []wire.AddEntry // OpAdd
+	Now     model.Millis    // OpCompact: the maintenance clock
+	Name    string          // OpOffsets: pipeline identifier
+	Offsets map[string][]int64
+
+	frame []byte // the full on-disk frame, retained for journal rewrites
+}
+
+// Payload field numbers.
+const (
+	fRecTable   = 1
+	fRecProfile = 2
+	fRecEntry   = 3
+	fRecNow     = 4
+	fRecName    = 5
+	fRecTopic   = 6
+
+	fEntryTS     = 1
+	fEntrySlot   = 2
+	fEntryType   = 3
+	fEntryFID    = 4
+	fEntryCounts = 5
+
+	fTopicName    = 1
+	fTopicOffsets = 2
+)
+
+// Options tunes a Journal.
+type Options struct {
+	// SyncEvery forces an fsync every N appended records; 0 disables
+	// fsync. The bufio writer is flushed on every append regardless, so
+	// acknowledged records survive a process crash either way; fsync is
+	// only needed to additionally survive power loss (matching the
+	// kv.Disk policy).
+	SyncEvery int
+	// CompactMinBytes is the flushed-byte threshold that triggers an
+	// automatic journal rewrite; <= 0 uses 1 MiB. Set very large to make
+	// compaction effectively manual (tests call Compact directly).
+	CompactMinBytes int64
+}
+
+// Journal is a crash-consistency mutation log. All methods are safe for
+// concurrent use.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	path string
+	opts Options
+
+	nextLSN uint64
+	// records holds the retained mutation records in LSN order: the
+	// unflushed suffix plus flushed records not yet compacted away.
+	records []Record
+	// offsets holds the latest consumer-offset checkpoint per pipeline
+	// name; retained across rewrites.
+	offsets map[string]Record
+	// pending maps a profile key to its unflushed record LSNs+sizes in
+	// ascending order; the truncation watermark is the minimum head.
+	pending map[string][]pendingRec
+
+	flushedBytes int64 // droppable bytes accumulated since the last rewrite
+	size         int64 // current file size
+	sinceSync    int
+	closed       bool
+
+	// Counters for the bench harness (read via Stats).
+	appends     int64
+	appendBytes int64
+	compactions int64
+	syncs       int64
+}
+
+type pendingRec struct {
+	lsn  uint64
+	size int64
+}
+
+func profileKey(table string, id model.ProfileID) string {
+	return table + "\x00" + fmt.Sprintf("%x", uint64(id))
+}
+
+// Open opens (or creates) the journal at path, replaying any existing
+// records into memory and truncating a torn tail (the remains of a crashed
+// append) exactly as kv.Disk does.
+func Open(path string, opts Options) (*Journal, error) {
+	if opts.CompactMinBytes <= 0 {
+		opts.CompactMinBytes = 1 << 20
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("wal: mkdir: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	j := &Journal{
+		f: f, path: path, opts: opts,
+		nextLSN: 1,
+		offsets: make(map[string]Record),
+		pending: make(map[string][]pendingRec),
+	}
+	if err := j.replay(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.w = bufio.NewWriter(f)
+	return j, nil
+}
+
+// replay loads the journal into memory, stopping at (and truncating) the
+// first corrupt or torn record.
+func (j *Journal) replay() error {
+	r := bufio.NewReader(j.f)
+	var off int64
+	for {
+		rec, n, err := readFrame(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if terr := j.f.Truncate(off); terr != nil {
+				return fmt.Errorf("wal: truncate torn tail: %w", terr)
+			}
+			break
+		}
+		off += int64(n)
+		j.admit(rec)
+		if rec.LSN >= j.nextLSN {
+			j.nextLSN = rec.LSN + 1
+		}
+	}
+	j.size = off
+	return nil
+}
+
+// admit registers a decoded record in the in-memory state.
+func (j *Journal) admit(rec Record) {
+	if rec.Op == OpOffsets {
+		j.offsets[rec.Name] = rec
+		return
+	}
+	j.records = append(j.records, rec)
+	key := profileKey(rec.Table, rec.Profile)
+	j.pending[key] = append(j.pending[key], pendingRec{lsn: rec.LSN, size: int64(len(rec.frame))})
+}
+
+// encodeEntries writes the add-entry list into the payload buffer.
+func encodeEntries(e *codec.Buffer, entries []wire.AddEntry) {
+	for _, en := range entries {
+		e.Message(fRecEntry, func(se *codec.Buffer) {
+			se.Int64(fEntryTS, en.Timestamp)
+			se.Uint32(fEntrySlot, en.Slot)
+			se.Uint32(fEntryType, en.Type)
+			se.Uint64(fEntryFID, en.FID)
+			se.PackedI64(fEntryCounts, en.Counts)
+		})
+	}
+}
+
+func decodeEntry(r *codec.Reader) (wire.AddEntry, error) {
+	var en wire.AddEntry
+	for !r.Done() {
+		field, wt, err := r.Next()
+		if err != nil {
+			return en, err
+		}
+		switch field {
+		case fEntryTS:
+			if en.Timestamp, err = r.Int64(); err != nil {
+				return en, err
+			}
+		case fEntrySlot:
+			if en.Slot, err = r.Uint32(); err != nil {
+				return en, err
+			}
+		case fEntryType:
+			if en.Type, err = r.Uint32(); err != nil {
+				return en, err
+			}
+		case fEntryFID:
+			if en.FID, err = r.Uint64(); err != nil {
+				return en, err
+			}
+		case fEntryCounts:
+			if en.Counts, err = r.PackedI64(); err != nil {
+				return en, err
+			}
+		default:
+			if err := r.Skip(wt); err != nil {
+				return en, err
+			}
+		}
+	}
+	return en, nil
+}
+
+func encodePayload(rec *Record) []byte {
+	var e codec.Buffer
+	switch rec.Op {
+	case OpAdd:
+		e.String(fRecTable, rec.Table)
+		e.Uint64(fRecProfile, rec.Profile)
+		encodeEntries(&e, rec.Entries)
+	case OpDelete:
+		e.String(fRecTable, rec.Table)
+		e.Uint64(fRecProfile, rec.Profile)
+	case OpCompact:
+		e.String(fRecTable, rec.Table)
+		e.Uint64(fRecProfile, rec.Profile)
+		e.Int64(fRecNow, rec.Now)
+	case OpOffsets:
+		e.String(fRecName, rec.Name)
+		for topic, offs := range rec.Offsets {
+			e.Message(fRecTopic, func(te *codec.Buffer) {
+				te.String(fTopicName, topic)
+				te.PackedI64(fTopicOffsets, offs)
+			})
+		}
+	}
+	return append([]byte(nil), e.Bytes()...)
+}
+
+func decodePayload(rec *Record, payload []byte) error {
+	r := codec.NewReader(payload)
+	for !r.Done() {
+		field, wt, err := r.Next()
+		if err != nil {
+			return err
+		}
+		switch field {
+		case fRecTable:
+			if rec.Table, err = r.String(); err != nil {
+				return err
+			}
+		case fRecProfile:
+			if rec.Profile, err = r.Uint64(); err != nil {
+				return err
+			}
+		case fRecEntry:
+			sub, err := r.Message()
+			if err != nil {
+				return err
+			}
+			en, err := decodeEntry(sub)
+			if err != nil {
+				return err
+			}
+			rec.Entries = append(rec.Entries, en)
+		case fRecNow:
+			if rec.Now, err = r.Int64(); err != nil {
+				return err
+			}
+		case fRecName:
+			if rec.Name, err = r.String(); err != nil {
+				return err
+			}
+		case fRecTopic:
+			sub, err := r.Message()
+			if err != nil {
+				return err
+			}
+			var name string
+			var offs []int64
+			for !sub.Done() {
+				f2, wt2, err := sub.Next()
+				if err != nil {
+					return err
+				}
+				switch f2 {
+				case fTopicName:
+					if name, err = sub.String(); err != nil {
+						return err
+					}
+				case fTopicOffsets:
+					if offs, err = sub.PackedI64(); err != nil {
+						return err
+					}
+				default:
+					if err := sub.Skip(wt2); err != nil {
+						return err
+					}
+				}
+			}
+			if rec.Offsets == nil {
+				rec.Offsets = make(map[string][]int64)
+			}
+			rec.Offsets[name] = offs
+		default:
+			if err := r.Skip(wt); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+const (
+	frameHdrLen = 4 + 1 + 8 + 4
+	maxPayload  = 1 << 30
+)
+
+// buildFrame renders a record to its on-disk frame.
+func buildFrame(op Op, lsn uint64, payload []byte) []byte {
+	frame := make([]byte, frameHdrLen+len(payload))
+	frame[4] = byte(op)
+	binary.LittleEndian.PutUint64(frame[5:], lsn)
+	binary.LittleEndian.PutUint32(frame[13:], uint32(len(payload)))
+	copy(frame[frameHdrLen:], payload)
+	binary.LittleEndian.PutUint32(frame[0:], crc32.ChecksumIEEE(frame[4:]))
+	return frame
+}
+
+// readFrame reads and verifies one frame.
+func readFrame(r *bufio.Reader) (Record, int, error) {
+	var hdr [frameHdrLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return Record{}, 0, errors.New("wal: torn record header")
+		}
+		return Record{}, 0, err
+	}
+	crc := binary.LittleEndian.Uint32(hdr[0:])
+	op := Op(hdr[4])
+	lsn := binary.LittleEndian.Uint64(hdr[5:])
+	plen := binary.LittleEndian.Uint32(hdr[13:])
+	if plen > maxPayload {
+		return Record{}, 0, errors.New("wal: absurd payload length")
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Record{}, 0, errors.New("wal: torn payload")
+	}
+	h := crc32.NewIEEE()
+	h.Write(hdr[4:])
+	h.Write(payload)
+	if h.Sum32() != crc {
+		return Record{}, 0, errors.New("wal: crc mismatch")
+	}
+	rec := Record{LSN: lsn, Op: op}
+	if err := decodePayload(&rec, payload); err != nil {
+		return Record{}, 0, fmt.Errorf("wal: payload: %w", err)
+	}
+	frame := make([]byte, 0, frameHdrLen+len(payload))
+	frame = append(frame, hdr[:]...)
+	rec.frame = append(frame, payload...)
+	return rec, frameHdrLen + int(plen), nil
+}
+
+// ErrClosed reports an operation on a closed journal.
+var ErrClosed = errors.New("wal: journal closed")
+
+// append writes the record durably and registers it; caller holds j.mu.
+func (j *Journal) appendLocked(rec Record) (uint64, error) {
+	if j.closed {
+		return 0, ErrClosed
+	}
+	rec.LSN = j.nextLSN
+	rec.frame = buildFrame(rec.Op, rec.LSN, encodePayload(&rec))
+	if _, err := j.w.Write(rec.frame); err != nil {
+		return 0, err
+	}
+	// Flush to the OS on every append: the record now survives a process
+	// crash, which is the failure mode the write-back window leaks under.
+	if err := j.w.Flush(); err != nil {
+		return 0, err
+	}
+	if j.opts.SyncEvery > 0 {
+		j.sinceSync++
+		if j.sinceSync >= j.opts.SyncEvery {
+			j.sinceSync = 0
+			if err := j.f.Sync(); err != nil {
+				return 0, err
+			}
+			j.syncs++
+		}
+	}
+	j.nextLSN++
+	j.size += int64(len(rec.frame))
+	j.appends++
+	j.appendBytes += int64(len(rec.frame))
+	j.admit(rec)
+	return rec.LSN, nil
+}
+
+// AppendAdd logs one acknowledged Add (all entries of one call) and
+// returns its LSN. Must be invoked before the mutation is applied to the
+// cache, under whatever lock serializes the profile's apply order.
+func (j *Journal) AppendAdd(table string, id model.ProfileID, entries []wire.AddEntry) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(Record{Op: OpAdd, Table: table, Profile: id, Entries: entries})
+}
+
+// AppendDelete logs a profile deletion.
+func (j *Journal) AppendDelete(table string, id model.ProfileID) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(Record{Op: OpDelete, Table: table, Profile: id})
+}
+
+// AppendCompact logs a maintenance pass evaluated at now.
+func (j *Journal) AppendCompact(table string, id model.ProfileID, now model.Millis) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(Record{Op: OpCompact, Table: table, Profile: id, Now: now})
+}
+
+// SaveOffsets checkpoints a pipeline's consumer offsets under name. Only
+// the latest checkpoint per name survives journal rewrites.
+func (j *Journal) SaveOffsets(name string, offsets map[string][]int64) error {
+	cp := make(map[string][]int64, len(offsets))
+	for topic, offs := range offsets {
+		cp[topic] = append([]int64(nil), offs...)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err := j.appendLocked(Record{Op: OpOffsets, Name: name, Offsets: cp})
+	return err
+}
+
+// Offsets returns the latest checkpointed offsets for name, or nil.
+func (j *Journal) Offsets(name string) map[string][]int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.offsets[name]
+	if !ok {
+		return nil
+	}
+	out := make(map[string][]int64, len(rec.Offsets))
+	for topic, offs := range rec.Offsets {
+		out[topic] = append([]int64(nil), offs...)
+	}
+	return out
+}
+
+// Records returns the retained mutation records in LSN order. The recovery
+// path iterates this once at startup; the returned slice must not be
+// mutated.
+func (j *Journal) Records() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]Record(nil), j.records...)
+}
+
+// NoteFlushed reports that the profile's persisted state now covers every
+// journal record with LSN <= upTo: GCache flush threads call this after a
+// successful Save (with the WalLSN captured under the profile's lock), and
+// the recovery path calls it for records already contained in the loaded
+// base state. Once enough flushed bytes accumulate the journal compacts
+// itself.
+func (j *Journal) NoteFlushed(table string, id model.ProfileID, upTo uint64) {
+	j.mu.Lock()
+	key := profileKey(table, id)
+	pend := j.pending[key]
+	i := 0
+	for i < len(pend) && pend[i].lsn <= upTo {
+		j.flushedBytes += pend[i].size
+		i++
+	}
+	if i > 0 {
+		pend = pend[i:]
+		if len(pend) == 0 {
+			delete(j.pending, key)
+		} else {
+			j.pending[key] = pend
+		}
+	}
+	shouldCompact := j.flushedBytes >= j.opts.CompactMinBytes
+	j.mu.Unlock()
+	if shouldCompact {
+		_ = j.Compact()
+	}
+}
+
+// watermarkLocked returns the highest LSN such that every record at or
+// below it is flushed; caller holds j.mu.
+func (j *Journal) watermarkLocked() uint64 {
+	min := j.nextLSN // no pending: everything logged so far is flushed
+	for _, pend := range j.pending {
+		if len(pend) > 0 && pend[0].lsn < min {
+			min = pend[0].lsn
+		}
+	}
+	return min - 1
+}
+
+// Watermark returns the highest LSN below which every record is flushed.
+func (j *Journal) Watermark() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.watermarkLocked()
+}
+
+// Compact rewrites the journal keeping only records above the flushed
+// watermark plus the latest offset checkpoint per pipeline. The rewrite
+// goes to a temp file and renames over the journal, so a crash during
+// compaction leaves either the old or the new journal intact.
+func (j *Journal) Compact() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return ErrClosed
+	}
+	wm := j.watermarkLocked()
+	tmp := j.path + ".tmp"
+	tf, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: compact open: %w", err)
+	}
+	tw := bufio.NewWriter(tf)
+	var kept []Record
+	var size int64
+	for _, rec := range j.offsets {
+		if _, err := tw.Write(rec.frame); err != nil {
+			tf.Close()
+			return err
+		}
+		size += int64(len(rec.frame))
+	}
+	for _, rec := range j.records {
+		if rec.LSN <= wm {
+			continue
+		}
+		if _, err := tw.Write(rec.frame); err != nil {
+			tf.Close()
+			return err
+		}
+		kept = append(kept, rec)
+		size += int64(len(rec.frame))
+	}
+	if err := tw.Flush(); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Sync(); err != nil {
+		tf.Close()
+		return err
+	}
+	if err := tf.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		return fmt.Errorf("wal: compact rename: %w", err)
+	}
+	// Swap the live file handle to the new journal.
+	if err := j.w.Flush(); err != nil {
+		return err
+	}
+	nf, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: compact reopen: %w", err)
+	}
+	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
+		nf.Close()
+		return err
+	}
+	j.f.Close()
+	j.f = nf
+	j.w = bufio.NewWriter(nf)
+	j.records = kept
+	j.size = size
+	j.flushedBytes = 0
+	j.compactions++
+	return nil
+}
+
+// Stats is a point-in-time summary for the bench harness and dashboards.
+type Stats struct {
+	Appends     int64
+	AppendBytes int64
+	Size        int64
+	Records     int
+	Pending     int
+	Compactions int64
+	Syncs       int64
+}
+
+// Stats captures current journal statistics.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	pending := 0
+	for _, p := range j.pending {
+		pending += len(p)
+	}
+	return Stats{
+		Appends:     j.appends,
+		AppendBytes: j.appendBytes,
+		Size:        j.size,
+		Records:     len(j.records),
+		Pending:     pending,
+		Compactions: j.compactions,
+		Syncs:       j.syncs,
+	}
+}
+
+// Close flushes, fsyncs and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if err := j.w.Flush(); err != nil {
+		j.f.Close()
+		return err
+	}
+	if err := j.f.Sync(); err != nil {
+		j.f.Close()
+		return err
+	}
+	return j.f.Close()
+}
+
+// Abort closes the file handle without flushing or syncing — the
+// kill-and-reopen harness's process-crash simulation.
+func (j *Journal) Abort() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return
+	}
+	j.closed = true
+	j.f.Close()
+}

@@ -1,0 +1,239 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ips/internal/wire"
+)
+
+func openT(t *testing.T, path string, opts Options) *Journal {
+	t.Helper()
+	j, err := Open(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j := openT(t, path, Options{})
+
+	entries := []wire.AddEntry{
+		{Timestamp: 1000, Slot: 1, Type: 2, FID: 42, Counts: []int64{1, 0, 3}},
+		{Timestamp: 2000, Slot: 1, Type: 2, FID: 43, Counts: []int64{0, 5, 0}},
+	}
+	lsn1, err := j.AppendAdd("up", 7, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn2, err := j.AppendDelete("up", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsn3, err := j.AppendCompact("up", 7, 123456)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn1 != 1 || lsn2 != 2 || lsn3 != 3 {
+		t.Fatalf("lsns = %d,%d,%d", lsn1, lsn2, lsn3)
+	}
+	if err := j.SaveOffsets("pipe", map[string][]int64{"impression": {3, 7}, "action": {1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2 := openT(t, path, Options{})
+	defer j2.Close()
+	recs := j2.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3", len(recs))
+	}
+	if recs[0].Op != OpAdd || recs[0].Table != "up" || recs[0].Profile != 7 {
+		t.Fatalf("rec0 = %+v", recs[0])
+	}
+	if !reflect.DeepEqual(recs[0].Entries, entries) {
+		t.Fatalf("entries = %+v", recs[0].Entries)
+	}
+	if recs[1].Op != OpDelete || recs[1].Profile != 9 {
+		t.Fatalf("rec1 = %+v", recs[1])
+	}
+	if recs[2].Op != OpCompact || recs[2].Now != 123456 {
+		t.Fatalf("rec2 = %+v", recs[2])
+	}
+	offs := j2.Offsets("pipe")
+	if !reflect.DeepEqual(offs, map[string][]int64{"impression": {3, 7}, "action": {1}}) {
+		t.Fatalf("offsets = %+v", offs)
+	}
+	if j2.Offsets("nope") != nil {
+		t.Fatal("unknown pipeline should have nil offsets")
+	}
+	// LSNs continue where the previous incarnation stopped.
+	lsn, err := j2.AppendDelete("up", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 5 {
+		t.Fatalf("post-reopen lsn = %d, want 5", lsn)
+	}
+}
+
+func TestJournalTornTailDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j := openT(t, path, Options{})
+	for i := 0; i < 4; i++ {
+		if _, err := j.AppendAdd("up", uint64(i+1), []wire.AddEntry{{Timestamp: 1, Counts: []int64{1}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate at every byte boundary: the reopened journal must recover
+	// exactly the records whose frames fit the prefix.
+	frame := len(raw) / 4
+	for cut := 0; cut <= len(raw); cut++ {
+		p := filepath.Join(t.TempDir(), "cut.log")
+		if err := os.WriteFile(p, raw[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jc := openT(t, p, Options{})
+		want := cut / frame
+		if got := len(jc.Records()); got != want {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, got, want)
+		}
+		jc.Close()
+	}
+	// Garbage appended to an intact journal is likewise discarded.
+	garbled := append(append([]byte(nil), raw...), []byte{0xde, 0xad, 0xbe, 0xef, 0x01}...)
+	p := filepath.Join(t.TempDir(), "garbled.log")
+	if err := os.WriteFile(p, garbled, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jg := openT(t, p, Options{})
+	defer jg.Close()
+	if got := len(jg.Records()); got != 4 {
+		t.Fatalf("garbled: recovered %d records, want 4", got)
+	}
+}
+
+func TestJournalWatermarkAndCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j := openT(t, path, Options{CompactMinBytes: 1 << 40}) // manual compaction only
+	for i := 1; i <= 6; i++ {
+		id := uint64(1 + i%2) // profiles 1 and 2 interleaved
+		if _, err := j.AppendAdd("up", id, []wire.AddEntry{{Timestamp: int64(i), Counts: []int64{1}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if wm := j.Watermark(); wm != 0 {
+		t.Fatalf("watermark = %d, want 0", wm)
+	}
+	// Profile 2 holds lsns 1,3,5; profile 1 holds 2,4,6. Flushing profile 2
+	// up to lsn 3 leaves lsn 2 (profile 1) as the lowest pending.
+	j.NoteFlushed("up", 2, 3)
+	if wm := j.Watermark(); wm != 1 {
+		t.Fatalf("watermark = %d, want 1", wm)
+	}
+	j.NoteFlushed("up", 1, 6)
+	if wm := j.Watermark(); wm != 4 {
+		t.Fatalf("watermark = %d, want 4 (lsn 5 still pending)", wm)
+	}
+	sizeBefore := j.Stats().Size
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if st.Size >= sizeBefore {
+		t.Fatalf("compaction did not shrink the journal: %d -> %d", sizeBefore, st.Size)
+	}
+	if st.Records != 2 { // lsns 5 and 6 retained
+		t.Fatalf("retained %d records, want 2", st.Records)
+	}
+	// Appends still work after the rewrite and survive reopen.
+	if _, err := j.AppendAdd("up", 3, []wire.AddEntry{{Timestamp: 9, Counts: []int64{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	j2 := openT(t, path, Options{})
+	defer j2.Close()
+	recs := j2.Records()
+	if len(recs) != 3 {
+		t.Fatalf("post-reopen records = %d, want 3", len(recs))
+	}
+	if recs[0].LSN != 5 || recs[1].LSN != 6 || recs[2].LSN != 7 {
+		t.Fatalf("post-reopen lsns = %d,%d,%d", recs[0].LSN, recs[1].LSN, recs[2].LSN)
+	}
+}
+
+func TestJournalOffsetsSurviveCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j := openT(t, path, Options{CompactMinBytes: 1 << 40})
+	if err := j.SaveOffsets("pipe", map[string][]int64{"t": {1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.SaveOffsets("pipe", map[string][]int64{"t": {5}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.AppendAdd("up", 1, []wire.AddEntry{{Timestamp: 1, Counts: []int64{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	j.NoteFlushed("up", 1, 3)
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Offsets("pipe"); !reflect.DeepEqual(got, map[string][]int64{"t": {5}}) {
+		t.Fatalf("offsets after compact = %+v", got)
+	}
+	j.Close()
+	j2 := openT(t, path, Options{})
+	defer j2.Close()
+	if got := j2.Offsets("pipe"); !reflect.DeepEqual(got, map[string][]int64{"t": {5}}) {
+		t.Fatalf("offsets after reopen = %+v", got)
+	}
+	if got := len(j2.Records()); got != 0 {
+		t.Fatalf("flushed records survived compaction: %d", got)
+	}
+}
+
+func TestJournalAutoCompact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j := openT(t, path, Options{CompactMinBytes: 64})
+	defer j.Close()
+	for i := 1; i <= 32; i++ {
+		if _, err := j.AppendAdd("up", 1, []wire.AddEntry{{Timestamp: int64(i), Counts: []int64{1}}}); err != nil {
+			t.Fatal(err)
+		}
+		j.NoteFlushed("up", 1, uint64(i))
+	}
+	st := j.Stats()
+	if st.Compactions == 0 {
+		t.Fatal("auto-compaction never triggered")
+	}
+	if st.Records != 0 {
+		t.Fatalf("retained %d flushed records", st.Records)
+	}
+}
+
+func TestJournalSyncEvery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j := openT(t, path, Options{SyncEvery: 2})
+	defer j.Close()
+	for i := 0; i < 5; i++ {
+		if _, err := j.AppendDelete("up", uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := j.Stats(); st.Syncs != 2 {
+		t.Fatalf("syncs = %d, want 2", st.Syncs)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"ips/internal/model"
 	"ips/internal/query"
 	"ips/internal/server"
+	"ips/internal/wal"
 	"ips/internal/wire"
 )
 
@@ -139,6 +140,14 @@ type Options struct {
 	// Path, when set, persists profiles to a disk-backed store at this
 	// file; empty keeps everything in an in-memory store.
 	Path string
+	// JournalPath, when set, write-ahead journals every mutation at this
+	// file so acknowledged writes survive a crash of the write-back cache;
+	// reopening replays the unflushed suffix. Empty disables journaling
+	// (crash loses at most the dirty window, as in the paper).
+	JournalPath string
+	// JournalSyncEvery fsyncs the journal every N records (0 = never:
+	// process-crash durable only, not power-loss durable).
+	JournalSyncEvery int
 	// MemLimit bounds the in-memory cache in bytes (0 = unbounded).
 	MemLimit int64
 	// Config overrides the default table maintenance configuration
@@ -152,10 +161,11 @@ type Options struct {
 
 // DB is an embedded single-node IPS instance.
 type DB struct {
-	inst   *server.Instance
-	store  kv.Store
-	caller string
-	clock  func() int64
+	inst    *server.Instance
+	store   kv.Store
+	journal *wal.Journal
+	caller  string
+	clock   func() int64
 }
 
 // Open creates an embedded instance.
@@ -183,22 +193,34 @@ func Open(opts Options) (*DB, error) {
 		caller = "embedded"
 	}
 	clock := opts.Clock
+	var journal *wal.Journal
+	if opts.JournalPath != "" {
+		journal, err = wal.Open(opts.JournalPath, wal.Options{SyncEvery: opts.JournalSyncEvery})
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
 	inst, err := server.New(server.Options{
-		Name:   "ips-embedded",
-		Region: "local",
-		Store:  store,
-		Config: cfgStore,
-		Clock:  clock,
-		Cache:  gcache.Options{MemLimit: opts.MemLimit},
+		Name:    "ips-embedded",
+		Region:  "local",
+		Store:   store,
+		Config:  cfgStore,
+		Clock:   clock,
+		Cache:   gcache.Options{MemLimit: opts.MemLimit},
+		Journal: journal,
 	})
 	if err != nil {
+		if journal != nil {
+			journal.Close()
+		}
 		store.Close()
 		return nil, err
 	}
 	if clock == nil {
 		clock = func() int64 { return time.Now().UnixMilli() }
 	}
-	return &DB{inst: inst, store: store, caller: caller, clock: clock}, nil
+	return &DB{inst: inst, store: store, journal: journal, caller: caller, clock: clock}, nil
 }
 
 // CreateTable registers a table whose count vector has the named actions
@@ -230,6 +252,12 @@ func (db *DB) Table(name string) (*Table, error) {
 // (quotas, config hot reload, stats).
 func (db *DB) Instance() *server.Instance { return db.inst }
 
+// Journal exposes the write-ahead mutation journal, or nil when
+// Options.JournalPath was empty. Useful for checkpointing ingestion
+// offsets alongside the writes they produced and for inspecting journal
+// statistics.
+func (db *DB) Journal() *wal.Journal { return db.journal }
+
 // RegisterUDAF installs a user-defined aggregate function under name;
 // queries reference it via Query.UDAF. Built-ins "sum", "max" and "ctr"
 // are pre-registered.
@@ -256,9 +284,16 @@ func (db *DB) MergeWrites() { db.inst.MergeAll() }
 // Flush persists all dirty profiles.
 func (db *DB) Flush() error { return db.inst.FlushAll() }
 
-// Close flushes and shuts down.
+// Close flushes and shuts down. The journal closes after the instance so
+// flush-driven watermark advances land before the final sync, and before
+// the store so its truncation rewrite reflects the flushed state.
 func (db *DB) Close() error {
 	err := db.inst.Close()
+	if db.journal != nil {
+		if jerr := db.journal.Close(); err == nil {
+			err = jerr
+		}
+	}
 	if cerr := db.store.Close(); err == nil {
 		err = cerr
 	}

@@ -26,12 +26,13 @@ type Compactor struct {
 	OnMaintain func(id model.ProfileID, delta int64)
 
 	// LogMaintain, when set, journals the maintenance pass (with the
-	// wall-clock it will run at) under the profile lock before Maintain
-	// mutates anything, so crash recovery can re-run the same truncation
-	// deterministically. The returned LSN becomes the profile's WalLSN
-	// watermark; an error skips the pass (the next write re-enqueues it).
-	// Must be set before Start.
-	LogMaintain func(id model.ProfileID, now model.Millis) (uint64, error)
+	// wall-clock AND config snapshot it will run with) under the profile
+	// lock before Maintain mutates anything, so crash recovery can re-run
+	// the same truncation deterministically even if the config was
+	// hot-reloaded between the pass and the crash. The returned LSN
+	// becomes the profile's WalLSN watermark; an error skips the pass (the
+	// next write re-enqueues it). Must be set before Start.
+	LogMaintain func(id model.ProfileID, now model.Millis, cfg config.Config) (uint64, error)
 
 	queue   chan *model.Profile
 	queued  sync.Map // ProfileID -> struct{}, dedupes pending work
@@ -127,7 +128,7 @@ func (c *Compactor) runOne(p *model.Profile) {
 	now := c.now()
 	p.Lock()
 	if c.LogMaintain != nil {
-		lsn, err := c.LogMaintain(p.ID, now)
+		lsn, err := c.LogMaintain(p.ID, now, cfg)
 		if err != nil {
 			p.Unlock()
 			return
@@ -159,7 +160,7 @@ func (c *Compactor) RunSync(p *model.Profile) Stats {
 	p.Lock()
 	defer p.Unlock()
 	if c.LogMaintain != nil {
-		lsn, err := c.LogMaintain(p.ID, now)
+		lsn, err := c.LogMaintain(p.ID, now, cfg)
 		if err != nil {
 			return Stats{}
 		}

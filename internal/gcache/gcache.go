@@ -99,10 +99,13 @@ type GCache struct {
 	// apply order per profile. An error aborts the write unapplied.
 	OnApply func(id model.ProfileID, entries []wire.AddEntry) (uint64, error)
 	// OnFlush, when set, is invoked after a profile incarnation whose
-	// watermark was lsn has been durably persisted (flush thread,
-	// eviction, Drop); the journal uses it to advance its truncation
-	// watermark.
-	OnFlush func(id model.ProfileID, lsn uint64)
+	// watermarks were (walLSN, mergedLSN) has been durably persisted
+	// (flush thread, eviction, Drop); the journal uses the pair to advance
+	// its truncation watermarks. Both are captured under the profile's
+	// lock at save time: walLSN covers the main mutation stream, mergedLSN
+	// the write-isolation stream (isolated adds folded in by a merge) —
+	// a flush never vouches for write-table data it did not contain.
+	OnFlush func(id model.ProfileID, walLSN, mergedLSN uint64)
 
 	// loadMu serializes cache fills per profile so a thundering herd of
 	// misses issues one storage read.
@@ -278,11 +281,24 @@ func (g *GCache) AddEntries(id model.ProfileID, entries []wire.AddEntry) error {
 	if len(entries) == 0 {
 		return nil
 	}
-	p, _, err := g.getOrLoad(id, true)
-	if err != nil {
-		return err
+	var p *model.Profile
+	for {
+		var err error
+		p, _, err = g.getOrLoad(id, true)
+		if err != nil {
+			return err
+		}
+		p.Lock()
+		// Re-validate under the lock: a concurrent eviction or delete may
+		// have detached this object from the table while we waited, and a
+		// write applied to a detached profile is acknowledged yet
+		// invisible — and diverges from journal replay order. Retry
+		// against the table's current object.
+		if g.table.Get(id) == p {
+			break
+		}
+		p.Unlock()
 	}
-	p.Lock()
 	if g.OnApply != nil {
 		lsn, err := g.OnApply(id, entries)
 		if err != nil {
@@ -320,18 +336,33 @@ func (g *GCache) applyEntriesLocked(p *model.Profile, entries []wire.AddEntry) (
 // above the profile's persisted watermark; it reports whether the record
 // was applied (false means the flushed state already contained it). The
 // OnApply hook is not consulted — the record is already in the journal.
-func (g *GCache) ApplyLogged(id model.ProfileID, entries []wire.AddEntry, lsn uint64) (bool, error) {
+//
+// isolated marks a record from the write-isolation stream: its watermark
+// is MergedLSN, not WalLSN, because a compaction may have pushed WalLSN
+// past an isolated add whose data never reached the persisted profile.
+// Replaying an isolated add folds it straight into the main profile (the
+// merge the crash pre-empted) and advances MergedLSN accordingly.
+func (g *GCache) ApplyLogged(id model.ProfileID, entries []wire.AddEntry, lsn uint64, isolated bool) (bool, error) {
 	p, _, err := g.getOrLoad(id, true)
 	if err != nil {
 		return false, err
 	}
 	p.Lock()
-	if lsn <= p.WalLSN {
+	wm := p.WalLSN
+	if isolated {
+		wm = p.MergedLSN
+	}
+	if lsn <= wm {
 		p.Unlock()
 		return false, nil
 	}
 	delta, aerr := g.applyEntriesLocked(p, entries)
-	p.WalLSN = lsn
+	if isolated {
+		p.MergedLSN = lsn
+	}
+	if lsn > p.WalLSN {
+		p.WalLSN = lsn
+	}
 	p.Unlock()
 	g.touch(id, delta)
 	g.markDirty(id)
@@ -478,7 +509,7 @@ func (g *GCache) flushOne(id model.ProfileID) {
 		p.RUnlock()
 		return
 	}
-	gen, lsn := p.Generation, p.WalLSN
+	gen, lsn, mlsn := p.Generation, p.WalLSN, p.MergedLSN
 	_, err := g.ps.Save(p)
 	p.RUnlock()
 	if err != nil {
@@ -488,7 +519,7 @@ func (g *GCache) flushOne(id model.ProfileID) {
 	}
 	g.Flushes.Inc()
 	if g.OnFlush != nil {
-		g.OnFlush(id, lsn)
+		g.OnFlush(id, lsn, mlsn)
 	}
 	// Clear the dirty bit only if no write landed during the flush.
 	p.Lock()
@@ -600,7 +631,7 @@ func (g *GCache) evictFromShard(sh *lruShard) bool {
 			p.Dirty = false
 			g.Flushes.Inc()
 			if g.OnFlush != nil {
-				g.OnFlush(id, p.WalLSN)
+				g.OnFlush(id, p.WalLSN, p.MergedLSN)
 			}
 		}
 		g.table.Delete(id)
@@ -659,7 +690,7 @@ func (g *GCache) Drop(id model.ProfileID) bool {
 		p.Dirty = false
 		g.Flushes.Inc()
 		if g.OnFlush != nil {
-			g.OnFlush(id, p.WalLSN)
+			g.OnFlush(id, p.WalLSN, p.MergedLSN)
 		}
 	}
 	g.table.Delete(id)

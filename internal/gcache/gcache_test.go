@@ -431,7 +431,7 @@ func TestOnApplyOrdersJournalWithMutation(t *testing.T) {
 		return lsn, nil
 	}
 	var flushed []uint64
-	g.OnFlush = func(id model.ProfileID, l uint64) { flushed = append(flushed, l) }
+	g.OnFlush = func(id model.ProfileID, l, merged uint64) { flushed = append(flushed, l) }
 
 	entries := []wire.AddEntry{
 		{Timestamp: 5000, Slot: 1, Type: 1, FID: 7, Counts: []int64{1, 0}},
@@ -479,16 +479,16 @@ func TestOnApplyErrorAbortsWrite(t *testing.T) {
 func TestApplyLoggedSkipsBelowWatermark(t *testing.T) {
 	g, _, _ := newCache(t, Options{})
 	e := []wire.AddEntry{{Timestamp: 5000, Slot: 1, Type: 1, FID: 7, Counts: []int64{1, 0}}}
-	applied, err := g.ApplyLogged(1, e, 3)
+	applied, err := g.ApplyLogged(1, e, 3, false)
 	if err != nil || !applied {
 		t.Fatalf("ApplyLogged(3) = %v, %v", applied, err)
 	}
 	// Replaying the same or an older LSN is a no-op.
-	applied, err = g.ApplyLogged(1, e, 3)
+	applied, err = g.ApplyLogged(1, e, 3, false)
 	if err != nil || applied {
 		t.Fatalf("replay of lsn 3 applied twice")
 	}
-	applied, err = g.ApplyLogged(1, e, 4)
+	applied, err = g.ApplyLogged(1, e, 4, false)
 	if err != nil || !applied {
 		t.Fatalf("ApplyLogged(4) = %v, %v", applied, err)
 	}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -30,15 +31,24 @@ const recBase = model.Millis(1_700_000_000_000)
 // durable files in dir. Background flush/swap cadences are set to an hour
 // so the tests control persistence explicitly.
 type recoveryEnv struct {
-	t     *testing.T
-	dir   string
-	clock *simClock
-	store *kv.Disk
-	jn    *wal.Journal
-	inst  *server.Instance
+	t      *testing.T
+	dir    string
+	clock  *simClock
+	store  *kv.Disk
+	jn     *wal.Journal
+	inst   *server.Instance
+	cfgMut func(*config.Config)
 }
 
 func openRecovery(t *testing.T, dir string, clock *simClock) *recoveryEnv {
+	return openRecoveryCfg(t, dir, clock, nil)
+}
+
+// openRecoveryCfg opens an incarnation whose config is the harness default
+// (write isolation off, explicit persistence cadence) further shaped by
+// mutate; the mutation is remembered so reopen starts the next incarnation
+// under the same config.
+func openRecoveryCfg(t *testing.T, dir string, clock *simClock, mutate func(*config.Config)) *recoveryEnv {
 	t.Helper()
 	store, err := kv.OpenDisk(filepath.Join(dir, "kv.log"))
 	if err != nil {
@@ -50,6 +60,9 @@ func openRecovery(t *testing.T, dir string, clock *simClock) *recoveryEnv {
 	}
 	cfg := config.Default()
 	cfg.WriteIsolation = false
+	if mutate != nil {
+		mutate(&cfg)
+	}
 	cfgStore, err := config.NewStore(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +78,7 @@ func openRecovery(t *testing.T, dir string, clock *simClock) *recoveryEnv {
 	if err := inst.CreateTable("up", model.NewSchema("like", "share")); err != nil {
 		t.Fatal(err)
 	}
-	return &recoveryEnv{t: t, dir: dir, clock: clock, store: store, jn: jn, inst: inst}
+	return &recoveryEnv{t: t, dir: dir, clock: clock, store: store, jn: jn, inst: inst, cfgMut: mutate}
 }
 
 // crash kills this incarnation without flushing anything: background
@@ -80,7 +93,7 @@ func (e *recoveryEnv) crash() {
 // reopen starts the next incarnation over the same files; CreateTable
 // inside openRecovery replays the journal.
 func (e *recoveryEnv) reopen() *recoveryEnv {
-	return openRecovery(e.t, e.dir, e.clock)
+	return openRecoveryCfg(e.t, e.dir, e.clock, e.cfgMut)
 }
 
 // oracle tracks acknowledged writes: profile -> FID -> summed counts.
@@ -373,6 +386,153 @@ func TestRecoveryRandomizedKillReopen(t *testing.T) {
 	e = e.reopen()
 	e.verify(o, ids)
 	if err := e.inst.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryWriteIsolationUnmergedAdd(t *testing.T) {
+	// Crash point 4: an acknowledged isolated add is still sitting in the
+	// write table when the process dies, and — crucially — a compaction has
+	// pushed the MAIN profile's WalLSN past that add's LSN before a flush.
+	// The flush must not vouch for write-table data it never contained: the
+	// isolated journal record has to survive both the flush's retirement
+	// and a journal compaction, and replay has to fold it back in.
+	dir := t.TempDir()
+	clock := &simClock{now: recBase + 1000}
+	e := openRecoveryCfg(t, dir, clock, func(c *config.Config) { c.WriteIsolation = true })
+	o := make(oracle)
+
+	// Add A (isolated, lsn 1) and make it part of the main profile.
+	e.add(o, 1, recEntry(0, 10, 1, 0))
+	e.inst.MergeAll()
+	// Add B (isolated, lsn 2): acknowledged, but only in the write table.
+	e.add(o, 1, recEntry(1, 11, 0, 2))
+	// Compaction journals lsn 3 onto the MAIN profile, advancing its WalLSN
+	// past B's lsn while B remains unmerged.
+	if _, err := e.inst.CompactNow("up", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Flush the main profile. It persists (WalLSN=3, MergedLSN=1): the
+	// flushed state contains A and the compaction but NOT B.
+	if ok, err := e.inst.EvictProfile("up", 1); err != nil || !ok {
+		t.Fatalf("evict: %v %v", ok, err)
+	}
+	// Journal compaction must retain B's record (pending in the isolated
+	// stream) even though the main watermark moved past it.
+	if err := e.jn.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, rec := range e.jn.Records() {
+		if rec.Op == wal.OpAdd && rec.Isolated && rec.LSN == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("journal compaction dropped the unmerged isolated add")
+	}
+	e.crash() // the write table (holding B) evaporates
+
+	e2 := e.reopen()
+	e2.verify(o, []model.ProfileID{1}) // both A and B recovered
+	// The recovered instance keeps the streams straight: more isolated
+	// writes, a merge, another crash.
+	e2.add(o, 1, recEntry(2, 12, 3, 3))
+	e2.inst.MergeAll()
+	e2.crash()
+	e3 := e2.reopen()
+	e3.verify(o, []model.ProfileID{1})
+	if err := e3.inst.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryCompactReplayUsesJournaledConfig(t *testing.T) {
+	// A maintenance pass runs under config X, then the process crashes and
+	// restarts under a hot-reloaded, far more aggressive config Y. Replay
+	// must re-run the pass with the journaled snapshot of X — re-running it
+	// with Y would truncate slices the live instance kept, silently losing
+	// acknowledged writes.
+	dir := t.TempDir()
+	clock := &simClock{now: recBase + 1000}
+	e := openRecovery(t, dir, clock)
+	o := make(oracle)
+	// Three features, tens of seconds apart, so they occupy distinct time
+	// slices: an aggressive MaxSlices=1 truncation would drop two of them.
+	e.add(o, 1, recEntry(-60_000, 10, 1, 0))
+	e.add(o, 1, recEntry(-30_000, 11, 2, 0))
+	e.add(o, 1, recEntry(0, 12, 0, 3))
+	// Maintenance under the (permissive) default config: journals the pass
+	// with its config snapshot; nothing is truncated.
+	if _, err := e.inst.CompactNow("up", 1); err != nil {
+		t.Fatal(err)
+	}
+	e.crash()
+
+	// The next incarnation boots under the aggressive config. Replay of the
+	// OpCompact record must ignore it in favour of the journaled snapshot.
+	e.cfgMut = func(c *config.Config) { c.Truncate.MaxSlices = 1 }
+	e2 := e.reopen()
+	e2.verify(o, []model.ProfileID{1})
+	if err := e2.inst.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecoveryConcurrentAddDeleteEvict(t *testing.T) {
+	// Adds, deletes and flush-evictions race on one profile while every
+	// mutation is journaled. Whatever interleaving the scheduler picks, the
+	// journal's LSN order must equal the apply order — so the state replay
+	// reconstructs after a crash must equal the live state at the moment of
+	// the crash (deletes neither resurrect earlier adds nor eat later ones).
+	dir := t.TempDir()
+	clock := &simClock{now: recBase + 1000}
+	e := openRecovery(t, dir, clock)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				en := recEntry(int64(g*100+i), model.FeatureID(1+(g+i)%6), 1, int64(i%3))
+				if err := e.inst.Add("rec", "up", 1, []wire.AddEntry{en}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			if err := e.inst.DeleteProfile("up", 1); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 12; i++ {
+			if _, err := e.inst.EvictProfile("up", 1); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	live := e.counts(1)
+	e.crash()
+
+	e2 := e.reopen()
+	if got := e2.counts(1); !reflect.DeepEqual(got, live) {
+		t.Fatalf("recovered state diverged from live state:\n got %v\nlive %v", got, live)
+	}
+	if err := e2.inst.Close(); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -12,10 +12,11 @@ import (
 // a slice is a list of slot entries, a slot entry is a list of type
 // entries, a type entry is a list of feature stats.
 const (
-	fProfileID    = 1
-	fProfileSlice = 2
-	fProfileGen   = 3
-	fProfileWal   = 4
+	fProfileID     = 1
+	fProfileSlice  = 2
+	fProfileGen    = 3
+	fProfileWal    = 4
+	fProfileMerged = 5
 
 	fSliceStart  = 1
 	fSliceEnd    = 2
@@ -40,6 +41,9 @@ func MarshalProfile(p *Profile) []byte {
 	e.Uint64(fProfileGen, p.Generation)
 	if p.WalLSN != 0 {
 		e.Uint64(fProfileWal, p.WalLSN)
+	}
+	if p.MergedLSN != 0 {
+		e.Uint64(fProfileMerged, p.MergedLSN)
 	}
 	for _, s := range p.slices {
 		e.Message(fProfileSlice, func(se *codec.Buffer) {
@@ -121,6 +125,12 @@ func UnmarshalProfile(data []byte) (*Profile, error) {
 				return nil, err
 			}
 			p.WalLSN = l
+		case fProfileMerged:
+			l, err := r.Uint64()
+			if err != nil {
+				return nil, err
+			}
+			p.MergedLSN = l
 		case fProfileSlice:
 			sub, err := r.Message()
 			if err != nil {

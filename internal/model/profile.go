@@ -34,6 +34,14 @@ type Profile struct {
 	// LSN > WalLSN. Maintained by callers holding mu; stays 0 when
 	// journaling is disabled.
 	WalLSN uint64
+	// MergedLSN is the highest write-isolation (write-table) journal LSN
+	// whose entries have been folded into this main profile by a merge.
+	// Isolated adds form a second mutation stream: their data is absent
+	// from the persisted profile until merged, even when a compaction has
+	// advanced WalLSN past them, so recovery and journal truncation track
+	// them against this watermark. Maintained by callers holding mu; stays
+	// 0 when journaling or write isolation is disabled.
+	MergedLSN uint64
 }
 
 // NewProfile creates an empty profile.
@@ -237,6 +245,7 @@ func (p *Profile) Clone() *Profile {
 	}
 	c.Generation = p.Generation
 	c.WalLSN = p.WalLSN
+	c.MergedLSN = p.MergedLSN
 	c.RecomputeMemSize()
 	return c
 }

@@ -190,15 +190,20 @@ type meta struct {
 	// WalLSN is the crash-recovery watermark the profile carried when its
 	// meta was written; recovery replays only journal records above it.
 	WalLSN uint64
-	Slices []sliceMeta
+	// MergedLSN is the write-isolation merge watermark (the highest
+	// isolated-add LSN folded into this profile when the meta was written);
+	// recovery replays isolated journal records above it.
+	MergedLSN uint64
+	Slices    []sliceMeta
 }
 
 const (
-	fMetaGen   = 1
-	fMetaSlice = 2
-	fMetaWal   = 3
-	fSMStart   = 1
-	fSMEnd     = 2
+	fMetaGen    = 1
+	fMetaSlice  = 2
+	fMetaWal    = 3
+	fMetaMerged = 4
+	fSMStart    = 1
+	fSMEnd      = 2
 )
 
 func encodeMeta(m meta) []byte {
@@ -206,6 +211,9 @@ func encodeMeta(m meta) []byte {
 	e.Uint64(fMetaGen, m.Generation)
 	if m.WalLSN != 0 {
 		e.Uint64(fMetaWal, m.WalLSN)
+	}
+	if m.MergedLSN != 0 {
+		e.Uint64(fMetaMerged, m.MergedLSN)
 	}
 	for _, sm := range m.Slices {
 		e.Message(fMetaSlice, func(se *codec.Buffer) {
@@ -231,6 +239,10 @@ func decodeMeta(data []byte) (meta, error) {
 			}
 		case fMetaWal:
 			if m.WalLSN, err = r.Uint64(); err != nil {
+				return m, err
+			}
+		case fMetaMerged:
+			if m.MergedLSN, err = r.Uint64(); err != nil {
 				return m, err
 			}
 		case fMetaSlice:
@@ -276,7 +288,7 @@ func decodeMeta(data []byte) (meta, error) {
 func (ps *Persister) saveFine(p *model.Profile) (int, error) {
 	var total int
 	slices := p.Slices()
-	m := meta{Generation: p.Generation, WalLSN: p.WalLSN, Slices: make([]sliceMeta, len(slices))}
+	m := meta{Generation: p.Generation, WalLSN: p.WalLSN, MergedLSN: p.MergedLSN, Slices: make([]sliceMeta, len(slices))}
 
 	var prints map[string]uint64
 	if ps.Incremental {
@@ -382,6 +394,7 @@ func (ps *Persister) loadFine(id model.ProfileID) (*model.Profile, error) {
 	p.ReplaceSlices(slices)
 	p.Generation = m.Generation
 	p.WalLSN = m.WalLSN
+	p.MergedLSN = m.MergedLSN
 	p.Dirty = false
 	p.Unlock()
 	return p, nil

@@ -237,11 +237,11 @@ func (in *Instance) CreateTable(name string, schema *model.Schema) error {
 		cache.OnApply = func(id model.ProfileID, entries []wire.AddEntry) (uint64, error) {
 			return jn.AppendAdd(name, id, entries)
 		}
-		cache.OnFlush = func(id model.ProfileID, lsn uint64) {
-			jn.NoteFlushed(name, id, lsn)
+		cache.OnFlush = func(id model.ProfileID, walLSN, mergedLSN uint64) {
+			jn.NoteFlushed(name, id, walLSN, mergedLSN)
 		}
-		comp.LogMaintain = func(id model.ProfileID, now model.Millis) (uint64, error) {
-			return jn.AppendCompact(name, id, now)
+		comp.LogMaintain = func(id model.ProfileID, now model.Millis, cfg config.Config) (uint64, error) {
+			return jn.AppendCompact(name, id, now, cfg)
 		}
 	}
 	cache.Start()
@@ -252,9 +252,12 @@ func (in *Instance) CreateTable(name string, schema *model.Schema) error {
 
 // replayTable re-applies the journal's records for one table in LSN order
 // into a freshly built tableState. Each record is applied only when its
-// LSN exceeds the WalLSN watermark of the profile's persisted base —
+// LSN exceeds the relevant watermark of the profile's persisted base
+// (WalLSN for the main stream, MergedLSN for write-isolation adds) —
 // records whose effects already reached storage are skipped and marked
-// flushed. Called from CreateTable with in.mu held; uses ts directly.
+// flushed. Isolated adds are folded straight into the main profile: they
+// represent the merge the crash pre-empted. Called from CreateTable with
+// in.mu held; uses ts directly.
 func (in *Instance) replayTable(ts *tableState) error {
 	name := ts.main.Name
 	for _, rec := range in.journal.Records() {
@@ -263,12 +266,19 @@ func (in *Instance) replayTable(ts *tableState) error {
 		}
 		switch rec.Op {
 		case wal.OpAdd:
-			applied, err := ts.cache.ApplyLogged(rec.Profile, rec.Entries, rec.LSN)
+			applied, err := ts.cache.ApplyLogged(rec.Profile, rec.Entries, rec.LSN, rec.Isolated)
 			if err != nil && !applied {
 				return err // storage load failure, not a per-entry reject
 			}
 			if !applied {
-				in.journal.NoteFlushed(name, rec.Profile, rec.LSN)
+				// The loaded base already contains this record: retire it in
+				// its own stream only. An isolated add is vouched for by the
+				// merged watermark, a direct add by the main one.
+				if rec.Isolated {
+					in.journal.NoteFlushed(name, rec.Profile, 0, rec.LSN)
+				} else {
+					in.journal.NoteFlushed(name, rec.Profile, rec.LSN, 0)
+				}
 			}
 		case wal.OpDelete:
 			p, _, err := ts.cache.Get(rec.Profile)
@@ -279,9 +289,10 @@ func (in *Instance) replayTable(ts *tableState) error {
 				p.Lock()
 				if p.WalLSN >= rec.LSN {
 					// The persisted base postdates the delete: the profile
-					// was recreated and flushed again before the crash.
+					// was recreated and flushed again before the crash. The
+					// delete superseded every earlier record in both streams.
 					p.Unlock()
-					in.journal.NoteFlushed(name, rec.Profile, rec.LSN)
+					in.journal.NoteFlushed(name, rec.Profile, rec.LSN, rec.LSN)
 					continue
 				}
 				p.Dirty = false
@@ -293,7 +304,9 @@ func (in *Instance) replayTable(ts *tableState) error {
 			if err := ts.ps.Delete(rec.Profile); err != nil && !errors.Is(err, kv.ErrNotFound) {
 				return err
 			}
-			in.journal.NoteFlushed(name, rec.Profile, rec.LSN)
+			// The synchronous storage delete supersedes every earlier record
+			// in both streams.
+			in.journal.NoteFlushed(name, rec.Profile, rec.LSN, rec.LSN)
 		case wal.OpCompact:
 			p, _, err := ts.cache.Get(rec.Profile)
 			if err != nil {
@@ -302,7 +315,14 @@ func (in *Instance) replayTable(ts *tableState) error {
 			applied := false
 			var delta int64
 			if p != nil {
+				// Replay with the config the pass originally ran under (the
+				// journaled snapshot); the live config may have been
+				// hot-reloaded since, and a different truncation here would
+				// diverge from the partially flushed effects of the original.
 				cfg := in.cfgs.Get()
+				if rec.Cfg != nil {
+					cfg = *rec.Cfg
+				}
 				p.Lock()
 				if rec.LSN > p.WalLSN {
 					st := compact.Maintain(p, ts.schema, cfg, rec.Now)
@@ -317,7 +337,7 @@ func (in *Instance) replayTable(ts *tableState) error {
 				ts.cache.NoteSizeChange(rec.Profile, delta)
 				ts.cache.MarkDirty(rec.Profile)
 			} else {
-				in.journal.NoteFlushed(name, rec.Profile, rec.LSN)
+				in.journal.NoteFlushed(name, rec.Profile, rec.LSN, 0)
 			}
 		}
 	}
@@ -384,12 +404,15 @@ func (in *Instance) addIsolated(ts *tableState, cfg config.Config, id model.Prof
 	ts.writeMu.Lock()
 	defer ts.writeMu.Unlock()
 	// Journal before mutating; writeMu orders isolated appends, so log
-	// order equals apply order. The write profile carries the LSN until
-	// merge folds it into the main profile's watermark.
+	// order equals apply order. The record is marked isolated: its data
+	// lives only in the write table until merge, so the journal must not
+	// retire it on a main-profile flush (whose WalLSN a concurrent
+	// compaction may have pushed past this LSN). The write profile carries
+	// the LSN until merge folds it into the main profile's MergedLSN.
 	var lsn uint64
 	if in.journal != nil {
 		var jerr error
-		lsn, jerr = in.journal.AppendAdd(ts.main.Name, id, entries)
+		lsn, jerr = in.journal.AppendIsolatedAdd(ts.main.Name, id, entries)
 		if jerr != nil {
 			return jerr
 		}
@@ -466,11 +489,22 @@ func (in *Instance) mergeWriteTableLocked(ts *tableState) {
 	ts.writeBytes = 0
 
 	old.Each(func(wp *model.Profile) bool {
-		mp, _, err := ts.cache.GetOrLoadForWrite(wp.ID)
-		if err != nil || mp == nil {
-			return true // drop on storage error: next write retries
+		var mp *model.Profile
+		for {
+			var err error
+			mp, _, err = ts.cache.GetOrLoadForWrite(wp.ID)
+			if err != nil || mp == nil {
+				return true // drop on storage error: next write retries
+			}
+			mp.Lock()
+			// Re-validate: a concurrent eviction may have detached mp while
+			// we waited for its lock; folding into a detached object would
+			// silently lose the write-table data.
+			if ts.main.Get(wp.ID) == mp {
+				break
+			}
+			mp.Unlock()
 		}
-		mp.Lock()
 		before := mp.MemSize()
 		for _, s := range wp.Slices() {
 			s.EachSlot(func(slot model.SlotID, set *model.InstanceSet) {
@@ -486,6 +520,13 @@ func (in *Instance) mergeWriteTableLocked(ts *tableState) {
 					})
 				})
 			})
+		}
+		// The merge is the point where isolated adds become part of the
+		// main profile's state: advance BOTH watermarks so the next flush
+		// vouches for them (MergedLSN retires the isolated journal records;
+		// WalLSN keeps replay's main-stream skip logic monotonic).
+		if wp.WalLSN > mp.MergedLSN {
+			mp.MergedLSN = wp.WalLSN
 		}
 		if wp.WalLSN > mp.WalLSN {
 			mp.WalLSN = wp.WalLSN
@@ -626,15 +667,42 @@ func (in *Instance) DeleteProfile(table string, id model.ProfileID) error {
 	if err != nil {
 		return err
 	}
-	// Journal the delete before applying it; the storage delete below is
-	// synchronous, so on success the record is immediately marked flushed.
+	// Journal the delete under BOTH locks that order the profile's
+	// mutation streams: writeMu serializes isolated adds and the main
+	// profile's write lock serializes direct adds (which journal inside
+	// AddEntries under that lock). Appending the OpDelete without them
+	// would let a concurrent add obtain a higher LSN yet apply first —
+	// live state says "deleted", but strict-LSN-order replay would
+	// resurrect the profile with the add's entries. Lock order here
+	// (writeMu → profile lock → journal) matches addIsolated and the
+	// merge worker, so there is no inversion.
+	ts.writeMu.Lock()
+	// Materialize the main profile so non-resident deletes still serialize
+	// against adds through the same profile lock the add path uses.
+	var mp *model.Profile
+	for {
+		var lerr error
+		mp, _, lerr = ts.cache.GetOrLoadForWrite(id)
+		if lerr != nil {
+			ts.writeMu.Unlock()
+			return lerr
+		}
+		mp.Lock()
+		// Re-validate against a concurrent eviction detaching mp while we
+		// waited for its lock (same pattern as the add and merge paths).
+		if ts.main.Get(id) == mp {
+			break
+		}
+		mp.Unlock()
+	}
 	var lsn uint64
 	if in.journal != nil {
 		if lsn, err = in.journal.AppendDelete(ts.main.Name, id); err != nil {
+			mp.Unlock()
+			ts.writeMu.Unlock()
 			return err
 		}
 	}
-	ts.writeMu.Lock()
 	if wp := ts.writeTbl.Get(id); wp != nil {
 		wp.Lock()
 		size := wp.MemSize()
@@ -642,21 +710,21 @@ func (in *Instance) DeleteProfile(table string, id model.ProfileID) error {
 		ts.writeBytes -= size
 		wp.Unlock()
 	}
-	ts.writeMu.Unlock()
 	// Drop from cache without flushing the dirty state we are deleting.
-	if p := ts.main.Get(id); p != nil {
-		p.Lock()
-		p.Dirty = false
-		size := p.MemSize()
-		ts.main.Delete(id)
-		p.Unlock()
-		ts.cache.NoteSizeChange(id, -size)
-	}
+	mp.Dirty = false
+	size := mp.MemSize()
+	ts.main.Delete(id)
+	mp.Unlock()
+	ts.cache.NoteSizeChange(id, -size)
+	ts.writeMu.Unlock()
+	// The storage delete is synchronous, so on success the record — and
+	// everything before it in both streams, which it supersedes — is
+	// immediately marked flushed.
 	if err := ts.ps.Delete(id); err != nil && !errors.Is(err, kv.ErrNotFound) {
 		return err
 	}
 	if in.journal != nil {
-		in.journal.NoteFlushed(ts.main.Name, id, lsn)
+		in.journal.NoteFlushed(ts.main.Name, id, lsn, lsn)
 	}
 	return nil
 }

@@ -14,10 +14,17 @@
 //	u64 lsn
 //	u32 payloadLen, payload bytes (codec-encoded record body)
 //
-// Replay idempotence comes from the flushed watermark embedded in every
-// persisted profile (model.Profile.WalLSN): a record is applied on
-// recovery only when its LSN exceeds the watermark the loaded profile
-// carries, so a flush that raced the crash is never double-applied.
+// Replay idempotence comes from the flushed watermarks embedded in every
+// persisted profile: a record is applied on recovery only when its LSN
+// exceeds the watermark the loaded profile carries, so a flush that raced
+// the crash is never double-applied. Two watermarks exist because the
+// write-isolation path (§III-F) forms a second mutation stream:
+// model.Profile.WalLSN covers mutations applied directly to the main
+// profile (adds, deletes, compactions) while model.Profile.MergedLSN
+// covers isolated adds, which live only in the unmerged write table until
+// a merge folds them in. A compaction can push WalLSN past an unmerged
+// isolated add's LSN, so isolated records are tracked — and retired —
+// strictly against MergedLSN.
 //
 // Truncation: flush threads report durable (table, profile, lsn)
 // watermarks via NoteFlushed; once enough flushed bytes accumulate the
@@ -29,6 +36,7 @@ package wal
 import (
 	"bufio"
 	"encoding/binary"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -38,6 +46,7 @@ import (
 	"sync"
 
 	"ips/internal/codec"
+	"ips/internal/config"
 	"ips/internal/model"
 	"ips/internal/wire"
 )
@@ -66,8 +75,16 @@ type Record struct {
 	Table   string
 	Profile model.ProfileID
 	Entries []wire.AddEntry // OpAdd
-	Now     model.Millis    // OpCompact: the maintenance clock
-	Name    string          // OpOffsets: pipeline identifier
+	// Isolated marks an OpAdd that was acknowledged into the write table
+	// (§III-F): its data reaches the persisted main profile only through a
+	// merge, so it is retired against MergedLSN rather than WalLSN.
+	Isolated bool
+	Now      model.Millis // OpCompact: the maintenance clock
+	// Cfg is the configuration snapshot an OpCompact pass ran with, so
+	// replay truncates identically even after a config hot-reload; nil on
+	// records written before cfg journaling existed.
+	Cfg     *config.Config
+	Name    string // OpOffsets: pipeline identifier
 	Offsets map[string][]int64
 
 	frame []byte // the full on-disk frame, retained for journal rewrites
@@ -75,12 +92,14 @@ type Record struct {
 
 // Payload field numbers.
 const (
-	fRecTable   = 1
-	fRecProfile = 2
-	fRecEntry   = 3
-	fRecNow     = 4
-	fRecName    = 5
-	fRecTopic   = 6
+	fRecTable    = 1
+	fRecProfile  = 2
+	fRecEntry    = 3
+	fRecNow      = 4
+	fRecName     = 5
+	fRecTopic    = 6
+	fRecIsolated = 7
+	fRecCfg      = 8
 
 	fEntryTS     = 1
 	fEntrySlot   = 2
@@ -141,6 +160,9 @@ type Journal struct {
 type pendingRec struct {
 	lsn  uint64
 	size int64
+	// isolated records are retired by the merged watermark, not the main
+	// one: a main-profile flush does not cover unmerged write-table data.
+	isolated bool
 }
 
 func profileKey(table string, id model.ProfileID) string {
@@ -213,7 +235,7 @@ func (j *Journal) admit(rec Record) {
 	}
 	j.records = append(j.records, rec)
 	key := profileKey(rec.Table, rec.Profile)
-	j.pending[key] = append(j.pending[key], pendingRec{lsn: rec.LSN, size: int64(len(rec.frame))})
+	j.pending[key] = append(j.pending[key], pendingRec{lsn: rec.LSN, size: int64(len(rec.frame)), isolated: rec.Isolated})
 }
 
 // encodeEntries writes the add-entry list into the payload buffer.
@@ -272,6 +294,9 @@ func encodePayload(rec *Record) []byte {
 	case OpAdd:
 		e.String(fRecTable, rec.Table)
 		e.Uint64(fRecProfile, rec.Profile)
+		if rec.Isolated {
+			e.Bool(fRecIsolated, true)
+		}
 		encodeEntries(&e, rec.Entries)
 	case OpDelete:
 		e.String(fRecTable, rec.Table)
@@ -280,6 +305,13 @@ func encodePayload(rec *Record) []byte {
 		e.String(fRecTable, rec.Table)
 		e.Uint64(fRecProfile, rec.Profile)
 		e.Int64(fRecNow, rec.Now)
+		if rec.Cfg != nil {
+			// JSON keeps the snapshot schema-flexible; compactions are rare
+			// relative to adds, so the size cost is negligible.
+			if raw, err := json.Marshal(rec.Cfg); err == nil {
+				e.Raw(fRecCfg, raw)
+			}
+		}
 	case OpOffsets:
 		e.String(fRecName, rec.Name)
 		for topic, offs := range rec.Offsets {
@@ -322,6 +354,20 @@ func decodePayload(rec *Record, payload []byte) error {
 			if rec.Now, err = r.Int64(); err != nil {
 				return err
 			}
+		case fRecIsolated:
+			if rec.Isolated, err = r.Bool(); err != nil {
+				return err
+			}
+		case fRecCfg:
+			raw, err := r.Bytes()
+			if err != nil {
+				return err
+			}
+			var cfg config.Config
+			if err := json.Unmarshal(raw, &cfg); err != nil {
+				return fmt.Errorf("wal: compact cfg: %w", err)
+			}
+			rec.Cfg = &cfg
 		case fRecName:
 			if rec.Name, err = r.String(); err != nil {
 				return err
@@ -463,6 +509,17 @@ func (j *Journal) AppendAdd(table string, id model.ProfileID, entries []wire.Add
 	return j.appendLocked(Record{Op: OpAdd, Table: table, Profile: id, Entries: entries})
 }
 
+// AppendIsolatedAdd logs an Add acknowledged into the write-isolation
+// table (§III-F). The record stays pending until a NoteFlushed whose
+// MERGED watermark covers it: until the merge worker folds the write
+// table into the main profile, a main-profile flush does not persist this
+// data, no matter how far the main WalLSN has advanced.
+func (j *Journal) AppendIsolatedAdd(table string, id model.ProfileID, entries []wire.AddEntry) (uint64, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.appendLocked(Record{Op: OpAdd, Table: table, Profile: id, Entries: entries, Isolated: true})
+}
+
 // AppendDelete logs a profile deletion.
 func (j *Journal) AppendDelete(table string, id model.ProfileID) (uint64, error) {
 	j.mu.Lock()
@@ -470,11 +527,13 @@ func (j *Journal) AppendDelete(table string, id model.ProfileID) (uint64, error)
 	return j.appendLocked(Record{Op: OpDelete, Table: table, Profile: id})
 }
 
-// AppendCompact logs a maintenance pass evaluated at now.
-func (j *Journal) AppendCompact(table string, id model.ProfileID, now model.Millis) (uint64, error) {
+// AppendCompact logs a maintenance pass evaluated at now under cfg; the
+// snapshot rides the record so replay re-runs the identical truncation
+// even if the configuration was hot-reloaded before the crash.
+func (j *Journal) AppendCompact(table string, id model.ProfileID, now model.Millis, cfg config.Config) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.appendLocked(Record{Op: OpCompact, Table: table, Profile: id, Now: now})
+	return j.appendLocked(Record{Op: OpCompact, Table: table, Profile: id, Now: now, Cfg: &cfg})
 }
 
 // SaveOffsets checkpoints a pipeline's consumer offsets under name. Only
@@ -515,27 +574,38 @@ func (j *Journal) Records() []Record {
 }
 
 // NoteFlushed reports that the profile's persisted state now covers every
-// journal record with LSN <= upTo: GCache flush threads call this after a
-// successful Save (with the WalLSN captured under the profile's lock), and
-// the recovery path calls it for records already contained in the loaded
-// base state. Once enough flushed bytes accumulate the journal compacts
-// itself.
-func (j *Journal) NoteFlushed(table string, id model.ProfileID, upTo uint64) {
+// main-stream record with LSN <= walTo and every isolated (write-table)
+// record with LSN <= mergedTo: GCache flush threads call this after a
+// successful Save (with the WalLSN and MergedLSN captured under the
+// profile's lock), and the recovery path calls it for records already
+// contained in the loaded base state. The two watermarks are deliberately
+// separate — a compaction can advance WalLSN past an isolated add whose
+// data still lives only in the unmerged write table, and retiring that
+// record early would lose the acknowledged write on a crash before merge.
+// Once enough flushed bytes accumulate the journal compacts itself.
+func (j *Journal) NoteFlushed(table string, id model.ProfileID, walTo, mergedTo uint64) {
 	j.mu.Lock()
 	key := profileKey(table, id)
 	pend := j.pending[key]
-	i := 0
-	for i < len(pend) && pend[i].lsn <= upTo {
-		j.flushedBytes += pend[i].size
-		i++
-	}
-	if i > 0 {
-		pend = pend[i:]
-		if len(pend) == 0 {
-			delete(j.pending, key)
-		} else {
-			j.pending[key] = pend
+	// Retirement can leave holes (an unmerged isolated record below a
+	// flushed main-stream record), so filter rather than pop a prefix; the
+	// list stays LSN-ascending either way.
+	kept := pend[:0]
+	for _, pr := range pend {
+		covered := pr.lsn <= walTo
+		if pr.isolated {
+			covered = pr.lsn <= mergedTo
 		}
+		if covered {
+			j.flushedBytes += pr.size
+		} else {
+			kept = append(kept, pr)
+		}
+	}
+	if len(kept) == 0 {
+		delete(j.pending, key)
+	} else {
+		j.pending[key] = kept
 	}
 	shouldCompact := j.flushedBytes >= j.opts.CompactMinBytes
 	j.mu.Unlock()
@@ -579,13 +649,19 @@ func (j *Journal) Compact() error {
 	if err != nil {
 		return fmt.Errorf("wal: compact open: %w", err)
 	}
+	// fail abandons a half-written rewrite: close and remove the temp file
+	// so error paths do not litter the journal directory.
+	fail := func(err error) error {
+		tf.Close()
+		os.Remove(tmp)
+		return err
+	}
 	tw := bufio.NewWriter(tf)
 	var kept []Record
 	var size int64
 	for _, rec := range j.offsets {
 		if _, err := tw.Write(rec.frame); err != nil {
-			tf.Close()
-			return err
+			return fail(err)
 		}
 		size += int64(len(rec.frame))
 	}
@@ -594,37 +670,40 @@ func (j *Journal) Compact() error {
 			continue
 		}
 		if _, err := tw.Write(rec.frame); err != nil {
-			tf.Close()
-			return err
+			return fail(err)
 		}
 		kept = append(kept, rec)
 		size += int64(len(rec.frame))
 	}
 	if err := tw.Flush(); err != nil {
-		tf.Close()
-		return err
+		return fail(err)
 	}
 	if err := tf.Sync(); err != nil {
-		tf.Close()
-		return err
+		return fail(err)
 	}
 	if err := tf.Close(); err != nil {
+		os.Remove(tmp)
 		return err
 	}
 	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("wal: compact rename: %w", err)
 	}
-	// Swap the live file handle to the new journal.
-	if err := j.w.Flush(); err != nil {
-		return err
-	}
+	// The rename is the commit point: j.f now points at an unlinked inode,
+	// so appending through it would ack writes that vanish on restart. Any
+	// failure from here on closes the journal — subsequent appends fail
+	// loudly with ErrClosed instead of silently losing records.
 	nf, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
 	if err != nil {
-		return fmt.Errorf("wal: compact reopen: %w", err)
+		j.closed = true
+		j.f.Close()
+		return fmt.Errorf("wal: compact reopen (journal closed): %w", err)
 	}
 	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
 		nf.Close()
-		return err
+		j.closed = true
+		j.f.Close()
+		return fmt.Errorf("wal: compact seek (journal closed): %w", err)
 	}
 	j.f.Close()
 	j.f = nf

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"ips/internal/config"
 	"ips/internal/wire"
 )
 
@@ -34,7 +35,9 @@ func TestJournalRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lsn3, err := j.AppendCompact("up", 7, 123456)
+	compactCfg := config.Default()
+	compactCfg.Truncate.MaxSlices = 11
+	lsn3, err := j.AppendCompact("up", 7, 123456, compactCfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,6 +68,11 @@ func TestJournalRoundTrip(t *testing.T) {
 	}
 	if recs[2].Op != OpCompact || recs[2].Now != 123456 {
 		t.Fatalf("rec2 = %+v", recs[2])
+	}
+	// The config snapshot rides the OpCompact record across reopen.
+	if recs[2].Cfg == nil || recs[2].Cfg.Truncate.MaxSlices != 11 ||
+		!reflect.DeepEqual(recs[2].Cfg.TimeDimension, compactCfg.TimeDimension) {
+		t.Fatalf("rec2 cfg = %+v", recs[2].Cfg)
 	}
 	offs := j2.Offsets("pipe")
 	if !reflect.DeepEqual(offs, map[string][]int64{"impression": {3, 7}, "action": {1}}) {
@@ -140,11 +148,11 @@ func TestJournalWatermarkAndCompact(t *testing.T) {
 	}
 	// Profile 2 holds lsns 1,3,5; profile 1 holds 2,4,6. Flushing profile 2
 	// up to lsn 3 leaves lsn 2 (profile 1) as the lowest pending.
-	j.NoteFlushed("up", 2, 3)
+	j.NoteFlushed("up", 2, 3, 0)
 	if wm := j.Watermark(); wm != 1 {
 		t.Fatalf("watermark = %d, want 1", wm)
 	}
-	j.NoteFlushed("up", 1, 6)
+	j.NoteFlushed("up", 1, 6, 0)
 	if wm := j.Watermark(); wm != 4 {
 		t.Fatalf("watermark = %d, want 4 (lsn 5 still pending)", wm)
 	}
@@ -187,7 +195,7 @@ func TestJournalOffsetsSurviveCompaction(t *testing.T) {
 	if _, err := j.AppendAdd("up", 1, []wire.AddEntry{{Timestamp: 1, Counts: []int64{1}}}); err != nil {
 		t.Fatal(err)
 	}
-	j.NoteFlushed("up", 1, 3)
+	j.NoteFlushed("up", 1, 3, 0)
 	if err := j.Compact(); err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +221,7 @@ func TestJournalAutoCompact(t *testing.T) {
 		if _, err := j.AppendAdd("up", 1, []wire.AddEntry{{Timestamp: int64(i), Counts: []int64{1}}}); err != nil {
 			t.Fatal(err)
 		}
-		j.NoteFlushed("up", 1, uint64(i))
+		j.NoteFlushed("up", 1, uint64(i), 0)
 	}
 	st := j.Stats()
 	if st.Compactions == 0 {
@@ -235,5 +243,83 @@ func TestJournalSyncEvery(t *testing.T) {
 	}
 	if st := j.Stats(); st.Syncs != 2 {
 		t.Fatalf("syncs = %d, want 2", st.Syncs)
+	}
+}
+
+func TestJournalIsolatedStreamRetirement(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	j := openT(t, path, Options{CompactMinBytes: 1 << 40})
+	e := []wire.AddEntry{{Timestamp: 1, Counts: []int64{1}}}
+	if _, err := j.AppendAdd("up", 1, e); err != nil { // lsn 1, main stream
+		t.Fatal(err)
+	}
+	lsn2, err := j.AppendIsolatedAdd("up", 1, e) // lsn 2, isolated stream
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn2 != 2 {
+		t.Fatalf("isolated lsn = %d, want 2", lsn2)
+	}
+	// A main-stream flush whose watermark passed the isolated lsn (e.g. a
+	// compaction bumped WalLSN) retires ONLY the main record; the isolated
+	// one stays pending until the merged watermark vouches for it.
+	j.NoteFlushed("up", 1, 3, 0)
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	recs := j.Records()
+	if len(recs) != 1 || !recs[0].Isolated || recs[0].LSN != 2 {
+		t.Fatalf("after main-stream compact: %+v, want the lsn-2 isolated record", recs)
+	}
+	// The Isolated flag survives the wire format across reopen.
+	j.Close()
+	j2 := openT(t, path, Options{CompactMinBytes: 1 << 40})
+	defer j2.Close()
+	recs = j2.Records()
+	if len(recs) != 1 || !recs[0].Isolated {
+		t.Fatalf("after reopen: %+v, want isolated record", recs)
+	}
+	// The merged watermark is what retires it.
+	j2.NoteFlushed("up", 1, 0, 2)
+	if err := j2.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(j2.Records()); got != 0 {
+		t.Fatalf("retained %d records after merged-watermark flush", got)
+	}
+}
+
+func TestJournalCompactLeavesNoTempFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	j := openT(t, path, Options{CompactMinBytes: 1 << 40})
+	defer j.Close()
+	if _, err := j.AppendAdd("up", 1, []wire.AddEntry{{Timestamp: 1, Counts: []int64{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	j.NoteFlushed("up", 1, 1, 0)
+	if err := j.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, de := range names {
+		if de.Name() != "wal.log" {
+			t.Fatalf("compaction left %q behind", de.Name())
+		}
+	}
+	// The reopened handle after the rename is live: appends land in the
+	// renamed file, not the unlinked inode.
+	if _, err := j.AppendAdd("up", 2, []wire.AddEntry{{Timestamp: 2, Counts: []int64{1}}}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 {
+		t.Fatal("post-compact append vanished (stale fd?)")
 	}
 }

@@ -127,7 +127,9 @@ func main() {
 	if hb != nil {
 		hb.Stop()
 	}
-	svc.Close()
+	if err := svc.Close(); err != nil {
+		log.Printf("service close: %v", err)
+	}
 	if err := inst.Close(); err != nil {
 		log.Printf("close: %v", err)
 	}

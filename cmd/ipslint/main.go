@@ -1,0 +1,72 @@
+// Command ipslint runs the IPS invariant analyzers (internal/analysis)
+// over the module and exits non-zero if any diagnostic survives.
+//
+// Usage:
+//
+//	go run ./cmd/ipslint ./...
+//
+// The package pattern argument is accepted for familiarity but the tool
+// always loads and checks the whole module containing the working
+// directory. Findings print as file:line:col: [analyzer] message.
+// Suppress one with //ipslint:ignore <analyzer> <reason> on or above the
+// offending line; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ips/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ipslint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the IPS invariant analyzers over the enclosing module.\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-20s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(wd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, _, err := analysis.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	diags := analysis.RunPackages(pkgs, analyzers)
+	for _, d := range diags {
+		// Print module-relative paths: stable across checkouts, and what
+		// the fixture tests and CI logs key on.
+		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+			d.Pos.Filename = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "ipslint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ipslint:", err)
+	os.Exit(2)
+}

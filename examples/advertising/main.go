@@ -23,7 +23,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}()
 
 	// The bid price must not accumulate: it reduces with LAST so the most
 	// recent auction price wins; impressions/conversions SUM as usual.

@@ -39,7 +39,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer app.Close()
+	defer func() {
+		if err := app.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}()
 
 	// Write profiles: the client fans each write out to both regions.
 	now := time.Now().UnixMilli()

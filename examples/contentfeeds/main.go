@@ -28,7 +28,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}()
 
 	// Schema: impressions and clicks to form CTR, plus dwell as an
 	// engagement signal.

@@ -25,7 +25,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}()
 
 	table, err := db.CreateTable("user_profile", "like", "comment", "share")
 	if err != nil {

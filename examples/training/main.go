@@ -35,7 +35,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer db.Close()
+	defer func() {
+		if err := db.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}()
 	table, err := db.CreateTable("user_profile", "impression", "click")
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,75 @@
+// Package analysis is a small, stdlib-only static-analysis framework for
+// IPS, mimicking the golang.org/x/tools go/analysis Pass API. It exists
+// because the system's correctness now hinges on conventions no compiler
+// checks: journal appends must happen under the profile lock *before* the
+// mutation applies, fsync/Close errors on the durability path must never
+// be dropped, and crash-recovery replay must be deterministic. The
+// analyzers in this package encode those invariants; cmd/ipslint runs them
+// over the module and CI fails on any diagnostic.
+//
+// Suppression: a finding can be silenced with a comment directive on the
+// offending line (or the line directly above it):
+//
+//	//ipslint:ignore <analyzer> <reason>
+//
+// The reason is mandatory — an ignore without one is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and ignore directives.
+	Name string
+	// Doc is a one-line description of the invariant the analyzer encodes.
+	Doc string
+	// Run inspects one package and reports findings via pass.Report.
+	Run func(pass *Pass)
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files are the package's parsed non-test sources.
+	Files []*ast.File
+	// Pkg is the type-checked package; Pkg.Path() is the import path the
+	// analyzers scope their rules by.
+	Pkg *types.Package
+	// Info holds the type-checker's results for the files.
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Analyzers returns every registered IPS analyzer, in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		LockOrder,
+		DurabilityErr,
+		Determinism,
+		CtxDeadline,
+		JournalBeforeApply,
+	}
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxDeadline flags calls that pass context.Background() or
+// context.TODO() from inside a function that already has a
+// context.Context parameter. Minting a fresh root context there severs
+// the caller's deadline and cancellation: an RPC the client hedged with
+// a 50ms budget would run unbounded on the server. The request context
+// must be propagated.
+//
+// Functions without a context parameter are exempt — somewhere a root
+// context legitimately gets created (main, tests, background loops).
+var CtxDeadline = &Analyzer{
+	Name: "ctxdeadline",
+	Doc:  "flag context.Background()/TODO() used where a request context should propagate",
+	Run:  runCtxDeadline,
+}
+
+func runCtxDeadline(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctxParam := contextParamName(pass.Info, fd.Type)
+			if ctxParam == "" {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				// A nested function literal with its own ctx param (or
+				// none) is its own scope; the outer rule still applies to
+				// literals without one, since the outer ctx is in scope.
+				if fl, ok := n.(*ast.FuncLit); ok {
+					if contextParamName(pass.Info, fl.Type) != "" {
+						return false
+					}
+					return true
+				}
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if pkg, name, ok := pkgFuncCall(pass.Info, call); ok && pkg == "context" && (name == "Background" || name == "TODO") {
+					pass.Reportf(call.Pos(), "context.%s discards the request context %q and its deadline; propagate it instead", name, ctxParam)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// contextParamName returns the name of the first context.Context
+// parameter of the function type, or "".
+func contextParamName(info *types.Info, ft *ast.FuncType) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		t := exprType(info, field.Type)
+		n := namedOf(t)
+		if n == nil || namedString(n) != "context.Context" {
+			continue
+		}
+		if len(field.Names) > 0 {
+			return field.Names[0].Name
+		}
+		return "_"
+	}
+	return ""
+}

@@ -1,0 +1,325 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism guards the replay/recovery paths: crash recovery must
+// reproduce the exact same state (and the journal rewrite the exact same
+// bytes) on every run, so wall-clock reads, the global math/rand source
+// and map-iteration-order-dependent output are forbidden there.
+//
+// Scope:
+//
+//   - internal/wal: the whole package — journal encoding, compaction
+//     rewrite and replay must be byte-deterministic;
+//   - internal/server: the recovery functions (CreateTable and any
+//     function whose name contains "replay"/"recover") — wall clock and
+//     unseeded randomness there diverge replayed state from logged state;
+//   - internal/bench: seeded runs — unseeded randomness only (benchmarks
+//     legitimately read the wall clock to measure latency).
+//
+// time.Now is allowed inside a clock seam: a function literal or value
+// being assigned to something named like "clock"/"nowFn" (e.g. the
+// server's Options.Clock default). Randomness must come from an explicit
+// rand.New(rand.NewSource(seed)); package-level rand.* calls draw from
+// the shared global source and are flagged.
+//
+// Map ranges are flagged only when iteration order escapes: the body
+// appends to a variable declared outside the loop, or passes loop
+// variables to non-builtin calls (encoders, writers). Order-free bodies
+// (building another map, summing) pass.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, global randomness and map-order dependence in replay/recovery paths",
+	Run:  runDeterminism,
+}
+
+type determinismScope struct {
+	timeNow  bool
+	randGlob bool
+	mapRange bool
+}
+
+// determinismScopeFor returns the rules active for a function, or nil
+// when out of scope.
+func determinismScopeFor(pkgPath, funcName string) *determinismScope {
+	switch pkgPath {
+	case "ips/internal/wal":
+		return &determinismScope{timeNow: true, randGlob: true, mapRange: true}
+	case "ips/internal/bench":
+		return &determinismScope{randGlob: true}
+	case "ips/internal/server":
+		lower := strings.ToLower(funcName)
+		if funcName == "CreateTable" || strings.Contains(lower, "replay") || strings.Contains(lower, "recover") {
+			return &determinismScope{timeNow: true, randGlob: true, mapRange: true}
+		}
+	}
+	return nil
+}
+
+// seededRandConstructors take an explicit source or seed and are always
+// allowed; everything else at package level draws from the global source.
+var seededRandConstructors = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scope := determinismScopeFor(pass.Pkg.Path(), fd.Name.Name)
+			if scope == nil {
+				continue
+			}
+			checkDeterminism(pass, fd, scope)
+		}
+	}
+}
+
+func checkDeterminism(pass *Pass, fd *ast.FuncDecl, scope *determinismScope) {
+	var stack []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		stack = append(stack, n)
+
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			pkg, name, ok := pkgFuncCall(pass.Info, node)
+			if !ok {
+				break
+			}
+			switch {
+			case scope.timeNow && pkg == "time" && name == "Now":
+				if !inClockSeam(stack) {
+					pass.Reportf(node.Pos(), "time.Now in a replay/recovery path makes recovery non-reproducible; inject a clock (Options.Clock seam) instead")
+				}
+			case scope.randGlob && pkg == "math/rand" && !seededRandConstructors[name]:
+				pass.Reportf(node.Pos(), "rand.%s draws from the global source; use rand.New(rand.NewSource(seed)) so the run is reproducible", name)
+			}
+		case *ast.RangeStmt:
+			if scope.mapRange {
+				checkMapRange(pass, node, append([]ast.Node(nil), stack...))
+			}
+		}
+		return true
+	})
+}
+
+// inClockSeam reports whether the node stack passes through an
+// assignment or composite entry whose target name looks like a clock
+// seam ("clock", "nowFn", ...): that is where the wall clock is allowed
+// to enter the system.
+func inClockSeam(stack []ast.Node) bool {
+	seamName := func(s string) bool {
+		l := strings.ToLower(s)
+		return strings.Contains(l, "clock") || strings.Contains(l, "nowfn")
+	}
+	for _, n := range stack {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range node.Lhs {
+				switch t := lhs.(type) {
+				case *ast.Ident:
+					if seamName(t.Name) {
+						return true
+					}
+				case *ast.SelectorExpr:
+					if seamName(t.Sel.Name) {
+						return true
+					}
+				}
+			}
+		case *ast.KeyValueExpr:
+			if id, ok := node.Key.(*ast.Ident); ok && seamName(id.Name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkMapRange flags a range over a map whose iteration order escapes.
+// stack holds the enclosing nodes, innermost last, so the canonical
+// collect-then-sort fix can be recognized.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, stack []ast.Node) {
+	t := exprType(pass.Info, rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+
+	loopVars := make(map[types.Object]bool)
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.Defs[id]; obj != nil {
+				loopVars[obj] = true
+			} else if obj := pass.Info.Uses[id]; obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+
+	usesLoopVar := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && loopVars[pass.Info.Uses[id]] {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+
+	var escapePos token.Pos
+	var escapeWhat string
+	var appendTarget types.Object
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if escapePos.IsValid() {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			// x = append(x, ...) onto a slice declared outside the loop:
+			// element order now depends on map iteration order.
+			for i, rhs := range node.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" || pass.Info.Uses[id] != nil && pass.Info.Uses[id].Pkg() != nil {
+					continue
+				}
+				if i < len(node.Lhs) && declaredOutside(pass, node.Lhs[i], rng) {
+					escapePos = node.Pos()
+					escapeWhat = "appends to a slice declared outside the loop"
+					if id, ok := node.Lhs[i].(*ast.Ident); ok {
+						appendTarget = pass.Info.Uses[id]
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// A non-builtin call consuming the loop variables (an encoder,
+			// writer, channel send helper) observes iteration order.
+			if _, isBuiltin := calleeObj(pass.Info, node).(*types.Builtin); isBuiltin {
+				return true // delete/len/cap are order-free; append handled above
+			}
+			for _, a := range node.Args {
+				if usesLoopVar(a) {
+					escapePos = node.Pos()
+					escapeWhat = "passes loop variables to a call"
+					break
+				}
+			}
+		}
+		return true
+	})
+
+	if !escapePos.IsValid() {
+		return
+	}
+	// The canonical fix — collect the keys, sort, iterate sorted — is
+	// itself a map range appending to an outer slice; recognize the sort
+	// that follows and stay quiet.
+	if appendTarget != nil && sortedAfter(pass, rng, stack, appendTarget) {
+		return
+	}
+	pass.Reportf(rng.For, "iteration order of this map range escapes (%s); sort the keys first for a deterministic result", escapeWhat)
+}
+
+// sortedAfter reports whether a statement after rng in its enclosing
+// block sorts the collected slice (sort.* or slices.* call naming it).
+func sortedAfter(pass *Pass, rng *ast.RangeStmt, stack []ast.Node, target types.Object) bool {
+	var block []ast.Stmt
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			block = b.List
+		case *ast.CaseClause:
+			block = b.Body
+		case *ast.CommClause:
+			block = b.Body
+		default:
+			continue
+		}
+		break
+	}
+	idx := -1
+	for i, st := range block {
+		if st == ast.Stmt(rng) {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false
+	}
+	for _, st := range block[idx+1:] {
+		found := false
+		ast.Inspect(st, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkg, _, ok := pkgFuncCall(pass.Info, call)
+			if !ok || (pkg != "sort" && pkg != "slices") {
+				return true
+			}
+			for _, a := range call.Args {
+				ast.Inspect(a, func(m ast.Node) bool {
+					if id, ok := m.(*ast.Ident); ok && pass.Info.Uses[id] == target {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// declaredOutside reports whether the expression names a variable whose
+// declaration precedes the range statement.
+func declaredOutside(pass *Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		// x.field = append(x.field, ...): field of something pre-existing.
+		_, isSel := e.(*ast.SelectorExpr)
+		return isSel
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		obj = pass.Info.Defs[id]
+	}
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() < rng.Pos()
+}

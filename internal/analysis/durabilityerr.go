@@ -1,0 +1,91 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// DurabilityErr flags discarded error returns from the durability
+// surface: Sync, Close, Flush, Commit and Append* methods. A dropped
+// fsync or close error is the canonical silent-data-loss bug — the write
+// looked acknowledged but never reached the disk (PR 3's crash-recovery
+// guarantees assume none of these are swallowed).
+//
+// Two scopes:
+//
+//   - inside the durable packages (ips, internal/wal, internal/kv,
+//     internal/persist, internal/gcache, internal/server) every receiver
+//     counts, including bufio.Writer and friends;
+//   - elsewhere in the module, receivers whose type lives in a durable
+//     package (e.g. *ips.DB, *server.Service) and os.File still count.
+//
+// A bare call statement and a plain `defer x.Close()` discard the error
+// and are flagged. An explicit `_ = x.Close()` is accepted as a visible,
+// reviewable acknowledgment.
+var DurabilityErr = &Analyzer{
+	Name: "durabilityerr",
+	Doc:  "flag discarded error returns from Sync/Close/Flush/Append/Commit on the durability path",
+	Run:  runDurabilityErr,
+}
+
+// durablePackages are packages whose whole surface is durability-critical.
+var durablePackages = map[string]bool{
+	"ips":                  true,
+	"ips/internal/wal":     true,
+	"ips/internal/kv":      true,
+	"ips/internal/persist": true,
+	"ips/internal/gcache":  true,
+	"ips/internal/server":  true,
+}
+
+func isDurabilityMethod(name string) bool {
+	switch name {
+	case "Sync", "Close", "Flush", "Commit":
+		return true
+	}
+	return strings.HasPrefix(name, "Append")
+}
+
+func runDurabilityErr(pass *Pass) {
+	inDurablePkg := durablePackages[pass.Pkg.Path()]
+
+	// flaggable reports whether call is a durability-method call whose
+	// error result is in scope for this package.
+	flaggable := func(call *ast.CallExpr) (string, bool) {
+		recv, name, ok := methodCall(pass.Info, call)
+		if !ok || !isDurabilityMethod(name) || !returnsError(pass.Info, call) {
+			return "", false
+		}
+		rs := namedString(recv)
+		recvPkg := ""
+		if recv.Obj().Pkg() != nil {
+			recvPkg = recv.Obj().Pkg().Path()
+		}
+		if inDurablePkg || rs == "os.File" || durablePackages[recvPkg] {
+			return rs + "." + name, true
+		}
+		return "", false
+	}
+
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					if what, bad := flaggable(call); bad {
+						pass.Reportf(call.Pos(), "error from %s is discarded; handle it or assign to _ explicitly", what)
+					}
+				}
+			case *ast.DeferStmt:
+				if what, bad := flaggable(st.Call); bad {
+					pass.Reportf(st.Call.Pos(), "defer discards the error from %s; use `defer func() { ... }` and handle or explicitly drop it", what)
+				}
+			case *ast.GoStmt:
+				if what, bad := flaggable(st.Call); bad {
+					pass.Reportf(st.Call.Pos(), "go statement discards the error from %s", what)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Fixture files under testdata/src/<analyzer>/ carry two kinds of
+// directives:
+//
+//	//ipslint:fixturepath <import path>   — the fake import path the file
+//	                                        type-checks under, placing it
+//	                                        inside an analyzer's scope
+//	// want "<regexp>"                    — a diagnostic is expected on
+//	                                        this exact line, matching the
+//	                                        pattern
+//
+// Each file is type-checked as its own single-file package so fixtures
+// in one directory can model different packages.
+
+var wantRe = regexp.MustCompile(`want "([^"]+)"`)
+
+const fixturePathPrefix = "//ipslint:fixturepath "
+
+var (
+	exportsOnce sync.Once
+	exportsVal  *Exports
+	exportsErr  error
+)
+
+// sharedExports loads the module's export data once per test binary;
+// "context" rides along because fixtures import it while the module
+// itself does not.
+func sharedExports(t *testing.T) *Exports {
+	t.Helper()
+	exportsOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			exportsErr = err
+			return
+		}
+		exportsVal, exportsErr = LoadExports(root, "context")
+	})
+	if exportsErr != nil {
+		t.Fatalf("loading export data: %v", exportsErr)
+	}
+	return exportsVal
+}
+
+type expectation struct {
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// loadFixture parses and type-checks one fixture file as its own package.
+func loadFixture(t *testing.T, exp *Exports, fset *token.FileSet, path string) (*Package, []*expectation) {
+	t.Helper()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	pkgPath := "fixture/" + strings.TrimSuffix(filepath.Base(path), ".go")
+	var expects []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, fixturePathPrefix) {
+				pkgPath = strings.TrimSpace(strings.TrimPrefix(c.Text, fixturePathPrefix))
+			}
+			for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s: bad want pattern %q: %v", path, m[1], err)
+				}
+				expects = append(expects, &expectation{line: fset.Position(c.Pos()).Line, pattern: re})
+			}
+		}
+	}
+	pkg, err := exp.Check(pkgPath, fset, []*ast.File{f})
+	if err != nil {
+		t.Fatalf("type-check %s: %v", path, err)
+	}
+	return pkg, expects
+}
+
+// checkDiagnostics asserts a one-to-one match between diagnostics and
+// want expectations, on exact lines.
+func checkDiagnostics(t *testing.T, fset *token.FileSet, diags []Diagnostic, expects []*expectation) {
+	t.Helper()
+	for _, d := range diags {
+		found := false
+		for _, e := range expects {
+			if !e.matched && e.line == d.Pos.Line && e.pattern.MatchString(d.Message) {
+				e.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("line %d: expected diagnostic matching %q, got none", e.line, e.pattern)
+		}
+	}
+}
+
+func TestAnalyzerFixtures(t *testing.T) {
+	exp := sharedExports(t)
+	for _, a := range Analyzers() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			dir := filepath.Join("testdata", "src", a.Name)
+			entries, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatalf("every analyzer needs fixtures: %v", err)
+			}
+			ran := false
+			for _, ent := range entries {
+				if !strings.HasSuffix(ent.Name(), ".go") {
+					continue
+				}
+				ran = true
+				fset := token.NewFileSet()
+				pkg, expects := loadFixture(t, exp, fset, filepath.Join(dir, ent.Name()))
+				if len(expects) == 0 && !strings.Contains(ent.Name(), "clean") {
+					t.Errorf("%s: fixture has no want expectations", ent.Name())
+				}
+				diags := RunPackages([]*Package{pkg}, []*Analyzer{a})
+				checkDiagnostics(t, fset, diags, expects)
+			}
+			if !ran {
+				t.Fatal("no .go fixtures found")
+			}
+		})
+	}
+}
+
+// TestIgnoreDirectives drives the driver-level //ipslint:ignore
+// handling: suppression on the same line and the line above, the
+// reasonless-directive diagnostic, and no cross-analyzer suppression.
+func TestIgnoreDirectives(t *testing.T) {
+	exp := sharedExports(t)
+	fset := token.NewFileSet()
+	pkg, _ := loadFixture(t, exp, fset, filepath.Join("testdata", "src", "ignore", "ignored.go"))
+	diags := RunPackages([]*Package{pkg}, Analyzers())
+
+	funcLine := func(name string) int {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+					return fset.Position(fd.Pos()).Line
+				}
+			}
+		}
+		t.Fatalf("fixture function %s not found", name)
+		return 0
+	}
+	within := func(d Diagnostic, fn string) bool {
+		start := funcLine(fn)
+		return d.Pos.Line > start && d.Pos.Line < start+6
+	}
+
+	var missingReasonDiag, suppressedHit, wrongAnalyzerHit, ipslintCount, durabilityInMissing int
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "ipslint":
+			ipslintCount++
+			if strings.Contains(d.Message, "needs a reason") && within(d, "missingReason") {
+				missingReasonDiag++
+			}
+		case within(d, "suppressedSameLine") || within(d, "suppressedLineAbove"):
+			suppressedHit++
+		case d.Analyzer == "durabilityerr" && within(d, "missingReason"):
+			durabilityInMissing++
+		case d.Analyzer == "durabilityerr" && within(d, "wrongAnalyzer"):
+			wrongAnalyzerHit++
+		}
+	}
+	if suppressedHit != 0 {
+		t.Errorf("valid ignore directives failed to suppress: %d diagnostics leaked", suppressedHit)
+	}
+	if missingReasonDiag != 1 || ipslintCount != 1 {
+		t.Errorf("want exactly one ipslint needs-a-reason diagnostic, got %d (ipslint total %d)", missingReasonDiag, ipslintCount)
+	}
+	if durabilityInMissing != 1 {
+		t.Errorf("reasonless directive must not suppress: want the underlying durabilityerr finding, got %d", durabilityInMissing)
+	}
+	if wrongAnalyzerHit != 1 {
+		t.Errorf("directive naming another analyzer must not suppress, got %d findings", wrongAnalyzerHit)
+	}
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// JournalBeforeApply enforces the write-ahead discipline inside
+// internal/gcache: a mutation must reach the journal before it mutates
+// the cached profile, and the journal append must happen under the
+// profile's write lock so replay order matches apply order (PR 3's
+// crash-consistency contract, gcache.AddEntries).
+//
+// Concretely, within each gcache function, in statement order:
+//
+//  1. a call to a mutation-applying helper (applyEntriesLocked, or any
+//     apply*Locked method) must be preceded by a journal append — an
+//     OnApply hook invocation or an Append* call — or by a read of a
+//     WalLSN/MergedLSN watermark, which marks the replay path where the
+//     record is already durable;
+//  2. the journal append itself must be preceded by a profile Lock()
+//     acquisition, so the LSN ordering the journal assigns agrees with
+//     the order mutations land on the profile.
+var JournalBeforeApply = &Analyzer{
+	Name: "journalbeforeapply",
+	Doc:  "require journal append (under the profile lock) before mutations apply in gcache",
+	Run:  runJournalBeforeApply,
+}
+
+func isApplyHelperName(name string) bool {
+	return strings.HasPrefix(name, "apply") && strings.HasSuffix(name, "Locked")
+}
+
+func isJournalAppendName(name string) bool {
+	return name == "OnApply" || strings.HasPrefix(name, "Append")
+}
+
+func runJournalBeforeApply(pass *Pass) {
+	if pass.Pkg.Path() != "ips/internal/gcache" {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// The apply helper's own definition is exempt: the rule binds
+			// its callers.
+			if isApplyHelperName(fd.Name.Name) {
+				continue
+			}
+			checkJournalOrder(pass, fd)
+		}
+	}
+}
+
+func checkJournalOrder(pass *Pass, fd *ast.FuncDecl) {
+	journaled := false // an append or watermark read has happened
+	locked := false    // a profile (or any) Lock() has happened
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.SelectorExpr:
+			// Reading p.WalLSN / p.MergedLSN gates replay-path applies:
+			// the entry is already in the journal.
+			if node.Sel.Name == "WalLSN" || node.Sel.Name == "MergedLSN" {
+				journaled = true
+			}
+		case *ast.CallExpr:
+			name := calleeName(node)
+			switch {
+			case name == "Lock":
+				locked = true
+			case isJournalAppendName(name):
+				if !locked {
+					pass.Reportf(node.Pos(), "journal append %s must happen under the profile write lock; no Lock() precedes it in this function", name)
+				}
+				journaled = true
+			case isApplyHelperName(name):
+				if !journaled {
+					pass.Reportf(node.Pos(), "%s mutates the profile before any journal append (OnApply/Append*) or watermark read; log the mutation first", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleeName extracts the bare called name from f(...), x.f(...).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLiveTreeDiagnosticFree pins the repository itself at zero ipslint
+// findings. A failure here means a change reintroduced a lock-order,
+// durability, determinism, context, or journal-ordering violation — fix
+// the code (or, for a demonstrated false positive, add an
+// //ipslint:ignore <analyzer> <reason> directive at the site).
+func TestLiveTreeDiagnosticFree(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("finding module root: %v", err)
+	}
+	pkgs, _, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	diags := RunPackages(pkgs, Analyzers())
+	if len(diags) > 0 {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString("\n\t")
+			b.WriteString(d.String())
+		}
+		t.Errorf("live tree must be ipslint-clean; %d finding(s):%s", len(diags), b.String())
+	}
+}

@@ -1,0 +1,727 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockOrder builds a static lock-acquisition graph over sync.Mutex /
+// sync.RWMutex values, seeded with the documented IPS order
+//
+//	Instance.mu → tableState.writeMu → model.Profile → wal.Journal.mu
+//
+// and reports (a) acquisitions that close a cycle in that graph — a lock
+// order inversion, the classic AB/BA deadlock shape — and (b) Lock()
+// calls in functions with multiple exit points where some path can
+// return with the lock still held and no deferred unlock covers it.
+//
+// The checker is intra-procedural and path-sensitive: it simulates each
+// function body, tracking the multiset of held lock classes per path,
+// so the manual unlock-on-every-path style used by gcache.AddEntries and
+// rpc.Client.pick is recognized as balanced. RLock/RUnlock fold into the
+// same class as Lock/Unlock: read/write flavors of one RWMutex must obey
+// one order.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "detect lock-order inversions and lock-leaking return paths",
+	Run:  runLockOrder,
+}
+
+// lockOrderSeeds is the documented global acquisition order: each class
+// may only be acquired while holding classes earlier in the chain.
+var lockOrderSeeds = []string{
+	"ips/internal/server.Instance.mu",
+	"ips/internal/server.tableState.writeMu",
+	"ips/internal/model.Profile",
+	"ips/internal/wal.Journal.mu",
+}
+
+type lockOp int
+
+const (
+	lockAcquire lockOp = iota
+	lockRelease
+	lockTry
+)
+
+// lockEvent is one resolved mutex operation in source order.
+type lockEvent struct {
+	class string
+	op    lockOp
+	pos   token.Pos
+}
+
+// resolveLockCall classifies call as a mutex operation and names its
+// lock class: "pkg.Type.field" for a sync.Mutex/RWMutex struct field,
+// "pkg.Type" for a named type exposing its own Lock methods (e.g.
+// model.Profile) or embedding a mutex, "pkg.var" for mutex variables.
+func resolveLockCall(info *types.Info, call *ast.CallExpr) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	var op lockOp
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = lockAcquire
+	case "Unlock", "RUnlock":
+		op = lockRelease
+	case "TryLock", "TryRLock":
+		op = lockTry
+	default:
+		return lockEvent{}, false
+	}
+	// Must be a method call, not pkg.Lock(...) on some package ident.
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); !ok || fn.Type().(*types.Signature).Recv() == nil {
+		return lockEvent{}, false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return lockEvent{}, false
+	}
+	recv := namedOf(tv.Type)
+	if recv == nil {
+		return lockEvent{}, false
+	}
+	ev := lockEvent{op: op, pos: call.Pos()}
+	if isSyncMutex(recv) {
+		// The mutex value itself: name it by its owner.
+		switch x := sel.X.(type) {
+		case *ast.SelectorExpr:
+			if owner := namedOf(exprType(info, x.X)); owner != nil {
+				ev.class = namedString(owner) + "." + x.Sel.Name
+				return ev, true
+			}
+		case *ast.Ident:
+			if obj := info.ObjectOf(x); obj != nil && obj.Pkg() != nil {
+				ev.class = obj.Pkg().Path() + "." + x.Name
+				return ev, true
+			}
+		}
+		ev.class = "mutex." + sel.Sel.Name // anonymous shape; still ordered
+		return ev, true
+	}
+	// A named type with Lock/Unlock methods (explicit or via an embedded
+	// mutex): the type is the lock class.
+	ev.class = namedString(recv)
+	return ev, true
+}
+
+func isSyncMutex(n *types.Named) bool {
+	s := namedString(n)
+	return s == "sync.Mutex" || s == "sync.RWMutex"
+}
+
+// lockState is the abstract state along one execution path.
+type lockState struct {
+	held     []heldLock
+	deferred []string
+}
+
+type heldLock struct {
+	class string
+	pos   token.Pos
+}
+
+func (s *lockState) clone() *lockState {
+	ns := &lockState{
+		held:     append([]heldLock(nil), s.held...),
+		deferred: append([]string(nil), s.deferred...),
+	}
+	return ns
+}
+
+// key summarizes the state for dedup during merges.
+func (s *lockState) key() string {
+	var b strings.Builder
+	for _, h := range s.held {
+		b.WriteString(h.class)
+		b.WriteByte('|')
+	}
+	b.WriteByte('#')
+	for _, d := range s.deferred {
+		b.WriteString(d)
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// heldKey is the held multiset alone (loop back-edge balance check).
+func (s *lockState) heldKey() string {
+	classes := make([]string, len(s.held))
+	for i, h := range s.held {
+		classes[i] = h.class
+	}
+	sort.Strings(classes)
+	return strings.Join(classes, "|")
+}
+
+// leaked returns locks held with no deferred unlock pending.
+func (s *lockState) leaked() []heldLock {
+	pending := make(map[string]int)
+	for _, d := range s.deferred {
+		pending[d]++
+	}
+	var out []heldLock
+	for _, h := range s.held {
+		if pending[h.class] > 0 {
+			pending[h.class]--
+			continue
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+const maxLockStates = 64
+
+// cloneStates deep-copies a path set. Branch arms and loop bodies must
+// simulate on clones: scanExpr mutates states in place, and two arms
+// sharing pointers would see each other's acquisitions.
+func cloneStates(in []*lockState) []*lockState {
+	out := make([]*lockState, len(in))
+	for i, st := range in {
+		out[i] = st.clone()
+	}
+	return out
+}
+
+func mergeStates(groups ...[]*lockState) []*lockState {
+	seen := make(map[string]bool)
+	var out []*lockState
+	for _, g := range groups {
+		for _, s := range g {
+			k := s.key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, s)
+			if len(out) == maxLockStates {
+				return out
+			}
+		}
+	}
+	return out
+}
+
+// simFrame is a break/continue target on the simulation stack.
+type simFrame struct {
+	isLoop    bool
+	breaks    []*lockState
+	continues []*lockState
+}
+
+// lockSim simulates one package's functions.
+type lockSim struct {
+	pass  *Pass
+	edges map[[2]string]token.Pos // first place each from→to pair was observed
+
+	// Per-function scratch:
+	multiExit  bool
+	leakedAt   map[token.Pos]string // Lock() pos → class, for report dedup
+	loopIssues map[token.Pos]bool
+}
+
+func runLockOrder(pass *Pass) {
+	sim := &lockSim{pass: pass, edges: make(map[[2]string]token.Pos)}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			sim.runFunc(fd.Body)
+			// Function literals get their own context: their body runs at
+			// another time (goroutine, callback), not inline.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					sim.runFunc(fl.Body)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	sim.reportInversions()
+}
+
+// runFunc simulates one function (or literal) body.
+func (s *lockSim) runFunc(body *ast.BlockStmt) {
+	exits := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			exits++
+		}
+		return true
+	})
+	// The implicit fall-off-the-end exit counts when reachable together
+	// with explicit returns; one extra is a safe overapproximation only
+	// when explicit returns exist.
+	s.multiExit = exits >= 2 || (exits == 1 && !endsWithReturn(body))
+	s.leakedAt = make(map[token.Pos]string)
+	s.loopIssues = make(map[token.Pos]bool)
+
+	final := s.simStmts(body.List, []*lockState{{}}, nil)
+	// Fall-off-the-end exit.
+	s.checkExit(final)
+
+	var positions []token.Pos
+	for pos := range s.leakedAt {
+		positions = append(positions, pos)
+	}
+	sort.Slice(positions, func(i, j int) bool { return positions[i] < positions[j] })
+	for _, pos := range positions {
+		s.pass.Reportf(pos, "%s locked here can still be held at a return with no deferred unlock; release it on every path or use defer", s.leakedAt[pos])
+	}
+}
+
+func endsWithReturn(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	}
+	return false
+}
+
+// checkExit records locks leaked at an exit point of a multi-exit function.
+func (s *lockSim) checkExit(states []*lockState) {
+	if !s.multiExit {
+		return
+	}
+	for _, st := range states {
+		for _, h := range st.leaked() {
+			s.leakedAt[h.pos] = h.class
+		}
+	}
+}
+
+func (s *lockSim) simStmts(stmts []ast.Stmt, in []*lockState, frames []*simFrame) []*lockState {
+	states := in
+	for _, stmt := range stmts {
+		states = s.simStmt(stmt, states, frames)
+		if len(states) == 0 {
+			break // all paths terminated
+		}
+	}
+	return states
+}
+
+func (s *lockSim) simStmt(stmt ast.Stmt, in []*lockState, frames []*simFrame) []*lockState {
+	switch st := stmt.(type) {
+	case *ast.BlockStmt:
+		return s.simStmts(st.List, in, frames)
+
+	case *ast.ExprStmt:
+		if isTerminalCall(s.pass.Info, st.X) {
+			s.scanExpr(st.X, in)
+			return nil
+		}
+		s.scanExpr(st.X, in)
+		return in
+
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			s.scanExpr(e, in)
+		}
+		s.checkExit(in)
+		return nil
+
+	case *ast.IfStmt:
+		if st.Init != nil {
+			in = s.simStmt(st.Init, in, frames)
+		}
+		thenIn, elseIn := s.simCond(st.Cond, in)
+		thenOut := s.simStmts(st.Body.List, cloneStates(thenIn), frames)
+		var elseOut []*lockState
+		if st.Else != nil {
+			elseOut = s.simStmt(st.Else, cloneStates(elseIn), frames)
+		} else {
+			elseOut = elseIn
+		}
+		return mergeStates(thenOut, elseOut)
+
+	case *ast.ForStmt:
+		if st.Init != nil {
+			in = s.simStmt(st.Init, in, frames)
+		}
+		if st.Cond != nil {
+			s.scanExpr(st.Cond, in)
+		}
+		entryKeys := heldKeys(in)
+		fr := &simFrame{isLoop: true}
+		bodyOut := s.simStmts(st.Body.List, cloneStates(in), append(frames, fr))
+		if st.Post != nil {
+			bodyOut = s.simStmt(st.Post, bodyOut, frames)
+		}
+		s.checkBackEdge(st.For, entryKeys, mergeStates(bodyOut, fr.continues))
+		if st.Cond == nil {
+			// for {}: the only way out is break (or a terminator).
+			return fr.breaks
+		}
+		return mergeStates(in, bodyOut, fr.continues, fr.breaks)
+
+	case *ast.RangeStmt:
+		s.scanExpr(st.X, in)
+		entryKeys := heldKeys(in)
+		fr := &simFrame{isLoop: true}
+		bodyOut := s.simStmts(st.Body.List, cloneStates(in), append(frames, fr))
+		s.checkBackEdge(st.For, entryKeys, mergeStates(bodyOut, fr.continues))
+		return mergeStates(in, bodyOut, fr.continues, fr.breaks)
+
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			in = s.simStmt(st.Init, in, frames)
+		}
+		if st.Tag != nil {
+			s.scanExpr(st.Tag, in)
+		}
+		return s.simCases(st.Body, in, frames)
+
+	case *ast.TypeSwitchStmt:
+		if st.Init != nil {
+			in = s.simStmt(st.Init, in, frames)
+		}
+		return s.simCases(st.Body, in, frames)
+
+	case *ast.SelectStmt:
+		fr := &simFrame{}
+		var outs [][]*lockState
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			cin := cloneStates(in)
+			if cc.Comm != nil {
+				cin = s.simStmt(cc.Comm, cin, frames)
+			}
+			outs = append(outs, s.simStmts(cc.Body, cin, append(frames, fr)))
+		}
+		outs = append(outs, fr.breaks)
+		return mergeStates(outs...)
+
+	case *ast.BranchStmt:
+		switch st.Tok {
+		case token.BREAK:
+			if fr := nearestFrame(frames, false); fr != nil {
+				fr.breaks = mergeStates(fr.breaks, cloneStates(in))
+			}
+		case token.CONTINUE:
+			if fr := nearestFrame(frames, true); fr != nil {
+				fr.continues = mergeStates(fr.continues, cloneStates(in))
+			}
+		}
+		// goto / fallthrough: treat as path end (none exist in this tree).
+		return nil
+
+	case *ast.DeferStmt:
+		s.simDefer(st, in)
+		return in
+
+	case *ast.GoStmt:
+		for _, a := range st.Call.Args {
+			s.scanExpr(a, in)
+		}
+		return in
+
+	case *ast.LabeledStmt:
+		return s.simStmt(st.Stmt, in, frames)
+
+	case *ast.AssignStmt:
+		for _, e := range st.Rhs {
+			s.scanExpr(e, in)
+		}
+		for _, e := range st.Lhs {
+			s.scanExpr(e, in)
+		}
+		return in
+
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.EmptyStmt:
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				s.scanExpr(e, in)
+				return false
+			}
+			return true
+		})
+		return in
+
+	default:
+		return in
+	}
+}
+
+func nearestFrame(frames []*simFrame, needLoop bool) *simFrame {
+	for i := len(frames) - 1; i >= 0; i-- {
+		if !needLoop || frames[i].isLoop {
+			return frames[i]
+		}
+	}
+	return nil
+}
+
+func (s *lockSim) simCases(body *ast.BlockStmt, in []*lockState, frames []*simFrame) []*lockState {
+	fr := &simFrame{}
+	hasDefault := false
+	var outs [][]*lockState
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		for _, e := range cc.List {
+			s.scanExpr(e, in)
+		}
+		outs = append(outs, s.simStmts(cc.Body, cloneStates(in), append(frames, fr)))
+	}
+	if !hasDefault {
+		outs = append(outs, in)
+	}
+	outs = append(outs, fr.breaks)
+	return mergeStates(outs...)
+}
+
+// simCond handles `if x.TryLock()` / `if !x.TryLock()` so the lock is
+// held only on the branch where the acquisition succeeded. Other
+// conditions are scanned for lock calls without branch sensitivity.
+func (s *lockSim) simCond(cond ast.Expr, in []*lockState) (thenIn, elseIn []*lockState) {
+	if call, ok := cond.(*ast.CallExpr); ok {
+		if ev, ok := resolveLockCall(s.pass.Info, call); ok && ev.op == lockTry {
+			s.recordEdges(ev, in)
+			return s.withAcquired(ev, in), in
+		}
+	}
+	if un, ok := cond.(*ast.UnaryExpr); ok && un.Op == token.NOT {
+		if call, ok := un.X.(*ast.CallExpr); ok {
+			if ev, ok := resolveLockCall(s.pass.Info, call); ok && ev.op == lockTry {
+				s.recordEdges(ev, in)
+				return in, s.withAcquired(ev, in)
+			}
+		}
+	}
+	s.scanExpr(cond, in)
+	return in, in
+}
+
+func (s *lockSim) withAcquired(ev lockEvent, in []*lockState) []*lockState {
+	out := make([]*lockState, len(in))
+	for i, st := range in {
+		ns := st.clone()
+		ns.held = append(ns.held, heldLock{class: ev.class, pos: ev.pos})
+		out[i] = ns
+	}
+	return out
+}
+
+// simDefer registers deferred unlocks; a deferred closure is scanned for
+// the unlock calls it will make.
+func (s *lockSim) simDefer(st *ast.DeferStmt, in []*lockState) {
+	if ev, ok := resolveLockCall(s.pass.Info, st.Call); ok {
+		if ev.op == lockRelease {
+			for _, state := range in {
+				state.deferred = append(state.deferred, ev.class)
+			}
+		}
+		return
+	}
+	if fl, ok := st.Call.Fun.(*ast.FuncLit); ok {
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			if inner, ok := n.(*ast.FuncLit); ok && inner != fl {
+				return false
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if ev, ok := resolveLockCall(s.pass.Info, call); ok && ev.op == lockRelease {
+					for _, state := range in {
+						state.deferred = append(state.deferred, ev.class)
+					}
+				}
+			}
+			return true
+		})
+	}
+	for _, a := range st.Call.Args {
+		s.scanExpr(a, in)
+	}
+}
+
+// scanExpr applies every lock call inside expr (excluding function
+// literals, which execute elsewhere) to all states, mutating them.
+func (s *lockSim) scanExpr(expr ast.Expr, states []*lockState) {
+	if expr == nil {
+		return
+	}
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		ev, ok := resolveLockCall(s.pass.Info, call)
+		if !ok {
+			return true
+		}
+		switch ev.op {
+		case lockAcquire:
+			s.recordEdges(ev, states)
+			for _, st := range states {
+				st.held = append(st.held, heldLock{class: ev.class, pos: ev.pos})
+			}
+		case lockRelease:
+			for _, st := range states {
+				for i := len(st.held) - 1; i >= 0; i-- {
+					if st.held[i].class == ev.class {
+						st.held = append(st.held[:i], st.held[i+1:]...)
+						break
+					}
+				}
+			}
+		case lockTry:
+			// Outside the if-condition special case the result is unknown;
+			// record ordering edges but do not track the hold, which keeps
+			// the checker quiet rather than wrong.
+			s.recordEdges(ev, states)
+		}
+		return true
+	})
+}
+
+// recordEdges adds held→acquired edges to the package order graph.
+func (s *lockSim) recordEdges(ev lockEvent, states []*lockState) {
+	for _, st := range states {
+		for _, h := range st.held {
+			if h.class == ev.class {
+				continue // same class (e.g. two Profiles): no ordering info
+			}
+			k := [2]string{h.class, ev.class}
+			if _, ok := s.edges[k]; !ok {
+				s.edges[k] = ev.pos
+			}
+		}
+	}
+}
+
+// heldKeys snapshots the held multisets of a path set; loop entry must
+// be captured this way before the body mutates the states.
+func heldKeys(states []*lockState) map[string]bool {
+	keys := make(map[string]bool)
+	for _, st := range states {
+		keys[st.heldKey()] = true
+	}
+	return keys
+}
+
+// checkBackEdge verifies the loop body is lock-balanced: a path reaching
+// the back edge with a different held multiset than loop entry acquires
+// (or releases) a lock once per iteration.
+func (s *lockSim) checkBackEdge(loopPos token.Pos, entryKeys map[string]bool, backEdge []*lockState) {
+	for _, st := range backEdge {
+		if !entryKeys[st.heldKey()] && !s.loopIssues[loopPos] {
+			s.loopIssues[loopPos] = true
+			s.pass.Reportf(loopPos, "loop body is not lock-balanced: a path reaches the next iteration holding [%s], differing from loop entry", st.heldKey())
+		}
+	}
+}
+
+// reportInversions checks seeded + observed edges for cycles: an
+// observed edge u→v participates in an inversion when v already reaches
+// u through the rest of the graph.
+func (s *lockSim) reportInversions() {
+	graph := make(map[string]map[string]bool)
+	addEdge := func(u, v string) {
+		if graph[u] == nil {
+			graph[u] = make(map[string]bool)
+		}
+		graph[u][v] = true
+	}
+	seedGraph := make(map[string]map[string]bool)
+	for i := 0; i+1 < len(lockOrderSeeds); i++ {
+		addEdge(lockOrderSeeds[i], lockOrderSeeds[i+1])
+		if seedGraph[lockOrderSeeds[i]] == nil {
+			seedGraph[lockOrderSeeds[i]] = make(map[string]bool)
+		}
+		seedGraph[lockOrderSeeds[i]][lockOrderSeeds[i+1]] = true
+	}
+	for k := range s.edges {
+		addEdge(k[0], k[1])
+	}
+
+	reachesIn := func(g map[string]map[string]bool, from, to string) bool {
+		seen := map[string]bool{from: true}
+		stack := []string{from}
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if u == to {
+				return true
+			}
+			for v := range g[u] {
+				if !seen[v] {
+					seen[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		return false
+	}
+	reaches := func(from, to string) bool { return reachesIn(graph, from, to) }
+
+	var keys [][2]string
+	for k := range s.edges {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return keys[i][0]+keys[i][1] < keys[j][0]+keys[j][1]
+	})
+	for _, k := range keys {
+		// An edge that agrees with the documented order is never the
+		// defect, even when some contradicting edge closes a cycle with it.
+		if reachesIn(seedGraph, k[0], k[1]) {
+			continue
+		}
+		if reaches(k[1], k[0]) {
+			s.pass.Reportf(s.edges[k],
+				"lock order inversion: %s acquired while holding %s, but the documented order is %s",
+				k[1], k[0], strings.Join(lockOrderSeeds, " → "))
+		}
+	}
+}
+
+// isTerminalCall reports whether expr is a call that never returns:
+// panic, os.Exit, log.Fatal*, runtime.Goexit, or testing's t.Fatal*.
+func isTerminalCall(info *types.Info, expr ast.Expr) bool {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		if pkg, fn, ok := pkgFuncCall(info, call); ok {
+			switch {
+			case pkg == "os" && fn == "Exit",
+				pkg == "runtime" && fn == "Goexit",
+				pkg == "log" && strings.HasPrefix(fn, "Fatal"),
+				pkg == "log" && strings.HasPrefix(fn, "Panic"):
+				return true
+			}
+		}
+		return strings.HasPrefix(name, "Fatal") && isTestingT(info, fun.X)
+	}
+	return false
+}
+
+func isTestingT(info *types.Info, x ast.Expr) bool {
+	n := namedOf(exprType(info, x))
+	return n != nil && strings.HasPrefix(namedString(n), "testing.")
+}

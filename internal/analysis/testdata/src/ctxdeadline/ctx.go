@@ -1,0 +1,35 @@
+//ipslint:fixturepath ips/internal/client
+
+// Package client (fixture) exercises ctxdeadline: functions holding a
+// request context must propagate it, not mint a fresh root.
+package client
+
+import "context"
+
+func do(ctx context.Context, call func(context.Context) error) error {
+	return call(context.Background()) // want "context.Background discards the request context"
+}
+
+func spawn(ctx context.Context, call func(context.Context) error) error {
+	f := func() error {
+		return call(context.TODO()) // want "context.TODO discards the request context"
+	}
+	return f()
+}
+
+// root has no inbound context: creating one here is legitimate.
+func root(call func(context.Context) error) error {
+	return call(context.Background())
+}
+
+// nested literals with their own context parameter are their own scope.
+func nested(ctx context.Context, run func(func(context.Context) error) error, call func(context.Context) error) error {
+	return run(func(inner context.Context) error {
+		return call(inner)
+	})
+}
+
+// propagate is the correct shape.
+func propagate(ctx context.Context, call func(context.Context) error) error {
+	return call(ctx)
+}

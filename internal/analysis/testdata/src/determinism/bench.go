@@ -1,0 +1,17 @@
+//ipslint:fixturepath ips/internal/bench
+
+// Package bench (fixture): seeded-run scope, where only the global rand
+// source is forbidden — benchmarks read the wall clock to measure.
+package bench
+
+import (
+	"math/rand"
+	"time"
+)
+
+func measure(work func()) (time.Duration, int) {
+	t0 := time.Now() // timing a benchmark: allowed here
+	work()
+	n := rand.Intn(10) // want "rand.Intn draws from the global source"
+	return time.Since(t0), n
+}

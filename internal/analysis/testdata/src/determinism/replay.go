@@ -1,0 +1,64 @@
+//ipslint:fixturepath ips/internal/wal
+
+// Package wal (fixture) exercises determinism over a replay path: the
+// whole wal package is in scope.
+package wal
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+type state struct {
+	clock func() int64
+}
+
+func replay(entries map[string]int64, sink func(string, int64)) []string {
+	_ = time.Now()              // want "time.Now in a replay/recovery path"
+	_ = rand.Intn(4)            // want "rand.Intn draws from the global source"
+	for k, v := range entries { // want "iteration order of this map range escapes"
+		sink(k, v)
+	}
+
+	// The canonical fix: collect, sort, then iterate — not flagged.
+	var keys []string
+	for k := range entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sink(k, entries[k])
+	}
+	return keys
+}
+
+// newState wires the clock seam: the only place the wall clock may
+// enter, and the assignment target names it.
+func newState(s *state) {
+	if s.clock == nil {
+		s.clock = func() int64 { return time.Now().UnixNano() }
+	}
+}
+
+// seeded randomness is fine anywhere.
+func shuffle(n int) []int {
+	rng := rand.New(rand.NewSource(7))
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(n)
+	}
+	return out
+}
+
+// orderFree ranges over a map without leaking its order.
+func orderFree(entries map[string]int64) int64 {
+	var sum int64
+	other := make(map[string]int64)
+	for k, v := range entries {
+		sum += v
+		other[k] = v
+		delete(entries, k)
+	}
+	return sum
+}

@@ -1,0 +1,40 @@
+//ipslint:fixturepath ips/internal/wal
+
+// Package wal (fixture) exercises durabilityerr inside a durable
+// package, where every receiver's Sync/Close/Flush/Append/Commit counts.
+package wal
+
+import (
+	"bufio"
+	"os"
+)
+
+type journal struct{ f *os.File }
+
+func (j *journal) Close() error { return j.f.Close() }
+
+func (j *journal) AppendAdd(b []byte) (uint64, error) { return 0, nil }
+
+func bad(j *journal) {
+	j.Close() // want "error from ips/internal/wal.journal.Close is discarded"
+}
+
+func badDefer(j *journal) {
+	defer j.Close() // want "defer discards the error"
+}
+
+func badSync(f *os.File) {
+	f.Sync() // want "error from os.File.Sync is discarded"
+}
+
+func badWriter(w *bufio.Writer) {
+	w.Flush() // want "error from bufio.Writer.Flush is discarded"
+}
+
+func good(j *journal) error {
+	_ = j.f.Sync() // explicit drop: acknowledged
+	if _, err := j.AppendAdd(nil); err != nil {
+		return err
+	}
+	return j.Close()
+}

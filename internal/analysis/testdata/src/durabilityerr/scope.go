@@ -1,0 +1,26 @@
+//ipslint:fixturepath ips/internal/other
+
+// Package other (fixture) is outside the durable set: only durable
+// receiver types (wal.Journal, os.File, ...) are checked here.
+package other
+
+import (
+	"bufio"
+	"os"
+
+	"ips/internal/wal"
+)
+
+func teardown(j *wal.Journal, f *os.File) {
+	j.Close() // want "error from ips/internal/wal.Journal.Close is discarded"
+	f.Close() // want "error from os.File.Close is discarded"
+}
+
+type local struct{}
+
+func (local) Flush() error { return nil }
+
+func fine(l local, w *bufio.Writer) {
+	l.Flush() // local type in a non-durable package: not flagged
+	w.Flush() // bufio outside the durable packages: not flagged
+}

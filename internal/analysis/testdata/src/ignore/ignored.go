@@ -1,0 +1,31 @@
+//ipslint:fixturepath ips/internal/wal
+
+// Package wal (fixture) exercises //ipslint:ignore directive handling;
+// expectations live in TestIgnoreDirectives, not in want comments.
+package wal
+
+import "os"
+
+// suppressedSameLine: directive on the offending line silences the finding.
+func suppressedSameLine(f *os.File) {
+	f.Close() //ipslint:ignore durabilityerr fixture scratch file, nothing durable behind it
+}
+
+// suppressedLineAbove: directive on the line above also works.
+func suppressedLineAbove(f *os.File) {
+	//ipslint:ignore durabilityerr fixture scratch file, nothing durable behind it
+	f.Close()
+}
+
+// missingReason: a reasonless directive is itself a diagnostic and
+// suppresses nothing.
+func missingReason(f *os.File) {
+	//ipslint:ignore durabilityerr
+	f.Close()
+}
+
+// wrongAnalyzer: naming a different analyzer does not suppress.
+func wrongAnalyzer(f *os.File) {
+	//ipslint:ignore lockorder close is fine here
+	f.Close()
+}

@@ -1,0 +1,58 @@
+//ipslint:fixturepath ips/internal/gcache
+
+// Package gcache (fixture) exercises the journal-before-apply rule.
+package gcache
+
+import "sync"
+
+type profile struct {
+	mu     sync.Mutex
+	WalLSN uint64
+}
+
+type cache struct {
+	OnApply func(id uint64) (uint64, error)
+}
+
+func (c *cache) applyEntriesLocked(p *profile) {}
+
+// badUnjournaled mutates before anything reached the journal.
+func (c *cache) badUnjournaled(p *profile) {
+	p.mu.Lock()
+	c.applyEntriesLocked(p) // want "mutates the profile before any journal append"
+	p.mu.Unlock()
+}
+
+// badUnlocked journals outside the profile lock: replay order and apply
+// order can disagree.
+func (c *cache) badUnlocked(p *profile) {
+	if _, err := c.OnApply(1); err != nil { // want "must happen under the profile write lock"
+		return
+	}
+	p.mu.Lock()
+	c.applyEntriesLocked(p)
+	p.mu.Unlock()
+}
+
+// good is the AddEntries shape: lock, journal, apply.
+func (c *cache) good(p *profile) {
+	p.mu.Lock()
+	if _, err := c.OnApply(1); err != nil {
+		p.mu.Unlock()
+		return
+	}
+	c.applyEntriesLocked(p)
+	p.mu.Unlock()
+}
+
+// goodReplay is the ApplyLogged shape: the watermark read marks the
+// record as already journaled.
+func (c *cache) goodReplay(p *profile, lsn uint64) {
+	p.mu.Lock()
+	if lsn <= p.WalLSN {
+		p.mu.Unlock()
+		return
+	}
+	c.applyEntriesLocked(p)
+	p.mu.Unlock()
+}

@@ -1,0 +1,34 @@
+//ipslint:fixturepath ips/internal/server
+
+// Package server seeds lockorder fixtures into the server package's
+// class namespace: the local tableState.writeMu below resolves to the
+// same lock class the documented order names.
+package server
+
+import (
+	"sync"
+
+	"ips/internal/model"
+)
+
+type tableState struct {
+	writeMu sync.Mutex
+}
+
+// badOrder acquires writeMu while holding the profile lock — backwards
+// against the documented Instance.mu → writeMu → Profile → Journal order.
+func badOrder(ts *tableState, p *model.Profile) {
+	p.Lock()
+	ts.writeMu.Lock() // want "lock order inversion"
+	ts.writeMu.Unlock()
+	p.Unlock()
+}
+
+// goodOrder follows the documented order; its writeMu → Profile edge
+// must not be reported even though badOrder closes a cycle with it.
+func goodOrder(ts *tableState, p *model.Profile) {
+	ts.writeMu.Lock()
+	p.Lock()
+	p.Unlock()
+	ts.writeMu.Unlock()
+}

@@ -1,0 +1,67 @@
+//ipslint:fixturepath ips/internal/leakcase
+
+// Package leakcase exercises the held-at-return check.
+package leakcase
+
+import "sync"
+
+// badLeak returns early while still holding mu.
+func badLeak(mu *sync.Mutex, cond bool) int {
+	mu.Lock() // want "can still be held at a return"
+	if cond {
+		return 1
+	}
+	mu.Unlock()
+	return 0
+}
+
+// badLoop net-acquires once per iteration.
+func badLoop(mu *sync.Mutex, n int) {
+	for i := 0; i < n; i++ { // want "not lock-balanced"
+		mu.Lock()
+	}
+}
+
+// goodDefer covers every return with a deferred unlock.
+func goodDefer(mu *sync.Mutex, cond bool) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if cond {
+		return 1
+	}
+	return 0
+}
+
+// goodManual releases on every path by hand.
+func goodManual(mu *sync.Mutex, cond bool) int {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+		return 1
+	}
+	mu.Unlock()
+	return 0
+}
+
+// goodTry holds the lock only on the branch where TryLock succeeded.
+func goodTry(mu *sync.Mutex) bool {
+	if !mu.TryLock() {
+		return false
+	}
+	mu.Unlock()
+	return true
+}
+
+// goodRetryLoop is the gcache.AddEntries shape: lock inside the loop,
+// break while holding for re-validation, unlock before retrying.
+func goodRetryLoop(mu *sync.Mutex, ok func() bool) bool {
+	for {
+		mu.Lock()
+		if ok() {
+			break
+		}
+		mu.Unlock()
+	}
+	mu.Unlock()
+	return true
+}

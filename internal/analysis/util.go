@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// exprType returns the type of e, or nil.
+func exprType(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	return nil
+}
+
+// namedOf dereferences pointers and returns the underlying named type.
+func namedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// namedString renders a named type as "pkgpath.Name".
+func namedString(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// pkgFuncCall resolves a call to a package-level function, returning the
+// package path and function name (e.g. "time", "Now").
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", "", false
+	}
+	// The selector base must be the package itself, not a value.
+	if id, isID := sel.X.(*ast.Ident); isID {
+		if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+			return fn.Pkg().Path(), fn.Name(), true
+		}
+	}
+	return "", "", false
+}
+
+// methodCall resolves a call to a method, returning the receiver's named
+// type and method name. Works for value, pointer and embedded receivers.
+func methodCall(info *types.Info, call *ast.CallExpr) (recv *types.Named, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return nil, "", false
+	}
+	if fn.Type().(*types.Signature).Recv() == nil {
+		return nil, "", false
+	}
+	n := namedOf(exprType(info, sel.X))
+	if n == nil {
+		return nil, "", false
+	}
+	return n, fn.Name(), true
+}
+
+// returnsError reports whether the call's callee returns an error as any
+// of its results.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := exprType(info, call.Fun)
+	sig, ok := t.(*types.Signature)
+	if !ok {
+		return false
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok && namedString(named) == "error" {
+			return true
+		}
+	}
+	return false
+}
+
+// funcFor returns the top-level function declaration enclosing pos, for
+// analyzers that scope rules to specific functions.
+func funcFor(file *ast.File, pos ast.Node) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			if fd.Pos() <= pos.Pos() && pos.End() <= fd.End() {
+				return fd
+			}
+		}
+	}
+	return nil
+}

@@ -114,13 +114,13 @@ func NewEnv(opts EnvOptions) (*Env, error) {
 	}
 	schema := model.NewSchema(opts.Actions...)
 	if err := inst.CreateTable(TableName, schema); err != nil {
-		inst.Close()
+		_ = inst.Close()
 		return nil, err
 	}
 	svc := server.NewService(inst)
 	addr, err := svc.Listen("127.0.0.1:0")
 	if err != nil {
-		inst.Close()
+		_ = inst.Close()
 		return nil, err
 	}
 	reg := discovery.NewRegistry(time.Minute)
@@ -130,8 +130,8 @@ func NewEnv(opts EnvOptions) (*Env, error) {
 		Registry: reg, CallTimeout: 5 * time.Second,
 	})
 	if err != nil {
-		svc.Close()
-		inst.Close()
+		_ = svc.Close()
+		_ = inst.Close()
 		return nil, err
 	}
 	wopts := opts.Workload
@@ -143,12 +143,13 @@ func NewEnv(opts EnvOptions) (*Env, error) {
 	}, nil
 }
 
-// Close tears the environment down.
+// Close tears the environment down. Teardown errors are dropped: the
+// measurements were already taken.
 func (e *Env) Close() {
 	e.Client.Close()
-	e.Service.Close()
-	e.Instance.Close()
-	e.Store.Close()
+	_ = e.Service.Close()
+	_ = e.Instance.Close()
+	_ = e.Store.Close()
 }
 
 // Prefill writes history for n profiles so queries have data to chew on:

@@ -84,7 +84,7 @@ func RunLambda(opts LambdaOptions, w io.Writer) (*LambdaReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer inst.Close()
+	defer func() { _ = inst.Close() }()
 	if err := inst.CreateTable("up", model.NewSchema("click")); err != nil {
 		return nil, err
 	}

@@ -108,7 +108,7 @@ func RunRecovery(opts RecoveryOptions, w io.Writer) (*RecoveryReport, error) {
 			return nil, err
 		}
 		if err := inst.CreateTable("up", schema); err != nil {
-			inst.Close()
+			_ = inst.Close()
 			return nil, err
 		}
 		return inst, nil
@@ -156,7 +156,9 @@ func RunRecovery(opts RecoveryOptions, w io.Writer) (*RecoveryReport, error) {
 	if err != nil {
 		return nil, err
 	}
-	plain.Close()
+	if err := plain.Close(); err != nil {
+		return nil, err
+	}
 	rep.AddNoJournalNs = float64(elapsed.Nanoseconds()) / adds
 
 	// Phase one: journal on (a real file: the bufio flush per append is
@@ -174,8 +176,12 @@ func RunRecovery(opts RecoveryOptions, w io.Writer) (*RecoveryReport, error) {
 		return nil, err
 	}
 	st := jn.Stats()
-	journaled.Close()
-	jn.Close()
+	if err := journaled.Close(); err != nil {
+		return nil, err
+	}
+	if err := jn.Close(); err != nil {
+		return nil, err
+	}
 	rep.AddJournalNs = float64(elapsed.Nanoseconds()) / adds
 	rep.JournalBytes = st.AppendBytes
 	rep.PayloadBytes = payload
@@ -223,12 +229,18 @@ func RunRecovery(opts RecoveryOptions, w io.Writer) (*RecoveryReport, error) {
 		}
 		recoverMs := float64(time.Since(start).Microseconds()) / 1000
 		if got := inst2.Stats().Profiles; got != int64(dirty) {
-			inst2.Close()
+			_ = inst2.Close()
 			return nil, errProfileCount{want: dirty, got: int(got)}
 		}
-		inst2.Close()
-		rjn.Close()
-		store2.Close()
+		if err := inst2.Close(); err != nil {
+			return nil, err
+		}
+		if err := rjn.Close(); err != nil {
+			return nil, err
+		}
+		if err := store2.Close(); err != nil {
+			return nil, err
+		}
 		rep.Points = append(rep.Points, RecoveryPoint{DirtyProfiles: dirty, Records: records, RecoverMillis: recoverMs})
 	}
 

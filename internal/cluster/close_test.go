@@ -1,0 +1,48 @@
+package cluster
+
+import (
+	"testing"
+
+	"ips/internal/config"
+	"ips/internal/model"
+	"ips/internal/wire"
+)
+
+// TestCloseReportsFlushFailure is the regression test for the swallowed
+// shutdown errors found by ipslint's durabilityerr analyzer: Close used
+// to discard instance close errors, so a failed final flush of dirty
+// profiles looked like a clean shutdown. Killing the KV substrate under
+// a dirty profile must surface an error from Close.
+func TestCloseReportsFlushFailure(t *testing.T) {
+	// Write isolation off: adds dirty the main cache directly, so the
+	// failed flush happens in GCache.FlushAll rather than being dropped
+	// by the write-table merge's load-failure path.
+	cfg := config.Default()
+	cfg.WriteIsolation = false
+	c, err := New(Options{
+		Regions:            []string{"east"},
+		InstancesPerRegion: 1,
+		Config:             &cfg,
+		Tables:             map[string]*model.Schema{"up": model.NewSchema("n")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := c.Nodes()[0].Instance()
+	entry := []wire.AddEntry{{Timestamp: 1, Slot: 1, Type: 1, FID: 1, Counts: []int64{1}}}
+	if err := inst.Add("test", "up", 7, entry); err != nil {
+		t.Fatalf("first add: %v", err)
+	}
+	// Kill persistence out from under the instance, then dirty the
+	// (now resident) profile again: the second Add needs no store read,
+	// so it succeeds and leaves unflushable state behind.
+	if err := c.KV.Close(); err != nil {
+		t.Fatalf("kv close: %v", err)
+	}
+	if err := inst.Add("test", "up", 7, entry); err != nil {
+		t.Fatalf("second add should hit the resident profile: %v", err)
+	}
+	if err := c.Close(); err == nil {
+		t.Fatal("Close must report the failed final flush, got nil")
+	}
+}

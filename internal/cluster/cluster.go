@@ -206,14 +206,14 @@ func (c *Cluster) startNode(name, region string) (*Node, error) {
 	}
 	for tname, schema := range c.opts.Tables {
 		if err := inst.CreateTable(tname, schema.Clone()); err != nil {
-			inst.Close()
+			_ = inst.Close()
 			return nil, err
 		}
 	}
 	svc := server.NewService(inst)
 	addr, err := svc.Listen("127.0.0.1:0")
 	if err != nil {
-		inst.Close()
+		_ = inst.Close()
 		return nil, err
 	}
 	hb := discovery.StartHeartbeat(c.Registry, discovery.Instance{
@@ -257,7 +257,9 @@ func (c *Cluster) Crash(name string) error {
 		return fmt.Errorf("cluster: unknown node %q", name)
 	}
 	n.hb.Stop()
-	n.svc.Close()
+	// A crash is deliberately unclean: whatever the dying listener and
+	// instance report is part of the simulated failure, not a test error.
+	_ = n.svc.Close()
 	_ = n.inst.Close()
 	c.mu.Lock()
 	n.down = true
@@ -304,12 +306,22 @@ func (c *Cluster) Close() error {
 		nodes = append(nodes, n)
 	}
 	c.mu.Unlock()
+	var firstErr error
 	for _, n := range nodes {
 		if !n.down {
 			n.hb.Stop()
-			n.svc.Close()
-			_ = n.inst.Close()
+			if err := n.svc.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			// Instance close is the final flush of dirty profiles; a
+			// swallowed error here hides real data loss from the caller.
+			if err := n.inst.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 	}
-	return c.KV.Close()
+	if err := c.KV.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
 }

@@ -495,19 +495,21 @@ func (g *GCache) flushShard(shard int) {
 	sh.mu.Unlock()
 
 	for _, id := range batch {
-		g.flushOne(id)
+		// Background flush: a failed save is re-marked dirty and retried on
+		// the next cycle, so the error is intentionally not propagated here.
+		_ = g.flushOne(id)
 	}
 }
 
-func (g *GCache) flushOne(id model.ProfileID) {
+func (g *GCache) flushOne(id model.ProfileID) error {
 	p := g.table.Get(id)
 	if p == nil {
-		return // already evicted (eviction flushes)
+		return nil // already evicted (eviction flushes)
 	}
 	p.RLock()
 	if !p.Dirty {
 		p.RUnlock()
-		return
+		return nil
 	}
 	gen, lsn, mlsn := p.Generation, p.WalLSN, p.MergedLSN
 	_, err := g.ps.Save(p)
@@ -515,7 +517,7 @@ func (g *GCache) flushOne(id model.ProfileID) {
 	if err != nil {
 		g.FlushErrors.Inc()
 		g.markDirty(id) // retry later
-		return
+		return err
 	}
 	g.Flushes.Inc()
 	if g.OnFlush != nil {
@@ -529,6 +531,7 @@ func (g *GCache) flushOne(id model.ProfileID) {
 		g.markDirty(id)
 	}
 	p.Unlock()
+	return nil
 }
 
 // FlushAll synchronously persists every dirty resident profile.
@@ -539,7 +542,9 @@ func (g *GCache) FlushAll() error {
 		dirty := p.Dirty
 		p.RUnlock()
 		if dirty {
-			g.flushOne(p.ID)
+			if err := g.flushOne(p.ID); err != nil && firstErr == nil {
+				firstErr = err
+			}
 		}
 		return true
 	})

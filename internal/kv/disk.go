@@ -58,11 +58,11 @@ func OpenDisk(path string) (*Disk, error) {
 	}
 	d := &Disk{data: make(map[string]entry), f: f, path: path}
 	if err := d.replay(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	d.w = bufio.NewWriter(f)
@@ -302,13 +302,13 @@ func (d *Disk) Close() error {
 	}
 	d.closed = true
 	if err := d.w.Flush(); err != nil {
-		d.f.Close()
+		_ = d.f.Close()
 		return err
 	}
 	// Flush only moved the tail into the kernel page cache; without this
 	// fsync a post-Close power loss could still drop acknowledged writes.
 	if err := d.f.Sync(); err != nil {
-		d.f.Close()
+		_ = d.f.Close()
 		return err
 	}
 	d.syncs++

@@ -43,6 +43,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 
 	"ips/internal/codec"
@@ -190,11 +191,11 @@ func Open(path string, opts Options) (*Journal, error) {
 		pending: make(map[string][]pendingRec),
 	}
 	if err := j.replay(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
+		_ = f.Close()
 		return nil, err
 	}
 	j.w = bufio.NewWriter(f)
@@ -314,7 +315,15 @@ func encodePayload(rec *Record) []byte {
 		}
 	case OpOffsets:
 		e.String(fRecName, rec.Name)
-		for topic, offs := range rec.Offsets {
+		// Sorted topics: the frame bytes (and their CRC) must be identical
+		// on every encode, or replay and compaction rewrites diverge.
+		topics := make([]string, 0, len(rec.Offsets))
+		for topic := range rec.Offsets {
+			topics = append(topics, topic)
+		}
+		sort.Strings(topics)
+		for _, topic := range topics {
+			offs := rec.Offsets[topic]
 			e.Message(fRecTopic, func(te *codec.Buffer) {
 				te.String(fTopicName, topic)
 				te.PackedI64(fTopicOffsets, offs)
@@ -652,14 +661,22 @@ func (j *Journal) Compact() error {
 	// fail abandons a half-written rewrite: close and remove the temp file
 	// so error paths do not litter the journal directory.
 	fail := func(err error) error {
-		tf.Close()
-		os.Remove(tmp)
+		_ = tf.Close()
+		_ = os.Remove(tmp)
 		return err
 	}
 	tw := bufio.NewWriter(tf)
 	var kept []Record
 	var size int64
-	for _, rec := range j.offsets {
+	// Sorted pipeline names: the rewritten journal must be byte-identical
+	// across runs for recovery to be reproducible.
+	names := make([]string, 0, len(j.offsets))
+	for name := range j.offsets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rec := j.offsets[name]
 		if _, err := tw.Write(rec.frame); err != nil {
 			return fail(err)
 		}
@@ -696,16 +713,16 @@ func (j *Journal) Compact() error {
 	nf, err := os.OpenFile(j.path, os.O_RDWR, 0o644)
 	if err != nil {
 		j.closed = true
-		j.f.Close()
+		_ = j.f.Close()
 		return fmt.Errorf("wal: compact reopen (journal closed): %w", err)
 	}
 	if _, err := nf.Seek(0, io.SeekEnd); err != nil {
-		nf.Close()
+		_ = nf.Close()
 		j.closed = true
-		j.f.Close()
+		_ = j.f.Close()
 		return fmt.Errorf("wal: compact seek (journal closed): %w", err)
 	}
-	j.f.Close()
+	_ = j.f.Close()
 	j.f = nf
 	j.w = bufio.NewWriter(nf)
 	j.records = kept
@@ -754,11 +771,11 @@ func (j *Journal) Close() error {
 	}
 	j.closed = true
 	if err := j.w.Flush(); err != nil {
-		j.f.Close()
+		_ = j.f.Close()
 		return err
 	}
 	if err := j.f.Sync(); err != nil {
-		j.f.Close()
+		_ = j.f.Close()
 		return err
 	}
 	return j.f.Close()
@@ -773,5 +790,5 @@ func (j *Journal) Abort() {
 		return
 	}
 	j.closed = true
-	j.f.Close()
+	_ = j.f.Close()
 }

@@ -197,7 +197,7 @@ func Open(opts Options) (*DB, error) {
 	if opts.JournalPath != "" {
 		journal, err = wal.Open(opts.JournalPath, wal.Options{SyncEvery: opts.JournalSyncEvery})
 		if err != nil {
-			store.Close()
+			_ = store.Close()
 			return nil, err
 		}
 	}
@@ -212,9 +212,9 @@ func Open(opts Options) (*DB, error) {
 	})
 	if err != nil {
 		if journal != nil {
-			journal.Close()
+			_ = journal.Close()
 		}
-		store.Close()
+		_ = store.Close()
 		return nil, err
 	}
 	if clock == nil {

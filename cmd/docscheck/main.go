@@ -1,0 +1,216 @@
+// Command docscheck keeps the repository's documentation honest: it
+// validates that every intra-repository markdown link resolves to a real
+// file and that every Go package carries a package comment. It runs in CI
+// alongside ipslint so docs rot — a renamed file breaking README links,
+// a new package without a doc sentence — fails the build instead of
+// waiting for a reader to trip over it.
+//
+// Usage:
+//
+//	go run ./cmd/docscheck [root]
+//
+// root defaults to the working directory's module root (located by
+// walking up to go.mod). Findings print as file:line: message; the exit
+// status is 1 if any finding survives, 2 on usage errors. Stdlib only.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := ""
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	} else {
+		wd, err := os.Getwd()
+		if err != nil {
+			fatal(err)
+		}
+		root, err = findModuleRoot(wd)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	findings, err := run(root)
+	if err != nil {
+		fatal(err)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "docscheck:", err)
+	os.Exit(2)
+}
+
+// findModuleRoot walks up from dir to the directory containing go.mod.
+func findModuleRoot(dir string) (string, error) {
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// run executes both checks and returns sorted findings, one per line,
+// formatted file:line: message with paths relative to root.
+func run(root string) ([]string, error) {
+	var findings []string
+	mdFindings, err := checkMarkdownLinks(root)
+	if err != nil {
+		return nil, err
+	}
+	findings = append(findings, mdFindings...)
+	pkgFindings, err := checkPackageComments(root)
+	if err != nil {
+		return nil, err
+	}
+	findings = append(findings, pkgFindings...)
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// skipDir names directories never scanned: VCS state, editor state, and
+// vendored trees the repo does not own.
+func skipDir(name string) bool {
+	return strings.HasPrefix(name, ".") || name == "vendor" || name == "node_modules"
+}
+
+// linkRe matches inline markdown links and images: [text](target) and
+// ![alt](target). Angle-bracketed targets (<...>) are unwrapped later.
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// checkMarkdownLinks validates every relative link target in every .md
+// file under root. External schemes and pure anchors are skipped; a
+// target with an anchor suffix is checked for the file part only.
+func checkMarkdownLinks(root string) ([]string, error) {
+	var findings []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".md") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+				target := strings.Trim(m[1], "<>")
+				if bad := badLink(filepath.Dir(path), target); bad != "" {
+					findings = append(findings, fmt.Sprintf("%s:%d: %s", rel, i+1, bad))
+				}
+			}
+		}
+		return nil
+	})
+	return findings, err
+}
+
+// badLink reports why target (relative to dir) is broken, or "" if it is
+// fine or out of scope (external URL, anchor, template placeholder).
+func badLink(dir, target string) string {
+	switch {
+	case target == "",
+		strings.Contains(target, "://"),
+		strings.HasPrefix(target, "mailto:"),
+		strings.HasPrefix(target, "#"):
+		return ""
+	}
+	if i := strings.IndexByte(target, '#'); i >= 0 {
+		target = target[:i]
+		if target == "" {
+			return ""
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, target)); err != nil {
+		return fmt.Sprintf("broken link: %s does not resolve", target)
+	}
+	return ""
+}
+
+// checkPackageComments requires every non-test package under root to
+// carry a package comment on at least one of its files.
+func checkPackageComments(root string) ([]string, error) {
+	// Collect package directories: any directory with a non-test .go file.
+	dirs := map[string][]string{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			// Analyzer fixtures are deliberately minimal packages; holding
+			// them to doc standards would force comments into test vectors.
+			if d.Name() == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		dirs[dir] = append(dirs[dir], path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var findings []string
+	fset := token.NewFileSet()
+	for dir, files := range dirs {
+		documented := false
+		pkgName := ""
+		sort.Strings(files)
+		for _, f := range files {
+			// PackageClauseOnly keeps the scan fast; ParseComments retains
+			// the doc comment attached to the clause.
+			af, err := parser.ParseFile(fset, f, nil, parser.PackageClauseOnly|parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			pkgName = af.Name.Name
+			if af.Doc != nil && strings.TrimSpace(af.Doc.Text()) != "" {
+				documented = true
+				break
+			}
+		}
+		if !documented {
+			rel, _ := filepath.Rel(root, dir)
+			findings = append(findings, fmt.Sprintf("%s: package %s has no package comment", rel, pkgName))
+		}
+	}
+	return findings, nil
+}

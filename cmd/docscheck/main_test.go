@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// write creates path under root (making parents) with the given content.
+func write(t *testing.T, root, path, content string) {
+	t.Helper()
+	full := filepath.Join(root, path)
+	if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(full, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMarkdownLinks(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "go.mod", "module fixture\n")
+	write(t, root, "DESIGN.md", "# design\n")
+	write(t, root, "docs/ops.md", "see [design](../DESIGN.md#cache) and [gone](missing.md)\n")
+	write(t, root, "README.md", strings.Join([]string{
+		"[ok](DESIGN.md)",
+		"[ext](https://example.com/x.md)",
+		"[anchor](#usage)",
+		"[mail](mailto:a@b.c)",
+		"![img](missing.png)",
+	}, "\n"))
+
+	findings, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(findings, "\n")
+	for _, want := range []string{
+		"README.md:5: broken link: missing.png",
+		filepath.Join("docs", "ops.md") + ":1: broken link: missing.md",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing finding %q in:\n%s", want, joined)
+		}
+	}
+	for _, reject := range []string{"DESIGN.md does not resolve", "example.com", "#usage", "mailto"} {
+		if strings.Contains(joined, reject) {
+			t.Errorf("false positive %q in:\n%s", reject, joined)
+		}
+	}
+}
+
+func TestPackageComments(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "go.mod", "module fixture\n")
+	write(t, root, "internal/good/good.go", "// Package good is documented.\npackage good\n")
+	write(t, root, "internal/bad/bad.go", "package bad\n")
+	// A doc comment on any file in the package counts.
+	write(t, root, "internal/split/a.go", "package split\n")
+	write(t, root, "internal/split/b.go", "// Package split is documented elsewhere.\npackage split\n")
+	// Test files and testdata fixtures are exempt.
+	write(t, root, "internal/good/good_test.go", "package good\n")
+	write(t, root, "internal/good/testdata/fix.go", "package fix\n")
+
+	findings, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(findings, "\n")
+	if want := "package bad has no package comment"; !strings.Contains(joined, want) {
+		t.Errorf("missing finding %q in:\n%s", want, joined)
+	}
+	for _, reject := range []string{"good", "split", "fix"} {
+		if strings.Contains(joined, "package "+reject+" has no") {
+			t.Errorf("false positive on package %s in:\n%s", reject, joined)
+		}
+	}
+}
+
+// TestRepoClean runs docscheck against the real repository: the tree this
+// test ships in must itself pass both checks.
+func TestRepoClean(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, err := findModuleRoot(wd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) > 0 {
+		t.Errorf("repository has %d docs finding(s):\n%s", len(findings), strings.Join(findings, "\n"))
+	}
+}

@@ -23,7 +23,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig16, fig17, tab2, fig18, fig19, iso80, compaction, lambda, batch, tail, fig10, fig11, all)")
+	exp := flag.String("exp", "", "experiment id (fig16, fig17, tab2, fig18, fig19, iso80, compaction, lambda, batch, tail, recovery, trace, fig10, fig11, all)")
 	full := flag.Bool("full", false, "run the larger, slower parameterization")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
@@ -115,6 +115,14 @@ func main() {
 				o = bench.RecoveryOptions{Profiles: 100, AddsPerProfile: 20, DirtySweep: []int{100, 400, 1000}}
 			}
 			_, err := bench.RunRecovery(o, os.Stdout)
+			return err
+		}},
+		{"trace", "request-tracing overhead: untraced vs sampled-out vs traced", func(full bool) error {
+			o := bench.TraceOverheadOptions{}
+			if full {
+				o = bench.TraceOverheadOptions{Queries: 12_000, Profiles: 1000}
+			}
+			_, err := bench.RunTraceOverhead(o, os.Stdout)
 			return err
 		}},
 		{"fig10", "compaction mechanism demo (6 slices -> 3)", func(bool) error {

@@ -10,7 +10,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -67,6 +69,8 @@ func main() {
 		fmt.Printf("profiles: %d  memory: %d bytes  hit ratio: %.1f%%\n", st.Profiles, st.MemUsage, st.HitRatioPct)
 		fmt.Printf("queries: %d  writes: %d  rejected: %d  flush errors: %d\n",
 			st.Queries, st.Writes, st.Rejected, st.FlushErrors)
+	case "debug":
+		runDebug(*addr, flag.Args()[1:])
 	case "delete":
 		runDelete(c, flag.Args()[1:])
 	case "set-quota":
@@ -93,6 +97,26 @@ func main() {
 		}
 	default:
 		usage()
+	}
+}
+
+// runDebug speaks the one-command-per-connection debug protocol: dial,
+// send the command line, print until the server hangs up. The global
+// -addr must point at ipsd's -debug endpoint, not its RPC port.
+func runDebug(addr string, args []string) {
+	fs := flag.NewFlagSet("debug", flag.ExitOnError)
+	cmd := fs.String("cmd", "all", "debug command: help, stats, stages, slow, trace or all")
+	_ = fs.Parse(args)
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		log.Fatalf("dial debug endpoint %s: %v (is ipsd running with -debug?)", addr, err)
+	}
+	defer conn.Close()
+	if _, err := fmt.Fprintf(conn, "%s\n", *cmd); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := io.Copy(os.Stdout, conn); err != nil {
+		log.Fatal(err)
 	}
 }
 
@@ -330,8 +354,9 @@ func runViaRegistry(registryAddr, region, caller, cmd string, args []string) {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: ips-cli [-addr host:port] <command> [flags]")
-	fmt.Fprintln(os.Stderr, "commands: ping add topk filter decay batch stats delete set-quota set-isolation register-udaf tables udafs")
+	fmt.Fprintln(os.Stderr, "commands: ping add topk filter decay batch stats debug delete set-quota set-isolation register-udaf tables udafs")
 	fmt.Fprintln(os.Stderr, "batch (registry mode only) coalesces one sub-query per -profiles ID into per-shard RPCs")
+	fmt.Fprintln(os.Stderr, "debug reads ipsd's -debug endpoint: ips-cli -addr host:debugport debug -cmd stages")
 	os.Exit(2)
 }
 

@@ -22,6 +22,7 @@ import (
 	"ips/internal/kv"
 	"ips/internal/model"
 	"ips/internal/server"
+	"ips/internal/trace"
 	"ips/internal/wal"
 )
 
@@ -39,6 +40,9 @@ func main() {
 	registry := flag.String("registry", "", "address of an ips-registry daemon to register with (empty = standalone)")
 	advertise := flag.String("advertise", "", "address to advertise in the registry (default: the bound listen address)")
 	heartbeat := flag.Duration("heartbeat", time.Second, "registry heartbeat interval")
+	traceSample := flag.Int("trace-sample", 0, "trace one request in N for per-stage latency attribution (0 = tracing off)")
+	traceSlow := flag.Duration("trace-slow", 0, "retain sampled traces at least this slow in the slow-query log (0 = slow log off)")
+	debugAddr := flag.String("debug", "", "listen address for the plain-text debug endpoint (empty = off; query with ips-cli debug)")
 	flag.Parse()
 
 	var store kv.Store
@@ -68,6 +72,15 @@ func main() {
 		log.Printf("mutation journal at %s (%d records pending replay)", *journalPath, journal.Stats().Records)
 	}
 
+	var tracer *trace.Tracer
+	if *traceSample > 0 || *traceSlow > 0 {
+		tracer = trace.NewTracer(trace.Config{
+			SampleEvery:   *traceSample,
+			SlowThreshold: *traceSlow,
+		})
+		log.Printf("request tracing on: sampling 1/%d, slow threshold %v", *traceSample, *traceSlow)
+	}
+
 	inst, err := server.New(server.Options{
 		Name:            *name,
 		Region:          *region,
@@ -75,6 +88,7 @@ func main() {
 		Config:          cfgStore,
 		DefaultQuotaQPS: *quota,
 		Journal:         journal,
+		Tracer:          tracer,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -103,6 +117,15 @@ func main() {
 	}
 	log.Printf("%s (%s) serving IPS on %s", *name, *region, bound)
 
+	dbg := server.NewDebugServer(inst)
+	if *debugAddr != "" {
+		dbgBound, err := dbg.Listen(*debugAddr)
+		if err != nil {
+			log.Fatalf("debug listen: %v", err)
+		}
+		log.Printf("debug endpoint on %s (ips-cli debug -addr %s)", dbgBound, dbgBound)
+	}
+
 	// Register with the shared discovery daemon so clients find this
 	// instance (the paper's Consul integration, §III).
 	var hb *discovery.Heartbeater
@@ -126,6 +149,15 @@ func main() {
 	log.Print("shutting down: merging writes and flushing dirty profiles")
 	if hb != nil {
 		hb.Stop()
+	}
+	if err := dbg.Close(); err != nil {
+		log.Printf("debug close: %v", err)
+	}
+	// Final latency attribution to stdout, so a traced run leaves its
+	// per-stage breakdown in the logs even if nobody polled the endpoint.
+	if tracer != nil {
+		fmt.Println("--- final trace snapshot ---")
+		_ = dbg.WriteSnapshot(os.Stdout, "all")
 	}
 	if err := svc.Close(); err != nil {
 		log.Printf("service close: %v", err)

@@ -13,6 +13,10 @@
 //	//ipslint:ignore <analyzer> <reason>
 //
 // The reason is mandatory — an ignore without one is itself reported.
+//
+// See DESIGN.md ("Machine-checked invariants: ipslint") for each
+// analyzer's rule, the bugs the rules have caught, and the fixture-based
+// proof layer.
 package analysis
 
 import (

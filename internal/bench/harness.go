@@ -24,6 +24,7 @@ import (
 	"ips/internal/kv"
 	"ips/internal/model"
 	"ips/internal/server"
+	"ips/internal/trace"
 	"ips/internal/wire"
 	"ips/internal/workload"
 )
@@ -77,6 +78,9 @@ type EnvOptions struct {
 	// StoreDelay injects latency into every KV operation, modelling the
 	// HBase round trip behind cache misses (Table II).
 	StoreDelay time.Duration
+	// Tracer, when set, is shared by the client and the instance so
+	// sampled requests carry spans end to end (the trace experiment).
+	Tracer *trace.Tracer
 }
 
 // TableName is the table every experiment uses.
@@ -108,6 +112,7 @@ func NewEnv(opts EnvOptions) (*Env, error) {
 		Config: cfgStore,
 		Clock:  clock.Now,
 		Cache:  opts.Cache,
+		Tracer: opts.Tracer,
 	})
 	if err != nil {
 		return nil, err
@@ -128,6 +133,7 @@ func NewEnv(opts EnvOptions) (*Env, error) {
 	cl, err := client.New(client.Options{
 		Caller: "bench", Service: "ips", Region: "local",
 		Registry: reg, CallTimeout: 5 * time.Second,
+		Tracer: opts.Tracer,
 	})
 	if err != nil {
 		_ = svc.Close()

@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"ips/internal/model"
+	"ips/internal/trace"
+	"ips/internal/wire"
+)
+
+// TraceOverheadOptions scales the tracing-overhead experiment.
+type TraceOverheadOptions struct {
+	// Queries per configuration; default 3000.
+	Queries int
+	// Profiles in the corpus; default 500.
+	Profiles int
+	// BatchSize for the attribution check; default 16.
+	BatchSize int
+	// SampledOutEvery is the sparse sampling rate for the middle
+	// configuration; default 1024 (so virtually every request loses the
+	// draw and pays only the sampling counter).
+	SampledOutEvery int
+}
+
+func (o *TraceOverheadOptions) fill() {
+	if o.Queries <= 0 {
+		o.Queries = 3000
+	}
+	if o.Profiles <= 0 {
+		o.Profiles = 500
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 16
+	}
+	if o.SampledOutEvery <= 0 {
+		o.SampledOutEvery = 1024
+	}
+}
+
+// TraceOverheadRow is one configuration's measured query latency.
+type TraceOverheadRow struct {
+	Config string // "untraced", "sampled-out", "traced"
+	P50    time.Duration
+	P99    time.Duration
+	Mean   time.Duration
+}
+
+// TraceOverheadReport compares the three tracing configurations and
+// records the latency attribution a fully-traced batch query produced.
+type TraceOverheadReport struct {
+	Rows []TraceOverheadRow
+	// TracedOverheadP50 is traced p50 / untraced p50 - 1; the design goal
+	// is under 5% with SampleEvery=1, ~0% when sampled out.
+	TracedOverheadP50     float64
+	SampledOutOverheadP50 float64
+	// BatchStages counts distinct stages the traced batch query
+	// attributed latency to (acceptance: at least 5).
+	BatchStages int
+	// BatchTree is the rendered span tree of that batch query.
+	BatchTree string
+}
+
+// runTraceConfig measures single-query p50/p99 under one tracer setting.
+func runTraceConfig(opts TraceOverheadOptions, tracer *trace.Tracer) (TraceOverheadRow, *Env, error) {
+	env, err := NewEnv(EnvOptions{Tracer: tracer})
+	if err != nil {
+		return TraceOverheadRow{}, nil, err
+	}
+	if err := env.Prefill(opts.Profiles, 40, 24*3_600_000); err != nil {
+		env.Close()
+		return TraceOverheadRow{}, nil, err
+	}
+	// Warm every profile so the comparison measures the hot path, not
+	// cold-cache KV loads that would drown the instrumentation cost.
+	for id := 1; id <= opts.Profiles; id++ {
+		if err := env.Instance.WarmProfile(TableName, model.ProfileID(id)); err != nil {
+			env.Close()
+			return TraceOverheadRow{}, nil, err
+		}
+	}
+	env.Client.QueryLat.Reset()
+	for i := 0; i < opts.Queries; i++ {
+		req := env.Gen.Query(TableName)
+		req.ProfileID = model.ProfileID(i%opts.Profiles) + 1
+		if _, err := env.Client.TopK(req); err != nil {
+			env.Close()
+			return TraceOverheadRow{}, nil, err
+		}
+	}
+	return TraceOverheadRow{
+		P50:  env.Client.QueryLat.P50(),
+		P99:  env.Client.QueryLat.P99(),
+		Mean: env.Client.QueryLat.Mean(),
+	}, env, nil
+}
+
+// RunTraceOverhead measures what request tracing costs on the hot query
+// path, across three configurations on identical corpora and workloads:
+// tracing off (the seed baseline), tracing on but sampled out
+// (SampleEvery = 1024: the steady-state production setting), and tracing
+// every request (SampleEvery = 1: the debugging setting). It then runs
+// one fully-traced batch query and reports how many distinct stages its
+// span tree attributes latency to.
+func RunTraceOverhead(opts TraceOverheadOptions, w io.Writer) (*TraceOverheadReport, error) {
+	opts.fill()
+
+	configs := []struct {
+		name   string
+		tracer *trace.Tracer
+	}{
+		{"untraced", nil},
+		{"sampled-out", trace.NewTracer(trace.Config{SampleEvery: opts.SampledOutEvery})},
+		{"traced", trace.NewTracer(trace.Config{SampleEvery: 1})},
+	}
+	rep := &TraceOverheadReport{}
+	var tracedEnv *Env
+	for _, cfg := range configs {
+		row, env, err := runTraceConfig(opts, cfg.tracer)
+		if err != nil {
+			return nil, err
+		}
+		row.Config = cfg.name
+		rep.Rows = append(rep.Rows, row)
+		if cfg.name == "traced" {
+			tracedEnv = env // kept for the batch attribution check
+		} else {
+			env.Close()
+		}
+	}
+	defer tracedEnv.Close()
+
+	base := rep.Rows[0]
+	rep.SampledOutOverheadP50 = overhead(rep.Rows[1].P50, base.P50)
+	rep.TracedOverheadP50 = overhead(rep.Rows[2].P50, base.P50)
+
+	// Attribution check: one traced batch query must break its latency
+	// down into at least five distinct stages.
+	subs := make([]wire.SubQuery, opts.BatchSize)
+	for i := range subs {
+		req := tracedEnv.Gen.Query(TableName)
+		req.ProfileID = model.ProfileID(i%opts.Profiles) + 1
+		subs[i] = wire.SubQuery{Op: wire.OpTopK, Query: *req}
+	}
+	if _, err := tracedEnv.Client.QueryBatch(subs); err != nil {
+		return nil, fmt.Errorf("traced batch: %w", err)
+	}
+	last := tracedEnv.Client.Tracer().LastSampled()
+	if last == nil {
+		return nil, fmt.Errorf("traced batch left no sampled trace")
+	}
+	stages := map[trace.Stage]bool{}
+	for _, sp := range last.Spans() {
+		stages[sp.Stage] = true
+	}
+	rep.BatchStages = len(stages)
+	var b strings.Builder
+	trace.RenderTree(&b, last.ID, last.Spans())
+	rep.BatchTree = b.String()
+
+	fprintf(w, "trace overhead — %d warmed single queries per configuration\n", opts.Queries)
+	fprintf(w, "%-12s %-12s %-12s %-12s\n", "config", "p50", "p99", "mean")
+	for _, r := range rep.Rows {
+		fprintf(w, "%-12s %-12s %-12s %-12s\n", r.Config, ms(r.P50), ms(r.P99), ms(r.Mean))
+	}
+	fprintf(w, "\np50 overhead vs untraced: sampled-out %+.1f%%, traced %+.1f%% (goal: ~0%% and <5%%)\n",
+		100*rep.SampledOutOverheadP50, 100*rep.TracedOverheadP50)
+	fprintf(w, "traced batch query attributed %d distinct stages (goal: >=5):\n%s",
+		rep.BatchStages, rep.BatchTree)
+	return rep, nil
+}
+
+// overhead returns (measured - base) / base, guarding a zero base.
+func overhead(measured, base time.Duration) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return float64(measured-base) / float64(base)
+}

@@ -12,6 +12,10 @@
 // only): both fault types fire after the server has applied the effect, so
 // a delivered RPC is an applied RPC. Crashing plans sever connections with
 // frames in flight and are covered by the integration chaos smoke instead.
+//
+// The armor under test is the read-path degradation ladder of §III-G —
+// see DESIGN.md ("Degradation ladder: the read path under failure") for
+// the retry-budget, hedging and breaker design this package reconciles.
 package chaostest
 
 import (

@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"ips/internal/model"
 	"ips/internal/rpc"
+	"ips/internal/trace"
 	"ips/internal/wire"
 )
 
@@ -58,7 +60,7 @@ type groupOutcome struct {
 // primary outlasts the hedge delay; the first success wins. The group's
 // breaker is consulted at issue time: a refused primary fails fast with
 // ErrBreakerOpen instead of spending a timeout on a known-broken instance.
-func (c *Client) groupCall(tgt batchTarget, alt *batchTarget, payload []byte, subQueries int, kind attemptKind) groupOutcome {
+func (c *Client) groupCall(ctx context.Context, tgt batchTarget, alt *batchTarget, payload []byte, subQueries int, kind attemptKind) groupOutcome {
 	if c.Breaker != nil && !c.Breaker.Allow(tgt.addr) {
 		return groupOutcome{err: ErrBreakerOpen}
 	}
@@ -67,7 +69,7 @@ func (c *Client) groupCall(tgt batchTarget, alt *batchTarget, payload []byte, su
 			hook(t.region, t.addr, subQueries)
 		}
 		c.BatchRPCs.Inc()
-		c.launch(t, wire.MethodQueryBatch, payload, k, ch)
+		c.launch(ctx, t, wire.MethodQueryBatch, payload, k, ch)
 	}
 	resCh := make(chan attemptResult, 2)
 	issue(tgt, kind, resCh)
@@ -129,6 +131,14 @@ func (c *Client) groupCall(tgt batchTarget, alt *batchTarget, payload []byte, su
 // *PartialError (errors.Is(err, ErrPartial)) listing them; err is nil only
 // when every slot succeeded.
 func (c *Client) QueryBatch(subs []wire.SubQuery) ([]*wire.QueryResponse, error) {
+	return c.QueryBatchCtx(context.Background(), subs)
+}
+
+// QueryBatchCtx is QueryBatch with a request context. A traced batch gets
+// one client.query root span; each shard group's RPCs hang under it as
+// concurrent primary/retry/hedge attempt spans, so sibling durations
+// overlap and can sum past the root.
+func (c *Client) QueryBatchCtx(ctx context.Context, subs []wire.SubQuery) ([]*wire.QueryResponse, error) {
 	if len(subs) == 0 {
 		return nil, nil
 	}
@@ -136,6 +146,12 @@ func (c *Client) QueryBatch(subs []wire.SubQuery) ([]*wire.QueryResponse, error)
 	defer func() { c.QueryLat.Observe(time.Since(start)) }()
 	c.Requests.Add(int64(len(subs)))
 	c.BatchSize.Observe(int64(len(subs)))
+	ctx, owned := c.traceStart(ctx)
+	ctx, root := trace.StartSpan(ctx, trace.StageClientQuery)
+	defer func() {
+		root.End()
+		c.opts.Tracer.Done(owned)
+	}()
 
 	results := make([]*wire.QueryResponse, len(subs))
 	subErrs := make([]error, len(subs))
@@ -154,6 +170,7 @@ func (c *Client) QueryBatch(subs []wire.SubQuery) ([]*wire.QueryResponse, error)
 		regions := c.regionsSnapshot()
 		// Coalesce: assign each pending sub-query its next untried
 		// candidate and group by (region, shard) in first-seen order.
+		psp := trace.StartLeaf(ctx, trace.StageClientPick)
 		groups := make(map[batchTarget][]int)
 		var order []batchTarget
 		var next []int
@@ -171,6 +188,7 @@ func (c *Client) QueryBatch(subs []wire.SubQuery) ([]*wire.QueryResponse, error)
 			}
 			groups[tgt] = append(groups[tgt], i)
 		}
+		psp.End()
 		if len(order) == 0 {
 			break
 		}
@@ -221,7 +239,7 @@ func (c *Client) QueryBatch(subs []wire.SubQuery) ([]*wire.QueryResponse, error)
 					req.Subs[j] = subs[i]
 				}
 				alt := c.altCandidate(regions, subs[idxs[0]].Query.ProfileID, tried[idxs[0]], tgt.addr)
-				out := c.groupCall(tgt, alt, wire.EncodeQueryBatch(req), len(idxs), kind)
+				out := c.groupCall(ctx, tgt, alt, wire.EncodeQueryBatch(req), len(idxs), kind)
 				if out.err != nil {
 					outs[gi] = rpcOut{err: out.err, attempted: out.attempted}
 					return

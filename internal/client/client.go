@@ -4,9 +4,17 @@
 // ID with consistent hashing, and applies the multi-region discipline of
 // §III-G (Fig. 15): writes go to every region, queries go to the local
 // region, and a failed local query fails over to another region.
+//
+// Reads run behind the degradation ladder DESIGN.md describes
+// ("Degradation ladder: the read path under failure"): budgeted retries,
+// hedged requests against slow primaries, and per-instance circuit
+// breakers — invariant: Attempts == Primaries + Retries + Hedges, which
+// chaostest reconciles exactly. An optional trace.Tracer samples requests
+// end to end (DESIGN.md "Request tracing").
 package client
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -19,6 +27,7 @@ import (
 	"ips/internal/metrics"
 	"ips/internal/model"
 	"ips/internal/rpc"
+	"ips/internal/trace"
 	"ips/internal/wire"
 )
 
@@ -72,6 +81,13 @@ type Options struct {
 	BreakerCooldown time.Duration
 	// Seed makes backoff jitter deterministic; 0 seeds from the clock.
 	Seed int64
+
+	// Tracer, when set, samples requests end to end: the client opens the
+	// root span, every attempt (primary / retry / hedge) gets its own
+	// span, and spans the server ships back in traced responses are
+	// grafted in. Nil means requests run untraced unless the caller
+	// supplies a context that already carries a trace.
+	Tracer *trace.Tracer
 }
 
 // Client is the unified IPS client.
@@ -274,13 +290,34 @@ func (c *Client) routeN(region string, id model.ProfileID, n int) []string {
 	return rs.ring.GetN(id, n)
 }
 
+// traceStart returns ctx carrying a trace when this request should be
+// traced. A ctx already carrying one is used as-is (its owner finishes
+// it); otherwise the client's tracer makes the sampling draw, and the
+// returned trace — nil when unsampled — must be passed to Tracer.Done
+// after the root span ends.
+func (c *Client) traceStart(ctx context.Context) (context.Context, *trace.Trace) {
+	if trace.FromContext(ctx) != nil {
+		return ctx, nil
+	}
+	return c.opts.Tracer.StartRequest(ctx)
+}
+
 // Add writes entries for one profile. Per §III-G the write is applied in
 // every region; the call succeeds if at least one region accepts it (the
 // paper tolerates transient regional write loss).
 func (c *Client) Add(table string, id model.ProfileID, entries ...wire.AddEntry) error {
+	return c.AddCtx(context.Background(), table, id, entries...)
+}
+
+// AddCtx is Add with a request context. If the context carries a trace
+// (or the client's tracer samples this request), the write is traced
+// under a client.write root span with one RPC round trip per region.
+func (c *Client) AddCtx(ctx context.Context, table string, id model.ProfileID, entries ...wire.AddEntry) error {
 	start := time.Now()
 	defer func() { c.WriteLat.Observe(time.Since(start)) }()
 	c.Requests.Inc()
+	ctx, owned := c.traceStart(ctx)
+	wctx, root := trace.StartSpan(ctx, trace.StageClientWrite)
 
 	payload := wire.EncodeAdd(&wire.AddRequest{
 		Caller: c.opts.Caller, Table: table, ProfileID: id, Entries: entries,
@@ -305,7 +342,7 @@ func (c *Client) Add(table string, id model.ProfileID, entries ...wire.AddEntry)
 			continue
 		}
 		c.WriteRPCs.Inc()
-		_, err := c.conn(region, addr).Call(method, payload)
+		_, err := c.conn(region, addr).CallCtx(wctx, method, payload)
 		if c.Breaker != nil {
 			c.Breaker.Record(addr, transportOK(err))
 		}
@@ -315,27 +352,34 @@ func (c *Client) Add(table string, id model.ProfileID, entries ...wire.AddEntry)
 		}
 		ok++
 	}
+	var retErr error
 	if ok == 0 {
 		c.Errors.Inc()
 		if lastErr == nil {
 			lastErr = ErrNoInstances
 		}
-		return fmt.Errorf("client: add failed in all regions: %w", lastErr)
+		retErr = fmt.Errorf("client: add failed in all regions: %w", lastErr)
 	}
-	return nil
+	root.EndErr(retErr)
+	c.opts.Tracer.Done(owned)
+	return retErr
 }
 
 // queryMethod issues a read with local-region preference and the full
 // degradation ladder: hedge a slow primary, budgeted backoff retries down
 // the candidate ladder, broken instances skipped by their breakers.
-func (c *Client) queryMethod(method string, req *wire.QueryRequest) (*wire.QueryResponse, error) {
+func (c *Client) queryMethod(ctx context.Context, method string, req *wire.QueryRequest) (*wire.QueryResponse, error) {
 	start := time.Now()
 	defer func() { c.QueryLat.Observe(time.Since(start)) }()
 	c.Requests.Inc()
+	ctx, owned := c.traceStart(ctx)
+	qctx, root := trace.StartSpan(ctx, trace.StageClientQuery)
 	req.Caller = c.opts.Caller
 	payload := wire.EncodeQuery(req)
 
-	raw, err := c.resilientCall(method, payload, req.ProfileID)
+	raw, err := c.resilientCall(qctx, method, payload, req.ProfileID)
+	root.EndErr(err)
+	c.opts.Tracer.Done(owned)
 	if err != nil {
 		c.Errors.Inc()
 		return nil, fmt.Errorf("client: query failed: %w", err)
@@ -420,21 +464,29 @@ const (
 )
 
 // launch issues one read RPC asynchronously, feeding the breaker and the
-// attempt counters, and delivers the outcome on resCh.
-func (c *Client) launch(tgt batchTarget, method string, payload []byte, kind attemptKind, resCh chan<- attemptResult) {
+// attempt counters, and delivers the outcome on resCh. Each attempt gets
+// its own span (client.primary / client.retry / client.hedge) so a trace
+// shows exactly which attempt carried the winning response; losers that
+// finish after the request returns end their spans with zero duration.
+func (c *Client) launch(ctx context.Context, tgt batchTarget, method string, payload []byte, kind attemptKind, resCh chan<- attemptResult) {
 	c.Attempts.Inc()
+	stage := trace.StageClientPrimary
 	switch kind {
 	case attemptPrimary:
 		c.Primaries.Inc()
 	case attemptRetry:
 		c.Retries.Inc()
 		c.Failovers.Inc()
+		stage = trace.StageClientRetry
 	case attemptHedge:
 		c.Hedges.Inc()
+		stage = trace.StageClientHedge
 	}
 	conn := c.conn(tgt.region, tgt.addr)
+	actx, sp := trace.StartSpan(ctx, stage)
 	go func() {
-		raw, err := conn.Call(method, payload)
+		raw, err := conn.CallCtx(actx, method, payload)
+		sp.EndErr(err)
 		if c.Breaker != nil {
 			c.Breaker.Record(tgt.addr, transportOK(err))
 		}
@@ -456,8 +508,10 @@ type attemptResult struct {
 // past the hedge delay a single duplicate races it from the next
 // candidate; failures walk the remaining ladder under the retry budget
 // with jittered exponential backoff. The first success wins.
-func (c *Client) resilientCall(method string, payload []byte, id model.ProfileID) ([]byte, error) {
+func (c *Client) resilientCall(ctx context.Context, method string, payload []byte, id model.ProfileID) ([]byte, error) {
+	psp := trace.StartLeaf(ctx, trace.StageClientPick)
 	cands := c.candidates(id)
+	psp.End()
 	if len(cands) == 0 {
 		return nil, ErrNoInstances
 	}
@@ -476,7 +530,7 @@ func (c *Client) resilientCall(method string, payload []byte, id model.ProfileID
 			if c.Breaker != nil && !c.Breaker.Allow(tgt.addr) {
 				continue
 			}
-			c.launch(tgt, method, payload, kind, resCh)
+			c.launch(ctx, tgt, method, payload, kind, resCh)
 			inflight++
 			return true
 		}
@@ -546,17 +600,32 @@ func (c *Client) resilientCall(method string, payload []byte, id model.ProfileID
 
 // TopK implements get_profile_topK (§II-B2).
 func (c *Client) TopK(req *wire.QueryRequest) (*wire.QueryResponse, error) {
-	return c.queryMethod(wire.MethodTopK, req)
+	return c.queryMethod(context.Background(), wire.MethodTopK, req)
+}
+
+// TopKCtx is TopK with a request context (tracing seam).
+func (c *Client) TopKCtx(ctx context.Context, req *wire.QueryRequest) (*wire.QueryResponse, error) {
+	return c.queryMethod(ctx, wire.MethodTopK, req)
 }
 
 // Filter implements get_profile_filter.
 func (c *Client) Filter(req *wire.QueryRequest) (*wire.QueryResponse, error) {
-	return c.queryMethod(wire.MethodFilter, req)
+	return c.queryMethod(context.Background(), wire.MethodFilter, req)
+}
+
+// FilterCtx is Filter with a request context (tracing seam).
+func (c *Client) FilterCtx(ctx context.Context, req *wire.QueryRequest) (*wire.QueryResponse, error) {
+	return c.queryMethod(ctx, wire.MethodFilter, req)
 }
 
 // Decay implements get_profile_decay.
 func (c *Client) Decay(req *wire.QueryRequest) (*wire.QueryResponse, error) {
-	return c.queryMethod(wire.MethodDecay, req)
+	return c.queryMethod(context.Background(), wire.MethodDecay, req)
+}
+
+// DecayCtx is Decay with a request context (tracing seam).
+func (c *Client) DecayCtx(ctx context.Context, req *wire.QueryRequest) (*wire.QueryResponse, error) {
+	return c.queryMethod(ctx, wire.MethodDecay, req)
 }
 
 // Stats fetches instance statistics from every live instance. Instances
@@ -645,6 +714,9 @@ func (c *Client) ErrorRate() float64 {
 func (c *Client) RefreshNow() {
 	c.onInstances(c.opts.Registry.Lookup(c.opts.Service))
 }
+
+// Tracer returns the client's request tracer, nil when tracing is off.
+func (c *Client) Tracer() *trace.Tracer { return c.opts.Tracer }
 
 // Close stops discovery and closes all connections.
 func (c *Client) Close() error {

@@ -3,6 +3,7 @@ package compact
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ips/internal/config"
 	"ips/internal/metrics"
@@ -33,6 +34,11 @@ type Compactor struct {
 	// becomes the profile's WalLSN watermark; an error skips the pass (the
 	// next write re-enqueues it). Must be set before Start.
 	LogMaintain func(id model.ProfileID, now model.Millis, cfg config.Config) (uint64, error)
+
+	// Observe, when set, receives each maintenance pass's wall-clock
+	// duration (the tracing layer aggregates these into the compact.pass
+	// histogram). Must be set before Start.
+	Observe func(d time.Duration)
 
 	queue   chan *model.Profile
 	queued  sync.Map // ProfileID -> struct{}, dedupes pending work
@@ -126,6 +132,12 @@ func (c *Compactor) worker() {
 func (c *Compactor) runOne(p *model.Profile) {
 	cfg := c.cfgs.Get()
 	now := c.now()
+	start := time.Now()
+	defer func() {
+		if c.Observe != nil {
+			c.Observe(time.Since(start))
+		}
+	}()
 	p.Lock()
 	if c.LogMaintain != nil {
 		lsn, err := c.LogMaintain(p.ID, now, cfg)

@@ -9,10 +9,18 @@
 //     multiple of the dirty-shard count so every shard always has at least
 //     one dedicated thread (Fig. 9);
 //   - cache-miss fills from persistent storage.
+//
+// Write-back acknowledges before persistence, so the cache's loss window
+// is closed by the mutation journal (internal/wal): mutations are logged
+// under the profile lock before they apply — the log-before-apply
+// invariant ipslint's journalbeforeapply analyzer enforces. DESIGN.md
+// ("Durability: the write-back loss window and the mutation journal")
+// has the full story.
 package gcache
 
 import (
 	"container/list"
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -22,6 +30,7 @@ import (
 	"ips/internal/metrics"
 	"ips/internal/model"
 	"ips/internal/persist"
+	"ips/internal/trace"
 	"ips/internal/wire"
 )
 
@@ -96,8 +105,10 @@ type GCache struct {
 	// a batch of entries is applied (the write-ahead journal append). The
 	// returned LSN becomes the profile's WalLSN watermark; logging under
 	// the same lock that orders mutations guarantees log order equals
-	// apply order per profile. An error aborts the write unapplied.
-	OnApply func(id model.ProfileID, entries []wire.AddEntry) (uint64, error)
+	// apply order per profile. An error aborts the write unapplied. The
+	// ctx carries the request's trace, if sampled, so the journal can
+	// attribute its append and fsync time.
+	OnApply func(ctx context.Context, id model.ProfileID, entries []wire.AddEntry) (uint64, error)
 	// OnFlush, when set, is invoked after a profile incarnation whose
 	// watermarks were (walLSN, mergedLSN) has been durably persisted
 	// (flush thread, eviction, Drop); the journal uses the pair to advance
@@ -106,6 +117,12 @@ type GCache struct {
 	// the write-isolation stream (isolated adds folded in by a merge) —
 	// a flush never vouches for write-table data it did not contain.
 	OnFlush func(id model.ProfileID, walLSN, mergedLSN uint64)
+
+	// Tracer, when set, aggregates the durations of background stages no
+	// request context reaches (kv.flush). Request-scoped stages
+	// (cache.get, cache.apply, kv.read) are recorded on the trace carried
+	// by the request context instead.
+	Tracer *trace.Tracer
 
 	// loadMu serializes cache fills per profile so a thundering herd of
 	// misses issues one storage read.
@@ -271,20 +288,29 @@ func (g *GCache) Add(id model.ProfileID, ts model.Millis, slot model.SlotID, typ
 }
 
 // AddEntries performs a cached write of a batch of entries under one lock
-// hold: the profile is created or loaded, the OnApply hook (journal
+// hold; see AddEntriesCtx.
+func (g *GCache) AddEntries(id model.ProfileID, entries []wire.AddEntry) error {
+	return g.AddEntriesCtx(context.Background(), id, entries)
+}
+
+// AddEntriesCtx performs a cached write of a batch of entries under one
+// lock hold: the profile is created or loaded, the OnApply hook (journal
 // append) runs, the entries are applied, and the profile is LRU-touched
 // and queued on the dirty list. Invalid entries are skipped with the
 // first error returned after the rest applied — Profile.Add rejects
 // deterministically, so a journal replay of the same batch converges on
-// the same state.
-func (g *GCache) AddEntries(id model.ProfileID, entries []wire.AddEntry) error {
+// the same state. The whole operation is attributed to a cache.apply
+// span on ctx's trace, with journal time as a wal.append child.
+func (g *GCache) AddEntriesCtx(ctx context.Context, id model.ProfileID, entries []wire.AddEntry) (err error) {
 	if len(entries) == 0 {
 		return nil
 	}
+	actx, sp := trace.StartSpan(ctx, trace.StageCacheApply)
+	defer func() { sp.EndErr(err) }()
 	var p *model.Profile
 	for {
 		var err error
-		p, _, err = g.getOrLoad(id, true)
+		p, _, err = g.getOrLoad(actx, id, true)
 		if err != nil {
 			return err
 		}
@@ -300,7 +326,7 @@ func (g *GCache) AddEntries(id model.ProfileID, entries []wire.AddEntry) error {
 		p.Unlock()
 	}
 	if g.OnApply != nil {
-		lsn, err := g.OnApply(id, entries)
+		lsn, err := g.OnApply(actx, id, entries)
 		if err != nil {
 			p.Unlock()
 			return err
@@ -343,7 +369,7 @@ func (g *GCache) applyEntriesLocked(p *model.Profile, entries []wire.AddEntry) (
 // Replaying an isolated add folds it straight into the main profile (the
 // merge the crash pre-empted) and advances MergedLSN accordingly.
 func (g *GCache) ApplyLogged(id model.ProfileID, entries []wire.AddEntry, lsn uint64, isolated bool) (bool, error) {
-	p, _, err := g.getOrLoad(id, true)
+	p, _, err := g.getOrLoad(context.Background(), id, true)
 	if err != nil {
 		return false, err
 	}
@@ -375,19 +401,36 @@ func (g *GCache) ApplyLogged(id model.ProfileID, entries []wire.AddEntry, lsn ui
 // (nil, false, nil): queries against unknown profiles are empty, not
 // errors.
 func (g *GCache) Get(id model.ProfileID) (p *model.Profile, hit bool, err error) {
-	return g.getOrLoad(id, false)
+	return g.getOrLoad(context.Background(), id, false)
+}
+
+// GetCtx is Get with a request context: the lookup is attributed to a
+// cache.get span on ctx's trace, flagged hit or miss, with storage-load
+// time as a kv.read child.
+func (g *GCache) GetCtx(ctx context.Context, id model.ProfileID) (p *model.Profile, hit bool, err error) {
+	gctx, sp := trace.StartSpan(ctx, trace.StageCacheGet)
+	p, hit, err = g.getOrLoad(gctx, id, false)
+	if sp.Active() {
+		if hit {
+			sp.SetFlags(trace.FlagCacheHit)
+		} else {
+			sp.SetFlags(trace.FlagCacheMiss)
+		}
+		sp.EndErr(err)
+	}
+	return p, hit, err
 }
 
 // GetOrLoadForWrite returns the profile for id, loading it from storage on
 // a miss and creating it empty when it exists nowhere — the write path's
 // entry point.
 func (g *GCache) GetOrLoadForWrite(id model.ProfileID) (p *model.Profile, hit bool, err error) {
-	return g.getOrLoad(id, true)
+	return g.getOrLoad(context.Background(), id, true)
 }
 
 // getOrLoad returns the resident profile or fills from storage; when
 // createOnMiss is set, an absent profile is created empty (the write path).
-func (g *GCache) getOrLoad(id model.ProfileID, createOnMiss bool) (*model.Profile, bool, error) {
+func (g *GCache) getOrLoad(ctx context.Context, id model.ProfileID, createOnMiss bool) (*model.Profile, bool, error) {
 	if p := g.table.Get(id); p != nil {
 		g.HitRatio.Observe(true)
 		g.touch(id, 0)
@@ -399,7 +442,11 @@ func (g *GCache) getOrLoad(id model.ProfileID, createOnMiss bool) (*model.Profil
 	g.loadMu.Lock()
 	if call, ok := g.loads[id]; ok {
 		g.loadMu.Unlock()
+		// Waiting on another caller's load is storage-read time from this
+		// request's point of view.
+		sp := trace.StartLeaf(ctx, trace.StageKVRead)
 		<-call.done
+		sp.EndErr(call.err)
 		if call.err != nil {
 			return nil, false, call.err
 		}
@@ -412,7 +459,7 @@ func (g *GCache) getOrLoad(id model.ProfileID, createOnMiss bool) (*model.Profil
 	g.loads[id] = call
 	g.loadMu.Unlock()
 
-	p, err := g.load(id)
+	p, err := g.load(ctx, id)
 	call.p, call.err = p, err
 	close(call.done)
 	g.loadMu.Lock()
@@ -430,9 +477,13 @@ func (g *GCache) getOrLoad(id model.ProfileID, createOnMiss bool) (*model.Profil
 
 // load fetches id from storage and installs it; a missing profile returns
 // (nil, nil).
-func (g *GCache) load(id model.ProfileID) (*model.Profile, error) {
+func (g *GCache) load(ctx context.Context, id model.ProfileID) (*model.Profile, error) {
 	g.Loads.Inc()
+	start := time.Now()
+	sp := trace.StartLeaf(ctx, trace.StageKVRead)
 	p, err := g.ps.Load(id)
+	sp.EndErr(err)
+	g.Tracer.Observe(trace.StageKVRead, time.Since(start))
 	if errors.Is(err, kv.ErrNotFound) {
 		return nil, nil
 	}
@@ -512,7 +563,9 @@ func (g *GCache) flushOne(id model.ProfileID) error {
 		return nil
 	}
 	gen, lsn, mlsn := p.Generation, p.WalLSN, p.MergedLSN
+	start := time.Now()
 	_, err := g.ps.Save(p)
+	g.Tracer.Observe(trace.StageKVFlush, time.Since(start))
 	p.RUnlock()
 	if err != nil {
 		g.FlushErrors.Inc()

@@ -1,6 +1,7 @@
 package gcache
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -425,7 +426,7 @@ func TestOnApplyOrdersJournalWithMutation(t *testing.T) {
 	g, _, _ := newCache(t, Options{})
 	var lsn uint64
 	var logged [][]wire.AddEntry
-	g.OnApply = func(id model.ProfileID, entries []wire.AddEntry) (uint64, error) {
+	g.OnApply = func(_ context.Context, id model.ProfileID, entries []wire.AddEntry) (uint64, error) {
 		lsn++
 		logged = append(logged, entries)
 		return lsn, nil
@@ -464,7 +465,7 @@ func TestOnApplyOrdersJournalWithMutation(t *testing.T) {
 func TestOnApplyErrorAbortsWrite(t *testing.T) {
 	g, tbl, _ := newCache(t, Options{})
 	wantErr := fmt.Errorf("journal down")
-	g.OnApply = func(model.ProfileID, []wire.AddEntry) (uint64, error) { return 0, wantErr }
+	g.OnApply = func(context.Context, model.ProfileID, []wire.AddEntry) (uint64, error) { return 0, wantErr }
 	if err := g.Add(1, 5000, 1, 1, 7, []int64{1, 0}); err != wantErr {
 		t.Fatalf("err = %v, want journal error", err)
 	}

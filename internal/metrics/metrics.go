@@ -1,8 +1,10 @@
 // Package metrics provides the low-overhead instrumentation primitives IPS
-// uses to report the production-style numbers in the paper's evaluation:
-// p50/p99 latencies, throughput, error rates, cache hit ratios and memory
-// usage. Everything is safe for concurrent use and allocation-free on the
-// hot path.
+// uses to report the production-style numbers in the paper's evaluation
+// (§IV): p50/p99 latencies, throughput, error rates, cache hit ratios and
+// memory usage. Everything is safe for concurrent use and allocation-free
+// on the hot path. The same Histogram/Snapshot types back the per-stage
+// tracing aggregates and the operator debug endpoint (OPERATIONS.md lists
+// the full metrics catalog).
 package metrics
 
 import (
@@ -238,8 +240,13 @@ func (h *Histogram) Snapshot() Snapshot {
 	}
 }
 
-// String renders the snapshot in a compact human-readable form.
+// String renders the snapshot in a compact human-readable form. An empty
+// window says so explicitly instead of rendering all-zero quantiles,
+// which read like real (impossibly fast) latencies in operator output.
 func (s Snapshot) String() string {
+	if s.Count == 0 {
+		return "n=0 (no samples)"
+	}
 	return fmt.Sprintf("n=%d mean=%v p50=%v p90=%v p99=%v max=%v",
 		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Max)
 }

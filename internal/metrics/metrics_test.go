@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"strings"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -220,6 +221,23 @@ func TestSnapshotString(t *testing.T) {
 	}
 	if s.String() == "" {
 		t.Fatal("snapshot string should be nonempty")
+	}
+	if !strings.Contains(s.String(), "p50=") {
+		t.Fatalf("populated snapshot should carry quantiles: %q", s)
+	}
+}
+
+// An empty histogram must say so rather than render zero quantiles that
+// read like real sub-nanosecond latencies in ips-cli stats output.
+func TestSnapshotStringEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	got := s.String()
+	if !strings.Contains(got, "n=0") || !strings.Contains(got, "no samples") {
+		t.Fatalf("empty snapshot = %q, want explicit n=0 marker", got)
+	}
+	if strings.Contains(got, "p50=") {
+		t.Fatalf("empty snapshot = %q, must not render quantiles", got)
 	}
 }
 

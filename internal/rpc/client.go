@@ -1,10 +1,13 @@
 package rpc
 
 import (
+	"context"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ips/internal/trace"
 )
 
 // Client issues RPC calls to one address over a small pool of multiplexed
@@ -43,6 +46,7 @@ type clientConn struct {
 
 type result struct {
 	payload []byte
+	blob    []byte // traced responses: encoded server spans
 	err     error
 }
 
@@ -57,12 +61,25 @@ func (c *Client) Addr() string { return c.addr }
 // Call issues method with payload and waits for the response, applying the
 // default call timeout.
 func (c *Client) Call(method string, payload []byte) ([]byte, error) {
-	return c.CallTimeoutT(method, payload, c.CallTimeout)
+	return c.call(context.Background(), method, payload, c.CallTimeout)
+}
+
+// CallCtx is Call with a request context. When ctx carries a sampled
+// trace the request goes out as a traced frame — the server continues
+// the trace and ships its spans back, which are grafted under this
+// call's rpc.roundtrip span.
+func (c *Client) CallCtx(ctx context.Context, method string, payload []byte) ([]byte, error) {
+	return c.call(ctx, method, payload, c.CallTimeout)
 }
 
 // CallTimeoutT issues a call with an explicit timeout.
 func (c *Client) CallTimeoutT(method string, payload []byte, timeout time.Duration) ([]byte, error) {
-	cc, err := c.pick()
+	return c.call(context.Background(), method, payload, timeout)
+}
+
+func (c *Client) call(ctx context.Context, method string, payload []byte, timeout time.Duration) ([]byte, error) {
+	tr := trace.FromContext(ctx)
+	cc, err := c.pick(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -72,10 +89,16 @@ func (c *Client) CallTimeoutT(method string, payload []byte, timeout time.Durati
 	cc.pending[seq] = ch
 	cc.mu.Unlock()
 
+	rtSpan := trace.StartLeaf(ctx, trace.StageRPCRoundtrip)
 	cc.writeMu.Lock()
-	err = writeFrame(cc.conn, seq, kindRequest, method, payload)
+	if rtSpan.Active() {
+		err = writeTracedRequest(cc.conn, seq, method, tr.ID, rtSpan.ID(), payload)
+	} else {
+		err = writeFrame(cc.conn, seq, kindRequest, method, payload)
+	}
 	cc.writeMu.Unlock()
 	if err != nil {
+		rtSpan.EndErr(err)
 		cc.fail(err)
 		c.drop(cc)
 		return nil, err
@@ -90,11 +113,18 @@ func (c *Client) CallTimeoutT(method string, payload []byte, timeout time.Durati
 	}
 	select {
 	case res := <-ch:
+		rtSpan.EndErr(res.err)
+		if res.blob != nil && tr != nil {
+			if spans, derr := trace.DecodeSpans(res.blob); derr == nil {
+				tr.Graft(spans, rtSpan.ID())
+			}
+		}
 		return res.payload, res.err
 	case <-timeoutCh:
 		cc.mu.Lock()
 		delete(cc.pending, seq)
 		cc.mu.Unlock()
+		rtSpan.EndErr(ErrTimeout)
 		return nil, ErrTimeout
 	}
 }
@@ -106,7 +136,7 @@ func (c *Client) CallTimeoutT(method string, payload []byte, timeout time.Durati
 // when live connections exist the pool tops up in the background and the
 // call proceeds on an existing connection; only a caller with no live
 // connection at all waits for the dial's outcome.
-func (c *Client) pick() (*clientConn, error) {
+func (c *Client) pick(ctx context.Context) (*clientConn, error) {
 	for {
 		c.mu.Lock()
 		if c.closed {
@@ -136,16 +166,23 @@ func (c *Client) pick() (*clientConn, error) {
 		}
 		if startDial {
 			c.mu.Unlock()
-			if err := c.dial(); err != nil {
+			// This call blocks on its own dial: attribute the wait.
+			sp := trace.StartLeaf(ctx, trace.StageRPCDial)
+			err := c.dial()
+			sp.EndErr(err)
+			if err != nil {
 				return nil, err
 			}
 			continue // re-check the pool: our dial installed a connection
 		}
 		// No live connection and another caller's dial is in flight: wait
-		// for it to settle, then re-evaluate.
+		// for it to settle, then re-evaluate. The wait is dial time from
+		// this request's point of view.
 		done := c.dialDone
 		c.mu.Unlock()
+		sp := trace.StartLeaf(ctx, trace.StageRPCDial)
 		<-done
+		sp.End()
 	}
 }
 
@@ -207,23 +244,25 @@ func (c *Client) Close() error {
 
 func (cc *clientConn) readLoop() {
 	for {
-		seq, kind, _, payload, err := readFrame(cc.conn)
+		fr, err := readFrame(cc.conn)
 		if err != nil {
 			cc.fail(err)
 			return
 		}
 		cc.mu.Lock()
-		ch, ok := cc.pending[seq]
-		delete(cc.pending, seq)
+		ch, ok := cc.pending[fr.seq]
+		delete(cc.pending, fr.seq)
 		cc.mu.Unlock()
 		if !ok {
 			continue // timed-out call's late response
 		}
-		switch kind {
+		switch fr.kind {
 		case kindResponse:
-			ch <- result{payload: payload}
+			ch <- result{payload: fr.payload}
+		case kindResponseTraced:
+			ch <- result{payload: fr.payload, blob: fr.blob}
 		case kindError:
-			ch <- result{err: &RemoteError{Msg: string(payload)}}
+			ch <- result{err: &RemoteError{Msg: string(fr.payload)}}
 		}
 	}
 }

@@ -6,9 +6,19 @@
 //
 //	u32 frameLen      (bytes after this field; capped)
 //	u64 sequenceID    (request/response correlation)
-//	u8  kind          (0 = request, 1 = response, 2 = error response)
+//	u8  kind          (0 = request, 1 = response, 2 = error response,
+//	                   3 = traced request, 4 = traced response)
 //	u16 methodLen, method bytes  (requests only)
+//	u64 traceID, u64 parentSpanID (traced requests only)
+//	u32 spanBlobLen, span blob    (traced responses only; trace.EncodeSpans)
 //	payload bytes     (method-specific, opaque to the framework)
+//
+// Traced frames (kinds 3/4) are the optional tracing header from
+// DESIGN.md "Request tracing": a traced request carries the caller's
+// trace ID and the span the roundtrip runs under; the matching traced
+// response carries the server's span set, which the client grafts into
+// its own trace. Servers answer untraced requests with untraced
+// responses, so the header costs nothing when sampling is off.
 //
 // A single connection multiplexes any number of in-flight requests:
 // responses match requests by sequence ID, so a slow call does not block
@@ -17,6 +27,7 @@
 package rpc
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -25,6 +36,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ips/internal/trace"
 )
 
 // MaxFrameSize bounds a single frame; larger frames poison the connection
@@ -33,9 +46,11 @@ const MaxFrameSize = 16 << 20
 
 // Frame kinds.
 const (
-	kindRequest  = 0
-	kindResponse = 1
-	kindError    = 2
+	kindRequest        = 0
+	kindResponse       = 1
+	kindError          = 2
+	kindRequestTraced  = 3
+	kindResponseTraced = 4
 )
 
 // Errors returned by the framework.
@@ -59,10 +74,19 @@ func (e *RemoteError) Error() string {
 // Handler processes one request payload and returns the response payload.
 type Handler func(payload []byte) ([]byte, error)
 
+// HandlerCtx is a Handler that receives the request context, which
+// carries the request's trace when the caller sampled it.
+type HandlerCtx func(ctx context.Context, payload []byte) ([]byte, error)
+
 // Server serves RPC over a TCP listener.
 type Server struct {
+	// Tracer, when non-nil, samples requests that arrive untraced and
+	// aggregates the server-side spans of traced ones. Set it before
+	// Serve/Listen.
+	Tracer *trace.Tracer
+
 	mu       sync.RWMutex
-	handlers map[string]Handler
+	handlers map[string]HandlerCtx
 	ln       net.Listener
 	conns    map[net.Conn]struct{}
 	wg       sync.WaitGroup
@@ -97,11 +121,20 @@ func (s *Server) SetDropRate(f func() float64) {
 
 // NewServer creates a server with no handlers registered.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]Handler), conns: make(map[net.Conn]struct{})}
+	return &Server{handlers: make(map[string]HandlerCtx), conns: make(map[net.Conn]struct{})}
 }
 
-// Handle registers a handler for method, replacing any previous one.
+// Handle registers a context-less handler for method, replacing any
+// previous one.
 func (s *Server) Handle(method string, h Handler) {
+	s.HandleCtx(method, func(_ context.Context, payload []byte) ([]byte, error) {
+		return h(payload)
+	})
+}
+
+// HandleCtx registers a context-aware handler for method, replacing any
+// previous one. The context carries the request's trace when sampled.
+func (s *Server) HandleCtx(method string, h HandlerCtx) {
 	s.mu.Lock()
 	s.handlers[method] = h
 	s.mu.Unlock()
@@ -172,34 +205,47 @@ func (s *Server) serveConn(conn net.Conn) {
 	}()
 	var writeMu sync.Mutex // serialize response frames
 	for {
-		seq, kind, method, payload, err := readFrame(conn)
+		fr, err := readFrame(conn)
 		if err != nil {
 			return
 		}
-		if kind != kindRequest {
+		if fr.kind != kindRequest && fr.kind != kindRequestTraced {
 			continue // ignore stray frames
 		}
 		s.mu.RLock()
-		h := s.handlers[method]
+		h := s.handlers[fr.method]
 		s.mu.RUnlock()
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.dispatch(conn, &writeMu, seq, method, h, payload)
+			s.dispatch(conn, &writeMu, fr, h)
 		}()
 	}
 }
 
-func (s *Server) dispatch(conn net.Conn, writeMu *sync.Mutex, seq uint64, method string, h Handler, payload []byte) {
+func (s *Server) dispatch(conn net.Conn, writeMu *sync.Mutex, fr frame, h HandlerCtx) {
 	if d := s.delay.Load(); d != nil {
-		if dur := (*d)(method); dur > 0 {
+		if dur := (*d)(fr.method); dur > 0 {
 			time.Sleep(dur)
 		}
 	}
+	// A traced request continues the caller's trace even without a local
+	// Tracer (the spans only ship back over the wire); an untraced one
+	// may win the local sampling draw.
+	ctx := context.Background()
+	var tr *trace.Trace
+	traced := fr.kind == kindRequestTraced
+	if traced {
+		tr = trace.Adopt(fr.traceID, fr.parentSpan)
+		ctx = trace.NewContext(ctx, tr)
+	} else {
+		ctx, tr = s.Tracer.StartRequest(ctx)
+	}
+	dctx, dspan := trace.StartSpan(ctx, trace.StageServerDispatch)
 	var resp []byte
 	var herr error
 	if h == nil {
-		herr = fmt.Errorf("%w: %s", ErrNoMethod, method)
+		herr = fmt.Errorf("%w: %s", ErrNoMethod, fr.method)
 	} else {
 		func() {
 			defer func() {
@@ -207,21 +253,27 @@ func (s *Server) dispatch(conn net.Conn, writeMu *sync.Mutex, seq uint64, method
 					herr = fmt.Errorf("rpc: handler panic: %v", r)
 				}
 			}()
-			resp, herr = h(payload)
+			resp, herr = h(dctx, fr.payload)
 		}()
 	}
+	dspan.EndErr(herr)
+	s.Tracer.Done(tr)
 	if dr := s.dropRate.Load(); dr != nil {
-		if rate := (*dr)(); rate > 0 && pseudoRand(seq) < rate {
+		if rate := (*dr)(); rate > 0 && pseudoRand(fr.seq) < rate {
 			return // drop the response: client times out
 		}
 	}
 	writeMu.Lock()
 	defer writeMu.Unlock()
 	if herr != nil {
-		_ = writeFrame(conn, seq, kindError, "", []byte(herr.Error()))
+		_ = writeFrame(conn, fr.seq, kindError, "", []byte(herr.Error()))
 		return
 	}
-	_ = writeFrame(conn, seq, kindResponse, "", resp)
+	if traced {
+		_ = writeTracedResponse(conn, fr.seq, trace.EncodeSpans(tr.Spans()), resp)
+		return
+	}
+	_ = writeFrame(conn, fr.seq, kindResponse, "", resp)
 }
 
 // pseudoRand maps a sequence number to [0,1) deterministically, so drop
@@ -231,6 +283,17 @@ func pseudoRand(seq uint64) float64 {
 	seq *= 0xff51afd7ed558ccd
 	seq ^= seq >> 33
 	return float64(seq%10_000) / 10_000
+}
+
+// frame is one decoded wire frame.
+type frame struct {
+	seq        uint64
+	kind       byte
+	method     string // requests only
+	traceID    uint64 // traced requests only
+	parentSpan uint64 // traced requests only
+	blob       []byte // traced responses only: encoded server spans
+	payload    []byte
 }
 
 func writeFrame(w io.Writer, seq uint64, kind byte, method string, payload []byte) error {
@@ -257,37 +320,102 @@ func writeFrame(w io.Writer, seq uint64, kind byte, method string, payload []byt
 	return err
 }
 
-func readFrame(r io.Reader) (seq uint64, kind byte, method string, payload []byte, err error) {
+// writeTracedRequest writes a kindRequestTraced frame carrying the
+// caller's trace ID and the span ID the roundtrip runs under.
+func writeTracedRequest(w io.Writer, seq uint64, method string, traceID, parentSpan uint64, payload []byte) error {
+	frameLen := 8 + 1 + 2 + len(method) + 16 + len(payload)
+	if frameLen > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, 4+frameLen)
+	binary.LittleEndian.PutUint32(buf, uint32(frameLen))
+	binary.LittleEndian.PutUint64(buf[4:], seq)
+	buf[12] = kindRequestTraced
+	off := 13
+	binary.LittleEndian.PutUint16(buf[off:], uint16(len(method)))
+	off += 2
+	copy(buf[off:], method)
+	off += len(method)
+	binary.LittleEndian.PutUint64(buf[off:], traceID)
+	binary.LittleEndian.PutUint64(buf[off+8:], parentSpan)
+	off += 16
+	copy(buf[off:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+// writeTracedResponse writes a kindResponseTraced frame: the span blob,
+// then the payload.
+func writeTracedResponse(w io.Writer, seq uint64, blob, payload []byte) error {
+	frameLen := 8 + 1 + 4 + len(blob) + len(payload)
+	if frameLen > MaxFrameSize {
+		// Too many spans to ship: degrade to an untraced response rather
+		// than poison the connection.
+		return writeFrame(w, seq, kindResponse, "", payload)
+	}
+	buf := make([]byte, 4+frameLen)
+	binary.LittleEndian.PutUint32(buf, uint32(frameLen))
+	binary.LittleEndian.PutUint64(buf[4:], seq)
+	buf[12] = kindResponseTraced
+	off := 13
+	binary.LittleEndian.PutUint32(buf[off:], uint32(len(blob)))
+	off += 4
+	copy(buf[off:], blob)
+	off += len(blob)
+	copy(buf[off:], payload)
+	_, err := w.Write(buf)
+	return err
+}
+
+func readFrame(r io.Reader) (frame, error) {
+	var fr frame
 	var lenBuf [4]byte
-	if _, err = io.ReadFull(r, lenBuf[:]); err != nil {
-		return
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return fr, err
 	}
 	frameLen := binary.LittleEndian.Uint32(lenBuf[:])
 	if frameLen > MaxFrameSize || frameLen < 9 {
-		err = ErrFrameTooLarge
-		return
+		return fr, ErrFrameTooLarge
 	}
-	frame := make([]byte, frameLen)
-	if _, err = io.ReadFull(r, frame); err != nil {
-		return
+	raw := make([]byte, frameLen)
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return fr, err
 	}
-	seq = binary.LittleEndian.Uint64(frame)
-	kind = frame[8]
+	fr.seq = binary.LittleEndian.Uint64(raw)
+	fr.kind = raw[8]
 	off := 9
-	if kind == kindRequest {
-		if len(frame) < off+2 {
-			err = errors.New("rpc: truncated method length")
-			return
+	if fr.kind == kindRequest || fr.kind == kindRequestTraced {
+		if len(raw) < off+2 {
+			return fr, errors.New("rpc: truncated method length")
 		}
-		ml := int(binary.LittleEndian.Uint16(frame[off:]))
+		ml := int(binary.LittleEndian.Uint16(raw[off:]))
 		off += 2
-		if len(frame) < off+ml {
-			err = errors.New("rpc: truncated method")
-			return
+		if len(raw) < off+ml {
+			return fr, errors.New("rpc: truncated method")
 		}
-		method = string(frame[off : off+ml])
+		fr.method = string(raw[off : off+ml])
 		off += ml
+		if fr.kind == kindRequestTraced {
+			if len(raw) < off+16 {
+				return fr, errors.New("rpc: truncated trace header")
+			}
+			fr.traceID = binary.LittleEndian.Uint64(raw[off:])
+			fr.parentSpan = binary.LittleEndian.Uint64(raw[off+8:])
+			off += 16
+		}
 	}
-	payload = frame[off:]
-	return
+	if fr.kind == kindResponseTraced {
+		if len(raw) < off+4 {
+			return fr, errors.New("rpc: truncated span blob length")
+		}
+		bl := int(binary.LittleEndian.Uint32(raw[off:]))
+		off += 4
+		if len(raw) < off+bl {
+			return fr, errors.New("rpc: truncated span blob")
+		}
+		fr.blob = raw[off : off+bl]
+		off += bl
+	}
+	fr.payload = raw[off:]
+	return fr, nil
 }

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"context"
 	"sync"
 	"time"
 
 	"ips/internal/model"
 	"ips/internal/query"
+	"ips/internal/trace"
 	"ips/internal/wire"
 )
 
@@ -25,6 +27,14 @@ const batchWorkers = 8
 // (query.RunMany); groups run on a bounded worker pool. Quota is charged
 // per sub-query, exactly as N single calls would be.
 func (in *Instance) QueryBatch(caller string, subs []wire.SubQuery) []wire.BatchResult {
+	return in.QueryBatchCtx(context.Background(), caller, subs)
+}
+
+// QueryBatchCtx is QueryBatch with a request context carrying the
+// request's trace, if sampled. Groups run concurrently, so their spans
+// are siblings whose durations overlap: each nests inside the dispatch
+// span, but their sum can exceed it.
+func (in *Instance) QueryBatchCtx(ctx context.Context, caller string, subs []wire.SubQuery) []wire.BatchResult {
 	results := make([]wire.BatchResult, len(subs))
 	if in.closed.Load() {
 		for i := range results {
@@ -60,7 +70,7 @@ func (in *Instance) QueryBatch(caller string, subs []wire.SubQuery) []wire.Batch
 		go func(table string, id model.ProfileID, idxs []int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			in.queryGroup(caller, table, id, subs, idxs, results)
+			in.queryGroup(ctx, caller, table, id, subs, idxs, results)
 		}(k.table, k.id, idxs)
 	}
 	wg.Wait()
@@ -69,7 +79,7 @@ func (in *Instance) QueryBatch(caller string, subs []wire.SubQuery) []wire.Batch
 
 // queryGroup runs one (table, profile) group of a batch. Each goroutine
 // writes only its own disjoint result slots.
-func (in *Instance) queryGroup(caller, table string, id model.ProfileID, subs []wire.SubQuery, idxs []int, results []wire.BatchResult) {
+func (in *Instance) queryGroup(ctx context.Context, caller, table string, id model.ProfileID, subs []wire.SubQuery, idxs []int, results []wire.BatchResult) {
 	start := time.Now()
 	failAll := func(err error) {
 		for _, i := range idxs {
@@ -81,7 +91,7 @@ func (in *Instance) queryGroup(caller, table string, id model.ProfileID, subs []
 		failAll(err)
 		return
 	}
-	p, hit, err := ts.cache.Get(id)
+	p, hit, err := ts.cache.GetCtx(ctx, id)
 	if err != nil {
 		failAll(err)
 		return
@@ -110,7 +120,9 @@ func (in *Instance) queryGroup(caller, table string, id model.ProfileID, subs []
 	var res []query.Result
 	var errs []error
 	if p != nil {
+		csp := trace.StartLeaf(ctx, trace.StageCacheCompute)
 		res, errs = query.RunMany(p, ts.schema, reqs, in.clock())
+		csp.End()
 	}
 	elapsed := time.Since(start)
 	for j, i := range live {

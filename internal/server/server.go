@@ -8,9 +8,14 @@
 // separate write-only table that a merge worker folds into the main table
 // every few seconds, keeping write contention off the query path at the
 // cost of slightly delayed visibility.
+//
+// Observability: an Instance accepts a trace.Tracer (DESIGN.md "Request
+// tracing") and hosts the plain-text DebugServer endpoint ipsd exposes
+// with -debug; OPERATIONS.md is the operator runbook for both.
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -26,6 +31,7 @@ import (
 	"ips/internal/persist"
 	"ips/internal/query"
 	"ips/internal/quota"
+	"ips/internal/trace"
 	"ips/internal/wal"
 	"ips/internal/wire"
 )
@@ -58,6 +64,10 @@ type Options struct {
 	// write-back loss window, and CreateTable replays the unflushed
 	// journal suffix into the cache before serving (crash recovery).
 	Journal *wal.Journal
+	// Tracer, when set, is the per-stage latency-attribution layer: it
+	// samples requests, aggregates span durations into stage histograms,
+	// and retains slow queries. Nil disables tracing with no overhead.
+	Tracer *trace.Tracer
 }
 
 // Instance is one IPS server node.
@@ -68,6 +78,7 @@ type Instance struct {
 	store   kv.Store
 	clock   func() model.Millis
 	journal *wal.Journal
+	tracer  *trace.Tracer
 
 	mu     sync.RWMutex
 	tables map[string]*tableState
@@ -130,6 +141,7 @@ func New(opts Options) (*Instance, error) {
 		store:     opts.Store,
 		clock:     clock,
 		journal:   opts.Journal,
+		tracer:    opts.Tracer,
 		tables:    make(map[string]*tableState),
 		limiter:   quota.NewLimiter(opts.DefaultQuotaQPS),
 		udafs:     query.NewRegistry(),
@@ -192,6 +204,10 @@ func (in *Instance) Limiter() *quota.Limiter { return in.limiter }
 // in queries.
 func (in *Instance) UDAFs() *query.Registry { return in.udafs }
 
+// Tracer returns the instance's latency-attribution tracer, nil when
+// tracing is disabled.
+func (in *Instance) Tracer() *trace.Tracer { return in.tracer }
+
 // CreateTable registers a table with the given schema. The head-slice
 // width comes from the current time-dimension config.
 func (in *Instance) CreateTable(name string, schema *model.Schema) error {
@@ -212,12 +228,16 @@ func (in *Instance) CreateTable(name string, schema *model.Schema) error {
 	if err != nil {
 		return err
 	}
+	cache.Tracer = in.tracer
 	comp := compact.NewCompactor(schema, in.cfgs, in.clock)
 	// Background maintenance must keep cache accounting truthful and
 	// queue the compacted profile for re-flush.
 	comp.OnMaintain = func(id model.ProfileID, delta int64) {
 		cache.NoteSizeChange(id, delta)
 		cache.MarkDirty(id)
+	}
+	if tc := in.tracer; tc != nil {
+		comp.Observe = func(d time.Duration) { tc.Observe(trace.StageCompactPass, d) }
 	}
 	ts := &tableState{
 		schema:   schema,
@@ -234,8 +254,8 @@ func (in *Instance) CreateTable(name string, schema *model.Schema) error {
 		if err := in.replayTable(ts); err != nil {
 			return fmt.Errorf("server: journal replay for table %q: %w", name, err)
 		}
-		cache.OnApply = func(id model.ProfileID, entries []wire.AddEntry) (uint64, error) {
-			return jn.AppendAdd(name, id, entries)
+		cache.OnApply = func(ctx context.Context, id model.ProfileID, entries []wire.AddEntry) (uint64, error) {
+			return jn.AppendAdd(ctx, name, id, entries)
 		}
 		cache.OnFlush = func(id model.ProfileID, walLSN, mergedLSN uint64) {
 			jn.NoteFlushed(name, id, walLSN, mergedLSN)
@@ -367,6 +387,13 @@ func (in *Instance) table(name string) (*tableState, error) {
 
 // Add implements add_profile / add_profiles (§II-B1) for one profile.
 func (in *Instance) Add(caller, table string, id model.ProfileID, entries []wire.AddEntry) error {
+	return in.AddCtx(context.Background(), caller, table, id, entries)
+}
+
+// AddCtx is Add with a request context carrying the request's trace, if
+// sampled: cache apply, journal append/fsync and any inline write-table
+// merge are attributed to their own spans.
+func (in *Instance) AddCtx(ctx context.Context, caller, table string, id model.ProfileID, entries []wire.AddEntry) error {
 	if in.closed.Load() {
 		return ErrClosed
 	}
@@ -386,12 +413,12 @@ func (in *Instance) Add(caller, table string, id model.ProfileID, entries []wire
 	}
 	cfg := in.cfgs.Get()
 	if cfg.WriteIsolation {
-		return in.addIsolated(ts, cfg, id, entries)
+		return in.addIsolated(ctx, ts, cfg, id, entries)
 	}
 	// One batched cache write: the whole request is journaled and applied
 	// under a single profile lock hold, so the journal's record order
 	// matches the apply order.
-	if err := ts.cache.AddEntries(id, entries); err != nil {
+	if err := ts.cache.AddEntriesCtx(ctx, id, entries); err != nil {
 		return err
 	}
 	in.maybeCompact(ts, id)
@@ -400,7 +427,7 @@ func (in *Instance) Add(caller, table string, id model.ProfileID, entries []wire
 
 // addIsolated buffers the write in the write table (§III-F). All write
 // table operations are lightweight: no persistence, no compaction.
-func (in *Instance) addIsolated(ts *tableState, cfg config.Config, id model.ProfileID, entries []wire.AddEntry) error {
+func (in *Instance) addIsolated(ctx context.Context, ts *tableState, cfg config.Config, id model.ProfileID, entries []wire.AddEntry) error {
 	ts.writeMu.Lock()
 	defer ts.writeMu.Unlock()
 	// Journal before mutating; writeMu orders isolated appends, so log
@@ -412,7 +439,7 @@ func (in *Instance) addIsolated(ts *tableState, cfg config.Config, id model.Prof
 	var lsn uint64
 	if in.journal != nil {
 		var jerr error
-		lsn, jerr = in.journal.AppendIsolatedAdd(ts.main.Name, id, entries)
+		lsn, jerr = in.journal.AppendIsolatedAdd(ctx, ts.main.Name, id, entries)
 		if jerr != nil {
 			return jerr
 		}
@@ -438,8 +465,11 @@ func (in *Instance) addIsolated(ts *tableState, cfg config.Config, id model.Prof
 		return err
 	}
 	// Cap the write table's memory (§III-F): over the limit, merge now.
+	// The merge runs on this request's clock — attribute it.
 	if cfg.WriteTableMaxBytes > 0 && ts.writeBytes > cfg.WriteTableMaxBytes {
+		sp := trace.StartLeaf(ctx, trace.StageMergeInline)
 		in.mergeWriteTableLocked(ts)
+		sp.End()
 	}
 	return nil
 }
@@ -564,6 +594,13 @@ func (in *Instance) maybeCompact(ts *tableState, id model.ProfileID) {
 // Query executes a read (§II-B2). The method semantics (topK / filter /
 // decay) are fully described by the request itself.
 func (in *Instance) Query(req *wire.QueryRequest) (*wire.QueryResponse, error) {
+	return in.QueryCtx(context.Background(), req)
+}
+
+// QueryCtx is Query with a request context carrying the request's trace,
+// if sampled: the cache lookup (hit/miss flagged, storage read broken
+// out) and the feature computation get their own spans.
+func (in *Instance) QueryCtx(ctx context.Context, req *wire.QueryRequest) (*wire.QueryResponse, error) {
 	if in.closed.Load() {
 		return nil, ErrClosed
 	}
@@ -576,7 +613,7 @@ func (in *Instance) Query(req *wire.QueryRequest) (*wire.QueryResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, hit, err := ts.cache.Get(req.ProfileID)
+	p, hit, err := ts.cache.GetCtx(ctx, req.ProfileID)
 	if err != nil {
 		return nil, err
 	}
@@ -590,7 +627,9 @@ func (in *Instance) Query(req *wire.QueryRequest) (*wire.QueryResponse, error) {
 			}
 			q.UDAF = fn
 		}
+		csp := trace.StartLeaf(ctx, trace.StageCacheCompute)
 		res, err := query.Run(p, ts.schema, q, in.clock())
+		csp.EndErr(err)
 		if err != nil {
 			return nil, err
 		}

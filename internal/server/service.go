@@ -1,6 +1,8 @@
 package server
 
 import (
+	"context"
+
 	"ips/internal/config"
 	"ips/internal/query"
 	"ips/internal/rpc"
@@ -15,8 +17,11 @@ type Service struct {
 }
 
 // NewService wraps in and registers its handlers on a fresh RPC server.
+// The instance's tracer (if any) becomes the RPC server's, so untraced
+// requests can still be sampled server-side.
 func NewService(in *Instance) *Service {
 	s := &Service{in: in, srv: rpc.NewServer()}
+	s.srv.Tracer = in.Tracer()
 	s.register()
 	return s
 }
@@ -35,40 +40,40 @@ func (s *Service) register() {
 	s.srv.Handle(wire.MethodPing, func(p []byte) ([]byte, error) {
 		return []byte("pong"), nil
 	})
-	addHandler := func(payload []byte) ([]byte, error) {
+	addHandler := func(ctx context.Context, payload []byte) ([]byte, error) {
 		req, err := wire.DecodeAdd(payload)
 		if err != nil {
 			return nil, err
 		}
-		if err := s.in.Add(req.Caller, req.Table, req.ProfileID, req.Entries); err != nil {
+		if err := s.in.AddCtx(ctx, req.Caller, req.Table, req.ProfileID, req.Entries); err != nil {
 			return nil, err
 		}
 		return nil, nil
 	}
-	s.srv.Handle(wire.MethodAdd, addHandler)
-	s.srv.Handle(wire.MethodAddBatch, addHandler)
+	s.srv.HandleCtx(wire.MethodAdd, addHandler)
+	s.srv.HandleCtx(wire.MethodAddBatch, addHandler)
 
-	queryHandler := func(payload []byte) ([]byte, error) {
+	queryHandler := func(ctx context.Context, payload []byte) ([]byte, error) {
 		req, err := wire.DecodeQuery(payload)
 		if err != nil {
 			return nil, err
 		}
-		resp, err := s.in.Query(req)
+		resp, err := s.in.QueryCtx(ctx, req)
 		if err != nil {
 			return nil, err
 		}
 		return wire.EncodeQueryResponse(resp), nil
 	}
-	s.srv.Handle(wire.MethodTopK, queryHandler)
-	s.srv.Handle(wire.MethodFilter, queryHandler)
-	s.srv.Handle(wire.MethodDecay, queryHandler)
+	s.srv.HandleCtx(wire.MethodTopK, queryHandler)
+	s.srv.HandleCtx(wire.MethodFilter, queryHandler)
+	s.srv.HandleCtx(wire.MethodDecay, queryHandler)
 
-	s.srv.Handle(wire.MethodQueryBatch, func(payload []byte) ([]byte, error) {
+	s.srv.HandleCtx(wire.MethodQueryBatch, func(ctx context.Context, payload []byte) ([]byte, error) {
 		req, err := wire.DecodeQueryBatch(payload)
 		if err != nil {
 			return nil, err
 		}
-		resp := &wire.BatchQueryResponse{Results: s.in.QueryBatch(req.Caller, req.Subs)}
+		resp := &wire.BatchQueryResponse{Results: s.in.QueryBatchCtx(ctx, req.Caller, req.Subs)}
 		return wire.EncodeQueryBatchResponse(resp), nil
 	})
 

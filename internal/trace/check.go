@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Validate checks the structural well-formedness invariants of a span
+// set (one Trace's spans, possibly grafted across an RPC hop):
+//
+//   - IDs are unique and non-zero;
+//   - every Parent is 0 or the ID of another span in the set;
+//   - durations are non-negative;
+//   - every child's [Start, Start+Dur] interval nests inside its
+//     parent's, within slack (grafted spans carry wall-clock times from
+//     the peer process; pass a small slack when validating those).
+//
+// It returns nil for a well-formed set or an error naming the first
+// violated invariant.
+func Validate(spans []Span, slack time.Duration) error {
+	byID := make(map[uint64]Span, len(spans))
+	for _, sp := range spans {
+		if sp.ID == 0 {
+			return fmt.Errorf("span with zero ID (stage %s)", sp.Stage)
+		}
+		if _, dup := byID[sp.ID]; dup {
+			return fmt.Errorf("duplicate span ID %d", sp.ID)
+		}
+		byID[sp.ID] = sp
+	}
+	for _, sp := range spans {
+		if sp.Dur < 0 {
+			return fmt.Errorf("span %d (%s) has negative duration %v", sp.ID, sp.Stage, sp.Dur)
+		}
+		if sp.Parent == 0 {
+			continue
+		}
+		par, ok := byID[sp.Parent]
+		if !ok {
+			return fmt.Errorf("orphan span %d (%s): parent %d not in trace", sp.ID, sp.Stage, sp.Parent)
+		}
+		if sp.Start.Add(slack).Before(par.Start) {
+			return fmt.Errorf("span %d (%s) starts %v before its parent %d (%s)",
+				sp.ID, sp.Stage, par.Start.Sub(sp.Start), par.ID, par.Stage)
+		}
+		childEnd, parEnd := sp.Start.Add(sp.Dur), par.Start.Add(par.Dur)
+		if childEnd.After(parEnd.Add(slack)) {
+			return fmt.Errorf("span %d (%s) ends %v after its parent %d (%s)",
+				sp.ID, sp.Stage, childEnd.Sub(parEnd), par.ID, par.Stage)
+		}
+	}
+	return nil
+}
+
+// ChildSums returns, for every span with children, the sum of its direct
+// children's durations keyed by parent span ID. For a request whose
+// stages run sequentially (no hedging, no batch fan-out) each sum is
+// bounded by the parent's own duration.
+func ChildSums(spans []Span) map[uint64]time.Duration {
+	sums := make(map[uint64]time.Duration)
+	for _, sp := range spans {
+		if sp.Parent != 0 {
+			sums[sp.Parent] += sp.Dur
+		}
+	}
+	return sums
+}

@@ -1,0 +1,371 @@
+package trace
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestStageNames(t *testing.T) {
+	seen := map[string]Stage{}
+	for s := Stage(0); s < NumStages; s++ {
+		name := s.String()
+		if name == "" || name == "stage.unknown" {
+			t.Fatalf("stage %d has no name", s)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Fatalf("stages %d and %d share name %q", prev, s, name)
+		}
+		seen[name] = s
+	}
+	if Stage(200).String() != "stage.unknown" {
+		t.Fatal("out-of-range stage should render stage.unknown")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tr *Trace
+	var tc *Tracer
+	var ref SpanRef
+	// None of these may panic, and all must be cheap no-ops.
+	ref.End()
+	ref.EndErr(nil)
+	ref.SetFlags(FlagErr)
+	if ref.Active() || ref.ID() != 0 {
+		t.Fatal("zero SpanRef should be inert")
+	}
+	tr.Graft([]Span{{ID: 1}}, 0)
+	if tr.Spans() != nil || tr.Duration() != 0 {
+		t.Fatal("nil trace should report empty")
+	}
+	if tc.Sample() {
+		t.Fatal("nil tracer must not sample")
+	}
+	ctx, got := tc.StartRequest(context.Background())
+	if got != nil || FromContext(ctx) != nil {
+		t.Fatal("nil tracer StartRequest should return untraced ctx")
+	}
+	tc.Observe(StageKVFlush, time.Millisecond)
+	tc.Done(New())
+	if tc.LastSampled() != nil {
+		t.Fatal("nil tracer has no last trace")
+	}
+	if entries, seen := tc.SlowDump(); entries != nil || seen != 0 {
+		t.Fatal("nil tracer has no slow log")
+	}
+	// Untraced context: StartSpan/StartLeaf are no-ops returning the
+	// same ctx.
+	ctx2, ref2 := StartSpan(context.Background(), StageClientQuery)
+	if ref2.Active() || ctx2 != context.Background() {
+		t.Fatal("StartSpan on untraced ctx should be a no-op")
+	}
+	if StartLeaf(context.Background(), StageKVRead).Active() {
+		t.Fatal("StartLeaf on untraced ctx should be a no-op")
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	tr := New()
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Fatal("FromContext lost the trace")
+	}
+	ctx1, root := StartSpan(ctx, StageClientQuery)
+	ctx2, child := StartSpan(ctx1, StageClientPrimary)
+	leaf := StartLeaf(ctx2, StageRPCRoundtrip)
+	leaf.End()
+	child.EndErr(nil)
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("want 3 spans, got %d", len(spans))
+	}
+	if spans[0].Parent != 0 || spans[1].Parent != spans[0].ID || spans[2].Parent != spans[1].ID {
+		t.Fatalf("bad parent chain: %+v", spans)
+	}
+	if err := Validate(spans, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGraftRemap(t *testing.T) {
+	tr := New()
+	ctx := NewContext(context.Background(), tr)
+	ctx, root := StartSpan(ctx, StageClientQuery)
+	rpcSpan := StartLeaf(ctx, StageRPCRoundtrip)
+
+	// A remote trace with its own ID space 1..3, roots at Parent 0.
+	srv := Adopt(tr.ID, rpcSpan.ID())
+	sctx := NewContext(context.Background(), srv)
+	sctx, disp := StartSpan(sctx, StageServerDispatch)
+	get := StartLeaf(sctx, StageCacheGet)
+	get.SetFlags(FlagCacheMiss)
+	get.End()
+	disp.End()
+	if srv.ID != tr.ID {
+		t.Fatal("adopted trace must keep the caller's trace ID")
+	}
+
+	rpcSpan.End()
+	tr.Graft(srv.Spans(), rpcSpan.ID())
+	root.End()
+
+	spans := tr.Spans()
+	if err := Validate(spans, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	var dispatch *Span
+	for i := range spans {
+		if spans[i].Stage == StageServerDispatch {
+			dispatch = &spans[i]
+		}
+	}
+	if dispatch == nil || dispatch.Parent != rpcSpan.ID() {
+		t.Fatalf("grafted dispatch span not parented under the rpc span: %+v", spans)
+	}
+	// New local spans allocated after the graft must not collide.
+	post := StartLeaf(NewContext(context.Background(), tr), StageClientPick)
+	post.End()
+	if err := Validate(tr.Spans(), time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(n uint8, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spans := make([]Span, int(n)%40)
+		for i := range spans {
+			spans[i] = Span{
+				ID:     rng.Uint64()%1000 + 1,
+				Parent: rng.Uint64() % 1000,
+				Stage:  Stage(rng.Intn(int(NumStages))),
+				Flags:  uint8(rng.Intn(8)),
+				Start:  time.Unix(0, rng.Int63()),
+				Dur:    time.Duration(rng.Int63n(int64(time.Hour))),
+			}
+		}
+		got, err := DecodeSpans(EncodeSpans(spans))
+		if err != nil || len(got) != len(spans) {
+			return false
+		}
+		for i := range spans {
+			a, b := spans[i], got[i]
+			if a.ID != b.ID || a.Parent != b.Parent || a.Stage != b.Stage ||
+				a.Flags != b.Flags || a.Dur != b.Dur || !a.Start.Equal(b.Start) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {1}, {1, 0}, {1, 0, 0xff}, make([]byte, 2+spanWireSize+1)} {
+		if _, err := DecodeSpans(b); err == nil {
+			t.Fatalf("DecodeSpans(%v) accepted garbage", b)
+		}
+	}
+}
+
+// TestRandomTreesWellFormed drives the public API with random nesting
+// and checks Validate holds for whatever comes out — including after an
+// encode/decode/graft round trip.
+func TestRandomTreesWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := New()
+		var grow func(ctx context.Context, depth int)
+		grow = func(ctx context.Context, depth int) {
+			n := rng.Intn(3) + 1
+			for i := 0; i < n; i++ {
+				st := Stage(rng.Intn(int(NumStages)))
+				if depth < 3 && rng.Intn(2) == 0 {
+					cctx, ref := StartSpan(ctx, st)
+					grow(cctx, depth+1)
+					ref.End()
+				} else {
+					StartLeaf(ctx, st).End()
+				}
+			}
+		}
+		grow(NewContext(context.Background(), tr), 0)
+		if err := Validate(tr.Spans(), 0); err != nil {
+			t.Logf("local tree: %v", err)
+			return false
+		}
+		// Ship the spans across a simulated hop and graft them into a
+		// fresh client trace.
+		client := New()
+		ctx, rpcSpan := StartSpan(NewContext(context.Background(), client), StageRPCRoundtrip)
+		_ = ctx
+		decoded, err := DecodeSpans(EncodeSpans(tr.Spans()))
+		if err != nil {
+			t.Logf("decode: %v", err)
+			return false
+		}
+		rpcSpan.End()
+		client.Graft(decoded, rpcSpan.ID())
+		if err := Validate(client.Spans(), time.Second); err != nil {
+			t.Logf("grafted tree: %v", err)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTracerSampling(t *testing.T) {
+	tc := NewTracer(Config{SampleEvery: 4})
+	hits := 0
+	for i := 0; i < 400; i++ {
+		if tc.Sample() {
+			hits++
+		}
+	}
+	if hits != 100 {
+		t.Fatalf("SampleEvery=4 over 400 draws: want 100 hits, got %d", hits)
+	}
+	off := NewTracer(Config{SampleEvery: 0})
+	if off.Sample() {
+		t.Fatal("SampleEvery=0 must never sample")
+	}
+	all := NewTracer(Config{SampleEvery: 1})
+	if !all.Sample() {
+		t.Fatal("SampleEvery=1 must always sample")
+	}
+}
+
+func TestTracerDoneAggregates(t *testing.T) {
+	tc := NewTracer(Config{SampleEvery: 1})
+	ctx, tr := tc.StartRequest(context.Background())
+	if tr == nil {
+		t.Fatal("expected a sampled trace")
+	}
+	_, sp := StartSpan(ctx, StageClientQuery)
+	sp.End()
+	tc.Done(tr)
+	st := tc.Stats()
+	if st.Traces != 1 {
+		t.Fatalf("want 1 finished trace, got %d", st.Traces)
+	}
+	var found bool
+	for _, s := range st.Stages {
+		if s.Stage == StageClientQuery && s.Snapshot.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("client.query histogram did not record the span")
+	}
+	if tc.LastSampled() != tr {
+		t.Fatal("LastSampled should return the finished trace")
+	}
+	tc.Observe(StageKVFlush, 3*time.Millisecond)
+	for _, s := range tc.Stats().Stages {
+		if s.Stage == StageKVFlush && s.Snapshot.Count != 1 {
+			t.Fatal("Observe did not reach the kv.flush histogram")
+		}
+	}
+}
+
+func TestSlowRing(t *testing.T) {
+	tc := NewTracer(Config{SampleEvery: 1, SlowThreshold: time.Nanosecond, SlowLogSize: 4})
+	for i := 0; i < 10; i++ {
+		_, tr := tc.StartRequest(context.Background())
+		sp := StartLeaf(NewContext(context.Background(), tr), StageClientQuery)
+		time.Sleep(50 * time.Microsecond)
+		sp.End()
+		tc.Done(tr)
+	}
+	entries, seen := tc.SlowDump()
+	if seen != 10 {
+		t.Fatalf("want 10 slow queries seen, got %d", seen)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("ring size 4, got %d entries", len(entries))
+	}
+	for _, e := range entries {
+		if !strings.Contains(e.Rendered, "client.query") {
+			t.Fatalf("rendered dump missing span line:\n%s", e.Rendered)
+		}
+		if e.Total <= 0 {
+			t.Fatalf("slow entry with non-positive total %v", e.Total)
+		}
+	}
+	// Fast traces stay out when the threshold is high.
+	hi := NewTracer(Config{SampleEvery: 1, SlowThreshold: time.Hour})
+	_, tr := hi.StartRequest(context.Background())
+	StartLeaf(NewContext(context.Background(), tr), StageClientQuery).End()
+	hi.Done(tr)
+	if _, seen := hi.SlowDump(); seen != 0 {
+		t.Fatal("fast trace crossed an hour-long threshold")
+	}
+}
+
+func TestRenderTreeOrphan(t *testing.T) {
+	var b strings.Builder
+	RenderTree(&b, 0xabc, []Span{
+		{ID: 1, Parent: 0, Stage: StageClientQuery, Dur: time.Millisecond},
+		{ID: 2, Parent: 99, Stage: StageKVRead, Dur: time.Microsecond},
+	})
+	out := b.String()
+	if !strings.Contains(out, "orphan") {
+		t.Fatalf("orphan span not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "trace 0xabc") {
+		t.Fatalf("trace id missing:\n%s", out)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New()
+	ctx := NewContext(context.Background(), tr)
+	ctx, root := StartSpan(ctx, StageClientQuery)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				sp := StartLeaf(ctx, StageClientHedge)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	root.End()
+	spans := tr.Spans()
+	if len(spans) != 8*50+1 {
+		t.Fatalf("want %d spans, got %d", 8*50+1, len(spans))
+	}
+	if err := Validate(spans, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesViolations(t *testing.T) {
+	now := time.Now()
+	cases := map[string][]Span{
+		"zero id":    {{ID: 0, Stage: StageKVRead}},
+		"dup id":     {{ID: 1}, {ID: 1}},
+		"orphan":     {{ID: 1, Parent: 7}},
+		"neg dur":    {{ID: 1, Dur: -time.Second}},
+		"early kid":  {{ID: 1, Start: now, Dur: time.Second}, {ID: 2, Parent: 1, Start: now.Add(-time.Minute), Dur: 0}},
+		"late child": {{ID: 1, Start: now, Dur: time.Millisecond}, {ID: 2, Parent: 1, Start: now, Dur: time.Minute}},
+	}
+	for name, spans := range cases {
+		if Validate(spans, 0) == nil {
+			t.Fatalf("Validate accepted %s", name)
+		}
+	}
+}

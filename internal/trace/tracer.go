@@ -1,0 +1,263 @@
+package trace
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ips/internal/metrics"
+)
+
+// Config tunes a Tracer.
+type Config struct {
+	// SampleEvery samples one request in every SampleEvery. 1 traces
+	// everything; 0 or negative disables sampling (the tracer still
+	// aggregates Observe'd background stages and adopted remote traces).
+	SampleEvery int
+	// SlowThreshold enters traces at least this slow into the slow-query
+	// log. 0 or negative disables the slow log.
+	SlowThreshold time.Duration
+	// SlowLogSize caps the slow-query ring buffer; default 64.
+	SlowLogSize int
+}
+
+// SlowEntry is one retained slow-query record, rendered at capture time
+// so the ring holds no live Trace references.
+type SlowEntry struct {
+	TraceID  uint64
+	Total    time.Duration
+	Rendered string // RenderTree output
+}
+
+// Tracer samples requests, aggregates finished traces into per-stage
+// histograms, and retains slow queries. All methods are nil-receiver
+// safe: a component holding a nil *Tracer is simply untraced.
+type Tracer struct {
+	cfg    Config
+	ticker atomic.Uint64 // sampling round-robin
+	traces metrics.Counter
+	stages [NumStages]metrics.Histogram
+
+	slowMu   sync.Mutex
+	slow     []SlowEntry // ring, slowNext is the next overwrite slot
+	slowNext int
+	slowSeen int64
+
+	last atomic.Pointer[Trace]
+}
+
+// NewTracer builds a Tracer from cfg.
+func NewTracer(cfg Config) *Tracer {
+	if cfg.SlowLogSize <= 0 {
+		cfg.SlowLogSize = 64
+	}
+	return &Tracer{cfg: cfg}
+}
+
+// Sample reports whether the next request should carry a trace.
+func (t *Tracer) Sample() bool {
+	if t == nil || t.cfg.SampleEvery <= 0 {
+		return false
+	}
+	if t.cfg.SampleEvery == 1 {
+		return true
+	}
+	return t.ticker.Add(1)%uint64(t.cfg.SampleEvery) == 0
+}
+
+// StartRequest starts a sampled trace and returns ctx carrying it. When
+// the tracer is nil or this request loses the sampling draw it returns
+// (ctx, nil) and the request proceeds untraced. The caller owns the
+// returned trace and must pass it to Done.
+func (t *Tracer) StartRequest(ctx context.Context) (context.Context, *Trace) {
+	if !t.Sample() {
+		return ctx, nil
+	}
+	tr := New()
+	return NewContext(ctx, tr), tr
+}
+
+// Observe aggregates one background-stage duration (kv.flush,
+// compact.pass, …) that runs outside any request context.
+func (t *Tracer) Observe(stage Stage, d time.Duration) {
+	if t == nil || stage >= NumStages {
+		return
+	}
+	t.stages[stage].Observe(d)
+}
+
+// Done finishes tr: folds its spans into the per-stage histograms,
+// retains it if slow, and publishes it as the last sampled trace. Safe
+// to call with a nil trace (the unsampled case).
+func (t *Tracer) Done(tr *Trace) {
+	if t == nil || tr == nil {
+		return
+	}
+	spans := tr.Spans()
+	if len(spans) == 0 {
+		return
+	}
+	t.traces.Inc()
+	for _, sp := range spans {
+		if sp.Stage < NumStages {
+			t.stages[sp.Stage].Observe(sp.Dur)
+		}
+	}
+	total := tr.Duration()
+	if t.cfg.SlowThreshold > 0 && total >= t.cfg.SlowThreshold {
+		var b strings.Builder
+		RenderTree(&b, tr.ID, spans)
+		t.slowMu.Lock()
+		t.slowSeen++
+		if len(t.slow) < t.cfg.SlowLogSize {
+			t.slow = append(t.slow, SlowEntry{TraceID: tr.ID, Total: total, Rendered: b.String()})
+		} else {
+			t.slow[t.slowNext] = SlowEntry{TraceID: tr.ID, Total: total, Rendered: b.String()}
+			t.slowNext = (t.slowNext + 1) % t.cfg.SlowLogSize
+		}
+		t.slowMu.Unlock()
+	}
+	t.last.Store(tr)
+}
+
+// LastSampled returns the most recently finished sampled trace, or nil.
+func (t *Tracer) LastSampled() *Trace {
+	if t == nil {
+		return nil
+	}
+	return t.last.Load()
+}
+
+// SlowDump returns the retained slow queries, oldest first, plus how
+// many slow queries were seen in total (the ring may have evicted some).
+func (t *Tracer) SlowDump() ([]SlowEntry, int64) {
+	if t == nil {
+		return nil, 0
+	}
+	t.slowMu.Lock()
+	defer t.slowMu.Unlock()
+	out := make([]SlowEntry, 0, len(t.slow))
+	out = append(out, t.slow[t.slowNext:]...)
+	out = append(out, t.slow[:t.slowNext]...)
+	return out, t.slowSeen
+}
+
+// StageStat is one stage's aggregated latency distribution.
+type StageStat struct {
+	Stage    Stage
+	Snapshot metrics.Snapshot
+}
+
+// Stats is a point-in-time snapshot of the tracer's aggregation.
+type Stats struct {
+	Traces int64 // finished sampled traces
+	Stages []StageStat
+}
+
+// Stats snapshots every stage, including ones with no observations yet
+// (their snapshots render with the explicit n=0 marker).
+func (t *Tracer) Stats() Stats {
+	if t == nil {
+		return Stats{}
+	}
+	s := Stats{Traces: t.traces.Value(), Stages: make([]StageStat, 0, NumStages)}
+	for st := Stage(0); st < NumStages; st++ {
+		s.Stages = append(s.Stages, StageStat{Stage: st, Snapshot: t.stages[st].Snapshot()})
+	}
+	return s
+}
+
+// Format writes the snapshot as one aligned line per stage.
+func (s Stats) Format(w io.Writer) {
+	fmt.Fprintf(w, "traces sampled: %d\n", s.Traces)
+	for _, st := range s.Stages {
+		fmt.Fprintf(w, "%-16s %s\n", st.Stage, st.Snapshot)
+	}
+}
+
+// RenderTree writes the span tree in indented single-line-per-span form:
+//
+//	trace 0x5f3a total=12.4ms
+//	  client.query 12.4ms
+//	    client.pick 11µs
+//	    client.primary 12.3ms
+//	      rpc.roundtrip 12.2ms
+//	        server.dispatch 12.0ms
+//	          cache.get [miss] 11.1ms
+//	            kv.read 11.0ms
+//	          cache.compute 641µs
+//
+// Spans whose parent is missing from the set are rendered at the root
+// flagged [orphan] rather than dropped.
+func RenderTree(w io.Writer, traceID uint64, spans []Span) {
+	if len(spans) == 0 {
+		fmt.Fprintf(w, "trace %#x (empty)\n", traceID)
+		return
+	}
+	byID := make(map[uint64]int, len(spans))
+	children := make(map[uint64][]int, len(spans))
+	for i, sp := range spans {
+		byID[sp.ID] = i
+	}
+	var roots []int
+	first, last := spans[0].Start, spans[0].Start
+	for i, sp := range spans {
+		if sp.Start.Before(first) {
+			first = sp.Start
+		}
+		if end := sp.Start.Add(sp.Dur); end.After(last) {
+			last = end
+		}
+		if _, ok := byID[sp.Parent]; sp.Parent == 0 || !ok {
+			roots = append(roots, i)
+		} else {
+			children[sp.Parent] = append(children[sp.Parent], i)
+		}
+	}
+	sortByStart := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool { return spans[idx[a]].Start.Before(spans[idx[b]].Start) })
+	}
+	sortByStart(roots)
+	for _, idx := range children {
+		sortByStart(idx)
+	}
+	fmt.Fprintf(w, "trace %#x total=%v\n", traceID, last.Sub(first))
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		sp := spans[i]
+		fmt.Fprintf(w, "%s%s%s %v\n", strings.Repeat("  ", depth+1), sp.Stage, renderFlags(sp, byID), sp.Dur)
+		for _, c := range children[sp.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+}
+
+func renderFlags(sp Span, byID map[uint64]int) string {
+	var tags []string
+	if sp.Flags&FlagCacheHit != 0 {
+		tags = append(tags, "hit")
+	}
+	if sp.Flags&FlagCacheMiss != 0 {
+		tags = append(tags, "miss")
+	}
+	if sp.Flags&FlagErr != 0 {
+		tags = append(tags, "err")
+	}
+	if sp.Parent != 0 {
+		if _, ok := byID[sp.Parent]; !ok {
+			tags = append(tags, "orphan")
+		}
+	}
+	if len(tags) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(tags, ",") + "]"
+}

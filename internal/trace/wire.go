@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"time"
+)
+
+// Wire format for span blobs carried in traced RPC response frames
+// (little-endian, matching the rpc frame codec):
+//
+//	u16 count
+//	count × { u8 stage, u8 flags, u64 id, u64 parent,
+//	          i64 start-unix-nano, i64 dur-nanos }
+//
+// Span Start times cross the wire as absolute unix nanos; client and
+// server share a host in every test/bench topology, and across real
+// hosts the durations — not the absolute offsets — are the payload.
+
+const spanWireSize = 1 + 1 + 8 + 8 + 8 + 8
+
+// maxWireSpans caps a decoded blob; a request touching more stages than
+// this is corrupt or hostile.
+const maxWireSpans = 4096
+
+var errBadSpanBlob = errors.New("trace: malformed span blob")
+
+// EncodeSpans serializes spans for a traced response frame.
+func EncodeSpans(spans []Span) []byte {
+	if len(spans) > maxWireSpans {
+		spans = spans[:maxWireSpans]
+	}
+	buf := make([]byte, 2+len(spans)*spanWireSize)
+	binary.LittleEndian.PutUint16(buf, uint16(len(spans)))
+	off := 2
+	for _, sp := range spans {
+		buf[off] = byte(sp.Stage)
+		buf[off+1] = sp.Flags
+		binary.LittleEndian.PutUint64(buf[off+2:], sp.ID)
+		binary.LittleEndian.PutUint64(buf[off+10:], sp.Parent)
+		binary.LittleEndian.PutUint64(buf[off+18:], uint64(sp.Start.UnixNano()))
+		binary.LittleEndian.PutUint64(buf[off+26:], uint64(sp.Dur))
+		off += spanWireSize
+	}
+	return buf
+}
+
+// DecodeSpans parses a span blob produced by EncodeSpans.
+func DecodeSpans(b []byte) ([]Span, error) {
+	if len(b) < 2 {
+		return nil, errBadSpanBlob
+	}
+	n := int(binary.LittleEndian.Uint16(b))
+	if n > maxWireSpans || len(b) != 2+n*spanWireSize {
+		return nil, errBadSpanBlob
+	}
+	spans := make([]Span, n)
+	off := 2
+	for i := range spans {
+		spans[i] = Span{
+			Stage:  Stage(b[off]),
+			Flags:  b[off+1],
+			ID:     binary.LittleEndian.Uint64(b[off+2:]),
+			Parent: binary.LittleEndian.Uint64(b[off+10:]),
+			Start:  time.Unix(0, int64(binary.LittleEndian.Uint64(b[off+18:]))),
+			Dur:    time.Duration(binary.LittleEndian.Uint64(b[off+26:])),
+		}
+		off += spanWireSize
+	}
+	return spans, nil
+}

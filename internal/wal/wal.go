@@ -31,10 +31,15 @@
 // journal rewrites itself keeping only the unflushed suffix (plus the
 // latest consumer-offset checkpoint per pipeline), bounding its size to
 // the dirty set.
+//
+// DESIGN.md ("Durability") derives the loss-window table per sync
+// configuration; OPERATIONS.md has the crash-recovery runbook; the
+// kill-and-reopen proof layer is internal/integration/recovery_test.go.
 package wal
 
 import (
 	"bufio"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -49,6 +54,7 @@ import (
 	"ips/internal/codec"
 	"ips/internal/config"
 	"ips/internal/model"
+	"ips/internal/trace"
 	"ips/internal/wire"
 )
 
@@ -477,7 +483,12 @@ func readFrame(r *bufio.Reader) (Record, int, error) {
 var ErrClosed = errors.New("wal: journal closed")
 
 // append writes the record durably and registers it; caller holds j.mu.
-func (j *Journal) appendLocked(rec Record) (uint64, error) {
+// The write+flush is attributed to a wal.append span on ctx's trace,
+// with the fsync (when this append crosses the SyncEvery boundary)
+// broken out as a wal.sync child.
+func (j *Journal) appendLocked(ctx context.Context, rec Record) (lsn uint64, err error) {
+	actx, sp := trace.StartSpan(ctx, trace.StageWALAppend)
+	defer func() { sp.EndErr(err) }()
 	if j.closed {
 		return 0, ErrClosed
 	}
@@ -495,8 +506,11 @@ func (j *Journal) appendLocked(rec Record) (uint64, error) {
 		j.sinceSync++
 		if j.sinceSync >= j.opts.SyncEvery {
 			j.sinceSync = 0
-			if err := j.f.Sync(); err != nil {
-				return 0, err
+			ssp := trace.StartLeaf(actx, trace.StageWALSync)
+			serr := j.f.Sync()
+			ssp.EndErr(serr)
+			if serr != nil {
+				return 0, serr
 			}
 			j.syncs++
 		}
@@ -511,11 +525,12 @@ func (j *Journal) appendLocked(rec Record) (uint64, error) {
 
 // AppendAdd logs one acknowledged Add (all entries of one call) and
 // returns its LSN. Must be invoked before the mutation is applied to the
-// cache, under whatever lock serializes the profile's apply order.
-func (j *Journal) AppendAdd(table string, id model.ProfileID, entries []wire.AddEntry) (uint64, error) {
+// cache, under whatever lock serializes the profile's apply order. The
+// ctx carries the request's trace, if sampled.
+func (j *Journal) AppendAdd(ctx context.Context, table string, id model.ProfileID, entries []wire.AddEntry) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.appendLocked(Record{Op: OpAdd, Table: table, Profile: id, Entries: entries})
+	return j.appendLocked(ctx, Record{Op: OpAdd, Table: table, Profile: id, Entries: entries})
 }
 
 // AppendIsolatedAdd logs an Add acknowledged into the write-isolation
@@ -523,17 +538,17 @@ func (j *Journal) AppendAdd(table string, id model.ProfileID, entries []wire.Add
 // MERGED watermark covers it: until the merge worker folds the write
 // table into the main profile, a main-profile flush does not persist this
 // data, no matter how far the main WalLSN has advanced.
-func (j *Journal) AppendIsolatedAdd(table string, id model.ProfileID, entries []wire.AddEntry) (uint64, error) {
+func (j *Journal) AppendIsolatedAdd(ctx context.Context, table string, id model.ProfileID, entries []wire.AddEntry) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.appendLocked(Record{Op: OpAdd, Table: table, Profile: id, Entries: entries, Isolated: true})
+	return j.appendLocked(ctx, Record{Op: OpAdd, Table: table, Profile: id, Entries: entries, Isolated: true})
 }
 
 // AppendDelete logs a profile deletion.
 func (j *Journal) AppendDelete(table string, id model.ProfileID) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.appendLocked(Record{Op: OpDelete, Table: table, Profile: id})
+	return j.appendLocked(context.Background(), Record{Op: OpDelete, Table: table, Profile: id})
 }
 
 // AppendCompact logs a maintenance pass evaluated at now under cfg; the
@@ -542,7 +557,7 @@ func (j *Journal) AppendDelete(table string, id model.ProfileID) (uint64, error)
 func (j *Journal) AppendCompact(table string, id model.ProfileID, now model.Millis, cfg config.Config) (uint64, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.appendLocked(Record{Op: OpCompact, Table: table, Profile: id, Now: now, Cfg: &cfg})
+	return j.appendLocked(context.Background(), Record{Op: OpCompact, Table: table, Profile: id, Now: now, Cfg: &cfg})
 }
 
 // SaveOffsets checkpoints a pipeline's consumer offsets under name. Only
@@ -554,7 +569,7 @@ func (j *Journal) SaveOffsets(name string, offsets map[string][]int64) error {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	_, err := j.appendLocked(Record{Op: OpOffsets, Name: name, Offsets: cp})
+	_, err := j.appendLocked(context.Background(), Record{Op: OpOffsets, Name: name, Offsets: cp})
 	return err
 }
 

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -27,7 +28,7 @@ func TestJournalRoundTrip(t *testing.T) {
 		{Timestamp: 1000, Slot: 1, Type: 2, FID: 42, Counts: []int64{1, 0, 3}},
 		{Timestamp: 2000, Slot: 1, Type: 2, FID: 43, Counts: []int64{0, 5, 0}},
 	}
-	lsn1, err := j.AppendAdd("up", 7, entries)
+	lsn1, err := j.AppendAdd(context.Background(), "up", 7, entries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestJournalTornTailDiscarded(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
 	j := openT(t, path, Options{})
 	for i := 0; i < 4; i++ {
-		if _, err := j.AppendAdd("up", uint64(i+1), []wire.AddEntry{{Timestamp: 1, Counts: []int64{1}}}); err != nil {
+		if _, err := j.AppendAdd(context.Background(), "up", uint64(i+1), []wire.AddEntry{{Timestamp: 1, Counts: []int64{1}}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -139,7 +140,7 @@ func TestJournalWatermarkAndCompact(t *testing.T) {
 	j := openT(t, path, Options{CompactMinBytes: 1 << 40}) // manual compaction only
 	for i := 1; i <= 6; i++ {
 		id := uint64(1 + i%2) // profiles 1 and 2 interleaved
-		if _, err := j.AppendAdd("up", id, []wire.AddEntry{{Timestamp: int64(i), Counts: []int64{1}}}); err != nil {
+		if _, err := j.AppendAdd(context.Background(), "up", id, []wire.AddEntry{{Timestamp: int64(i), Counts: []int64{1}}}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -168,7 +169,7 @@ func TestJournalWatermarkAndCompact(t *testing.T) {
 		t.Fatalf("retained %d records, want 2", st.Records)
 	}
 	// Appends still work after the rewrite and survive reopen.
-	if _, err := j.AppendAdd("up", 3, []wire.AddEntry{{Timestamp: 9, Counts: []int64{1}}}); err != nil {
+	if _, err := j.AppendAdd(context.Background(), "up", 3, []wire.AddEntry{{Timestamp: 9, Counts: []int64{1}}}); err != nil {
 		t.Fatal(err)
 	}
 	j.Close()
@@ -192,7 +193,7 @@ func TestJournalOffsetsSurviveCompaction(t *testing.T) {
 	if err := j.SaveOffsets("pipe", map[string][]int64{"t": {5}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := j.AppendAdd("up", 1, []wire.AddEntry{{Timestamp: 1, Counts: []int64{1}}}); err != nil {
+	if _, err := j.AppendAdd(context.Background(), "up", 1, []wire.AddEntry{{Timestamp: 1, Counts: []int64{1}}}); err != nil {
 		t.Fatal(err)
 	}
 	j.NoteFlushed("up", 1, 3, 0)
@@ -218,7 +219,7 @@ func TestJournalAutoCompact(t *testing.T) {
 	j := openT(t, path, Options{CompactMinBytes: 64})
 	defer j.Close()
 	for i := 1; i <= 32; i++ {
-		if _, err := j.AppendAdd("up", 1, []wire.AddEntry{{Timestamp: int64(i), Counts: []int64{1}}}); err != nil {
+		if _, err := j.AppendAdd(context.Background(), "up", 1, []wire.AddEntry{{Timestamp: int64(i), Counts: []int64{1}}}); err != nil {
 			t.Fatal(err)
 		}
 		j.NoteFlushed("up", 1, uint64(i), 0)
@@ -250,10 +251,10 @@ func TestJournalIsolatedStreamRetirement(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "wal.log")
 	j := openT(t, path, Options{CompactMinBytes: 1 << 40})
 	e := []wire.AddEntry{{Timestamp: 1, Counts: []int64{1}}}
-	if _, err := j.AppendAdd("up", 1, e); err != nil { // lsn 1, main stream
+	if _, err := j.AppendAdd(context.Background(), "up", 1, e); err != nil { // lsn 1, main stream
 		t.Fatal(err)
 	}
-	lsn2, err := j.AppendIsolatedAdd("up", 1, e) // lsn 2, isolated stream
+	lsn2, err := j.AppendIsolatedAdd(context.Background(), "up", 1, e) // lsn 2, isolated stream
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -294,7 +295,7 @@ func TestJournalCompactLeavesNoTempFile(t *testing.T) {
 	path := filepath.Join(dir, "wal.log")
 	j := openT(t, path, Options{CompactMinBytes: 1 << 40})
 	defer j.Close()
-	if _, err := j.AppendAdd("up", 1, []wire.AddEntry{{Timestamp: 1, Counts: []int64{1}}}); err != nil {
+	if _, err := j.AppendAdd(context.Background(), "up", 1, []wire.AddEntry{{Timestamp: 1, Counts: []int64{1}}}); err != nil {
 		t.Fatal(err)
 	}
 	j.NoteFlushed("up", 1, 1, 0)
@@ -312,7 +313,7 @@ func TestJournalCompactLeavesNoTempFile(t *testing.T) {
 	}
 	// The reopened handle after the rename is live: appends land in the
 	// renamed file, not the unlinked inode.
-	if _, err := j.AppendAdd("up", 2, []wire.AddEntry{{Timestamp: 2, Counts: []int64{1}}}); err != nil {
+	if _, err := j.AppendAdd(context.Background(), "up", 2, []wire.AddEntry{{Timestamp: 2, Counts: []int64{1}}}); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)

@@ -23,7 +23,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig16, fig17, tab2, fig18, fig19, iso80, compaction, lambda, batch, tail, recovery, trace, fig10, fig11, all)")
+	exp := flag.String("exp", "", "experiment id (fig16, fig17, tab2, fig18, fig19, iso80, compaction, lambda, batch, tail, recovery, trace, hotkey, fig10, fig11, all)")
 	full := flag.Bool("full", false, "run the larger, slower parameterization")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
@@ -123,6 +123,14 @@ func main() {
 				o = bench.TraceOverheadOptions{Queries: 12_000, Profiles: 1000}
 			}
 			_, err := bench.RunTraceOverhead(o, os.Stdout)
+			return err
+		}},
+		{"hotkey", "hot-key contention: single-flight, hot slots, batch v2 bytes", func(full bool) error {
+			o := bench.HotkeyOptions{}
+			if full {
+				o = bench.HotkeyOptions{ColdKeys: 64, ReadersPerKey: 16, Readers: 12, ReadsPerReader: 5000, Profiles: 512, BatchRounds: 200}
+			}
+			_, err := bench.RunHotkey(o, os.Stdout)
 			return err
 		}},
 		{"fig10", "compaction mechanism demo (6 slices -> 3)", func(bool) error {

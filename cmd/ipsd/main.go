@@ -19,6 +19,7 @@ import (
 
 	"ips/internal/config"
 	"ips/internal/discovery"
+	"ips/internal/gcache"
 	"ips/internal/kv"
 	"ips/internal/model"
 	"ips/internal/server"
@@ -43,6 +44,8 @@ func main() {
 	traceSample := flag.Int("trace-sample", 0, "trace one request in N for per-stage latency attribution (0 = tracing off)")
 	traceSlow := flag.Duration("trace-slow", 0, "retain sampled traces at least this slow in the slow-query log (0 = slow log off)")
 	debugAddr := flag.String("debug", "", "listen address for the plain-text debug endpoint (empty = off; query with ips-cli debug)")
+	hotSlots := flag.Int("hot-slots", 0, "replicated read slots per hot profile; Zipf-head reads are served lock-free from immutable replicas (0 = off)")
+	hotPromoteAfter := flag.Int("hot-promote-after", 0, "decayed read count that promotes a profile into hot slots (0 = gcache default)")
 	flag.Parse()
 
 	var store kv.Store
@@ -89,6 +92,10 @@ func main() {
 		DefaultQuotaQPS: *quota,
 		Journal:         journal,
 		Tracer:          tracer,
+		Cache: gcache.Options{
+			HotSlots:        *hotSlots,
+			HotPromoteAfter: *hotPromoteAfter,
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -274,3 +274,37 @@ func TestRunTraceSmall(t *testing.T) {
 		t.Fatalf("batch tree missing client/server stages:\n%s", rep.BatchTree)
 	}
 }
+
+func TestRunHotkeySmall(t *testing.T) {
+	rep, err := RunHotkey(HotkeyOptions{
+		ColdKeys: 8, ReadersPerKey: 8,
+		Readers: 4, ReadsPerReader: 300, Profiles: 64, WritesPerProfile: 4,
+		HotSlots: 4, HotPromoteAfter: 8,
+		DupFactors: []int{1, 8}, BatchRounds: 5, BatchSize: 16,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The deterministic invariant of single-flight: however many readers
+	// collide on a cold key, storage is read exactly once per key.
+	if rep.KVReadsPerColdKey != 1 {
+		t.Fatalf("KV reads per cold key = %.2f, want exactly 1 (single-flight broken)", rep.KVReadsPerColdKey)
+	}
+	if rep.LoadWaits == 0 {
+		t.Fatal("no reader shared another's load; the storm never collided")
+	}
+	// Latency comparisons are logged, not gated: CI boxes are too noisy
+	// at this scale for a p99 assertion to be stable.
+	t.Logf("p99 baseline=%v hotslots=%v (hits=%d promotions=%d)",
+		rep.BaseP99, rep.HotP99, rep.HotHits, rep.HotPromotions)
+	if rep.HotPromotions == 0 || rep.HotHits == 0 {
+		t.Fatalf("hot-slot layer never engaged: hits=%d promotions=%d", rep.HotHits, rep.HotPromotions)
+	}
+	// The v2 encoding must beat v1 once duplication is real.
+	for _, d := range rep.Dups {
+		t.Logf("dup %d: v1=%dB v2=%dB reduction=%.1f%%", d.Dup, d.V1BytesPerOp, d.V2BytesPerOp, 100*d.Reduction)
+		if d.Dup >= 8 && d.V2BytesPerOp >= d.V1BytesPerOp {
+			t.Fatalf("dup %d: v2 wire bytes %d not below v1's %d", d.Dup, d.V2BytesPerOp, d.V1BytesPerOp)
+		}
+	}
+}

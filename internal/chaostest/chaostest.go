@@ -28,6 +28,7 @@ import (
 	"ips/internal/client"
 	"ips/internal/cluster"
 	"ips/internal/faultinject"
+	"ips/internal/gcache"
 	"ips/internal/model"
 	"ips/internal/query"
 	"ips/internal/wire"
@@ -54,6 +55,14 @@ type Options struct {
 	// Client carries the resilience knobs under test. Registry, Service
 	// and Caller are filled in by Run.
 	Client client.Options
+	// ZipfS, when > 0, skews worker key choice with a Zipf(s) draw over
+	// the keyspace (rank-ordered: profile 1 hottest) instead of uniform —
+	// the hot-key storm shape that exercises single-flight and hot-slot
+	// replication under faults.
+	ZipfS float64
+	// Cache tunes every instance's GCache (e.g. HotSlots /
+	// HotPromoteAfter for hot-key runs); zero values use gcache defaults.
+	Cache gcache.Options
 }
 
 // Report is what a chaos run measured. All client counters are read at a
@@ -67,6 +76,12 @@ type Report struct {
 	// Server-side ground truth, summed over every instance.
 	ServerWrites   int64 // write entries applied
 	ServerRejected int64 // writes refused by quota (should stay 0 here)
+
+	// Cache-layer activity summed over every instance, for hot-key runs:
+	// single-flight shared loads, hot-slot reads, and promotions.
+	LoadWaits     int64
+	HotHits       int64
+	HotPromotions int64
 
 	// Fault episodes actually injected.
 	Crashes, Restarts           int
@@ -150,6 +165,7 @@ func Run(o Options) (*Report, error) {
 		Regions:            o.Regions,
 		InstancesPerRegion: o.InstancesPerRegion,
 		Tables:             map[string]*model.Schema{"up": model.NewSchema("like", "share")},
+		Cache:              o.Cache,
 	})
 	if err != nil {
 		return nil, err
@@ -215,13 +231,24 @@ func Run(o Options) (*Report, error) {
 		go func(w int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(o.Seed + int64(w)*7919 + 1))
+			// pick draws the next key: uniform by default, Zipf-skewed
+			// (rank-ordered, profile 1 hottest) when o.ZipfS is set.
+			pick := func() model.ProfileID {
+				return model.ProfileID(rng.Intn(o.Profiles) + 1)
+			}
+			if o.ZipfS > 1 {
+				zipf := rand.NewZipf(rng, o.ZipfS, 1, uint64(o.Profiles-1))
+				pick = func() model.ProfileID {
+					return model.ProfileID(zipf.Uint64() + 1)
+				}
+			}
 			for {
 				select {
 				case <-stop:
 					return
 				default:
 				}
-				id := model.ProfileID(rng.Intn(o.Profiles) + 1)
+				id := pick()
 				start := time.Now()
 				switch p := rng.Float64(); {
 				case p < 0.2: // write
@@ -236,7 +263,7 @@ func Run(o Options) (*Report, error) {
 				default: // batch read
 					subs := make([]wire.SubQuery, rng.Intn(6)+3)
 					for i := range subs {
-						subs[i] = wire.SubQuery{Query: *chaosQuery(model.ProfileID(rng.Intn(o.Profiles) + 1))}
+						subs[i] = wire.SubQuery{Query: *chaosQuery(pick())}
 					}
 					_, err := c.QueryBatch(subs)
 					observe(start, err)
@@ -279,6 +306,11 @@ func Run(o Options) (*Report, error) {
 		st := n.Instance().Stats()
 		rep.ServerWrites += st.Writes
 		rep.ServerRejected += st.Rejected
+		if cs, err := n.Instance().CacheStats("up"); err == nil {
+			rep.LoadWaits += cs.LoadWaits
+			rep.HotHits += cs.HotHits
+			rep.HotPromotions += cs.HotPromotions
+		}
 	}
 	for _, st := range rep.Resilience.BreakerStates {
 		switch st {

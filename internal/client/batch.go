@@ -49,6 +49,26 @@ type batchTarget struct {
 	region, addr string
 }
 
+// batchMethod picks the batch read method: shared-structure v2 by
+// default, legacy v1 when Options.BatchV1 is set. The request payload is
+// identical either way; only the response encoding differs.
+func (c *Client) batchMethod() string {
+	if c.opts.BatchV1 {
+		return wire.MethodQueryBatch
+	}
+	return wire.MethodQueryBatchV2
+}
+
+// decodeBatch parses a batch response in whichever encoding this client
+// requested. V2 slots that referenced the same blob share one decoded
+// *QueryResponse — batch results are read-only, so sharing is safe.
+func (c *Client) decodeBatch(raw []byte) (*wire.BatchQueryResponse, error) {
+	if c.opts.BatchV1 {
+		return wire.DecodeQueryBatchResponse(raw)
+	}
+	return wire.DecodeQueryBatchResponseV2(raw)
+}
+
 // groupOutcome is the result of one (possibly hedged) batch-group RPC.
 type groupOutcome struct {
 	raw       []byte
@@ -69,7 +89,7 @@ func (c *Client) groupCall(ctx context.Context, tgt batchTarget, alt *batchTarge
 			hook(t.region, t.addr, subQueries)
 		}
 		c.BatchRPCs.Inc()
-		c.launch(ctx, t, wire.MethodQueryBatch, payload, k, ch)
+		c.launch(ctx, t, c.batchMethod(), payload, k, ch)
 	}
 	resCh := make(chan attemptResult, 2)
 	issue(tgt, kind, resCh)
@@ -244,7 +264,7 @@ func (c *Client) QueryBatchCtx(ctx context.Context, subs []wire.SubQuery) ([]*wi
 					outs[gi] = rpcOut{err: out.err, attempted: out.attempted}
 					return
 				}
-				resp, err := wire.DecodeQueryBatchResponse(out.raw)
+				resp, err := c.decodeBatch(out.raw)
 				outs[gi] = rpcOut{resp: resp, err: err, attempted: out.attempted}
 			}(gi, tgt, idxs)
 		}
@@ -273,7 +293,7 @@ func (c *Client) QueryBatchCtx(ctx context.Context, subs []wire.SubQuery) ([]*wi
 			for j, i := range idxs {
 				br := o.resp.Results[j]
 				if br.Err != "" {
-					subErrs[i] = &rpc.RemoteError{Method: wire.MethodQueryBatch, Msg: br.Err}
+					subErrs[i] = &rpc.RemoteError{Method: c.batchMethod(), Msg: br.Err}
 					next = append(next, i)
 					continue
 				}

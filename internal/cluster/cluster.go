@@ -16,6 +16,7 @@ import (
 
 	"ips/internal/config"
 	"ips/internal/discovery"
+	"ips/internal/gcache"
 	"ips/internal/kv"
 	"ips/internal/model"
 	"ips/internal/server"
@@ -43,6 +44,9 @@ type Options struct {
 	// RegistryTTL for discovery registrations; default 1s (a crashed
 	// node leaves the catalog quickly in tests).
 	RegistryTTL time.Duration
+	// Cache tunes every instance's GCache (hot-slot replication, LRU
+	// capacity, ...); zero values use gcache defaults.
+	Cache gcache.Options
 }
 
 // Cluster is a running multi-region deployment.
@@ -200,6 +204,7 @@ func (c *Cluster) startNode(name, region string) (*Node, error) {
 		Config:          cfgStore,
 		Clock:           c.opts.Clock,
 		DefaultQuotaQPS: c.opts.DefaultQuotaQPS,
+		Cache:           c.opts.Cache,
 	})
 	if err != nil {
 		return nil, err

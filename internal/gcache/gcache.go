@@ -55,6 +55,20 @@ type Options struct {
 	FlushInterval time.Duration
 	// SwapInterval is the memory-check cadence; default 100ms.
 	SwapInterval time.Duration
+	// HotSlots enables replicated hot-profile read slots (batch
+	// architecture v2): a profile whose decayed read count crosses
+	// HotPromoteAfter is promoted into this many immutable read
+	// replicas, and reads round-robin across them instead of
+	// serializing on the live profile's lock. Any mutation invalidates
+	// the replicas before it is acknowledged. 0 disables (the default).
+	HotSlots int
+	// HotPromoteAfter is the decayed read count that promotes a profile
+	// into hot slots; default 64. Counts halve every ~16k reads, so the
+	// threshold tracks the current Zipf head, not all-time totals.
+	HotPromoteAfter int
+	// HotMaxEntries caps simultaneously promoted profiles (each costs
+	// HotSlots deep clones of a hot profile); default 128.
+	HotMaxEntries int
 }
 
 func (o *Options) fill() error {
@@ -124,10 +138,13 @@ type GCache struct {
 	// by the request context instead.
 	Tracer *trace.Tracer
 
-	// loadMu serializes cache fills per profile so a thundering herd of
-	// misses issues one storage read.
-	loadMu sync.Mutex
-	loads  map[model.ProfileID]*loadCall
+	// flights single-flights cache fills per profile so a thundering
+	// herd of misses issues one storage read (singleflight.go).
+	flights *flightGroup
+
+	// hot is the hot-key detector and promoted-replica table; nil when
+	// HotSlots is 0 (hotslot.go).
+	hot *hotSet
 
 	// Metrics.
 	HitRatio    metrics.Ratio
@@ -138,12 +155,15 @@ type GCache struct {
 	SwapSkips   metrics.Counter // try_lock misses skipped (Fig. 8)
 	Loads       metrics.Counter
 	LoadErrors  metrics.Counter
-}
-
-type loadCall struct {
-	done chan struct{}
-	p    *model.Profile
-	err  error
+	// LoadWaits counts requests that joined another request's in-flight
+	// storage load instead of issuing their own (single-flight shares).
+	LoadWaits metrics.Counter
+	// HotHits / HotPromotions / HotInvalidations track the hot-slot
+	// layer: reads served from an immutable replica, profiles promoted
+	// into slots, and promoted entries torn down by a mutation.
+	HotHits          metrics.Counter
+	HotPromotions    metrics.Counter
+	HotInvalidations metrics.Counter
 }
 
 type lruShard struct {
@@ -164,11 +184,12 @@ func New(table *model.Table, ps *persist.Persister, opts Options) (*GCache, erro
 		return nil, err
 	}
 	g := &GCache{
-		table: table,
-		ps:    ps,
-		opts:  opts,
-		stop:  make(chan struct{}),
-		loads: make(map[model.ProfileID]*loadCall),
+		table:   table,
+		ps:      ps,
+		opts:    opts,
+		stop:    make(chan struct{}),
+		flights: newFlightGroup(),
+		hot:     newHotSet(opts.HotSlots, opts.HotPromoteAfter, opts.HotMaxEntries),
 	}
 	g.lru = make([]*lruShard, opts.LRUShards)
 	for i := range g.lru {
@@ -274,12 +295,23 @@ func (g *GCache) forget(id model.ProfileID, bytes int64) bool {
 	return ok
 }
 
-// markDirty queues id for flushing.
+// markDirty queues id for flushing. Every mutation path funnels through
+// here after applying (add, replay, merge, compaction), so it is also
+// the choke point that invalidates the profile's hot read slots BEFORE
+// the mutation is acknowledged to its caller.
 func (g *GCache) markDirty(id model.ProfileID) {
+	g.invalidateHot(id)
 	sh := g.dirtyShardFor(id)
 	sh.mu.Lock()
 	sh.ids[id] = struct{}{}
 	sh.mu.Unlock()
+}
+
+// invalidateHot tears down id's promoted read replicas, if any.
+func (g *GCache) invalidateHot(id model.ProfileID) {
+	if g.hot.invalidate(id) {
+		g.HotInvalidations.Inc()
+	}
 }
 
 // Add performs a cached write of a single entry; see AddEntries.
@@ -421,6 +453,37 @@ func (g *GCache) GetCtx(ctx context.Context, id model.ProfileID) (p *model.Profi
 	return p, hit, err
 }
 
+// GetForRead is the query path's entry point: like GetCtx, except a
+// profile promoted into hot read slots is served from one of its
+// immutable replicas, bypassing the live profile's lock entirely (the
+// replica's own lock is uncontended K-ways). hot reports which path
+// served the read; a hot read is tagged with a hotslot.hit span on ctx's
+// trace. Reads served live feed the hot-key detector, so a profile that
+// crosses the promotion threshold is snapshotted into slots inline on
+// the read that tipped it.
+//
+// Snapshot freshness: every mutation invalidates the replicas before it
+// is acknowledged (see hotslot.go), so a read that starts after a
+// write's ack always observes a state at least as new as that write —
+// the property the hot-slot staleness test pins.
+func (g *GCache) GetForRead(ctx context.Context, id model.ProfileID) (p *model.Profile, hit, hot bool, err error) {
+	if e := g.hot.lookup(id); e != nil {
+		g.HitRatio.Observe(true)
+		g.HotHits.Inc()
+		// Keep the live profile MRU: the replicas serve reads, but the
+		// entry they shadow must not be evicted out from under them.
+		g.touch(id, 0)
+		sp := trace.StartLeaf(ctx, trace.StageHotSlotHit)
+		sp.End()
+		return e.pick(), true, true, nil
+	}
+	p, hit, err = g.GetCtx(ctx, id)
+	if err == nil && p != nil && g.hot.note(id) {
+		g.maybePromote(id, p)
+	}
+	return p, hit, false, err
+}
+
 // GetOrLoadForWrite returns the profile for id, loading it from storage on
 // a miss and creating it empty when it exists nowhere — the write path's
 // entry point.
@@ -438,13 +501,14 @@ func (g *GCache) getOrLoad(ctx context.Context, id model.ProfileID, createOnMiss
 	}
 	g.HitRatio.Observe(false)
 
-	// Single-flight the storage load.
-	g.loadMu.Lock()
-	if call, ok := g.loads[id]; ok {
-		g.loadMu.Unlock()
-		// Waiting on another caller's load is storage-read time from this
-		// request's point of view.
-		sp := trace.StartLeaf(ctx, trace.StageKVRead)
+	// Single-flight the storage load: the first misser becomes the
+	// leader and issues the KV read + decode; everyone else waits on the
+	// same call and shares the result, so N concurrent misses for one
+	// cold profile cost one storage round trip.
+	call, leader := g.flights.join(id)
+	if !leader {
+		g.LoadWaits.Inc()
+		sp := trace.StartLeaf(ctx, trace.StageSingleflightWait)
 		<-call.done
 		sp.EndErr(call.err)
 		if call.err != nil {
@@ -453,18 +517,11 @@ func (g *GCache) getOrLoad(ctx context.Context, id model.ProfileID, createOnMiss
 		if call.p == nil && createOnMiss {
 			return g.createEmpty(id), false, nil
 		}
-		return call.p, false, call.err
+		return call.p, false, nil
 	}
-	call := &loadCall{done: make(chan struct{})}
-	g.loads[id] = call
-	g.loadMu.Unlock()
 
 	p, err := g.load(ctx, id)
-	call.p, call.err = p, err
-	close(call.done)
-	g.loadMu.Lock()
-	delete(g.loads, id)
-	g.loadMu.Unlock()
+	g.flights.finish(id, call, p, err)
 
 	if err != nil {
 		return nil, false, err
@@ -694,6 +751,7 @@ func (g *GCache) evictFromShard(sh *lruShard) bool {
 		}
 		g.table.Delete(id)
 		p.Unlock()
+		g.invalidateHot(id)
 		g.forget(id, size)
 		g.Evictions.Inc()
 		g.EvictBytes.Add(size)
@@ -712,20 +770,34 @@ type Stats struct {
 	Evictions int64
 	Flushes   int64
 	SwapSkips int64
+	// Batch-v2 counters: single-flight shares and the hot-slot layer.
+	LoadWaits        int64
+	HotResident      int64 // profiles currently promoted into read slots
+	HotHits          int64
+	HotPromotions    int64
+	HotInvalidations int64
 }
 
 // Stats captures current cache statistics.
 func (g *GCache) Stats() Stats {
-	return Stats{
-		Usage:     g.Usage(),
-		Resident:  g.Resident(),
-		HitRatio:  g.HitRatio.Value(),
-		Hits:      g.HitRatio.Hits(),
-		Total:     g.HitRatio.Total(),
-		Evictions: g.Evictions.Value(),
-		Flushes:   g.Flushes.Value(),
-		SwapSkips: g.SwapSkips.Value(),
+	st := Stats{
+		Usage:            g.Usage(),
+		Resident:         g.Resident(),
+		HitRatio:         g.HitRatio.Value(),
+		Hits:             g.HitRatio.Hits(),
+		Total:            g.HitRatio.Total(),
+		Evictions:        g.Evictions.Value(),
+		Flushes:          g.Flushes.Value(),
+		SwapSkips:        g.SwapSkips.Value(),
+		LoadWaits:        g.LoadWaits.Value(),
+		HotHits:          g.HotHits.Value(),
+		HotPromotions:    g.HotPromotions.Value(),
+		HotInvalidations: g.HotInvalidations.Value(),
 	}
+	if g.hot != nil {
+		st.HotResident = g.hot.size.Load()
+	}
+	return st
 }
 
 // Drop flushes (if dirty) and removes one profile from the cache,
@@ -753,13 +825,18 @@ func (g *GCache) Drop(id model.ProfileID) bool {
 	}
 	g.table.Delete(id)
 	p.Unlock()
+	g.invalidateHot(id)
 	g.forget(id, size)
 	return true
 }
 
 // NoteSizeChange adjusts accounting after an external mutation (e.g.
-// compaction) changed a profile's footprint by delta bytes.
+// compaction, merge, delete) changed a profile's footprint by delta
+// bytes. Being an external-mutation notification, it also invalidates
+// the profile's hot read slots — even at delta 0, since a merge can
+// change feature counts without moving the footprint.
 func (g *GCache) NoteSizeChange(id model.ProfileID, delta int64) {
+	g.invalidateHot(id)
 	if delta != 0 {
 		sh := g.lruShardFor(id)
 		sh.bytes.Add(delta)

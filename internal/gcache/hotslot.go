@@ -1,0 +1,191 @@
+package gcache
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"ips/internal/model"
+)
+
+// Hot-profile read slots (batch architecture v2, part b): the Zipf head
+// of a skewed read workload funnels thousands of concurrent readers onto
+// a handful of profiles, where they serialize on each profile's RWMutex
+// (even read locks contend: every RLock bounces the same cache line).
+// A small detector over recent gets promotes profiles that cross a read
+// threshold into K immutable read replicas — deep clones taken under one
+// RLock — and subsequent reads round-robin across the replicas instead
+// of touching the live profile's lock at all. Any mutation (add, merge,
+// compaction, eviction, delete) invalidates the replicas before the
+// mutation is acknowledged, so a read that starts after a write's ack
+// can never observe a snapshot older than that write. The NVIDIA GPU
+// inference parameter server (PAPERS.md) uses the same replicate-the-head
+// trick to dodge hot-embedding contention.
+
+const (
+	// hotCountSlots sizes the decayed read-counter table (a one-row
+	// count-min sketch); power of two, indexed by hashed profile ID.
+	// Collisions only make a cold key look slightly hotter, which costs
+	// at most one unnecessary promotion.
+	hotCountSlots = 4096
+	// hotEpochSlots sizes the invalidation-epoch table that fences
+	// promotions racing concurrent writes.
+	hotEpochSlots = 1024
+	// hotDecayEvery halves every read counter after this many observed
+	// reads, so the detector tracks the CURRENT Zipf head rather than
+	// all-time totals. Count-based (not wall-clock) decay keeps the
+	// detector deterministic for tests.
+	hotDecayEvery = 1 << 14
+)
+
+// hotEntry is one promoted profile: K immutable clones plus the
+// watermarks they were snapshotted at.
+type hotEntry struct {
+	// lsn is the profile's WalLSN at snapshot time; the staleness
+	// property test asserts reads never observe an lsn below the last
+	// acknowledged write's.
+	lsn uint64
+	// gen is the profile's Generation at snapshot time.
+	gen   uint64
+	next  atomic.Uint64
+	slots []*model.Profile
+}
+
+// pick returns the next read slot round-robin, spreading concurrent
+// readers across the K clones' independent locks.
+func (e *hotEntry) pick() *model.Profile {
+	return e.slots[e.next.Add(1)%uint64(len(e.slots))]
+}
+
+// hotSet is the per-cache hot-key detector plus the promoted-entry table.
+// A nil *hotSet disables the feature: every method is nil-safe.
+type hotSet struct {
+	k            int    // read slots per promoted profile
+	promoteAfter uint32 // reads within the decay window that promote
+	maxEntries   int64  // cap on simultaneously promoted profiles
+
+	entries   sync.Map // model.ProfileID -> *hotEntry
+	size      atomic.Int64
+	promoting sync.Map // model.ProfileID -> struct{}: promotion in flight
+
+	epochs  [hotEpochSlots]atomic.Uint64
+	counts  [hotCountSlots]atomic.Uint32
+	reads   atomic.Uint64
+	decayMu sync.Mutex
+}
+
+func newHotSet(k, promoteAfter, maxEntries int) *hotSet {
+	if k <= 0 {
+		return nil
+	}
+	if promoteAfter <= 0 {
+		promoteAfter = 64
+	}
+	if maxEntries <= 0 {
+		maxEntries = 128
+	}
+	return &hotSet{k: k, promoteAfter: uint32(promoteAfter), maxEntries: int64(maxEntries)}
+}
+
+func hotHash(id model.ProfileID) uint64 {
+	return uint64(id) * 0x9e3779b97f4a7c15
+}
+
+func (h *hotSet) epoch(id model.ProfileID) *atomic.Uint64 {
+	return &h.epochs[hotHash(id)>>(64-10)] // top 10 bits: hotEpochSlots
+}
+
+// lookup returns the promoted entry for id, nil when none.
+func (h *hotSet) lookup(id model.ProfileID) *hotEntry {
+	if h == nil {
+		return nil
+	}
+	v, ok := h.entries.Load(id)
+	if !ok {
+		return nil
+	}
+	return v.(*hotEntry)
+}
+
+// note records one read of id and reports whether the decayed count has
+// crossed the promotion threshold.
+func (h *hotSet) note(id model.ProfileID) bool {
+	if h == nil {
+		return false
+	}
+	c := &h.counts[hotHash(id)>>(64-12)] // top 12 bits: hotCountSlots
+	n := c.Add(1)
+	if h.reads.Add(1)%hotDecayEvery == 0 && h.decayMu.TryLock() {
+		// One reader amortizes the decay sweep; TryLock keeps a
+		// concurrent sweep from doubling the halving.
+		for i := range h.counts {
+			h.counts[i].Store(h.counts[i].Load() / 2)
+		}
+		h.decayMu.Unlock()
+	}
+	return n >= h.promoteAfter
+}
+
+// invalidate drops id's promoted entry (if any) and fences any promotion
+// snapshotting concurrently: the epoch bump makes an in-flight promote's
+// post-install check fail, so a snapshot taken before this mutation can
+// never be served after it. The read counter is reset so a write-hot key
+// must earn promoteAfter fresh reads between writes — keys written as
+// often as they are read naturally stay unpromoted instead of thrashing
+// K clones per write. Reports whether an entry was removed.
+func (h *hotSet) invalidate(id model.ProfileID) bool {
+	if h == nil {
+		return false
+	}
+	h.epoch(id).Add(1)
+	h.counts[hotHash(id)>>(64-12)].Store(0)
+	if _, ok := h.entries.LoadAndDelete(id); ok {
+		h.size.Add(-1)
+		return true
+	}
+	return false
+}
+
+// maybePromote snapshots p into K immutable read slots, unless id is
+// already promoted, another goroutine is promoting it, or the entry cap
+// is reached. The epoch is read BEFORE the snapshot and re-checked AFTER
+// the entry is installed: a writer that mutates p in between bumps the
+// epoch (invalidate runs before the write acks), so the stale entry is
+// torn straight back out. Reports whether a promotion happened.
+func (g *GCache) maybePromote(id model.ProfileID, p *model.Profile) bool {
+	h := g.hot
+	if h == nil {
+		return false
+	}
+	if _, ok := h.entries.Load(id); ok {
+		return false
+	}
+	if h.size.Load() >= h.maxEntries {
+		return false
+	}
+	if _, racing := h.promoting.LoadOrStore(id, struct{}{}); racing {
+		return false
+	}
+	defer h.promoting.Delete(id)
+	if _, ok := h.entries.Load(id); ok {
+		return false
+	}
+	e := h.epoch(id).Load()
+	entry := &hotEntry{slots: make([]*model.Profile, h.k)}
+	p.RLock()
+	entry.lsn, entry.gen = p.WalLSN, p.Generation
+	for i := range entry.slots {
+		entry.slots[i] = p.Clone()
+	}
+	p.RUnlock()
+	h.entries.Store(id, entry)
+	h.size.Add(1)
+	if h.epoch(id).Load() != e {
+		// A write landed while we cloned; our snapshot may predate it.
+		if _, ok := h.entries.LoadAndDelete(id); ok {
+			h.size.Add(-1)
+		}
+		return false
+	}
+	g.HotPromotions.Inc()
+	return true
+}

@@ -1,0 +1,67 @@
+package gcache
+
+import (
+	"sync"
+
+	"ips/internal/model"
+)
+
+// loadCall is one in-flight storage load shared by every request that
+// missed on the same profile while it ran.
+type loadCall struct {
+	done chan struct{}
+	p    *model.Profile
+	err  error
+}
+
+// flightGroup coalesces concurrent storage loads per profile ID — the
+// server-side single-flight of batch architecture v2. The first caller to
+// miss on a key becomes the leader and performs the load; callers
+// arriving while it runs become waiters that block on the same loadCall
+// and share its outcome (value or error). The call is forgotten before
+// the leader publishes its result, so a failed load propagates to the
+// waiters of THAT round only and never poisons the key: the next round of
+// callers elects a fresh leader and retries storage.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[model.ProfileID]*loadCall
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[model.ProfileID]*loadCall)}
+}
+
+// join returns the in-flight call for id, creating it when none exists.
+// leader reports whether this caller created the call and therefore must
+// run the load and finish() it; waiters receive leader == false and must
+// block on call.done.
+func (f *flightGroup) join(id model.ProfileID) (call *loadCall, leader bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.calls[id]; ok {
+		return c, false
+	}
+	c := &loadCall{done: make(chan struct{})}
+	f.calls[id] = c
+	return c, true
+}
+
+// finish publishes the leader's result to the call's waiters and forgets
+// the key. The map entry is removed BEFORE done is closed so that no new
+// waiter can join a call whose outcome is already sealed — an error wakes
+// exactly the waiters that shared this load and the next miss retries.
+func (f *flightGroup) finish(id model.ProfileID, call *loadCall, p *model.Profile, err error) {
+	call.p, call.err = p, err
+	f.mu.Lock()
+	delete(f.calls, id)
+	f.mu.Unlock()
+	close(call.done)
+}
+
+// inFlight reports the number of loads currently running, for tests and
+// the debug surface.
+func (f *flightGroup) inFlight() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.calls)
+}

@@ -1,0 +1,219 @@
+package gcache
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ips/internal/kv"
+	"ips/internal/model"
+	"ips/internal/persist"
+)
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// seedProfile persists one profile for id into store so a fresh cache
+// over the same store sees it as cold (in KV, not resident).
+func seedProfile(t *testing.T, store kv.Store, schema *model.Schema, id model.ProfileID) {
+	t.Helper()
+	seed, err := New(model.NewTable("t", schema, 1000), persist.New(store, "t"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Add(id, 5000, 1, 1, 3, []int64{2, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSingleFlightColdKey drives N concurrent misses for one cold profile
+// and proves the single-flight contract: exactly one storage read runs,
+// every waiter shares the leader's result, and all observe the same
+// profile object. Run under -race this also proves the flight group's
+// publication is properly synchronized.
+func TestSingleFlightColdKey(t *testing.T) {
+	store := kv.NewMemory()
+	schema := model.NewSchema("like", "share")
+	seedProfile(t, store, schema, 7)
+
+	g, err := New(model.NewTable("t", schema, 1000), persist.New(store, "t"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The leader blocks inside the storage read until released, holding the
+	// flight open while the other N-1 goroutines arrive and join it.
+	release := make(chan struct{})
+	var gets atomic.Int64
+	store.BeforeOp = func(op, key string) {
+		if op == "get" {
+			gets.Add(1)
+			<-release
+		}
+	}
+
+	const n = 32
+	profiles := make([]*model.Profile, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, hit, err := g.Get(7)
+			if err == nil && hit {
+				t.Error("cold read reported a hit")
+			}
+			profiles[i], errs[i] = p, err
+		}(i)
+	}
+
+	// All non-leaders must be parked on the flight before the leader is
+	// released — otherwise a fast leader could finish before anyone joins
+	// and the test would pass vacuously.
+	waitFor(t, "waiters to join the flight", func() bool {
+		return g.LoadWaits.Value() == n-1
+	})
+	if inf := g.flights.inFlight(); inf != 1 {
+		t.Fatalf("in-flight loads = %d, want 1", inf)
+	}
+	close(release)
+	wg.Wait()
+
+	if got := gets.Load(); got != 1 {
+		t.Fatalf("storage gets = %d, want exactly 1", got)
+	}
+	if got := g.Loads.Value(); got != 1 {
+		t.Fatalf("cache loads = %d, want exactly 1", got)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("goroutine %d: %v", i, errs[i])
+		}
+		if profiles[i] == nil || profiles[i] != profiles[0] {
+			t.Fatalf("goroutine %d observed %p, want shared %p", i, profiles[i], profiles[0])
+		}
+	}
+	if inf := g.flights.inFlight(); inf != 0 {
+		t.Fatalf("flights not drained: %d in flight", inf)
+	}
+}
+
+// gateStore wraps a Store with a Get that can park callers on a channel
+// and then fail on demand — the deterministic storage outage the
+// single-flight error test needs (kv.Flaky's gate trips before a hook
+// could hold the leader open, so it can't express "fail AFTER the
+// waiters joined").
+type gateStore struct {
+	kv.Store
+	mu      sync.Mutex
+	block   chan struct{} // non-nil: Get parks until closed
+	failGet error         // non-nil: Get fails with this
+	gets    int
+}
+
+func (s *gateStore) Get(key string) ([]byte, error) {
+	s.mu.Lock()
+	s.gets++
+	block := s.block
+	s.mu.Unlock()
+	if block != nil {
+		<-block
+	}
+	s.mu.Lock()
+	err := s.failGet
+	s.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	return s.Store.Get(key)
+}
+
+func (s *gateStore) getCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gets
+}
+
+// TestSingleFlightErrorNotCached fails the leader's storage read while a
+// full flight waits on it: the error must reach every waiter of that
+// round, and ONLY that round — the next miss elects a fresh leader,
+// retries storage and succeeds. A cached error would poison the key.
+func TestSingleFlightErrorNotCached(t *testing.T) {
+	inner := kv.NewMemory()
+	schema := model.NewSchema("like", "share")
+	seedProfile(t, inner, schema, 9)
+
+	release := make(chan struct{})
+	store := &gateStore{Store: inner, block: release}
+	g, err := New(model.NewTable("t", schema, 1000), persist.New(store, "t"), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 16
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = g.Get(9)
+		}(i)
+	}
+	waitFor(t, "waiters to join the flight", func() bool {
+		return g.LoadWaits.Value() == n-1
+	})
+	// Trip storage only now, with the whole round committed to this
+	// flight, then release the parked leader into the failure.
+	store.mu.Lock()
+	store.failGet = kv.ErrInjected
+	store.mu.Unlock()
+	close(release)
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != kv.ErrInjected {
+			t.Fatalf("goroutine %d: err = %v, want shared %v", i, errs[i], kv.ErrInjected)
+		}
+	}
+	if got := store.getCount(); got != 1 {
+		t.Fatalf("failed round issued %d storage gets, want 1", got)
+	}
+	if got := g.LoadErrors.Value(); got != 1 {
+		t.Fatalf("load errors = %d, want 1", got)
+	}
+
+	// Heal storage: the next miss must retry (fresh leader, second storage
+	// get) rather than replay the dead round's error.
+	store.mu.Lock()
+	store.block = nil
+	store.failGet = nil
+	store.mu.Unlock()
+	p, hit, err := g.Get(9)
+	if err != nil {
+		t.Fatalf("read after recovery failed: %v", err)
+	}
+	if p == nil || hit {
+		t.Fatalf("read after recovery: profile=%v hit=%v, want loaded miss", p, hit)
+	}
+	if got := store.getCount(); got != 2 {
+		t.Fatalf("recovery did not re-read storage: %d total gets, want 2", got)
+	}
+	if inf := g.flights.inFlight(); inf != 0 {
+		t.Fatalf("flights not drained: %d in flight", inf)
+	}
+}

@@ -224,6 +224,28 @@ func RunMany(p *model.Profile, schema *model.Schema, reqs []Request, now model.M
 	return results, errs
 }
 
+// RunSealed is Run for a profile the caller guarantees no writer can
+// reach — GCache's hot read replicas, which are private clones
+// invalidated (never mutated) on write. Skipping the read lock matters
+// precisely where hot replicas are used: thousands of concurrent readers
+// of one Zipf-head profile would otherwise all bounce the same
+// RWMutex reader-count cache line even though none of them blocks.
+func RunSealed(p *model.Profile, schema *model.Schema, req Request, now model.Millis) (Result, error) {
+	return runOnSlices(p.Slices(), schema, req, now, p.Latest())
+}
+
+// RunManySealed is RunMany minus the lock, under the same immutability
+// contract as RunSealed.
+func RunManySealed(p *model.Profile, schema *model.Schema, reqs []Request, now model.Millis) ([]Result, []error) {
+	results := make([]Result, len(reqs))
+	errs := make([]error, len(reqs))
+	slices, latest := p.Slices(), p.Latest()
+	for i := range reqs {
+		results[i], errs[i] = runOnSlices(slices, schema, reqs[i], now, latest)
+	}
+	return results, errs
+}
+
 // RunOnSlices executes the request against an explicit slice list (newest
 // first). The caller must guarantee the slices are not concurrently
 // mutated (e.g. by holding the owning profile's read lock, or operating

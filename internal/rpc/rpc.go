@@ -317,6 +317,7 @@ func writeFrame(w io.Writer, seq uint64, kind byte, method string, payload []byt
 	}
 	copy(buf[off:], payload)
 	_, err := w.Write(buf)
+	noteWrite(len(buf))
 	return err
 }
 
@@ -341,6 +342,7 @@ func writeTracedRequest(w io.Writer, seq uint64, method string, traceID, parentS
 	off += 16
 	copy(buf[off:], payload)
 	_, err := w.Write(buf)
+	noteWrite(len(buf))
 	return err
 }
 
@@ -364,6 +366,7 @@ func writeTracedResponse(w io.Writer, seq uint64, blob, payload []byte) error {
 	off += len(blob)
 	copy(buf[off:], payload)
 	_, err := w.Write(buf)
+	noteWrite(len(buf))
 	return err
 }
 
@@ -381,6 +384,7 @@ func readFrame(r io.Reader) (frame, error) {
 	if _, err := io.ReadFull(r, raw); err != nil {
 		return fr, err
 	}
+	noteRead(4 + len(raw))
 	fr.seq = binary.LittleEndian.Uint64(raw)
 	fr.kind = raw[8]
 	off := 9

@@ -91,7 +91,10 @@ func (in *Instance) queryGroup(ctx context.Context, caller, table string, id mod
 		failAll(err)
 		return
 	}
-	p, hit, err := ts.cache.GetCtx(ctx, id)
+	// Hot profiles come back as immutable read replicas, so concurrent
+	// groups for the same Zipf-head profile each compute on their own
+	// slot instead of serializing on one profile lock.
+	p, hit, hot, err := ts.cache.GetForRead(ctx, id)
 	if err != nil {
 		failAll(err)
 		return
@@ -121,7 +124,11 @@ func (in *Instance) queryGroup(ctx context.Context, caller, table string, id mod
 	var errs []error
 	if p != nil {
 		csp := trace.StartLeaf(ctx, trace.StageCacheCompute)
-		res, errs = query.RunMany(p, ts.schema, reqs, in.clock())
+		if hot {
+			res, errs = query.RunManySealed(p, ts.schema, reqs, in.clock())
+		} else {
+			res, errs = query.RunMany(p, ts.schema, reqs, in.clock())
+		}
 		csp.End()
 	}
 	elapsed := time.Since(start)

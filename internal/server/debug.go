@@ -87,6 +87,16 @@ func (d *DebugServer) writeStats(w io.Writer) {
 	fmt.Fprintf(w, "profiles=%d mem=%dB hit=%.1f%%\n", st.Profiles, st.MemUsage, st.HitRatioPct)
 	fmt.Fprintf(w, "queries=%d writes=%d rejected=%d flush_errors=%d\n",
 		st.Queries, st.Writes, st.Rejected, st.FlushErrors)
+	tables := d.in.Tables()
+	sort.Strings(tables)
+	for _, tbl := range tables {
+		cs, err := d.in.CacheStats(tbl)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "table %s: load_waits=%d hot_resident=%d hot_hits=%d hot_promotions=%d hot_invalidations=%d\n",
+			tbl, cs.LoadWaits, cs.HotResident, cs.HotHits, cs.HotPromotions, cs.HotInvalidations)
+	}
 }
 
 func (d *DebugServer) writeStages(w io.Writer) {

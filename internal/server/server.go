@@ -613,7 +613,7 @@ func (in *Instance) QueryCtx(ctx context.Context, req *wire.QueryRequest) (*wire
 	if err != nil {
 		return nil, err
 	}
-	p, hit, err := ts.cache.GetCtx(ctx, req.ProfileID)
+	p, hit, hot, err := ts.cache.GetForRead(ctx, req.ProfileID)
 	if err != nil {
 		return nil, err
 	}
@@ -628,7 +628,14 @@ func (in *Instance) QueryCtx(ctx context.Context, req *wire.QueryRequest) (*wire
 			q.UDAF = fn
 		}
 		csp := trace.StartLeaf(ctx, trace.StageCacheCompute)
-		res, err := query.Run(p, ts.schema, q, in.clock())
+		var res query.Result
+		if hot {
+			// Hot replicas are immutable, so the per-profile read lock —
+			// the very thing the replica exists to relieve — is skipped.
+			res, err = query.RunSealed(p, ts.schema, q, in.clock())
+		} else {
+			res, err = query.Run(p, ts.schema, q, in.clock())
+		}
 		csp.EndErr(err)
 		if err != nil {
 			return nil, err

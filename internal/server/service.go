@@ -77,6 +77,18 @@ func (s *Service) register() {
 		return wire.EncodeQueryBatchResponse(resp), nil
 	})
 
+	// Batch v2: identical request payload, shared-structure response —
+	// each distinct response body is encoded once and duplicate slots
+	// carry references (DESIGN.md "Batch v2").
+	s.srv.HandleCtx(wire.MethodQueryBatchV2, func(ctx context.Context, payload []byte) ([]byte, error) {
+		req, err := wire.DecodeQueryBatch(payload)
+		if err != nil {
+			return nil, err
+		}
+		resp := &wire.BatchQueryResponse{Results: s.in.QueryBatchCtx(ctx, req.Caller, req.Subs)}
+		return wire.EncodeQueryBatchResponseV2(resp), nil
+	})
+
 	s.srv.Handle(wire.MethodStats, func(p []byte) ([]byte, error) {
 		return wire.EncodeStats(s.in.Stats()), nil
 	})

@@ -87,30 +87,41 @@ const (
 	StageKVRead
 	// StageKVFlush is a dirty-profile write-back to the backing store.
 	StageKVFlush
+	// StageSingleflightWait is time spent waiting on another request's
+	// in-flight storage load for the same profile (batch architecture
+	// v2's cross-request coalescing): the waiter shares the leader's
+	// result instead of issuing its own KV read.
+	StageSingleflightWait
+	// StageHotSlotHit tags a read served from a replicated hot-profile
+	// read slot — an immutable snapshot that bypasses the live profile's
+	// lock entirely.
+	StageHotSlotHit
 
 	// NumStages bounds the per-stage aggregation arrays.
 	NumStages
 )
 
 var stageNames = [NumStages]string{
-	StageClientQuery:    "client.query",
-	StageClientWrite:    "client.write",
-	StageClientPick:     "client.pick",
-	StageClientPrimary:  "client.primary",
-	StageClientRetry:    "client.retry",
-	StageClientHedge:    "client.hedge",
-	StageRPCDial:        "rpc.dial",
-	StageRPCRoundtrip:   "rpc.roundtrip",
-	StageServerDispatch: "server.dispatch",
-	StageCacheGet:       "cache.get",
-	StageCacheCompute:   "cache.compute",
-	StageCacheApply:     "cache.apply",
-	StageMergeInline:    "merge.inline",
-	StageCompactPass:    "compact.pass",
-	StageWALAppend:      "wal.append",
-	StageWALSync:        "wal.sync",
-	StageKVRead:         "kv.read",
-	StageKVFlush:        "kv.flush",
+	StageClientQuery:      "client.query",
+	StageClientWrite:      "client.write",
+	StageClientPick:       "client.pick",
+	StageClientPrimary:    "client.primary",
+	StageClientRetry:      "client.retry",
+	StageClientHedge:      "client.hedge",
+	StageRPCDial:          "rpc.dial",
+	StageRPCRoundtrip:     "rpc.roundtrip",
+	StageServerDispatch:   "server.dispatch",
+	StageCacheGet:         "cache.get",
+	StageCacheCompute:     "cache.compute",
+	StageCacheApply:       "cache.apply",
+	StageMergeInline:      "merge.inline",
+	StageCompactPass:      "compact.pass",
+	StageWALAppend:        "wal.append",
+	StageWALSync:          "wal.sync",
+	StageKVRead:           "kv.read",
+	StageKVFlush:          "kv.flush",
+	StageSingleflightWait: "singleflight.wait",
+	StageHotSlotHit:       "hotslot.hit",
 }
 
 // String returns the stage's dotted metric name.

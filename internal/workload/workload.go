@@ -92,7 +92,12 @@ func New(opts Options) *Generator {
 	}
 }
 
-// ProfileID draws a Zipf-popular profile.
+// ProfileID draws a Zipf-popular profile. Draws are rank-ordered —
+// profile 1 is the hottest — so "the top P% of the keyspace" is simply
+// IDs 1..Profiles*P/100. At the default skew (ZipfS 1.2, 10k profiles)
+// the top 1% of profiles absorbs ≈75% of draws; the Zipf-head regression
+// test pins that share so a distribution change can't silently reshape
+// every contention experiment built on this generator.
 func (g *Generator) ProfileID() model.ProfileID {
 	return g.zipfP.Uint64() + 1
 }

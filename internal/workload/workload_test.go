@@ -44,6 +44,37 @@ func TestZipfSkew(t *testing.T) {
 	}
 }
 
+// TestZipfHeadShare pins the share of draws the Zipf head receives: at
+// the default skew (s=1.2) over 10k profiles, the top 1% of the keyspace
+// (IDs 1..100, since draws are rank-ordered) must absorb ~75% of draws,
+// stable across seeds. The hot-key experiments (singleflight, hot slots,
+// batch v2 dedup) are calibrated against this concentration; if it
+// drifts, their duplication factors and promotion thresholds lose their
+// meaning — so a change here must be deliberate, not incidental.
+func TestZipfHeadShare(t *testing.T) {
+	const (
+		profiles = 10_000
+		draws    = 200_000
+		topKeys  = profiles / 100 // top 1% of the keyspace
+		wantLo   = 0.70
+		wantHi   = 0.80
+	)
+	for _, seed := range []int64{1, 2, 3, 42, 999} {
+		g := New(Options{Seed: seed, Profiles: profiles})
+		head := 0
+		for i := 0; i < draws; i++ {
+			if g.ProfileID() <= topKeys {
+				head++
+			}
+		}
+		share := float64(head) / draws
+		if share < wantLo || share > wantHi {
+			t.Errorf("seed %d: top-1%% share = %.4f, want within [%.2f, %.2f]",
+				seed, share, wantLo, wantHi)
+		}
+	}
+}
+
 func TestReadWriteMixDefault(t *testing.T) {
 	g := New(Options{Seed: 3})
 	reads := 0

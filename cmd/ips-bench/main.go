@@ -23,7 +23,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig16, fig17, tab2, fig18, fig19, iso80, compaction, lambda, batch, tail, recovery, trace, hotkey, fig10, fig11, all)")
+	exp := flag.String("exp", "", "experiment id (fig16, fig17, tab2, fig18, fig19, iso80, compaction, lambda, batch, tail, recovery, trace, hotkey, migrate, fig10, fig11, all)")
 	full := flag.Bool("full", false, "run the larger, slower parameterization")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
@@ -131,6 +131,14 @@ func main() {
 				o = bench.HotkeyOptions{ColdKeys: 64, ReadersPerKey: 16, Readers: 12, ReadsPerReader: 5000, Profiles: 512, BatchRounds: 200}
 			}
 			_, err := bench.RunHotkey(o, os.Stdout)
+			return err
+		}},
+		{"migrate", "read p99 during live resharding (join + drain) vs steady state", func(full bool) error {
+			o := bench.MigrateOptions{}
+			if full {
+				o = bench.MigrateOptions{Instances: 4, Profiles: 1024, SteadyOps: 20000, Workers: 8}
+			}
+			_, err := bench.RunMigrate(o, os.Stdout)
 			return err
 		}},
 		{"fig10", "compaction mechanism demo (6 slices -> 3)", func(bool) error {

@@ -1,0 +1,266 @@
+// Live-resharding latency experiment: what does an ownership change cost
+// the read path? A journaled single-region cluster serves a steady
+// read-heavy workload; its exact read p99 is measured three times — in
+// steady state, while a node joins (content passes, dual-read window,
+// cutover, release), and while a founding member drains. The acceptance
+// criterion is that migration-time p99 stays within 2× the steady-state
+// p99, with the denominator floored so sub-millisecond loopback baselines
+// don't turn the ratio into scheduler noise.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ips/internal/client"
+	"ips/internal/cluster"
+	"ips/internal/model"
+	"ips/internal/workload"
+)
+
+// MigrateOptions scales the live-resharding experiment.
+type MigrateOptions struct {
+	// Instances in the single region before the join; default 3.
+	Instances int
+	// Profiles is the keyspace; default 256.
+	Profiles int
+	// SteadyOps is the total sampled operations of the steady-state
+	// baseline; default 4000.
+	Workers   int // concurrent workload goroutines; default 4
+	SteadyOps int
+	// WriteEvery issues one (unsampled) write per N operations per
+	// worker, so the migration windows see real dual-write traffic;
+	// default 8.
+	WriteEvery int
+	// Floor is the minimum denominator of the p99 ratio; default 2ms.
+	Floor time.Duration
+	// Seed draws the workload.
+	Seed int64
+}
+
+func (o *MigrateOptions) fill() {
+	if o.Instances <= 0 {
+		o.Instances = 3
+	}
+	if o.Profiles <= 0 {
+		o.Profiles = 256
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.SteadyOps <= 0 {
+		o.SteadyOps = 4000
+	}
+	if o.WriteEvery <= 0 {
+		o.WriteEvery = 8
+	}
+	if o.Floor <= 0 {
+		o.Floor = 2 * time.Millisecond
+	}
+	if o.Seed == 0 {
+		o.Seed = 31
+	}
+}
+
+// MigratePhase is the read-latency distribution observed during one
+// phase of the experiment.
+type MigratePhase struct {
+	Name          string
+	Reads         int
+	Avg, P50, P99 time.Duration
+	Max           time.Duration
+	Errors        int64
+}
+
+// MigrateReport compares steady-state reads with reads taken while the
+// cluster resharded underfoot.
+type MigrateReport struct {
+	Steady, Join, Drain MigratePhase
+
+	JoinMoves, DrainMoves   int
+	JoinPasses, DrainPasses int
+
+	// P99Ratio is the worst migration-phase p99 over the steady-state
+	// p99, the latter floored at Floor. Acceptance: <= 2.
+	P99Ratio float64
+	Floor    time.Duration
+}
+
+// RunMigrate measures read p99 while the cluster reshards live. The
+// workload never pauses: the join and the drain each run concurrently
+// with it, and every read issued while the coordinator works lands in
+// that phase's distribution — dual-read windows, content passes and
+// cutover included.
+func RunMigrate(opts MigrateOptions, w io.Writer) (*MigrateReport, error) {
+	opts.fill()
+	dir, err := os.MkdirTemp("", "ips-bench-migrate")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	cl, err := cluster.New(cluster.Options{
+		Regions:            []string{"east"},
+		InstancesPerRegion: opts.Instances,
+		Tables:             map[string]*model.Schema{TableName: model.NewSchema("like", "comment", "share")},
+		JournalDir:         dir,
+		HeartbeatInterval:  20 * time.Millisecond,
+		SettleInterval:     120 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	c, err := client.New(client.Options{
+		Caller: "migrate-bench", Service: "ips", Region: "east",
+		Registry:        cl.Registry,
+		RefreshInterval: 25 * time.Millisecond,
+		CallTimeout:     2 * time.Second,
+		Seed:            opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	// Seed and persist so any replica can serve any profile.
+	gen := workload.New(workload.Options{Seed: opts.Seed, Profiles: uint64(opts.Profiles)})
+	now := model.Millis(time.Now().UnixMilli())
+	for id := model.ProfileID(1); id <= model.ProfileID(opts.Profiles); id++ {
+		if err := c.Add(TableName, id, gen.WriteEntry(now)); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range cl.Nodes() {
+		n.Instance().MergeAll()
+		if err := n.Instance().FlushAll(); err != nil {
+			return nil, err
+		}
+	}
+
+	// sample runs the mixed workload until done closes (or, with done
+	// nil, until maxOps operations) and returns the read distribution.
+	sample := func(name string, done <-chan struct{}, maxOps int64) MigratePhase {
+		var (
+			ops   atomic.Int64
+			errs  atomic.Int64
+			wg    sync.WaitGroup
+			mu    sync.Mutex
+			reads []time.Duration
+		)
+		for wk := 0; wk < opts.Workers; wk++ {
+			wg.Add(1)
+			go func(wk int) {
+				defer wg.Done()
+				// Generators are not goroutine-safe: one per worker.
+				gen := workload.New(workload.Options{Seed: opts.Seed + int64(wk)*104729 + 1, Profiles: uint64(opts.Profiles)})
+				rng := rand.New(rand.NewSource(opts.Seed + int64(wk)*104729 + 1))
+				var mine []time.Duration
+				for i := 0; ; i++ {
+					if done != nil {
+						select {
+						case <-done:
+							mu.Lock()
+							reads = append(reads, mine...)
+							mu.Unlock()
+							return
+						default:
+						}
+					} else if ops.Add(1) > maxOps {
+						mu.Lock()
+						reads = append(reads, mine...)
+						mu.Unlock()
+						return
+					}
+					id := model.ProfileID(rng.Intn(opts.Profiles) + 1)
+					if i%opts.WriteEvery == opts.WriteEvery-1 {
+						// Unsampled write: keeps the dual-write window
+						// honest without mixing two latency populations.
+						if err := c.Add(TableName, id, gen.WriteEntry(model.Millis(time.Now().UnixMilli()))); err != nil {
+							errs.Add(1)
+						}
+						continue
+					}
+					q := gen.Query(TableName)
+					q.ProfileID = id
+					start := time.Now()
+					if _, err := c.TopK(q); err != nil {
+						errs.Add(1)
+						continue
+					}
+					mine = append(mine, time.Since(start))
+				}
+			}(wk)
+		}
+		wg.Wait()
+		ph := MigratePhase{Name: name, Reads: len(reads), Errors: errs.Load()}
+		if len(reads) > 0 {
+			ph.Avg, ph.P99 = exactMeanP99(reads)
+			ph.P50 = median(reads)
+			for _, d := range reads {
+				if d > ph.Max {
+					ph.Max = d
+				}
+			}
+		}
+		return ph
+	}
+
+	rep := &MigrateReport{Floor: opts.Floor}
+	rep.Steady = sample("steady", nil, int64(opts.SteadyOps))
+
+	joinDone := make(chan struct{})
+	var joinRep *cluster.MigrationReport
+	var joinErr error
+	go func() {
+		defer close(joinDone)
+		_, joinRep, joinErr = cl.Join("east")
+	}()
+	rep.Join = sample("join", joinDone, 0)
+	if joinErr != nil {
+		return nil, fmt.Errorf("bench: join under load: %w", joinErr)
+	}
+	rep.JoinMoves, rep.JoinPasses = len(joinRep.Moves), joinRep.Passes
+
+	drainDone := make(chan struct{})
+	var drainRep *cluster.MigrationReport
+	var drainErr error
+	go func() {
+		defer close(drainDone)
+		drainRep, drainErr = cl.Drain("ips-east-0")
+	}()
+	rep.Drain = sample("drain", drainDone, 0)
+	if drainErr != nil {
+		return nil, fmt.Errorf("bench: drain under load: %w", drainErr)
+	}
+	rep.DrainMoves, rep.DrainPasses = len(drainRep.Moves), drainRep.Passes
+
+	worst := rep.Join.P99
+	if rep.Drain.P99 > worst {
+		worst = rep.Drain.P99
+	}
+	base := rep.Steady.P99
+	if base < opts.Floor {
+		base = opts.Floor
+	}
+	rep.P99Ratio = float64(worst) / float64(base)
+
+	fprintf(w, "migrate — read p99 during live resharding (%d→%d→%d instances, %d profiles)\n",
+		opts.Instances, opts.Instances+1, opts.Instances, opts.Profiles)
+	fprintf(w, "%-8s %-8s %-10s %-10s %-10s %-10s %-8s\n", "phase", "reads", "avg", "p50", "p99", "max", "errors")
+	for _, ph := range []MigratePhase{rep.Steady, rep.Join, rep.Drain} {
+		fprintf(w, "%-8s %-8d %-10v %-10v %-10v %-10v %-8d\n",
+			ph.Name, ph.Reads, ph.Avg, ph.P50, ph.P99, ph.Max, ph.Errors)
+	}
+	fprintf(w, "join: %d moves over %d passes; drain: %d moves over %d passes\n",
+		rep.JoinMoves, rep.JoinPasses, rep.DrainMoves, rep.DrainPasses)
+	fprintf(w, "migration p99 / steady p99 = %.3f (acceptance: <= 2.0; denominator floored at %v)\n",
+		rep.P99Ratio, opts.Floor)
+	return rep, nil
+}

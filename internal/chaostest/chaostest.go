@@ -3,7 +3,7 @@
 // faultinject episodes into it tick by tick, and keeps a mixed
 // Add/TopK/QueryBatch workload running the whole time. After the storm it
 // returns a Report whose numbers a test can reconcile EXACTLY — every
-// read-path RPC is a primary, a retry or a hedge; every write RPC the
+// read-path RPC is a primary, a retry, a hedge or a dual-read leg; every write RPC the
 // client issued is accounted for server-side (writes are never hedged, so
 // chaos must not duplicate or lose effects); every breaker transition
 // balances against the counters.
@@ -99,9 +99,9 @@ type Report struct {
 // layer promises; it returns the first broken identity, nil if all hold.
 func (r *Report) CheckIdentities() error {
 	rs := r.Resilience
-	if rs.Attempts != rs.Primaries+rs.Retries+rs.Hedges {
-		return fmt.Errorf("attempt identity: attempts=%d != primaries=%d + retries=%d + hedges=%d",
-			rs.Attempts, rs.Primaries, rs.Retries, rs.Hedges)
+	if rs.Attempts != rs.Primaries+rs.Retries+rs.Hedges+rs.Duals {
+		return fmt.Errorf("attempt identity: attempts=%d != primaries=%d + retries=%d + hedges=%d + duals=%d",
+			rs.Attempts, rs.Primaries, rs.Retries, rs.Hedges, rs.Duals)
 	}
 	// Every entry into open is matched by an admitted probe, except a
 	// breaker still sitting open; every probe resolved to close or re-open,
@@ -116,6 +116,9 @@ func (r *Report) CheckIdentities() error {
 	}
 	if rs.HedgeWins > rs.Hedges {
 		return fmt.Errorf("hedge wins=%d exceed hedges=%d", rs.HedgeWins, rs.Hedges)
+	}
+	if rs.DualWins > rs.Duals {
+		return fmt.Errorf("dual wins=%d exceed duals=%d", rs.DualWins, rs.Duals)
 	}
 	return nil
 }
@@ -140,8 +143,8 @@ func chaosQuery(id model.ProfileID) *wire.QueryRequest {
 	}
 }
 
-// Run executes one chaos experiment and returns its report.
-func Run(o Options) (*Report, error) {
+// withDefaults fills every unset knob with the documented default.
+func (o Options) withDefaults() Options {
 	if len(o.Regions) == 0 {
 		o.Regions = []string{"east", "west"}
 	}
@@ -160,6 +163,12 @@ func Run(o Options) (*Report, error) {
 	if o.TickEvery <= 0 {
 		o.TickEvery = 50 * time.Millisecond
 	}
+	return o
+}
+
+// Run executes one chaos experiment and returns its report.
+func Run(o Options) (*Report, error) {
+	o = o.withDefaults()
 
 	cl, err := cluster.New(cluster.Options{
 		Regions:            o.Regions,
@@ -172,6 +181,32 @@ func Run(o Options) (*Report, error) {
 	}
 	defer cl.Close()
 
+	c, err := newStormClient(cl, o)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	if err := seedKeyspace(c, cl, o.Profiles); err != nil {
+		return nil, err
+	}
+
+	inj := faultinject.New(cl, o.Plan)
+	s := newStorm()
+	s.startWorkers(c, o)
+	for t := 0; t < o.Ticks; t++ {
+		inj.Tick()
+		time.Sleep(o.TickEvery)
+	}
+	s.halt()
+	inj.Quiesce()
+	quiesceSettle(o)
+	return harvest(s, cl, c, inj), nil
+}
+
+// newStormClient builds the workload client over the cluster's registry
+// with the run's resilience knobs.
+func newStormClient(cl *cluster.Cluster, o Options) (*client.Client, error) {
 	copts := o.Client
 	copts.Caller = "chaos"
 	copts.Service = "ips"
@@ -180,56 +215,64 @@ func Run(o Options) (*Report, error) {
 	if copts.RefreshInterval == 0 {
 		copts.RefreshInterval = 25 * time.Millisecond
 	}
-	c, err := client.New(copts)
-	if err != nil {
-		return nil, err
-	}
-	defer c.Close()
+	return client.New(copts)
+}
 
-	// Seed the keyspace so reads have something to find, then persist it
-	// so ANY replica can serve any profile — hedges and failovers must be
-	// able to answer from the shared regional store.
+// seedKeyspace seeds one entry per profile so reads have something to
+// find, then persists everything so ANY replica can serve any profile —
+// hedges and failovers must be able to answer from the shared regional
+// store.
+func seedKeyspace(c *client.Client, cl *cluster.Cluster, profiles int) error {
 	nowMs := time.Now().UnixMilli()
-	for id := 1; id <= o.Profiles; id++ {
+	for id := 1; id <= profiles; id++ {
 		if err := c.Add("up", model.ProfileID(id), wire.AddEntry{
 			Timestamp: model.Millis(nowMs - 1000), Slot: 1, Type: 1,
 			FID: model.FeatureID(id%50 + 1), Counts: []int64{1, 0},
 		}); err != nil {
-			return nil, fmt.Errorf("chaostest: seeding profile %d: %w", id, err)
+			return fmt.Errorf("chaostest: seeding profile %d: %w", id, err)
 		}
 	}
 	for _, n := range cl.Nodes() {
 		n.Instance().MergeAll()
 		if err := n.Instance().FlushAll(); err != nil {
-			return nil, fmt.Errorf("chaostest: flush: %w", err)
+			return fmt.Errorf("chaostest: flush: %w", err)
 		}
 	}
+	return nil
+}
 
-	inj := faultinject.New(cl, o.Plan)
+// storm owns the shared workload machinery of a chaos run: the worker
+// pool, its stop switch, and the call/failure/latency tallies.
+type storm struct {
+	calls, fails atomic.Int64
+	maxLatNanos  atomic.Int64
+	stop         chan struct{}
+	wg           sync.WaitGroup
+}
 
-	var (
-		calls, fails atomic.Int64
-		maxLatNanos  atomic.Int64
-		stop         = make(chan struct{})
-		wg           sync.WaitGroup
-	)
-	observe := func(start time.Time, err error) {
-		calls.Add(1)
-		if err != nil {
-			fails.Add(1)
-		}
-		lat := time.Since(start).Nanoseconds()
-		for {
-			cur := maxLatNanos.Load()
-			if lat <= cur || maxLatNanos.CompareAndSwap(cur, lat) {
-				return
-			}
+func newStorm() *storm { return &storm{stop: make(chan struct{})} }
+
+func (s *storm) observe(start time.Time, err error) {
+	s.calls.Add(1)
+	if err != nil {
+		s.fails.Add(1)
+	}
+	lat := time.Since(start).Nanoseconds()
+	for {
+		cur := s.maxLatNanos.Load()
+		if lat <= cur || s.maxLatNanos.CompareAndSwap(cur, lat) {
+			return
 		}
 	}
+}
+
+// startWorkers launches the mixed Add/TopK/QueryBatch workload; it runs
+// until halt.
+func (s *storm) startWorkers(c *client.Client, o Options) {
 	for w := 0; w < o.Workers; w++ {
-		wg.Add(1)
+		s.wg.Add(1)
 		go func(w int) {
-			defer wg.Done()
+			defer s.wg.Done()
 			rng := rand.New(rand.NewSource(o.Seed + int64(w)*7919 + 1))
 			// pick draws the next key: uniform by default, Zipf-skewed
 			// (rank-ordered, profile 1 hottest) when o.ZipfS is set.
@@ -244,7 +287,7 @@ func Run(o Options) (*Report, error) {
 			}
 			for {
 				select {
-				case <-stop:
+				case <-s.stop:
 					return
 				default:
 				}
@@ -252,48 +295,54 @@ func Run(o Options) (*Report, error) {
 				start := time.Now()
 				switch p := rng.Float64(); {
 				case p < 0.2: // write
-					observe(start, c.Add("up", id, wire.AddEntry{
+					s.observe(start, c.Add("up", id, wire.AddEntry{
 						Timestamp: model.Millis(time.Now().UnixMilli() - 500),
 						Slot:      1, Type: 1,
 						FID: model.FeatureID(rng.Intn(50) + 1), Counts: []int64{1, 0},
 					}))
 				case p < 0.7: // single read
 					_, err := c.TopK(chaosQuery(id))
-					observe(start, err)
+					s.observe(start, err)
 				default: // batch read
 					subs := make([]wire.SubQuery, rng.Intn(6)+3)
 					for i := range subs {
 						subs[i] = wire.SubQuery{Query: *chaosQuery(pick())}
 					}
 					_, err := c.QueryBatch(subs)
-					observe(start, err)
+					s.observe(start, err)
 				}
 				time.Sleep(time.Duration(rng.Intn(2)) * time.Millisecond)
 			}
 		}(w)
 	}
+}
 
-	for t := 0; t < o.Ticks; t++ {
-		inj.Tick()
-		time.Sleep(o.TickEvery)
-	}
-	close(stop)
-	wg.Wait()
-	inj.Quiesce()
+// halt stops the workload and waits for every worker to exit.
+func (s *storm) halt() {
+	close(s.stop)
+	s.wg.Wait()
+}
 
-	// Drain to a quiescent point: the last stalled dispatches finish, the
-	// last timed-out calls record their breaker outcomes, the last hedges
-	// settle. Counter identities are only exact once nothing is in flight.
-	settle := copts.CallTimeout
+// quiesceSettle sleeps to a quiescent point: the last stalled dispatches
+// finish, the last timed-out calls record their breaker outcomes, the
+// last hedges settle. Counter identities are only exact once nothing is
+// in flight.
+func quiesceSettle(o Options) {
+	settle := o.Client.CallTimeout
 	if settle <= 0 {
 		settle = time.Second
 	}
 	time.Sleep(settle + o.Plan.StallDelay + 200*time.Millisecond)
+}
 
+// harvest reads every counter at the quiescent point into a Report.
+// Drained and freshly joined nodes are still listed by the cluster, so
+// server-side sums cover every instance that ever took a write.
+func harvest(s *storm, cl *cluster.Cluster, c *client.Client, inj *faultinject.Injector) *Report {
 	rep := &Report{
-		Calls:         calls.Load(),
-		Failures:      fails.Load(),
-		MaxLatency:    time.Duration(maxLatNanos.Load()),
+		Calls:         s.calls.Load(),
+		Failures:      s.fails.Load(),
+		MaxLatency:    time.Duration(s.maxLatNanos.Load()),
 		Crashes:       inj.Crashes,
 		Restarts:      inj.Restarts,
 		DropEpisodes:  inj.DropEpisodes,
@@ -320,5 +369,5 @@ func Run(o Options) (*Report, error) {
 			rep.BreakerHalfOpenNow++
 		}
 	}
-	return rep, nil
+	return rep
 }

@@ -1,0 +1,169 @@
+package chaostest
+
+import (
+	"fmt"
+	"time"
+
+	"ips/internal/cluster"
+	"ips/internal/faultinject"
+	"ips/internal/model"
+	"ips/internal/rpc"
+	"ips/internal/wire"
+)
+
+// Migration storm: the proof layer for elastic resharding (DESIGN.md
+// "Elastic resharding"). RunMigration is Run with two membership changes
+// injected at workload peak — a node joins the master region, then a
+// founding member drains — while the fault schedule keeps firing. The
+// report reconciles exactly like a plain chaos run (the dual-read leg is
+// part of the attempt identity, dual-write RPCs are part of the write
+// ledger), and every move recorded by the coordinator is probed for
+// post-cutover freshness: the new owner must answer at or above the
+// release watermark.
+
+// MigrationOptions configures a migration storm.
+type MigrationOptions struct {
+	Options
+
+	// JournalDir is required: resharding refuses to run without
+	// journals, because installs could not tell fresh frames from stale.
+	JournalDir string
+
+	// JoinAtTick and DrainAtTick place the membership changes inside the
+	// fault schedule; defaults are one third and two thirds through.
+	JoinAtTick, DrainAtTick int
+}
+
+// MigrationReport is a chaos Report plus the coordinator's account of
+// both membership changes.
+type MigrationReport struct {
+	Report
+	Join  *cluster.MigrationReport
+	Drain *cluster.MigrationReport
+
+	// FreshnessProbes counts the moves whose new owner was probed
+	// directly and answered at or above the release watermark.
+	FreshnessProbes int
+}
+
+// RunMigration executes one migration storm and returns its report. The
+// join and drain both happen in the master region (Regions[0], where the
+// workload client lives), so every dual-read/dual-write window is on the
+// hot path.
+func RunMigration(o MigrationOptions) (*MigrationReport, error) {
+	o.Options = o.Options.withDefaults()
+	if o.JournalDir == "" {
+		return nil, fmt.Errorf("chaostest: migration storm needs JournalDir — resharding is journal-gated")
+	}
+	if o.JoinAtTick <= 0 {
+		o.JoinAtTick = o.Ticks / 3
+	}
+	if o.DrainAtTick <= 0 {
+		o.DrainAtTick = 2 * o.Ticks / 3
+	}
+	if o.JoinAtTick >= o.DrainAtTick || o.DrainAtTick >= o.Ticks {
+		return nil, fmt.Errorf("chaostest: migration schedule out of order: join@%d, drain@%d, %d ticks",
+			o.JoinAtTick, o.DrainAtTick, o.Ticks)
+	}
+
+	cl, err := cluster.New(cluster.Options{
+		Regions:            o.Regions,
+		InstancesPerRegion: o.InstancesPerRegion,
+		Tables:             map[string]*model.Schema{"up": model.NewSchema("like", "share")},
+		Cache:              o.Cache,
+		JournalDir:         o.JournalDir,
+		// Discovery must outpace the workload client's refresh (25ms
+		// default) so both sides of a membership change see the window
+		// open before the coordinator starts shipping content.
+		HeartbeatInterval: 20 * time.Millisecond,
+		SettleInterval:    120 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+
+	c, err := newStormClient(cl, o.Options)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+
+	if err := seedKeyspace(c, cl, o.Profiles); err != nil {
+		return nil, err
+	}
+
+	inj := faultinject.New(cl, o.Plan)
+	s := newStorm()
+	s.startWorkers(c, o.Options)
+	region := o.Regions[0]
+	rep := &MigrationReport{}
+	for t := 0; t < o.Ticks; t++ {
+		inj.Tick()
+		switch t {
+		case o.JoinAtTick:
+			if _, rep.Join, err = cl.Join(region); err != nil {
+				s.halt()
+				return nil, fmt.Errorf("chaostest: join mid-storm: %w", err)
+			}
+		case o.DrainAtTick:
+			// Drain a founding member, never the fresh joiner — that is
+			// the storm shape: ownership moves twice in one run.
+			if rep.Drain, err = cl.Drain(fmt.Sprintf("ips-%s-0", region)); err != nil {
+				s.halt()
+				return nil, fmt.Errorf("chaostest: drain mid-storm: %w", err)
+			}
+		}
+		time.Sleep(o.TickEvery)
+	}
+	s.halt()
+	inj.Quiesce()
+	quiesceSettle(o.Options)
+	rep.Report = *harvest(s, cl, c, inj)
+
+	for _, mr := range []*cluster.MigrationReport{rep.Join, rep.Drain} {
+		n, err := probeFreshness(mr)
+		rep.FreshnessProbes += n
+		if err != nil {
+			return rep, err
+		}
+	}
+	return rep, nil
+}
+
+// probeFreshness asks each move's new owner directly for the moved
+// profile and checks the response watermark caught up to the release
+// watermark — the guarantee that no acknowledged pre-cutover write was
+// left behind on the old owner.
+func probeFreshness(mr *cluster.MigrationReport) (int, error) {
+	conns := make(map[string]*rpc.Client)
+	defer func() {
+		for _, conn := range conns {
+			conn.Close()
+		}
+	}()
+	probed := 0
+	for _, mv := range mr.Moves {
+		conn := conns[mv.To]
+		if conn == nil {
+			conn = rpc.NewClient(mv.To)
+			conns[mv.To] = conn
+		}
+		q := chaosQuery(mv.ID)
+		q.Caller = "chaos"
+		raw, err := conn.Call(wire.MethodTopK, wire.EncodeQuery(q))
+		if err != nil {
+			return probed, fmt.Errorf("chaostest: freshness probe %d@%s: %w", mv.ID, mv.To, err)
+		}
+		resp, err := wire.DecodeQueryResponse(raw)
+		if err != nil {
+			return probed, fmt.Errorf("chaostest: freshness probe %d@%s: %w", mv.ID, mv.To, err)
+		}
+		if resp.WalLSN < mv.Watermark {
+			return probed, fmt.Errorf("chaostest: profile %d on %s answers at watermark %d < release watermark %d",
+				mv.ID, mv.To, resp.WalLSN, mv.Watermark)
+		}
+		probed++
+	}
+	return probed, nil
+}

@@ -1,0 +1,130 @@
+package chaostest
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"ips/internal/client"
+	"ips/internal/faultinject"
+)
+
+// TestMigrationStorm is the tentpole proof for elastic resharding: while
+// a stall storm rages and the mixed workload runs at full tilt, a node
+// joins the master region and a founding member drains out of it — live
+// profile migration, dual-read/dual-write windows, cutover, release.
+// Afterwards (run it with -race):
+//
+//   - request conservation: ZERO failed requests, and every read-path
+//     attempt reconciles as a primary, retry, hedge, or dual-read leg;
+//   - write-effect conservation: every write RPC the client issued —
+//     including both legs of every dual write — was applied exactly once
+//     server-side, summed over ALL nodes, drained and joined included;
+//   - post-cutover freshness: every migrated profile's new owner answers
+//     at or above its release watermark;
+//   - no goroutine outlives the storm.
+func TestMigrationStorm(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	const callTimeout = 400 * time.Millisecond
+	rep, err := RunMigration(MigrationOptions{
+		JournalDir: t.TempDir(),
+		Options: Options{
+			Regions:            []string{"east", "west"},
+			InstancesPerRegion: 2,
+			Profiles:           96,
+			Workers:            4,
+			Ticks:              24,
+			TickEvery:          40 * time.Millisecond,
+			Seed:               7,
+			Plan: faultinject.Plan{
+				// Stall-only on purpose: the bar is zero failed requests,
+				// so no drops (a lost response fails the caller even
+				// though the server applied the write) and no crashes.
+				// Stalls stay well under the call timeout.
+				Seed:       7,
+				StallProb:  0.5,
+				StallDelay: 60 * time.Millisecond,
+				StallTicks: 2,
+			},
+			Client: client.Options{
+				CallTimeout:      callTimeout,
+				HedgeDelay:       25 * time.Millisecond,
+				BreakerThreshold: 4,
+				BreakerCooldown:  800 * time.Millisecond,
+				RetryBudgetRatio: 0.3,
+				RetryBudgetBurst: 20,
+				BackoffBase:      2 * time.Millisecond,
+				BackoffCap:       20 * time.Millisecond,
+				Seed:             7,
+			},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("calls=%d failures=%d maxLat=%v stalls=%d", rep.Calls, rep.Failures, rep.MaxLatency, rep.StallEpisodes)
+	t.Logf("resilience: %+v", rep.Resilience)
+	t.Logf("join: %d moves, %d installed over %d passes; drain: %d moves, %d installed over %d passes; %d freshness probes",
+		len(rep.Join.Moves), rep.Join.Installed, rep.Join.Passes,
+		len(rep.Drain.Moves), rep.Drain.Installed, rep.Drain.Passes, rep.FreshnessProbes)
+
+	// The storm must have been a storm: real traffic, real stalls, and a
+	// real migration window (dual-read legs prove the window was hot).
+	if rep.Calls < 200 {
+		t.Fatalf("workload barely ran: %d calls", rep.Calls)
+	}
+	if rep.StallEpisodes == 0 {
+		t.Fatal("storm too quiet: no stall episodes")
+	}
+	if rep.Resilience.Duals == 0 {
+		t.Fatal("no dual-read legs: the migration window never saw traffic")
+	}
+	if len(rep.Join.Moves) == 0 || rep.Join.Installed == 0 {
+		t.Fatalf("join moved nothing: %+v", rep.Join)
+	}
+	if len(rep.Drain.Moves) == 0 {
+		t.Fatalf("drain moved nothing: %+v", rep.Drain)
+	}
+
+	// Request conservation: nothing failed, so Calls == successes, and
+	// the client-observed error rate is exactly zero.
+	if rep.Failures != 0 {
+		t.Fatalf("%d of %d requests failed during migration", rep.Failures, rep.Calls)
+	}
+	if rep.ErrorRate != 0 {
+		t.Fatalf("error rate %v != 0", rep.ErrorRate)
+	}
+	if err := rep.CheckIdentities(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.CheckWriteConservation(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Bounded per-call latency even while ownership moves underfoot.
+	if bound := 8 * callTimeout; rep.MaxLatency > bound {
+		t.Fatalf("call latency unbounded: max %v > %v", rep.MaxLatency, bound)
+	}
+
+	// Every move was freshness-probed (RunMigration fails on the first
+	// stale answer, so reaching here with full coverage is the proof).
+	if want := len(rep.Join.Moves) + len(rep.Drain.Moves); rep.FreshnessProbes != want {
+		t.Fatalf("freshness probes %d != moves %d", rep.FreshnessProbes, want)
+	}
+
+	// No goroutine leaks: cluster (including the joined and drained
+	// nodes), coordinator passes, retired client conns, workload — all
+	// must be gone.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if after := runtime.NumGoroutine(); after <= before+5 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before storm, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -8,9 +8,19 @@
 // Reads run behind the degradation ladder DESIGN.md describes
 // ("Degradation ladder: the read path under failure"): budgeted retries,
 // hedged requests against slow primaries, and per-instance circuit
-// breakers — invariant: Attempts == Primaries + Retries + Hedges, which
-// chaostest reconciles exactly. An optional trace.Tracer samples requests
-// end to end (DESIGN.md "Request tracing").
+// breakers — invariant: Attempts == Primaries + Retries + Hedges + Duals,
+// which chaostest reconciles exactly. An optional trace.Tracer samples
+// requests end to end (DESIGN.md "Request tracing").
+//
+// Elastic resharding (DESIGN.md "Elastic resharding"): each region keeps
+// two rings — the authority ring (settled + joining members) and the old
+// ring (settled + draining members). A key whose owners differ is inside
+// a migration window: writes go to BOTH owners, and reads race both,
+// preferring the outgoing owner's response — inside the window its copy
+// is a superset of the incoming owner's (dual-writes land on both while
+// profile state only flows old→new), so no cross-instance watermark
+// comparison is needed. Windows open and close purely through discovery
+// State transitions propagated by heartbeat.
 package client
 
 import (
@@ -132,16 +142,19 @@ type Client struct {
 
 	// Resilience-layer accounting. Every read-path RPC launch increments
 	// Attempts plus exactly one of Primaries (first try of a call or of a
-	// batch shard group), Retries (budgeted failover re-issues) or Hedges
-	// (duplicate reads racing a slow primary), so
-	// Attempts == Primaries + Retries + Hedges holds exactly at any
-	// quiescent point — the chaos harness asserts it.
+	// batch shard group), Retries (budgeted failover re-issues), Hedges
+	// (duplicate reads racing a slow primary) or Duals (reads to the
+	// outgoing owner of a key inside a migration window), so
+	// Attempts == Primaries + Retries + Hedges + Duals holds exactly at
+	// any quiescent point — the chaos harness asserts it.
 	Attempts      metrics.Counter
 	Primaries     metrics.Counter
 	Retries       metrics.Counter
 	RetriesDenied metrics.Counter // retries refused by the budget
 	Hedges        metrics.Counter
 	HedgeWins     metrics.Counter // hedge finished first with a success
+	Duals         metrics.Counter // dual reads to the outgoing owner of a migrating key
+	DualWins      metrics.Counter // dual read answered when the authority attempt failed
 	WriteRPCs     metrics.Counter // add RPCs issued (never hedged)
 
 	// Breaker holds the per-instance circuit breakers consulted by
@@ -151,11 +164,26 @@ type Client struct {
 	budget        *retryBudget
 	boff          *backoff
 	hedgeInFlight atomic.Int64
+
+	// Departed-instance connections are retired on a grace timer instead of
+	// closed inline (closing kills that conn's in-flight calls). closing
+	// aborts the timers at Close; closeWG keeps the retire goroutines
+	// inside the goroutine-leak gate.
+	closing chan struct{}
+	closeWG sync.WaitGroup
 }
 
 type regionState struct {
-	ring  *hashring.Ring
-	conns map[string]*rpc.Client // addr -> pooled client
+	// ring is the authority ring: every member except draining ones. It
+	// answers "who owns this key after the migration completes" and is the
+	// only ring the failover ladder and the batch path consult.
+	ring *hashring.Ring
+	// oldRing is the pre-migration ring: every member except joining ones.
+	// nil outside a migration window (the two member sets are equal). A key
+	// whose owners differ between the rings is mid-handoff: writes go to
+	// both owners and reads race both (see dualTargets).
+	oldRing *hashring.Ring
+	conns   map[string]*rpc.Client // addr -> pooled client
 }
 
 // New creates a client and starts its discovery refresh.
@@ -187,7 +215,11 @@ func New(opts Options) (*Client, error) {
 	if opts.RetryBudgetBurst == 0 {
 		opts.RetryBudgetBurst = 10
 	}
-	c := &Client{opts: opts, regions: make(map[string]*regionState)}
+	c := &Client{
+		opts:    opts,
+		regions: make(map[string]*regionState),
+		closing: make(chan struct{}),
+	}
 	if opts.BreakerThreshold >= 0 {
 		c.Breaker = NewBreaker(opts.BreakerThreshold, opts.BreakerCooldown)
 	}
@@ -198,10 +230,29 @@ func New(opts Options) (*Client, error) {
 }
 
 // onInstances rebuilds the per-region rings from a fresh instance list.
+// Each region gets an authority ring (everything but draining members)
+// and, while a join or drain is in flight, an old ring (everything but
+// joining members); outside a window oldRing is nil and routing collapses
+// to the single-ring fast path.
 func (c *Client) onInstances(instances []discovery.Instance) {
-	byRegion := make(map[string][]string)
+	type memberSets struct {
+		auth, old []string
+		all       map[string]bool
+	}
+	byRegion := make(map[string]*memberSets)
 	for _, in := range instances {
-		byRegion[in.Region] = append(byRegion[in.Region], in.Addr)
+		ms := byRegion[in.Region]
+		if ms == nil {
+			ms = &memberSets{all: make(map[string]bool)}
+			byRegion[in.Region] = ms
+		}
+		ms.all[in.Addr] = true
+		if in.State != discovery.StateDraining {
+			ms.auth = append(ms.auth, in.Addr)
+		}
+		if in.State != discovery.StateJoining {
+			ms.old = append(ms.old, in.Addr)
+		}
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -209,22 +260,32 @@ func (c *Client) onInstances(instances []discovery.Instance) {
 		return
 	}
 	// Update or create region states.
-	for region, addrs := range byRegion {
+	for region, ms := range byRegion {
 		rs := c.regions[region]
 		if rs == nil {
 			rs = &regionState{ring: hashring.New(0), conns: make(map[string]*rpc.Client)}
 			c.regions[region] = rs
 		}
-		rs.ring.SetMembers(addrs)
-		// Drop connections to departed instances.
-		live := make(map[string]bool, len(addrs))
-		for _, a := range addrs {
-			live[a] = true
+		rs.ring.SetMembers(ms.auth)
+		if sameMembers(ms.auth, ms.old) {
+			// No joining and no draining members: no migration window in
+			// this region. (Length alone can't prove that — a simultaneous
+			// join and drain keeps the counts equal while the sets differ.)
+			rs.oldRing = nil
+		} else {
+			if rs.oldRing == nil {
+				rs.oldRing = hashring.New(0)
+			}
+			rs.oldRing.SetMembers(ms.old)
 		}
+		// Retire connections to departed instances: drop them from the
+		// routing table now (no new calls), close the socket only after a
+		// call-timeout grace so in-flight calls finish instead of dying
+		// with a conn-closed error on every refresh that loses a member.
 		for addr, conn := range rs.conns {
-			if !live[addr] {
-				conn.Close()
+			if !ms.all[addr] {
 				delete(rs.conns, addr)
+				c.retireConn(conn)
 			}
 		}
 	}
@@ -232,11 +293,48 @@ func (c *Client) onInstances(instances []discovery.Instance) {
 	for region, rs := range c.regions {
 		if _, ok := byRegion[region]; !ok {
 			for _, conn := range rs.conns {
-				conn.Close()
+				c.retireConn(conn)
 			}
 			delete(c.regions, region)
 		}
 	}
+}
+
+// sameMembers reports whether two member lists drawn from the same
+// instance snapshot contain the same addresses (order-insensitive; the
+// snapshot never repeats an address within a region).
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	in := make(map[string]bool, len(a))
+	for _, s := range a {
+		in[s] = true
+	}
+	for _, s := range b {
+		if !in[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// retireConn closes conn after a grace period of one call timeout — long
+// enough for any call already issued on it to complete or time out on its
+// own terms. Client.Close short-circuits the grace so tests (and the
+// goroutine-leak gate) never wait out the timers.
+func (c *Client) retireConn(conn *rpc.Client) {
+	c.closeWG.Add(1)
+	go func() {
+		defer c.closeWG.Done()
+		t := time.NewTimer(c.opts.CallTimeout)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-c.closing:
+		}
+		conn.Close()
+	}()
 }
 
 // conn returns a pooled client for addr in region.
@@ -285,6 +383,26 @@ func (c *Client) route(region string, id model.ProfileID) string {
 		return ""
 	}
 	return rs.ring.Get(id)
+}
+
+// dualTargets resolves id's owners in region: auth is the authority-ring
+// owner, old is the old-ring owner when a migration window is open for
+// this key ("" when the region has no window or both rings agree — the
+// common case, where routing is single-owner).
+func (c *Client) dualTargets(region string, id model.ProfileID) (auth, old string) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	rs := c.regions[region]
+	if rs == nil {
+		return "", ""
+	}
+	auth = rs.ring.Get(id)
+	if rs.oldRing != nil {
+		if o := rs.oldRing.Get(id); o != auth {
+			old = o
+		}
+	}
+	return auth, old
 }
 
 // routeN returns up to n distinct candidate addresses for id in region.
@@ -338,27 +456,37 @@ func (c *Client) AddCtx(ctx context.Context, table string, id model.ProfileID, e
 	var lastErr error
 	ok := 0
 	for _, region := range c.regionsSnapshot() {
-		addr := c.route(region, id)
-		if addr == "" {
-			continue
+		auth, old := c.dualTargets(region, id)
+		targets := make([]string, 0, 2)
+		if old != "" {
+			// Migration window: the write lands on the outgoing owner too,
+			// so its copy stays a superset until the window closes and
+			// nothing is lost if the migration is rolled back. Old owner
+			// first — it preserves the pre-migration ordering guarantee.
+			targets = append(targets, old)
 		}
-		// Writes are not idempotent, so they are never hedged or retried
-		// within a region — but a tripped breaker still skips a broken
-		// instance instead of spending a timeout on it.
-		if c.Breaker != nil && !c.Breaker.Allow(addr) {
-			lastErr = ErrBreakerOpen
-			continue
+		if auth != "" {
+			targets = append(targets, auth)
 		}
-		c.WriteRPCs.Inc()
-		_, err := c.conn(region, addr).CallCtx(wctx, method, payload)
-		if c.Breaker != nil {
-			c.Breaker.Record(addr, transportOK(err))
+		for _, addr := range targets {
+			// Writes are not idempotent, so they are never hedged or retried
+			// within a region — but a tripped breaker still skips a broken
+			// instance instead of spending a timeout on it.
+			if c.Breaker != nil && !c.Breaker.Allow(addr) {
+				lastErr = ErrBreakerOpen
+				continue
+			}
+			c.WriteRPCs.Inc()
+			_, err := c.conn(region, addr).CallCtx(wctx, method, payload)
+			if c.Breaker != nil {
+				c.Breaker.Record(addr, transportOK(err))
+			}
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			ok++
 		}
-		if err != nil {
-			lastErr = err
-			continue
-		}
-		ok++
 	}
 	var retErr error
 	if ok == 0 {
@@ -385,7 +513,7 @@ func (c *Client) queryMethod(ctx context.Context, method string, req *wire.Query
 	req.Caller = c.opts.Caller
 	payload := wire.EncodeQuery(req)
 
-	raw, err := c.resilientCall(qctx, method, payload, req.ProfileID)
+	raw, err := c.readCall(qctx, method, payload, req.ProfileID)
 	root.EndErr(err)
 	c.opts.Tracer.Done(owned)
 	if err != nil {
@@ -469,13 +597,15 @@ const (
 	attemptPrimary attemptKind = iota
 	attemptRetry
 	attemptHedge
+	attemptDual
 )
 
 // launch issues one read RPC asynchronously, feeding the breaker and the
 // attempt counters, and delivers the outcome on resCh. Each attempt gets
-// its own span (client.primary / client.retry / client.hedge) so a trace
-// shows exactly which attempt carried the winning response; losers that
-// finish after the request returns end their spans with zero duration.
+// its own span (client.primary / client.retry / client.hedge /
+// client.dual) so a trace shows exactly which attempt carried the winning
+// response; losers that finish after the request returns end their spans
+// with zero duration.
 func (c *Client) launch(ctx context.Context, tgt batchTarget, method string, payload []byte, kind attemptKind, resCh chan<- attemptResult) {
 	c.Attempts.Inc()
 	stage := trace.StageClientPrimary
@@ -489,6 +619,9 @@ func (c *Client) launch(ctx context.Context, tgt batchTarget, method string, pay
 	case attemptHedge:
 		c.Hedges.Inc()
 		stage = trace.StageClientHedge
+	case attemptDual:
+		c.Duals.Inc()
+		stage = trace.StageClientDual
 	}
 	conn := c.conn(tgt.region, tgt.addr)
 	actx, sp := trace.StartSpan(ctx, stage)
@@ -509,6 +642,61 @@ type attemptResult struct {
 	raw    []byte
 	err    error
 	hedged bool
+}
+
+// readCall routes one idempotent read. A key inside a migration window
+// (its authority and old owners differ in the first region that has an
+// owner at all) takes the dual-read path; everything else — the entire
+// steady state — takes the resilient ladder unchanged. A window whose
+// instances are breaker-blocked also falls through to the ladder, which
+// knows how to wait breakers out.
+func (c *Client) readCall(ctx context.Context, method string, payload []byte, id model.ProfileID) ([]byte, error) {
+	for _, region := range c.regionsSnapshot() {
+		auth, old := c.dualTargets(region, id)
+		if auth == "" {
+			continue
+		}
+		if old == "" {
+			break
+		}
+		if c.Breaker != nil && (!c.Breaker.Allow(auth) || !c.Breaker.Allow(old)) {
+			break
+		}
+		return c.dualRead(ctx, method, payload,
+			batchTarget{region: region, addr: auth},
+			batchTarget{region: region, addr: old},
+			id)
+	}
+	return c.resilientCall(ctx, method, payload, id)
+}
+
+// dualRead races a migrating key's two owners and prefers the outgoing
+// owner's response: inside the window its copy is a superset of the
+// incoming owner's (dual-writes land on both while profile state only
+// flows old→new), so the preference needs no watermark comparison —
+// journal LSNs from different instances are not comparable anyway. The
+// authority attempt is not wasted: it warms the incoming owner's cache
+// and carries the response when the outgoing owner fails. Should both
+// fail, the request falls back to the full resilient ladder rather than
+// surfacing a window-shaped error to the caller.
+func (c *Client) dualRead(ctx context.Context, method string, payload []byte, auth, old batchTarget, id model.ProfileID) ([]byte, error) {
+	c.budget.onPrimary()
+	authCh := make(chan attemptResult, 1)
+	oldCh := make(chan attemptResult, 1)
+	c.launch(ctx, auth, method, payload, attemptPrimary, authCh)
+	c.launch(ctx, old, method, payload, attemptDual, oldCh)
+	authRes := <-authCh
+	oldRes := <-oldCh
+	if oldRes.err == nil {
+		if authRes.err != nil {
+			c.DualWins.Inc()
+		}
+		return oldRes.raw, nil
+	}
+	if authRes.err == nil {
+		return authRes.raw, nil
+	}
+	return c.resilientCall(ctx, method, payload, id)
 }
 
 // resilientCall runs one idempotent read against id's candidate ladder:
@@ -677,6 +865,7 @@ func (c *Client) Stats() ([]*wire.StatsResponse, error) {
 type ResilienceStats struct {
 	Attempts, Primaries, Retries, RetriesDenied int64
 	Hedges, HedgeWins                           int64
+	Duals, DualWins                             int64
 	WriteRPCs                                   int64
 	BreakerTrips, BreakerReOpens                int64
 	BreakerProbes, BreakerCloses, BreakerSkips  int64
@@ -695,6 +884,8 @@ func (c *Client) Resilience() ResilienceStats {
 		RetriesDenied: c.RetriesDenied.Value(),
 		Hedges:        c.Hedges.Value(),
 		HedgeWins:     c.HedgeWins.Value(),
+		Duals:         c.Duals.Value(),
+		DualWins:      c.DualWins.Value(),
 		WriteRPCs:     c.WriteRPCs.Value(),
 		HedgeDelay:    c.hedgeDelay(),
 	}
@@ -726,20 +917,24 @@ func (c *Client) RefreshNow() {
 // Tracer returns the client's request tracer, nil when tracing is off.
 func (c *Client) Tracer() *trace.Tracer { return c.opts.Tracer }
 
-// Close stops discovery and closes all connections.
+// Close stops discovery, closes all connections, and short-circuits any
+// retiring connections' grace timers so no goroutine outlives the client.
 func (c *Client) Close() error {
 	c.watcher.Stop()
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if c.closed {
+		c.mu.Unlock()
 		return nil
 	}
 	c.closed = true
+	close(c.closing)
 	for _, rs := range c.regions {
 		for _, conn := range rs.conns {
 			conn.Close()
 		}
 	}
 	c.regions = nil
+	c.mu.Unlock()
+	c.closeWG.Wait()
 	return nil
 }

@@ -1,0 +1,171 @@
+package client
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ips/internal/discovery"
+	"ips/internal/model"
+	"ips/internal/wire"
+)
+
+// TestDrainingNodeLosesNewPrimariesWithinOneRefresh pins the resharding
+// routing contract: one refresh after a member starts draining, no new
+// primary (or retry, or hedge) targets it — it only sees dual-read
+// attempts for keys inside its migration window — while reads keep
+// returning the data that still lives only on the draining node.
+func TestDrainingNodeLosesNewPrimariesWithinOneRefresh(t *testing.T) {
+	cl, clock := newCluster(t, []string{"east"}, 3)
+	c := newClient(t, cl, "east")
+	c.opts.HedgeDelay = -1 // deterministic attempt accounting
+	now := clock.Now()
+
+	for id := model.ProfileID(1); id <= 60; id++ {
+		err := c.Add("up", id, wire.AddEntry{
+			Timestamp: now - 1000, Slot: 1, Type: 1, FID: 7, Counts: []int64{int64(id), 0},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	forceVisible(cl)
+
+	victim := cl.Nodes()[0]
+	var owned []model.ProfileID
+	for id := model.ProfileID(1); id <= 60; id++ {
+		if c.route("east", id) == victim.Addr {
+			owned = append(owned, id)
+		}
+	}
+	if len(owned) == 0 {
+		t.Skip("ring gave the victim no keys") // ~1-in-10^12 with 60 keys
+	}
+
+	victim.SetState(discovery.StateDraining)
+	c.RefreshNow() // one refresh interval, compressed
+
+	// Routing: the draining node is out of the authority ring and the
+	// failover ladder entirely; it remains each owned key's old owner.
+	for _, id := range owned {
+		auth, old := c.dualTargets("east", id)
+		if auth == victim.Addr {
+			t.Fatalf("key %d: draining node still authority owner", id)
+		}
+		if old != victim.Addr {
+			t.Fatalf("key %d: old owner = %q, want draining node %s", id, old, victim.Addr)
+		}
+		for _, cand := range c.candidates(id) {
+			if cand.addr == victim.Addr {
+				t.Fatalf("key %d: draining node still on the candidate ladder", id)
+			}
+		}
+	}
+
+	// Behavior: reads of the owned keys dual-read — exactly one primary
+	// (elsewhere) plus one dual attempt (to the draining node) each — and
+	// still return the value only the draining node holds, because the
+	// dual path prefers the outgoing owner's response.
+	preQueries := victim.Instance().Stats().Queries
+	pre := c.Resilience()
+	for _, id := range owned {
+		resp, err := c.TopK(queryReq(id))
+		if err != nil {
+			t.Fatalf("windowed read %d: %v", id, err)
+		}
+		if len(resp.Features) != 1 || resp.Features[0].Counts[0] != int64(id) {
+			t.Fatalf("windowed read %d: %+v", id, resp.Features)
+		}
+	}
+	post := c.Resilience()
+	n := int64(len(owned))
+	if got := post.Primaries - pre.Primaries; got != n {
+		t.Fatalf("primaries = %d, want %d", got, n)
+	}
+	if got := post.Duals - pre.Duals; got != n {
+		t.Fatalf("duals = %d, want %d", got, n)
+	}
+	if got := victim.Instance().Stats().Queries - preQueries; got != n {
+		t.Fatalf("draining node served %d queries, want %d dual reads only", got, n)
+	}
+	if post.Attempts != post.Primaries+post.Retries+post.Hedges+post.Duals {
+		t.Fatalf("attempt identity broken: %+v", post)
+	}
+
+	// Writes inside the window go to both owners.
+	preW := c.WriteRPCs.Value()
+	preVW := victim.Instance().Stats().Writes
+	err := c.Add("up", owned[0], wire.AddEntry{
+		Timestamp: now, Slot: 1, Type: 1, FID: 7, Counts: []int64{1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.WriteRPCs.Value() - preW; got != 2 {
+		t.Fatalf("windowed write issued %d RPCs, want 2 (dual)", got)
+	}
+	if got := victim.Instance().Stats().Writes - preVW; got != 1 {
+		t.Fatalf("draining node saw %d writes, want 1 (the dual leg)", got)
+	}
+}
+
+// TestDepartedMemberInFlightCallSurvivesRefresh pins the refresh-churn
+// fix: when a member leaves the catalog, the client must stop routing to
+// it at once but keep the socket open for a grace period, so calls
+// already in flight complete instead of dying with a connection-closed
+// error on every membership change.
+func TestDepartedMemberInFlightCallSurvivesRefresh(t *testing.T) {
+	cl, clock := newCluster(t, []string{"east"}, 2)
+	c := newClient(t, cl, "east")
+	c.opts.HedgeDelay = -1
+	now := clock.Now()
+
+	var id model.ProfileID
+	victim := cl.Nodes()[0]
+	for probe := model.ProfileID(1); ; probe++ {
+		if c.route("east", probe) == victim.Addr {
+			id = probe
+			break
+		}
+	}
+	err := c.Add("up", id, wire.AddEntry{
+		Timestamp: now - 1000, Slot: 1, Type: 1, FID: 7, Counts: []int64{9, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forceVisible(cl)
+
+	// Slow the victim down, start a read against it, then rip it out of
+	// the catalog while the call is in flight.
+	victim.Service().RPC().SetDelay(func(string) time.Duration { return 250 * time.Millisecond })
+	var wg sync.WaitGroup
+	var resp *wire.QueryResponse
+	var callErr error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, callErr = c.TopK(queryReq(id))
+	}()
+	time.Sleep(50 * time.Millisecond) // the call is now waiting out the delay
+	cl.Registry.Deregister("ips", victim.Addr)
+	c.RefreshNow()
+
+	// New traffic reroutes immediately...
+	if got := c.route("east", id); got == victim.Addr || got == "" {
+		t.Fatalf("departed member still routed: %q", got)
+	}
+	// ...while the in-flight call finishes on the retiring connection.
+	wg.Wait()
+	if callErr != nil {
+		t.Fatalf("in-flight call died on refresh: %v", callErr)
+	}
+	if len(resp.Features) != 1 || resp.Features[0].Counts[0] != 9 {
+		t.Fatalf("in-flight call returned %+v", resp.Features)
+	}
+
+	// The retired connection's grace goroutine must not outlive Close.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -11,6 +11,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -20,6 +21,7 @@ import (
 	"ips/internal/kv"
 	"ips/internal/model"
 	"ips/internal/server"
+	"ips/internal/wal"
 )
 
 // Options configures a Cluster.
@@ -47,6 +49,15 @@ type Options struct {
 	// Cache tunes every instance's GCache (hot-slot replication, LRU
 	// capacity, ...); zero values use gcache defaults.
 	Cache gcache.Options
+	// JournalDir, when set, gives every node a write-ahead mutation
+	// journal at <dir>/<name>.wal. Elastic resharding (Join/Drain)
+	// requires it: the per-profile journal watermarks are what make
+	// migration installs idempotent and release marks meaningful.
+	JournalDir string
+	// SettleInterval is how long resharding steps wait for discovery
+	// state changes to reach every client (it must cover the slowest
+	// client's RefreshInterval); default 100ms.
+	SettleInterval time.Duration
 }
 
 // Cluster is a running multi-region deployment.
@@ -69,8 +80,29 @@ type Node struct {
 	inst    *server.Instance
 	svc     *server.Service
 	hb      *discovery.Heartbeater
+	journal *wal.Journal
 	cluster *Cluster
 	down    bool
+	// drained marks a node whose keys have been migrated out and whose
+	// registration is gone. It still serves RPCs (its counters must stay
+	// observable for conservation accounting) until Cluster.Close.
+	drained bool
+}
+
+// SetState republishes the node's discovery registration with a new
+// lifecycle state (joining / draining / active). The registry sees the
+// change immediately; clients react at their next refresh.
+func (n *Node) SetState(state string) {
+	in := n.hb.Instance()
+	in.State = state
+	n.hb.Set(n.cluster.Registry, in)
+}
+
+// Drained reports whether the node has been retired from routing.
+func (n *Node) Drained() bool {
+	n.cluster.mu.Lock()
+	defer n.cluster.mu.Unlock()
+	return n.drained
 }
 
 // Instance exposes the node's server instance (for harness introspection).
@@ -96,6 +128,9 @@ func New(opts Options) (*Cluster, error) {
 	if opts.RegistryTTL <= 0 {
 		opts.RegistryTTL = time.Second
 	}
+	if opts.SettleInterval <= 0 {
+		opts.SettleInterval = 100 * time.Millisecond
+	}
 	if opts.Clock == nil {
 		opts.Clock = func() model.Millis { return time.Now().UnixMilli() }
 	}
@@ -114,7 +149,7 @@ func New(opts Options) (*Cluster, error) {
 	for _, region := range opts.Regions {
 		for i := 0; i < opts.InstancesPerRegion; i++ {
 			name := fmt.Sprintf("ips-%s-%d", region, i)
-			if _, err := c.startNode(name, region); err != nil {
+			if _, err := c.startNode(name, region, discovery.StateActive); err != nil {
 				c.Close()
 				return nil, err
 			}
@@ -185,8 +220,9 @@ func (s *readLocalStore) Close() error { return nil }
 
 var _ kv.Store = (*readLocalStore)(nil)
 
-// startNode boots one instance and registers it.
-func (c *Cluster) startNode(name, region string) (*Node, error) {
+// startNode boots one instance and registers it in the given lifecycle
+// state (StateActive for normal boots, StateJoining for elastic joins).
+func (c *Cluster) startNode(name, region, state string) (*Node, error) {
 	var cfgStore *config.Store
 	var err error
 	if c.opts.Config != nil {
@@ -197,6 +233,15 @@ func (c *Cluster) startNode(name, region string) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
+	var jn *wal.Journal
+	if c.opts.JournalDir != "" {
+		// One journal file per node name: a restart reopens and replays
+		// the crashed incarnation's unflushed suffix.
+		jn, err = wal.Open(filepath.Join(c.opts.JournalDir, name+".wal"), wal.Options{})
+		if err != nil {
+			return nil, err
+		}
+	}
 	inst, err := server.New(server.Options{
 		Name:            name,
 		Region:          region,
@@ -205,13 +250,20 @@ func (c *Cluster) startNode(name, region string) (*Node, error) {
 		Clock:           c.opts.Clock,
 		DefaultQuotaQPS: c.opts.DefaultQuotaQPS,
 		Cache:           c.opts.Cache,
+		Journal:         jn,
 	})
 	if err != nil {
+		if jn != nil {
+			_ = jn.Close()
+		}
 		return nil, err
 	}
 	for tname, schema := range c.opts.Tables {
 		if err := inst.CreateTable(tname, schema.Clone()); err != nil {
 			_ = inst.Close()
+			if jn != nil {
+				_ = jn.Close()
+			}
 			return nil, err
 		}
 	}
@@ -219,13 +271,16 @@ func (c *Cluster) startNode(name, region string) (*Node, error) {
 	addr, err := svc.Listen("127.0.0.1:0")
 	if err != nil {
 		_ = inst.Close()
+		if jn != nil {
+			_ = jn.Close()
+		}
 		return nil, err
 	}
 	hb := discovery.StartHeartbeat(c.Registry, discovery.Instance{
-		Service: c.opts.Service, Addr: addr, Region: region,
+		Service: c.opts.Service, Addr: addr, Region: region, State: state,
 	}, c.opts.HeartbeatInterval)
 
-	n := &Node{Name: name, Region: region, Addr: addr, inst: inst, svc: svc, hb: hb, cluster: c}
+	n := &Node{Name: name, Region: region, Addr: addr, inst: inst, svc: svc, hb: hb, journal: jn, cluster: c}
 	c.mu.Lock()
 	c.nodes[name] = n
 	c.mu.Unlock()
@@ -266,6 +321,11 @@ func (c *Cluster) Crash(name string) error {
 	// instance report is part of the simulated failure, not a test error.
 	_ = n.svc.Close()
 	_ = n.inst.Close()
+	if n.journal != nil {
+		// Abort, not Close: a crash must not get the graceful final flush,
+		// or recovery tests would never see an unflushed suffix.
+		n.journal.Abort()
+	}
 	c.mu.Lock()
 	n.down = true
 	c.mu.Unlock()
@@ -288,7 +348,7 @@ func (c *Cluster) Restart(name string) (*Node, error) {
 	c.mu.Lock()
 	delete(c.nodes, name)
 	c.mu.Unlock()
-	return c.startNode(name, old.Region)
+	return c.startNode(name, old.Region, discovery.StateActive)
 }
 
 // CrashRegion fails every node in region (data-center outage).
@@ -322,6 +382,11 @@ func (c *Cluster) Close() error {
 			// swallowed error here hides real data loss from the caller.
 			if err := n.inst.Close(); err != nil && firstErr == nil {
 				firstErr = err
+			}
+			if n.journal != nil {
+				if err := n.journal.Close(); err != nil && firstErr == nil {
+					firstErr = err
+				}
 			}
 		}
 	}

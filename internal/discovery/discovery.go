@@ -19,7 +19,28 @@ type Instance struct {
 	Addr string
 	// Region is the data-center the instance runs in (§III-G).
 	Region string
+	// State is the membership lifecycle phase used by elastic resharding
+	// (DESIGN.md "Elastic resharding"): "" (StateActive) for a settled
+	// member, StateJoining while a new node is receiving its shard, and
+	// StateDraining while a departing node hands its shard off. Clients
+	// fold joining/draining members into a dual-read window; the
+	// transition propagates by heartbeat renewal, not restart.
+	State string
 }
+
+// Membership lifecycle states.
+const (
+	// StateActive is a settled member: it owns its ring range
+	// exclusively. The zero value, so pre-resharding registrations are
+	// active by default.
+	StateActive = ""
+	// StateJoining marks a node being added: it appears in the new
+	// (authority) ring but not the old one, and clients dual-read.
+	StateJoining = "joining"
+	// StateDraining marks a node being removed: it appears in the old
+	// ring but not the authority ring, and clients dual-read.
+	StateDraining = "draining"
+)
 
 // Registry is the service catalog. It is safe for concurrent use.
 type Registry struct {
@@ -126,6 +147,8 @@ func (r *Registry) Services() []string {
 // Heartbeater renews a registration on a fixed cadence until stopped —
 // what a live IPS instance runs in the background.
 type Heartbeater struct {
+	mu   sync.Mutex
+	inst Instance
 	stop chan struct{}
 	done chan struct{}
 }
@@ -134,7 +157,7 @@ type Heartbeater struct {
 // accepts any Registrar: the in-process Registry or a RemoteRegistry
 // connection to a registry daemon.
 func StartHeartbeat(r Registrar, inst Instance, interval time.Duration) *Heartbeater {
-	h := &Heartbeater{stop: make(chan struct{}), done: make(chan struct{})}
+	h := &Heartbeater{inst: inst, stop: make(chan struct{}), done: make(chan struct{})}
 	r.Register(inst)
 	go func() {
 		defer close(h.done)
@@ -143,14 +166,40 @@ func StartHeartbeat(r Registrar, inst Instance, interval time.Duration) *Heartbe
 		for {
 			select {
 			case <-t.C:
-				r.Register(inst)
+				r.Register(h.Instance())
 			case <-h.stop:
-				r.Deregister(inst.Service, inst.Addr)
+				cur := h.Instance()
+				r.Deregister(cur.Service, cur.Addr)
 				return
 			}
 		}
 	}()
 	return h
+}
+
+// Instance returns the registration currently being renewed.
+func (h *Heartbeater) Instance() Instance {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.inst
+}
+
+// Set replaces the registration the heartbeat renews — how a node
+// announces a lifecycle transition (StateJoining -> StateActive,
+// StateActive -> StateDraining) without re-registering out of band. The
+// new instance is registered immediately so the transition propagates
+// within one catalog poll, not one heartbeat interval.
+func (h *Heartbeater) Set(r Registrar, inst Instance) {
+	h.mu.Lock()
+	old := h.inst
+	h.inst = inst
+	h.mu.Unlock()
+	if old.Service != inst.Service || old.Addr != inst.Addr {
+		// The registration key changed: drop the old entry so the node
+		// does not appear twice.
+		r.Deregister(old.Service, old.Addr)
+	}
+	r.Register(inst)
 }
 
 // Stop halts heartbeating and deregisters.

@@ -1,0 +1,213 @@
+package discovery
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Satellite suite: deterministic fake-clock coverage for Registry TTL
+// expiry and heartbeat-renewal races, driven entirely through the `now`
+// seam — no sleeps, no wall-clock flake.
+
+// fakeClock is a mutable time source safe for concurrent readers.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// TestTTLBoundaryExact pins the expiry boundary: an entry registered at
+// T with TTL d is live at exactly T+d (deadline.Before(now) is false)
+// and gone one nanosecond later.
+func TestTTLBoundaryExact(t *testing.T) {
+	clk := newFakeClock()
+	r := NewRegistry(time.Second)
+	r.SetClock(clk.Now)
+	r.Register(Instance{Service: "ips/main", Addr: "a:1"})
+
+	clk.Advance(time.Second)
+	if got := r.Lookup("ips/main"); len(got) != 1 {
+		t.Fatalf("entry at exactly TTL must still be live, got %d instances", len(got))
+	}
+	clk.Advance(time.Nanosecond)
+	if got := r.Lookup("ips/main"); len(got) != 0 {
+		t.Fatalf("entry past TTL must be expired, got %d instances", len(got))
+	}
+	// Lazy deletion is permanent: rolling the clock back must not
+	// resurrect the entry.
+	clk.Advance(-time.Hour)
+	if got := r.Lookup("ips/main"); len(got) != 0 {
+		t.Fatalf("expired entry resurrected after clock rollback, got %d", len(got))
+	}
+}
+
+// TestRenewalResetsDeadline: each Register renews the full TTL from the
+// renewal instant, not the original registration.
+func TestRenewalResetsDeadline(t *testing.T) {
+	clk := newFakeClock()
+	r := NewRegistry(time.Second)
+	r.SetClock(clk.Now)
+	in := Instance{Service: "ips/main", Addr: "a:1"}
+	r.Register(in)
+
+	// Renew every 600ms; the entry must survive far past the first TTL.
+	for i := 0; i < 5; i++ {
+		clk.Advance(600 * time.Millisecond)
+		if got := r.Lookup("ips/main"); len(got) != 1 {
+			t.Fatalf("renewal %d: entry expired despite heartbeats", i)
+		}
+		r.Register(in)
+	}
+	// Stop renewing: exactly one TTL later it lapses.
+	clk.Advance(time.Second + time.Nanosecond)
+	if got := r.Lookup("ips/main"); len(got) != 0 {
+		t.Fatal("entry survived a full TTL with no renewal")
+	}
+}
+
+// TestRenewalRaceNeverServesStale hammers the expiry/renewal race: one
+// goroutine advances the clock past the deadline while another renews.
+// Whatever interleaving occurs, a Lookup must never return an instance
+// whose deadline (under the registry's own clock) has already lapsed —
+// the "stale instance past deadline" hazard the dual-read window relies
+// on discovery never exhibiting.
+func TestRenewalRaceNeverServesStale(t *testing.T) {
+	clk := newFakeClock()
+	const ttl = 100 * time.Millisecond
+	r := NewRegistry(ttl)
+	r.SetClock(clk.Now)
+	in := Instance{Service: "ips/main", Addr: "a:1", State: StateDraining}
+	r.Register(in)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	var renews atomic.Int64
+	// Renewal goroutine: heartbeats as fast as it can.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			r.Register(in)
+			renews.Add(1)
+		}
+	}()
+	// Clock goroutine: repeatedly jumps the clock right past the TTL. At
+	// least 2000 jumps, and never stop before the renewer has run at all
+	// — on a loaded box it may not be scheduled within the first burst.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 2000 || renews.Load() == 0; i++ {
+			clk.Advance(ttl + time.Nanosecond)
+			if renews.Load() == 0 {
+				runtime.Gosched()
+			}
+		}
+		stop.Store(true)
+	}()
+	// Reader: hammer the lazy-delete path concurrently with renewals and
+	// clock jumps; -race guards the interleavings, and the frozen-clock
+	// check below pins the staleness invariant itself.
+	for !stop.Load() {
+		_ = r.Lookup("ips/main")
+	}
+	wg.Wait()
+	if renews.Load() == 0 {
+		t.Fatal("renewal goroutine never ran")
+	}
+
+	// Deterministic endgame with all goroutines stopped: the entry was
+	// last renewed at some clock instant; freeze the clock one TTL+1ns
+	// later and the entry must be gone, no matter how the race above
+	// interleaved.
+	clk.Advance(ttl + time.Nanosecond)
+	if got := r.Lookup("ips/main"); len(got) != 0 {
+		t.Fatal("entry served a full TTL past its last renewal")
+	}
+	// And a final renewal resurrects it cleanly, State intact.
+	r.Register(in)
+	got := r.Lookup("ips/main")
+	if len(got) != 1 || got[0].State != StateDraining {
+		t.Fatalf("post-race renewal lost the instance or its state: %+v", got)
+	}
+}
+
+// TestStateTransitionPropagates: re-registering with a new State value
+// (what Heartbeater.Set does) is visible on the very next Lookup, and
+// the watcher's struct comparison treats it as a membership change.
+func TestStateTransitionPropagates(t *testing.T) {
+	clk := newFakeClock()
+	r := NewRegistry(time.Second)
+	r.SetClock(clk.Now)
+	in := Instance{Service: "ips/main", Addr: "a:1", State: StateJoining}
+	r.Register(in)
+
+	got := r.Lookup("ips/main")
+	if len(got) != 1 || got[0].State != StateJoining {
+		t.Fatalf("joining state lost: %+v", got)
+	}
+	in.State = StateActive
+	r.Register(in)
+	got = r.Lookup("ips/main")
+	if len(got) != 1 || got[0].State != StateActive {
+		t.Fatalf("flip to active lost: %+v", got)
+	}
+	// sameInstances must see the difference (the watcher's change
+	// detector is what propagates cutover to clients).
+	a := []Instance{{Service: "s", Addr: "a", State: StateJoining}}
+	b := []Instance{{Service: "s", Addr: "a", State: StateActive}}
+	if sameInstances(a, b) {
+		t.Fatal("state transition invisible to the watcher comparator")
+	}
+}
+
+// TestHeartbeaterSetSwitchesRegistration: Set republishes immediately
+// under the new state and the stop path deregisters the CURRENT
+// registration, not the original one.
+func TestHeartbeaterSetSwitchesRegistration(t *testing.T) {
+	r := NewRegistry(time.Minute)
+	in := Instance{Service: "ips/main", Addr: "a:1"}
+	hb := StartHeartbeat(r, in, time.Hour) // ticker never fires in-test
+	defer hb.Stop()
+
+	in.State = StateDraining
+	hb.Set(r, in)
+	got := r.Lookup("ips/main")
+	if len(got) != 1 || got[0].State != StateDraining {
+		t.Fatalf("Set did not republish immediately: %+v", got)
+	}
+	if hb.Instance().State != StateDraining {
+		t.Fatal("heartbeater kept renewing the old instance")
+	}
+
+	// Changing the registration key drops the old entry.
+	moved := Instance{Service: "ips/main", Addr: "b:2", State: StateJoining}
+	hb.Set(r, moved)
+	got = r.Lookup("ips/main")
+	if len(got) != 1 || got[0].Addr != "b:2" {
+		t.Fatalf("old registration key survived a Set with a new addr: %+v", got)
+	}
+
+	hb.Stop()
+	if got := r.Lookup("ips/main"); len(got) != 0 {
+		t.Fatalf("Stop deregistered the wrong key: %+v", got)
+	}
+}

@@ -41,12 +41,16 @@ const (
 	fInstService = 1
 	fInstAddr    = 2
 	fInstRegion  = 3
+	fInstState   = 4
 )
 
 func encodeInstance(e *codec.Buffer, in Instance) {
 	e.String(fInstService, in.Service)
 	e.String(fInstAddr, in.Addr)
 	e.String(fInstRegion, in.Region)
+	if in.State != StateActive {
+		e.String(fInstState, in.State)
+	}
 }
 
 func decodeInstance(r *codec.Reader) (Instance, error) {
@@ -63,6 +67,8 @@ func decodeInstance(r *codec.Reader) (Instance, error) {
 			in.Addr, err = r.String()
 		case fInstRegion:
 			in.Region, err = r.String()
+		case fInstState:
+			in.State, err = r.String()
 		default:
 			err = r.Skip(wt)
 		}

@@ -1,0 +1,174 @@
+package gcache
+
+import (
+	"context"
+	"fmt"
+
+	"ips/internal/model"
+	"ips/internal/wire"
+)
+
+// Migration export/install: the cache half of elastic resharding
+// (DESIGN.md "Elastic resharding"). Export drains one profile's dirty
+// state through the normal flush path — so the journal's truncation
+// watermark advances and the shipped blob is durably backed — and
+// returns the flushed blob plus the owner's per-profile watermarks.
+// Install lands a shipped frame on the new owner, guarded by the
+// migration watermark so repeated installs are idempotent and a stale
+// frame never clobbers a fresher resident copy.
+
+// ResidentIDs returns the IDs of all currently resident profiles, the
+// candidate set a rebalance coordinator filters by ring ownership.
+func (g *GCache) ResidentIDs() []model.ProfileID {
+	return g.table.IDs()
+}
+
+// Export snapshots one profile for handoff. Dirty state is flushed
+// first (journal watermarks advance through OnFlush), then the blob and
+// watermarks are captured under the profile's read lock. ok is false
+// when the profile is not resident and not in storage — there is
+// nothing to hand off.
+//
+// release additionally drops the profile from the cache after the
+// flush, invalidating its hot read slots — the old owner's half of
+// cutover. A released profile that was not resident returns ok=false;
+// the coordinator's earlier passes already shipped its state.
+func (g *GCache) Export(ctx context.Context, id model.ProfileID, release bool) (wire.MigrateFrame, bool, error) {
+	if release {
+		return g.exportRelease(id)
+	}
+	p, _, err := g.getOrLoad(ctx, id, false)
+	if err != nil || p == nil {
+		return wire.MigrateFrame{}, false, err
+	}
+	p.RLock()
+	dirty := p.Dirty
+	p.RUnlock()
+	if dirty {
+		if err := g.flushOne(id); err != nil {
+			return wire.MigrateFrame{}, false, fmt.Errorf("gcache: migrate flush %d: %w", id, err)
+		}
+	}
+	p.RLock()
+	fr := wire.MigrateFrame{
+		ProfileID: id,
+		WalLSN:    p.WalLSN,
+		MergedLSN: p.MergedLSN,
+		MigLSN:    p.MigLSN,
+		Blob:      model.MarshalProfile(p),
+	}
+	p.RUnlock()
+	return fr, true, nil
+}
+
+// exportRelease is Drop with a final snapshot: flush-if-dirty, capture
+// the frame, then detach the profile and tear down its hot slots.
+func (g *GCache) exportRelease(id model.ProfileID) (wire.MigrateFrame, bool, error) {
+	p := g.table.Get(id)
+	if p == nil {
+		return wire.MigrateFrame{}, false, nil
+	}
+	p.Lock()
+	if p.Dirty {
+		if _, err := g.ps.Save(p); err != nil {
+			p.Unlock()
+			g.FlushErrors.Inc()
+			return wire.MigrateFrame{}, false, fmt.Errorf("gcache: migrate release flush %d: %w", id, err)
+		}
+		p.Dirty = false
+		g.Flushes.Inc()
+		if g.OnFlush != nil {
+			g.OnFlush(id, p.WalLSN, p.MergedLSN)
+		}
+	}
+	fr := wire.MigrateFrame{
+		ProfileID: id,
+		WalLSN:    p.WalLSN,
+		MergedLSN: p.MergedLSN,
+		MigLSN:    p.MigLSN,
+		Blob:      model.MarshalProfile(p),
+	}
+	size := p.MemSize()
+	g.table.Delete(id)
+	p.Unlock()
+	g.invalidateHot(id)
+	g.forget(id, size)
+	return fr, true, nil
+}
+
+// Install lands one handed-off frame on the new owner.
+//
+// In content mode (markOnly false) the resident profile's slices are
+// replaced wholesale when the frame is fresher: shipped blobs are FULL
+// profiles, not deltas, so folding would double-count on the
+// coordinator's second pass, while replace is idempotent. "Fresher"
+// means the frame's watermark exceeds the resident migration watermark;
+// as a journal-less fallback, a non-empty blob also installs over an
+// empty resident placeholder. Replacing is safe during the dual-write
+// window because every write is delivered to both owners — the old
+// owner's copy is always a superset of what replace could discard.
+//
+// In mark mode (markOnly true) only the migration watermark is raised —
+// the release pass runs after cutover, when the new owner may hold
+// writes the old owner's final blob predates, and a content replace
+// would discard them.
+//
+// The frame's WalLSN/MergedLSN name the OLD owner's journal sequence
+// space and are never copied into the resident profile's own
+// watermarks; they fold into MigLSN, the observational freshness
+// watermark surfaced by queries.
+func (g *GCache) Install(ctx context.Context, fr wire.MigrateFrame, markOnly bool) (installed, marked bool, err error) {
+	wm := fr.WalLSN
+	if fr.MigLSN > wm {
+		wm = fr.MigLSN
+	}
+	var inc *model.Profile
+	if !markOnly && len(fr.Blob) > 0 {
+		inc, err = model.UnmarshalProfile(fr.Blob)
+		if err != nil {
+			return false, false, fmt.Errorf("gcache: migrate install %d: %w", fr.ProfileID, err)
+		}
+		if inc.ID != fr.ProfileID {
+			return false, false, fmt.Errorf("gcache: migrate install: blob names profile %d, frame names %d", inc.ID, fr.ProfileID)
+		}
+	}
+	var p *model.Profile
+	for {
+		p, _, err = g.getOrLoad(ctx, fr.ProfileID, true)
+		if err != nil {
+			return false, false, err
+		}
+		p.Lock()
+		// Re-validate under the lock (see AddEntriesCtx): an install
+		// applied to a detached profile would vanish.
+		if g.table.Get(fr.ProfileID) == p {
+			break
+		}
+		p.Unlock()
+	}
+	var delta int64
+	if inc != nil {
+		fresh := wm > p.MigLSN || (wm >= p.MigLSN && p.NumSlices() == 0 && inc.NumSlices() > 0)
+		if fresh {
+			before := p.MemSize()
+			p.ReplaceSlices(inc.Slices())
+			delta = p.MemSize() - before
+			p.Dirty = true
+			installed = true
+		}
+	}
+	if wm > p.MigLSN {
+		p.MigLSN = wm
+		p.Dirty = true
+		p.Generation++
+		marked = true
+	}
+	p.Unlock()
+	if installed || marked {
+		g.touch(fr.ProfileID, delta)
+		g.markDirty(fr.ProfileID)
+	} else {
+		g.touch(fr.ProfileID, 0)
+	}
+	return installed, marked, nil
+}

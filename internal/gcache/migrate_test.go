@@ -1,0 +1,252 @@
+package gcache
+
+import (
+	"context"
+	"testing"
+
+	"ips/internal/model"
+	"ips/internal/wire"
+)
+
+func countFeature(t *testing.T, g *GCache, id model.ProfileID, fid model.FeatureID) int64 {
+	t.Helper()
+	p, _, err := g.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p == nil {
+		return 0
+	}
+	var total int64
+	p.RLock()
+	defer p.RUnlock()
+	for _, s := range p.Slices() {
+		s.EachSlot(func(_ model.SlotID, set *model.InstanceSet) {
+			set.Each(func(_ model.TypeID, fs *model.FeatureStats) {
+				fs.Each(func(st model.FeatureStat) {
+					if st.FID == fid {
+						total += st.Counts[0]
+					}
+				})
+			})
+		})
+	}
+	return total
+}
+
+// TestExportInstallRoundTrip hands one profile from a source cache to a
+// destination cache and checks content plus watermark bookkeeping.
+func TestExportInstallRoundTrip(t *testing.T) {
+	src, _, _ := newCache(t, Options{})
+	dst, _, _ := newCache(t, Options{})
+	ctx := context.Background()
+
+	if err := src.Add(7, 5000, 1, 1, 42, []int64{3, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a journaled source: the profile carries a WalLSN ack.
+	p, _, _ := src.Get(7)
+	p.Lock()
+	p.WalLSN = 11
+	p.Unlock()
+
+	fr, ok, err := src.Export(ctx, 7, false)
+	if err != nil || !ok {
+		t.Fatalf("export: ok=%v err=%v", ok, err)
+	}
+	if fr.WalLSN != 11 || len(fr.Blob) == 0 {
+		t.Fatalf("frame: %+v", fr)
+	}
+	// Export drains through the flush path: the source copy is clean now.
+	p.RLock()
+	dirty := p.Dirty
+	p.RUnlock()
+	if dirty {
+		t.Fatal("export must flush dirty state")
+	}
+
+	installed, marked, err := dst.Install(ctx, fr, false)
+	if err != nil || !installed || !marked {
+		t.Fatalf("install: installed=%v marked=%v err=%v", installed, marked, err)
+	}
+	if got := countFeature(t, dst, 7, 42); got != 3 {
+		t.Fatalf("content after install: got count %d, want 3", got)
+	}
+	q, _, _ := dst.Get(7)
+	q.RLock()
+	mig, wal := q.MigLSN, q.WalLSN
+	q.RUnlock()
+	if mig != 11 {
+		t.Fatalf("MigLSN = %d, want 11 (the source watermark)", mig)
+	}
+	if wal != 0 {
+		t.Fatalf("WalLSN = %d, want 0: foreign LSNs must never enter the local journal space", wal)
+	}
+
+	// Installing the same frame again is a no-op (idempotence).
+	installed, marked, err = dst.Install(ctx, fr, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if installed || marked {
+		t.Fatalf("second install must be a no-op, got installed=%v marked=%v", installed, marked)
+	}
+	if got := countFeature(t, dst, 7, 42); got != 3 {
+		t.Fatalf("content after re-install: got count %d, want 3 (no double count)", got)
+	}
+}
+
+// TestInstallStaleFrameSkipped: a frame older than the resident
+// migration watermark must not clobber the resident copy.
+func TestInstallStaleFrameSkipped(t *testing.T) {
+	dst, _, _ := newCache(t, Options{})
+	ctx := context.Background()
+
+	fresh := frameWithCount(t, 9, 20, 5)
+	stale := frameWithCount(t, 9, 10, 1)
+
+	if _, _, err := dst.Install(ctx, fresh, false); err != nil {
+		t.Fatal(err)
+	}
+	installed, marked, err := dst.Install(ctx, stale, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if installed || marked {
+		t.Fatal("stale frame must not install or mark")
+	}
+	if got := countFeature(t, dst, 9, 42); got != 5 {
+		t.Fatalf("resident content clobbered: count %d, want 5", got)
+	}
+}
+
+// frameWithCount builds a frame for profile id at watermark wal whose
+// blob has one feature 42 with count n.
+func frameWithCount(t *testing.T, id model.ProfileID, wal uint64, n int64) wire.MigrateFrame {
+	t.Helper()
+	g, _, _ := newCache(t, Options{})
+	if err := g.Add(id, 5000, 1, 1, 42, []int64{n, 0}); err != nil {
+		t.Fatal(err)
+	}
+	p, _, _ := g.Get(id)
+	p.Lock()
+	p.WalLSN = wal
+	p.Unlock()
+	fr, ok, err := g.Export(context.Background(), id, false)
+	if err != nil || !ok {
+		t.Fatalf("export: %v", err)
+	}
+	return fr
+}
+
+// TestInstallMarkOnly: mark mode raises MigLSN without touching content
+// — the release-pass semantics that keep post-cutover writes alive.
+func TestInstallMarkOnly(t *testing.T) {
+	dst, _, _ := newCache(t, Options{})
+	ctx := context.Background()
+
+	// The new owner took a post-cutover write the old owner never saw.
+	if err := dst.Add(3, 5000, 1, 1, 42, []int64{7, 0}); err != nil {
+		t.Fatal(err)
+	}
+	fr := frameWithCount(t, 3, 30, 1)
+	installed, marked, err := dst.Install(ctx, fr, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if installed {
+		t.Fatal("mark mode must not install content")
+	}
+	if !marked {
+		t.Fatal("mark mode must raise the watermark")
+	}
+	if got := countFeature(t, dst, 3, 42); got != 7 {
+		t.Fatalf("post-cutover write discarded: count %d, want 7", got)
+	}
+	p, _, _ := dst.Get(3)
+	p.RLock()
+	mig := p.MigLSN
+	p.RUnlock()
+	if mig != 30 {
+		t.Fatalf("MigLSN = %d, want 30", mig)
+	}
+}
+
+// TestInstallJournalLess: with journaling off everywhere all watermarks
+// are zero; a non-empty blob must still land on an empty resident.
+func TestInstallJournalLess(t *testing.T) {
+	src, _, _ := newCache(t, Options{})
+	dst, _, _ := newCache(t, Options{})
+	ctx := context.Background()
+	if err := src.Add(4, 5000, 1, 1, 42, []int64{2, 0}); err != nil {
+		t.Fatal(err)
+	}
+	fr, ok, err := src.Export(ctx, 4, false)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if fr.WalLSN != 0 {
+		t.Fatalf("journal-less export has WalLSN %d", fr.WalLSN)
+	}
+	installed, _, err := dst.Install(ctx, fr, false)
+	if err != nil || !installed {
+		t.Fatalf("journal-less install: installed=%v err=%v", installed, err)
+	}
+	if got := countFeature(t, dst, 4, 42); got != 2 {
+		t.Fatalf("count %d, want 2", got)
+	}
+}
+
+// TestExportRelease: the release pass flushes, snapshots, and drops the
+// profile — the next read is a storage miss and hot slots are gone.
+func TestExportRelease(t *testing.T) {
+	g, tbl, _ := newCache(t, Options{HotSlots: 2, HotPromoteAfter: 1, HotMaxEntries: 4})
+	ctx := context.Background()
+	if err := g.Add(6, 5000, 1, 1, 42, []int64{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	// Promote into hot slots so release has replicas to invalidate.
+	for i := 0; i < 4; i++ {
+		if _, _, _, err := g.GetForRead(ctx, 6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.hot.lookup(6) == nil {
+		t.Fatal("test setup: profile should be promoted")
+	}
+	flushes := g.Flushes.Value()
+
+	fr, ok, err := g.Export(ctx, 6, true)
+	if err != nil || !ok {
+		t.Fatalf("release: ok=%v err=%v", ok, err)
+	}
+	if len(fr.Blob) == 0 {
+		t.Fatal("release frame must carry the final blob")
+	}
+	if g.Flushes.Value() != flushes+1 {
+		t.Fatal("release must flush the dirty profile")
+	}
+	if tbl.Get(6) != nil {
+		t.Fatal("release must detach the profile")
+	}
+	if g.hot.lookup(6) != nil {
+		t.Fatal("release must invalidate hot slots")
+	}
+	// A second release finds nothing.
+	if _, ok, err := g.Export(ctx, 6, true); ok || err != nil {
+		t.Fatalf("second release: ok=%v err=%v", ok, err)
+	}
+	// But the state survives in storage: a read loads it back.
+	if got := countFeature(t, g, 6, 42); got != 1 {
+		t.Fatalf("post-release storage read: count %d, want 1", got)
+	}
+}
+
+// TestExportAbsentProfile: exporting an unknown profile is ok=false,
+// not an error.
+func TestExportAbsentProfile(t *testing.T) {
+	g, _, _ := newCache(t, Options{})
+	if _, ok, err := g.Export(context.Background(), 12345, false); ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+}

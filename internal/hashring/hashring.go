@@ -157,6 +157,21 @@ func (r *Ring) GetN(key uint64, n int) []string {
 	return out
 }
 
+// Clone returns an independent ring with the same virtual-node count and
+// membership. The rebalance planner derives old-vs-new ownership views
+// ("the ring after this join/drain") from the live ring without
+// perturbing it.
+func (r *Ring) Clone() *Ring {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	c := &Ring{vnodes: r.vnodes, members: make(map[string]struct{}, len(r.members))}
+	for n := range r.members {
+		c.members[n] = struct{}{}
+	}
+	c.points = append([]point(nil), r.points...)
+	return c
+}
+
 // Members returns the current node set, sorted.
 func (r *Ring) Members() []string {
 	r.mu.RLock()

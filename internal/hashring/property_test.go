@@ -1,0 +1,163 @@
+package hashring
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Satellite property suite for the ring's resharding contract
+// (testing/quick): adding one member to an N-member ring remaps at most
+// c/N of sampled keys (and every remapped key lands on the new member),
+// removing it restores the exact prior mapping, and lookups are
+// deterministic across the sort rebuilds SetMembers performs.
+
+const sampleKeys = 2048
+
+// mappingOf snapshots Get over a deterministic key sample.
+func mappingOf(r *Ring, rng *rand.Rand) map[uint64]string {
+	m := make(map[uint64]string, sampleKeys)
+	for i := 0; i < sampleKeys; i++ {
+		k := rng.Uint64()
+		m[k] = r.Get(k)
+	}
+	return m
+}
+
+func membersFor(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%d", i)
+	}
+	return out
+}
+
+// TestQuickAddRemapBound: for random member counts and key samples,
+// Add(one) remaps a bounded fraction, every remapped key maps to the
+// added node, and Remove(one) is an exact inverse.
+func TestQuickAddRemapBound(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		n := 2 + int(nRaw%14) // 2..15 members
+		r := New(0)
+		r.SetMembers(membersFor(n))
+
+		before := mappingOf(r, rand.New(rand.NewSource(seed)))
+		r.Add("joiner")
+
+		remapped := 0
+		for k, old := range before {
+			now := r.Get(k)
+			if now != old {
+				remapped++
+				if now != "joiner" {
+					t.Errorf("n=%d seed=%d: key %d remapped %q -> %q, not to the joiner", n, seed, k, old, now)
+					return false
+				}
+			}
+		}
+		// Expected fraction is 1/(n+1); allow 3x for vnode placement
+		// variance at 128 vnodes.
+		bound := 3 * len(before) / (n + 1)
+		if remapped > bound {
+			t.Errorf("n=%d seed=%d: %d of %d keys remapped, bound %d", n, seed, remapped, len(before), bound)
+			return false
+		}
+		if remapped == 0 {
+			// A joiner owning zero of 2048 sampled keys would mean its
+			// vnodes landed nowhere — statistically impossible.
+			t.Errorf("n=%d seed=%d: joiner took no keys", n, seed)
+			return false
+		}
+
+		r.Remove("joiner")
+		after := mappingOf(r, rand.New(rand.NewSource(seed)))
+		for k, old := range before {
+			if after[k] != old {
+				t.Errorf("n=%d seed=%d: remove did not restore key %d: %q != %q", n, seed, k, after[k], old)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLookupDeterminism: the mapping is a pure function of the
+// member SET — identical across insertion orders, SetMembers-vs-Add
+// construction, duplicate members, and repeated rebuilds.
+func TestQuickLookupDeterminism(t *testing.T) {
+	prop := func(seed int64, nRaw uint8) bool {
+		n := 1 + int(nRaw%12)
+		members := membersFor(n)
+
+		a := New(0)
+		a.SetMembers(members)
+
+		// Same set, shuffled insertion order, built point by point.
+		b := New(0)
+		shuffled := append([]string(nil), members...)
+		rand.New(rand.NewSource(seed)).Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		for _, m := range shuffled {
+			b.Add(m)
+		}
+
+		// Same set with duplicates through SetMembers (forced rebuild).
+		c := New(0)
+		c.SetMembers(append(append([]string(nil), shuffled...), members...))
+
+		rng := rand.New(rand.NewSource(seed + 1))
+		for i := 0; i < 512; i++ {
+			k := rng.Uint64()
+			ga, gb, gc := a.Get(k), b.Get(k), c.Get(k)
+			if ga != gb || ga != gc {
+				t.Errorf("n=%d seed=%d key=%d: %q / %q / %q diverge", n, seed, k, ga, gb, gc)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloneIndependence: a clone answers identically at clone time and
+// diverges only through its own mutations — the planner's old-vs-new
+// comparison must never perturb the live ring.
+func TestCloneIndependence(t *testing.T) {
+	r := New(0)
+	r.SetMembers(membersFor(5))
+	c := r.Clone()
+
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint64, 256)
+	for i := range keys {
+		keys[i] = rng.Uint64()
+		if r.Get(keys[i]) != c.Get(keys[i]) {
+			t.Fatal("clone diverges at clone time")
+		}
+	}
+	c.Add("joiner")
+	if c.Len() != 6 || r.Len() != 5 {
+		t.Fatalf("clone mutation leaked: clone %d, live %d members", c.Len(), r.Len())
+	}
+	moved := 0
+	for _, k := range keys {
+		if r.Get(k) != c.Get(k) {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("clone+Add mapped no keys to the joiner")
+	}
+	for _, k := range keys {
+		if got := r.Get(k); got == "joiner" {
+			t.Fatalf("live ring maps key %d to the clone's joiner", k)
+		}
+	}
+}

@@ -17,6 +17,7 @@ const (
 	fProfileGen    = 3
 	fProfileWal    = 4
 	fProfileMerged = 5
+	fProfileMig    = 6
 
 	fSliceStart  = 1
 	fSliceEnd    = 2
@@ -44,6 +45,9 @@ func MarshalProfile(p *Profile) []byte {
 	}
 	if p.MergedLSN != 0 {
 		e.Uint64(fProfileMerged, p.MergedLSN)
+	}
+	if p.MigLSN != 0 {
+		e.Uint64(fProfileMig, p.MigLSN)
 	}
 	for _, s := range p.slices {
 		e.Message(fProfileSlice, func(se *codec.Buffer) {
@@ -131,6 +135,12 @@ func UnmarshalProfile(data []byte) (*Profile, error) {
 				return nil, err
 			}
 			p.MergedLSN = l
+		case fProfileMig:
+			l, err := r.Uint64()
+			if err != nil {
+				return nil, err
+			}
+			p.MigLSN = l
 		case fProfileSlice:
 			sub, err := r.Message()
 			if err != nil {

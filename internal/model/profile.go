@@ -42,6 +42,15 @@ type Profile struct {
 	// them against this watermark. Maintained by callers holding mu; stays
 	// 0 when journaling or write isolation is disabled.
 	MergedLSN uint64
+	// MigLSN is the migration freshness watermark: the highest journal LSN
+	// the profile's previous owner had acknowledged when this copy was
+	// handed off during elastic resharding. It is observational — replay
+	// and journal truncation never consult it, because it names a FOREIGN
+	// journal's sequence space — but it travels inside the profile blob and
+	// is surfaced in query responses, so the migration-storm suite can
+	// assert post-cutover reads observe a watermark >= every pre-cutover
+	// ack. Monotone under install; maintained by callers holding mu.
+	MigLSN uint64
 }
 
 // NewProfile creates an empty profile.
@@ -246,6 +255,7 @@ func (p *Profile) Clone() *Profile {
 	c.Generation = p.Generation
 	c.WalLSN = p.WalLSN
 	c.MergedLSN = p.MergedLSN
+	c.MigLSN = p.MigLSN
 	c.RecomputeMemSize()
 	return c
 }

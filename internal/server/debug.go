@@ -87,6 +87,9 @@ func (d *DebugServer) writeStats(w io.Writer) {
 	fmt.Fprintf(w, "profiles=%d mem=%dB hit=%.1f%%\n", st.Profiles, st.MemUsage, st.HitRatioPct)
 	fmt.Fprintf(w, "queries=%d writes=%d rejected=%d flush_errors=%d\n",
 		st.Queries, st.Writes, st.Rejected, st.FlushErrors)
+	fmt.Fprintf(w, "migrate: out=%d in=%d marked=%d released=%d bytes_out=%d bytes_in=%d\n",
+		d.in.MigratedOut.Value(), d.in.MigratedIn.Value(), d.in.MigrateMarked.Value(),
+		d.in.MigrateReleased.Value(), d.in.MigrateBytesOut.Value(), d.in.MigrateBytesIn.Value())
 	tables := d.in.Tables()
 	sort.Strings(tables)
 	for _, tbl := range tables {

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"context"
+
+	"ips/internal/model"
+	"ips/internal/wire"
+)
+
+// Elastic-resharding handlers (DESIGN.md "Elastic resharding"): the
+// server half of the `ips.migrate` protocol. MigrateSnapshot runs on
+// the current owner — it drains the requested profiles through the
+// flush path and ships their blobs plus journal watermarks.
+// MigrateInstall runs on the new owner — it lands shipped frames,
+// guarded by the per-profile migration watermark.
+
+func maxLSN(a, b uint64) uint64 {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// ResidentProfiles returns the resident profile IDs of one table — the
+// candidate set the rebalance planner filters by ring ownership.
+func (in *Instance) ResidentProfiles(table string) ([]model.ProfileID, error) {
+	ts, err := in.table(table)
+	if err != nil {
+		return nil, err
+	}
+	return ts.cache.ResidentIDs(), nil
+}
+
+// MigrateSnapshot exports the requested profiles (all resident profiles
+// when req.IDs is empty). Pending write-isolation state is merged first
+// so the shipped blobs are complete; each profile's dirty state drains
+// through the flush path, advancing the journal truncation watermark,
+// before its blob is captured. With req.Release set, each profile is
+// additionally dropped from the cache (hot slots invalidated) — the old
+// owner's cutover step.
+//
+// Absent profiles are skipped, not errors: the coordinator's passes may
+// race with eviction, and a profile that is neither resident nor in
+// storage has nothing to hand off.
+func (in *Instance) MigrateSnapshot(ctx context.Context, req *wire.MigrateRequest) (*wire.MigrateFrames, error) {
+	if in.closed.Load() {
+		return nil, ErrClosed
+	}
+	ts, err := in.table(req.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Fold buffered write-isolation adds into the main profiles so the
+	// exported blobs contain them (and their MergedLSN watermarks).
+	ts.writeMu.Lock()
+	in.mergeWriteTableLocked(ts)
+	ts.writeMu.Unlock()
+
+	ids := req.IDs
+	if len(ids) == 0 {
+		ids = ts.cache.ResidentIDs()
+	}
+	out := &wire.MigrateFrames{}
+	for _, id := range ids {
+		fr, ok, err := ts.cache.Export(ctx, id, req.Release)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			continue
+		}
+		out.Frames = append(out.Frames, fr)
+		in.MigratedOut.Inc()
+		in.MigrateBytesOut.Add(int64(len(fr.Blob)))
+		if req.Release {
+			in.MigrateReleased.Inc()
+		}
+	}
+	if in.journal != nil {
+		out.Watermark = in.journal.Watermark()
+	}
+	return out, nil
+}
+
+// MigrateInstall lands shipped frames. In content mode each fresher
+// frame replaces the resident profile's slices wholesale (idempotent —
+// see gcache.Install); in mark mode (req.Mark, the release pass) only
+// the migration watermark is raised, so writes the new owner took after
+// cutover are never discarded.
+func (in *Instance) MigrateInstall(ctx context.Context, req *wire.MigrateInstallRequest) (*wire.MigrateInstalled, error) {
+	if in.closed.Load() {
+		return nil, ErrClosed
+	}
+	ts, err := in.table(req.Table)
+	if err != nil {
+		return nil, err
+	}
+	out := &wire.MigrateInstalled{}
+	for i := range req.Frames {
+		fr := req.Frames[i]
+		installed, marked, err := ts.cache.Install(ctx, fr, req.Mark)
+		if err != nil {
+			return nil, err
+		}
+		if installed {
+			out.Installed++
+			in.MigratedIn.Inc()
+			in.MigrateBytesIn.Add(int64(len(fr.Blob)))
+		}
+		if marked {
+			out.Marked++
+			in.MigrateMarked.Inc()
+		}
+	}
+	return out, nil
+}

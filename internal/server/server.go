@@ -98,6 +98,17 @@ type Instance struct {
 	MergeRuns   metrics.Counter
 	MergedSlabs metrics.Counter // profiles merged from write tables
 
+	// Migration counters (elastic resharding; OPERATIONS.md "Elastic
+	// resharding runbook"). Out-counters tick on the old owner as it
+	// snapshots and releases profiles; in-counters tick on the new owner
+	// as frames land.
+	MigratedOut     metrics.Counter // profiles snapshotted for handoff
+	MigratedIn      metrics.Counter // frames whose content was installed
+	MigrateBytesOut metrics.Counter
+	MigrateBytesIn  metrics.Counter
+	MigrateMarked   metrics.Counter // watermark-only installs (release pass)
+	MigrateReleased metrics.Counter // profiles dropped at cutover
+
 	wg   sync.WaitGroup
 	stop chan struct{}
 }
@@ -619,6 +630,19 @@ func (in *Instance) QueryCtx(ctx context.Context, req *wire.QueryRequest) (*wire
 	}
 	resp := &wire.QueryResponse{CacheHit: hit}
 	if p != nil {
+		// Surface the freshness watermark: the local journal ack plus the
+		// migration watermark carried over from a previous owner. Dual
+		// readers prefer the fresher side during a resharding window, and
+		// the migration-storm suite asserts post-cutover reads observe a
+		// watermark >= every pre-cutover ack. Hot replicas are immutable
+		// snapshots, so their fields are safe to read without the lock.
+		if hot {
+			resp.WalLSN = maxLSN(p.WalLSN, p.MigLSN)
+		} else {
+			p.RLock()
+			resp.WalLSN = maxLSN(p.WalLSN, p.MigLSN)
+			p.RUnlock()
+		}
 		q := req.ToQuery()
 		if req.UDAFName != "" {
 			fn, err := in.udafs.Lookup(req.UDAFName)

@@ -125,6 +125,30 @@ func (s *Service) register() {
 		}
 		return nil, s.in.UDAFs().Register(req.Name, query.WeightedSum(req.Weights...))
 	})
+	// Elastic resharding: snapshot on the old owner, install on the new.
+	s.srv.HandleCtx(wire.MethodMigrateSnapshot, func(ctx context.Context, p []byte) ([]byte, error) {
+		req, err := wire.DecodeMigrateRequest(p)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := s.in.MigrateSnapshot(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeMigrateFrames(resp), nil
+	})
+	s.srv.HandleCtx(wire.MethodMigrateInstall, func(ctx context.Context, p []byte) ([]byte, error) {
+		req, err := wire.DecodeMigrateInstall(p)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := s.in.MigrateInstall(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		return wire.EncodeMigrateInstalled(resp), nil
+	})
+
 	s.srv.Handle(wire.MethodListTables, func(p []byte) ([]byte, error) {
 		return wire.EncodeStringList(&wire.StringList{Names: s.in.Tables()}), nil
 	})

@@ -56,6 +56,9 @@ const (
 	StageClientRetry
 	// StageClientHedge is one hedged attempt racing a slow primary.
 	StageClientHedge
+	// StageClientDual is the dual-read attempt to the outgoing owner of a
+	// key inside an elastic-resharding migration window.
+	StageClientDual
 	// StageRPCDial is a TCP connect performed (or waited on) inline with
 	// a request.
 	StageRPCDial
@@ -108,6 +111,7 @@ var stageNames = [NumStages]string{
 	StageClientPrimary:    "client.primary",
 	StageClientRetry:      "client.retry",
 	StageClientHedge:      "client.hedge",
+	StageClientDual:       "client.dual",
 	StageRPCDial:          "rpc.dial",
 	StageRPCRoundtrip:     "rpc.roundtrip",
 	StageServerDispatch:   "server.dispatch",

@@ -118,6 +118,14 @@ type QueryResponse struct {
 	// ServerNanos is the server-side processing time, letting clients
 	// split network from compute cost as Table II does.
 	ServerNanos int64
+	// WalLSN is the profile's freshness watermark at read time: the max of
+	// its own journal watermark and the migration watermark carried over
+	// from a previous owner (elastic resharding). During a dual-read
+	// window the client prefers the fresher of two answers by this field,
+	// and the migration-storm suite asserts post-cutover reads report a
+	// value >= every pre-cutover ack. 0 when journaling is disabled and
+	// the profile never migrated.
+	WalLSN uint64
 }
 
 // StatsResponse summarises one instance's health for dashboards.
@@ -172,6 +180,7 @@ const (
 	fRScanned = 2
 	fRHit     = 3
 	fRNanos   = 4
+	fRWal     = 5
 
 	fFeatFID      = 1
 	fFeatCounts   = 2
@@ -399,6 +408,9 @@ func EncodeQueryResponse(r *QueryResponse) []byte {
 	e.Int64(fRScanned, int64(r.SlicesScanned))
 	e.Bool(fRHit, r.CacheHit)
 	e.Int64(fRNanos, r.ServerNanos)
+	if r.WalLSN != 0 {
+		e.Uint64(fRWal, r.WalLSN)
+	}
 	return append([]byte(nil), e.Bytes()...)
 }
 
@@ -455,6 +467,11 @@ func DecodeQueryResponse(data []byte) (*QueryResponse, error) {
 			var err error
 			if r.ServerNanos, err = rd.Int64(); err != nil {
 				return nil, decodeErr("nanos", err)
+			}
+		case fRWal:
+			var err error
+			if r.WalLSN, err = rd.Uint64(); err != nil {
+				return nil, decodeErr("wal", err)
 			}
 		default:
 			if err := rd.Skip(wt); err != nil {

@@ -15,12 +15,14 @@
 // Elastic resharding (DESIGN.md "Elastic resharding"): each region keeps
 // two rings — the authority ring (settled + joining members) and the old
 // ring (settled + draining members). A key whose owners differ is inside
-// a migration window: writes go to BOTH owners, and reads race both,
-// preferring the outgoing owner's response — inside the window its copy
-// is a superset of the incoming owner's (dual-writes land on both while
-// profile state only flows old→new), so no cross-instance watermark
-// comparison is needed. Windows open and close purely through discovery
-// State transitions propagated by heartbeat.
+// a migration window: writes go to BOTH owners — and are acknowledged
+// only when both legs succeed, so every acked in-window write provably
+// reached both — and reads race both, preferring the outgoing owner's
+// response: inside the window its copy is a superset of the incoming
+// owner's (acked dual-writes land on both while profile state only flows
+// old→new), so no cross-instance watermark comparison is needed. Windows
+// open and close purely through discovery State transitions propagated by
+// heartbeat.
 package client
 
 import (
@@ -44,6 +46,12 @@ import (
 // ErrNoInstances reports an empty (or fully failed) target set.
 var ErrNoInstances = errors.New("client: no live IPS instances")
 
+// DefaultRefreshInterval is the discovery poll cadence used when
+// Options.RefreshInterval is zero. Exported because the resharding
+// coordinator's settle barrier must outwait the slowest client's refresh
+// (cluster.Options.SettleInterval defaults to twice this).
+const DefaultRefreshInterval = 500 * time.Millisecond
+
 // Options configures a Client.
 type Options struct {
 	// Caller identifies the upstream application for quota accounting.
@@ -55,7 +63,8 @@ type Options struct {
 	// Registry is the discovery catalog — the in-process Registry or a
 	// RemoteRegistry connection to a registry daemon; required.
 	Registry discovery.Catalog
-	// RefreshInterval is the discovery poll cadence; default 500ms.
+	// RefreshInterval is the discovery poll cadence; default
+	// DefaultRefreshInterval (500ms).
 	RefreshInterval time.Duration
 	// CallTimeout bounds each RPC; default 1s.
 	CallTimeout time.Duration
@@ -154,7 +163,7 @@ type Client struct {
 	Hedges        metrics.Counter
 	HedgeWins     metrics.Counter // hedge finished first with a success
 	Duals         metrics.Counter // dual reads to the outgoing owner of a migrating key
-	DualWins      metrics.Counter // dual read answered when the authority attempt failed
+	DualWins      metrics.Counter // dual read carried the response after the authority attempt had failed or was breaker-blocked
 	WriteRPCs     metrics.Counter // add RPCs issued (never hedged)
 
 	// Breaker holds the per-instance circuit breakers consulted by
@@ -195,7 +204,7 @@ func New(opts Options) (*Client, error) {
 		opts.Service = "ips"
 	}
 	if opts.RefreshInterval <= 0 {
-		opts.RefreshInterval = 500 * time.Millisecond
+		opts.RefreshInterval = DefaultRefreshInterval
 	}
 	if opts.CallTimeout <= 0 {
 		opts.CallTimeout = time.Second
@@ -430,7 +439,9 @@ func (c *Client) traceStart(ctx context.Context) (context.Context, *trace.Trace)
 
 // Add writes entries for one profile. Per §III-G the write is applied in
 // every region; the call succeeds if at least one region accepts it (the
-// paper tolerates transient regional write loss).
+// paper tolerates transient regional write loss). A region whose owner
+// for id is mid-migration accepts only when BOTH owners take the write —
+// see AddCtx for why a single-leg landing must not be acknowledged.
 func (c *Client) Add(table string, id model.ProfileID, entries ...wire.AddEntry) error {
 	return c.AddCtx(context.Background(), table, id, entries...)
 }
@@ -468,12 +479,27 @@ func (c *Client) AddCtx(ctx context.Context, table string, id model.ProfileID, e
 		if auth != "" {
 			targets = append(targets, auth)
 		}
+		// A region accepts the write only when EVERY targeted owner takes
+		// it. Inside a migration window that means both legs: the handoff's
+		// whole safety argument — the outgoing owner's copy is a superset,
+		// content installs replace the destination's slices wholesale, the
+		// release pass is mark-only — holds only for writes that reached
+		// both owners. A write that landed on just one leg must surface as
+		// a failure, not an acknowledgment: acked old-only writes would be
+		// dropped by the mark-only release, and acked authority-only writes
+		// would be clobbered by a later content pass shipping a fresher
+		// source blob that never contained them.
+		regionOK := len(targets) > 0
 		for _, addr := range targets {
 			// Writes are not idempotent, so they are never hedged or retried
 			// within a region — but a tripped breaker still skips a broken
-			// instance instead of spending a timeout on it.
+			// instance instead of spending a timeout on it. The remaining
+			// legs are still issued after a failure: landing the write on
+			// every reachable owner keeps the window's copies as close as
+			// an unacknowledged write can.
 			if c.Breaker != nil && !c.Breaker.Allow(addr) {
 				lastErr = ErrBreakerOpen
+				regionOK = false
 				continue
 			}
 			c.WriteRPCs.Inc()
@@ -483,8 +509,11 @@ func (c *Client) AddCtx(ctx context.Context, table string, id model.ProfileID, e
 			}
 			if err != nil {
 				lastErr = err
+				regionOK = false
 				continue
 			}
+		}
+		if regionOK {
 			ok++
 		}
 	}
@@ -647,9 +676,17 @@ type attemptResult struct {
 // readCall routes one idempotent read. A key inside a migration window
 // (its authority and old owners differ in the first region that has an
 // owner at all) takes the dual-read path; everything else — the entire
-// steady state — takes the resilient ladder unchanged. A window whose
-// instances are breaker-blocked also falls through to the ladder, which
-// knows how to wait breakers out.
+// steady state — takes the resilient ladder unchanged.
+//
+// Breakers gate the window's legs old-first, because Allow is committal
+// (it may admit a half-open probe that must then actually be issued):
+// with the old owner refused the ladder is the only path left and no
+// admission has been consumed; with the old owner admitted but the
+// authority refused, the read is served from the old owner alone — its
+// copy is the preferred response anyway, and the ladder would route on
+// the authority ring, whose owner (and ring-neighbor failover
+// candidates) may not hold the profile's migrated content yet, turning
+// a breaker skip into an empty-but-successful answer.
 func (c *Client) readCall(ctx context.Context, method string, payload []byte, id model.ProfileID) ([]byte, error) {
 	for _, region := range c.regionsSnapshot() {
 		auth, old := c.dualTargets(region, id)
@@ -659,44 +696,83 @@ func (c *Client) readCall(ctx context.Context, method string, payload []byte, id
 		if old == "" {
 			break
 		}
-		if c.Breaker != nil && (!c.Breaker.Allow(auth) || !c.Breaker.Allow(old)) {
+		if c.Breaker != nil && !c.Breaker.Allow(old) {
+			// Old owner breaker-blocked: the ladder knows how to wait
+			// breakers out.
 			break
 		}
+		oldTgt := batchTarget{region: region, addr: old}
+		if c.Breaker != nil && !c.Breaker.Allow(auth) {
+			return c.oldOnlyRead(ctx, method, payload, oldTgt, id)
+		}
 		return c.dualRead(ctx, method, payload,
-			batchTarget{region: region, addr: auth},
-			batchTarget{region: region, addr: old},
-			id)
+			batchTarget{region: region, addr: auth}, oldTgt, id)
+	}
+	return c.resilientCall(ctx, method, payload, id)
+}
+
+// oldOnlyRead serves an in-window read from the outgoing owner alone —
+// the path taken when the incoming (authority) owner is breaker-blocked.
+// The old owner's answer is the one dualRead would prefer regardless, so
+// skipping the blocked authority leg costs nothing; only if the old
+// owner also fails does the request fall back to the resilient ladder.
+func (c *Client) oldOnlyRead(ctx context.Context, method string, payload []byte, old batchTarget, id model.ProfileID) ([]byte, error) {
+	c.budget.onPrimary()
+	ch := make(chan attemptResult, 1)
+	c.launch(ctx, old, method, payload, attemptDual, ch)
+	if r := <-ch; r.err == nil {
+		c.DualWins.Inc()
+		return r.raw, nil
 	}
 	return c.resilientCall(ctx, method, payload, id)
 }
 
 // dualRead races a migrating key's two owners and prefers the outgoing
 // owner's response: inside the window its copy is a superset of the
-// incoming owner's (dual-writes land on both while profile state only
-// flows old→new), so the preference needs no watermark comparison —
-// journal LSNs from different instances are not comparable anyway. The
-// authority attempt is not wasted: it warms the incoming owner's cache
-// and carries the response when the outgoing owner fails. Should both
-// fail, the request falls back to the full resilient ladder rather than
-// surfacing a window-shaped error to the caller.
+// incoming owner's (acknowledged dual-writes land on both while profile
+// state only flows old→new), so the preference needs no watermark
+// comparison — journal LSNs from different instances are not comparable
+// anyway. The old leg's success returns immediately, without waiting for
+// the authority: a stalled or still-warming authority (a node mid-join)
+// must not add its latency to every in-window read. The authority
+// attempt is still not wasted — it warms the incoming owner's cache, and
+// its result is waited for (and used) only once the old leg has failed.
+// Should both fail, the request falls back to the full resilient ladder
+// rather than surfacing a window-shaped error to the caller.
 func (c *Client) dualRead(ctx context.Context, method string, payload []byte, auth, old batchTarget, id model.ProfileID) ([]byte, error) {
 	c.budget.onPrimary()
 	authCh := make(chan attemptResult, 1)
 	oldCh := make(chan attemptResult, 1)
 	c.launch(ctx, auth, method, payload, attemptPrimary, authCh)
 	c.launch(ctx, old, method, payload, attemptDual, oldCh)
-	authRes := <-authCh
-	oldRes := <-oldCh
-	if oldRes.err == nil {
-		if authRes.err != nil {
-			c.DualWins.Inc()
+	var authRes *attemptResult
+	for {
+		select {
+		case r := <-oldCh:
+			if r.err == nil {
+				// DualWins counts only authority failures observed before
+				// the old leg answered; an authority still in flight here
+				// is abandoned unjudged (its channel is buffered).
+				if authRes != nil && authRes.err != nil {
+					c.DualWins.Inc()
+				}
+				return r.raw, nil
+			}
+			if authRes == nil {
+				r := <-authCh
+				authRes = &r
+			}
+			if authRes.err == nil {
+				return authRes.raw, nil
+			}
+			return c.resilientCall(ctx, method, payload, id)
+		case r := <-authCh:
+			// Remember the authority outcome but keep waiting on the old
+			// leg: even a successful authority answer may be missing
+			// content its cache has not received yet.
+			authRes = &r
 		}
-		return oldRes.raw, nil
 	}
-	if authRes.err == nil {
-		return authRes.raw, nil
-	}
-	return c.resilientCall(ctx, method, payload, id)
 }
 
 // resilientCall runs one idempotent read against id's candidate ladder:

@@ -24,6 +24,14 @@ import (
 	"ips/internal/wal"
 )
 
+// defaultSettleInterval is 2x the client library's default discovery
+// refresh (client.DefaultRefreshInterval, 500ms — pinned against it by
+// TestDefaultSettleCoversDefaultClientRefresh; importing the constant
+// here would cycle through the client package's tests): a
+// default-configured client is guaranteed at least one full refresh
+// inside every settle, with margin for the heartbeat.
+const defaultSettleInterval = time.Second
+
 // Options configures a Cluster.
 type Options struct {
 	// Regions lists the region names; the first is the master region
@@ -55,8 +63,15 @@ type Options struct {
 	// migration installs idempotent and release marks meaningful.
 	JournalDir string
 	// SettleInterval is how long resharding steps wait for discovery
-	// state changes to reach every client (it must cover the slowest
-	// client's RefreshInterval); default 100ms.
+	// state changes to reach every client. It MUST comfortably exceed
+	// the slowest client's RefreshInterval plus the heartbeat interval:
+	// the settle is the only barrier guaranteeing every client has opened
+	// the dual window before content ships and closed it before the
+	// mark-only release pass, and a client that misses it can have an
+	// acknowledged write dropped at release. The default is
+	// 2*client.DefaultRefreshInterval (1s), so a cluster and client both
+	// running defaults are safe; deployments that tune RefreshInterval
+	// up must raise this to match.
 	SettleInterval time.Duration
 }
 
@@ -129,7 +144,7 @@ func New(opts Options) (*Cluster, error) {
 		opts.RegistryTTL = time.Second
 	}
 	if opts.SettleInterval <= 0 {
-		opts.SettleInterval = 100 * time.Millisecond
+		opts.SettleInterval = defaultSettleInterval
 	}
 	if opts.Clock == nil {
 		opts.Clock = func() model.Millis { return time.Now().UnixMilli() }

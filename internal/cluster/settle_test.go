@@ -1,0 +1,23 @@
+package cluster
+
+import (
+	"testing"
+
+	"ips/internal/client"
+)
+
+// TestDefaultSettleCoversDefaultClientRefresh pins the safety
+// relationship between the coordinator's settle barrier and the client
+// library's default discovery refresh. The settle is the ONLY barrier
+// ensuring every client has opened the dual window before content passes
+// run and closed it before the mark-only release pass; a
+// default-configured client that misses a membership flip can write
+// single-leg to the old owner after the final content pass and have that
+// acknowledged write dropped at release. The two defaults therefore must
+// line up: one full client refresh, with margin, inside every settle.
+func TestDefaultSettleCoversDefaultClientRefresh(t *testing.T) {
+	if defaultSettleInterval < 2*client.DefaultRefreshInterval {
+		t.Fatalf("default SettleInterval %v < 2x default client RefreshInterval %v: a default-configured client can miss the migration window",
+			defaultSettleInterval, client.DefaultRefreshInterval)
+	}
+}

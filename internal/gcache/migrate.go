@@ -105,8 +105,11 @@ func (g *GCache) exportRelease(id model.ProfileID) (wire.MigrateFrame, bool, err
 // means the frame's watermark exceeds the resident migration watermark;
 // as a journal-less fallback, a non-empty blob also installs over an
 // empty resident placeholder. Replacing is safe during the dual-write
-// window because every write is delivered to both owners — the old
-// owner's copy is always a superset of what replace could discard.
+// window because every ACKNOWLEDGED write reached both owners (the
+// client refuses to ack an in-window write whose legs did not all land)
+// — the old owner's copy is always a superset of what replace could
+// discard, up to unacknowledged single-leg strays that carry no
+// durability promise.
 //
 // In mark mode (markOnly true) only the migration watermark is raised —
 // the release pass runs after cutover, when the new owner may hold

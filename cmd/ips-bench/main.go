@@ -23,7 +23,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig16, fig17, tab2, fig18, fig19, iso80, compaction, lambda, batch, tail, recovery, trace, hotkey, migrate, fig10, fig11, all)")
+	exp := flag.String("exp", "", "experiment id (fig16, fig17, tab2, fig18, fig19, iso80, compaction, lambda, batch, tail, recovery, trace, hotkey, migrate, tiered, fig10, fig11, all)")
 	full := flag.Bool("full", false, "run the larger, slower parameterization")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
@@ -139,6 +139,17 @@ func main() {
 				o = bench.MigrateOptions{Instances: 4, Profiles: 1024, SteadyOps: 20000, Workers: 8}
 			}
 			_, err := bench.RunMigrate(o, os.Stdout)
+			return err
+		}},
+		{"tiered", "tiered cache: hit ratio vs memory per tier (hot/warm/KV)", func(full bool) error {
+			o := bench.TieredOptions{}
+			if !full {
+				o = bench.TieredOptions{
+					MemLimits: []int64{128 << 10, 256 << 10, 512 << 10, 1 << 20},
+					Profiles:  2000, Ticks: 6, RequestsPerTick: 800,
+				}
+			}
+			_, err := bench.RunTiered(o, os.Stdout)
 			return err
 		}},
 		{"fig10", "compaction mechanism demo (6 slices -> 3)", func(bool) error {

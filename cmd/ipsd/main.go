@@ -46,6 +46,8 @@ func main() {
 	debugAddr := flag.String("debug", "", "listen address for the plain-text debug endpoint (empty = off; query with ips-cli debug)")
 	hotSlots := flag.Int("hot-slots", 0, "replicated read slots per hot profile; Zipf-head reads are served lock-free from immutable replicas (0 = off)")
 	hotPromoteAfter := flag.Int("hot-promote-after", 0, "decayed read count that promotes a profile into hot slots (0 = gcache default)")
+	memLimit := flag.Int64("mem-limit", 0, "decoded-tier cache budget in bytes; eviction demotes over-budget profiles hot -> warm -> KV (0 = unbounded)")
+	warmLimit := flag.Int64("warm-limit", 0, "warm-tier budget in bytes for snap-compressed demoted profiles served without a KV round trip (0 = warm tier off)")
 	flag.Parse()
 
 	var store kv.Store
@@ -95,6 +97,8 @@ func main() {
 		Cache: gcache.Options{
 			HotSlots:        *hotSlots,
 			HotPromoteAfter: *hotPromoteAfter,
+			MemLimit:        *memLimit,
+			WarmLimit:       *warmLimit,
 		},
 	})
 	if err != nil {

@@ -75,5 +75,6 @@ func Analyzers() []*Analyzer {
 		Determinism,
 		CtxDeadline,
 		JournalBeforeApply,
+		TierState,
 	}
 }

@@ -1,0 +1,50 @@
+//ipslint:fixturepath ips/internal/gcache
+
+// Package gcache (fixture) exercises the tier-state locking rule.
+package gcache
+
+import "sync"
+
+type profile struct {
+	mu sync.Mutex
+}
+
+type cache struct{}
+
+func (c *cache) demoteLocked(p *profile) {}
+func (c *cache) dropLocked(p *profile)   {}
+
+// badDemoteUnlocked snapshots the profile into the warm tier without
+// excluding writers: a torn blob could re-inflate later.
+func (c *cache) badDemoteUnlocked(p *profile) {
+	c.demoteLocked(p) // want "requires the profile write lock"
+}
+
+// badDropUnlocked detaches without the lock.
+func (c *cache) badDropUnlocked(p *profile) {
+	c.dropLocked(p) // want "requires the profile write lock"
+}
+
+// badRLockOnly holds only a read lock, which admits concurrent readers
+// but does not exclude the writer the transition races.
+func (c *cache) badRLockOnly(p *profile, mu *sync.RWMutex) {
+	mu.RLock()
+	c.demoteLocked(p) // want "requires the profile write lock"
+	mu.RUnlock()
+}
+
+// goodEvict is the evictBatch shape: TryLock gates the transition.
+func (c *cache) goodEvict(p *profile) {
+	if !p.mu.TryLock() {
+		return
+	}
+	c.demoteLocked(p)
+	p.mu.Unlock()
+}
+
+// goodDrop is the Drop shape: full Lock before the transition.
+func (c *cache) goodDrop(p *profile) {
+	p.mu.Lock()
+	c.dropLocked(p)
+	p.mu.Unlock()
+}

@@ -1,0 +1,72 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// TierState enforces the entry-lifecycle locking contract inside
+// internal/gcache (DESIGN.md "Entry lifecycle"): the state-transition
+// helpers that move a profile out of the decoded tier — demoteLocked
+// (decoded → warm) and dropLocked (decoded → evicted) — capture the
+// profile's bytes and watermarks, so they are only sound while the
+// caller holds the profile's write lock. A transition taken without the
+// lock can snapshot a half-applied mutation into the warm tier, where it
+// would later re-inflate as a torn profile.
+//
+// Concretely, within each gcache function, in statement order: a call to
+// a *Locked transition helper must be preceded by a Lock() or TryLock()
+// acquisition in the same function body. (The helpers' own definitions
+// are exempt; the rule binds their callers.)
+var TierState = &Analyzer{
+	Name: "tierstate",
+	Doc:  "require the profile write lock before tier state transitions in gcache",
+	Run:  runTierState,
+}
+
+func isTransitionName(name string) bool {
+	return name == "demoteLocked" || name == "dropLocked"
+}
+
+func runTierState(pass *Pass) {
+	if pass.Pkg.Path() != "ips/internal/gcache" {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if isTransitionName(fd.Name.Name) {
+				continue
+			}
+			checkTierTransitions(pass, fd)
+		}
+	}
+}
+
+func checkTierTransitions(pass *Pass, fd *ast.FuncDecl) {
+	locked := false // a Lock() or successful-TryLock() site has been seen
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeName(call)
+		switch {
+		case name == "Lock" || name == "TryLock":
+			locked = true
+		case strings.HasPrefix(name, "RLock"):
+			// A read lock is NOT enough: transitions detach the profile
+			// and must exclude concurrent writers. Seeing one does not
+			// flip the flag.
+		case isTransitionName(name):
+			if !locked {
+				pass.Reportf(call.Pos(), "tier transition %s requires the profile write lock; no Lock()/TryLock() precedes it in this function", name)
+			}
+		}
+		return true
+	})
+}

@@ -336,3 +336,39 @@ func TestRunMigrateSmall(t *testing.T) {
 	t.Logf("steady p99=%v join p99=%v drain p99=%v ratio=%.3f (floor %v)",
 		rep.Steady.P99, rep.Join.P99, rep.Drain.P99, rep.P99Ratio, rep.Floor)
 }
+
+func TestRunTieredSmall(t *testing.T) {
+	rep, err := RunTiered(TieredOptions{
+		MemLimits: []int64{96 << 10, 384 << 10},
+		Profiles:  800, Ticks: 4, RequestsPerTick: 400,
+		WritesPerProfile: 12, StoreDelay: 500 * time.Microsecond,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 2 {
+		t.Fatalf("points = %d", len(rep.Points))
+	}
+	small, big := rep.Points[0], rep.Points[1]
+	// The scaling law's shape: more decoded memory means a higher hot
+	// ratio and fewer KV round trips.
+	if big.HotRatio <= small.HotRatio {
+		t.Fatalf("hot ratio did not grow with memory: %.3f -> %.3f", small.HotRatio, big.HotRatio)
+	}
+	if big.MissRatio > small.MissRatio {
+		t.Fatalf("miss ratio grew with memory: %.3f -> %.3f", small.MissRatio, big.MissRatio)
+	}
+	// The tight point must churn the lifecycle: demotions feed the warm
+	// tier and warm hits come back out of it.
+	if small.Demotions == 0 || small.WarmN == 0 {
+		t.Fatalf("no warm traffic at the tight point: %+v", small)
+	}
+	// The hierarchy's reason to exist: a warm re-inflate is strictly
+	// cheaper than the injected KV round trip.
+	if !rep.WarmCheaperThanMiss {
+		t.Fatalf("warm p50 not below miss p50: %+v", rep.Points)
+	}
+	if small.WarmN >= 20 && small.MissN >= 20 && small.WarmP50 >= small.MissP50 {
+		t.Fatalf("warm p50 %v >= miss p50 %v", small.WarmP50, small.MissP50)
+	}
+}

@@ -78,6 +78,11 @@ type EnvOptions struct {
 	// StoreDelay injects latency into every KV operation, modelling the
 	// HBase round trip behind cache misses (Table II).
 	StoreDelay time.Duration
+	// StoreHook, when set, replaces the StoreDelay sleep with an
+	// arbitrary per-operation hook. It must be installed here rather
+	// than assigned to Store.BeforeOp later: the instance's flush loops
+	// read the hook concurrently from the moment the table exists.
+	StoreHook func(op, key string)
 	// Tracer, when set, is shared by the client and the instance so
 	// sampled requests carry spans end to end (the trace experiment).
 	Tracer *trace.Tracer
@@ -93,7 +98,9 @@ func NewEnv(opts EnvOptions) (*Env, error) {
 	}
 	clock := NewClock()
 	store := kv.NewMemory()
-	if opts.StoreDelay > 0 {
+	if opts.StoreHook != nil {
+		store.BeforeOp = opts.StoreHook
+	} else if opts.StoreDelay > 0 {
 		d := opts.StoreDelay
 		store.BeforeOp = func(op, key string) { time.Sleep(d) }
 	}

@@ -1,0 +1,263 @@
+// Tiered-cache experiment: the hit-ratio-vs-memory scaling law of the
+// hot/warm/KV hierarchy (DESIGN.md "Entry lifecycle"). Sweeps the memory
+// budget across a grid with the warm tier sized as a fraction of the hot
+// tier, drives a Zipf/diurnal workload at each point, and classifies
+// every read by the tier that served it — decoded (hot), compressed
+// in-process (warm), or KV reload (miss) — with per-class p50 latency.
+// The claim under test: a warm hit re-inflates in process and is
+// strictly cheaper than a KV round trip, so the warm tier buys back a
+// band of the miss curve at a fraction of the decoded tier's bytes.
+package bench
+
+import (
+	"io"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"ips/internal/gcache"
+	"ips/internal/wire"
+	"ips/internal/workload"
+)
+
+// TieredOptions scales the tiered-cache sweep.
+type TieredOptions struct {
+	// MemLimits is the decoded-tier budget grid; default 256KB..2MB.
+	MemLimits []int64
+	// WarmFrac sizes the warm tier as a fraction of each MemLimit;
+	// default 1.0 (equal budgets — the warm tier still holds several
+	// times more profiles because entries are snap-compressed).
+	WarmFrac float64
+	// Profiles in the corpus; default 4000 — larger than any grid point
+	// so every point evicts.
+	Profiles int
+	// Ticks of simulated hours per grid point; default 8.
+	Ticks int
+	// RequestsPerTick at peak intensity; the diurnal curve scales each
+	// tick's actual count. Default 1200.
+	RequestsPerTick int
+	// WritesPerProfile seeds history; default 24.
+	WritesPerProfile int
+	// ZipfS is the popularity skew; default 1.3.
+	ZipfS float64
+	// StoreDelay is the injected KV read latency behind misses,
+	// modelling the HBase round trip of Table II; default 800µs.
+	StoreDelay time.Duration
+	// EvictEvery is the request cadence of deterministic eviction
+	// passes within a tick; default 200.
+	EvictEvery int
+}
+
+func (o *TieredOptions) fill() {
+	if len(o.MemLimits) == 0 {
+		o.MemLimits = []int64{256 << 10, 512 << 10, 1 << 20, 2 << 20}
+	}
+	if o.WarmFrac <= 0 {
+		o.WarmFrac = 1.0
+	}
+	if o.Profiles <= 0 {
+		o.Profiles = 4000
+	}
+	if o.Ticks <= 0 {
+		o.Ticks = 8
+	}
+	if o.RequestsPerTick <= 0 {
+		o.RequestsPerTick = 1200
+	}
+	if o.WritesPerProfile <= 0 {
+		o.WritesPerProfile = 24
+	}
+	if o.ZipfS <= 1 {
+		o.ZipfS = 1.3
+	}
+	if o.StoreDelay <= 0 {
+		o.StoreDelay = 800 * time.Microsecond
+	}
+	if o.EvictEvery <= 0 {
+		o.EvictEvery = 200
+	}
+}
+
+// TieredPoint is one grid point: the tier-by-tier read breakdown at one
+// memory budget.
+type TieredPoint struct {
+	MemLimit  int64
+	WarmLimit int64
+	// Read fractions by serving tier (sum to 1).
+	HotRatio, WarmRatio, MissRatio float64
+	// Exact p50 read latency by serving tier (0 when the class is empty).
+	HotP50, WarmP50, MissP50 time.Duration
+	// Samples per class.
+	HotN, WarmN, MissN int
+	// Lifecycle churn over the run.
+	Demotions, WarmEvictions int64
+	WarmResident             int64
+}
+
+// TieredReport is the measured sweep.
+type TieredReport struct {
+	Points []TieredPoint
+	// WarmCheaperThanMiss holds when every grid point with enough
+	// samples in both classes (>= 20) measured warm p50 strictly below
+	// miss p50 — the tier ordering the hierarchy exists to buy.
+	WarmCheaperThanMiss bool
+}
+
+// RunTiered regenerates the tiered-cache scaling law: for each memory
+// budget it drives the same Zipf/diurnal read-write mix single-threaded
+// (so per-request counter deltas classify the serving tier exactly) and
+// reports hit-ratio-vs-memory curves for the decoded and warm tiers plus
+// per-tier p50s.
+func RunTiered(opts TieredOptions, w io.Writer) (*TieredReport, error) {
+	opts.fill()
+	rep := &TieredReport{WarmCheaperThanMiss: true}
+
+	fprintf(w, "Tiered cache — hit ratio vs memory per tier (warm frac %.2f, KV delay %s)\n", opts.WarmFrac, opts.StoreDelay)
+	fprintf(w, "%-10s %-7s %-7s %-7s %-11s %-11s %-11s %-10s %-8s\n",
+		"mem", "hot%", "warm%", "miss%", "hot p50", "warm p50", "miss p50", "demotions", "warmres")
+
+	for _, limit := range opts.MemLimits {
+		pt, err := runTieredPoint(opts, limit)
+		if err != nil {
+			return nil, err
+		}
+		rep.Points = append(rep.Points, *pt)
+		fprintf(w, "%-10d %-7.1f %-7.1f %-7.1f %-11s %-11s %-11s %-10d %-8d\n",
+			pt.MemLimit, 100*pt.HotRatio, 100*pt.WarmRatio, 100*pt.MissRatio,
+			ms(pt.HotP50), ms(pt.WarmP50), ms(pt.MissP50), pt.Demotions, pt.WarmResident)
+		if pt.WarmN >= 20 && pt.MissN >= 20 && pt.WarmP50 >= pt.MissP50 {
+			rep.WarmCheaperThanMiss = false
+		}
+	}
+
+	fprintf(w, "\nshape: hot%% grows with memory while miss%% shrinks; the warm curve peaks where the\n")
+	fprintf(w, "decoded tier overflows; warm p50 strictly below miss p50 at every point: %v\n", rep.WarmCheaperThanMiss)
+	return rep, nil
+}
+
+// runTieredPoint measures one grid point. Single-threaded on purpose:
+// the CacheStats delta around each read is then an exact classifier of
+// which tier served it (decoded hit bumps Hits, a warm re-inflate bumps
+// WarmHits, and a read bumping neither went to KV).
+func runTieredPoint(opts TieredOptions, limit int64) (*TieredPoint, error) {
+	warmLimit := int64(float64(limit) * opts.WarmFrac)
+	// KV read latency is injected only after prefill and only on gets:
+	// the quantity under test is the read path's miss penalty, not a
+	// slowed-down seeding phase. The atomic gate (rather than swapping
+	// BeforeOp mid-run) keeps the hook race-free against flush loops.
+	var delayOn atomic.Bool
+	env, err := NewEnv(EnvOptions{
+		Workload: workload.Options{Seed: 31, Profiles: uint64(opts.Profiles), ZipfS: opts.ZipfS},
+		Cache: gcache.Options{
+			MemLimit:    limit,
+			MemLowWater: limit * 85 / 100,
+			WarmLimit:   warmLimit,
+		},
+		StoreHook: func(op, key string) {
+			if op == "get" && delayOn.Load() {
+				time.Sleep(opts.StoreDelay)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	if err := env.Prefill(opts.Profiles, opts.WritesPerProfile, 24*3_600_000); err != nil {
+		return nil, err
+	}
+	delayOn.Store(true)
+
+	pt := &TieredPoint{MemLimit: limit, WarmLimit: warmLimit}
+	var hotLat, warmLat, missLat []time.Duration
+	diurnal := workload.Diurnal{}
+	now := env.Clock.Now()
+	prev, err := env.Instance.CacheStats(TableName)
+	if err != nil {
+		return nil, err
+	}
+	base := prev
+
+	for tick := 0; tick < opts.Ticks; tick++ {
+		n := int(float64(opts.RequestsPerTick) * diurnal.Intensity(now%86_400_000))
+		if n < 1 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			if env.Gen.IsRead() {
+				req := env.Gen.Query(TableName)
+				t0 := time.Now()
+				if _, err := env.Instance.Query(req); err != nil {
+					return nil, err
+				}
+				d := time.Since(t0)
+				st, err := env.Instance.CacheStats(TableName)
+				if err != nil {
+					return nil, err
+				}
+				switch {
+				case st.WarmHits > prev.WarmHits:
+					warmLat = append(warmLat, d)
+				case st.Hits > prev.Hits:
+					hotLat = append(hotLat, d)
+				default:
+					missLat = append(missLat, d)
+				}
+				prev = st
+			} else {
+				id := env.Gen.ProfileID()
+				if err := env.Instance.Add("bench", TableName, id,
+					[]wire.AddEntry{env.Gen.WriteEntry(now)}); err != nil {
+					return nil, err
+				}
+				// Writes move counters too (a write to a warm profile
+				// re-inflates it); resync so the next read's delta is
+				// clean.
+				if prev, err = env.Instance.CacheStats(TableName); err != nil {
+					return nil, err
+				}
+			}
+			if (i+1)%opts.EvictEvery == 0 {
+				if err := env.Instance.EvictToWatermark(TableName); err != nil {
+					return nil, err
+				}
+			}
+		}
+		env.Instance.MergeAll()
+		if err := env.Instance.EvictToWatermark(TableName); err != nil {
+			return nil, err
+		}
+		if prev, err = env.Instance.CacheStats(TableName); err != nil {
+			return nil, err
+		}
+		env.Clock.Advance(3_600_000) // one simulated hour per tick
+		now = env.Clock.Now()
+	}
+
+	final, err := env.Instance.CacheStats(TableName)
+	if err != nil {
+		return nil, err
+	}
+	total := len(hotLat) + len(warmLat) + len(missLat)
+	if total > 0 {
+		pt.HotRatio = float64(len(hotLat)) / float64(total)
+		pt.WarmRatio = float64(len(warmLat)) / float64(total)
+		pt.MissRatio = float64(len(missLat)) / float64(total)
+	}
+	pt.HotN, pt.WarmN, pt.MissN = len(hotLat), len(warmLat), len(missLat)
+	pt.HotP50, pt.WarmP50, pt.MissP50 = exactP50(hotLat), exactP50(warmLat), exactP50(missLat)
+	pt.Demotions = final.Demotions - base.Demotions
+	pt.WarmEvictions = final.WarmEvictions - base.WarmEvictions
+	pt.WarmResident = final.WarmResident
+	return pt, nil
+}
+
+// exactP50 returns the sorted-sample median, 0 on an empty class.
+func exactP50(samples []time.Duration) time.Duration {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[len(sorted)/2]
+}

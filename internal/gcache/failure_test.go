@@ -84,10 +84,9 @@ func TestLoadErrorSurfacesToCaller(t *testing.T) {
 	_ = g.FlushAll()
 	p := tbl.Get(1)
 	p.Lock()
-	size := p.MemSize()
 	tbl.Delete(1)
 	p.Unlock()
-	g.forget(1, size)
+	g.forget(1)
 
 	flaky.FailReads(true)
 	if _, _, err := g.Get(1); !errors.Is(err, kv.ErrInjected) {

@@ -42,6 +42,15 @@ type Options struct {
 	// MemLowWater, when set, is the target usage eviction drives down to
 	// (defaults to 90% of MemLimit), providing hysteresis.
 	MemLowWater int64
+	// WarmLimit is the warm tier's byte budget: eviction demotes decoded
+	// profiles into snap-compressed blobs (warm.go) instead of dropping
+	// them, up to this many bytes; warm-tier eviction then drops the
+	// coldest blobs to KV. <= 0 disables the warm tier (eviction drops
+	// straight to storage, the pre-tiered behavior).
+	WarmLimit int64
+	// WarmLowWater is the warm-tier hysteresis target (defaults to 90%
+	// of WarmLimit).
+	WarmLowWater int64
 	// LRUShards is the number of LRU shards (Fig. 7); default 16.
 	LRUShards int
 	// DirtyShards is the number of dirty-list shards (Fig. 9); default 4.
@@ -96,6 +105,9 @@ func (o *Options) fill() error {
 	if o.MemLimit > 0 && o.MemLowWater <= 0 {
 		o.MemLowWater = o.MemLimit * 9 / 10
 	}
+	if o.WarmLimit > 0 && o.WarmLowWater <= 0 {
+		o.WarmLowWater = o.WarmLimit * 9 / 10
+	}
 	return nil
 }
 
@@ -108,7 +120,11 @@ type GCache struct {
 	lru   []*lruShard
 	dirty []*dirtyShard
 
-	usage atomic.Int64 // approximate resident bytes
+	// warm is the compressed middle tier (warm.go); nil when WarmLimit
+	// is 0.
+	warm *warmTier
+
+	usage atomic.Int64 // approximate decoded-tier bytes
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -164,6 +180,17 @@ type GCache struct {
 	HotHits          metrics.Counter
 	HotPromotions    metrics.Counter
 	HotInvalidations metrics.Counter
+	// Tiered-cache counters: demotions decoded→warm, fills served by
+	// re-inflating a warm blob vs. falling through to storage, and warm
+	// blobs dropped by the warm tier's own watermark eviction.
+	Demotions     metrics.Counter
+	WarmHits      metrics.Counter
+	WarmMisses    metrics.Counter
+	WarmEvictions metrics.Counter
+	// ShardScans counts largestShard sweeps (each takes every shard
+	// mutex once); the drain-per-shard eviction keeps this far below
+	// Evictions under memory pressure.
+	ShardScans metrics.Counter
 }
 
 type lruShard struct {
@@ -171,6 +198,17 @@ type lruShard struct {
 	ll    *list.List // front = most recent
 	items map[model.ProfileID]*list.Element
 	bytes atomic.Int64
+}
+
+// lruEntry is one decoded-tier LRU element: the profile ID plus the
+// byte footprint currently charged to the shard for it. Recording the
+// charge on the entry (mutated under the shard mutex) lets forget
+// reverse exactly what was charged, no matter which of several racing
+// droppers gets there first — accounting by recomputed sizes was the
+// vanished-entry leak.
+type lruEntry struct {
+	id    model.ProfileID
+	bytes int64
 }
 
 type dirtyShard struct {
@@ -190,6 +228,7 @@ func New(table *model.Table, ps *persist.Persister, opts Options) (*GCache, erro
 		stop:    make(chan struct{}),
 		flights: newFlightGroup(),
 		hot:     newHotSet(opts.HotSlots, opts.HotPromoteAfter, opts.HotMaxEntries),
+		warm:    newWarmTier(opts.WarmLimit),
 	}
 	g.lru = make([]*lruShard, opts.LRUShards)
 	for i := range g.lru {
@@ -254,22 +293,32 @@ func (g *GCache) dirtyShardFor(id model.ProfileID) *dirtyShard {
 	return g.dirty[int(id%uint64(len(g.dirty)))]
 }
 
-// Usage returns the approximate resident bytes.
-func (g *GCache) Usage() int64 { return g.usage.Load() }
+// Usage returns the approximate decoded-tier resident bytes, including
+// the hot-slot read replicas (each promoted profile pins K deep clones;
+// charging them here is what makes MemLimit an honest budget).
+func (g *GCache) Usage() int64 { return g.usage.Load() + g.hot.cloneBytes() }
 
-// Resident returns the number of cached profiles.
+// WarmUsage returns the warm tier's resident bytes (compressed blobs
+// plus bookkeeping), budgeted by WarmLimit independently of MemLimit.
+func (g *GCache) WarmUsage() int64 { return g.warm.usage() }
+
+// Resident returns the number of decoded cached profiles.
 func (g *GCache) Resident() int { return g.table.Len() }
 
+// WarmResident returns the number of warm-tier blobs.
+func (g *GCache) WarmResident() int { return g.warm.resident() }
+
 // touch moves id to the front of its LRU shard, inserting if new.
-// newBytes is the profile's current size, used to keep shard byte counts
-// fresh; delta is applied to the global usage.
+// delta adjusts the entry's recorded byte footprint and, with it, the
+// shard and global usage.
 func (g *GCache) touch(id model.ProfileID, delta int64) {
 	sh := g.lruShardFor(id)
 	sh.mu.Lock()
 	if el, ok := sh.items[id]; ok {
 		sh.ll.MoveToFront(el)
+		el.Value.(*lruEntry).bytes += delta
 	} else {
-		sh.items[id] = sh.ll.PushFront(id)
+		sh.items[id] = sh.ll.PushFront(&lruEntry{id: id, bytes: delta})
 	}
 	sh.mu.Unlock()
 	if delta != 0 {
@@ -278,12 +327,17 @@ func (g *GCache) touch(id model.ProfileID, delta int64) {
 	}
 }
 
-// forget removes id from its LRU shard, returning whether it was present.
-func (g *GCache) forget(id model.ProfileID, bytes int64) bool {
+// forget removes id from its LRU shard, reversing exactly the bytes the
+// entry was charged; returns whether it was present. Only the dropper
+// that actually removes the entry subtracts, so concurrent Drop/evict/
+// delete paths can never double-subtract or strand charged bytes.
+func (g *GCache) forget(id model.ProfileID) bool {
 	sh := g.lruShardFor(id)
 	sh.mu.Lock()
 	el, ok := sh.items[id]
+	var bytes int64
 	if ok {
+		bytes = el.Value.(*lruEntry).bytes
 		sh.ll.Remove(el)
 		delete(sh.items, id)
 	}
@@ -295,12 +349,29 @@ func (g *GCache) forget(id model.ProfileID, bytes int64) bool {
 	return ok
 }
 
+// requeueFront rotates id to the MRU end of its shard without touching
+// byte accounting — the skip-ahead used when eviction cannot currently
+// persist an entry parked at the tail.
+func (g *GCache) requeueFront(id model.ProfileID) {
+	sh := g.lruShardFor(id)
+	sh.mu.Lock()
+	if el, ok := sh.items[id]; ok {
+		sh.ll.MoveToFront(el)
+	}
+	sh.mu.Unlock()
+}
+
 // markDirty queues id for flushing. Every mutation path funnels through
 // here after applying (add, replay, merge, compaction), so it is also
 // the choke point that invalidates the profile's hot read slots BEFORE
 // the mutation is acknowledged to its caller.
 func (g *GCache) markDirty(id model.ProfileID) {
 	g.invalidateHot(id)
+	// Tier exclusivity backstop: a profile carrying unflushed writes must
+	// not leave a stale compressed shadow that a later miss could inflate.
+	// Mutation paths all operate on table-resident objects (whose install
+	// already purged the warm tier), so this is normally a no-op.
+	g.warm.drop(id)
 	sh := g.dirtyShardFor(id)
 	sh.mu.Lock()
 	sh.ids[id] = struct{}{}
@@ -520,7 +591,7 @@ func (g *GCache) getOrLoad(ctx context.Context, id model.ProfileID, createOnMiss
 		return call.p, false, nil
 	}
 
-	p, err := g.load(ctx, id)
+	p, err := g.fill(ctx, id)
 	g.flights.finish(id, call, p, err)
 
 	if err != nil {
@@ -530,6 +601,25 @@ func (g *GCache) getOrLoad(ctx context.Context, id model.ProfileID, createOnMiss
 		return g.createEmpty(id), false, nil
 	}
 	return p, false, nil
+}
+
+// fill resolves a table miss for the single-flight leader: the warm
+// tier first (re-inflate in process, no storage round trip), then
+// storage. A warm blob that fails to inflate is dropped and the fill
+// falls through to the KV read — the blob was captured from a flushed
+// profile, so storage holds the same state.
+func (g *GCache) fill(ctx context.Context, id model.ProfileID) (*model.Profile, error) {
+	if e := g.warm.take(id); e != nil {
+		p, err := g.inflate(ctx, e)
+		if err == nil {
+			g.WarmHits.Inc()
+			return p, nil
+		}
+	}
+	if g.warm != nil {
+		g.WarmMisses.Inc()
+	}
+	return g.load(ctx, id)
 }
 
 // load fetches id from storage and installs it; a missing profile returns
@@ -554,6 +644,9 @@ func (g *GCache) load(ctx context.Context, id model.ProfileID) (*model.Profile, 
 		return cur, nil
 	}
 	g.table.Put(p)
+	// Tier exclusivity: installing a decoded copy supersedes any warm
+	// shadow (normally already taken by fill; this covers direct loads).
+	g.warm.drop(id)
 	p.RLock()
 	size := p.MemSize()
 	p.RUnlock()
@@ -564,6 +657,7 @@ func (g *GCache) load(ctx context.Context, id model.ProfileID) (*model.Profile, 
 func (g *GCache) createEmpty(id model.ProfileID) *model.Profile {
 	p, created := g.table.GetOrCreate(id)
 	if created {
+		g.warm.drop(id)
 		p.RLock()
 		size := p.MemSize()
 		p.RUnlock()
@@ -677,24 +771,32 @@ func (g *GCache) swapLoop() {
 }
 
 // EvictToWatermark runs one eviction pass: while usage exceeds MemLimit,
-// evict from the tail of the largest LRU shard until usage falls below the
-// low-water mark. Exported for deterministic tests and the harness.
+// drain the tail of the largest LRU shard — demoting evicted profiles
+// into the warm tier — until usage falls below the low-water mark, then
+// enforce the warm tier's own watermark. Exported for deterministic
+// tests and the harness.
+//
+// Each largestShard sweep costs O(shards); draining the chosen shard
+// down to the watermark before rescanning keeps that cost per PASS, not
+// per evicted profile (the old shape rescanned every shard mutex for
+// every single eviction, so eviction cost scaled with shard count).
 func (g *GCache) EvictToWatermark() {
-	if g.opts.MemLimit <= 0 {
-		return
-	}
-	for g.usage.Load() > g.opts.MemLimit {
-		sh := g.largestShard()
-		if sh == nil || !g.evictFromShard(sh) {
-			return // nothing evictable right now
+	if g.opts.MemLimit > 0 {
+		for g.Usage() > g.opts.MemLimit {
+			sh := g.largestShard()
+			if sh == nil {
+				break
+			}
+			if g.drainShard(sh) == 0 {
+				break // nothing evictable right now
+			}
 		}
-		if g.usage.Load() <= g.opts.MemLowWater {
-			return
-		}
 	}
+	g.evictWarmToWatermark()
 }
 
 func (g *GCache) largestShard() *lruShard {
+	g.ShardScans.Inc()
 	var best *lruShard
 	var bestBytes int64 = -1
 	for _, sh := range g.lru {
@@ -710,10 +812,41 @@ func (g *GCache) largestShard() *lruShard {
 	return best
 }
 
-// evictFromShard walks the shard from the LRU tail, trying each entry with
-// TryLock; a contended entry is skipped rather than waited on (Fig. 8).
-// Returns true if one profile was evicted.
-func (g *GCache) evictFromShard(sh *lruShard) bool {
+// drainShard evicts from one shard's tail until usage falls to the
+// low-water mark or the shard runs out of evictable entries, returning
+// the number of profiles demoted. budget bounds the pass at the shard's
+// starting length: every candidate the pass consumes (evicted, vanished,
+// or skip-ahead-rotated) spends budget, so a shard whose entries are all
+// unpersistable cannot spin the loop on its own rotations.
+func (g *GCache) drainShard(sh *lruShard) int {
+	sh.mu.Lock()
+	budget := sh.ll.Len()
+	sh.mu.Unlock()
+	evicted := 0
+	for budget > 0 {
+		ok, consumed := g.evictBatch(sh)
+		budget -= consumed
+		if ok {
+			evicted++
+			g.evictWarmToWatermark()
+		}
+		if consumed == 0 {
+			break // only lock-contended candidates at the tail
+		}
+		if g.Usage() <= g.opts.MemLowWater {
+			break
+		}
+	}
+	return evicted
+}
+
+// evictBatch probes up to 8 candidates from the shard's LRU tail,
+// demoting the first evictable one (Fig. 8: contended entries are
+// skipped with TryLock, not waited on). Returns whether a profile was
+// demoted and how many candidates were consumed from the tail —
+// vanished entries retired, unpersistable entries rotated to the MRU
+// end, plus the demoted one; TryLock skips consume nothing.
+func (g *GCache) evictBatch(sh *lruShard) (bool, int) {
 	// Collect candidates from the tail under the shard lock, then release
 	// it before taking profile locks (lock ordering: shard < profile is
 	// never held together).
@@ -721,14 +854,18 @@ func (g *GCache) evictFromShard(sh *lruShard) bool {
 	sh.mu.Lock()
 	cands := make([]model.ProfileID, 0, probe)
 	for el := sh.ll.Back(); el != nil && len(cands) < probe; el = el.Prev() {
-		cands = append(cands, el.Value.(model.ProfileID))
+		cands = append(cands, el.Value.(*lruEntry).id)
 	}
 	sh.mu.Unlock()
 
+	consumed := 0
 	for _, id := range cands {
 		p := g.table.Get(id)
 		if p == nil {
-			g.forget(id, 0)
+			// Vanished from the table (concurrent Drop, delete, migration
+			// release): retire the stale LRU entry at its recorded bytes.
+			g.forget(id)
+			consumed++
 			continue
 		}
 		if !p.TryLock() {
@@ -741,7 +878,14 @@ func (g *GCache) evictFromShard(sh *lruShard) bool {
 			if _, err := g.ps.Save(p); err != nil {
 				p.Unlock()
 				g.FlushErrors.Inc()
-				continue // cannot safely drop unpersisted data
+				// Skip ahead: an unpersistable entry parked at the tail
+				// would wedge the whole shard — every pass would re-probe
+				// the same stuck candidates and give up. Rotate it to the
+				// MRU end so the pass reaches evictable entries behind it;
+				// it earns another flush attempt after everything else.
+				g.requeueFront(id)
+				consumed++
+				continue
 			}
 			p.Dirty = false
 			g.Flushes.Inc()
@@ -749,15 +893,15 @@ func (g *GCache) evictFromShard(sh *lruShard) bool {
 				g.OnFlush(id, p.WalLSN, p.MergedLSN)
 			}
 		}
-		g.table.Delete(id)
+		g.demoteLocked(p)
 		p.Unlock()
 		g.invalidateHot(id)
-		g.forget(id, size)
+		g.forget(id)
 		g.Evictions.Inc()
 		g.EvictBytes.Add(size)
-		return true
+		return true, consumed + 1
 	}
-	return false
+	return false, consumed
 }
 
 // Stats is a point-in-time summary for dashboards and the harness.
@@ -776,6 +920,15 @@ type Stats struct {
 	HotHits          int64
 	HotPromotions    int64
 	HotInvalidations int64
+	HotBytes         int64 // bytes pinned by hot-slot clones (inside Usage)
+	// Tiered-cache counters (warm.go).
+	WarmUsage     int64
+	WarmResident  int64
+	Demotions     int64
+	WarmHits      int64
+	WarmMisses    int64
+	WarmEvictions int64
+	ShardScans    int64
 }
 
 // Stats captures current cache statistics.
@@ -793,6 +946,14 @@ func (g *GCache) Stats() Stats {
 		HotHits:          g.HotHits.Value(),
 		HotPromotions:    g.HotPromotions.Value(),
 		HotInvalidations: g.HotInvalidations.Value(),
+		HotBytes:         g.hot.cloneBytes(),
+		WarmUsage:        g.WarmUsage(),
+		WarmResident:     int64(g.WarmResident()),
+		Demotions:        g.Demotions.Value(),
+		WarmHits:         g.WarmHits.Value(),
+		WarmMisses:       g.WarmMisses.Value(),
+		WarmEvictions:    g.WarmEvictions.Value(),
+		ShardScans:       g.ShardScans.Value(),
 	}
 	if g.hot != nil {
 		st.HotResident = g.hot.size.Load()
@@ -800,17 +961,18 @@ func (g *GCache) Stats() Stats {
 	return st
 }
 
-// Drop flushes (if dirty) and removes one profile from the cache,
-// reporting whether it was resident. The next Get for the ID becomes a
-// storage miss — used by tests and the benchmark harness to control the
-// hit/miss split of Table II.
+// Drop flushes (if dirty) and removes one profile from the cache —
+// every tier, so the next Get for the ID becomes a real storage miss —
+// reporting whether it was resident in any tier. Used by tests and the
+// benchmark harness to control the hit/miss split of Table II.
 func (g *GCache) Drop(id model.ProfileID) bool {
 	p := g.table.Get(id)
 	if p == nil {
-		return false
+		// Not decoded; a warm blob still counts as resident and is
+		// already KV-backed, so dropping it needs no flush.
+		return g.warm.drop(id)
 	}
 	p.Lock()
-	size := p.MemSize()
 	if p.Dirty {
 		if _, err := g.ps.Save(p); err != nil {
 			p.Unlock()
@@ -823,10 +985,11 @@ func (g *GCache) Drop(id model.ProfileID) bool {
 			g.OnFlush(id, p.WalLSN, p.MergedLSN)
 		}
 	}
-	g.table.Delete(id)
+	g.dropLocked(p)
 	p.Unlock()
 	g.invalidateHot(id)
-	g.forget(id, size)
+	g.warm.drop(id)
+	g.forget(id)
 	return true
 }
 
@@ -834,11 +997,23 @@ func (g *GCache) Drop(id model.ProfileID) bool {
 // compaction, merge, delete) changed a profile's footprint by delta
 // bytes. Being an external-mutation notification, it also invalidates
 // the profile's hot read slots — even at delta 0, since a merge can
-// change feature counts without moving the footprint.
+// change feature counts without moving the footprint. The delta lands
+// on the profile's recorded LRU charge; if the entry is gone (a race
+// with eviction detached the object the caller mutated), the charge was
+// already reversed in full and the delta has nothing to apply to.
 func (g *GCache) NoteSizeChange(id model.ProfileID, delta int64) {
 	g.invalidateHot(id)
-	if delta != 0 {
-		sh := g.lruShardFor(id)
+	if delta == 0 {
+		return
+	}
+	sh := g.lruShardFor(id)
+	sh.mu.Lock()
+	el, ok := sh.items[id]
+	if ok {
+		el.Value.(*lruEntry).bytes += delta
+	}
+	sh.mu.Unlock()
+	if ok {
 		sh.bytes.Add(delta)
 		g.usage.Add(delta)
 	}

@@ -75,10 +75,9 @@ func TestMissFillsFromStorage(t *testing.T) {
 	// Drop from memory, keep in storage.
 	p := tbl.Get(5)
 	p.Lock()
-	size := p.MemSize()
 	tbl.Delete(5)
 	p.Unlock()
-	g.forget(5, size)
+	g.forget(5)
 
 	loadsBefore := g.Loads.Value()
 	got, hit, err := g.Get(5)
@@ -224,7 +223,7 @@ func TestLRUOrderEviction(t *testing.T) {
 		t.Fatal(err)
 	}
 	sh := g.lru[0]
-	if !g.evictFromShard(sh) {
+	if ok, _ := g.evictBatch(sh); !ok {
 		t.Fatal("eviction failed")
 	}
 	if tbl.Get(2) != nil {
@@ -322,10 +321,9 @@ func TestSingleFlightLoads(t *testing.T) {
 	_ = g.FlushAll()
 	p := tbl.Get(1)
 	p.Lock()
-	size := p.MemSize()
 	tbl.Delete(1)
 	p.Unlock()
-	g.forget(1, size)
+	g.forget(1)
 
 	var wg sync.WaitGroup
 	for i := 0; i < 8; i++ {

@@ -45,7 +45,11 @@ type hotEntry struct {
 	// acknowledged write's.
 	lsn uint64
 	// gen is the profile's Generation at snapshot time.
-	gen   uint64
+	gen uint64
+	// bytes is the summed footprint of the K clones, charged to the
+	// hot set while the entry is installed — promoted replicas are real
+	// memory and count against MemLimit like any resident profile.
+	bytes int64
 	next  atomic.Uint64
 	slots []*model.Profile
 }
@@ -65,7 +69,8 @@ type hotSet struct {
 
 	entries   sync.Map // model.ProfileID -> *hotEntry
 	size      atomic.Int64
-	promoting sync.Map // model.ProfileID -> struct{}: promotion in flight
+	bytes     atomic.Int64 // summed clone footprint of installed entries
+	promoting sync.Map     // model.ProfileID -> struct{}: promotion in flight
 
 	epochs  [hotEpochSlots]atomic.Uint64
 	counts  [hotCountSlots]atomic.Uint32
@@ -138,11 +143,21 @@ func (h *hotSet) invalidate(id model.ProfileID) bool {
 	}
 	h.epoch(id).Add(1)
 	h.counts[hotHash(id)>>(64-12)].Store(0)
-	if _, ok := h.entries.LoadAndDelete(id); ok {
+	if v, ok := h.entries.LoadAndDelete(id); ok {
 		h.size.Add(-1)
+		h.bytes.Add(-v.(*hotEntry).bytes)
 		return true
 	}
 	return false
+}
+
+// cloneBytes returns the memory currently pinned by promoted read
+// replicas, charged into the cache's Usage.
+func (h *hotSet) cloneBytes() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.bytes.Load()
 }
 
 // maybePromote snapshots p into K immutable read slots, unless id is
@@ -177,12 +192,17 @@ func (g *GCache) maybePromote(id model.ProfileID, p *model.Profile) bool {
 		entry.slots[i] = p.Clone()
 	}
 	p.RUnlock()
+	for _, c := range entry.slots {
+		entry.bytes += c.MemSize()
+	}
 	h.entries.Store(id, entry)
 	h.size.Add(1)
+	h.bytes.Add(entry.bytes)
 	if h.epoch(id).Load() != e {
 		// A write landed while we cloned; our snapshot may predate it.
-		if _, ok := h.entries.LoadAndDelete(id); ok {
+		if v, ok := h.entries.LoadAndDelete(id); ok {
 			h.size.Add(-1)
+			h.bytes.Add(-v.(*hotEntry).bytes)
 		}
 		return false
 	}

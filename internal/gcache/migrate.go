@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"ips/internal/model"
+	"ips/internal/snap"
 	"ips/internal/wire"
 )
 
@@ -17,10 +18,25 @@ import (
 // migration watermark so repeated installs are idempotent and a stale
 // frame never clobbers a fresher resident copy.
 
-// ResidentIDs returns the IDs of all currently resident profiles, the
-// candidate set a rebalance coordinator filters by ring ownership.
+// ResidentIDs returns the IDs of all currently resident profiles —
+// decoded AND warm, since a demoted profile's state still lives on this
+// node — the candidate set a rebalance coordinator filters by ring
+// ownership.
 func (g *GCache) ResidentIDs() []model.ProfileID {
-	return g.table.IDs()
+	ids := g.table.IDs()
+	if g.warm == nil {
+		return ids
+	}
+	seen := make(map[model.ProfileID]struct{}, len(ids))
+	for _, id := range ids {
+		seen[id] = struct{}{}
+	}
+	g.warm.walk(func(e *warmEntry) {
+		if _, dup := seen[e.id]; !dup {
+			ids = append(ids, e.id)
+		}
+	})
+	return ids
 }
 
 // Export snapshots one profile for handoff. Dirty state is flushed
@@ -36,6 +52,15 @@ func (g *GCache) ResidentIDs() []model.ProfileID {
 func (g *GCache) Export(ctx context.Context, id model.ProfileID, release bool) (wire.MigrateFrame, bool, error) {
 	if release {
 		return g.exportRelease(id)
+	}
+	// Warm fast path: a demoted profile's compressed blob was captured
+	// from a flushed copy, so it ships as-is — no storage read, no
+	// re-flush, no inflate. Only when the profile is not decoded: a
+	// decoded copy may carry newer (dirty) state than its KV image.
+	if g.table.Get(id) == nil {
+		if fr, ok := g.exportWarm(id, false); ok {
+			return fr, true, nil
+		}
 	}
 	p, _, err := g.getOrLoad(ctx, id, false)
 	if err != nil || p == nil {
@@ -61,11 +86,40 @@ func (g *GCache) Export(ctx context.Context, id model.ProfileID, release bool) (
 	return fr, true, nil
 }
 
+// exportWarm captures a handoff frame straight from the warm tier,
+// Compressed-flagged so the installer inflates before decoding. release
+// removes the blob (warm → evicted: the profile is leaving this node);
+// a content pass only peeks, the blob is immutable and safe to share.
+func (g *GCache) exportWarm(id model.ProfileID, release bool) (wire.MigrateFrame, bool) {
+	var e *warmEntry
+	if release {
+		e = g.warm.take(id)
+	} else {
+		e = g.warm.peek(id)
+	}
+	if e == nil {
+		return wire.MigrateFrame{}, false
+	}
+	return wire.MigrateFrame{
+		ProfileID:  id,
+		WalLSN:     e.walLSN,
+		MergedLSN:  e.mergedLSN,
+		MigLSN:     e.migLSN,
+		Blob:       e.blob,
+		Compressed: true,
+	}, true
+}
+
 // exportRelease is Drop with a final snapshot: flush-if-dirty, capture
 // the frame, then detach the profile and tear down its hot slots.
 func (g *GCache) exportRelease(id model.ProfileID) (wire.MigrateFrame, bool, error) {
 	p := g.table.Get(id)
 	if p == nil {
+		// Not decoded: a warm blob still holds the profile's state (and
+		// watermarks); ship it and drop it — the warm half of cutover.
+		if fr, ok := g.exportWarm(id, true); ok {
+			return fr, true, nil
+		}
 		return wire.MigrateFrame{}, false, nil
 	}
 	p.Lock()
@@ -88,11 +142,11 @@ func (g *GCache) exportRelease(id model.ProfileID) (wire.MigrateFrame, bool, err
 		MigLSN:    p.MigLSN,
 		Blob:      model.MarshalProfile(p),
 	}
-	size := p.MemSize()
-	g.table.Delete(id)
+	g.dropLocked(p)
 	p.Unlock()
 	g.invalidateHot(id)
-	g.forget(id, size)
+	g.warm.drop(id)
+	g.forget(id)
 	return fr, true, nil
 }
 
@@ -127,7 +181,15 @@ func (g *GCache) Install(ctx context.Context, fr wire.MigrateFrame, markOnly boo
 	}
 	var inc *model.Profile
 	if !markOnly && len(fr.Blob) > 0 {
-		inc, err = model.UnmarshalProfile(fr.Blob)
+		blob := fr.Blob
+		if fr.Compressed {
+			// A warm-tier export ships the snap-compressed form verbatim.
+			blob, err = snap.Decode(nil, blob)
+			if err != nil {
+				return false, false, fmt.Errorf("gcache: migrate install %d: inflate: %w", fr.ProfileID, err)
+			}
+		}
+		inc, err = model.UnmarshalProfile(blob)
 		if err != nil {
 			return false, false, fmt.Errorf("gcache: migrate install %d: %w", fr.ProfileID, err)
 		}

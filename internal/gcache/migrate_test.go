@@ -2,7 +2,10 @@ package gcache
 
 import (
 	"context"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"ips/internal/model"
 	"ips/internal/wire"
@@ -248,5 +251,258 @@ func TestExportAbsentProfile(t *testing.T) {
 	g, _, _ := newCache(t, Options{})
 	if _, ok, err := g.Export(context.Background(), 12345, false); ok || err != nil {
 		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+}
+
+// TestExportWarmShipsCompressedForm pins the warm fast path: exporting a
+// demoted profile ships the already-compressed blob (Compressed flag
+// set) with its demotion-time watermarks — no storage read, no re-flush
+// — and the frame installs correctly on the other side.
+func TestExportWarmShipsCompressedForm(t *testing.T) {
+	src, _, _ := newCache(t, Options{MemLimit: 1, MemLowWater: 1, WarmLimit: 1 << 30})
+	dst, _, _ := newCache(t, Options{})
+	ctx := context.Background()
+
+	if err := src.Add(8, 5000, 1, 1, 42, []int64{6, 0}); err != nil {
+		t.Fatal(err)
+	}
+	p, _, _ := src.Get(8)
+	p.Lock()
+	p.WalLSN = 21
+	p.Unlock()
+	src.EvictToWatermark()
+	if src.State(8) != StateWarm {
+		t.Fatal("setup: profile not warm")
+	}
+
+	loads, flushes := src.Loads.Value(), src.Flushes.Value()
+	fr, ok, err := src.Export(ctx, 8, false)
+	if err != nil || !ok {
+		t.Fatalf("warm export: ok=%v err=%v", ok, err)
+	}
+	if !fr.Compressed {
+		t.Fatal("warm export must ship the compressed form")
+	}
+	if fr.WalLSN != 21 {
+		t.Fatalf("frame WalLSN = %d, want 21 (captured at demotion)", fr.WalLSN)
+	}
+	if src.Loads.Value() != loads || src.Flushes.Value() != flushes {
+		t.Fatal("warm export must neither read storage nor re-flush")
+	}
+	// A content pass peeks: the blob stays resident for later passes.
+	if src.State(8) != StateWarm {
+		t.Fatal("content-mode export must not consume the warm blob")
+	}
+
+	installed, marked, err := dst.Install(ctx, fr, false)
+	if err != nil || !installed || !marked {
+		t.Fatalf("install compressed frame: installed=%v marked=%v err=%v", installed, marked, err)
+	}
+	if got := countFeature(t, dst, 8, 42); got != 6 {
+		t.Fatalf("content after compressed install: %d, want 6", got)
+	}
+
+	// Release mode consumes the blob: warm → evicted, the cutover step.
+	fr2, ok, err := src.Export(ctx, 8, true)
+	if err != nil || !ok {
+		t.Fatalf("warm release: ok=%v err=%v", ok, err)
+	}
+	if !fr2.Compressed || fr2.WalLSN != 21 {
+		t.Fatalf("release frame: %+v", fr2)
+	}
+	if src.State(8) != StateEvicted {
+		t.Fatal("release must drop the warm blob")
+	}
+}
+
+// TestExportAcrossStates pins that export works identically from every
+// source state — decoded, warm, evicted — and the installed content is
+// the same regardless of which tier served the frame.
+func TestExportAcrossStates(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		prep func(t *testing.T, g *GCache)
+		want EntryState
+	}{
+		{"decoded", func(t *testing.T, g *GCache) {}, StateDecoded},
+		{"warm", func(t *testing.T, g *GCache) { g.EvictToWatermark() }, StateWarm},
+		{"evicted", func(t *testing.T, g *GCache) {
+			g.EvictToWatermark()
+			g.warm.drop(5)
+		}, StateEvicted},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			src, _, _ := newCache(t, Options{MemLimit: 1, MemLowWater: 1, WarmLimit: 1 << 30})
+			dst, _, _ := newCache(t, Options{})
+			ctx := context.Background()
+			if err := src.Add(5, 5000, 1, 1, 42, []int64{4, 0}); err != nil {
+				t.Fatal(err)
+			}
+			if err := src.FlushAll(); err != nil {
+				t.Fatal(err)
+			}
+			tc.prep(t, src)
+			if got := src.State(5); got != tc.want {
+				t.Fatalf("setup state = %v, want %v", got, tc.want)
+			}
+			fr, ok, err := src.Export(ctx, 5, false)
+			if err != nil || !ok {
+				t.Fatalf("export from %v: ok=%v err=%v", tc.want, ok, err)
+			}
+			if installed, _, err := dst.Install(ctx, fr, false); err != nil || !installed {
+				t.Fatalf("install: installed=%v err=%v", installed, err)
+			}
+			if got := countFeature(t, dst, 5, 42); got != 4 {
+				t.Fatalf("content from %v source: %d, want 4", tc.want, got)
+			}
+		})
+	}
+}
+
+// TestMigrationRacesEviction is the satellite-4 -race stress: Export and
+// Install running concurrently with demotions, evictions, drops, and
+// writes of the same profile must never ship a stale blob (a frame's
+// watermark is at least every write acked before the export began) and
+// never lose the MigLSN watermark on the destination (monotone across
+// installs). Run with -race.
+func TestMigrationRacesEviction(t *testing.T) {
+	src, _, _ := newCache(t, Options{MemLimit: 1 << 12, WarmLimit: 1 << 12, LRUShards: 2})
+	dst, _, _ := newCache(t, Options{})
+	ctx := context.Background()
+	const id = model.ProfileID(99)
+
+	// Simulated journal: OnApply assigns monotonically increasing LSNs
+	// under the profile lock, exactly as the WAL does.
+	var lsn atomic.Uint64
+	src.OnApply = func(context.Context, model.ProfileID, []wire.AddEntry) (uint64, error) {
+		return lsn.Add(1), nil
+	}
+	// acked tracks the highest LSN whose write has returned to its
+	// caller; an export starting after that ack must ship at least it.
+	var acked atomic.Uint64
+	var installMu sync.Mutex // serializes dst installs for the monotone check
+	var lastMig uint64
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writers.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := src.Add(id, model.Millis(5000+i), 1, 1, 42, []int64{1, 0}); err != nil {
+					t.Error(err)
+					return
+				}
+				p, _, _ := src.Get(id)
+				p.RLock()
+				cur := p.WalLSN
+				p.RUnlock()
+				for {
+					old := acked.Load()
+					if cur <= old || acked.CompareAndSwap(old, cur) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	// Evictor: drives decoded → warm → evicted transitions nonstop.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				src.EvictToWatermark()
+				src.Drop(id)
+			}
+		}
+	}()
+	// Exporter → installer: content passes, with the staleness and
+	// watermark-monotonicity invariants checked on every round trip.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lo := acked.Load()
+			fr, ok, err := src.Export(ctx, id, false)
+			if err != nil {
+				t.Errorf("export: %v", err)
+				return
+			}
+			if !ok {
+				continue
+			}
+			if fr.WalLSN < lo {
+				t.Errorf("stale blob shipped: frame WalLSN %d < acked %d", fr.WalLSN, lo)
+				return
+			}
+			installMu.Lock()
+			if _, _, err := dst.Install(ctx, fr, false); err != nil {
+				installMu.Unlock()
+				t.Errorf("install: %v", err)
+				return
+			}
+			p, _, err := dst.Get(id)
+			if err != nil || p == nil {
+				installMu.Unlock()
+				t.Errorf("dst get: %v", err)
+				return
+			}
+			p.RLock()
+			mig := p.MigLSN
+			p.RUnlock()
+			if mig < lastMig {
+				installMu.Unlock()
+				t.Errorf("MigLSN went backwards: %d < %d", mig, lastMig)
+				return
+			}
+			lastMig = mig
+			installMu.Unlock()
+		}
+	}()
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiesce and converge: one final export/install must make the
+	// destination's content identical to the source's.
+	fr, ok, err := src.Export(ctx, id, false)
+	if err != nil || !ok {
+		t.Fatalf("final export: ok=%v err=%v", ok, err)
+	}
+	if _, _, err := dst.Install(ctx, fr, false); err != nil {
+		t.Fatal(err)
+	}
+	srcCount := countFeature(t, src, id, 42)
+	dstCount := countFeature(t, dst, id, 42)
+	if srcCount == 0 || srcCount != dstCount {
+		t.Fatalf("content diverged: src %d, dst %d", srcCount, dstCount)
+	}
+	p, _, _ := dst.Get(id)
+	p.RLock()
+	mig := p.MigLSN
+	p.RUnlock()
+	if mig < acked.Load() {
+		t.Fatalf("final MigLSN %d below last acked write %d", mig, acked.Load())
 	}
 }

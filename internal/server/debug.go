@@ -99,6 +99,8 @@ func (d *DebugServer) writeStats(w io.Writer) {
 		}
 		fmt.Fprintf(w, "table %s: load_waits=%d hot_resident=%d hot_hits=%d hot_promotions=%d hot_invalidations=%d\n",
 			tbl, cs.LoadWaits, cs.HotResident, cs.HotHits, cs.HotPromotions, cs.HotInvalidations)
+		fmt.Fprintf(w, "table %s tiers: warm_usage=%dB warm_resident=%d demotions=%d warm_hits=%d warm_misses=%d warm_evictions=%d shard_scans=%d\n",
+			tbl, cs.WarmUsage, cs.WarmResident, cs.Demotions, cs.WarmHits, cs.WarmMisses, cs.WarmEvictions, cs.ShardScans)
 	}
 }
 

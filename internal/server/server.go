@@ -327,10 +327,9 @@ func (in *Instance) replayTable(ts *tableState) error {
 					continue
 				}
 				p.Dirty = false
-				size := p.MemSize()
 				ts.main.Delete(rec.Profile)
 				p.Unlock()
-				ts.cache.NoteSizeChange(rec.Profile, -size)
+				ts.cache.Discard(rec.Profile)
 			}
 			if err := ts.ps.Delete(rec.Profile); err != nil && !errors.Is(err, kv.ErrNotFound) {
 				return err
@@ -782,10 +781,12 @@ func (in *Instance) DeleteProfile(table string, id model.ProfileID) error {
 	}
 	// Drop from cache without flushing the dirty state we are deleting.
 	mp.Dirty = false
-	size := mp.MemSize()
 	ts.main.Delete(id)
 	mp.Unlock()
-	ts.cache.NoteSizeChange(id, -size)
+	// Discard retires the LRU entry (at its recorded charge), any warm
+	// blob, and the hot replicas — a deleted profile must vanish from
+	// every tier, or a later miss could resurrect it from a stale blob.
+	ts.cache.Discard(id)
 	ts.writeMu.Unlock()
 	// The storage delete is synchronous, so on success the record — and
 	// everything before it in both streams, which it supersedes — is

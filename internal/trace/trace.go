@@ -99,6 +99,10 @@ const (
 	// read slot — an immutable snapshot that bypasses the live profile's
 	// lock entirely.
 	StageHotSlotHit
+	// StageWarmHit tags a cache fill served by re-inflating a
+	// snap-compressed warm-tier blob in process — no storage round trip;
+	// the duration covers decompress + decode + install.
+	StageWarmHit
 
 	// NumStages bounds the per-stage aggregation arrays.
 	NumStages
@@ -126,6 +130,7 @@ var stageNames = [NumStages]string{
 	StageKVFlush:          "kv.flush",
 	StageSingleflightWait: "singleflight.wait",
 	StageHotSlotHit:       "hotslot.hit",
+	StageWarmHit:          "gcache.warmhit",
 }
 
 // String returns the stage's dotted metric name.

@@ -41,6 +41,10 @@ type MigrateFrame struct {
 	MergedLSN uint64
 	MigLSN    uint64
 	Blob      []byte
+	// Compressed marks Blob as snap-compressed: a warm-tier export ships
+	// the already-compressed form instead of re-encoding the profile,
+	// and the installer inflates before decoding.
+	Compressed bool
 }
 
 // MigrateFrames is the snapshot response: the drained frames plus the
@@ -81,6 +85,7 @@ const (
 	fFrameMerged = 3
 	fFrameMig    = 4
 	fFrameBlob   = 5
+	fFrameComp   = 6
 
 	fInstTable2 = 1
 	fInstMark   = 2
@@ -145,6 +150,9 @@ func encodeFrame(e *codec.Buffer, fr *MigrateFrame) {
 	if len(fr.Blob) > 0 {
 		e.Raw(fFrameBlob, fr.Blob)
 	}
+	if fr.Compressed {
+		e.Bool(fFrameComp, true)
+	}
 }
 
 // decodeFrame parses one frame, enforcing the structural invariants the
@@ -173,6 +181,8 @@ func decodeFrame(rd *codec.Reader) (MigrateFrame, error) {
 			if b, err = rd.Bytes(); err == nil {
 				fr.Blob = append([]byte(nil), b...)
 			}
+		case fFrameComp:
+			fr.Compressed, err = rd.Bool()
 		default:
 			err = rd.Skip(wt)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"ips/internal/codec"
 	"ips/internal/model"
+	"ips/internal/snap"
 )
 
 // migFrame hand-builds a migration frame from raw field values — for
@@ -72,6 +73,12 @@ func FuzzDecodeMigrateInstall(f *testing.F) {
 		{ProfileID: 42, WalLSN: 9},
 	}}))
 	f.Add(EncodeMigrateInstall(&MigrateInstallRequest{Table: "user"}))
+	// Warm-tier export: the blob ships snap-compressed.
+	f.Add(EncodeMigrateInstall(&MigrateInstallRequest{Table: "user", Frames: []MigrateFrame{
+		{ProfileID: 42, WalLSN: 9, MigLSN: 5, Blob: snap.Encode(nil, blob), Compressed: true},
+		// Compressed flag on raw bytes (install must error, not panic).
+		{ProfileID: 7, WalLSN: 1, Blob: []byte{0xff, 0x00, 0x13}, Compressed: true},
+	}}))
 
 	// Hostile hand-built frames.
 	// Frame without a profile ID: dangling watermark ref.
@@ -136,6 +143,7 @@ func FuzzDecodeMigrateFrames(f *testing.F) {
 	f.Add(EncodeMigrateFrames(&MigrateFrames{Watermark: 12, Frames: []MigrateFrame{
 		{ProfileID: 42, WalLSN: 9, Blob: blob},
 		{ProfileID: 43, WalLSN: 11, MergedLSN: 2},
+		{ProfileID: 44, WalLSN: 13, Blob: snap.Encode(nil, blob), Compressed: true},
 	}}))
 	f.Add(EncodeMigrateFrames(&MigrateFrames{}))
 	var hostile codec.Buffer
@@ -205,6 +213,34 @@ func TestMigrateInstallDanglingWatermark(t *testing.T) {
 	// And a frame without a profile ID is always an error.
 	if _, err := DecodeMigrateInstall(migInstallFrame(false, migFrame(0, 9, 0, nil))); err == nil {
 		t.Fatal("frame without profile id must not decode")
+	}
+}
+
+// TestMigrateFrameCompressedRoundTrip pins the Compressed flag's wire
+// behavior: it survives a round trip alongside its blob, and its absence
+// decodes as false (frames from pre-tiered senders are raw blobs).
+func TestMigrateFrameCompressedRoundTrip(t *testing.T) {
+	blob := sampleProfileBlob(t)
+	r := &MigrateInstallRequest{Table: "user", Frames: []MigrateFrame{
+		{ProfileID: 42, WalLSN: 9, Blob: snap.Encode(nil, blob), Compressed: true},
+		{ProfileID: 43, WalLSN: 10, Blob: blob},
+	}}
+	got, err := DecodeMigrateInstall(EncodeMigrateInstall(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Frames[0].Compressed {
+		t.Fatal("Compressed flag lost in round trip")
+	}
+	if got.Frames[1].Compressed {
+		t.Fatal("raw frame decoded as compressed")
+	}
+	inflated, err := snap.Decode(nil, got.Frames[0].Blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inflated, blob) {
+		t.Fatal("compressed blob does not inflate back to the original")
 	}
 }
 

@@ -23,7 +23,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig16, fig17, tab2, fig18, fig19, iso80, compaction, lambda, batch, tail, recovery, trace, hotkey, migrate, tiered, fig10, fig11, all)")
+	exp := flag.String("exp", "", "experiment id (fig16, fig17, tab2, fig18, fig19, iso80, compaction, lambda, batch, tail, recovery, trace, hotkey, migrate, tiered, alloc, fig10, fig11, all)")
 	full := flag.Bool("full", false, "run the larger, slower parameterization")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
@@ -139,6 +139,14 @@ func main() {
 				o = bench.MigrateOptions{Instances: 4, Profiles: 1024, SteadyOps: 20000, Workers: 8}
 			}
 			_, err := bench.RunMigrate(o, os.Stdout)
+			return err
+		}},
+		{"alloc", "per-stage allocs/op + ns/op of the hot read path (writes BENCH_alloc.json)", func(full bool) error {
+			o := bench.AllocOptions{}
+			if full {
+				o.Warm = 1024
+			}
+			_, err := bench.RunAlloc(o, os.Stdout)
 			return err
 		}},
 		{"tiered", "tiered cache: hit ratio vs memory per tier (hot/warm/KV)", func(full bool) error {

@@ -7,12 +7,17 @@
 //
 // The package pattern argument is accepted for familiarity but the tool
 // always loads and checks the whole module containing the working
-// directory. Findings print as file:line:col: [analyzer] message.
+// directory. Findings print as file:line:col: [analyzer] message, or as
+// a JSON array with -json (one object per finding: file, line, col,
+// analyzer, message) for editor and CI integration — the GitHub Actions
+// problem matcher in .github/ipslint-matcher.json annotates PR diffs
+// from the plain-text form.
 // Suppress one with //ipslint:ignore <analyzer> <reason> on or above the
 // offending line; the reason is mandatory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,10 +26,20 @@ import (
 	"ips/internal/analysis"
 )
 
+// jsonDiag is the -json output shape, one object per finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array on stdout")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: ipslint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: ipslint [-list] [-json] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Runs the IPS invariant analyzers over the enclosing module.\n")
 		flag.PrintDefaults()
 	}
@@ -52,13 +67,33 @@ func main() {
 	}
 
 	diags := analysis.RunPackages(pkgs, analyzers)
-	for _, d := range diags {
+	for i := range diags {
 		// Print module-relative paths: stable across checkouts, and what
 		// the fixture tests and CI logs key on.
-		if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil {
-			d.Pos.Filename = rel
+		if rel, err := filepath.Rel(root, diags[i].Pos.Filename); err == nil {
+			diags[i].Pos.Filename = rel
 		}
-		fmt.Println(d)
+	}
+	if *asJSON {
+		out := make([]jsonDiag, len(diags))
+		for i, d := range diags {
+			out[i] = jsonDiag{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "ipslint: %d finding(s)\n", len(diags))

@@ -47,8 +47,36 @@ type Pass struct {
 	Pkg *types.Package
 	// Info holds the type-checker's results for the files.
 	Info *types.Info
+	// Facts carries module-wide information collected over every package
+	// in the run before any analyzer executes, so per-package passes can
+	// make interprocedural judgments (e.g. hotpathalloc's annotation
+	// frontier). Never nil when driven through RunPackages.
+	Facts *Facts
 
 	diags *[]Diagnostic
+}
+
+// Facts is the cross-package pre-pass result shared by all passes in one
+// RunPackages call. Keys are function symbols in funcKey form:
+// "pkgpath.Func" for package functions, "pkgpath.Type.Method" for
+// methods (pointer receivers are keyed by the element type).
+type Facts struct {
+	// HotpathMarked holds functions annotated //ips:hotpath — their
+	// bodies are machine-checked allocation-free.
+	HotpathMarked map[string]bool
+	// HotpathTrusted holds functions annotated //ips:hotpath-trust
+	// <reason> — callable from the hot path but hand-vetted rather than
+	// machine-checked (pooled constructors, sampled branches).
+	HotpathTrusted map[string]bool
+}
+
+// CallableFromHotpath reports whether a hot function may call sym
+// without a diagnostic.
+func (f *Facts) CallableFromHotpath(sym string) bool {
+	if f == nil {
+		return false
+	}
+	return f.HotpathMarked[sym] || f.HotpathTrusted[sym]
 }
 
 // Reportf records a finding at pos.
@@ -76,5 +104,6 @@ func Analyzers() []*Analyzer {
 		CtxDeadline,
 		JournalBeforeApply,
 		TierState,
+		HotPathAlloc,
 	}
 }

@@ -2,6 +2,8 @@ package analysis
 
 import (
 	"fmt"
+	"go/ast"
+	"go/types"
 	"sort"
 	"strings"
 )
@@ -24,9 +26,10 @@ func (d Diagnostic) String() string {
 // //ipslint:ignore directives, and returns the surviving diagnostics
 // sorted by position.
 func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	facts := CollectFacts(pkgs)
 	var all []Diagnostic
 	for _, pkg := range pkgs {
-		all = append(all, runPackage(pkg, analyzers)...)
+		all = append(all, runPackage(pkg, analyzers, facts)...)
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
@@ -44,7 +47,7 @@ func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	return all
 }
 
-func runPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+func runPackage(pkg *Package, analyzers []*Analyzer, facts *Facts) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -53,11 +56,50 @@ func runPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Files:    pkg.Files,
 			Pkg:      pkg.Pkg,
 			Info:     pkg.Info,
+			Facts:    facts,
 			diags:    &diags,
 		}
 		a.Run(pass)
 	}
 	return applyIgnores(pkg, diags)
+}
+
+// CollectFacts is the pre-pass over every package in a run: it scans
+// function doc comments for //ips:hotpath and //ips:hotpath-trust
+// markers so that per-package analyzer passes can resolve cross-package
+// callees. Marking is purely syntactic here; validity (trust reasons,
+// body checks) is enforced by the hotpathalloc analyzer itself.
+func CollectFacts(pkgs []*Package) *Facts {
+	facts := &Facts{
+		HotpathMarked:  make(map[string]bool),
+		HotpathTrusted: make(map[string]bool),
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				hot, trust, _ := hotpathDirectives(fd.Doc)
+				if !hot && !trust {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := funcKey(fn)
+				if hot {
+					facts.HotpathMarked[key] = true
+				}
+				if trust {
+					facts.HotpathTrusted[key] = true
+				}
+			}
+		}
+	}
+	return facts
 }
 
 // applyIgnores drops diagnostics suppressed by an //ipslint:ignore

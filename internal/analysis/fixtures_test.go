@@ -63,29 +63,59 @@ type expectation struct {
 // loadFixture parses and type-checks one fixture file as its own package.
 func loadFixture(t *testing.T, exp *Exports, fset *token.FileSet, path string) (*Package, []*expectation) {
 	t.Helper()
-	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	return loadFixtureFiles(t, exp, fset, []string{path})
+}
+
+// loadFixtureDir type-checks every .go file in dir as ONE multi-file
+// package, for fixtures that pin cross-file behavior (e.g. hotpath mark
+// propagation).
+func loadFixtureDir(t *testing.T, exp *Exports, fset *token.FileSet, dir string) (*Package, []*expectation) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
 	if err != nil {
-		t.Fatalf("parse %s: %v", path, err)
+		t.Fatalf("reading fixture dir %s: %v", dir, err)
 	}
-	pkgPath := "fixture/" + strings.TrimSuffix(filepath.Base(path), ".go")
+	var paths []string
+	for _, ent := range entries {
+		if strings.HasSuffix(ent.Name(), ".go") {
+			paths = append(paths, filepath.Join(dir, ent.Name()))
+		}
+	}
+	if len(paths) == 0 {
+		t.Fatalf("fixture dir %s has no .go files", dir)
+	}
+	return loadFixtureFiles(t, exp, fset, paths)
+}
+
+func loadFixtureFiles(t *testing.T, exp *Exports, fset *token.FileSet, paths []string) (*Package, []*expectation) {
+	t.Helper()
+	pkgPath := "fixture/" + strings.TrimSuffix(filepath.Base(paths[0]), ".go")
+	var files []*ast.File
 	var expects []*expectation
-	for _, cg := range f.Comments {
-		for _, c := range cg.List {
-			if strings.HasPrefix(c.Text, fixturePathPrefix) {
-				pkgPath = strings.TrimSpace(strings.TrimPrefix(c.Text, fixturePathPrefix))
-			}
-			for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
-				re, err := regexp.Compile(m[1])
-				if err != nil {
-					t.Fatalf("%s: bad want pattern %q: %v", path, m[1], err)
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, fixturePathPrefix) {
+					pkgPath = strings.TrimSpace(strings.TrimPrefix(c.Text, fixturePathPrefix))
 				}
-				expects = append(expects, &expectation{line: fset.Position(c.Pos()).Line, pattern: re})
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", path, m[1], err)
+					}
+					expects = append(expects, &expectation{line: fset.Position(c.Pos()).Line, pattern: re})
+				}
 			}
 		}
 	}
-	pkg, err := exp.Check(pkgPath, fset, []*ast.File{f})
+	pkg, err := exp.Check(pkgPath, fset, files)
 	if err != nil {
-		t.Fatalf("type-check %s: %v", path, err)
+		t.Fatalf("type-check %s: %v", paths[0], err)
 	}
 	return pkg, expects
 }
@@ -126,12 +156,18 @@ func TestAnalyzerFixtures(t *testing.T) {
 			}
 			ran := false
 			for _, ent := range entries {
-				if !strings.HasSuffix(ent.Name(), ".go") {
+				var pkg *Package
+				var expects []*expectation
+				fset := token.NewFileSet()
+				switch {
+				case ent.IsDir():
+					pkg, expects = loadFixtureDir(t, exp, fset, filepath.Join(dir, ent.Name()))
+				case strings.HasSuffix(ent.Name(), ".go"):
+					pkg, expects = loadFixture(t, exp, fset, filepath.Join(dir, ent.Name()))
+				default:
 					continue
 				}
 				ran = true
-				fset := token.NewFileSet()
-				pkg, expects := loadFixture(t, exp, fset, filepath.Join(dir, ent.Name()))
 				if len(expects) == 0 && !strings.Contains(ent.Name(), "clean") {
 					t.Errorf("%s: fixture has no want expectations", ent.Name())
 				}

@@ -6,10 +6,13 @@ import (
 )
 
 // TestLiveTreeDiagnosticFree pins the repository itself at zero ipslint
-// findings. A failure here means a change reintroduced a lock-order,
-// durability, determinism, context, or journal-ordering violation — fix
+// findings — including hotpathalloc, so every //ips:hotpath function in
+// the tree is machine-checked allocation-free. A failure here means a
+// change reintroduced a lock-order, durability, determinism, context,
+// journal-ordering, tier-state, or hot-path-allocation violation — fix
 // the code (or, for a demonstrated false positive, add an
-// //ipslint:ignore <analyzer> <reason> directive at the site).
+// //ipslint:ignore <analyzer> <reason> directive at the site; the
+// reason is mandatory, reasonless ignores are themselves findings).
 func TestLiveTreeDiagnosticFree(t *testing.T) {
 	root, err := FindModuleRoot(".")
 	if err != nil {

@@ -13,6 +13,8 @@ import (
 //
 //	Instance.mu → tableState.writeMu → model.Profile → wal.Journal.mu
 //
+// plus the documented leaf branches (gcache.warmTier.mu is taken under
+// the profile write lock and never nests further),
 // and reports (a) acquisitions that close a cycle in that graph — a lock
 // order inversion, the classic AB/BA deadlock shape — and (b) Lock()
 // calls in functions with multiple exit points where some path can
@@ -37,6 +39,14 @@ var lockOrderSeeds = []string{
 	"ips/internal/server.tableState.writeMu",
 	"ips/internal/model.Profile",
 	"ips/internal/wal.Journal.mu",
+}
+
+// lockOrderSeedEdges are documented branch edges off the main chain:
+// leaf mutexes acquired under a chain lock that never nest further.
+// The tiered cache's warmTier.mu (PR 8) is taken under the profile
+// write lock in demoteLocked and never the other way around.
+var lockOrderSeedEdges = [][2]string{
+	{"ips/internal/model.Profile", "ips/internal/gcache.warmTier.mu"},
 }
 
 type lockOp int
@@ -643,12 +653,18 @@ func (s *lockSim) reportInversions() {
 		graph[u][v] = true
 	}
 	seedGraph := make(map[string]map[string]bool)
-	for i := 0; i+1 < len(lockOrderSeeds); i++ {
-		addEdge(lockOrderSeeds[i], lockOrderSeeds[i+1])
-		if seedGraph[lockOrderSeeds[i]] == nil {
-			seedGraph[lockOrderSeeds[i]] = make(map[string]bool)
+	addSeed := func(u, v string) {
+		addEdge(u, v)
+		if seedGraph[u] == nil {
+			seedGraph[u] = make(map[string]bool)
 		}
-		seedGraph[lockOrderSeeds[i]][lockOrderSeeds[i+1]] = true
+		seedGraph[u][v] = true
+	}
+	for i := 0; i+1 < len(lockOrderSeeds); i++ {
+		addSeed(lockOrderSeeds[i], lockOrderSeeds[i+1])
+	}
+	for _, e := range lockOrderSeedEdges {
+		addSeed(e[0], e[1])
 	}
 	for k := range s.edges {
 		addEdge(k[0], k[1])
@@ -688,9 +704,13 @@ func (s *lockSim) reportInversions() {
 			continue
 		}
 		if reaches(k[1], k[0]) {
+			order := strings.Join(lockOrderSeeds, " → ")
+			for _, e := range lockOrderSeedEdges {
+				order += "; " + e[0] + " → " + e[1] + " (leaf)"
+			}
 			s.pass.Reportf(s.edges[k],
 				"lock order inversion: %s acquired while holding %s, but the documented order is %s",
-				k[1], k[0], strings.Join(lockOrderSeeds, " → "))
+				k[1], k[0], order)
 		}
 	}
 }

@@ -1,0 +1,80 @@
+//ipslint:fixturepath fixture/hotalloc
+
+// Core allocating constructs inside //ips:hotpath functions.
+package hotalloc
+
+type node struct{ v int }
+
+//ips:hotpath
+func escapingComposite() *node {
+	n := &node{v: 1} // want "escapes and heap-allocates"
+	return n
+}
+
+//ips:hotpath
+func stackComposite() int {
+	n := node{v: 2}
+	p := &node{v: 3}
+	p.v++
+	return n.v + p.v
+}
+
+var sink2 []byte
+
+//ips:hotpath
+func makes(n int) {
+	m := make(map[int]int) // want "make\(map\) allocates"
+	_ = m
+	ch := make(chan int) // want "make\(chan\) allocates"
+	_ = ch
+	b := make([]byte, n) // want "non-constant size"
+	_ = b
+	s := make([]byte, 64)
+	_ = s
+	sink2 = make([]byte, 64) // want "make result escapes"
+}
+
+//ips:hotpath
+func growFromNil() []byte {
+	var out []byte
+	for i := 0; i < 4; i++ {
+		out = append(out, byte(i)) // want "grows from a bare declaration"
+	}
+	return out
+}
+
+//ips:hotpath
+func conversions(s string, b []byte) {
+	bs := []byte(s) // want "conversion copies"
+	_ = bs
+	st := string(b) // want "conversion to string copies"
+	_ = st
+}
+
+var lookup map[string]int
+
+//ips:hotpath
+func mapIndexOptimized(b []byte) int {
+	return lookup[string(b)]
+}
+
+//ips:hotpath
+func closureAndGo(n int) {
+	f := func() int { return n } // want "closure captures n"
+	_ = f
+	go f() // want "go statement allocates" want "dynamic call"
+}
+
+//ips:hotpath
+func mapRange(m map[int]int) int {
+	t := 0
+	for k, v := range m { // want "range over map"
+		t += k + v
+	}
+	return t
+}
+
+//ips:hotpath
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}

@@ -1,0 +1,50 @@
+//ipslint:fixturepath fixture/hotbox
+
+// Interface boxing at call sites (the fmt trap), returns, assignments,
+// and the pointer-shaped exemption.
+package hotbox
+
+import "fmt"
+
+//ips:hotpath
+func printing(v int) {
+	fmt.Println(v) // want "argument boxes int" want "variadic call materializes" want "not on the hot-path allowlist"
+}
+
+//ips:hotpath
+func spread(args []any) {
+	fmt.Println(args...) // want "not on the hot-path allowlist"
+}
+
+type sink interface{ m() }
+
+type impl struct{ x int }
+
+func (impl) m() {}
+
+var is sink
+
+//ips:hotpath
+func assignBox(v impl) {
+	is = v // want "assignment boxes"
+}
+
+//ips:hotpath
+func returnBox(v impl) any {
+	return v // want "return boxes"
+}
+
+//ips:hotpath
+func ptrBoxFree(p *impl) any {
+	return p
+}
+
+type ctxKey struct{}
+
+// zeroBoxFree: boxing a zero-sized value reuses the runtime's shared
+// zero base — the context-key idiom must stay clean.
+//
+//ips:hotpath
+func zeroBoxFree() any {
+	return ctxKey{}
+}

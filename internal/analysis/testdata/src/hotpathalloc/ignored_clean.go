@@ -1,0 +1,11 @@
+//ipslint:fixturepath fixture/hotignore
+
+// A reasoned //ipslint:ignore suppresses a hotpathalloc finding.
+package hotignore
+
+//ips:hotpath
+func coldInsert() *int {
+	//ipslint:ignore hotpathalloc first-sight insert is off the steady-state path
+	p := new(int)
+	return p
+}

@@ -1,0 +1,37 @@
+//ipslint:fixturepath fixture/hotclean
+
+// Allocation-free idioms the analyzer must accept: field appends under
+// the pooled-storage contract, reslice reuse, stack values, atomics.
+package hotclean
+
+import "sync/atomic"
+
+type buf struct {
+	b []byte
+	n atomic.Uint64
+}
+
+//ips:hotpath
+func (w *buf) appendBytes(p []byte) {
+	w.b = append(w.b, p...)
+	w.n.Add(1)
+}
+
+//ips:hotpath
+func reuse(scratch []byte, vals []int64) []byte {
+	out := scratch[:0]
+	for _, v := range vals {
+		out = append(out, byte(v))
+	}
+	return out
+}
+
+//ips:hotpath
+func stackOnly() int {
+	var tmp [8]int
+	for i := range tmp {
+		tmp[i] = i
+	}
+	s := tmp[:]
+	return len(s)
+}

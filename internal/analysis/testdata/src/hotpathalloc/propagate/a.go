@@ -1,0 +1,10 @@
+//ipslint:fixturepath fixture/hotprop
+
+// Multi-file propagation: marks in b.go must be visible when checking
+// a.go — the Facts pre-pass is package-wide, not file-wide.
+package hotprop
+
+//ips:hotpath
+func entry() uint64 {
+	return helperMarked() + helperUnmarked() // want "helperUnmarked which is not marked"
+}

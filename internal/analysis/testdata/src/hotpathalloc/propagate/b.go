@@ -1,0 +1,8 @@
+//ipslint:fixturepath fixture/hotprop
+
+package hotprop
+
+//ips:hotpath
+func helperMarked() uint64 { return 1 }
+
+func helperUnmarked() uint64 { return 2 }

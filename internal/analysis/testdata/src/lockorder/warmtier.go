@@ -1,0 +1,35 @@
+//ipslint:fixturepath ips/internal/gcache
+
+// warmTier.mu is a documented leaf under the profile write lock (PR 8's
+// tiered cache): demoteLocked takes it while holding p.Lock(), never
+// the other way around. The local warmTier below resolves into the
+// gcache package's class namespace, the same class the seed edge names.
+package gcache
+
+import (
+	"sync"
+
+	"ips/internal/model"
+)
+
+type warmTier struct {
+	mu sync.Mutex
+}
+
+// demoteShape mirrors GCache demotion: warm after profile is the
+// documented discipline and must not be reported.
+func demoteShape(w *warmTier, p *model.Profile) {
+	p.Lock()
+	w.mu.Lock()
+	w.mu.Unlock()
+	p.Unlock()
+}
+
+// inverted acquires the profile lock while holding the warm-tier leaf —
+// backwards against the documented branch edge.
+func inverted(w *warmTier, p *model.Profile) {
+	w.mu.Lock()
+	p.Lock() // want "lock order inversion"
+	p.Unlock()
+	w.mu.Unlock()
+}

@@ -1,0 +1,178 @@
+package bench
+
+// The allocation-trajectory experiment: measures allocs/op, bytes/op and
+// ns/op for each annotated stage of the hot read path and writes the
+// machine-readable BENCH_alloc.json, so allocation regressions are
+// visible across PRs the same way the latency artifacts are. The CI
+// `alloc` job gates the hard invariants (AllocsPerRun == 0 in the stage
+// tests); this artifact records the trajectory.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"testing"
+	"text/tabwriter"
+
+	"ips/internal/query"
+	"ips/internal/trace"
+	"ips/internal/wire"
+)
+
+// AllocOptions scales the allocation experiment.
+type AllocOptions struct {
+	// Features per profile; default 32.
+	Features int
+	// Warm iterations before measuring; default 256 (past the hot-slot
+	// promotion threshold).
+	Warm int
+	// OutPath is where the JSON artifact lands; default BENCH_alloc.json
+	// in the working directory. Empty string after fill means default.
+	OutPath string
+}
+
+func (o *AllocOptions) fill() {
+	if o.Features <= 0 {
+		o.Features = 32
+	}
+	if o.Warm <= 0 {
+		o.Warm = 256
+	}
+	if o.OutPath == "" {
+		o.OutPath = "BENCH_alloc.json"
+	}
+}
+
+// AllocStage is one measured stage of the read path.
+type AllocStage struct {
+	Stage       string  `json:"stage"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	Gated       bool    `json:"gated"` // true: CI requires 0 allocs/op
+	Note        string  `json:"note,omitempty"`
+	Ops         float64 `json:"-"`
+}
+
+// AllocReport is the artifact written to BENCH_alloc.json.
+type AllocReport struct {
+	Stages []AllocStage `json:"stages"`
+}
+
+// RunAlloc measures the per-stage allocation profile of a warmed
+// cache-hit read and writes BENCH_alloc.json.
+func RunAlloc(opts AllocOptions, w io.Writer) (*AllocReport, error) {
+	opts.fill()
+	env, err := NewEnv(EnvOptions{})
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	if err := env.Prefill(4, opts.Features, 3_600_000); err != nil {
+		return nil, err
+	}
+	if err := env.Instance.WarmProfile(TableName, 1); err != nil {
+		return nil, err
+	}
+
+	req := &wire.QueryRequest{
+		Caller: "bench", Table: TableName, ProfileID: 1,
+		Slot: 1, Type: 1,
+		RangeKind: query.Current, Span: 7_200_000,
+		SortBy: query.ByAction, K: 16,
+	}
+	payload := wire.EncodeQuery(req)
+	ctx := context.Background()
+
+	var interner wire.Interner
+	var decoded wire.QueryRequest
+	var resp wire.QueryResponse
+	var sc query.Scratch
+	var dst []byte
+
+	// Warm every pooled layer, including hot-slot promotion.
+	for i := 0; i < opts.Warm; i++ {
+		if err := wire.DecodeQueryInto(payload, &decoded, &interner); err != nil {
+			return nil, err
+		}
+		if err := env.Instance.QueryInto(ctx, &decoded, &resp, &sc); err != nil {
+			return nil, err
+		}
+		dst = wire.AppendQueryResponse(dst[:0], &resp)
+	}
+
+	measure := func(stage string, gated bool, note string, f func()) AllocStage {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				f()
+			}
+		})
+		return AllocStage{
+			Stage:       stage,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			NsPerOp:     r.NsPerOp(),
+			Gated:       gated,
+			Note:        note,
+		}
+	}
+
+	report := &AllocReport{}
+	report.Stages = append(report.Stages,
+		measure("wire.decode_query", true, "request decode through the interner", func() {
+			if err := wire.DecodeQueryInto(payload, &decoded, &interner); err != nil {
+				panic(err)
+			}
+		}),
+		measure("server.query_hit", true, "cache-hit read through pooled scratch", func() {
+			if err := env.Instance.QueryInto(ctx, &decoded, &resp, &sc); err != nil {
+				panic(err)
+			}
+		}),
+		measure("wire.encode_response", true, "response encode into a reused buffer", func() {
+			dst = wire.AppendQueryResponse(dst[:0], &resp)
+		}),
+		measure("trace.sampled_out", true, "span start/end on an unsampled request", func() {
+			c2, sp := trace.StartSpan(ctx, trace.StageCacheCompute)
+			leaf := trace.StartLeaf(c2, trace.StageCacheGet)
+			leaf.End()
+			sp.EndErr(nil)
+		}),
+		measure("client.roundtrip", false, "full RPC roundtrip incl. sockets and scheduler", func() {
+			if _, err := env.Client.TopK(req); err != nil {
+				panic(err)
+			}
+		}),
+	)
+
+	f, err := os.Create(opts.OutPath)
+	if err != nil {
+		return nil, err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		_ = f.Close() // encode error wins; close error on the error path is noise
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "stage\tallocs/op\tB/op\tns/op\tgated\n")
+	for _, s := range report.Stages {
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%v\n", s.Stage, s.AllocsPerOp, s.BytesPerOp, s.NsPerOp, s.Gated)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "wrote %s\n", opts.OutPath)
+	for _, s := range report.Stages {
+		if s.Gated && s.AllocsPerOp != 0 {
+			return report, fmt.Errorf("bench: gated stage %s allocated %d/op; want 0", s.Stage, s.AllocsPerOp)
+		}
+	}
+	return report, nil
+}

@@ -281,6 +281,7 @@ func (g *GCache) Abort() {
 	}
 }
 
+//ips:hotpath
 func (g *GCache) lruShardFor(id model.ProfileID) *lruShard {
 	// Fold with the full upper half of the mixed hash: shifting by 59
 	// keeps only 5 bits, so any LRUShards > 32 would leave the extra
@@ -311,6 +312,8 @@ func (g *GCache) WarmResident() int { return g.warm.resident() }
 // touch moves id to the front of its LRU shard, inserting if new.
 // delta adjusts the entry's recorded byte footprint and, with it, the
 // shard and global usage.
+//
+//ips:hotpath
 func (g *GCache) touch(id model.ProfileID, delta int64) {
 	sh := g.lruShardFor(id)
 	sh.mu.Lock()
@@ -318,6 +321,7 @@ func (g *GCache) touch(id model.ProfileID, delta int64) {
 		sh.ll.MoveToFront(el)
 		el.Value.(*lruEntry).bytes += delta
 	} else {
+		//ipslint:ignore hotpathalloc first touch inserts the LRU entry; steady-state reads move an existing one
 		sh.items[id] = sh.ll.PushFront(&lruEntry{id: id, bytes: delta})
 	}
 	sh.mu.Unlock()
@@ -510,6 +514,8 @@ func (g *GCache) Get(id model.ProfileID) (p *model.Profile, hit bool, err error)
 // GetCtx is Get with a request context: the lookup is attributed to a
 // cache.get span on ctx's trace, flagged hit or miss, with storage-load
 // time as a kv.read child.
+//
+//ips:hotpath
 func (g *GCache) GetCtx(ctx context.Context, id model.ProfileID) (p *model.Profile, hit bool, err error) {
 	gctx, sp := trace.StartSpan(ctx, trace.StageCacheGet)
 	p, hit, err = g.getOrLoad(gctx, id, false)
@@ -537,6 +543,8 @@ func (g *GCache) GetCtx(ctx context.Context, id model.ProfileID) (p *model.Profi
 // is acknowledged (see hotslot.go), so a read that starts after a
 // write's ack always observes a state at least as new as that write —
 // the property the hot-slot staleness test pins.
+//
+//ips:hotpath
 func (g *GCache) GetForRead(ctx context.Context, id model.ProfileID) (p *model.Profile, hit, hot bool, err error) {
 	if e := g.hot.lookup(id); e != nil {
 		g.HitRatio.Observe(true)
@@ -550,6 +558,7 @@ func (g *GCache) GetForRead(ctx context.Context, id model.ProfileID) (p *model.P
 	}
 	p, hit, err = g.GetCtx(ctx, id)
 	if err == nil && p != nil && g.hot.note(id) {
+		//ipslint:ignore hotpathalloc promotion is a threshold-crossing event, not the steady state
 		g.maybePromote(id, p)
 	}
 	return p, hit, false, err
@@ -564,12 +573,24 @@ func (g *GCache) GetOrLoadForWrite(id model.ProfileID) (p *model.Profile, hit bo
 
 // getOrLoad returns the resident profile or fills from storage; when
 // createOnMiss is set, an absent profile is created empty (the write path).
+// The resident-hit fast path is allocation-free; everything past it is
+// the cold miss path.
+//
+//ips:hotpath
 func (g *GCache) getOrLoad(ctx context.Context, id model.ProfileID, createOnMiss bool) (*model.Profile, bool, error) {
 	if p := g.table.Get(id); p != nil {
 		g.HitRatio.Observe(true)
 		g.touch(id, 0)
 		return p, true, nil
 	}
+	return g.getOrLoadSlow(ctx, id, createOnMiss)
+}
+
+// getOrLoadSlow resolves a table miss — storage IO, single-flight joins,
+// and empty-profile creation all live here, off the hit path.
+//
+//ips:hotpath-trust the miss path does storage IO and is cold by definition
+func (g *GCache) getOrLoadSlow(ctx context.Context, id model.ProfileID, createOnMiss bool) (*model.Profile, bool, error) {
 	g.HitRatio.Observe(false)
 
 	// Single-flight the storage load: the first misser becomes the

@@ -30,6 +30,15 @@ const (
 	// hotEpochSlots sizes the invalidation-epoch table that fences
 	// promotions racing concurrent writes.
 	hotEpochSlots = 1024
+	// hotIndexSlots sizes the typed read index over promoted entries.
+	// sync.Map.Load boxes a uint64 key into an interface — one heap
+	// allocation per hot read for IDs >= 256 — so lookups go through this
+	// boxing-free table instead; the sync.Map stays authoritative for
+	// installs, teardown, and accounting walks. A hash collision merely
+	// displaces one entry from the index (its reads fall back to the
+	// live profile), never serves the wrong profile: lookups compare the
+	// entry's own id.
+	hotIndexSlots = 1024
 	// hotDecayEvery halves every read counter after this many observed
 	// reads, so the detector tracks the CURRENT Zipf head rather than
 	// all-time totals. Count-based (not wall-clock) decay keeps the
@@ -40,6 +49,9 @@ const (
 // hotEntry is one promoted profile: K immutable clones plus the
 // watermarks they were snapshotted at.
 type hotEntry struct {
+	// id is the promoted profile's key, checked by index lookups so a
+	// colliding slot can never serve another profile's replicas.
+	id model.ProfileID
 	// lsn is the profile's WalLSN at snapshot time; the staleness
 	// property test asserts reads never observe an lsn below the last
 	// acknowledged write's.
@@ -56,6 +68,8 @@ type hotEntry struct {
 
 // pick returns the next read slot round-robin, spreading concurrent
 // readers across the K clones' independent locks.
+//
+//ips:hotpath
 func (e *hotEntry) pick() *model.Profile {
 	return e.slots[e.next.Add(1)%uint64(len(e.slots))]
 }
@@ -68,6 +82,7 @@ type hotSet struct {
 	maxEntries   int64  // cap on simultaneously promoted profiles
 
 	entries   sync.Map // model.ProfileID -> *hotEntry
+	index     [hotIndexSlots]atomic.Pointer[hotEntry]
 	size      atomic.Int64
 	bytes     atomic.Int64 // summed clone footprint of installed entries
 	promoting sync.Map     // model.ProfileID -> struct{}: promotion in flight
@@ -91,28 +106,46 @@ func newHotSet(k, promoteAfter, maxEntries int) *hotSet {
 	return &hotSet{k: k, promoteAfter: uint32(promoteAfter), maxEntries: int64(maxEntries)}
 }
 
+//ips:hotpath
 func hotHash(id model.ProfileID) uint64 {
 	return uint64(id) * 0x9e3779b97f4a7c15
 }
 
+//ips:hotpath
 func (h *hotSet) epoch(id model.ProfileID) *atomic.Uint64 {
 	return &h.epochs[hotHash(id)>>(64-10)] // top 10 bits: hotEpochSlots
 }
 
+//ips:hotpath
+func (h *hotSet) indexSlot(id model.ProfileID) *atomic.Pointer[hotEntry] {
+	return &h.index[hotHash(id)>>(64-10)] // top 10 bits: hotIndexSlots
+}
+
+// clearIndex removes id's entry from the read index, if present.
+func (h *hotSet) clearIndex(id model.ProfileID) {
+	s := h.indexSlot(id)
+	if cur := s.Load(); cur != nil && cur.id == id {
+		s.CompareAndSwap(cur, nil)
+	}
+}
+
 // lookup returns the promoted entry for id, nil when none.
+//
+//ips:hotpath
 func (h *hotSet) lookup(id model.ProfileID) *hotEntry {
 	if h == nil {
 		return nil
 	}
-	v, ok := h.entries.Load(id)
-	if !ok {
-		return nil
+	if e := h.indexSlot(id).Load(); e != nil && e.id == id {
+		return e
 	}
-	return v.(*hotEntry)
+	return nil
 }
 
 // note records one read of id and reports whether the decayed count has
 // crossed the promotion threshold.
+//
+//ips:hotpath
 func (h *hotSet) note(id model.ProfileID) bool {
 	if h == nil {
 		return false
@@ -143,6 +176,7 @@ func (h *hotSet) invalidate(id model.ProfileID) bool {
 	}
 	h.epoch(id).Add(1)
 	h.counts[hotHash(id)>>(64-12)].Store(0)
+	h.clearIndex(id)
 	if v, ok := h.entries.LoadAndDelete(id); ok {
 		h.size.Add(-1)
 		h.bytes.Add(-v.(*hotEntry).bytes)
@@ -185,7 +219,7 @@ func (g *GCache) maybePromote(id model.ProfileID, p *model.Profile) bool {
 		return false
 	}
 	e := h.epoch(id).Load()
-	entry := &hotEntry{slots: make([]*model.Profile, h.k)}
+	entry := &hotEntry{id: id, slots: make([]*model.Profile, h.k)}
 	p.RLock()
 	entry.lsn, entry.gen = p.WalLSN, p.Generation
 	for i := range entry.slots {
@@ -196,10 +230,12 @@ func (g *GCache) maybePromote(id model.ProfileID, p *model.Profile) bool {
 		entry.bytes += c.MemSize()
 	}
 	h.entries.Store(id, entry)
+	h.indexSlot(id).Store(entry)
 	h.size.Add(1)
 	h.bytes.Add(entry.bytes)
 	if h.epoch(id).Load() != e {
 		// A write landed while we cloned; our snapshot may predate it.
+		h.clearIndex(id)
 		if v, ok := h.entries.LoadAndDelete(id); ok {
 			h.size.Add(-1)
 			h.bytes.Add(-v.(*hotEntry).bytes)

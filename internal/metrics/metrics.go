@@ -23,9 +23,13 @@ type Counter struct {
 }
 
 // Inc adds one to the counter.
+//
+//ips:hotpath
 func (c *Counter) Inc() { c.n.Add(1) }
 
 // Add adds delta to the counter.
+//
+//ips:hotpath
 func (c *Counter) Add(delta int64) { c.n.Add(delta) }
 
 // Value returns the current count.
@@ -40,9 +44,13 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//ips:hotpath
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Add adjusts the gauge by delta and returns the new value.
+//
+//ips:hotpath
 func (g *Gauge) Add(delta int64) int64 { return g.v.Add(delta) }
 
 // Value returns the current gauge value.
@@ -55,6 +63,8 @@ type Ratio struct {
 
 // Observe records one observation; hit says whether it counts toward the
 // numerator.
+//
+//ips:hotpath
 func (r *Ratio) Observe(hit bool) {
 	r.total.Inc()
 	if hit {
@@ -104,6 +114,8 @@ var bucketBounds = func() [bucketCount]int64 {
 }()
 
 // bucketFor returns the histogram bucket index for d.
+//
+//ips:hotpath
 func bucketFor(d time.Duration) int {
 	ns := d.Nanoseconds()
 	if ns < bucketBounds[0] {
@@ -138,6 +150,8 @@ type Histogram struct {
 }
 
 // Observe records one duration.
+//
+//ips:hotpath
 func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bucketFor(d)].Add(1)
 	h.count.Add(1)

@@ -29,10 +29,14 @@ func NewFeatureStats() *FeatureStats {
 }
 
 // Len returns the number of distinct features.
+//
+//ips:hotpath
 func (fs *FeatureStats) Len() int { return len(fs.stats) }
 
 // Get returns the counts for fid, or nil when absent. The returned slice is
 // live; callers must not mutate it.
+//
+//ips:hotpath
 func (fs *FeatureStats) Get(fid FeatureID) []int64 {
 	if i, ok := fs.fidIndex[fid]; ok {
 		return fs.stats[i].Counts
@@ -70,6 +74,14 @@ func (fs *FeatureStats) Each(fn func(FeatureStat)) {
 		fn(st)
 	}
 }
+
+// View returns the live stats slice without copying — the zero-allocation
+// iteration surface for the read path. The slice and every Counts vector
+// alias internal storage: callers must hold the owning profile's read lock
+// (or operate on sealed copies) and must not mutate or retain them.
+//
+//ips:hotpath
+func (fs *FeatureStats) View() []FeatureStat { return fs.stats }
 
 // Stats returns a deep copy of all stats, for callers that need a snapshot.
 func (fs *FeatureStats) Stats() []FeatureStat {

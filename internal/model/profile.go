@@ -71,16 +71,24 @@ func (p *Profile) Unlock() { p.mu.Unlock() }
 func (p *Profile) TryLock() bool { return p.mu.TryLock() }
 
 // RLock acquires the shared lock.
+//
+//ips:hotpath
 func (p *Profile) RLock() { p.mu.RLock() }
 
 // RUnlock releases the shared lock.
+//
+//ips:hotpath
 func (p *Profile) RUnlock() { p.mu.RUnlock() }
 
 // NumSlices returns the slice-list length. Caller must hold at least RLock.
+//
+//ips:hotpath
 func (p *Profile) NumSlices() int { return len(p.slices) }
 
 // Slices returns the internal slice list, newest first. Caller must hold at
 // least RLock and must not mutate the returned list.
+//
+//ips:hotpath
 func (p *Profile) Slices() []*Slice { return p.slices }
 
 // SnapshotSlices returns a copy of the slice-list headers (the same *Slice
@@ -91,6 +99,8 @@ func (p *Profile) SnapshotSlices() []*Slice {
 }
 
 // MemSize returns the cached memory footprint estimate in bytes.
+//
+//ips:hotpath
 func (p *Profile) MemSize() int64 { return p.memSize }
 
 // RecomputeMemSize recalculates the cached footprint after bulk mutations
@@ -106,6 +116,8 @@ func (p *Profile) RecomputeMemSize() int64 {
 
 // Latest returns the newest event timestamp across the profile, or 0 when
 // empty. Caller must hold at least RLock.
+//
+//ips:hotpath
 func (p *Profile) Latest() Millis {
 	if len(p.slices) == 0 {
 		return 0

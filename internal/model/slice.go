@@ -12,6 +12,8 @@ func NewInstanceSet() *InstanceSet {
 }
 
 // Get returns the FeatureStats for typ, or nil when absent.
+//
+//ips:hotpath
 func (is *InstanceSet) Get(typ TypeID) *FeatureStats { return is.types[typ] }
 
 // GetOrCreate returns the FeatureStats for typ, creating it when absent.
@@ -25,6 +27,8 @@ func (is *InstanceSet) GetOrCreate(typ TypeID) *FeatureStats {
 }
 
 // Len returns the number of types present.
+//
+//ips:hotpath
 func (is *InstanceSet) Len() int { return len(is.types) }
 
 // Each calls fn for every (type, stats) pair.
@@ -76,15 +80,23 @@ func NewSlice(start, end Millis) *Slice {
 }
 
 // Contains reports whether ts falls inside the slice interval.
+//
+//ips:hotpath
 func (s *Slice) Contains(ts Millis) bool { return ts >= s.Start && ts < s.End }
 
 // Overlaps reports whether the slice interval intersects [from, to).
+//
+//ips:hotpath
 func (s *Slice) Overlaps(from, to Millis) bool { return s.Start < to && s.End > from }
 
 // Width returns the interval length in milliseconds.
+//
+//ips:hotpath
 func (s *Slice) Width() Millis { return s.End - s.Start }
 
 // Slot returns the InstanceSet for slot, or nil when absent.
+//
+//ips:hotpath
 func (s *Slice) Slot(slot SlotID) *InstanceSet { return s.slots[slot] }
 
 // NumSlots returns the number of slots present.

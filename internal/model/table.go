@@ -57,12 +57,15 @@ func NewTable(name string, schema *Schema, headWidth Millis) *Table {
 	return t
 }
 
+//ips:hotpath
 func (t *Table) shard(id ProfileID) *tableShard {
 	// Multiply-shift hash spreads sequential profile IDs across shards.
 	return &t.shards[(id*0x9e3779b97f4a7c15)>>58%tableShards]
 }
 
 // Get returns the profile for id, or nil when absent.
+//
+//ips:hotpath
 func (t *Table) Get(id ProfileID) *Profile {
 	sh := t.shard(id)
 	sh.mu.RLock()

@@ -155,9 +155,13 @@ func (s *Schema) buildIndex() {
 }
 
 // NumActions returns the width of the count vector.
+//
+//ips:hotpath
 func (s *Schema) NumActions() int { return len(s.Actions) }
 
 // ActionIndex resolves an action name to its count-vector position.
+//
+//ips:hotpath-trust index build is lazy one-time and the error branch only fires on unknown actions
 func (s *Schema) ActionIndex(name string) (int, error) {
 	if s.index == nil {
 		s.buildIndex()

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 
 	"ips/internal/model"
 )
@@ -72,6 +73,8 @@ func AbsoluteRange(from, to model.Millis) TimeRange {
 
 // Resolve converts the range to absolute bounds given the query time and
 // the profile's latest event timestamp.
+//
+//ips:hotpath-trust error construction only runs on invalid ranges, off the steady state
 func (r TimeRange) Resolve(now, latest model.Millis) (from, to model.Millis, err error) {
 	switch r.Kind {
 	case Current:
@@ -192,6 +195,111 @@ type Result struct {
 	SlicesScanned int
 }
 
+// errUDAFRequired is preallocated so the invalid-request check stays off
+// the allocation profile of the hot path that performs it.
+var errUDAFRequired = errors.New("query: ByUDAF requires a UDAF")
+
+// Scratch holds the reusable working storage for query execution: the
+// feature accumulator (fid index map, flat Feature slice, count-vector
+// arena) plus top-K selection state. A warmed Scratch lets the whole
+// aggregation pipeline run without heap allocation — the zero-alloc read
+// path the paper's serving shape demands.
+//
+// A Result produced through a Scratch aliases its storage: it is valid
+// only until the next run with the same Scratch. Callers that retain
+// results must copy them out first. A Scratch is not safe for concurrent
+// use.
+type Scratch struct {
+	idx   map[model.FeatureID]int32
+	feats []Feature
+	arena []int64
+	width int
+
+	heap []int32
+	out  []Feature
+
+	sorter  featureSorter
+	hsorter heapSorter
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch returns a pooled Scratch.
+//
+//ips:hotpath-trust pool misses allocate once; the steady state recycles
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch recycles sc. The caller must be done with every Result
+// produced through it — their Features alias the scratch storage.
+//
+//ips:hotpath
+func PutScratch(sc *Scratch) { scratchPool.Put(sc) }
+
+// reset prepares the scratch for a run over count vectors of the given
+// width, retaining all backing storage from previous runs.
+//
+//ips:hotpath
+func (sc *Scratch) reset(width int) {
+	if sc.idx == nil {
+		//ipslint:ignore hotpathalloc first use of a scratch builds its index map; reuse clears it in place
+		sc.idx = make(map[model.FeatureID]int32, 64)
+	} else {
+		clear(sc.idx)
+	}
+	sc.feats = sc.feats[:0]
+	sc.arena = sc.arena[:0]
+	sc.width = width
+}
+
+// get returns the Feature accumulating fid, creating it on first sight.
+// The returned pointer is valid until the next get call appends to feats;
+// callers use it immediately.
+//
+//ips:hotpath
+func (sc *Scratch) get(fid model.FeatureID) *Feature {
+	if i, ok := sc.idx[fid]; ok {
+		return &sc.feats[i]
+	}
+	if cap(sc.arena)-len(sc.arena) < sc.width {
+		// Doubling means the newest chunk alone eventually covers a whole
+		// steady-state run, so reuse reaches zero allocations. Vectors
+		// carved from abandoned chunks stay valid — feats still points at
+		// them.
+		grow := 2 * cap(sc.arena)
+		if min := 64 * sc.width; grow < min {
+			grow = min
+		}
+		//ipslint:ignore hotpathalloc arena growth amortizes away under scratch reuse
+		sc.arena = make([]int64, 0, grow)
+	}
+	n := len(sc.arena)
+	sc.arena = sc.arena[:n+sc.width]
+	counts := sc.arena[n : n+sc.width : n+sc.width]
+	clear(counts)
+	sc.idx[fid] = int32(len(sc.feats))
+	sc.feats = append(sc.feats, Feature{FID: fid, Counts: counts})
+	return &sc.feats[len(sc.feats)-1]
+}
+
+// accumulate merges one slice's feature stats for one type into the
+// accumulator with weight w; end stamps recency.
+//
+//ips:hotpath
+func (sc *Scratch) accumulate(schema *model.Schema, fs *model.FeatureStats, w float64, end model.Millis) {
+	for _, st := range fs.View() {
+		f := sc.get(st.FID)
+		for i, c := range st.Counts {
+			if i >= len(f.Counts) {
+				break
+			}
+			f.Counts[i] = schemaReduceMerge(schema, i, f.Counts[i], weighted(c, w))
+		}
+		if end > f.LastSeen {
+			f.LastSeen = end
+		}
+	}
+}
+
 // Run executes the request against the profile at the given query time,
 // holding the profile's read lock for the duration: the head slice is
 // mutable, so reading its feature maps without the lock would race with
@@ -199,10 +307,22 @@ type Result struct {
 // exactly the contention the paper's read-write isolation (§III-F)
 // relieves — with isolation on, online writes land in the small write
 // table instead of these locked main-table profiles.
+//
+// Run allocates fresh result storage per call; latency-critical callers
+// reuse storage via RunScratch.
 func Run(p *model.Profile, schema *model.Schema, req Request, now model.Millis) (Result, error) {
+	var sc Scratch
+	return RunScratch(p, schema, req, now, &sc)
+}
+
+// RunScratch is Run with caller-owned (typically pooled) working storage.
+// The Result aliases sc's storage and is valid until sc's next run.
+//
+//ips:hotpath
+func RunScratch(p *model.Profile, schema *model.Schema, req Request, now model.Millis, sc *Scratch) (Result, error) {
 	p.RLock()
 	defer p.RUnlock()
-	return runOnSlices(p.Slices(), schema, req, now, p.Latest())
+	return runOnSlices(p.Slices(), schema, req, now, p.Latest(), sc)
 }
 
 // RunMany executes several requests against the same profile under a
@@ -219,7 +339,8 @@ func RunMany(p *model.Profile, schema *model.Schema, reqs []Request, now model.M
 	defer p.RUnlock()
 	slices, latest := p.Slices(), p.Latest()
 	for i := range reqs {
-		results[i], errs[i] = runOnSlices(slices, schema, reqs[i], now, latest)
+		var sc Scratch
+		results[i], errs[i] = runOnSlices(slices, schema, reqs[i], now, latest, &sc)
 	}
 	return results, errs
 }
@@ -231,7 +352,16 @@ func RunMany(p *model.Profile, schema *model.Schema, reqs []Request, now model.M
 // of one Zipf-head profile would otherwise all bounce the same
 // RWMutex reader-count cache line even though none of them blocks.
 func RunSealed(p *model.Profile, schema *model.Schema, req Request, now model.Millis) (Result, error) {
-	return runOnSlices(p.Slices(), schema, req, now, p.Latest())
+	var sc Scratch
+	return RunSealedScratch(p, schema, req, now, &sc)
+}
+
+// RunSealedScratch is RunSealed with caller-owned working storage, the
+// zero-allocation fast path for cache-hit reads off hot replicas.
+//
+//ips:hotpath
+func RunSealedScratch(p *model.Profile, schema *model.Schema, req Request, now model.Millis, sc *Scratch) (Result, error) {
+	return runOnSlices(p.Slices(), schema, req, now, p.Latest(), sc)
 }
 
 // RunManySealed is RunMany minus the lock, under the same immutability
@@ -241,7 +371,8 @@ func RunManySealed(p *model.Profile, schema *model.Schema, reqs []Request, now m
 	errs := make([]error, len(reqs))
 	slices, latest := p.Slices(), p.Latest()
 	for i := range reqs {
-		results[i], errs[i] = runOnSlices(slices, schema, reqs[i], now, latest)
+		var sc Scratch
+		results[i], errs[i] = runOnSlices(slices, schema, reqs[i], now, latest, &sc)
 	}
 	return results, errs
 }
@@ -251,10 +382,12 @@ func RunManySealed(p *model.Profile, schema *model.Schema, reqs []Request, now m
 // mutated (e.g. by holding the owning profile's read lock, or operating
 // on sealed copies).
 func RunOnSlices(slices []*model.Slice, schema *model.Schema, req Request, now, latest model.Millis) (Result, error) {
-	return runOnSlices(slices, schema, req, now, latest)
+	var sc Scratch
+	return runOnSlices(slices, schema, req, now, latest, &sc)
 }
 
-func runOnSlices(slices []*model.Slice, schema *model.Schema, req Request, now, latest model.Millis) (Result, error) {
+//ips:hotpath
+func runOnSlices(slices []*model.Slice, schema *model.Schema, req Request, now, latest model.Millis, sc *Scratch) (Result, error) {
 	from, to, err := req.Range.Resolve(now, latest)
 	if err != nil {
 		return Result{}, err
@@ -272,13 +405,8 @@ func runOnSlices(slices []*model.Slice, schema *model.Schema, req Request, now, 
 	// and aggregate over all features under the requested slot. The
 	// accumulator is a flat Feature slice addressed through a fid index
 	// (one map entry, no per-feature pointer), with all count vectors
-	// carved from a shared arena to keep the hot path allocation-light.
-	width := schema.NumActions()
-	acc := accumulator{
-		idx:   make(map[model.FeatureID]int32, 64),
-		feats: make([]Feature, 0, 64),
-		width: width,
-	}
+	// carved from the scratch's arena.
+	sc.reset(schema.NumActions())
 	scanned := 0
 	for _, s := range slices {
 		if !s.Overlaps(from, to) {
@@ -294,143 +422,167 @@ func runOnSlices(slices []*model.Slice, schema *model.Schema, req Request, now, 
 			continue
 		}
 		end := s.End
-		merge := func(fs *model.FeatureStats) {
-			fs.Each(func(st model.FeatureStat) {
-				f := acc.get(st.FID)
-				for i, c := range st.Counts {
-					if i >= len(f.Counts) {
-						break
-					}
-					f.Counts[i] = schemaReduceMerge(schema, i, f.Counts[i], weighted(c, w))
-				}
-				if end > f.LastSeen {
-					f.LastSeen = end
-				}
-			})
-		}
 		if req.AllTypes {
-			set.Each(func(_ model.TypeID, fs *model.FeatureStats) { merge(fs) })
+			//ipslint:ignore hotpathalloc all-types fan-out is an analytics shape, off the steady-state topK path
+			set.Each(func(_ model.TypeID, fs *model.FeatureStats) { sc.accumulate(schema, fs, w, end) })
 		} else if fs := set.Get(req.Type); fs != nil {
-			merge(fs)
+			sc.accumulate(schema, fs, w, end)
 		}
 	}
 
 	if req.SortBy == ByUDAF && req.UDAF == nil {
-		return Result{}, errors.New("query: ByUDAF requires a UDAF")
+		return Result{}, errUDAFRequired
 	}
-	feats := acc.feats[:0]
-	for _, f := range acc.feats {
+	feats := sc.feats
+	kept := feats[:0]
+	for i := range feats {
+		f := &feats[i]
 		if req.UDAF != nil {
+			//ipslint:ignore hotpathalloc UDAF scoring is a dynamic call by design, off the default topK shape
 			f.Score = req.UDAF(f.Counts)
 			if f.Score < req.MinScore {
 				continue
 			}
 		}
 		if keep(req.Filter, f, actionIdx) {
-			feats = append(feats, f)
+			kept = append(kept, *f)
 		}
 	}
 
-	cmp := comparator(req.SortBy, actionIdx)
-	if req.K > 0 && len(feats) > 2*req.K {
+	if req.K > 0 && len(kept) > 2*req.K {
 		// Partial selection: keep only the top K via an index heap, then
 		// sort those K — avoids moving full Feature structs through a
 		// complete sort when K << N (the common serving shape).
-		feats = selectTop(feats, req.K, cmp)
+		kept = sc.selectTop(kept, req.K, req.SortBy, actionIdx)
 	} else {
-		sort.Slice(feats, func(i, j int) bool { return cmp(&feats[i], &feats[j]) })
-		if req.K > 0 && len(feats) > req.K {
-			feats = feats[:req.K]
+		sc.sorter = featureSorter{feats: kept, by: req.SortBy, actionIdx: actionIdx}
+		sort.Sort(&sc.sorter)
+		sc.sorter.feats = nil
+		if req.K > 0 && len(kept) > req.K {
+			kept = kept[:req.K]
 		}
 	}
-	return Result{Features: feats, SlicesScanned: scanned}, nil
+	return Result{Features: kept, SlicesScanned: scanned}, nil
 }
 
-// selectTop returns the top k features under cmp, sorted. It operates on
-// indices so Feature structs move only once, at the end.
-func selectTop(feats []Feature, k int, cmp func(a, b *Feature) bool) []Feature {
+// selectTop returns the top k features, sorted, using the scratch's heap
+// and output storage. It operates on indices so Feature structs move only
+// once, at the end.
+//
+//ips:hotpath
+func (sc *Scratch) selectTop(feats []Feature, k int, by SortBy, actionIdx int) []Feature {
 	// Max-heap of the "weakest" current member at the root: heap[0] is
 	// the element that would be evicted first.
-	heap := make([]int32, 0, k)
-	worse := func(i, j int32) bool { return cmp(&feats[j], &feats[i]) } // i worse than j
-	siftDown := func(i int) {
-		for {
-			l, r := 2*i+1, 2*i+2
-			worst := i
-			if l < len(heap) && worse(heap[l], heap[worst]) {
-				worst = l
-			}
-			if r < len(heap) && worse(heap[r], heap[worst]) {
-				worst = r
-			}
-			if worst == i {
-				return
-			}
-			heap[i], heap[worst] = heap[worst], heap[i]
-			i = worst
-		}
-	}
-	siftUp := func(i int) {
-		for i > 0 {
-			parent := (i - 1) / 2
-			if !worse(heap[i], heap[parent]) {
-				return
-			}
-			heap[i], heap[parent] = heap[parent], heap[i]
-			i = parent
-		}
-	}
+	heap := sc.heap[:0]
 	for i := range feats {
 		idx := int32(i)
 		if len(heap) < k {
 			heap = append(heap, idx)
-			siftUp(len(heap) - 1)
+			siftUp(heap, feats, by, actionIdx, len(heap)-1)
 			continue
 		}
 		// Replace the root if the candidate beats the weakest member.
-		if cmp(&feats[idx], &feats[heap[0]]) {
+		if cmpFeatures(by, actionIdx, &feats[idx], &feats[heap[0]]) {
 			heap[0] = idx
-			siftDown(0)
+			siftDown(heap, feats, by, actionIdx, 0)
 		}
 	}
-	sort.Slice(heap, func(i, j int) bool { return cmp(&feats[heap[i]], &feats[heap[j]]) })
-	out := make([]Feature, len(heap))
-	for i, idx := range heap {
-		out[i] = feats[idx]
+	sc.heap = heap
+	sc.hsorter = heapSorter{heap: heap, feats: feats, by: by, actionIdx: actionIdx}
+	sort.Sort(&sc.hsorter)
+	sc.hsorter = heapSorter{}
+	out := sc.out[:0]
+	for _, idx := range heap {
+		out = append(out, feats[idx])
 	}
+	sc.out = out
 	return out
 }
 
-// accumulator merges per-feature counts with one map entry per feature and
-// count vectors carved out of a chunked arena.
-type accumulator struct {
-	idx   map[model.FeatureID]int32
-	feats []Feature
-	arena []int64
-	width int
+// worse reports whether index i's feature sorts after index j's — i would
+// be evicted from the top-K set before j.
+//
+//ips:hotpath
+func worse(feats []Feature, by SortBy, actionIdx int, i, j int32) bool {
+	return cmpFeatures(by, actionIdx, &feats[j], &feats[i])
 }
 
-// get returns the Feature accumulating fid, creating it on first sight.
-// The returned pointer is valid until the next get call appends to feats;
-// callers use it immediately.
-func (a *accumulator) get(fid model.FeatureID) *Feature {
-	if i, ok := a.idx[fid]; ok {
-		return &a.feats[i]
+//ips:hotpath
+func siftDown(heap []int32, feats []Feature, by SortBy, actionIdx, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		worst := i
+		if l < len(heap) && worse(feats, by, actionIdx, heap[l], heap[worst]) {
+			worst = l
+		}
+		if r < len(heap) && worse(feats, by, actionIdx, heap[r], heap[worst]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		heap[i], heap[worst] = heap[worst], heap[i]
+		i = worst
 	}
-	if len(a.arena) < a.width {
-		a.arena = make([]int64, 64*a.width)
-	}
-	counts := a.arena[:a.width:a.width]
-	a.arena = a.arena[a.width:]
-	a.idx[fid] = int32(len(a.feats))
-	a.feats = append(a.feats, Feature{FID: fid, Counts: counts})
-	return &a.feats[len(a.feats)-1]
 }
+
+//ips:hotpath
+func siftUp(heap []int32, feats []Feature, by SortBy, actionIdx, i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !worse(feats, by, actionIdx, heap[i], heap[parent]) {
+			return
+		}
+		heap[i], heap[parent] = heap[parent], heap[i]
+		i = parent
+	}
+}
+
+// featureSorter sorts a Feature slice in place under cmpFeatures; a
+// pointer to a scratch-resident instance passes through sort.Sort without
+// boxing allocation.
+type featureSorter struct {
+	feats     []Feature
+	by        SortBy
+	actionIdx int
+}
+
+//ips:hotpath
+func (s *featureSorter) Len() int { return len(s.feats) }
+
+//ips:hotpath
+func (s *featureSorter) Less(i, j int) bool {
+	return cmpFeatures(s.by, s.actionIdx, &s.feats[i], &s.feats[j])
+}
+
+//ips:hotpath
+func (s *featureSorter) Swap(i, j int) { s.feats[i], s.feats[j] = s.feats[j], s.feats[i] }
+
+// heapSorter sorts the index heap for final top-K output ordering.
+type heapSorter struct {
+	heap      []int32
+	feats     []Feature
+	by        SortBy
+	actionIdx int
+}
+
+//ips:hotpath
+func (h *heapSorter) Len() int { return len(h.heap) }
+
+//ips:hotpath
+func (h *heapSorter) Less(i, j int) bool {
+	return cmpFeatures(h.by, h.actionIdx, &h.feats[h.heap[i]], &h.feats[h.heap[j]])
+}
+
+//ips:hotpath
+func (h *heapSorter) Swap(i, j int) { h.heap[i], h.heap[j] = h.heap[j], h.heap[i] }
 
 // schemaReduceMerge merges one attribute across slices. Window aggregation
 // honours the schema's reducer so LAST/MAX semantics survive the merge: the
 // slice list is iterated newest-first, so for ReduceLast the first value
 // seen wins.
+//
+//ips:hotpath
 func schemaReduceMerge(schema *model.Schema, i int, have, incoming int64) int64 {
 	switch r := reducerOf(schema, i); r {
 	case model.ReduceSum:
@@ -455,6 +607,7 @@ func schemaReduceMerge(schema *model.Schema, i int, have, incoming int64) int64 
 	}
 }
 
+//ips:hotpath
 func reducerOf(s *model.Schema, i int) model.Reduce {
 	if s.Reducers == nil || i >= len(s.Reducers) {
 		return model.ReduceSum
@@ -462,6 +615,7 @@ func reducerOf(s *model.Schema, i int) model.Reduce {
 	return s.Reducers[i]
 }
 
+//ips:hotpath
 func weighted(c int64, w float64) int64 {
 	if w == 1 {
 		return c
@@ -470,6 +624,8 @@ func weighted(c int64, w float64) int64 {
 }
 
 // decayWeight computes the decay multiplier for a slice inside the window.
+//
+//ips:hotpath
 func decayWeight(req Request, s *model.Slice, from, to model.Millis) float64 {
 	if req.Decay == DecayNone {
 		return 1
@@ -522,7 +678,8 @@ func decayWeight(req Request, s *model.Slice, from, to model.Millis) float64 {
 	}
 }
 
-func keep(f *Filter, feat Feature, actionIdx int) bool {
+//ips:hotpath
+func keep(f *Filter, feat *Feature, actionIdx int) bool {
 	if f == nil {
 		return true
 	}
@@ -538,51 +695,48 @@ func keep(f *Filter, feat Feature, actionIdx int) bool {
 	if f.FIDs != nil && !f.FIDs[feat.FID] {
 		return false
 	}
-	if f.Predicate != nil && !f.Predicate(feat) {
+	//ipslint:ignore hotpathalloc user predicates are a dynamic call by design, off the default topK shape
+	if f.Predicate != nil && !f.Predicate(*feat) {
 		return false
 	}
 	return true
 }
 
-// comparator returns the "comes first" ordering for the sort type; ties
-// break by ascending FID for determinism.
-func comparator(by SortBy, actionIdx int) func(a, b *Feature) bool {
+// cmpFeatures reports whether a comes before b under the sort type; ties
+// break by ascending FID for determinism. A plain function (not a closure
+// factory) keeps the comparison allocation-free on the hot path.
+//
+//ips:hotpath
+func cmpFeatures(by SortBy, actionIdx int, a, b *Feature) bool {
 	switch by {
 	case ByTimestamp:
-		return func(a, b *Feature) bool {
-			if a.LastSeen != b.LastSeen {
-				return a.LastSeen > b.LastSeen
-			}
-			return a.FID < b.FID
+		if a.LastSeen != b.LastSeen {
+			return a.LastSeen > b.LastSeen
 		}
+		return a.FID < b.FID
 	case ByFeatureID:
-		return func(a, b *Feature) bool { return a.FID < b.FID }
+		return a.FID < b.FID
 	case ByTotal:
-		return func(a, b *Feature) bool {
-			x, y := total(a), total(b)
-			if x != y {
-				return x > y
-			}
-			return a.FID < b.FID
+		x, y := total(a), total(b)
+		if x != y {
+			return x > y
 		}
+		return a.FID < b.FID
 	case ByUDAF:
-		return func(a, b *Feature) bool {
-			if a.Score != b.Score {
-				return a.Score > b.Score
-			}
-			return a.FID < b.FID
+		if a.Score != b.Score {
+			return a.Score > b.Score
 		}
+		return a.FID < b.FID
 	default: // ByAction
-		return func(a, b *Feature) bool {
-			x, y := count(a, actionIdx), count(b, actionIdx)
-			if x != y {
-				return x > y
-			}
-			return a.FID < b.FID
+		x, y := count(a, actionIdx), count(b, actionIdx)
+		if x != y {
+			return x > y
 		}
+		return a.FID < b.FID
 	}
 }
 
+//ips:hotpath
 func count(f *Feature, i int) int64 {
 	if i < len(f.Counts) {
 		return f.Counts[i]
@@ -590,6 +744,7 @@ func count(f *Feature, i int) int64 {
 	return 0
 }
 
+//ips:hotpath
 func total(f *Feature) int64 {
 	var t int64
 	for _, c := range f.Counts {

@@ -79,11 +79,14 @@ func (r *Registry) MustRegister(name string, fn UDAF) {
 }
 
 // Lookup resolves a UDAF by name.
+//
+//ips:hotpath
 func (r *Registry) Lookup(name string) (UDAF, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	fn, ok := r.fns[name]
 	if !ok {
+		//ipslint:ignore hotpathalloc the unknown-function error is off the steady state
 		return nil, fmt.Errorf("%w: %q", ErrUnknownUDAF, name)
 	}
 	return fn, nil

@@ -23,6 +23,7 @@ type bucket struct {
 	last   time.Time
 }
 
+//ips:hotpath
 func (b *bucket) allow(now time.Time, n float64) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -92,11 +93,15 @@ func (l *Limiter) Quota(caller string) float64 {
 }
 
 // Allow admits or rejects one request from caller.
+//
+//ips:hotpath
 func (l *Limiter) Allow(caller string) error {
 	return l.AllowN(caller, 1)
 }
 
 // AllowN admits or rejects a batch counting as n requests.
+//
+//ips:hotpath
 func (l *Limiter) AllowN(caller string, n int) error {
 	l.mu.RLock()
 	b := l.buckets[caller]
@@ -109,11 +114,13 @@ func (l *Limiter) AllowN(caller string, n int) error {
 		// Lazily create a bucket at the default quota.
 		l.mu.Lock()
 		if b = l.buckets[caller]; b == nil {
+			//ipslint:ignore hotpathalloc a caller's first request creates its bucket; every later request reuses it
 			b = &bucket{rate: def, burst: def}
 			l.buckets[caller] = b
 		}
 		l.mu.Unlock()
 	}
+	//ipslint:ignore hotpathalloc the clock is an injected func value; time.Now does not allocate
 	if !b.allow(l.now(), float64(n)) {
 		return ErrOverQuota
 	}

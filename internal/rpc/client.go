@@ -37,9 +37,9 @@ type Client struct {
 // dispatching responses to waiting calls by sequence ID.
 type clientConn struct {
 	conn    net.Conn
-	writeMu sync.Mutex
+	cw      connWriter
 	mu      sync.Mutex
-	pending map[uint64]chan result
+	pending map[uint64]*callSlot
 	seq     atomic.Uint64
 	dead    atomic.Bool
 }
@@ -48,6 +48,50 @@ type result struct {
 	payload []byte
 	blob    []byte // traced responses: encoded server spans
 	err     error
+}
+
+// callSlot is one in-flight call's rendezvous point: a reusable channel
+// plus owned response storage the readLoop copies into. Slots recycle
+// through slotPool so the steady state allocates nothing per call. A
+// slot whose call timed out (or raced connection teardown) is abandoned,
+// never recycled: the readLoop may still deliver a late response into
+// it.
+type callSlot struct {
+	ch   chan result
+	buf  []byte // response payload storage
+	blob []byte // traced responses: span blob storage
+}
+
+var slotPool = sync.Pool{New: func() any { return &callSlot{ch: make(chan result, 1)} }}
+
+//ips:hotpath-trust sync.Pool misses allocate a fresh slot by design; steady-state Get reuses
+func getSlot() *callSlot { return slotPool.Get().(*callSlot) }
+
+//ips:hotpath
+func putSlot(s *callSlot) { slotPool.Put(s) }
+
+// timerPool recycles call-timeout timers; a timer goes back Reset-able
+// (stopped and drained).
+var timerPool sync.Pool
+
+//ips:hotpath-trust pool misses construct a timer by design; steady-state Get just resets
+func getTimer(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+//ips:hotpath
+func putTimer(t *time.Timer) {
+	if !t.Stop() {
+		select {
+		case <-t.C:
+		default:
+		}
+	}
+	timerPool.Put(t)
 }
 
 // NewClient creates a client for addr; connections are dialed lazily.
@@ -77,55 +121,96 @@ func (c *Client) CallTimeoutT(method string, payload []byte, timeout time.Durati
 	return c.call(context.Background(), method, payload, timeout)
 }
 
+// CallAppendCtx issues method and appends the response payload into dst,
+// returning the extended slice. With a caller-reused dst the whole
+// roundtrip (frame encode, response read, rendezvous) allocates nothing
+// in the steady state. A nil dst falls back to handing the caller a
+// freshly owned slice.
+func (c *Client) CallAppendCtx(ctx context.Context, method string, payload, dst []byte) ([]byte, error) {
+	return c.callAppend(ctx, method, payload, dst, c.CallTimeout)
+}
+
+//ips:hotpath
 func (c *Client) call(ctx context.Context, method string, payload []byte, timeout time.Duration) ([]byte, error) {
+	return c.callAppend(ctx, method, payload, nil, timeout)
+}
+
+//ips:hotpath
+func (c *Client) callAppend(ctx context.Context, method string, payload, dst []byte, timeout time.Duration) ([]byte, error) {
 	tr := trace.FromContext(ctx)
 	cc, err := c.pick(ctx)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	seq := cc.seq.Add(1)
-	ch := make(chan result, 1)
+	slot := getSlot()
 	cc.mu.Lock()
-	cc.pending[seq] = ch
+	//ipslint:ignore hotpathalloc the pending map reuses cells freed by completed calls once the in-flight high-water mark is reached
+	cc.pending[seq] = slot
 	cc.mu.Unlock()
 
 	rtSpan := trace.StartLeaf(ctx, trace.StageRPCRoundtrip)
-	cc.writeMu.Lock()
 	if rtSpan.Active() {
-		err = writeTracedRequest(cc.conn, seq, method, tr.ID, rtSpan.ID(), payload)
+		err = cc.cw.sendTracedRequest(seq, method, tr.ID, rtSpan.ID(), payload)
 	} else {
-		err = writeFrame(cc.conn, seq, kindRequest, method, payload)
+		err = cc.cw.send(seq, kindRequest, method, payload)
 	}
-	cc.writeMu.Unlock()
 	if err != nil {
 		rtSpan.EndErr(err)
+		//ipslint:ignore hotpathalloc connection teardown is terminal, not steady state
 		cc.fail(err)
+		//ipslint:ignore hotpathalloc connection teardown is terminal, not steady state
 		c.drop(cc)
-		return nil, err
+		// fail delivered an error into every pending slot, including
+		// ours; drain it so the slot can recycle.
+		<-slot.ch
+		putSlot(slot)
+		return dst, err
 	}
 
 	var timer *time.Timer
 	var timeoutCh <-chan time.Time
 	if timeout > 0 {
-		timer = time.NewTimer(timeout)
-		defer timer.Stop()
+		timer = getTimer(timeout)
 		timeoutCh = timer.C
 	}
 	select {
-	case res := <-ch:
+	case res := <-slot.ch:
+		if timer != nil {
+			putTimer(timer)
+		}
 		rtSpan.EndErr(res.err)
 		if res.blob != nil && tr != nil {
+			//ipslint:ignore hotpathalloc span grafting is the sampled path
 			if spans, derr := trace.DecodeSpans(res.blob); derr == nil {
+				//ipslint:ignore hotpathalloc span grafting is the sampled path
 				tr.Graft(spans, rtSpan.ID())
 			}
 		}
-		return res.payload, res.err
+		if res.err != nil {
+			putSlot(slot)
+			return dst, res.err
+		}
+		if dst != nil {
+			dst = append(dst, res.payload...)
+			putSlot(slot)
+			return dst, nil
+		}
+		// Legacy callers own the returned slice: hand over the slot's
+		// buffer and let the pool grow a fresh one next time.
+		out := res.payload
+		slot.buf = nil
+		putSlot(slot)
+		return out, nil
 	case <-timeoutCh:
 		cc.mu.Lock()
 		delete(cc.pending, seq)
 		cc.mu.Unlock()
+		// The timer fired and was drained by the select; it can recycle
+		// directly. The slot cannot: a late response may still land in it.
+		timerPool.Put(timer)
 		rtSpan.EndErr(ErrTimeout)
-		return nil, ErrTimeout
+		return dst, ErrTimeout
 	}
 }
 
@@ -136,6 +221,8 @@ func (c *Client) call(ctx context.Context, method string, payload []byte, timeou
 // when live connections exist the pool tops up in the background and the
 // call proceeds on an existing connection; only a caller with no live
 // connection at all waits for the dial's outcome.
+//
+//ips:hotpath-trust dialing and pool top-up allocate by design; the steady state indexes an existing live connection under the lock
 func (c *Client) pick(ctx context.Context) (*clientConn, error) {
 	for {
 		c.mu.Lock()
@@ -210,7 +297,8 @@ func (c *Client) dial() error {
 			}
 			return nil
 		}
-		cc := &clientConn{conn: conn, pending: make(map[uint64]chan result)}
+		cc := &clientConn{conn: conn, pending: make(map[uint64]*callSlot)}
+		cc.cw.w = conn
 		go cc.readLoop()
 		c.conns = append(c.conns, cc)
 	}
@@ -242,27 +330,37 @@ func (c *Client) Close() error {
 	return nil
 }
 
+//ips:hotpath
 func (cc *clientConn) readLoop() {
+	var rbuf []byte
 	for {
-		fr, err := readFrame(cc.conn)
+		fr, buf, err := readFrameReuse(cc.conn, rbuf)
+		rbuf = buf
 		if err != nil {
+			//ipslint:ignore hotpathalloc connection teardown is terminal, not steady state
 			cc.fail(err)
 			return
 		}
 		cc.mu.Lock()
-		ch, ok := cc.pending[fr.seq]
+		slot, ok := cc.pending[fr.seq]
 		delete(cc.pending, fr.seq)
 		cc.mu.Unlock()
 		if !ok {
 			continue // timed-out call's late response
 		}
+		// The frame aliases the reusable read buffer: copy the response
+		// into the slot's owned storage before handing it over.
 		switch fr.kind {
 		case kindResponse:
-			ch <- result{payload: fr.payload}
+			slot.buf = append(slot.buf[:0], fr.payload...)
+			slot.ch <- result{payload: slot.buf}
 		case kindResponseTraced:
-			ch <- result{payload: fr.payload, blob: fr.blob}
+			slot.buf = append(slot.buf[:0], fr.payload...)
+			slot.blob = append(slot.blob[:0], fr.blob...)
+			slot.ch <- result{payload: slot.buf, blob: slot.blob}
 		case kindError:
-			ch <- result{err: &RemoteError{Msg: string(fr.payload)}}
+			//ipslint:ignore hotpathalloc error responses materialize a message; errors are off the steady state
+			slot.ch <- result{err: &RemoteError{Msg: string(fr.payload)}}
 		}
 	}
 }
@@ -274,8 +372,8 @@ func (cc *clientConn) fail(err error) {
 	}
 	cc.conn.Close()
 	cc.mu.Lock()
-	for seq, ch := range cc.pending {
-		ch <- result{err: err}
+	for seq, slot := range cc.pending {
+		slot.ch <- result{err: err}
 		delete(cc.pending, seq)
 	}
 	cc.mu.Unlock()

@@ -49,11 +49,13 @@ func (s IOStatsSnapshot) Sub(prev IOStatsSnapshot) IOStatsSnapshot {
 	}
 }
 
+//ips:hotpath
 func noteWrite(n int) {
 	ioBytesWritten.Add(uint64(n))
 	ioFramesWritten.Add(1)
 }
 
+//ips:hotpath
 func noteRead(n int) {
 	ioBytesRead.Add(uint64(n))
 	ioFramesRead.Add(1)

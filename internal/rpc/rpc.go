@@ -78,6 +78,14 @@ type Handler func(payload []byte) ([]byte, error)
 // carries the request's trace when the caller sampled it.
 type HandlerCtx func(ctx context.Context, payload []byte) ([]byte, error)
 
+// FastHandler is the inline-dispatch handler shape: the response payload
+// is appended into dst (a per-connection buffer the server reuses) and
+// the extended slice returned. Appending into caller-owned storage is
+// what lets a fast handler answer with zero heap allocations — there is
+// no ownership gap between the handler returning and the frame encode
+// copying the payload out.
+type FastHandler func(ctx context.Context, payload, dst []byte) ([]byte, error)
+
 // Server serves RPC over a TCP listener.
 type Server struct {
 	// Tracer, when non-nil, samples requests that arrive untraced and
@@ -87,10 +95,15 @@ type Server struct {
 
 	mu       sync.RWMutex
 	handlers map[string]HandlerCtx
-	ln       net.Listener
-	conns    map[net.Conn]struct{}
-	wg       sync.WaitGroup
-	closed   atomic.Bool
+	// fast holds methods whose handlers run inline on the connection's
+	// read loop (HandleFast): short, non-blocking handlers on the
+	// steady-state read path, dispatched with zero per-request
+	// allocations. Everything else gets the goroutine-per-frame path.
+	fast   map[string]FastHandler
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
+	closed atomic.Bool
 
 	// delay and dropRate inject faults; set via SetDelay / SetDropRate,
 	// which are safe to call while serving.
@@ -121,7 +134,7 @@ func (s *Server) SetDropRate(f func() float64) {
 
 // NewServer creates a server with no handlers registered.
 func NewServer() *Server {
-	return &Server{handlers: make(map[string]HandlerCtx), conns: make(map[net.Conn]struct{})}
+	return &Server{handlers: make(map[string]HandlerCtx), fast: make(map[string]FastHandler), conns: make(map[net.Conn]struct{})}
 }
 
 // Handle registers a context-less handler for method, replacing any
@@ -137,6 +150,25 @@ func (s *Server) Handle(method string, h Handler) {
 func (s *Server) HandleCtx(method string, h HandlerCtx) {
 	s.mu.Lock()
 	s.handlers[method] = h
+	delete(s.fast, method)
+	s.mu.Unlock()
+}
+
+// HandleFast registers an inline-dispatch handler for method: untraced,
+// unsampled requests run directly on the connection's read loop with the
+// request payload aliasing the reusable read buffer and the response
+// appended into a reusable per-connection buffer — no goroutine, no
+// frame copy, no allocations. Fast handlers must be short and
+// non-blocking (a slow one head-of-line blocks its connection), and must
+// not retain either buffer after returning. Traced, sampled, or
+// fault-delayed requests for the same method transparently fall back to
+// the goroutine path through an adapter.
+func (s *Server) HandleFast(method string, h FastHandler) {
+	s.mu.Lock()
+	s.handlers[method] = func(ctx context.Context, payload []byte) ([]byte, error) {
+		return h(ctx, payload, nil)
+	}
+	s.fast[method] = h
 	s.mu.Unlock()
 }
 
@@ -195,6 +227,7 @@ func (s *Server) Close() error {
 	return nil
 }
 
+//ips:hotpath-trust the slow path deep-copies frames and spawns goroutines by design; the fast path is checked in dispatchFast
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
@@ -203,9 +236,11 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 		conn.Close()
 	}()
-	var writeMu sync.Mutex // serialize response frames
+	cw := &connWriter{w: conn}
+	var rbuf, respBuf []byte
 	for {
-		fr, err := readFrame(conn)
+		fr, buf, err := readFrameReuse(conn, rbuf)
+		rbuf = buf
 		if err != nil {
 			return
 		}
@@ -213,19 +248,98 @@ func (s *Server) serveConn(conn net.Conn) {
 			continue // ignore stray frames
 		}
 		s.mu.RLock()
-		h := s.handlers[fr.method]
+		h := s.handlers[string(fr.method)] // no-copy map lookup
+		fh := s.fast[string(fr.method)]
 		s.mu.RUnlock()
+		// Inline fast path: the payload aliases the reusable read buffer,
+		// which is safe only because the handler completes before the
+		// next readFrameReuse. Sampled requests fall back to the
+		// goroutine path (span collection allocates anyway).
+		forceTrace := false
+		if fh != nil && fr.kind == kindRequest && s.delay.Load() == nil {
+			done, rb := s.dispatchFast(cw, fr, fh, respBuf)
+			respBuf = rb
+			if done {
+				continue
+			}
+			// dispatchFast consumed a winning sampling draw; make the
+			// goroutine path honor it.
+			forceTrace = true
+		}
+		// Slow path: the frame escapes this loop, so detach it from the
+		// reusable buffer.
+		fr.method = append([]byte(nil), fr.method...)
+		fr.payload = append([]byte(nil), fr.payload...)
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.dispatch(conn, &writeMu, fr, h)
+			s.dispatch(cw, fr, h, forceTrace)
 		}()
 	}
 }
 
-func (s *Server) dispatch(conn net.Conn, writeMu *sync.Mutex, fr frame, h HandlerCtx) {
+// dispatchFast runs a fast handler inline, appending its response into
+// the connection's reusable response buffer and writing the frame
+// through the reused write buffer. It reports false — without consuming
+// the request — when the server-side sampling draw wins, sending the
+// request down the goroutine path that knows how to collect spans. The
+// returned slice is the (possibly grown) response buffer for the
+// caller's next request.
+//
+//ips:hotpath
+func (s *Server) dispatchFast(cw *connWriter, fr frame, h FastHandler, respBuf []byte) (bool, []byte) {
+	if s.Tracer.Sample() {
+		return false, respBuf
+	}
+	resp, herr := safeCallFast(h, contextBG, fr.payload, respBuf[:0])
+	if resp != nil {
+		respBuf = resp // retain grown storage for the next request
+	}
+	if dr := s.dropRate.Load(); dr != nil {
+		//ipslint:ignore hotpathalloc fault injection is a test-only configuration
+		if rate := (*dr)(); rate > 0 && pseudoRand(fr.seq) < rate {
+			return true, respBuf // drop the response: client times out
+		}
+	}
+	if herr != nil {
+		//ipslint:ignore hotpathalloc error responses materialize the message; errors are off the steady state
+		_ = cw.send(fr.seq, kindError, "", []byte(herr.Error()))
+		return true, respBuf
+	}
+	_ = cw.send(fr.seq, kindResponse, "", resp)
+	return true, respBuf
+}
+
+// contextBG is the shared background context for untraced dispatches.
+var contextBG = context.Background()
+
+// safeCall invokes h with panic containment.
+//
+//ips:hotpath-trust panic recovery needs a deferred closure; the steady state never triggers it
+func safeCall(h HandlerCtx, ctx context.Context, payload []byte) (resp []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rpc: handler panic: %v", r)
+		}
+	}()
+	return h(ctx, payload)
+}
+
+// safeCallFast is safeCall for the append-style fast handler shape.
+//
+//ips:hotpath-trust panic recovery needs a deferred closure; the steady state never triggers it
+func safeCallFast(h FastHandler, ctx context.Context, payload, dst []byte) (resp []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rpc: handler panic: %v", r)
+		}
+	}()
+	return h(ctx, payload, dst)
+}
+
+func (s *Server) dispatch(cw *connWriter, fr frame, h HandlerCtx, forceTrace bool) {
 	if d := s.delay.Load(); d != nil {
-		if dur := (*d)(fr.method); dur > 0 {
+		if dur := (*d)(string(fr.method)); dur > 0 {
 			time.Sleep(dur)
 		}
 	}
@@ -235,10 +349,15 @@ func (s *Server) dispatch(conn net.Conn, writeMu *sync.Mutex, fr frame, h Handle
 	ctx := context.Background()
 	var tr *trace.Trace
 	traced := fr.kind == kindRequestTraced
-	if traced {
+	switch {
+	case traced:
 		tr = trace.Adopt(fr.traceID, fr.parentSpan)
 		ctx = trace.NewContext(ctx, tr)
-	} else {
+	case forceTrace:
+		// dispatchFast already won the sampling draw for this request.
+		tr = trace.New()
+		ctx = trace.NewContext(ctx, tr)
+	default:
 		ctx, tr = s.Tracer.StartRequest(ctx)
 	}
 	dctx, dspan := trace.StartSpan(ctx, trace.StageServerDispatch)
@@ -247,14 +366,7 @@ func (s *Server) dispatch(conn net.Conn, writeMu *sync.Mutex, fr frame, h Handle
 	if h == nil {
 		herr = fmt.Errorf("%w: %s", ErrNoMethod, fr.method)
 	} else {
-		func() {
-			defer func() {
-				if r := recover(); r != nil {
-					herr = fmt.Errorf("rpc: handler panic: %v", r)
-				}
-			}()
-			resp, herr = h(dctx, fr.payload)
-		}()
+		resp, herr = safeCall(h, dctx, fr.payload)
 	}
 	dspan.EndErr(herr)
 	s.Tracer.Done(tr)
@@ -263,17 +375,15 @@ func (s *Server) dispatch(conn net.Conn, writeMu *sync.Mutex, fr frame, h Handle
 			return // drop the response: client times out
 		}
 	}
-	writeMu.Lock()
-	defer writeMu.Unlock()
 	if herr != nil {
-		_ = writeFrame(conn, fr.seq, kindError, "", []byte(herr.Error()))
+		_ = cw.send(fr.seq, kindError, "", []byte(herr.Error()))
 		return
 	}
 	if traced {
-		_ = writeTracedResponse(conn, fr.seq, trace.EncodeSpans(tr.Spans()), resp)
+		_ = cw.sendTraced(fr.seq, trace.EncodeSpans(tr.Spans()), resp)
 		return
 	}
-	_ = writeFrame(conn, fr.seq, kindResponse, "", resp)
+	_ = cw.send(fr.seq, kindResponse, "", resp)
 }
 
 // pseudoRand maps a sequence number to [0,1) deterministically, so drop
@@ -285,123 +395,189 @@ func pseudoRand(seq uint64) float64 {
 	return float64(seq%10_000) / 10_000
 }
 
-// frame is one decoded wire frame.
+// frame is one decoded wire frame. method, blob, and payload alias the
+// buffer the frame was parsed from: a frame handed to another goroutine
+// must be deep-copied first (see serveConn's slow path).
 type frame struct {
 	seq        uint64
 	kind       byte
-	method     string // requests only
+	method     []byte // requests only
 	traceID    uint64 // traced requests only
 	parentSpan uint64 // traced requests only
 	blob       []byte // traced responses only: encoded server spans
 	payload    []byte
 }
 
-func writeFrame(w io.Writer, seq uint64, kind byte, method string, payload []byte) error {
+// appendFrame serializes a request/response/error frame into dst's
+// storage and returns the extended slice. Callers that reuse dst (the
+// per-connection write buffers) pay zero allocations per frame in the
+// steady state.
+//
+//ips:hotpath
+func appendFrame(dst []byte, seq uint64, kind byte, method string, payload []byte) ([]byte, error) {
 	frameLen := 8 + 1 + len(payload)
 	if kind == kindRequest {
 		frameLen += 2 + len(method)
 	}
 	if frameLen > MaxFrameSize {
-		return ErrFrameTooLarge
+		return dst, ErrFrameTooLarge
 	}
-	buf := make([]byte, 4+frameLen)
-	binary.LittleEndian.PutUint32(buf, uint32(frameLen))
-	binary.LittleEndian.PutUint64(buf[4:], seq)
-	buf[12] = kind
-	off := 13
+	dst = appendUint32(dst, uint32(frameLen))
+	dst = appendUint64(dst, seq)
+	dst = append(dst, kind)
 	if kind == kindRequest {
-		binary.LittleEndian.PutUint16(buf[off:], uint16(len(method)))
-		off += 2
-		copy(buf[off:], method)
-		off += len(method)
+		dst = appendUint16(dst, uint16(len(method)))
+		dst = append(dst, method...)
 	}
-	copy(buf[off:], payload)
-	_, err := w.Write(buf)
-	noteWrite(len(buf))
-	return err
+	dst = append(dst, payload...)
+	return dst, nil
 }
 
-// writeTracedRequest writes a kindRequestTraced frame carrying the
+// appendTracedRequest serializes a kindRequestTraced frame carrying the
 // caller's trace ID and the span ID the roundtrip runs under.
-func writeTracedRequest(w io.Writer, seq uint64, method string, traceID, parentSpan uint64, payload []byte) error {
+//
+//ips:hotpath
+func appendTracedRequest(dst []byte, seq uint64, method string, traceID, parentSpan uint64, payload []byte) ([]byte, error) {
 	frameLen := 8 + 1 + 2 + len(method) + 16 + len(payload)
 	if frameLen > MaxFrameSize {
-		return ErrFrameTooLarge
+		return dst, ErrFrameTooLarge
 	}
-	buf := make([]byte, 4+frameLen)
-	binary.LittleEndian.PutUint32(buf, uint32(frameLen))
-	binary.LittleEndian.PutUint64(buf[4:], seq)
-	buf[12] = kindRequestTraced
-	off := 13
-	binary.LittleEndian.PutUint16(buf[off:], uint16(len(method)))
-	off += 2
-	copy(buf[off:], method)
-	off += len(method)
-	binary.LittleEndian.PutUint64(buf[off:], traceID)
-	binary.LittleEndian.PutUint64(buf[off+8:], parentSpan)
-	off += 16
-	copy(buf[off:], payload)
-	_, err := w.Write(buf)
-	noteWrite(len(buf))
-	return err
+	dst = appendUint32(dst, uint32(frameLen))
+	dst = appendUint64(dst, seq)
+	dst = append(dst, kindRequestTraced)
+	dst = appendUint16(dst, uint16(len(method)))
+	dst = append(dst, method...)
+	dst = appendUint64(dst, traceID)
+	dst = appendUint64(dst, parentSpan)
+	dst = append(dst, payload...)
+	return dst, nil
 }
 
-// writeTracedResponse writes a kindResponseTraced frame: the span blob,
-// then the payload.
-func writeTracedResponse(w io.Writer, seq uint64, blob, payload []byte) error {
+// appendTracedResponse serializes a kindResponseTraced frame: the span
+// blob, then the payload. Oversized span sets degrade to an untraced
+// response rather than poison the connection.
+func appendTracedResponse(dst []byte, seq uint64, blob, payload []byte) ([]byte, error) {
 	frameLen := 8 + 1 + 4 + len(blob) + len(payload)
 	if frameLen > MaxFrameSize {
-		// Too many spans to ship: degrade to an untraced response rather
-		// than poison the connection.
-		return writeFrame(w, seq, kindResponse, "", payload)
+		return appendFrame(dst, seq, kindResponse, "", payload)
 	}
-	buf := make([]byte, 4+frameLen)
-	binary.LittleEndian.PutUint32(buf, uint32(frameLen))
-	binary.LittleEndian.PutUint64(buf[4:], seq)
-	buf[12] = kindResponseTraced
-	off := 13
-	binary.LittleEndian.PutUint32(buf[off:], uint32(len(blob)))
-	off += 4
-	copy(buf[off:], blob)
-	off += len(blob)
-	copy(buf[off:], payload)
-	_, err := w.Write(buf)
+	dst = appendUint32(dst, uint32(frameLen))
+	dst = appendUint64(dst, seq)
+	dst = append(dst, kindResponseTraced)
+	dst = appendUint32(dst, uint32(len(blob)))
+	dst = append(dst, blob...)
+	dst = append(dst, payload...)
+	return dst, nil
+}
+
+//ips:hotpath
+func appendUint16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v), byte(v>>8))
+}
+
+//ips:hotpath
+func appendUint32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+//ips:hotpath
+func appendUint64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// connWriter serializes response frames onto one connection through a
+// reused write buffer: the buffer is encoded and flushed under the mutex,
+// so steady-state responses allocate nothing.
+type connWriter struct {
+	mu  sync.Mutex
+	w   io.Writer
+	buf []byte
+}
+
+//ips:hotpath
+func (cw *connWriter) send(seq uint64, kind byte, method string, payload []byte) error {
+	cw.mu.Lock()
+	buf, err := appendFrame(cw.buf[:0], seq, kind, method, payload)
+	cw.buf = buf
+	if err == nil {
+		//ipslint:ignore hotpathalloc net.Conn.Write is an interface call into the runtime socket, not an allocation site we control
+		_, err = cw.w.Write(buf)
+		noteWrite(len(buf))
+	}
+	cw.mu.Unlock()
+	return err
+}
+
+// sendTracedRequest writes a kindRequestTraced frame through the reused
+// write buffer. Traced requests are the sampled path, but the encode
+// itself stays allocation-free.
+//
+//ips:hotpath
+func (cw *connWriter) sendTracedRequest(seq uint64, method string, traceID, parentSpan uint64, payload []byte) error {
+	cw.mu.Lock()
+	buf, err := appendTracedRequest(cw.buf[:0], seq, method, traceID, parentSpan, payload)
+	cw.buf = buf
+	if err == nil {
+		//ipslint:ignore hotpathalloc net.Conn.Write is an interface call into the runtime socket, not an allocation site we control
+		_, err = cw.w.Write(buf)
+		noteWrite(len(buf))
+	}
+	cw.mu.Unlock()
+	return err
+}
+
+func (cw *connWriter) sendTraced(seq uint64, blob, payload []byte) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	buf, err := appendTracedResponse(cw.buf[:0], seq, blob, payload)
+	cw.buf = buf
+	if err != nil {
+		return err
+	}
+	_, err = cw.w.Write(buf)
 	noteWrite(len(buf))
 	return err
 }
 
-func readFrame(r io.Reader) (frame, error) {
+// writeFrame is the allocating one-shot form, kept for callers without a
+// reusable buffer.
+func writeFrame(w io.Writer, seq uint64, kind byte, method string, payload []byte) error {
+	buf, err := appendFrame(nil, seq, kind, method, payload)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(buf)
+	noteWrite(len(buf))
+	return err
+}
+
+// parseFrame decodes a frame from raw (the bytes after the length
+// prefix). The frame's method, blob, and payload alias raw.
+//
+//ips:hotpath
+func parseFrame(raw []byte) (frame, error) {
 	var fr frame
-	var lenBuf [4]byte
-	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
-		return fr, err
+	if len(raw) < 9 {
+		return fr, errTruncatedHeader
 	}
-	frameLen := binary.LittleEndian.Uint32(lenBuf[:])
-	if frameLen > MaxFrameSize || frameLen < 9 {
-		return fr, ErrFrameTooLarge
-	}
-	raw := make([]byte, frameLen)
-	if _, err := io.ReadFull(r, raw); err != nil {
-		return fr, err
-	}
-	noteRead(4 + len(raw))
 	fr.seq = binary.LittleEndian.Uint64(raw)
 	fr.kind = raw[8]
 	off := 9
 	if fr.kind == kindRequest || fr.kind == kindRequestTraced {
 		if len(raw) < off+2 {
-			return fr, errors.New("rpc: truncated method length")
+			return fr, errTruncatedMethodLen
 		}
 		ml := int(binary.LittleEndian.Uint16(raw[off:]))
 		off += 2
 		if len(raw) < off+ml {
-			return fr, errors.New("rpc: truncated method")
+			return fr, errTruncatedMethod
 		}
-		fr.method = string(raw[off : off+ml])
+		fr.method = raw[off : off+ml]
 		off += ml
 		if fr.kind == kindRequestTraced {
 			if len(raw) < off+16 {
-				return fr, errors.New("rpc: truncated trace header")
+				return fr, errTruncatedTraceHdr
 			}
 			fr.traceID = binary.LittleEndian.Uint64(raw[off:])
 			fr.parentSpan = binary.LittleEndian.Uint64(raw[off+8:])
@@ -410,16 +586,70 @@ func readFrame(r io.Reader) (frame, error) {
 	}
 	if fr.kind == kindResponseTraced {
 		if len(raw) < off+4 {
-			return fr, errors.New("rpc: truncated span blob length")
+			return fr, errTruncatedBlobLen
 		}
 		bl := int(binary.LittleEndian.Uint32(raw[off:]))
 		off += 4
 		if len(raw) < off+bl {
-			return fr, errors.New("rpc: truncated span blob")
+			return fr, errTruncatedBlob
 		}
 		fr.blob = raw[off : off+bl]
 		off += bl
 	}
 	fr.payload = raw[off:]
 	return fr, nil
+}
+
+// Preallocated parse errors keep the malformed-frame branches off the
+// hot path's allocation profile.
+var (
+	errTruncatedHeader    = errors.New("rpc: truncated frame header")
+	errTruncatedMethodLen = errors.New("rpc: truncated method length")
+	errTruncatedMethod    = errors.New("rpc: truncated method")
+	errTruncatedTraceHdr  = errors.New("rpc: truncated trace header")
+	errTruncatedBlobLen   = errors.New("rpc: truncated span blob length")
+	errTruncatedBlob      = errors.New("rpc: truncated span blob")
+)
+
+// readFrameReuse reads one frame, reusing buf for the body when it has
+// capacity; it returns the frame (aliasing the returned buffer) and the
+// possibly-grown buffer for the caller's next read. Single-reader use
+// only: the previous frame's contents are dead once this is called.
+//
+//ips:hotpath
+func readFrameReuse(r io.Reader, buf []byte) (frame, []byte, error) {
+	// The length prefix reads into the reusable buffer too: a local
+	// array would escape through the io.Reader interface call and cost
+	// one heap allocation per frame.
+	if cap(buf) < 4 {
+		//ipslint:ignore hotpathalloc the first read on a connection sizes its buffer; reuse amortizes it away
+		buf = make([]byte, 4096)
+	}
+	//ipslint:ignore hotpathalloc io.ReadFull into an existing buffer does not allocate; the interface call is the runtime socket
+	if _, err := io.ReadFull(r, buf[:4]); err != nil {
+		return frame{}, buf, err
+	}
+	frameLen := binary.LittleEndian.Uint32(buf[:4])
+	if frameLen > MaxFrameSize || frameLen < 9 {
+		return frame{}, buf, ErrFrameTooLarge
+	}
+	if cap(buf) < int(frameLen) {
+		//ipslint:ignore hotpathalloc read-buffer growth amortizes away under per-connection reuse
+		buf = make([]byte, frameLen)
+	}
+	raw := buf[:frameLen]
+	//ipslint:ignore hotpathalloc io.ReadFull into an existing buffer does not allocate; the interface call is the runtime socket
+	if _, err := io.ReadFull(r, raw); err != nil {
+		return frame{}, buf, err
+	}
+	noteRead(4 + len(raw))
+	fr, err := parseFrame(raw)
+	return fr, buf, err
+}
+
+// readFrame reads one frame into fresh storage — the form for callers
+// that hand the frame to another goroutine.
+func readFrame(r io.Reader) (frame, error) {
+	fr, _, err := readFrameReuse(r, nil)
+	return fr, err
 }

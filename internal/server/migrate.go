@@ -14,6 +14,7 @@ import (
 // MigrateInstall runs on the new owner — it lands shipped frames,
 // guarded by the per-profile migration watermark.
 
+//ips:hotpath
 func maxLSN(a, b uint64) uint64 {
 	if b > a {
 		return b

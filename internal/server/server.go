@@ -385,11 +385,13 @@ func (in *Instance) Tables() []string {
 	return out
 }
 
+//ips:hotpath
 func (in *Instance) table(name string) (*tableState, error) {
 	in.mu.RLock()
 	ts := in.tables[name]
 	in.mu.RUnlock()
 	if ts == nil {
+		//ipslint:ignore hotpathalloc the unknown-table error is off the steady state
 		return nil, fmt.Errorf("%w: %q", ErrNoTable, name)
 	}
 	return ts, nil
@@ -609,25 +611,44 @@ func (in *Instance) Query(req *wire.QueryRequest) (*wire.QueryResponse, error) {
 
 // QueryCtx is Query with a request context carrying the request's trace,
 // if sampled: the cache lookup (hit/miss flagged, storage read broken
-// out) and the feature computation get their own spans.
+// out) and the feature computation get their own spans. The returned
+// response is freshly allocated and caller-owned; the zero-allocation
+// form is QueryInto.
 func (in *Instance) QueryCtx(ctx context.Context, req *wire.QueryRequest) (*wire.QueryResponse, error) {
+	resp := &wire.QueryResponse{}
+	var sc query.Scratch
+	if err := in.QueryInto(ctx, req, resp, &sc); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// QueryInto executes a read into resp, using sc for all working storage.
+// resp's feature list and every Counts vector alias sc's arenas: they
+// are valid until the scratch's next run, which lets the service layer
+// decode, compute, and encode a steady-state cache-hit read with zero
+// heap allocations. resp is reset (capacity preserved) before use.
+//
+//ips:hotpath
+func (in *Instance) QueryInto(ctx context.Context, req *wire.QueryRequest, resp *wire.QueryResponse, sc *query.Scratch) error {
 	if in.closed.Load() {
-		return nil, ErrClosed
+		return ErrClosed
 	}
 	if err := in.limiter.Allow(req.Caller); err != nil {
 		in.Rejected.Inc()
-		return nil, err
+		return err
 	}
 	start := time.Now()
 	ts, err := in.table(req.Table)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	p, hit, hot, err := ts.cache.GetForRead(ctx, req.ProfileID)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	resp := &wire.QueryResponse{CacheHit: hit}
+	*resp = wire.QueryResponse{Features: resp.Features[:0]}
+	resp.CacheHit = hit
 	if p != nil {
 		// Surface the freshness watermark: the local journal ack plus the
 		// migration watermark carried over from a previous owner. Dual
@@ -646,22 +667,24 @@ func (in *Instance) QueryCtx(ctx context.Context, req *wire.QueryRequest) (*wire
 		if req.UDAFName != "" {
 			fn, err := in.udafs.Lookup(req.UDAFName)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			q.UDAF = fn
 		}
 		csp := trace.StartLeaf(ctx, trace.StageCacheCompute)
 		var res query.Result
+		//ipslint:ignore hotpathalloc the clock is an injected func value; the default model.Now does not allocate
+		now := in.clock()
 		if hot {
 			// Hot replicas are immutable, so the per-profile read lock —
 			// the very thing the replica exists to relieve — is skipped.
-			res, err = query.RunSealed(p, ts.schema, q, in.clock())
+			res, err = query.RunSealedScratch(p, ts.schema, q, now, sc)
 		} else {
-			res, err = query.Run(p, ts.schema, q, in.clock())
+			res, err = query.RunScratch(p, ts.schema, q, now, sc)
 		}
 		csp.EndErr(err)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		resp.Features = res.Features
 		resp.SlicesScanned = res.SlicesScanned
@@ -670,7 +693,7 @@ func (in *Instance) QueryCtx(ctx context.Context, req *wire.QueryRequest) (*wire
 	resp.ServerNanos = elapsed.Nanoseconds()
 	in.QueryLat.Observe(elapsed)
 	in.Queries.Inc()
-	return resp, nil
+	return nil
 }
 
 // Stats summarises the instance.

@@ -287,12 +287,18 @@ type SpanRef struct {
 }
 
 // ID returns the span's ID, 0 for the zero SpanRef.
+//
+//ips:hotpath
 func (s SpanRef) ID() uint64 { return s.id }
 
 // Active reports whether the ref points at a sampled span.
+//
+//ips:hotpath
 func (s SpanRef) Active() bool { return s.tr != nil }
 
 // End records the span's duration as time since its start.
+//
+//ips:hotpath
 func (s SpanRef) End() {
 	if s.tr == nil {
 		return
@@ -304,6 +310,8 @@ func (s SpanRef) End() {
 }
 
 // EndErr is End plus FlagErr when err is non-nil.
+//
+//ips:hotpath
 func (s SpanRef) EndErr(err error) {
 	if s.tr == nil {
 		return
@@ -318,6 +326,8 @@ func (s SpanRef) EndErr(err error) {
 }
 
 // SetFlags ORs flags into the span.
+//
+//ips:hotpath
 func (s SpanRef) SetFlags(flags uint8) {
 	if s.tr == nil {
 		return
@@ -345,6 +355,8 @@ func NewContext(ctx context.Context, tr *Trace) context.Context {
 }
 
 // FromContext returns the Trace carried by ctx, or nil.
+//
+//ips:hotpath
 func FromContext(ctx context.Context) *Trace {
 	sc, _ := ctx.Value(ctxKey{}).(spanCtx)
 	return sc.tr
@@ -354,6 +366,8 @@ func FromContext(ctx context.Context) *Trace {
 // derived context in which the new span is the parent, plus the span's
 // ref. On an untraced ctx it returns ctx unchanged and the no-op ref —
 // no allocation.
+//
+//ips:hotpath-trust sampled-in spans allocate a derived context by design; the sampled-out branch returns the shared no-op with zero allocations
 func StartSpan(ctx context.Context, stage Stage) (context.Context, SpanRef) {
 	sc, _ := ctx.Value(ctxKey{}).(spanCtx)
 	if sc.tr == nil {
@@ -367,11 +381,14 @@ func StartSpan(ctx context.Context, stage Stage) (context.Context, SpanRef) {
 // StartLeaf opens a span under ctx's current parent without deriving a
 // new context — for leaf stages that start no children. Cheaper than
 // StartSpan on the sampled path (no context allocation).
+//
+//ips:hotpath
 func StartLeaf(ctx context.Context, stage Stage) SpanRef {
 	sc, _ := ctx.Value(ctxKey{}).(spanCtx)
 	if sc.tr == nil {
 		return SpanRef{}
 	}
+	//ipslint:ignore hotpathalloc sampled-in span storage is off the sampled-out steady state
 	id, idx := sc.tr.start(sc.parent, stage, time.Now())
 	return SpanRef{tr: sc.tr, idx: idx, id: id}
 }

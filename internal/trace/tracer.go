@@ -60,6 +60,8 @@ func NewTracer(cfg Config) *Tracer {
 }
 
 // Sample reports whether the next request should carry a trace.
+//
+//ips:hotpath
 func (t *Tracer) Sample() bool {
 	if t == nil || t.cfg.SampleEvery <= 0 {
 		return false

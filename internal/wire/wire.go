@@ -14,6 +14,7 @@ package wire
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"ips/internal/codec"
 	"ips/internal/model"
@@ -82,6 +83,8 @@ type QueryRequest struct {
 }
 
 // ToQuery converts the wire request into the engine's Request.
+//
+//ips:hotpath
 func (q *QueryRequest) ToQuery() query.Request {
 	req := query.Request{
 		Slot:        q.Slot,
@@ -95,8 +98,10 @@ func (q *QueryRequest) ToQuery() query.Request {
 		DecayFactor: q.DecayFactor,
 	}
 	if q.MinCount > 0 || len(q.FIDs) > 0 {
+		//ipslint:ignore hotpathalloc filtered queries leave the steady-state topK path
 		f := &query.Filter{MinCount: q.MinCount}
 		if len(q.FIDs) > 0 {
+			//ipslint:ignore hotpathalloc filtered queries leave the steady-state topK path
 			f.FIDs = make(map[model.FeatureID]bool, len(q.FIDs))
 			for _, fid := range q.FIDs {
 				f.FIDs[fid] = true
@@ -107,6 +112,46 @@ func (q *QueryRequest) ToQuery() query.Request {
 	req.MinScore = q.MinScore
 	// The UDAF itself is resolved by the server from UDAFName.
 	return req
+}
+
+// Interner dedupes the small vocabulary of wire strings — caller names,
+// table names, actions, UDAF names — so a steady-state decode returns a
+// resident string with zero allocations: the read-path map lookup keyed
+// by string(b) is the compiler-recognized no-copy form. The table is
+// bounded; beyond maxInterned distinct strings, first sights are copied
+// but not retained (an abusive caller vocabulary cannot grow the map
+// without bound).
+type Interner struct {
+	mu sync.RWMutex
+	m  map[string]string
+}
+
+const maxInterned = 4096
+
+// Intern returns a resident string equal to b. A nil *Interner degrades
+// to a plain copying conversion.
+//
+//ips:hotpath-trust first-sight strings copy once; steady state is the RLock map hit
+func (in *Interner) Intern(b []byte) string {
+	if in == nil {
+		return string(b)
+	}
+	in.mu.RLock()
+	s, ok := in.m[string(b)]
+	in.mu.RUnlock()
+	if ok {
+		return s
+	}
+	s = string(b)
+	in.mu.Lock()
+	if in.m == nil {
+		in.m = make(map[string]string, 64)
+	}
+	if len(in.m) < maxInterned {
+		in.m[s] = s
+	}
+	in.mu.Unlock()
+	return s
 }
 
 // QueryResponse carries the aggregated features back to the caller.
@@ -201,6 +246,7 @@ const (
 // ErrDecode wraps malformed message errors.
 var ErrDecode = errors.New("wire: malformed message")
 
+//ips:hotpath-trust malformed-input error construction never runs on the steady-state path
 func decodeErr(what string, err error) error {
 	return fmt.Errorf("%w: %s: %v", ErrDecode, what, err)
 }
@@ -303,7 +349,17 @@ func decodeEntry(rd *codec.Reader) (AddEntry, error) {
 
 // EncodeQuery serializes a QueryRequest.
 func EncodeQuery(q *QueryRequest) []byte {
+	return AppendQuery(nil, q)
+}
+
+// AppendQuery serializes a QueryRequest into dst's storage and returns
+// the extended slice — allocation-free when dst has capacity, which is
+// how the client's pooled call scratch encodes requests.
+//
+//ips:hotpath
+func AppendQuery(dst []byte, q *QueryRequest) []byte {
 	var e codec.Buffer
+	e.Attach(dst)
 	e.String(fQCaller, q.Caller)
 	e.String(fQTable, q.Table)
 	e.Uint64(fQProfile, q.ProfileID)
@@ -325,23 +381,46 @@ func EncodeQuery(q *QueryRequest) []byte {
 	}
 	e.String(fQUDAFName, q.UDAFName)
 	e.Float64(fQMinScore, q.MinScore)
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 // DecodeQuery parses a QueryRequest.
 func DecodeQuery(data []byte) (*QueryRequest, error) {
 	q := &QueryRequest{}
-	rd := codec.NewReader(data)
+	if err := DecodeQueryInto(data, q, nil); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// DecodeQueryInto parses a QueryRequest into a caller-owned (typically
+// pooled) struct, reusing its FIDs storage. String fields go through
+// the Interner so the steady-state vocabulary decodes without copies;
+// a nil interner falls back to plain copying conversions.
+//
+//ips:hotpath
+func DecodeQueryInto(data []byte, q *QueryRequest, in *Interner) error {
+	fids := q.FIDs[:0]
+	*q = QueryRequest{}
+	q.FIDs = fids
+	var rd codec.Reader
+	rd.Reset(data)
 	for !rd.Done() {
 		f, wt, err := rd.Next()
 		if err != nil {
-			return nil, decodeErr("query", err)
+			return decodeErr("query", err)
 		}
 		switch f {
 		case fQCaller:
-			q.Caller, err = rd.String()
+			var b []byte
+			if b, err = rd.Bytes(); err == nil {
+				q.Caller = in.Intern(b)
+			}
 		case fQTable:
-			q.Table, err = rd.String()
+			var b []byte
+			if b, err = rd.Bytes(); err == nil {
+				q.Table = in.Intern(b)
+			}
 		case fQProfile:
 			q.ProfileID, err = rd.Uint64()
 		case fQSlot:
@@ -365,7 +444,10 @@ func DecodeQuery(data []byte) (*QueryRequest, error) {
 			v, err = rd.Uint32()
 			q.SortBy = query.SortBy(v)
 		case fQAction:
-			q.Action, err = rd.String()
+			var b []byte
+			if b, err = rd.Bytes(); err == nil {
+				q.Action = in.Intern(b)
+			}
 		case fQK:
 			var v int64
 			v, err = rd.Int64()
@@ -379,31 +461,46 @@ func DecodeQuery(data []byte) (*QueryRequest, error) {
 		case fQMinCount:
 			q.MinCount, err = rd.Int64()
 		case fQFIDs:
-			q.FIDs, err = rd.Packed64()
+			q.FIDs, err = rd.Packed64Into(q.FIDs)
 		case fQUDAFName:
-			q.UDAFName, err = rd.String()
+			var b []byte
+			if b, err = rd.Bytes(); err == nil {
+				q.UDAFName = in.Intern(b)
+			}
 		case fQMinScore:
 			q.MinScore, err = rd.Float64()
 		default:
 			err = rd.Skip(wt)
 		}
 		if err != nil {
-			return nil, decodeErr("query field", err)
+			return decodeErr("query field", err)
 		}
 	}
-	return q, nil
+	return nil
 }
 
 // EncodeQueryResponse serializes a QueryResponse.
 func EncodeQueryResponse(r *QueryResponse) []byte {
+	return AppendQueryResponse(nil, r)
+}
+
+// AppendQueryResponse serializes a QueryResponse into dst's storage and
+// returns the extended slice. Nested feature messages go through the
+// closure-free BeginMessage/EndMessage pair, so a warmed response
+// encode performs zero allocations.
+//
+//ips:hotpath
+func AppendQueryResponse(dst []byte, r *QueryResponse) []byte {
 	var e codec.Buffer
-	for _, feat := range r.Features {
-		e.Message(fRFeature, func(b *codec.Buffer) {
-			b.Uint64(fFeatFID, feat.FID)
-			b.PackedI64(fFeatCounts, feat.Counts)
-			b.Int64(fFeatLastSeen, feat.LastSeen)
-			b.Float64(fFeatScore, feat.Score)
-		})
+	e.Attach(dst)
+	for i := range r.Features {
+		feat := &r.Features[i]
+		start := e.BeginMessage(fRFeature)
+		e.Uint64(fFeatFID, feat.FID)
+		e.PackedI64(fFeatCounts, feat.Counts)
+		e.Int64(fFeatLastSeen, feat.LastSeen)
+		e.Float64(fFeatScore, feat.Score)
+		e.EndMessage(start)
 	}
 	e.Int64(fRScanned, int64(r.SlicesScanned))
 	e.Bool(fRHit, r.CacheHit)
@@ -411,35 +508,61 @@ func EncodeQueryResponse(r *QueryResponse) []byte {
 	if r.WalLSN != 0 {
 		e.Uint64(fRWal, r.WalLSN)
 	}
-	return append([]byte(nil), e.Bytes()...)
+	return e.Detach()
 }
 
 // DecodeQueryResponse parses a QueryResponse.
 func DecodeQueryResponse(data []byte) (*QueryResponse, error) {
 	r := &QueryResponse{}
-	rd := codec.NewReader(data)
+	if err := DecodeQueryResponseInto(data, r); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// DecodeQueryResponseInto parses a QueryResponse into a caller-owned
+// (typically pooled) struct, reusing the Features slice AND each
+// element's Counts storage from previous decodes — a warmed client
+// decode of a steady-state topK answer performs zero allocations.
+//
+//ips:hotpath
+func DecodeQueryResponseInto(data []byte, r *QueryResponse) error {
+	feats := r.Features[:0]
+	n := 0
+	*r = QueryResponse{}
+	var rd codec.Reader
+	rd.Reset(data)
 	for !rd.Done() {
 		f, wt, err := rd.Next()
 		if err != nil {
-			return nil, decodeErr("resp", err)
+			return decodeErr("resp", err)
 		}
 		switch f {
 		case fRFeature:
-			sub, err := rd.Message()
-			if err != nil {
-				return nil, decodeErr("feature", err)
+			var sub codec.Reader
+			if err := rd.Sub(&sub); err != nil {
+				return decodeErr("feature", err)
 			}
-			var feat query.Feature
+			// Reuse the element (and its Counts backing) when one is
+			// resident from an earlier decode.
+			if n < cap(feats) {
+				feats = feats[:n+1]
+				feats[n] = query.Feature{Counts: feats[n].Counts[:0]}
+			} else {
+				feats = append(feats, query.Feature{})
+			}
+			feat := &feats[n]
+			n++
 			for !sub.Done() {
 				f2, wt2, err := sub.Next()
 				if err != nil {
-					return nil, decodeErr("feature field", err)
+					return decodeErr("feature field", err)
 				}
 				switch f2 {
 				case fFeatFID:
 					feat.FID, err = sub.Uint64()
 				case fFeatCounts:
-					feat.Counts, err = sub.PackedI64()
+					feat.Counts, err = sub.PackedI64Into(feat.Counts)
 				case fFeatLastSeen:
 					feat.LastSeen, err = sub.Int64()
 				case fFeatScore:
@@ -448,38 +571,38 @@ func DecodeQueryResponse(data []byte) (*QueryResponse, error) {
 					err = sub.Skip(wt2)
 				}
 				if err != nil {
-					return nil, decodeErr("feature field", err)
+					return decodeErr("feature field", err)
 				}
 			}
-			r.Features = append(r.Features, feat)
 		case fRScanned:
 			v, err := rd.Int64()
 			if err != nil {
-				return nil, decodeErr("scanned", err)
+				return decodeErr("scanned", err)
 			}
 			r.SlicesScanned = int(v)
 		case fRHit:
 			var err error
 			if r.CacheHit, err = rd.Bool(); err != nil {
-				return nil, decodeErr("hit", err)
+				return decodeErr("hit", err)
 			}
 		case fRNanos:
 			var err error
 			if r.ServerNanos, err = rd.Int64(); err != nil {
-				return nil, decodeErr("nanos", err)
+				return decodeErr("nanos", err)
 			}
 		case fRWal:
 			var err error
 			if r.WalLSN, err = rd.Uint64(); err != nil {
-				return nil, decodeErr("wal", err)
+				return decodeErr("wal", err)
 			}
 		default:
 			if err := rd.Skip(wt); err != nil {
-				return nil, decodeErr("skip", err)
+				return decodeErr("skip", err)
 			}
 		}
 	}
-	return r, nil
+	r.Features = feats
+	return nil
 }
 
 // EncodeStats serializes a StatsResponse.

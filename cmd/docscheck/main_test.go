@@ -79,6 +79,66 @@ func TestPackageComments(t *testing.T) {
 	}
 }
 
+func TestExportedDocs(t *testing.T) {
+	root := t.TempDir()
+	write(t, root, "go.mod", "module fixture\n")
+	// internal/sub is on the strict list: every exported symbol needs a
+	// doc comment. Grouped declarations are covered by the group doc;
+	// unexported symbols and test files are exempt.
+	write(t, root, "internal/sub/sub.go", strings.Join([]string{
+		"// Package sub is the fixture strict package.",
+		"package sub",
+		"",
+		"// Documented is fine.",
+		"type Documented struct{}",
+		"",
+		"type Naked struct{}",
+		"",
+		"// Limits bound the fixture. The group doc covers both.",
+		"const (",
+		"\tMaxA = 1",
+		"\tMaxB = 2",
+		")",
+		"",
+		"var Bare = 3",
+		"",
+		"func Undoc() {}",
+		"",
+		"// Doc'd method below is fine; the naked one is not.",
+		"func (Documented) Fine() {}",
+		"",
+		"func (Documented) Sloppy() {}",
+		"",
+		"func private() {}",
+		"",
+		"var _ = private",
+	}, "\n")+"\n")
+	write(t, root, "internal/sub/sub_test.go", "package sub\n\nfunc TestOnlyHelper() {}\n")
+	// Packages off the strict list are untouched by this check.
+	write(t, root, "internal/loose/loose.go", "// Package loose is documented.\npackage loose\n\nfunc Undoc() {}\n")
+
+	findings, err := run(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(findings, "\n")
+	for _, want := range []string{
+		"internal/sub/sub.go:7: exported type Naked has no doc comment",
+		"internal/sub/sub.go:15: exported const/var Bare has no doc comment",
+		"internal/sub/sub.go:17: exported function Undoc has no doc comment",
+		"internal/sub/sub.go:22: exported method Sloppy has no doc comment",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing finding %q in:\n%s", want, joined)
+		}
+	}
+	for _, reject := range []string{"Documented", "MaxA", "MaxB", "Fine", "private", "TestOnlyHelper", "loose"} {
+		if strings.Contains(joined, reject) {
+			t.Errorf("false positive %q in:\n%s", reject, joined)
+		}
+	}
+}
+
 // TestRepoClean runs docscheck against the real repository: the tree this
 // test ships in must itself pass both checks.
 func TestRepoClean(t *testing.T) {

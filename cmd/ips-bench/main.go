@@ -23,7 +23,7 @@ type experiment struct {
 }
 
 func main() {
-	exp := flag.String("exp", "", "experiment id (fig16, fig17, tab2, fig18, fig19, iso80, compaction, lambda, batch, tail, recovery, trace, hotkey, migrate, tiered, alloc, fig10, fig11, all)")
+	exp := flag.String("exp", "", "experiment id (fig16, fig17, tab2, fig18, fig19, iso80, compaction, lambda, batch, tail, recovery, trace, hotkey, migrate, tiered, alloc, sub, fig10, fig11, all)")
 	full := flag.Bool("full", false, "run the larger, slower parameterization")
 	list := flag.Bool("list", false, "list experiments")
 	flag.Parse()
@@ -158,6 +158,14 @@ func main() {
 				}
 			}
 			_, err := bench.RunTiered(o, os.Stdout)
+			return err
+		}},
+		{"sub", "continuous queries: push vs poll update propagation at 10k standing queries (writes BENCH_sub.json)", func(full bool) error {
+			o := bench.SubscribeOptions{}
+			if !full {
+				o = bench.SubscribeOptions{Events: 120, ChurnPerEvent: 8}
+			}
+			_, err := bench.RunSubscribe(o, os.Stdout)
 			return err
 		}},
 		{"fig10", "compaction mechanism demo (6 slices -> 3)", func(bool) error {

@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -56,6 +58,8 @@ func main() {
 		runAdd(c, *caller, flag.Args()[1:])
 	case "topk", "filter", "decay":
 		runQuery(c, *caller, cmd, flag.Args()[1:])
+	case "watch":
+		runWatch(c, *caller, flag.Args()[1:])
 	case "stats":
 		raw, err := c.Call(wire.MethodStats, nil)
 		if err != nil {
@@ -97,6 +101,59 @@ func main() {
 		}
 	default:
 		usage()
+	}
+}
+
+// watchFlags parses the shared watch flags: the pipeline program and an
+// optional update cap.
+func watchFlags(args []string) (pipeline string, n int) {
+	fs := flag.NewFlagSet("watch", flag.ExitOnError)
+	p := fs.String("pipeline", "", "pipeline program, e.g. 'source(user_profile, 42, 99) | slot(1) | decay(exp, 0.5) | topk(10)'")
+	cap := fs.Int("n", 0, "exit after N updates (0 = run until interrupted)")
+	_ = fs.Parse(args)
+	if *p == "" {
+		log.Fatal("watch needs -pipeline")
+	}
+	return *p, *cap
+}
+
+func printUpdate(u *wire.SubUpdate) {
+	mark := " "
+	if u.Resync {
+		mark = "R" // full-state resync: replace everything held for this profile
+	}
+	fmt.Printf("[%s] profile=%d seq=%d %d features\n", mark, u.ProfileID, u.Seq, len(u.Result.Features))
+	for _, f := range u.Result.Features {
+		fmt.Printf("    fid=%-12d counts=%v\n", f.FID, f.Counts)
+	}
+}
+
+// runWatch (direct mode) registers one standing query on a single ipsd
+// and prints every pushed update. Direct mode has no resubscribe logic:
+// the stream lives and dies with the one connection, which is exactly
+// what you want when debugging a specific instance. Registry mode (see
+// runViaRegistry) rides the unified client's transparent resubscribe.
+func runWatch(c *rpc.Client, caller string, args []string) {
+	pipeline, n := watchFlags(args)
+	st, err := c.Stream(context.Background(), wire.MethodSubWatch,
+		wire.EncodeSubscribe(&wire.SubscribeRequest{Caller: caller, Pipeline: pipeline}))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+	for i := 0; n == 0 || i < n; i++ {
+		raw, err := st.Recv(context.Background())
+		if errors.Is(err, io.EOF) {
+			return
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		u, err := wire.DecodeSubUpdate(raw)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printUpdate(u)
 	}
 }
 
@@ -325,6 +382,20 @@ func runViaRegistry(registryAddr, region, caller, cmd string, args []string) {
 		if served == 0 {
 			os.Exit(1)
 		}
+	case "watch":
+		pipeline, n := watchFlags(args)
+		s, err := c.Subscribe(context.Background(), pipeline)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer s.Close()
+		for i := 0; n == 0 || i < n; i++ {
+			u, err := s.Recv(context.Background())
+			if err != nil {
+				log.Fatal(err)
+			}
+			printUpdate(u)
+		}
 	case "stats":
 		stats, err := c.Stats()
 		if err != nil {
@@ -348,14 +419,15 @@ func runViaRegistry(registryAddr, region, caller, cmd string, args []string) {
 			}
 		}
 	default:
-		log.Fatalf("registry mode supports add/topk/filter/decay/batch/stats, not %q", cmd)
+		log.Fatalf("registry mode supports add/topk/filter/decay/batch/watch/stats, not %q", cmd)
 	}
 }
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: ips-cli [-addr host:port] <command> [flags]")
-	fmt.Fprintln(os.Stderr, "commands: ping add topk filter decay batch stats debug delete set-quota set-isolation register-udaf tables udafs")
+	fmt.Fprintln(os.Stderr, "commands: ping add topk filter decay batch watch stats debug delete set-quota set-isolation register-udaf tables udafs")
 	fmt.Fprintln(os.Stderr, "batch (registry mode only) coalesces one sub-query per -profiles ID into per-shard RPCs")
+	fmt.Fprintln(os.Stderr, "watch registers a standing pipeline query and streams pushed updates: ips-cli watch -pipeline 'source(user_profile, 42) | slot(1) | topk(5)'")
 	fmt.Fprintln(os.Stderr, "debug reads ipsd's -debug endpoint: ips-cli -addr host:debugport debug -cmd stages")
 	os.Exit(2)
 }

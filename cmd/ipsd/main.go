@@ -48,6 +48,8 @@ func main() {
 	hotPromoteAfter := flag.Int("hot-promote-after", 0, "decayed read count that promotes a profile into hot slots (0 = gcache default)")
 	memLimit := flag.Int64("mem-limit", 0, "decoded-tier cache budget in bytes; eviction demotes over-budget profiles hot -> warm -> KV (0 = unbounded)")
 	warmLimit := flag.Int64("warm-limit", 0, "warm-tier budget in bytes for snap-compressed demoted profiles served without a KV round trip (0 = warm tier off)")
+	subQueue := flag.Int("sub-queue", 0, "per-subscriber update queue length for continuous queries; a full queue drops and schedules a resync (0 = default 64)")
+	subResync := flag.Duration("sub-resync", 0, "resync sweep interval recovering slow subscribers and failed standing-query evaluations (0 = default 250ms)")
 	flag.Parse()
 
 	var store kv.Store
@@ -94,6 +96,8 @@ func main() {
 		DefaultQuotaQPS: *quota,
 		Journal:         journal,
 		Tracer:          tracer,
+		SubQueue:        *subQueue,
+		SubResync:       *subResync,
 		Cache: gcache.Options{
 			HotSlots:        *hotSlots,
 			HotPromoteAfter: *hotPromoteAfter,

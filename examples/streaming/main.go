@@ -1,0 +1,164 @@
+// Command streaming demonstrates continuous queries (DESIGN.md
+// "Continuous queries"): a standing query in the pipeline language is
+// registered once with Watch, and the cluster pushes a fresh answer
+// whenever a write changes a watched profile — no polling. It also
+// shows the two client-visible contracts worth internalizing:
+//
+//   - Resync baselines: the first update per profile after any
+//     (re)subscribe carries Resync=true and replaces prior state, and
+//     the same flag recovers slow consumers after server-side drops.
+//   - Transparent resubscribe: when a node crashes (or joins/drains),
+//     the subscription reassigns its profiles to the new owners and
+//     re-baselines — the consumer loop never changes.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"ips"
+	"ips/internal/cluster"
+	"ips/internal/config"
+	"ips/internal/model"
+)
+
+func main() {
+	// Write isolation off so pushes fire at write-accept time; with it
+	// on, pushes fire at merge time and inherit the merge interval,
+	// exactly like polled reads (the §III-F freshness trade).
+	cfg := config.Default()
+	cfg.WriteIsolation = false
+	cl, err := cluster.New(cluster.Options{
+		Regions:            []string{"local"},
+		InstancesPerRegion: 2,
+		Config:             &cfg,
+		Tables: map[string]*model.Schema{
+			"user_profile": model.NewSchema("like", "share"),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	app, err := ips.Connect(ips.RemoteOptions{
+		Caller: "streaming-demo", Region: "local", Registry: cl.Registry,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer func() {
+		if err := app.Close(); err != nil {
+			log.Printf("close: %v", err)
+		}
+	}()
+
+	// One standing query over three profiles: their top liked features
+	// in slot 1. The pipeline text is the wire form — the server parses
+	// it into the same operators a polled TopK would run.
+	const pipeline = "source(user_profile, 7, 8, 9) | slot(1) | sort(action, like) | topk(3)"
+	sub, err := app.Watch(context.Background(), pipeline)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sub.Close()
+	fmt.Printf("watching: %s\n\n", pipeline)
+
+	// Every (re)subscribed profile first delivers a Resync-flagged
+	// baseline: the full current answer (empty here — nothing written).
+	fmt.Println("--- baselines (one Resync per watched profile) ---")
+	for i := 0; i < 3; i++ {
+		printUpdate(recv(sub))
+	}
+
+	// A write to a watched profile pushes a fresh answer within the
+	// ingest visibility window — no poll, no caller involvement.
+	fmt.Println("\n--- write profile 7, the push arrives ---")
+	now := time.Now().UnixMilli()
+	mustAdd(app, 7, ips.Entry{
+		Timestamp: now, Slot: 1, Type: 1, FID: 1001, Counts: []int64{3, 0},
+	})
+	printUpdate(recv(sub))
+
+	mustAdd(app, 7, ips.Entry{
+		Timestamp: now, Slot: 1, Type: 1, FID: 1002, Counts: []int64{5, 1},
+	})
+	printUpdate(recv(sub))
+
+	// Flush so the shared KV holds the state, then crash one node. The
+	// subscription notices the ring change, reassigns the crashed
+	// owner's profiles to the survivor, and re-baselines them with
+	// Resync updates — the receive loop above keeps working unchanged.
+	fmt.Println("\n--- crash a node: transparent resubscribe ---")
+	for _, n := range cl.Nodes() {
+		n.Instance().MergeAll()
+		if err := n.Instance().FlushAll(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	victim := cl.Nodes()[0].Name
+	cl.Crash(victim)
+	fmt.Printf("crashed %s; waiting for discovery TTL + reassign\n", victim)
+	time.Sleep(1200 * time.Millisecond) // registration TTL lapses
+	app.Client().RefreshNow()
+
+	// The crashed node owned some subset of {7,8,9}; each reassigned
+	// profile re-baselines from the survivor (served out of shared KV).
+	// Drain until the stream goes quiet so every baseline is in.
+	for {
+		select {
+		case u := <-sub.Updates():
+			printUpdate(u)
+		case <-time.After(2 * time.Second):
+			goto settled
+		}
+	}
+settled:
+
+	// Writes keep pushing after the failover.
+	fmt.Println("\n--- write profile 8 after the failover ---")
+	mustAdd(app, 8, ips.Entry{
+		Timestamp: now, Slot: 1, Type: 1, FID: 2002, Counts: []int64{2, 0},
+	})
+	printUpdate(recv(sub))
+
+	fmt.Printf("\nclient counters: subscriptions=%d streams=%d opens=%d resubscribes=%d updates=%d resyncs=%d\n",
+		app.Client().Subscriptions.Value(), app.Client().SubStreams.Value(),
+		app.Client().SubOpens.Value(), app.Client().SubResubscribes.Value(),
+		app.Client().SubUpdates.Value(), app.Client().SubResyncs.Value())
+}
+
+// recv pulls the next pushed update with a liveness deadline.
+func recv(sub *ips.Subscription) *ips.SubUpdate {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	u, err := sub.Recv(ctx)
+	if err != nil {
+		log.Fatalf("no update within deadline: %v", err)
+	}
+	return u
+}
+
+func printUpdate(u *ips.SubUpdate) {
+	mark := "push  "
+	if u.Resync {
+		mark = "RESYNC" // replace everything held for this profile
+	}
+	fmt.Printf("  [%s] profile=%d seq=%d:", mark, u.ProfileID, u.Seq)
+	if len(u.Result.Features) == 0 {
+		fmt.Printf(" (empty)")
+	}
+	for _, f := range u.Result.Features {
+		fmt.Printf(" fid=%d%v", f.FID, f.Counts)
+	}
+	fmt.Println()
+}
+
+func mustAdd(app *ips.Remote, id uint64, e ips.Entry) {
+	if err := app.Add("user_profile", id, e); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  wrote profile %d fid=%d\n", id, e.FID)
+}

@@ -337,6 +337,31 @@ func TestRunMigrateSmall(t *testing.T) {
 		rep.Steady.P99, rep.Join.P99, rep.Drain.P99, rep.P99Ratio, rep.Floor)
 }
 
+func TestRunSubscribeSmall(t *testing.T) {
+	rep, err := RunSubscribe(SubscribeOptions{
+		Queries: 600, Events: 40, Measured: 16,
+		PollInterval: 40 * time.Millisecond, ChurnPerEvent: 4,
+		OutPath: t.TempDir() + "/BENCH_sub.json",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conservation: every tagged write observed, delivered streams gapless.
+	if rep.Lost != 0 || rep.SeqGaps != 0 {
+		t.Fatalf("lost=%d seq_gaps=%d, want 0/0", rep.Lost, rep.SeqGaps)
+	}
+	// The defining shape: a pushed update beats the poll loop's median
+	// (which pays ~interval/2 staleness before it even issues the read).
+	t.Logf("push p50=%v p99=%v; poll p50=%v p99=%v; push evals=%d poll reads=%d",
+		rep.PushP50, rep.PushP99, rep.PollP50, rep.PollP99, rep.PushEvals, rep.PollReads)
+	if rep.PushP50 >= rep.PollP50 {
+		t.Fatalf("push median %v not below poll median %v", rep.PushP50, rep.PollP50)
+	}
+	if rep.Pushes == 0 || rep.PushEvals == 0 {
+		t.Fatalf("hub idle: pushes=%d evals=%d", rep.Pushes, rep.PushEvals)
+	}
+}
+
 func TestRunTieredSmall(t *testing.T) {
 	rep, err := RunTiered(TieredOptions{
 		MemLimits: []int64{96 << 10, 384 << 10},

@@ -166,6 +166,17 @@ type Client struct {
 	DualWins      metrics.Counter // dual read carried the response after the authority attempt had failed or was breaker-blocked
 	WriteRPCs     metrics.Counter // add RPCs issued (never hedged)
 
+	// Continuous-query accounting (watch.go). Kept apart from the
+	// read-path attempt counters: stream opens are not query attempts,
+	// so the Attempts == Primaries + Retries + Hedges + Duals invariant
+	// is untouched by watch traffic.
+	Subscriptions   metrics.Gauge   // live Subscriptions
+	SubStreams      metrics.Gauge   // live per-owner watch streams
+	SubOpens        metrics.Counter // owner streams opened (incl. reopens)
+	SubResubscribes metrics.Counter // streams torn down for reopen (death or ring change)
+	SubUpdates      metrics.Counter // updates received across all subscriptions
+	SubResyncs      metrics.Counter // Resync-flagged updates received
+
 	// Breaker holds the per-instance circuit breakers consulted by
 	// routing; nil when Options.BreakerThreshold < 0.
 	Breaker *Breaker

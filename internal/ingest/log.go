@@ -3,6 +3,14 @@
 // windowed stream joiner standing in for the Flink jobs that join
 // impression, action and feature streams into instance data before it is
 // written into IPS.
+//
+// Reads are no longer pull-only downstream of this pipeline: once a
+// joined write lands and becomes query-visible (at accept time, or at
+// merge time under write isolation), the server's subscription hub
+// pushes fresh answers to any continuous queries standing over the
+// profile (DESIGN.md "Continuous queries"). The freshness of those
+// pushed updates is therefore bounded by this pipeline's join window
+// plus the server's merge window — ingest lag is push lag.
 package ingest
 
 import (

@@ -1,0 +1,293 @@
+package integration
+
+// The subscription conservation suite: under a stall storm — slow
+// consumers wedging their sinks while writers hammer acked mutations
+// over RPC — every acked mutation is either pushed to or explicitly
+// resynced for every live matching subscriber. Concretely: once the hub
+// quiesces (PendingResync == 0 and queues drained), each subscriber's
+// last received state for every watched profile must equal a fresh
+// oracle evaluation of the same standing query, delivered sequence
+// numbers must be gapless per (subscriber, profile) — drops never
+// consume a Seq; the Resync flag, not a gap, is the loss signal — and
+// the storm must actually have overflowed queues (Drops > 0) and
+// recovered them (Resyncs > 0), or the test proved nothing.
+
+import (
+	"context"
+	"math/rand"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ips/internal/config"
+	"ips/internal/kv"
+	"ips/internal/model"
+	"ips/internal/query"
+	"ips/internal/rpc"
+	"ips/internal/server"
+	"ips/internal/sub"
+	"ips/internal/wire"
+)
+
+// stallSink is a hub sink that can be wedged mid-storm: while stalled,
+// Push blocks, the subscriber's pump stops draining, and the bounded
+// queue behind it overflows into drop-and-resync.
+type stallSink struct {
+	stalled atomic.Bool
+
+	mu      sync.Mutex
+	last    map[model.ProfileID][]query.Feature
+	seq     map[model.ProfileID]uint64
+	gaps    int
+	resyncs int
+	updates int
+}
+
+func newStallSink() *stallSink {
+	return &stallSink{
+		last: make(map[model.ProfileID][]query.Feature),
+		seq:  make(map[model.ProfileID]uint64),
+	}
+}
+
+func (s *stallSink) Push(u *wire.SubUpdate) error {
+	for s.stalled.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if u.Seq != s.seq[u.ProfileID]+1 {
+		s.gaps++
+	}
+	s.seq[u.ProfileID] = u.Seq
+	if u.Resync {
+		s.resyncs++
+	}
+	s.updates++
+	// The hub shares one result across a multicast group read-only; copy
+	// before retaining.
+	s.last[u.ProfileID] = append([]query.Feature(nil), u.Result.Features...)
+	return nil
+}
+
+func (s *stallSink) snapshotUpdates() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.updates
+}
+
+// featureTotals flattens a result to FID -> per-action counts for
+// order-insensitive comparison (equal totals may tie-break differently
+// between evaluations).
+func featureTotals(feats []query.Feature) map[uint64][]int64 {
+	out := make(map[uint64][]int64, len(feats))
+	for i := range feats {
+		out[feats[i].FID] = feats[i].Counts
+	}
+	return out
+}
+
+func totalsEqual(a, b map[uint64][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for fid, ca := range a {
+		cb, ok := b[fid]
+		if !ok || len(ca) != len(cb) {
+			return false
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestSubscriptionConservationStorm(t *testing.T) {
+	const (
+		profiles      = 48
+		subscribers   = 16
+		idsPerSub     = 12
+		writers       = 4
+		writesPer     = 250
+		tinyQueue     = 2 // overflow is the point
+		stallCycles   = 3
+		stallDuration = 120 * time.Millisecond
+	)
+
+	clock := &simClock{now: 1_700_000_000_000}
+	cfg := config.Default()
+	cfg.WriteIsolation = false // notify at accept: the storm measures the hub, not the merge window
+	cfgStore, err := config.NewStore(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := server.New(server.Options{
+		Name: "cons-0", Region: "local",
+		Store: kv.NewMemory(), Config: cfgStore, Clock: clock.Now,
+		SubQueue:  tinyQueue,
+		SubResync: 25 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	if err := in.CreateTable("up", model.NewSchema("like", "share")); err != nil {
+		t.Fatal(err)
+	}
+	svc := server.NewService(in)
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	// Subscribers watch overlapping windows of the profile space, so most
+	// profiles multicast to several standing queries.
+	sinks := make([]*stallSink, subscribers)
+	queries := make([]*sub.Query, subscribers)
+	for i := 0; i < subscribers; i++ {
+		pipeline := "source(up"
+		for j := 0; j < idsPerSub; j++ {
+			pipeline += ", " + strconv.Itoa((i*3+j)%profiles+1)
+		}
+		pipeline += ") | slot(1) | topk(128)"
+		q, err := sub.Parse(pipeline)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sinks[i] = newStallSink()
+		queries[i] = q
+		if _, err := in.Hub().Subscribe(q, sinks[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Writers ack mutations over real RPC while a controller wedges half
+	// the sinks in cycles.
+	rc := rpc.NewClient(addr)
+	rc.CallTimeout = 5 * time.Second
+	defer rc.Close()
+	var writerErr atomic.Value
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() { // stall controller
+		for c := 0; c < stallCycles; c++ {
+			for i := 0; i < subscribers; i += 2 {
+				sinks[i].stalled.Store(true)
+			}
+			time.Sleep(stallDuration)
+			for i := 0; i < subscribers; i += 2 {
+				sinks[i].stalled.Store(false)
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(60 * time.Millisecond):
+			}
+		}
+	}()
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for n := 0; n < writesPer; n++ {
+				counts := make([]int64, 2)
+				counts[rng.Intn(2)] = 1
+				payload := wire.EncodeAdd(&wire.AddRequest{
+					Caller: "storm", Table: "up",
+					ProfileID: model.ProfileID(1 + rng.Intn(profiles)),
+					Entries: []wire.AddEntry{{
+						Timestamp: clock.Now() - 1000, Slot: 1, Type: 1,
+						FID: uint64(1 + rng.Intn(32)), Counts: counts,
+					}},
+				})
+				if _, err := rc.Call(wire.MethodAdd, payload); err != nil {
+					writerErr.Store(err)
+					return
+				}
+				if n%50 == 49 {
+					time.Sleep(5 * time.Millisecond) // spread the storm across stall cycles
+				}
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	close(stop)
+	if err, _ := writerErr.Load().(error); err != nil {
+		t.Fatalf("acked write failed mid-storm: %v", err)
+	}
+
+	// Quiesce: no (subscriber, profile) pair awaits a resync and no queue
+	// is still draining.
+	totalUpdates := func() int {
+		n := 0
+		for _, s := range sinks {
+			n += s.snapshotUpdates()
+		}
+		return n
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("hub never quiesced: pending=%d", in.Hub().PendingResync())
+		}
+		if in.Hub().PendingResync() == 0 {
+			before := totalUpdates()
+			time.Sleep(100 * time.Millisecond)
+			if in.Hub().PendingResync() == 0 && totalUpdates() == before {
+				break
+			}
+			continue
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The storm must have actually exercised drop-and-resync.
+	if in.Hub().Drops.Value() == 0 {
+		t.Fatal("stall storm never overflowed a queue; the test proved nothing")
+	}
+	if in.Hub().Resyncs.Value() == 0 {
+		t.Fatal("drops without resyncs: slow consumers were never recovered")
+	}
+
+	// Conservation: every subscriber's last state per watched profile
+	// equals the oracle's fresh evaluation; sequences were gapless.
+	ctx := context.Background()
+	for i, s := range sinks {
+		s.mu.Lock()
+		if s.gaps != 0 {
+			s.mu.Unlock()
+			t.Fatalf("subscriber %d saw %d sequence gaps", i, s.gaps)
+		}
+		for _, id := range queries[i].IDs {
+			got, ok := s.last[id]
+			if !ok {
+				s.mu.Unlock()
+				t.Fatalf("subscriber %d never received profile %d (not even a baseline)", i, id)
+			}
+			req := queries[i].Req
+			req.Caller, req.Table, req.ProfileID = "oracle", "up", id
+			var resp wire.QueryResponse
+			var sc query.Scratch
+			if err := in.QueryInto(ctx, &req, &resp, &sc); err != nil {
+				s.mu.Unlock()
+				t.Fatalf("oracle query: %v", err)
+			}
+			if !totalsEqual(featureTotals(got), featureTotals(resp.Features)) {
+				s.mu.Unlock()
+				t.Fatalf("subscriber %d profile %d diverged from oracle:\n  got  %v\n  want %v",
+					i, id, featureTotals(got), featureTotals(resp.Features))
+			}
+		}
+		s.mu.Unlock()
+	}
+	t.Logf("storm: drops=%d resyncs=%d pushes=%d skips=%d updates=%d",
+		in.Hub().Drops.Value(), in.Hub().Resyncs.Value(),
+		in.Hub().Pushes.Value(), in.Hub().Skips.Value(), totalUpdates())
+}

@@ -40,6 +40,10 @@ type clientConn struct {
 	cw      connWriter
 	mu      sync.Mutex
 	pending map[uint64]*callSlot
+	// streams holds the open client streams multiplexed on this
+	// connection, keyed by the same sequence-ID namespace as pending
+	// (see stream.go).
+	streams map[uint64]*ClientStream
 	seq     atomic.Uint64
 	dead    atomic.Bool
 }
@@ -346,6 +350,12 @@ func (cc *clientConn) readLoop() {
 		delete(cc.pending, fr.seq)
 		cc.mu.Unlock()
 		if !ok {
+			if fr.kind == kindStreamData || fr.kind == kindStreamClose || fr.kind == kindError {
+				//ipslint:ignore hotpathalloc stream delivery copies the pushed frame out of the reused buffer; streams are off the pooled-call steady state
+				if cc.handleStreamFrame(fr) {
+					continue
+				}
+			}
 			continue // timed-out call's late response
 		}
 		// The frame aliases the reusable read buffer: copy the response
@@ -376,5 +386,10 @@ func (cc *clientConn) fail(err error) {
 		slot.ch <- result{err: err}
 		delete(cc.pending, seq)
 	}
+	streams := cc.streams
+	cc.streams = nil
 	cc.mu.Unlock()
+	for _, st := range streams {
+		st.finish(err)
+	}
 }

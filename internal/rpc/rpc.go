@@ -7,8 +7,9 @@
 //	u32 frameLen      (bytes after this field; capped)
 //	u64 sequenceID    (request/response correlation)
 //	u8  kind          (0 = request, 1 = response, 2 = error response,
-//	                   3 = traced request, 4 = traced response)
-//	u16 methodLen, method bytes  (requests only)
+//	                   3 = traced request, 4 = traced response,
+//	                   5 = stream open, 6 = stream data, 7 = stream close)
+//	u16 methodLen, method bytes  (requests and stream opens only)
 //	u64 traceID, u64 parentSpanID (traced requests only)
 //	u32 spanBlobLen, span blob    (traced responses only; trace.EncodeSpans)
 //	payload bytes     (method-specific, opaque to the framework)
@@ -19,6 +20,12 @@
 // response carries the server's span set, which the client grafts into
 // its own trace. Servers answer untraced requests with untraced
 // responses, so the header costs nothing when sampling is off.
+//
+// Stream frames (kinds 5/6/7) are the push transport behind continuous
+// queries (DESIGN.md "Continuous queries"): a stream open carries a
+// method and payload like a request, after which the server pushes data
+// frames under the same sequence ID until either side closes the stream.
+// See stream.go for the client/server stream APIs.
 //
 // A single connection multiplexes any number of in-flight requests:
 // responses match requests by sequence ID, so a slow call does not block
@@ -51,6 +58,9 @@ const (
 	kindError          = 2
 	kindRequestTraced  = 3
 	kindResponseTraced = 4
+	kindStreamOpen     = 5
+	kindStreamData     = 6
+	kindStreamClose    = 7
 )
 
 // Errors returned by the framework.
@@ -95,6 +105,9 @@ type Server struct {
 
 	mu       sync.RWMutex
 	handlers map[string]HandlerCtx
+	// streamHandlers holds methods served as long-lived push streams
+	// (HandleStream); see stream.go.
+	streamHandlers map[string]StreamHandler
 	// fast holds methods whose handlers run inline on the connection's
 	// read loop (HandleFast): short, non-blocking handlers on the
 	// steady-state read path, dispatched with zero per-request
@@ -237,12 +250,24 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	cw := &connWriter{w: conn}
+	cs := &connStreams{}
+	defer cs.cancelAll() // connection death cancels its open streams
 	var rbuf, respBuf []byte
 	for {
 		fr, buf, err := readFrameReuse(conn, rbuf)
 		rbuf = buf
 		if err != nil {
 			return
+		}
+		if fr.kind == kindStreamOpen {
+			// The payload escapes to the handler goroutine; detach it
+			// from the reusable read buffer.
+			s.startStream(cw, cs, fr.seq, string(fr.method), append([]byte(nil), fr.payload...))
+			continue
+		}
+		if fr.kind == kindStreamClose {
+			cs.cancel(fr.seq)
+			continue
 		}
 		if fr.kind != kindRequest && fr.kind != kindRequestTraced {
 			continue // ignore stray frames
@@ -416,7 +441,7 @@ type frame struct {
 //ips:hotpath
 func appendFrame(dst []byte, seq uint64, kind byte, method string, payload []byte) ([]byte, error) {
 	frameLen := 8 + 1 + len(payload)
-	if kind == kindRequest {
+	if kind == kindRequest || kind == kindStreamOpen {
 		frameLen += 2 + len(method)
 	}
 	if frameLen > MaxFrameSize {
@@ -425,7 +450,7 @@ func appendFrame(dst []byte, seq uint64, kind byte, method string, payload []byt
 	dst = appendUint32(dst, uint32(frameLen))
 	dst = appendUint64(dst, seq)
 	dst = append(dst, kind)
-	if kind == kindRequest {
+	if kind == kindRequest || kind == kindStreamOpen {
 		dst = appendUint16(dst, uint16(len(method)))
 		dst = append(dst, method...)
 	}
@@ -564,7 +589,7 @@ func parseFrame(raw []byte) (frame, error) {
 	fr.seq = binary.LittleEndian.Uint64(raw)
 	fr.kind = raw[8]
 	off := 9
-	if fr.kind == kindRequest || fr.kind == kindRequestTraced {
+	if fr.kind == kindRequest || fr.kind == kindRequestTraced || fr.kind == kindStreamOpen {
 		if len(raw) < off+2 {
 			return fr, errTruncatedMethodLen
 		}

@@ -90,6 +90,11 @@ func (d *DebugServer) writeStats(w io.Writer) {
 	fmt.Fprintf(w, "migrate: out=%d in=%d marked=%d released=%d bytes_out=%d bytes_in=%d\n",
 		d.in.MigratedOut.Value(), d.in.MigratedIn.Value(), d.in.MigrateMarked.Value(),
 		d.in.MigrateReleased.Value(), d.in.MigrateBytesOut.Value(), d.in.MigrateBytesIn.Value())
+	h := d.in.Hub()
+	fmt.Fprintf(w, "sub: active=%d watched=%d evals=%d eval_errors=%d skips=%d pushes=%d drops=%d resyncs=%d push_p99=%v\n",
+		h.Active.Value(), h.Watched.Value(), h.Evals.Value(), h.EvalErrs.Value(),
+		h.Skips.Value(), h.Pushes.Value(), h.Drops.Value(), h.Resyncs.Value(),
+		h.NotifyLat.Quantile(0.99))
 	tables := d.in.Tables()
 	sort.Strings(tables)
 	for _, tbl := range tables {

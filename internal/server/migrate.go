@@ -107,6 +107,10 @@ func (in *Instance) MigrateInstall(ctx context.Context, req *wire.MigrateInstall
 			out.Installed++
 			in.MigratedIn.Inc()
 			in.MigrateBytesIn.Add(int64(len(fr.Blob)))
+			// An installed frame replaces the resident profile's slices:
+			// standing queries that resubscribed here during the migration
+			// window must observe the shipped state, not a stale answer.
+			in.hub.Notify(req.Table, fr.ProfileID)
 		}
 		if marked {
 			out.Marked++

@@ -31,6 +31,7 @@ import (
 	"ips/internal/persist"
 	"ips/internal/query"
 	"ips/internal/quota"
+	"ips/internal/sub"
 	"ips/internal/trace"
 	"ips/internal/wal"
 	"ips/internal/wire"
@@ -68,6 +69,13 @@ type Options struct {
 	// samples requests, aggregates span durations into stage histograms,
 	// and retains slow queries. Nil disables tracing with no overhead.
 	Tracer *trace.Tracer
+	// SubQueue bounds each continuous-query subscriber's update queue
+	// (DESIGN.md "Continuous queries"); a full queue drops the update and
+	// schedules a resync. 0 uses the sub package default.
+	SubQueue int
+	// SubResync paces the resync sweep that recovers slow subscribers and
+	// failed standing-query evaluations. 0 uses the sub package default.
+	SubResync time.Duration
 }
 
 // Instance is one IPS server node.
@@ -86,6 +94,11 @@ type Instance struct {
 
 	limiter *quota.Limiter
 	udafs   *query.Registry
+
+	// hub is the continuous-query subscriber index (DESIGN.md "Continuous
+	// queries"): every write path notifies it so standing queries over the
+	// touched profile are re-evaluated and pushed. Always non-nil.
+	hub *sub.Hub
 
 	cacheOpts gcache.Options
 
@@ -159,6 +172,11 @@ func New(opts Options) (*Instance, error) {
 		cacheOpts: opts.Cache,
 		stop:      make(chan struct{}),
 	}
+	in.hub = sub.NewHub(sub.Options{
+		Eval:           in.subEval,
+		QueueLen:       opts.SubQueue,
+		ResyncInterval: opts.SubResync,
+	})
 	in.wg.Add(1)
 	go in.mergeLoop()
 	// Register the config watch before returning so no update can slip
@@ -218,6 +236,22 @@ func (in *Instance) UDAFs() *query.Registry { return in.udafs }
 // Tracer returns the instance's latency-attribution tracer, nil when
 // tracing is disabled.
 func (in *Instance) Tracer() *trace.Tracer { return in.tracer }
+
+// Hub returns the continuous-query subscriber hub. The RPC service
+// registers subscriptions here; every write path notifies it.
+func (in *Instance) Hub() *sub.Hub { return in.hub }
+
+// subEval is the hub's evaluation callback: one standing-query
+// re-evaluation through the normal read path. The scratch is per-call —
+// the response's feature storage aliases it, and queued updates hold the
+// response long after this returns, so it must never be pooled or
+// reused. Evaluations run under the hub's reserved caller identity
+// (sub.EvalCaller), so operators can quota push-side load like any
+// other caller.
+func (in *Instance) subEval(ctx context.Context, req *wire.QueryRequest, resp *wire.QueryResponse) error {
+	var sc query.Scratch
+	return in.QueryInto(ctx, req, resp, &sc)
+}
 
 // CreateTable registers a table with the given schema. The head-slice
 // width comes from the current time-dimension config.
@@ -433,6 +467,11 @@ func (in *Instance) AddCtx(ctx context.Context, caller, table string, id model.P
 	if err := ts.cache.AddEntriesCtx(ctx, id, entries); err != nil {
 		return err
 	}
+	// Direct adds are immediately visible to reads, so this is the
+	// freshness point for standing queries over the profile. (Isolated
+	// adds notify at merge time instead — see mergeWriteTableLocked —
+	// because that is when they become query-visible.)
+	in.hub.Notify(table, id)
 	in.maybeCompact(ts, id)
 	return nil
 }
@@ -577,6 +616,11 @@ func (in *Instance) mergeWriteTableLocked(ts *tableState) {
 		mp.Unlock()
 		ts.cache.NoteSizeChange(wp.ID, delta)
 		ts.cache.MarkDirty(wp.ID)
+		// Merge is the visibility point for isolated adds (§III-F): only
+		// now can a standing query observe them, so only now is a push
+		// warranted. Update freshness under write isolation is therefore
+		// bounded by the merge interval, exactly like poll freshness.
+		in.hub.Notify(ts.main.Name, wp.ID)
 		in.MergedSlabs.Inc()
 		in.maybeCompact(ts, wp.ID)
 		return true
@@ -820,6 +864,9 @@ func (in *Instance) DeleteProfile(table string, id model.ProfileID) error {
 	if in.journal != nil {
 		in.journal.NoteFlushed(ts.main.Name, id, lsn, lsn)
 	}
+	// A delete changes the profile's standing answers (to empty) just like
+	// any other mutation — push it.
+	in.hub.Notify(table, id)
 	return nil
 }
 
@@ -876,6 +923,7 @@ func (in *Instance) Abort() {
 	if in.closed.Swap(true) {
 		return
 	}
+	in.hub.Close()
 	close(in.stop)
 	in.wg.Wait()
 	in.mu.RLock()
@@ -891,6 +939,9 @@ func (in *Instance) Close() error {
 	if in.closed.Swap(true) {
 		return nil
 	}
+	// Stop pushes first: subscriber pumps write to client streams, and
+	// every path below mutates state they would otherwise re-evaluate.
+	in.hub.Close()
 	close(in.stop)
 	in.wg.Wait()
 	in.MergeAll()

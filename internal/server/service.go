@@ -2,11 +2,13 @@ package server
 
 import (
 	"context"
+	"errors"
 	"sync"
 
 	"ips/internal/config"
 	"ips/internal/query"
 	"ips/internal/rpc"
+	"ips/internal/sub"
 	"ips/internal/wire"
 )
 
@@ -73,6 +75,50 @@ func (s *Service) Listen(addr string) (string, error) { return s.srv.Listen(addr
 
 // Close stops the RPC server (the Instance is closed separately).
 func (s *Service) Close() error { return s.srv.Close() }
+
+// errSubTorn reports a server-side subscription teardown (sink write
+// failure or instance shutdown) to the client's stream as a close error,
+// distinguishing it from a clean client-initiated close.
+var errSubTorn = errors.New("server: subscription torn down")
+
+// streamSink adapts one RPC server stream to the hub's Sink. Push runs
+// on the subscriber's pump goroutine only, so the encode buffer is
+// reused without locking; ServerStream.Send copies the payload into the
+// connection's write buffer before returning.
+type streamSink struct {
+	st  *rpc.ServerStream
+	buf []byte
+}
+
+func (ss *streamSink) Push(u *wire.SubUpdate) error {
+	ss.buf = wire.AppendSubUpdate(ss.buf[:0], u)
+	return ss.st.Send(ss.buf)
+}
+
+// watch is the ips.sub.watch stream handler: one standing query per
+// stream, updates pushed as kindStreamData frames carrying SubUpdate.
+func (s *Service) watch(ctx context.Context, payload []byte, st *rpc.ServerStream) error {
+	req, err := wire.DecodeSubscribe(payload)
+	if err != nil {
+		return err
+	}
+	q, err := sub.Parse(req.Pipeline)
+	if err != nil {
+		return err
+	}
+	sb, err := s.in.Hub().Subscribe(q, &streamSink{st: st})
+	if err != nil {
+		return err
+	}
+	defer s.in.Hub().Unsubscribe(sb)
+	select {
+	case <-ctx.Done():
+		// Client closed the stream (or the connection died): a clean end.
+		return ctx.Err()
+	case <-sb.Done():
+		return errSubTorn
+	}
+}
 
 func (s *Service) register() {
 	s.srv.HandleFast(wire.MethodPing, func(_ context.Context, _, dst []byte) ([]byte, error) {
@@ -180,6 +226,12 @@ func (s *Service) register() {
 		}
 		return wire.EncodeMigrateInstalled(resp), nil
 	})
+
+	// Continuous queries: a long-lived stream per subscription. The
+	// handler parses the pipeline, registers it on the hub, and stays
+	// parked until the client closes the stream (or the subscriber is
+	// torn down server-side); the hub's pump goroutine does the pushing.
+	s.srv.HandleStream(wire.MethodSubWatch, s.watch)
 
 	s.srv.Handle(wire.MethodListTables, func(p []byte) ([]byte, error) {
 		return wire.EncodeStringList(&wire.StringList{Names: s.in.Tables()}), nil

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ips/internal/config"
+	"ips/internal/model"
+	"ips/internal/rpc"
+	"ips/internal/wire"
+)
+
+func startWatchService(t *testing.T, in *Instance) *rpc.Client {
+	t.Helper()
+	svc := NewService(in)
+	addr, err := svc.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { svc.Close() })
+	return newTestRPCClient(t, addr)
+}
+
+func openWatch(t *testing.T, c *rpc.Client, pipeline string) *rpc.ClientStream {
+	t.Helper()
+	st, err := c.Stream(context.Background(), wire.MethodSubWatch,
+		wire.EncodeSubscribe(&wire.SubscribeRequest{Caller: "test", Pipeline: pipeline}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+func recvSubUpdate(t *testing.T, st *rpc.ClientStream) *wire.SubUpdate {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	raw, err := st.Recv(ctx)
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	u, err := wire.DecodeSubUpdate(raw)
+	if err != nil {
+		t.Fatalf("DecodeSubUpdate: %v", err)
+	}
+	return u
+}
+
+// TestWatchStreamEndToEnd subscribes over RPC, then drives writes and a
+// delete through the instance and observes the pushed updates.
+func TestWatchStreamEndToEnd(t *testing.T) {
+	in, clock := newInstance(t, nil)
+	c := startWatchService(t, in)
+	st := openWatch(t, c, "source(up, 1, 2) | slot(1) | topk(5)")
+
+	// Baselines: one Resync-flagged update per watched profile, in any
+	// order, both currently empty.
+	seen := map[model.ProfileID]bool{}
+	for i := 0; i < 2; i++ {
+		u := recvSubUpdate(t, st)
+		if !u.Resync || u.Seq != 1 || len(u.Result.Features) != 0 {
+			t.Fatalf("baseline = %+v", u)
+		}
+		seen[u.ProfileID] = true
+	}
+	if !seen[1] || !seen[2] {
+		t.Fatalf("baselines covered %v", seen)
+	}
+
+	// A write to a watched profile pushes an incremental update.
+	addOne(t, in, 1, clock.Now()-10, 7, []int64{3, 0})
+	u := recvSubUpdate(t, st)
+	if u.ProfileID != 1 || u.Resync || u.Seq != 2 {
+		t.Fatalf("incremental = %+v", u)
+	}
+	if len(u.Result.Features) != 1 || u.Result.Features[0].FID != 7 {
+		t.Fatalf("incremental features = %+v", u.Result.Features)
+	}
+
+	// Deleting the profile pushes the now-empty answer.
+	if err := in.DeleteProfile("up", 1); err != nil {
+		t.Fatal(err)
+	}
+	u = recvSubUpdate(t, st)
+	if u.ProfileID != 1 || u.Seq != 3 || len(u.Result.Features) != 0 {
+		t.Fatalf("post-delete = %+v", u)
+	}
+
+	// Writes to unwatched profiles push nothing.
+	addOne(t, in, 99, clock.Now()-10, 7, []int64{1, 0})
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if raw, err := st.Recv(ctx); err == nil {
+		t.Fatalf("unexpected push %x for unwatched profile", raw)
+	}
+}
+
+// TestWatchMergeTimeVisibility pins the freshness contract under write
+// isolation (§III-F): isolated adds push at merge time — when they
+// become query-visible — not at accept time.
+func TestWatchMergeTimeVisibility(t *testing.T) {
+	in, clock := newInstance(t, func(c *config.Config) {
+		c.WriteIsolation = true
+		c.MergeInterval = config.Duration(time.Hour) // only explicit merges
+	})
+	c := startWatchService(t, in)
+	st := openWatch(t, c, "source(up, 1) | slot(1)")
+	if u := recvSubUpdate(t, st); !u.Resync {
+		t.Fatalf("baseline = %+v", u)
+	}
+
+	addOne(t, in, 1, clock.Now()-10, 7, []int64{3, 0})
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	if _, err := st.Recv(ctx); err == nil {
+		t.Fatal("isolated add pushed before merge")
+	}
+
+	in.MergeAll()
+	u := recvSubUpdate(t, st)
+	if u.Resync || len(u.Result.Features) != 1 || u.Result.Features[0].FID != 7 {
+		t.Fatalf("post-merge update = %+v", u)
+	}
+}
+
+// TestWatchBadPipeline: parse errors surface as the stream's close error.
+func TestWatchBadPipeline(t *testing.T) {
+	in, _ := newInstance(t, nil)
+	c := startWatchService(t, in)
+	st := openWatch(t, c, "topk(5)")
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, err := st.Recv(ctx)
+	var re *rpc.RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("Recv err = %v, want RemoteError", err)
+	}
+}
+
+// TestWatchInstanceCloseTearsDown: closing the instance ends live
+// streams with an error close, not silence.
+func TestWatchInstanceCloseTearsDown(t *testing.T) {
+	in, _ := newInstance(t, nil)
+	c := startWatchService(t, in)
+	st := openWatch(t, c, "source(up, 1) | slot(1)")
+	recvSubUpdate(t, st) // baseline
+	if err := in.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	for {
+		if _, err := st.Recv(ctx); err != nil {
+			var re *rpc.RemoteError
+			if !errors.As(err, &re) {
+				t.Fatalf("stream ended with %v, want RemoteError", err)
+			}
+			return
+		}
+	}
+}
+
+// TestWatchClientCloseUnsubscribes: closing the stream removes the
+// subscriber from the hub.
+func TestWatchClientCloseUnsubscribes(t *testing.T) {
+	in, _ := newInstance(t, nil)
+	c := startWatchService(t, in)
+	st := openWatch(t, c, "source(up, 1) | slot(1)")
+	recvSubUpdate(t, st)
+	if got := in.Hub().Active.Value(); got != 1 {
+		t.Fatalf("active = %d", got)
+	}
+	st.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for in.Hub().Active.Value() != 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := in.Hub().Active.Value(); got != 0 {
+		t.Fatalf("active = %d after client close", got)
+	}
+}

@@ -1,0 +1,466 @@
+package sub
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"time"
+
+	"ips/internal/metrics"
+	"ips/internal/model"
+	"ips/internal/wire"
+)
+
+// EvalCaller is the reserved caller identity the hub evaluates standing
+// queries under. Operators can quota it like any other caller
+// (ips.mgmt.set_quota) to bound push-side evaluation load.
+const EvalCaller = "ips.sub"
+
+// Eval re-evaluates one standing query: req names the profile and the
+// operator set, resp receives the current answer. The hub owns both
+// structs for the duration of the call; resp's storage must be fresh per
+// call (results are shared read-only across subscriber queues after).
+type Eval func(ctx context.Context, req *wire.QueryRequest, resp *wire.QueryResponse) error
+
+// Sink receives one subscriber's pushed updates in order. Push may block
+// (it writes to the network); blocking a Sink only stalls its own
+// subscriber's pump, never the hub. A Push error tears the subscriber
+// down.
+type Sink interface {
+	Push(u *wire.SubUpdate) error
+}
+
+// Options configures a Hub.
+type Options struct {
+	// Eval re-evaluates standing queries; required.
+	Eval Eval
+	// QueueLen bounds each subscriber's update queue; a full queue drops
+	// the update and schedules a resync (drop-and-resync). Default 64.
+	QueueLen int
+	// ResyncInterval paces the sweep that retries dropped (lost)
+	// profiles and failed evaluations. Default 250ms.
+	ResyncInterval time.Duration
+}
+
+// Hub is the per-profile subscriber index and the evaluation fan-out:
+// writes notify it with (table, profile), it re-evaluates each affected
+// distinct standing query once, and multicasts the result to every
+// subscriber watching that profile — through bounded per-subscriber
+// queues so one stalled consumer cannot wedge ingest or other
+// subscribers.
+type Hub struct {
+	opts Options
+
+	mu        sync.RWMutex
+	byProfile map[profileKey]map[*Subscriber]struct{}
+	subs      map[*Subscriber]struct{}
+	closed    bool
+
+	dirtyMu sync.Mutex
+	dirty   map[profileKey]struct{}
+	wake    chan struct{}
+
+	stop chan struct{}
+	done chan struct{}
+	// inspect runs a closure on the evaluator goroutine, which owns the
+	// subscriber bookkeeping maps (PendingResync).
+	inspect chan func(map[*Subscriber]struct{})
+
+	// Metrics (OPERATIONS.md "Metrics catalog", sub_* entries).
+	Active    metrics.Gauge   // live subscribers
+	Watched   metrics.Gauge   // distinct (table, profile) keys with subscribers
+	Evals     metrics.Counter // standing-query evaluations
+	EvalErrs  metrics.Counter // evaluations that failed (retried via resync sweep)
+	Skips     metrics.Counter // evaluations suppressed: result unchanged
+	Pushes    metrics.Counter // updates enqueued to subscriber queues
+	Drops     metrics.Counter // updates dropped on full queues (slow consumer)
+	Resyncs   metrics.Counter // resync (full-state) updates enqueued
+	EvalLat   metrics.Histogram
+	NotifyLat metrics.Histogram // write notify -> update enqueued
+}
+
+// profileKey identifies one watched profile.
+type profileKey struct {
+	table string
+	id    model.ProfileID
+}
+
+// Subscriber is one registered standing query's server-side state. All
+// bookkeeping maps (seq, lastHash, lost) are confined to the hub's
+// evaluator goroutine; the pump goroutine only consumes the queue.
+type Subscriber struct {
+	hub   *Hub
+	query *Query
+	sig   string
+	sink  Sink
+
+	queue chan *wire.SubUpdate
+	stop  chan struct{}
+	once  sync.Once
+	done  chan struct{}
+
+	// Evaluator-confined state, keyed by profile.
+	seq      map[model.ProfileID]uint64
+	lastHash map[model.ProfileID]uint64
+	lost     map[model.ProfileID]int64 // present => needs a resync; value is the notify time that went missing
+}
+
+// NewHub starts a hub; Close releases it.
+func NewHub(opts Options) *Hub {
+	if opts.QueueLen <= 0 {
+		opts.QueueLen = 64
+	}
+	if opts.ResyncInterval <= 0 {
+		opts.ResyncInterval = 250 * time.Millisecond
+	}
+	h := &Hub{
+		opts:      opts,
+		byProfile: make(map[profileKey]map[*Subscriber]struct{}),
+		subs:      make(map[*Subscriber]struct{}),
+		dirty:     make(map[profileKey]struct{}),
+		wake:      make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		inspect:   make(chan func(map[*Subscriber]struct{})),
+	}
+	go h.run()
+	return h
+}
+
+// Subscribe registers a standing query whose updates are pushed to sink.
+// Every watched profile is scheduled for an immediate Resync-flagged
+// baseline update. The subscriber stays registered until Unsubscribe,
+// a sink error, or hub Close; its Done channel closes when its pump
+// exits.
+func (h *Hub) Subscribe(q *Query, sink Sink) (*Subscriber, error) {
+	if len(q.IDs) == 0 {
+		return nil, errors.New("sub: subscription watches no profiles")
+	}
+	if len(q.IDs) > MaxIDs {
+		return nil, errors.New("sub: subscription watches too many profiles")
+	}
+	s := &Subscriber{
+		hub:      h,
+		query:    q,
+		sig:      q.Sig(),
+		sink:     sink,
+		queue:    make(chan *wire.SubUpdate, h.opts.QueueLen),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+		seq:      make(map[model.ProfileID]uint64, len(q.IDs)),
+		lastHash: make(map[model.ProfileID]uint64, len(q.IDs)),
+		lost:     make(map[model.ProfileID]int64, len(q.IDs)),
+	}
+	// Every profile starts lost: the first delivered update is the
+	// Resync-flagged baseline, and the same sweep that recovers slow
+	// consumers delivers it.
+	now := time.Now().UnixNano()
+	for _, id := range q.IDs {
+		s.lost[id] = now
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, errors.New("sub: hub closed")
+	}
+	h.subs[s] = struct{}{}
+	for _, id := range q.IDs {
+		k := profileKey{q.Table, id}
+		set := h.byProfile[k]
+		if set == nil {
+			set = make(map[*Subscriber]struct{}, 1)
+			h.byProfile[k] = set
+		}
+		set[s] = struct{}{}
+	}
+	h.Active.Set(int64(len(h.subs)))
+	h.Watched.Set(int64(len(h.byProfile)))
+	h.mu.Unlock()
+	go s.pump()
+	// Schedule the baseline evaluations.
+	for _, id := range q.IDs {
+		h.Notify(q.Table, id)
+	}
+	return s, nil
+}
+
+// Unsubscribe removes s from the index and stops its pump. Safe to call
+// more than once and concurrently with hub activity.
+func (h *Hub) Unsubscribe(s *Subscriber) {
+	h.mu.Lock()
+	if _, live := h.subs[s]; live {
+		delete(h.subs, s)
+		for _, id := range s.query.IDs {
+			k := profileKey{s.query.Table, id}
+			if set := h.byProfile[k]; set != nil {
+				delete(set, s)
+				if len(set) == 0 {
+					delete(h.byProfile, k)
+				}
+			}
+		}
+		h.Active.Set(int64(len(h.subs)))
+		h.Watched.Set(int64(len(h.byProfile)))
+	}
+	h.mu.Unlock()
+	s.once.Do(func() { close(s.stop) })
+}
+
+// Done closes when the subscriber's pump has exited (sink error,
+// Unsubscribe, or hub Close).
+func (s *Subscriber) Done() <-chan struct{} { return s.done }
+
+// Notify marks (table, id) dirty: some write made the profile's standing
+// answers potentially stale. Cheap when nobody watches the profile — one
+// read-locked map probe — so it sits on every write path (direct adds,
+// write-table merges, deletes, migration installs).
+func (h *Hub) Notify(table string, id model.ProfileID) {
+	h.mu.RLock()
+	_, watched := h.byProfile[profileKey{table, id}]
+	h.mu.RUnlock()
+	if !watched {
+		return
+	}
+	h.dirtyMu.Lock()
+	h.dirty[profileKey{table, id}] = struct{}{}
+	h.dirtyMu.Unlock()
+	select {
+	case h.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the evaluator and every subscriber pump.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		<-h.done
+		return
+	}
+	h.closed = true
+	subs := make([]*Subscriber, 0, len(h.subs))
+	for s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+	for _, s := range subs {
+		h.Unsubscribe(s)
+	}
+	close(h.stop)
+	<-h.done
+}
+
+// PendingResync reports how many (subscriber, profile) pairs still await
+// a resync — the conservation tests quiesce on this reaching zero.
+func (h *Hub) PendingResync() int {
+	type reply struct{ n int }
+	ch := make(chan reply, 1)
+	select {
+	case h.inspect <- func(subs map[*Subscriber]struct{}) {
+		n := 0
+		for s := range subs {
+			n += len(s.lost)
+		}
+		ch <- reply{n}
+	}:
+	case <-h.done:
+		return 0
+	}
+	select {
+	case r := <-ch:
+		return r.n
+	case <-h.done:
+		return 0
+	}
+}
+
+// run is the evaluator loop: it owns all subscriber bookkeeping state.
+func (h *Hub) run() {
+	defer close(h.done)
+	ticker := time.NewTicker(h.opts.ResyncInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-h.stop:
+			return
+		case <-h.wake:
+		case <-ticker.C:
+			h.sweepLost()
+		case f := <-h.inspect:
+			h.mu.RLock()
+			f(h.subs)
+			h.mu.RUnlock()
+			continue
+		}
+		h.drainDirty()
+	}
+}
+
+// sweepLost re-dirties every lost (subscriber, profile) pair so the next
+// drain retries its resync — recovering from dropped updates and failed
+// evaluations once queue space (or the table) comes back.
+func (h *Hub) sweepLost() {
+	h.mu.RLock()
+	var keys []profileKey
+	for s := range h.subs {
+		for id := range s.lost {
+			keys = append(keys, profileKey{s.query.Table, id})
+		}
+	}
+	h.mu.RUnlock()
+	if len(keys) == 0 {
+		return
+	}
+	h.dirtyMu.Lock()
+	for _, k := range keys {
+		h.dirty[k] = struct{}{}
+	}
+	h.dirtyMu.Unlock()
+}
+
+// drainDirty evaluates every dirty profile: subscribers watching it are
+// grouped by query signature, each distinct standing query evaluated
+// once, and the shared result fanned out to each group member's queue.
+func (h *Hub) drainDirty() {
+	h.dirtyMu.Lock()
+	dirty := h.dirty
+	h.dirty = make(map[profileKey]struct{})
+	h.dirtyMu.Unlock()
+	for k := range dirty {
+		h.evalProfile(k)
+	}
+}
+
+// group is one distinct standing query over one dirty profile.
+type group struct {
+	tmpl *wire.QueryRequest
+	subs []*Subscriber
+}
+
+func (h *Hub) evalProfile(k profileKey) {
+	notifyNS := time.Now().UnixNano()
+	h.mu.RLock()
+	set := h.byProfile[k]
+	groups := make(map[string]*group, 1)
+	for s := range set {
+		g := groups[s.sig]
+		if g == nil {
+			g = &group{tmpl: &s.query.Req}
+			groups[s.sig] = g
+		}
+		g.subs = append(g.subs, s)
+	}
+	h.mu.RUnlock()
+	for _, g := range groups {
+		h.evalGroup(k, g, notifyNS)
+	}
+}
+
+func (h *Hub) evalGroup(k profileKey, g *group, notifyNS int64) {
+	req := *g.tmpl // shallow copy; FIDs slice shared read-only
+	req.Caller = EvalCaller
+	req.Table = k.table
+	req.ProfileID = k.id
+	resp := &wire.QueryResponse{}
+	start := time.Now()
+	err := h.opts.Eval(context.Background(), &req, resp)
+	h.EvalLat.Observe(time.Since(start))
+	h.Evals.Inc()
+	if err != nil {
+		// Leave (or mark) the profile lost for every group member: the
+		// resync sweep retries until evaluation succeeds.
+		h.EvalErrs.Inc()
+		for _, s := range g.subs {
+			if _, already := s.lost[k.id]; !already {
+				s.lost[k.id] = notifyNS
+			}
+		}
+		return
+	}
+	hash := hashFeatures(resp)
+	for _, s := range g.subs {
+		_, needResync := s.lost[k.id]
+		if !needResync && s.lastHash[k.id] == hash {
+			h.Skips.Inc()
+			continue
+		}
+		u := &wire.SubUpdate{ProfileID: k.id, Seq: s.seq[k.id] + 1, Resync: needResync, Result: *resp}
+		select {
+		case s.queue <- u:
+			s.seq[k.id] = u.Seq
+			s.lastHash[k.id] = hash
+			if needResync {
+				// The resync covers everything missed since the drop.
+				t := s.lost[k.id]
+				delete(s.lost, k.id)
+				h.Resyncs.Inc()
+				h.NotifyLat.Observe(time.Duration(time.Now().UnixNano() - t))
+			} else {
+				h.NotifyLat.Observe(time.Duration(time.Now().UnixNano() - notifyNS))
+			}
+			h.Pushes.Inc()
+		default:
+			// Queue full: drop this update and schedule a resync. Seq is
+			// not consumed — delivered sequence numbers stay gapless, the
+			// Resync flag (not a gap) is the loss signal.
+			if _, already := s.lost[k.id]; !already {
+				s.lost[k.id] = notifyNS
+			}
+			h.Drops.Inc()
+		}
+	}
+}
+
+// pump drains one subscriber's queue into its sink, preserving order.
+func (s *Subscriber) pump() {
+	defer close(s.done)
+	for {
+		select {
+		case <-s.stop:
+			return
+		case u := <-s.queue:
+			if err := s.sink.Push(u); err != nil {
+				s.hub.Unsubscribe(s)
+				return
+			}
+		}
+	}
+}
+
+// QueueDepth reports the subscriber's current backlog (metrics surface).
+func (s *Subscriber) QueueDepth() int { return len(s.queue) }
+
+// Query returns the subscriber's parsed standing query.
+func (s *Subscriber) Query() *Query { return s.query }
+
+// hashFeatures fingerprints a result's payload-bearing fields (features
+// only — per-evaluation bookkeeping like ServerNanos or CacheHit must
+// not defeat change suppression). FNV-1a over the feature tuples.
+func hashFeatures(r *wire.QueryResponse) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(r.Features)))
+	for i := range r.Features {
+		f := &r.Features[i]
+		mix(f.FID)
+		mix(uint64(f.LastSeen))
+		mix(math.Float64bits(f.Score))
+		mix(uint64(len(f.Counts)))
+		for _, c := range f.Counts {
+			mix(uint64(c))
+		}
+	}
+	return h
+}

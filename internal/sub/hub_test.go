@@ -1,0 +1,376 @@
+package sub
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ips/internal/model"
+	"ips/internal/query"
+	"ips/internal/wire"
+)
+
+// mapEval is a deterministic Eval over an in-memory counter table: the
+// "result" for a profile is one feature whose count is the profile's
+// current value. Changing the value changes the answer; notifying
+// without changing it exercises change suppression.
+type mapEval struct {
+	mu    sync.Mutex
+	vals  map[model.ProfileID]int64
+	evals atomic.Int64
+	fail  atomic.Bool
+}
+
+func (m *mapEval) set(id model.ProfileID, v int64) {
+	m.mu.Lock()
+	if m.vals == nil {
+		m.vals = make(map[model.ProfileID]int64)
+	}
+	m.vals[id] = v
+	m.mu.Unlock()
+}
+
+func (m *mapEval) eval(_ context.Context, req *wire.QueryRequest, resp *wire.QueryResponse) error {
+	m.evals.Add(1)
+	if m.fail.Load() {
+		return errors.New("eval down")
+	}
+	m.mu.Lock()
+	v := m.vals[req.ProfileID]
+	m.mu.Unlock()
+	resp.Features = []query.Feature{{FID: 1, Counts: []int64{v}}}
+	resp.ServerNanos = time.Now().UnixNano() // must not defeat change suppression
+	return nil
+}
+
+// chanSink collects pushed updates.
+type chanSink struct {
+	ch    chan *wire.SubUpdate
+	block chan struct{} // when non-nil, Push waits on it (stall storm)
+	err   atomic.Bool
+}
+
+func newChanSink(n int) *chanSink { return &chanSink{ch: make(chan *wire.SubUpdate, n)} }
+
+func (c *chanSink) Push(u *wire.SubUpdate) error {
+	if c.err.Load() {
+		return errors.New("sink failed")
+	}
+	if c.block != nil {
+		<-c.block
+	}
+	c.ch <- u
+	return nil
+}
+
+func recvUpdate(t *testing.T, c *chanSink) *wire.SubUpdate {
+	t.Helper()
+	select {
+	case u := <-c.ch:
+		return u
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for update")
+		return nil
+	}
+}
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestHubBaselineThenIncremental(t *testing.T) {
+	ev := &mapEval{}
+	ev.set(1, 5)
+	h := NewHub(Options{Eval: ev.eval, ResyncInterval: 10 * time.Millisecond})
+	defer h.Close()
+	sink := newChanSink(16)
+	s, err := h.Subscribe(mustParse(t, "source(t, 1) | topk(3)"), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unsubscribe(s)
+	u := recvUpdate(t, sink)
+	if !u.Resync || u.ProfileID != 1 || u.Seq != 1 {
+		t.Fatalf("baseline = %+v", u)
+	}
+	if u.Result.Features[0].Counts[0] != 5 {
+		t.Fatalf("baseline value = %+v", u.Result.Features)
+	}
+	// A write that changes the answer pushes an incremental update.
+	ev.set(1, 6)
+	h.Notify("t", 1)
+	u = recvUpdate(t, sink)
+	if u.Resync || u.Seq != 2 || u.Result.Features[0].Counts[0] != 6 {
+		t.Fatalf("incremental = %+v", u)
+	}
+}
+
+func TestHubChangeSuppression(t *testing.T) {
+	ev := &mapEval{}
+	ev.set(1, 5)
+	h := NewHub(Options{Eval: ev.eval, ResyncInterval: time.Hour})
+	defer h.Close()
+	sink := newChanSink(16)
+	s, err := h.Subscribe(mustParse(t, "source(t, 1)"), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unsubscribe(s)
+	recvUpdate(t, sink) // baseline
+	// Notify without a data change: evaluated, but not pushed.
+	h.Notify("t", 1)
+	h.Notify("t", 1)
+	deadline := time.Now().Add(2 * time.Second)
+	for h.Skips.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if h.Skips.Value() == 0 {
+		t.Fatal("no-change notify was not suppressed")
+	}
+	select {
+	case u := <-sink.ch:
+		t.Fatalf("unexpected push %+v for unchanged result", u)
+	case <-time.After(50 * time.Millisecond):
+	}
+}
+
+func TestHubNotifyUnwatchedIsCheap(t *testing.T) {
+	ev := &mapEval{}
+	h := NewHub(Options{Eval: ev.eval})
+	defer h.Close()
+	sink := newChanSink(16)
+	s, err := h.Subscribe(mustParse(t, "source(t, 1)"), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unsubscribe(s)
+	recvUpdate(t, sink)
+	before := ev.evals.Load()
+	for i := 0; i < 1000; i++ {
+		h.Notify("t", 999)   // unwatched profile
+		h.Notify("other", 1) // unwatched table
+	}
+	time.Sleep(20 * time.Millisecond)
+	if got := ev.evals.Load(); got != before {
+		t.Fatalf("unwatched notifies triggered %d evaluations", got-before)
+	}
+}
+
+func TestHubEvaluateOnceMulticast(t *testing.T) {
+	ev := &mapEval{}
+	ev.set(1, 5)
+	h := NewHub(Options{Eval: ev.eval, ResyncInterval: time.Hour})
+	defer h.Close()
+	const n = 8
+	sinks := make([]*chanSink, n)
+	for i := range sinks {
+		sinks[i] = newChanSink(16)
+		s, err := h.Subscribe(mustParse(t, "source(t, 1) | topk(3)"), sinks[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer h.Unsubscribe(s)
+		recvUpdate(t, sinks[i]) // baseline
+	}
+	before := ev.evals.Load()
+	ev.set(1, 6)
+	h.Notify("t", 1)
+	for i := range sinks {
+		u := recvUpdate(t, sinks[i])
+		if u.Result.Features[0].Counts[0] != 6 {
+			t.Fatalf("sink %d got %+v", i, u.Result.Features)
+		}
+	}
+	// Identical standing queries share one evaluation (multicast), not n.
+	if got := ev.evals.Load() - before; got != 1 {
+		t.Fatalf("dirty profile with %d identical subscribers evaluated %d times, want 1", n, got)
+	}
+}
+
+func TestHubDistinctQueriesEvaluateSeparately(t *testing.T) {
+	ev := &mapEval{}
+	ev.set(1, 5)
+	h := NewHub(Options{Eval: ev.eval, ResyncInterval: time.Hour})
+	defer h.Close()
+	sinkA, sinkB := newChanSink(16), newChanSink(16)
+	sa, err := h.Subscribe(mustParse(t, "source(t, 1) | topk(3)"), sinkA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unsubscribe(sa)
+	sb, err := h.Subscribe(mustParse(t, "source(t, 1) | topk(5)"), sinkB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unsubscribe(sb)
+	recvUpdate(t, sinkA)
+	recvUpdate(t, sinkB)
+	before := ev.evals.Load()
+	ev.set(1, 6)
+	h.Notify("t", 1)
+	recvUpdate(t, sinkA)
+	recvUpdate(t, sinkB)
+	if got := ev.evals.Load() - before; got != 2 {
+		t.Fatalf("two distinct standing queries evaluated %d times, want 2", got)
+	}
+}
+
+func TestHubDropAndResync(t *testing.T) {
+	ev := &mapEval{}
+	ev.set(1, 0)
+	h := NewHub(Options{Eval: ev.eval, QueueLen: 1, ResyncInterval: 10 * time.Millisecond})
+	defer h.Close()
+	sink := newChanSink(1024)
+	sink.block = make(chan struct{})
+	s, err := h.Subscribe(mustParse(t, "source(t, 1)"), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unsubscribe(s)
+	// The pump is stalled on the first (baseline) push. Burst writes: the
+	// 1-slot queue must overflow and drop.
+	for i := 1; i <= 50; i++ {
+		ev.set(1, int64(i))
+		h.Notify("t", 1)
+		time.Sleep(time.Millisecond)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for h.Drops.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if h.Drops.Value() == 0 {
+		t.Fatal("stalled consumer never dropped")
+	}
+	// Unstall. The subscriber must converge to the final state via a
+	// Resync-flagged update, with gapless sequence numbers.
+	close(sink.block)
+	var last *wire.SubUpdate
+	sawResyncAfterDrop := false
+	prevSeq := uint64(0)
+	deadline = time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case u := <-sink.ch:
+			if u.Seq != prevSeq+1 {
+				t.Fatalf("sequence gap: %d after %d", u.Seq, prevSeq)
+			}
+			prevSeq = u.Seq
+			if u.Resync && u.Seq > 1 {
+				sawResyncAfterDrop = true
+			}
+			last = u
+		case <-time.After(100 * time.Millisecond):
+		}
+		if last != nil && last.Result.Features[0].Counts[0] == 50 && h.PendingResync() == 0 {
+			break
+		}
+	}
+	if last == nil || last.Result.Features[0].Counts[0] != 50 {
+		t.Fatalf("did not converge to final state: %+v", last)
+	}
+	if !sawResyncAfterDrop {
+		t.Fatal("drops happened but no update after the baseline carried Resync")
+	}
+	if h.Resyncs.Value() == 0 {
+		t.Fatal("drop recovery did not count a resync")
+	}
+}
+
+func TestHubEvalErrorRetries(t *testing.T) {
+	ev := &mapEval{}
+	ev.set(1, 7)
+	ev.fail.Store(true)
+	h := NewHub(Options{Eval: ev.eval, ResyncInterval: 10 * time.Millisecond})
+	defer h.Close()
+	sink := newChanSink(16)
+	s, err := h.Subscribe(mustParse(t, "source(t, 1)"), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Unsubscribe(s)
+	deadline := time.Now().Add(2 * time.Second)
+	for h.EvalErrs.Value() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if h.EvalErrs.Value() == 0 {
+		t.Fatal("failing eval not observed")
+	}
+	select {
+	case u := <-sink.ch:
+		t.Fatalf("got update %+v while eval failing", u)
+	default:
+	}
+	// Recovery: the sweep retries and delivers the baseline.
+	ev.fail.Store(false)
+	u := recvUpdate(t, sink)
+	if !u.Resync || u.Result.Features[0].Counts[0] != 7 {
+		t.Fatalf("recovered baseline = %+v", u)
+	}
+}
+
+func TestHubSinkErrorTearsDown(t *testing.T) {
+	ev := &mapEval{}
+	h := NewHub(Options{Eval: ev.eval})
+	defer h.Close()
+	sink := newChanSink(16)
+	sink.err.Store(true)
+	s, err := h.Subscribe(mustParse(t, "source(t, 1)"), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-s.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("sink error did not tear the subscriber down")
+	}
+	if h.Active.Value() != 0 {
+		t.Fatalf("active = %d after teardown", h.Active.Value())
+	}
+}
+
+func TestHubCloseReleasesSubscribers(t *testing.T) {
+	ev := &mapEval{}
+	h := NewHub(Options{Eval: ev.eval})
+	sink := newChanSink(16)
+	s, err := h.Subscribe(mustParse(t, "source(t, 1)"), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	select {
+	case <-s.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not stop the pump")
+	}
+	if _, err := h.Subscribe(mustParse(t, "source(t, 2)"), sink); err == nil {
+		t.Fatal("Subscribe after Close succeeded")
+	}
+}
+
+func TestHashFeaturesSensitivity(t *testing.T) {
+	base := &wire.QueryResponse{Features: []query.Feature{{FID: 1, Counts: []int64{2, 3}, LastSeen: 100, Score: 1.5}}}
+	same := &wire.QueryResponse{Features: []query.Feature{{FID: 1, Counts: []int64{2, 3}, LastSeen: 100, Score: 1.5}}, ServerNanos: 999, CacheHit: true, SlicesScanned: 7}
+	if hashFeatures(base) != hashFeatures(same) {
+		t.Fatal("bookkeeping fields perturbed the feature hash")
+	}
+	for _, mut := range []*wire.QueryResponse{
+		{Features: []query.Feature{{FID: 2, Counts: []int64{2, 3}, LastSeen: 100, Score: 1.5}}},
+		{Features: []query.Feature{{FID: 1, Counts: []int64{2, 4}, LastSeen: 100, Score: 1.5}}},
+		{Features: []query.Feature{{FID: 1, Counts: []int64{2, 3}, LastSeen: 101, Score: 1.5}}},
+		{Features: []query.Feature{{FID: 1, Counts: []int64{2, 3}, LastSeen: 100, Score: 1.25}}},
+		{Features: []query.Feature{}},
+		{Features: []query.Feature{{FID: 1, Counts: []int64{2, 3}, LastSeen: 100, Score: 1.5}, {FID: 2}}},
+	} {
+		if hashFeatures(base) == hashFeatures(mut) {
+			t.Fatalf("hash collision for mutated result %+v", mut)
+		}
+	}
+}

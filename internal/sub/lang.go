@@ -1,0 +1,552 @@
+// Package sub implements continuous queries (DESIGN.md "Continuous
+// queries"): standing queries expressed in a small composable pipeline
+// language, a per-profile subscriber index that re-evaluates affected
+// standing queries when writes land, and bounded per-subscriber push
+// queues with drop-and-resync recovery for slow consumers.
+//
+// The pipeline language is the subscription's wire form — a text program
+// of the shape
+//
+//	source(user_profile, 42, 99) | window(current, 1h) | decay(exp, 0.5) | topk(10)
+//
+// parsed here into the existing query operator set (a wire.QueryRequest
+// template plus the profile set it stands over). See DESIGN.md for the
+// grammar.
+package sub
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"ips/internal/model"
+	"ips/internal/query"
+	"ips/internal/wire"
+)
+
+// Limits on a single standing query.
+const (
+	// MaxIDs bounds the profiles one subscription may stand over; larger
+	// sets should be split across subscriptions.
+	MaxIDs = 4096
+	// MaxK bounds topk(n).
+	MaxK = 4096
+)
+
+// DefaultSpan is the window when a pipeline omits its window stage:
+// current(24h).
+const DefaultSpan = model.Millis(24 * 60 * 60 * 1000)
+
+// DefaultK is the result bound when a pipeline omits topk(n).
+const DefaultK = 10
+
+// Query is one parsed standing query: the profile set it watches and the
+// read-path request template its updates are evaluated with. The
+// template's Caller and ProfileID are filled in by the runtime (hub or
+// client) per evaluation.
+type Query struct {
+	Table string
+	IDs   []model.ProfileID
+	Req   wire.QueryRequest
+}
+
+// Parse compiles a pipeline program into a Query. The program must start
+// with a source stage; later stages refine the window, filter, decay,
+// ordering and result bound, each at most once.
+func Parse(src string) (*Query, error) {
+	if len(src) > wire.MaxPipelineLen {
+		return nil, fmt.Errorf("sub: pipeline text of %d bytes exceeds %d", len(src), wire.MaxPipelineLen)
+	}
+	stages, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stages) == 0 {
+		return nil, errors.New("sub: empty pipeline")
+	}
+	if stages[0].name != "source" {
+		return nil, fmt.Errorf("sub: pipeline must start with source(table, ids), got %s at offset %d", stages[0].name, stages[0].off)
+	}
+	q := &Query{Req: wire.QueryRequest{
+		AllTypes:  true,
+		RangeKind: query.Current,
+		Span:      DefaultSpan,
+		SortBy:    query.ByTotal,
+		K:         DefaultK,
+	}}
+	seen := make(map[string]bool, len(stages))
+	for i, st := range stages {
+		if i > 0 && st.name == "source" {
+			return nil, fmt.Errorf("sub: source must be the first stage (offset %d)", st.off)
+		}
+		// alltypes and type are two spellings of one knob.
+		key := st.name
+		if key == "alltypes" {
+			key = "type"
+		}
+		if seen[key] {
+			return nil, fmt.Errorf("sub: duplicate %s stage at offset %d", st.name, st.off)
+		}
+		seen[key] = true
+		if err := applyStage(q, st); err != nil {
+			return nil, err
+		}
+	}
+	q.Req.Table = q.Table
+	return q, nil
+}
+
+// applyStage folds one stage into the query under construction.
+func applyStage(q *Query, st stage) error {
+	switch st.name {
+	case "source":
+		if len(st.args) < 2 {
+			return fmt.Errorf("sub: source needs a table and at least one profile id (offset %d)", st.off)
+		}
+		if err := checkKeys(st, ""); err != nil {
+			return err
+		}
+		q.Table = st.args[0].val
+		if q.Table == "" || !isIdent(q.Table) {
+			return fmt.Errorf("sub: source table %q is not a bare name (offset %d)", q.Table, st.off)
+		}
+		for _, a := range st.args[1:] {
+			id, err := strconv.ParseUint(a.val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("sub: source profile id %q: %v (offset %d)", a.val, err, st.off)
+			}
+			q.IDs = append(q.IDs, id)
+		}
+		if len(q.IDs) > MaxIDs {
+			return fmt.Errorf("sub: source lists %d profiles, max %d per subscription", len(q.IDs), MaxIDs)
+		}
+	case "slot":
+		n, err := oneUint(st, 32)
+		if err != nil {
+			return err
+		}
+		q.Req.Slot = model.SlotID(n)
+	case "type":
+		n, err := oneUint(st, 32)
+		if err != nil {
+			return err
+		}
+		q.Req.Type = model.TypeID(n)
+		q.Req.AllTypes = false
+	case "alltypes":
+		if len(st.args) != 0 {
+			return fmt.Errorf("sub: alltypes takes no arguments (offset %d)", st.off)
+		}
+		q.Req.AllTypes = true
+	case "window":
+		return applyWindow(q, st)
+	case "filter":
+		return applyFilter(q, st)
+	case "decay":
+		if len(st.args) != 2 {
+			return fmt.Errorf("sub: decay needs (exp|linear|step, factor) (offset %d)", st.off)
+		}
+		if err := checkKeys(st, ""); err != nil {
+			return err
+		}
+		switch st.args[0].val {
+		case "exp":
+			q.Req.Decay = query.DecayExp
+		case "linear":
+			q.Req.Decay = query.DecayLinear
+		case "step":
+			q.Req.Decay = query.DecayStep
+		default:
+			return fmt.Errorf("sub: unknown decay function %q (offset %d)", st.args[0].val, st.off)
+		}
+		f, err := strconv.ParseFloat(st.args[1].val, 64)
+		if err != nil || f < 0 || f > 1 {
+			return fmt.Errorf("sub: decay factor %q must be a number in [0,1] (offset %d)", st.args[1].val, st.off)
+		}
+		q.Req.DecayFactor = f
+	case "sort":
+		return applySort(q, st)
+	case "topk":
+		n, err := oneUint(st, 31)
+		if err != nil {
+			return err
+		}
+		if n == 0 || n > MaxK {
+			return fmt.Errorf("sub: topk(%d) out of range [1,%d] (offset %d)", n, MaxK, st.off)
+		}
+		q.Req.K = int(n)
+	default:
+		return fmt.Errorf("sub: unknown stage %q at offset %d", st.name, st.off)
+	}
+	return nil
+}
+
+func applyWindow(q *Query, st stage) error {
+	if err := checkKeys(st, ""); err != nil {
+		return err
+	}
+	if len(st.args) == 0 {
+		return fmt.Errorf("sub: window needs (current|relative, dur) or (absolute, from, to) (offset %d)", st.off)
+	}
+	switch st.args[0].val {
+	case "current", "relative":
+		if len(st.args) != 2 {
+			return fmt.Errorf("sub: window(%s, dur) takes exactly one duration (offset %d)", st.args[0].val, st.off)
+		}
+		span, err := parseDur(st.args[1].val)
+		if err != nil || span <= 0 {
+			return fmt.Errorf("sub: window duration %q must be a positive duration (offset %d)", st.args[1].val, st.off)
+		}
+		q.Req.Span = span
+		if st.args[0].val == "current" {
+			q.Req.RangeKind = query.Current
+		} else {
+			q.Req.RangeKind = query.Relative
+		}
+	case "absolute":
+		if len(st.args) != 3 {
+			return fmt.Errorf("sub: window(absolute, from, to) takes two timestamps (offset %d)", st.off)
+		}
+		from, err1 := strconv.ParseInt(st.args[1].val, 10, 64)
+		to, err2 := strconv.ParseInt(st.args[2].val, 10, 64)
+		if err1 != nil || err2 != nil || from >= to {
+			return fmt.Errorf("sub: window(absolute, %q, %q) needs from < to in millis (offset %d)", st.args[1].val, st.args[2].val, st.off)
+		}
+		q.Req.RangeKind = query.Absolute
+		q.Req.From, q.Req.To = from, to
+		q.Req.Span = 0
+	default:
+		return fmt.Errorf("sub: unknown window kind %q (offset %d)", st.args[0].val, st.off)
+	}
+	return nil
+}
+
+func applyFilter(q *Query, st stage) error {
+	if len(st.args) == 0 {
+		return fmt.Errorf("sub: filter needs min= and/or fid= arguments (offset %d)", st.off)
+	}
+	for _, a := range st.args {
+		switch a.key {
+		case "min":
+			n, err := strconv.ParseInt(a.val, 10, 64)
+			if err != nil || n < 0 {
+				return fmt.Errorf("sub: filter min=%q must be a non-negative count (offset %d)", a.val, st.off)
+			}
+			q.Req.MinCount = n
+		case "fid":
+			fid, err := strconv.ParseUint(a.val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("sub: filter fid=%q: %v (offset %d)", a.val, err, st.off)
+			}
+			q.Req.FIDs = append(q.Req.FIDs, fid)
+		default:
+			return fmt.Errorf("sub: filter argument %q=%q not understood (offset %d)", a.key, a.val, st.off)
+		}
+	}
+	return nil
+}
+
+func applySort(q *Query, st stage) error {
+	if len(st.args) == 0 {
+		return fmt.Errorf("sub: sort needs (total|time|fid) or (action, name) or (udaf, name[, min=score]) (offset %d)", st.off)
+	}
+	switch st.args[0].val {
+	case "total", "time", "fid":
+		if len(st.args) != 1 {
+			return fmt.Errorf("sub: sort(%s) takes no further arguments (offset %d)", st.args[0].val, st.off)
+		}
+		switch st.args[0].val {
+		case "total":
+			q.Req.SortBy = query.ByTotal
+		case "time":
+			q.Req.SortBy = query.ByTimestamp
+		case "fid":
+			q.Req.SortBy = query.ByFeatureID
+		}
+	case "action":
+		if len(st.args) != 2 || st.args[1].key != "" {
+			return fmt.Errorf("sub: sort(action, name) takes exactly an action name (offset %d)", st.off)
+		}
+		q.Req.SortBy = query.ByAction
+		q.Req.Action = st.args[1].val
+	case "udaf":
+		if len(st.args) < 2 || st.args[1].key != "" {
+			return fmt.Errorf("sub: sort(udaf, name[, min=score]) needs a UDAF name (offset %d)", st.off)
+		}
+		q.Req.SortBy = query.ByUDAF
+		q.Req.UDAFName = st.args[1].val
+		for _, a := range st.args[2:] {
+			if a.key != "min" {
+				return fmt.Errorf("sub: sort(udaf) argument %q=%q not understood (offset %d)", a.key, a.val, st.off)
+			}
+			f, err := strconv.ParseFloat(a.val, 64)
+			if err != nil {
+				return fmt.Errorf("sub: sort(udaf) min=%q must be a number (offset %d)", a.val, st.off)
+			}
+			q.Req.MinScore = f
+		}
+	default:
+		return fmt.Errorf("sub: unknown sort key %q (offset %d)", st.args[0].val, st.off)
+	}
+	return nil
+}
+
+// Render emits the query's full canonical pipeline text: every stage
+// explicit, durations in milliseconds, ids in the query's order.
+// Parse(q.Render()) reproduces q exactly.
+func (q *Query) Render() string { return q.RenderFor(q.IDs) }
+
+// RenderFor renders the canonical pipeline with ids substituted for the
+// query's own profile set — how the client re-renders one subscription
+// into per-owner shards.
+func (q *Query) RenderFor(ids []model.ProfileID) string {
+	var b strings.Builder
+	b.WriteString("source(")
+	b.WriteString(q.Table)
+	for _, id := range ids {
+		b.WriteString(", ")
+		b.WriteString(strconv.FormatUint(id, 10))
+	}
+	b.WriteString(")")
+	fmt.Fprintf(&b, " | slot(%d)", q.Req.Slot)
+	if q.Req.AllTypes {
+		b.WriteString(" | alltypes()")
+	} else {
+		fmt.Fprintf(&b, " | type(%d)", q.Req.Type)
+	}
+	switch q.Req.RangeKind {
+	case query.Current:
+		fmt.Fprintf(&b, " | window(current, %d)", q.Req.Span)
+	case query.Relative:
+		fmt.Fprintf(&b, " | window(relative, %d)", q.Req.Span)
+	case query.Absolute:
+		fmt.Fprintf(&b, " | window(absolute, %d, %d)", q.Req.From, q.Req.To)
+	}
+	if q.Req.MinCount > 0 || len(q.Req.FIDs) > 0 {
+		b.WriteString(" | filter(")
+		sep := ""
+		if q.Req.MinCount > 0 {
+			fmt.Fprintf(&b, "min=%d", q.Req.MinCount)
+			sep = ", "
+		}
+		for _, fid := range q.Req.FIDs {
+			fmt.Fprintf(&b, "%sfid=%d", sep, fid)
+			sep = ", "
+		}
+		b.WriteString(")")
+	}
+	if q.Req.Decay != query.DecayNone {
+		name := "exp"
+		switch q.Req.Decay {
+		case query.DecayLinear:
+			name = "linear"
+		case query.DecayStep:
+			name = "step"
+		}
+		fmt.Fprintf(&b, " | decay(%s, %s)", name, strconv.FormatFloat(q.Req.DecayFactor, 'g', -1, 64))
+	}
+	switch q.Req.SortBy {
+	case query.ByTotal:
+		b.WriteString(" | sort(total)")
+	case query.ByTimestamp:
+		b.WriteString(" | sort(time)")
+	case query.ByFeatureID:
+		b.WriteString(" | sort(fid)")
+	case query.ByAction:
+		fmt.Fprintf(&b, " | sort(action, %s)", q.Req.Action)
+	case query.ByUDAF:
+		if q.Req.MinScore != 0 {
+			fmt.Fprintf(&b, " | sort(udaf, %s, min=%s)", q.Req.UDAFName, strconv.FormatFloat(q.Req.MinScore, 'g', -1, 64))
+		} else {
+			fmt.Fprintf(&b, " | sort(udaf, %s)", q.Req.UDAFName)
+		}
+	}
+	fmt.Fprintf(&b, " | topk(%d)", q.Req.K)
+	return b.String()
+}
+
+// Sig is the query-shape signature: the canonical pipeline with the
+// profile set elided. Subscriptions with equal signatures watching the
+// same dirty profile are evaluated once and multicast (the hub's
+// evaluate-once grouping).
+func (q *Query) Sig() string { return q.RenderFor(nil) }
+
+// --- lexing ---
+
+// stage is one `name(arg, ...)` call; off is its byte offset in the
+// source, for error messages.
+type stage struct {
+	name string
+	off  int
+	args []arg
+}
+
+// arg is one argument, optionally keyed (`min=3`).
+type arg struct {
+	key string
+	val string
+}
+
+// lex splits src into stages. Tokens are bare words (idents, numbers,
+// durations); whitespace is free between any two tokens.
+func lex(src string) ([]stage, error) {
+	var stages []stage
+	pos := 0
+	skipWS := func() {
+		for pos < len(src) && isSpace(src[pos]) {
+			pos++
+		}
+	}
+	for {
+		skipWS()
+		if pos >= len(src) {
+			if len(stages) == 0 {
+				return nil, errors.New("sub: empty pipeline")
+			}
+			return nil, fmt.Errorf("sub: trailing | at offset %d", pos)
+		}
+		start := pos
+		for pos < len(src) && isIdentByte(src[pos]) {
+			pos++
+		}
+		name := src[start:pos]
+		if name == "" {
+			return nil, fmt.Errorf("sub: expected stage name at offset %d", pos)
+		}
+		skipWS()
+		if pos >= len(src) || src[pos] != '(' {
+			return nil, fmt.Errorf("sub: expected ( after %s at offset %d", name, pos)
+		}
+		pos++
+		st := stage{name: name, off: start}
+		for {
+			skipWS()
+			if pos < len(src) && src[pos] == ')' {
+				pos++
+				break
+			}
+			if len(st.args) > 0 {
+				if pos >= len(src) || src[pos] != ',' {
+					return nil, fmt.Errorf("sub: expected , or ) in %s at offset %d", name, pos)
+				}
+				pos++
+				skipWS()
+			}
+			tok, next, err := lexToken(src, pos)
+			if err != nil {
+				return nil, err
+			}
+			pos = next
+			a := arg{val: tok}
+			skipWS()
+			if pos < len(src) && src[pos] == '=' {
+				pos++
+				skipWS()
+				if !isIdent(tok) {
+					return nil, fmt.Errorf("sub: argument key %q must be a bare name at offset %d", tok, pos)
+				}
+				a.key = tok
+				a.val, next, err = lexToken(src, pos)
+				if err != nil {
+					return nil, err
+				}
+				pos = next
+			}
+			st.args = append(st.args, a)
+		}
+		stages = append(stages, st)
+		skipWS()
+		if pos >= len(src) {
+			return stages, nil
+		}
+		if src[pos] != '|' {
+			return nil, fmt.Errorf("sub: expected | between stages at offset %d", pos)
+		}
+		pos++
+	}
+}
+
+// lexToken reads one bare token starting at pos.
+func lexToken(src string, pos int) (string, int, error) {
+	start := pos
+	for pos < len(src) && isTokenByte(src[pos]) {
+		pos++
+	}
+	if pos == start {
+		return "", pos, fmt.Errorf("sub: expected a value at offset %d", pos)
+	}
+	return src[start:pos], pos, nil
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+// isTokenByte admits idents, numbers, durations, and signed/decimal
+// number bytes.
+func isTokenByte(c byte) bool {
+	return isIdentByte(c) || c == '.' || c == '-' || c == '+'
+}
+
+func isIdent(s string) bool {
+	if s == "" || s[0] >= '0' && s[0] <= '9' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isIdentByte(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// checkKeys rejects keyed arguments in stages that take only positional
+// ones (allowed lists the one exception, "" for none).
+func checkKeys(st stage, allowed string) error {
+	for _, a := range st.args {
+		if a.key != "" && a.key != allowed {
+			return fmt.Errorf("sub: %s does not take %s= arguments (offset %d)", st.name, a.key, st.off)
+		}
+	}
+	return nil
+}
+
+// oneUint reads a stage's single positional unsigned argument of the
+// given bit width.
+func oneUint(st stage, bits int) (uint64, error) {
+	if len(st.args) != 1 || st.args[0].key != "" {
+		return 0, fmt.Errorf("sub: %s takes exactly one number (offset %d)", st.name, st.off)
+	}
+	n, err := strconv.ParseUint(st.args[0].val, 10, bits)
+	if err != nil {
+		return 0, fmt.Errorf("sub: %s(%s): %v (offset %d)", st.name, st.args[0].val, err, st.off)
+	}
+	return n, nil
+}
+
+// parseDur reads a duration token: a bare integer is milliseconds, and
+// the suffixes ms/s/m/h/d scale it.
+func parseDur(s string) (model.Millis, error) {
+	mult := model.Millis(1)
+	num := s
+	switch {
+	case strings.HasSuffix(s, "ms"):
+		num = s[:len(s)-2]
+	case strings.HasSuffix(s, "s"):
+		num, mult = s[:len(s)-1], 1000
+	case strings.HasSuffix(s, "m"):
+		num, mult = s[:len(s)-1], 60_000
+	case strings.HasSuffix(s, "h"):
+		num, mult = s[:len(s)-1], 3_600_000
+	case strings.HasSuffix(s, "d"):
+		num, mult = s[:len(s)-1], 86_400_000
+	}
+	n, err := strconv.ParseInt(num, 10, 64)
+	if err != nil {
+		return 0, err
+	}
+	return model.Millis(n) * mult, nil
+}

@@ -1,0 +1,159 @@
+package wire
+
+import (
+	"errors"
+
+	"ips/internal/codec"
+	"ips/internal/model"
+)
+
+// errPipelineTooLong rejects oversized pipeline programs at decode time.
+var errPipelineTooLong = errors.New("pipeline text exceeds MaxPipelineLen")
+
+// Continuous-query subscription messages (DESIGN.md "Continuous
+// queries"). A subscription opens an rpc stream on MethodSubWatch whose
+// opening payload is a SubscribeRequest: the standing query travels as
+// pipeline text (the language is its own wire form; the server parses
+// it). Every pushed stream-data frame is one SubUpdate.
+const (
+	// MethodSubWatch is the stream method a client opens to register a
+	// standing query and receive pushed updates.
+	MethodSubWatch = "ips.sub.watch"
+)
+
+// MaxPipelineLen bounds the pipeline text a SubscribeRequest may carry;
+// longer programs are rejected at decode time before parsing.
+const MaxPipelineLen = 1 << 16
+
+// SubscribeRequest opens one subscription: Pipeline is the standing
+// query in the pipeline language (`source(table, ids) | ... | topk(n)`),
+// Caller attributes the subscription's server-side evaluations for
+// quota and metrics.
+type SubscribeRequest struct {
+	Caller   string
+	Pipeline string
+}
+
+// SubUpdate is one pushed update: the re-evaluated standing-query result
+// for ProfileID. Seq increases by one per delivered update per
+// (stream, profile); it never gaps — lost updates are signalled by
+// Resync instead. Resync marks a full-state baseline the client must
+// replace its view with: the first update for each profile after
+// (re)subscribe, and the recovery update after the server dropped
+// pushes for a slow consumer.
+type SubUpdate struct {
+	ProfileID model.ProfileID
+	Seq       uint64
+	Resync    bool
+	// Result is the standing query's current answer for ProfileID,
+	// reusing the read path's response message.
+	Result QueryResponse
+}
+
+const (
+	fSubCaller   = 1
+	fSubPipeline = 2
+
+	fSubUpdProfile = 1
+	fSubUpdSeq     = 2
+	fSubUpdResync  = 3
+	fSubUpdResult  = 4
+)
+
+// EncodeSubscribe serializes a SubscribeRequest.
+func EncodeSubscribe(r *SubscribeRequest) []byte {
+	var e codec.Buffer
+	e.String(fSubCaller, r.Caller)
+	e.String(fSubPipeline, r.Pipeline)
+	return append([]byte(nil), e.Bytes()...)
+}
+
+// DecodeSubscribe parses a SubscribeRequest.
+func DecodeSubscribe(data []byte) (*SubscribeRequest, error) {
+	r := &SubscribeRequest{}
+	rd := codec.NewReader(data)
+	for !rd.Done() {
+		f, wt, err := rd.Next()
+		if err != nil {
+			return nil, decodeErr("subscribe", err)
+		}
+		switch f {
+		case fSubCaller:
+			r.Caller, err = rd.String()
+		case fSubPipeline:
+			r.Pipeline, err = rd.String()
+		default:
+			err = rd.Skip(wt)
+		}
+		if err != nil {
+			return nil, decodeErr("subscribe field", err)
+		}
+	}
+	if len(r.Pipeline) > MaxPipelineLen {
+		return nil, decodeErr("subscribe", errPipelineTooLong)
+	}
+	return r, nil
+}
+
+// AppendSubUpdate serializes a SubUpdate into dst's storage and returns
+// the extended slice; with a reused dst the push path encodes without
+// per-update allocations.
+func AppendSubUpdate(dst []byte, u *SubUpdate) []byte {
+	var e codec.Buffer
+	e.Attach(dst)
+	e.Uint64(fSubUpdProfile, u.ProfileID)
+	e.Uint64(fSubUpdSeq, u.Seq)
+	e.Bool(fSubUpdResync, u.Resync)
+	start := e.BeginMessage(fSubUpdResult)
+	appendQueryResponseFields(&e, &u.Result)
+	e.EndMessage(start)
+	return e.Detach()
+}
+
+// EncodeSubUpdate serializes a SubUpdate into fresh storage.
+func EncodeSubUpdate(u *SubUpdate) []byte {
+	return AppendSubUpdate(nil, u)
+}
+
+// DecodeSubUpdateInto parses a SubUpdate into u, reusing u.Result's
+// feature storage.
+func DecodeSubUpdateInto(data []byte, u *SubUpdate) error {
+	u.ProfileID, u.Seq, u.Resync = 0, 0, false
+	u.Result.Features = u.Result.Features[:0]
+	u.Result.SlicesScanned, u.Result.CacheHit, u.Result.ServerNanos, u.Result.WalLSN = 0, false, 0, 0
+	rd := codec.NewReader(data)
+	for !rd.Done() {
+		f, wt, err := rd.Next()
+		if err != nil {
+			return decodeErr("subupdate", err)
+		}
+		switch f {
+		case fSubUpdProfile:
+			u.ProfileID, err = rd.Uint64()
+		case fSubUpdSeq:
+			u.Seq, err = rd.Uint64()
+		case fSubUpdResync:
+			u.Resync, err = rd.Bool()
+		case fSubUpdResult:
+			var b []byte
+			if b, err = rd.Bytes(); err == nil {
+				err = DecodeQueryResponseInto(b, &u.Result)
+			}
+		default:
+			err = rd.Skip(wt)
+		}
+		if err != nil {
+			return decodeErr("subupdate field", err)
+		}
+	}
+	return nil
+}
+
+// DecodeSubUpdate parses a SubUpdate into fresh storage.
+func DecodeSubUpdate(data []byte) (*SubUpdate, error) {
+	u := &SubUpdate{}
+	if err := DecodeSubUpdateInto(data, u); err != nil {
+		return nil, err
+	}
+	return u, nil
+}

@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ips/internal/query"
+)
+
+// FuzzDecodeSubscribe covers the subscription-open decoder on hostile
+// payloads: oversized pipelines, raw garbage, and encoder-shaped seeds.
+// Whatever decodes must respect the pipeline length bound and re-encode
+// to a fixpoint — never panic.
+func FuzzDecodeSubscribe(f *testing.F) {
+	f.Add(EncodeSubscribe(&SubscribeRequest{Caller: "feed", Pipeline: "source(user_profile, 1, 2) | topk(10)"}))
+	f.Add(EncodeSubscribe(&SubscribeRequest{Pipeline: "source(t, 1) | filter(min=2) | decay(exp, 0.5) | topk(3)"}))
+	f.Add(EncodeSubscribe(&SubscribeRequest{}))
+	// A long (but small enough to keep fuzz throughput sane) pipeline;
+	// the MaxPipelineLen rejection itself is pinned by TestSubscribeBound.
+	f.Add(EncodeSubscribe(&SubscribeRequest{Pipeline: strings.Repeat("x", 512)}))
+	// Hostile raw bytes: bad tags, length prefixes past the buffer.
+	f.Add([]byte{0x0a, 0xff, 0xff, 0xff, 0xff, 0x7f})
+	f.Add([]byte{0x12, 0x05, 0x08, 0x01})
+	f.Add([]byte{0x08, 0x80})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := DecodeSubscribe(data)
+		if err != nil {
+			return
+		}
+		if len(r.Pipeline) > MaxPipelineLen {
+			t.Fatalf("decoded pipeline of %d bytes, over MaxPipelineLen", len(r.Pipeline))
+		}
+		again, err := DecodeSubscribe(EncodeSubscribe(r))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(r, again) {
+			t.Fatalf("fixpoint mismatch:\n%+v\n%+v", r, again)
+		}
+	})
+}
+
+// FuzzDecodeSubUpdate covers the pushed-update decoder: truncated nested
+// results, hostile feature messages, and encoder-shaped seeds. Decoded
+// updates must re-encode to a fixpoint and never panic, including when
+// decoding into a reused struct with stale feature storage.
+func FuzzDecodeSubUpdate(f *testing.F) {
+	f.Add(EncodeSubUpdate(&SubUpdate{ProfileID: 42, Seq: 7, Resync: true, Result: QueryResponse{
+		Features: []query.Feature{
+			{FID: 1, Counts: []int64{3, 4}, LastSeen: 1000, Score: 2.5},
+			{FID: 9, Counts: []int64{1}, LastSeen: 2000},
+		},
+		SlicesScanned: 2, ServerNanos: 55, WalLSN: 12,
+	}}))
+	f.Add(EncodeSubUpdate(&SubUpdate{ProfileID: 1, Seq: 1}))
+	f.Add(EncodeSubUpdate(&SubUpdate{}))
+	full := EncodeSubUpdate(&SubUpdate{ProfileID: 3, Seq: 2, Result: QueryResponse{
+		Features: []query.Feature{{FID: 5, Counts: []int64{1, 2, 3}}},
+	}})
+	// Truncations at every boundary the varint framing makes interesting.
+	f.Add(full[:len(full)/2])
+	f.Add(full[:1])
+	// Hostile raw bytes.
+	f.Add([]byte{0x22, 0xff, 0x01})
+	f.Add([]byte{0x22, 0x03, 0x0a, 0x80, 0x80})
+	f.Add([]byte{0x08, 0x01, 0x10, 0x02, 0x18, 0x01, 0x22, 0x00})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		u, err := DecodeSubUpdate(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeSubUpdate(EncodeSubUpdate(u))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !reflect.DeepEqual(normalizeSubUpdate(u), normalizeSubUpdate(again)) {
+			t.Fatalf("fixpoint mismatch:\n%+v\n%+v", u, again)
+		}
+		// Reused-struct decode must agree with the fresh one.
+		reused := &SubUpdate{Result: QueryResponse{Features: []query.Feature{
+			{FID: 99, Counts: []int64{9, 9, 9}}, {FID: 98},
+		}}}
+		if err := DecodeSubUpdateInto(data, reused); err != nil {
+			t.Fatalf("reused decode failed where fresh succeeded: %v", err)
+		}
+		if !reflect.DeepEqual(normalizeSubUpdate(u), normalizeSubUpdate(reused)) {
+			t.Fatalf("reused decode mismatch:\n%+v\n%+v", u, reused)
+		}
+	})
+}
+
+// normalizeSubUpdate maps empty and nil slices to a canonical form for
+// fixpoint comparison (the encoder drops empty counts and a zero WalLSN).
+func normalizeSubUpdate(u *SubUpdate) *SubUpdate {
+	c := &SubUpdate{ProfileID: u.ProfileID, Seq: u.Seq, Resync: u.Resync}
+	c.Result.SlicesScanned = u.Result.SlicesScanned
+	c.Result.CacheHit = u.Result.CacheHit
+	c.Result.ServerNanos = u.Result.ServerNanos
+	c.Result.WalLSN = u.Result.WalLSN
+	for _, ft := range u.Result.Features {
+		if len(ft.Counts) == 0 {
+			ft.Counts = nil
+		}
+		c.Result.Features = append(c.Result.Features, ft)
+	}
+	if len(c.Result.Features) == 0 {
+		c.Result.Features = nil
+	}
+	return c
+}

@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ips/internal/query"
+)
+
+func TestSubscribeRoundTrip(t *testing.T) {
+	r := &SubscribeRequest{Caller: "feed-ranker", Pipeline: "source(user_profile, 1, 2) | decay(exp, 0.5) | topk(10)"}
+	got, err := DecodeSubscribe(EncodeSubscribe(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, got) {
+		t.Fatalf("round trip: %+v != %+v", got, r)
+	}
+}
+
+func TestSubscribeBound(t *testing.T) {
+	ok := &SubscribeRequest{Pipeline: strings.Repeat("x", MaxPipelineLen)}
+	if _, err := DecodeSubscribe(EncodeSubscribe(ok)); err != nil {
+		t.Fatalf("at-bound pipeline rejected: %v", err)
+	}
+	over := &SubscribeRequest{Pipeline: strings.Repeat("x", MaxPipelineLen+1)}
+	if _, err := DecodeSubscribe(EncodeSubscribe(over)); !errors.Is(err, ErrDecode) {
+		t.Fatalf("over-bound pipeline: err = %v, want ErrDecode", err)
+	}
+}
+
+func TestSubUpdateRoundTrip(t *testing.T) {
+	u := &SubUpdate{ProfileID: 42, Seq: 3, Resync: true, Result: QueryResponse{
+		Features: []query.Feature{
+			{FID: 7, Counts: []int64{1, 2}, LastSeen: 5000, Score: 1.5},
+			{FID: 8, Counts: []int64{9}, LastSeen: 6000, Score: 0.25},
+		},
+		SlicesScanned: 4, CacheHit: true, ServerNanos: 123, WalLSN: 77,
+	}}
+	got, err := DecodeSubUpdate(EncodeSubUpdate(u))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(u, got) {
+		t.Fatalf("round trip:\n%+v\n%+v", got, u)
+	}
+	// Reused-struct decode with stale storage must fully overwrite.
+	reused := &SubUpdate{Resync: true, Result: QueryResponse{Features: []query.Feature{{FID: 99, Counts: []int64{9, 9, 9, 9}}}}}
+	empty := &SubUpdate{ProfileID: 1, Seq: 1}
+	if err := DecodeSubUpdateInto(EncodeSubUpdate(empty), reused); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalizeSubUpdate(empty), normalizeSubUpdate(reused)) {
+		t.Fatalf("stale storage leaked:\n%+v\n%+v", reused, empty)
+	}
+}

@@ -2,13 +2,24 @@
 // (§II-B) and their binary encoding, shared by the server and the unified
 // client. Method names:
 //
-//	ips.add        — add_profile
-//	ips.add_batch  — add_profiles
-//	ips.topk       — get_profile_topK
-//	ips.filter     — get_profile_filter
-//	ips.decay      — get_profile_decay
-//	ips.stats      — instance statistics (management)
-//	ips.ping       — liveness probe
+//	ips.add              — add_profile
+//	ips.add_batch        — add_profiles
+//	ips.topk             — get_profile_topK
+//	ips.filter           — get_profile_filter
+//	ips.decay            — get_profile_decay
+//	ips.query_batch      — coalesced multi-profile reads (batch.go)
+//	ips.sub.watch        — continuous-query stream (sub.go); the one
+//	                       stream-kind method: updates are pushed, not
+//	                       polled, over the rpc package's stream frames
+//	ips.stats            — instance statistics (management)
+//	ips.ping             — liveness probe
+//	ips.mgmt.*           — delete_profile, set_quota, set_isolation,
+//	                       register_udaf, tables, udafs (mgmt.go)
+//	ips.migrate.*        — snapshot, install (migrate.go, resharding)
+//
+// Every method except ips.sub.watch is request/response; the watch
+// stream's open payload is a SubscribeRequest and each pushed frame is
+// one SubUpdate.
 package wire
 
 import (
@@ -493,6 +504,16 @@ func EncodeQueryResponse(r *QueryResponse) []byte {
 func AppendQueryResponse(dst []byte, r *QueryResponse) []byte {
 	var e codec.Buffer
 	e.Attach(dst)
+	appendQueryResponseFields(&e, r)
+	return e.Detach()
+}
+
+// appendQueryResponseFields writes r's fields into an attached buffer;
+// shared by the top-level response encode and the nested result message
+// inside a SubUpdate (sub.go).
+//
+//ips:hotpath
+func appendQueryResponseFields(e *codec.Buffer, r *QueryResponse) {
 	for i := range r.Features {
 		feat := &r.Features[i]
 		start := e.BeginMessage(fRFeature)
@@ -508,7 +529,6 @@ func AppendQueryResponse(dst []byte, r *QueryResponse) []byte {
 	if r.WalLSN != 0 {
 		e.Uint64(fRWal, r.WalLSN)
 	}
-	return e.Detach()
 }
 
 // DecodeQueryResponse parses a QueryResponse.

@@ -1,6 +1,7 @@
 package ips
 
 import (
+	"context"
 	"time"
 
 	"ips/internal/client"
@@ -122,6 +123,29 @@ func (r *Remote) QueryBatch(items []BatchItem) ([][]Feature, error) {
 		}
 	}
 	return out, err
+}
+
+// Subscription is a standing query's client handle: updates arrive on
+// Recv / Updates until Close. See Watch.
+type Subscription = client.Subscription
+
+// SubUpdate is one pushed standing-query update: the profile it is for,
+// a per-profile sequence number, the Resync flag ("replace everything
+// you hold for this profile"), and the full current answer.
+type SubUpdate = wire.SubUpdate
+
+// Watch registers a standing query written in the pipeline language
+// (DESIGN.md "Continuous queries"), e.g.
+//
+//	source(user_profile, 42, 99) | slot(1) | decay(exp, 0.5) | topk(10)
+//
+// and returns a Subscription whose Recv yields a fresh answer whenever
+// ingest changes a watched profile. The subscription shards its IDs
+// across owning instances and transparently resubscribes through
+// reconnects and migration windows; after any resubscribe the first
+// update per profile carries Resync=true and replaces prior state.
+func (r *Remote) Watch(ctx context.Context, pipeline string) (*Subscription, error) {
+	return r.c.Subscribe(ctx, pipeline)
 }
 
 // Stats fetches statistics from every live instance.
